@@ -1,0 +1,19 @@
+"""Ablation: block-size sweep for the fully blocked matmul product.
+
+Not a paper figure — supports the Section 8 discussion of block-size
+selection: performance peaks when three blocks fit the L1 cache and
+falls off on both sides.
+"""
+
+from repro.experiments import figures
+
+
+def test_block_size_sweep(once):
+    rows = once(
+        figures.ablation_block_size, n=48, blocks=[2, 4, 8, 16, 24, 48], verbose=True
+    )
+    by = {m.env["block"]: m.mflops for m in rows}
+    best = max(by, key=by.get)
+    assert best in (4, 8, 16), "sweet spot should sit near the L1-fitting size"
+    assert by[best] > by[2]
+    assert by[best] > by[48]

@@ -1,0 +1,15 @@
+"""Ablation: one-level vs two-level blocking (Section 6.3).
+
+On the two-level simulated hierarchy, two-level blocking must beat both
+single-level blockings once the problem exceeds L2.
+"""
+
+from repro.experiments import figures
+
+
+def test_multilevel(once):
+    rows = once(figures.ablation_multilevel, n=80, verbose=True)
+    by = {m.variant: m.mflops for m in rows}
+    assert by["two-level(24,8)"] > by["L1-blocked(8)"]
+    assert by["two-level(24,8)"] > by["L2-blocked(24)"]
+    assert by["L1-blocked(8)"] > by["unblocked"]

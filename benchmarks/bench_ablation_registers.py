@@ -1,0 +1,16 @@
+"""Ablation: register blocking via a tiny inner product level.
+
+Section 6.3's closing remark: choosing small inner blocks blocks for
+registers.  Modeled as a 16-element fully associative level-0.
+"""
+
+from repro.experiments import figures
+
+
+def test_register_blocking(once):
+    rows = once(figures.ablation_register_blocking, n=32, verbose=True)
+    by = {m.variant: m for m in rows}
+    single = next(m for v, m in by.items() if v.startswith("one-level"))
+    double = next(m for v, m in by.items() if v.startswith("register-blocked"))
+    assert double.stats["REG_misses"] < single.stats["REG_misses"]
+    assert double.mflops > single.mflops

@@ -1,0 +1,15 @@
+"""Ablation: physical data reshaping (Section 5.3).
+
+"Nothing prevents us from reshaping the physical data array": storing
+blocks contiguously removes the conflict misses caused by cache-line-
+strided block columns.  Same shackled code, different storage map.
+"""
+
+from repro.experiments import figures
+
+
+def test_data_reshaping(once):
+    rows = once(figures.ablation_data_reshaping, n=64, block=8, verbose=True)
+    by = {m.variant: m for m in rows}
+    assert by["block-major"].stats["L1_misses"] < by["column-major"].stats["L1_misses"] / 4
+    assert by["block-major"].mflops > by["column-major"].mflops

@@ -1,0 +1,14 @@
+"""Ablation: data shackling vs iteration-space tiling (Section 4.1).
+
+For a perfect nest the two approaches produce the same block structure,
+so their simulated data movement must agree exactly.
+"""
+
+from repro.experiments import figures
+
+
+def test_shackle_equals_tiling(once):
+    rows = once(figures.ablation_shackle_vs_tiling, n=48, verbose=True)
+    by = {m.variant: m for m in rows}
+    assert by["shackled"].stats == by["tiled"].stats, "identical traces expected"
+    assert by["shackled"].mflops > by["input"].mflops

@@ -1,0 +1,16 @@
+"""Ablation: cutting-plane order (Section 6.2).
+
+"To a first order of approximation, the orientation of cutting planes is
+irrelevant as far as performance is concerned, provided the blocks have
+the same volume" — row-major vs column-major block walks must be within
+a few percent of each other.
+"""
+
+from repro.experiments import figures
+
+
+def test_traversal_order(once):
+    rows = once(figures.ablation_traversal_order, n=48, verbose=True)
+    by = {m.variant: m.mflops for m in rows}
+    a, b = by["row-major-blocks"], by["col-major-blocks"]
+    assert abs(a - b) / max(a, b) < 0.10

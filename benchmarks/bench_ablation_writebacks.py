@@ -1,0 +1,12 @@
+"""Ablation: write-back traffic under blocking."""
+
+from repro.experiments import figures
+
+
+def test_writeback_traffic(once):
+    rows = once(figures.ablation_writeback_traffic, n=96, block=8, verbose=True)
+    by = {m.variant: m.stats for m in rows}
+    # Blocking finishes each C block before moving on: dirty lines leave
+    # once, so outbound traffic drops by a large factor.
+    assert by["input"]["writebacks"] > 0
+    assert by["blocked"]["writebacks"] * 4 < by["input"]["writebacks"]

@@ -1,0 +1,58 @@
+"""Native (C backend) timings of generated code on the host machine.
+
+The paper measures xlf-compiled generated code on an SP-2; this is the
+host-machine equivalent: emit C for the original and the shackled codes,
+compile with the system compiler, run at full size, and compare wall
+clock.  Results are asserted loosely (identical checksums; blocked not
+slower beyond noise) because host caches vary.
+"""
+
+import pytest
+
+from repro.backends import c_compiler_available, compile_and_run
+from repro.core import simplified_code
+from repro.kernels import cholesky, matmul
+
+needs_cc = pytest.mark.skipif(not c_compiler_available(), reason="no C compiler")
+
+
+@needs_cc
+def test_native_matmul(once):
+    prog = matmul.program()
+    blocked = simplified_code(matmul.ca_product(prog, 48))
+
+    def run():
+        original = compile_and_run(prog, {"N": 384}, repeats=2)
+        shackled = compile_and_run(blocked, {"N": 384}, repeats=2)
+        return original, shackled
+
+    original, shackled = once(run)
+    print(f"\noriginal {original.seconds:.4f}s, blocked {shackled.seconds:.4f}s")
+    assert shackled.checksum == pytest.approx(original.checksum, rel=1e-9)
+    # Blocked code must not be slower beyond noise; on most hosts it wins.
+    assert shackled.seconds <= original.seconds * 1.25
+
+
+@needs_cc
+def test_native_cholesky(once):
+    prog = cholesky.program("right")
+    blocked = simplified_code(cholesky.fully_blocked(prog, 48))
+    init = {
+        # Diagonally dominant SPD so sqrt stays real.
+        "A": (
+            "for (long _j = 1; _j <= N; _j++)\n"
+            "    for (long _i = 1; _i <= N; _i++)\n"
+            "        A[(_i-1)+(_j-1)*N] = (_i == _j) ? (double)N : "
+            "1.0/(double)(_i+_j);\n"
+        )
+    }
+
+    def run():
+        original = compile_and_run(prog, {"N": 384}, init_code=init, repeats=2)
+        shackled = compile_and_run(blocked, {"N": 384}, init_code=init, repeats=2)
+        return original, shackled
+
+    original, shackled = once(run)
+    print(f"\noriginal {original.seconds:.4f}s, blocked {shackled.seconds:.4f}s")
+    assert shackled.checksum == pytest.approx(original.checksum, rel=1e-9)
+    assert shackled.seconds <= original.seconds * 1.25

@@ -1,0 +1,20 @@
+"""Figure 5: naive guarded code from the C-shackle of matmul."""
+
+from repro.core import naive_code
+from repro.ir import to_source
+from repro.ir.nodes import Guard, Loop
+from repro.kernels import matmul
+
+
+def test_fig5_naive(once):
+    prog = matmul.program()
+    shackle = matmul.c_shackle(prog, 25)
+    program = once(naive_code, shackle)
+    text = to_source(program, header=False)
+    print("\n" + text)
+    # Two block loops around the full original nest; every statement
+    # guarded by the 25b-24 <= x <= 25b membership conditions.
+    assert text.count("do ") == 5
+    assert text.count("if ") == 1
+    guard_line = next(line for line in text.splitlines() if "if " in line)
+    assert "25*t1" in guard_line and "25*t2" in guard_line

@@ -1,0 +1,22 @@
+"""Figure 6: simplified shackled matmul — exact golden comparison."""
+
+from repro.core import simplified_code
+from repro.ir import to_source
+from repro.kernels import matmul
+
+FIGURE6 = """do t1 = 1, (N+24)/25
+  do t2 = 1, (N+24)/25
+    do I = 25*t1-24, min(N, 25*t1)
+      do J = 25*t2-24, min(N, 25*t2)
+        do K = 1, N
+          S1: C[I,J] = (C[I,J] + (A[I,K] * B[K,J]))
+"""
+
+
+def test_fig6_simplified(once):
+    prog = matmul.program()
+    shackle = matmul.c_shackle(prog, 25)
+    program = once(simplified_code, shackle)
+    text = to_source(program, header=False)
+    print("\n" + text)
+    assert text == FIGURE6

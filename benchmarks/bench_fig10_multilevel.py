@@ -1,0 +1,19 @@
+"""Figure 10: matmul blocked for two levels of memory hierarchy."""
+
+from repro.core import simplified_code
+from repro.ir import to_source
+from repro.kernels import matmul
+
+
+def test_fig10_two_level(once):
+    prog = matmul.program()
+    product = matmul.two_level(prog, 64, 8)
+    program = once(simplified_code, product)
+    text = to_source(program, header=False)
+    print("\n" + text)
+    # Paper Figure 10 shape: three 64-level block loops, three 8-level
+    # block loops nested inside them, three point loops innermost.
+    assert text.count("do ") == 9
+    assert "(N+63)/64" in text
+    assert "(N+7)/8" in text
+    assert "8*t1-7" in text  # the 8-blocks subdivide each 64-block

@@ -1,0 +1,20 @@
+"""Figure 11: Cholesky factorization performance on the simulated SP-2.
+
+Paper shape asserted: input right-looking code is flat and slow;
+compiler-blocked improves; replacing the matrix-multiply statement's CPI
+with a DGEMM-like one improves dramatically; LAPACK-on-native-BLAS is at
+or slightly above that.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig11_cholesky(once):
+    rows = once(figures.fig11_cholesky, sizes=[24, 48, 72], verbose=True)
+    by = {(m.variant, m.env["N"]): m.mflops for m in rows}
+    for n in (48, 72):
+        assert by[("input", n)] < by[("compiler", n)]
+        assert by[("compiler", n)] < by[("compiler+dgemm", n)]
+        assert by[("compiler+dgemm", n)] <= by[("lapack", n)] * 1.05
+    # The input code sits around the paper's ~8 MFlops plateau.
+    assert 4 <= by[("input", 72)] <= 12

@@ -1,0 +1,23 @@
+"""Figure 12: QR factorization performance.
+
+Paper shape asserted: blocking improves the input somewhat; DGEMM
+replacement improves it a lot; the compiler+DGEMM code beats the modeled
+LAPACK WY code on small matrices (the WY overheads dominate there) and
+the gap closes as N grows.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig12_qr(once):
+    rows = once(figures.fig12_qr, sizes=[16, 48, 96], verbose=True)
+    by = {(m.variant, m.env["N"]): m.mflops for m in rows}
+    for n in (16, 48, 96):
+        assert by[("input", n)] <= by[("compiler", n)] * 1.02
+        assert by[("compiler", n)] < by[("compiler+dgemm", n)]
+    # Small matrices: compiler+DGEMM clearly beats LAPACK-WY.
+    assert by[("compiler+dgemm", 16)] > by[("lapack-wy", 16)] * 1.2
+    # The gap closes with size (LAPACK overheads amortize).
+    gap_small = by[("compiler+dgemm", 16)] / by[("lapack-wy", 16)]
+    gap_large = by[("compiler+dgemm", 96)] / by[("lapack-wy", 96)]
+    assert gap_large < gap_small

@@ -1,0 +1,14 @@
+"""Figure 13(i): Gmtry — Gaussian elimination speedup from shackling.
+
+Paper: the elimination kernel speeds up ~3x on the SP-2; we assert a
+speedup in the 2-4x band on the scaled machine.
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import speedup_summary
+
+
+def test_fig13_gmtry(once):
+    rows = once(figures.fig13_gmtry, n=80, verbose=True)
+    speedup = speedup_summary(rows, baseline="input")["compiler"]
+    assert 2.0 <= speedup <= 4.5

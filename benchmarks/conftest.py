@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_fig*`` module regenerates one figure of the paper.  The
+benchmark timings measure our *toolchain* (legality checking, code
+generation, simulation) — the scientific output of each benchmark is the
+figure data itself, which is printed (run pytest with ``-s`` to see it)
+and asserted for shape.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are long)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,86 @@
+"""Quickstart: shackle matrix multiplication and watch the cache behave.
+
+Builds the paper's running example (Figure 1(i)), blocks the C array with
+25x25 cutting planes, checks legality (Theorem 1), prints the generated
+code (Figure 6), then simulates the original and blocked codes on the
+scaled SP-2 memory hierarchy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.backends import compile_program
+from repro.core import DataBlocking, check_legality, shackle_refs, simplified_code
+from repro.ir import parse_program, to_source
+from repro.memsim import Arena
+from repro.memsim.cost import SP2_SCALED, CostModel
+
+MATMUL = """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+
+
+def main() -> None:
+    program = parse_program(MATMUL)
+    print("Input program:")
+    print(to_source(program, header=False))
+
+    # 1. Block the C array with two sets of cutting planes, 25 apart.
+    blocking = DataBlocking.grid("C", 2, 25)
+    shackle = shackle_refs(program, blocking, "lhs")
+
+    # 2. Theorem 1: is executing instances block-by-block legal?
+    result = check_legality(shackle)
+    print(f"legality: {result.explain()}\n")
+
+    # 3. Generate the simplified blocked code (the paper's Figure 6).
+    blocked = simplified_code(shackle)
+    print("Shackled program:")
+    print(to_source(blocked, header=False))
+
+    # 4. The shackle on C alone leaves A[I,K] and B[K,J] unconstrained
+    #    (Theorem 2); taking the Cartesian product with an A-shackle
+    #    bounds everything and gives the fully blocked code.
+    from repro.core import ShackleProduct
+
+    a_shackle = shackle_refs(
+        program, DataBlocking.grid("A", 2, 25), {"S1": "A[I,K]"}
+    )
+    fully = simplified_code(ShackleProduct(shackle, a_shackle))
+    print("Fully blocked (C x A product):")
+    print(to_source(fully, header=False))
+
+    # 5. Measure data movement on a simulated memory hierarchy.
+    n = 48
+    machine = SP2_SCALED
+    for name, prog in [
+        ("original", program),
+        ("C-shackled", blocked),
+        ("C x A product", fully),
+    ]:
+        arena = Arena(prog, {"N": n})
+        buf = arena.allocate()
+        rng = np.random.default_rng(0)
+        arena.view(buf, "A")[:] = rng.random((n, n))
+        arena.view(buf, "B")[:] = rng.random((n, n))
+        hierarchy = machine.hierarchy()
+        run = compile_program(prog, arena, trace=True).run(buf, mem=hierarchy)
+        model = CostModel(machine)
+        print(
+            f"{name:>9}: L1 misses {hierarchy.levels[0].misses:>8}, "
+            f"L2 misses {hierarchy.levels[1].misses:>7}, "
+            f"simulated {model.mflops(hierarchy, run.flops):6.2f} MFlops"
+        )
+
+
+if __name__ == "__main__":
+    main()

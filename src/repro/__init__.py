@@ -1,0 +1,47 @@
+"""repro — Data-centric Multi-level Blocking (PLDI 1997), reproduced.
+
+Public API re-exports the pieces a downstream user needs: the IR front
+end, blockings and shackles, legality checking, code generation, and the
+measurement substrate.  See README.md for a walkthrough.
+"""
+
+from repro.core import (
+    CuttingPlanes,
+    DataBlocking,
+    DataShackle,
+    ShackleProduct,
+    check_legality,
+    enumerate_block_instances,
+    instance_schedule,
+    multi_level,
+    multipass_schedule,
+    naive_code,
+    search_shackles,
+    shackle_refs,
+    simplified_code,
+    split_code,
+)
+from repro.ir import Program, ProgramBuilder, parse_program, to_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CuttingPlanes",
+    "DataBlocking",
+    "DataShackle",
+    "Program",
+    "ProgramBuilder",
+    "ShackleProduct",
+    "check_legality",
+    "enumerate_block_instances",
+    "instance_schedule",
+    "multi_level",
+    "multipass_schedule",
+    "naive_code",
+    "parse_program",
+    "search_shackles",
+    "shackle_refs",
+    "simplified_code",
+    "split_code",
+    "to_source",
+]

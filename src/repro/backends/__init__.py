@@ -1,0 +1,24 @@
+"""Execution backends for IR programs.
+
+* :mod:`repro.backends.python_backend` compiles a program to a Python
+  function over a flat array arena, optionally tracing every memory
+  reference into a :class:`~repro.memsim.MemoryHierarchy` — the
+  measurement engine for the paper's performance figures.
+* :mod:`repro.backends.c_backend` emits standalone C for a program and
+  (when a C compiler is available) compiles and times it — real
+  wall-clock numbers for generated code, as the paper measured with
+  ``xlf -O3``.
+"""
+
+from repro.backends.c_backend import CRunResult, c_compiler_available, compile_and_run, emit_c
+from repro.backends.python_backend import CompiledProgram, RunResult, compile_program
+
+__all__ = [
+    "CRunResult",
+    "CompiledProgram",
+    "RunResult",
+    "c_compiler_available",
+    "compile_and_run",
+    "compile_program",
+    "emit_c",
+]

@@ -1,0 +1,205 @@
+"""Compile IR programs to Python functions over a flat arena.
+
+The generated function executes the program's exact statement-instance
+order.  With a :class:`~repro.memsim.MemoryHierarchy` passed in, every
+array reference performs a simulated cache access *in operand order*
+(reads left to right, then the write), producing the precise memory trace
+of the program for the performance experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.ir.expr import AffExpr, Affine, BinOp, Call, Const, DivBound, Expr, Ref, UnOp
+from repro.ir.nodes import Guard, Loop, Program, Statement
+from repro.memsim.layout import Arena
+from repro.polyhedra.constraints import Constraint
+
+
+def _int(value) -> int:
+    if isinstance(value, Fraction):
+        if value.denominator != 1:
+            raise ValueError(f"non-integer coefficient {value} in compiled code")
+        return int(value)
+    return int(value)
+
+
+def _affine_src(affine: Affine) -> str:
+    parts: list[str] = []
+    for v, c in affine.coeffs.items():
+        c = _int(c)
+        parts.append(f"{c}*{v}" if c != 1 else v)
+    const = _int(affine.const)
+    if const or not parts:
+        parts.append(str(const))
+    return "(" + "+".join(parts).replace("+-", "-") + ")"
+
+
+def _bound_src(bound: DivBound, kind: str) -> str:
+    inner = _affine_src(bound.affine)
+    if bound.den == 1:
+        return inner
+    if kind == "lower":
+        return f"(-((-{inner})//{bound.den}))"
+    return f"({inner}//{bound.den})"
+
+
+def _constraint_src(c: Constraint) -> str:
+    expr = _affine_src(Affine(c.coeffs, c.const))
+    return f"({expr} == 0)" if c.is_eq else f"({expr} >= 0)"
+
+
+class _Emitter:
+    def __init__(self, arena: Arena, trace: bool) -> None:
+        self.arena = arena
+        self.trace = trace
+        self.lines: list[str] = []
+        self.flops_per_statement: dict[str, int] = {}
+        self._tmp = 0
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    def fresh(self) -> str:
+        self._tmp += 1
+        return f"_a{self._tmp}"
+
+    # -- expressions ---------------------------------------------------------
+
+    def addr_src(self, ref: Ref) -> str:
+        layout = self.arena.layout(ref.array)
+        return layout.addr_source([_affine_src(i) for i in ref.indices])
+
+    def expr_src(self, expr: Expr, addr_of: dict[int, str]) -> str:
+        if isinstance(expr, Const):
+            return repr(float(expr.value))
+        if isinstance(expr, AffExpr):
+            return _affine_src(expr.affine)
+        if isinstance(expr, Ref):
+            return f"buf[{addr_of[id(expr)]}]"
+        if isinstance(expr, BinOp):
+            lhs = self.expr_src(expr.left, addr_of)
+            rhs = self.expr_src(expr.right, addr_of)
+            return f"({lhs} {expr.op} {rhs})"
+        if isinstance(expr, UnOp):
+            return f"(-{self.expr_src(expr.operand, addr_of)})"
+        if isinstance(expr, Call):
+            args = ", ".join(self.expr_src(a, addr_of) for a in expr.args)
+            fn = {"sqrt": "_sqrt", "abs": "abs", "sign": "_sign", "min": "min", "max": "max"}[
+                expr.func
+            ]
+            return f"{fn}({args})"
+        raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    @staticmethod
+    def count_flops(expr: Expr) -> int:
+        if isinstance(expr, BinOp):
+            return 1 + _Emitter.count_flops(expr.left) + _Emitter.count_flops(expr.right)
+        if isinstance(expr, UnOp):
+            return 1 + _Emitter.count_flops(expr.operand)
+        if isinstance(expr, Call):
+            return 1 + sum(_Emitter.count_flops(a) for a in expr.args)
+        return 0
+
+    # -- nodes -----------------------------------------------------------------
+
+    def walk(self, nodes, depth: int) -> None:
+        for node in nodes:
+            if isinstance(node, Loop):
+                los = [_bound_src(b, "lower") for b in node.lowers]
+                his = [_bound_src(b, "upper") for b in node.uppers]
+                lo = los[0] if len(los) == 1 else "max(" + ",".join(los) + ")"
+                hi = his[0] if len(his) == 1 else "min(" + ",".join(his) + ")"
+                self.emit(depth, f"for {node.var} in range({lo}, {hi}+1):")
+                if node.body:
+                    self.walk(node.body, depth + 1)
+                else:  # pragma: no cover - empty loops possible in theory
+                    self.emit(depth + 1, "pass")
+            elif isinstance(node, Guard):
+                cond = " and ".join(_constraint_src(c) for c in node.conditions) or "True"
+                self.emit(depth, f"if {cond}:")
+                if node.body:
+                    self.walk(node.body, depth + 1)
+                else:  # pragma: no cover
+                    self.emit(depth + 1, "pass")
+            elif isinstance(node, Statement):
+                self.statement(node, depth)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown node {node!r}")
+
+    def statement(self, stmt: Statement, depth: int) -> None:
+        self.flops_per_statement[stmt.label] = self.count_flops(stmt.rhs)
+        addr_of: dict[int, str] = {}
+        reads = stmt.rhs.references()
+        for ref in reads:
+            var = self.fresh()
+            addr_of[id(ref)] = var
+            self.emit(depth, f"{var} = {self.addr_src(ref)}")
+        lhs_var = self.fresh()
+        self.emit(depth, f"{lhs_var} = {self.addr_src(stmt.lhs)}")
+        if self.trace:
+            for ref in reads:
+                self.emit(depth, f"_access({addr_of[id(ref)]})")
+        value = self.expr_src(stmt.rhs, addr_of)
+        if self.trace:
+            self.emit(depth, f"_access({lhs_var}, True)")
+        self.emit(depth, f"buf[{lhs_var}] = {value}")
+        self.emit(depth, f"_counts['{stmt.label}'] += 1")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one compiled execution."""
+
+    counts: dict[str, int]
+    flops_per_statement: dict[str, int]
+
+    @property
+    def instances(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def flops(self) -> int:
+        return sum(self.counts[label] * f for label, f in self.flops_per_statement.items())
+
+
+class CompiledProgram:
+    """A program compiled against one arena (array sizes fixed)."""
+
+    def __init__(self, program: Program, arena: Arena, trace: bool = False) -> None:
+        self.program = program
+        self.arena = arena
+        self.trace = trace
+        emitter = _Emitter(arena, trace)
+        params = sorted(set(program.params))
+        header = ["def _run(buf, env, _access, _counts):"]
+        for p in params:
+            header.append(f"    {p} = env['{p}']")
+        emitter.lines = header
+        emitter.walk(program.body, 1)
+        emitter.emit(1, "return None")
+        self.source = "\n".join(emitter.lines)
+        namespace = {
+            "_sqrt": math.sqrt,
+            "_sign": lambda x: 1.0 if x > 0 else (-1.0 if x < 0 else 0.0),
+        }
+        exec(self.source, namespace)  # noqa: S102 - trusted generated code
+        self._run = namespace["_run"]
+        self.flops_per_statement = dict(emitter.flops_per_statement)
+
+    def run(self, buf, mem=None, env: dict[str, int] | None = None) -> RunResult:
+        """Execute over ``buf``; trace into ``mem`` if compiled with trace."""
+        if self.trace and mem is None:
+            raise ValueError("this program was compiled with tracing; pass mem=")
+        counts = {label: 0 for label in self.flops_per_statement}
+        access = mem.access if mem is not None else (lambda addr, write=False: 0)
+        self._run(buf, env or self.arena.env, access, counts)
+        return RunResult(counts, dict(self.flops_per_statement))
+
+
+def compile_program(program: Program, arena: Arena, trace: bool = False) -> CompiledProgram:
+    """Compile ``program`` for execution over ``arena``."""
+    return CompiledProgram(program, arena, trace)

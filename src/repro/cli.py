@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on programs written in the textual mini-language (see
+``repro.ir.parser``), so the shackling compiler is usable without
+writing any Python:
+
+    python -m repro show kernel.loop
+    python -m repro deps kernel.loop
+    python -m repro shackle kernel.loop --array A --block 25 [--refs lhs]
+        [--dims 1,0] [--product A:25:lhs ...] [--naive|--split]
+    python -m repro legality kernel.loop --array A --block 25
+    python -m repro search kernel.loop --array A --block 25
+    python -m repro simulate kernel.loop [--array A --block 25 ...] --size N=48
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import (
+    DataBlocking,
+    ShackleProduct,
+    check_legality,
+    naive_code,
+    search_shackles,
+    shackle_refs,
+    simplified_code,
+    split_code,
+)
+from repro.dependence import compute_dependences
+from repro.ir import parse_program, to_source
+
+
+def _load(path: str):
+    text = Path(path).read_text() if path != "-" else sys.stdin.read()
+    return parse_program(text)
+
+
+def _parse_dims(text: str | None):
+    if not text:
+        return None
+    return [int(x) for x in text.split(",")]
+
+
+def _split_outside_brackets(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` occurrences that are not inside [...] brackets."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == sep and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [p for p in parts if p]
+
+
+def _build_shackle(program, args):
+    blocking = DataBlocking.grid(
+        args.array,
+        program.arrays[args.array].ndim if args.dims is None else len(_parse_dims(args.dims)),
+        args.block,
+        dims=_parse_dims(args.dims),
+        directions=_parse_dims(args.directions),
+    )
+    if args.refs == "lhs":
+        shackle = shackle_refs(program, blocking, "lhs")
+    else:
+        choice = dict(pair.split("=", 1) for pair in _split_outside_brackets(args.refs, ","))
+        shackle = shackle_refs(program, blocking, choice)
+    factors = [shackle]
+    for spec in args.product or []:
+        array, block, refs = (_split_outside_brackets(spec, ":") + ["lhs"])[:3]
+        extra_blocking = DataBlocking.grid(
+            array, program.arrays[array].ndim, int(block)
+        )
+        if refs == "lhs":
+            factors.append(shackle_refs(program, extra_blocking, "lhs"))
+        else:
+            choice = dict(pair.split("=", 1) for pair in _split_outside_brackets(refs, "+"))
+            factors.append(shackle_refs(program, extra_blocking, choice))
+    if len(factors) == 1:
+        return factors[0]
+    return ShackleProduct(*factors)
+
+
+def _add_shackle_args(sub):
+    sub.add_argument("--array", required=True, help="array to block")
+    sub.add_argument("--block", type=int, default=25, help="cutting plane spacing")
+    sub.add_argument("--dims", default=None, help="blocked dims, e.g. 1,0 (default: all)")
+    sub.add_argument("--directions", default=None, help="traversal directions, e.g. 1,-1")
+    sub.add_argument(
+        "--refs",
+        default="lhs",
+        help='"lhs" or comma list label=Ref, e.g. "S1=A[J,J],S2=A[I,J]"',
+    )
+    sub.add_argument(
+        "--product",
+        action="append",
+        help="extra factor array:block[:refs] (refs uses label=Ref joined by +)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    show = commands.add_parser("show", help="parse and pretty-print a program")
+    show.add_argument("file")
+
+    deps = commands.add_parser("deps", help="list dependence levels")
+    deps.add_argument("file")
+
+    shackle_cmd = commands.add_parser("shackle", help="generate shackled code")
+    shackle_cmd.add_argument("file")
+    _add_shackle_args(shackle_cmd)
+    shackle_cmd.add_argument("--naive", action="store_true", help="Figure-5 form")
+    shackle_cmd.add_argument("--split", action="store_true", help="index-set splitting")
+    shackle_cmd.add_argument("--emit-c", action="store_true", help="emit C instead")
+
+    legality = commands.add_parser("legality", help="check Theorem-1 legality")
+    legality.add_argument("file")
+    _add_shackle_args(legality)
+
+    search = commands.add_parser("search", help="enumerate and rank legal shackles")
+    search.add_argument("file")
+    search.add_argument("--array", required=True)
+    search.add_argument("--block", type=int, default=25)
+    search.add_argument("--max-product", type=int, default=2)
+
+    simulate_cmd = commands.add_parser("simulate", help="simulate on the scaled machine")
+    simulate_cmd.add_argument("file")
+    _add_shackle_args(simulate_cmd)
+    simulate_cmd.add_argument("--size", action="append", required=True, help="param binding N=48")
+    simulate_cmd.add_argument("--original", action="store_true", help="also run unshackled")
+
+    args = parser.parse_args(argv)
+    program = _load(args.file)
+
+    if args.command == "show":
+        print(to_source(program), end="")
+        return 0
+
+    if args.command == "deps":
+        for dep in compute_dependences(program):
+            print(dep.describe())
+        return 0
+
+    if args.command == "legality":
+        shackle = _build_shackle(program, args)
+        print(check_legality(shackle).explain())
+        return 0
+
+    if args.command == "search":
+        blocking = DataBlocking.grid(
+            args.array, program.arrays[args.array].ndim, args.block
+        )
+        for result in search_shackles(program, blocking, max_product=args.max_product):
+            print(result.describe())
+        return 0
+
+    if args.command == "shackle":
+        shackle = _build_shackle(program, args)
+        verdict = check_legality(shackle, first_violation_only=True)
+        if not verdict.legal:
+            print(verdict.explain(), file=sys.stderr)
+            return 1
+        if args.naive:
+            generated = naive_code(shackle)
+        elif args.split:
+            generated = split_code(shackle)
+        else:
+            generated = simplified_code(shackle)
+        if args.emit_c:
+            from repro.backends import emit_c
+
+            print(emit_c(generated), end="")
+        else:
+            print(to_source(generated), end="")
+        return 0
+
+    if args.command == "simulate":
+        import numpy as np
+
+        from repro.backends import compile_program
+        from repro.experiments.report import print_table
+        from repro.memsim import Arena
+        from repro.memsim.cost import SP2_SCALED, CostModel
+
+        env = {}
+        for binding in args.size:
+            name, value = binding.split("=", 1)
+            env[name] = int(value)
+        shackle = _build_shackle(program, args)
+        variants = {"shackled": simplified_code(shackle)}
+        if args.original:
+            variants["original"] = program
+        rows = []
+        for name, prog in variants.items():
+            arena = Arena(prog, env)
+            buf = arena.allocate()
+            buf[:] = np.random.default_rng(0).random(arena.total_size)
+            hierarchy = SP2_SCALED.hierarchy()
+            run = compile_program(prog, arena, trace=True).run(buf, mem=hierarchy)
+            model = CostModel(SP2_SCALED)
+            rows.append(
+                {
+                    "variant": name,
+                    **env,
+                    "flops": run.flops,
+                    "mflops": round(model.mflops(hierarchy, run.flops), 2),
+                    **hierarchy.stats(),
+                }
+            )
+        print_table(rows)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Data shackling: the paper's primary contribution.
+
+A :class:`~repro.core.blocking.DataBlocking` slices an array into blocks
+with sets of parallel cutting planes.  A
+:class:`~repro.core.shackle.DataShackle` binds one reference per statement
+to that blocking; blocks are visited in lexicographic order of their
+(direction-adjusted) coordinates, and when a block is visited every
+statement instance whose chosen reference touches it is executed in
+original program order.
+
+:class:`~repro.core.shackle.ShackleProduct` composes shackles (Section 6),
+refining the partition of statement instances without reordering across
+partitions — the route to fully blocked and multi-level-blocked codes.
+
+Legality (Theorem 1) is decided exactly in
+:mod:`repro.core.legality`; Theorem 2's bounded-reference test lives in
+:mod:`repro.core.span`; code generation in :mod:`repro.core.codegen`; and
+direct block-by-block execution order in :mod:`repro.core.instances`.
+"""
+
+from repro.core.blocking import CuttingPlanes, DataBlocking
+from repro.core.codegen import naive_code, simplified_code
+from repro.core.instances import enumerate_block_instances, instance_schedule
+from repro.core.legality import LegalityResult, Violation, check_legality
+from repro.core.multipass import MultipassResult, multipass_schedule, single_sweep_suffices
+from repro.core.product import ShackleProduct, multi_level
+from repro.core.search import SearchResult, search_shackles
+from repro.core.shackle import DataShackle, shackle_refs
+from repro.core.splitting import split_code
+
+__all__ = [
+    "CuttingPlanes",
+    "DataBlocking",
+    "DataShackle",
+    "LegalityResult",
+    "MultipassResult",
+    "SearchResult",
+    "ShackleProduct",
+    "Violation",
+    "check_legality",
+    "enumerate_block_instances",
+    "instance_schedule",
+    "multi_level",
+    "multipass_schedule",
+    "naive_code",
+    "search_shackles",
+    "shackle_refs",
+    "simplified_code",
+    "single_sweep_suffices",
+    "split_code",
+]

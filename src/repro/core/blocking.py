@@ -1,0 +1,184 @@
+"""Data blockings: cutting planes over array index space.
+
+Following Definition 1 of the paper, an array is sliced by sets of
+parallel cutting planes.  Each set has an integer *normal* vector over the
+array's dimensions, a positive *spacing* between planes, and an *offset*.
+A data element ``a`` has block coordinate ``z`` along plane set ``j`` iff
+
+    spacing * (z - 1)  <  normal . a - offset  <=  spacing * z
+
+which is the paper's ``25b - 24 <= x <= 25b`` convention for spacing 25.
+
+The cutting-planes matrix of the paper is the matrix whose columns are
+the normals, in application order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.expr import Affine
+from repro.ir.nodes import Array
+from repro.linalg import FracMatrix
+from repro.linalg.intmath import ceil_div
+from repro.polyhedra.constraints import Constraint
+
+
+class CuttingPlanes:
+    """One set of parallel cutting planes."""
+
+    __slots__ = ("normal", "spacing", "offset")
+
+    def __init__(self, normal: Sequence[int], spacing: int, offset: int = 0) -> None:
+        self.normal = tuple(int(n) for n in normal)
+        self.spacing = int(spacing)
+        self.offset = int(offset)
+        if self.spacing <= 0:
+            raise ValueError("cutting plane spacing must be positive")
+        if all(n == 0 for n in self.normal):
+            raise ValueError("cutting plane normal must be nonzero")
+
+    def value(self, indices: Sequence[Affine]) -> Affine:
+        """``normal . indices - offset`` as an affine form."""
+        if len(indices) != len(self.normal):
+            raise ValueError("dimension mismatch between normal and subscripts")
+        out = Affine({}, -self.offset)
+        for n, idx in zip(self.normal, indices):
+            if n:
+                out = out + idx * n
+        return out
+
+    def block_of(self, point: Sequence[int]) -> int:
+        """The block coordinate of a concrete data point."""
+        x = sum(n * p for n, p in zip(self.normal, point)) - self.offset
+        return ceil_div(x, self.spacing)
+
+    def __repr__(self) -> str:
+        return f"CuttingPlanes(normal={self.normal}, spacing={self.spacing}, offset={self.offset})"
+
+
+class DataBlocking:
+    """A blocking of one named array by several cutting-plane sets.
+
+    ``directions[j]`` is +1 to walk block coordinates ascending along set
+    ``j`` and -1 descending (the paper's "bottom to top or right to left"
+    traversal for cases like triangular solves).  Internally a *traversal
+    coordinate* ``w_j = directions[j] * z_j`` is used so that block
+    enumeration is always an ascending lexicographic walk of ``w``.
+    """
+
+    def __init__(
+        self,
+        array: str,
+        planes: Sequence[CuttingPlanes],
+        directions: Sequence[int] | None = None,
+    ) -> None:
+        self.array = array
+        self.planes: tuple[CuttingPlanes, ...] = tuple(planes)
+        if not self.planes:
+            raise ValueError("a blocking needs at least one set of cutting planes")
+        dims = {len(p.normal) for p in self.planes}
+        if len(dims) != 1:
+            raise ValueError("all cutting plane sets must agree on array dimensionality")
+        self.directions: tuple[int, ...] = tuple(directions or (1,) * len(self.planes))
+        if len(self.directions) != len(self.planes) or any(
+            d not in (-1, 1) for d in self.directions
+        ):
+            raise ValueError("directions must be +1/-1, one per plane set")
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        array: str,
+        ndim: int,
+        sizes: Sequence[int] | int,
+        dims: Sequence[int] | None = None,
+        directions: Sequence[int] | None = None,
+    ) -> "DataBlocking":
+        """Axis-aligned blocking: plane set per dimension in ``dims``.
+
+        ``sizes`` may be one int (same block size on every blocked dim) or
+        one per blocked dim.  ``dims`` defaults to all dimensions; passing
+        e.g. ``dims=[1]`` blocks only columns (the paper's QR shackle).
+        """
+        blocked_dims = list(dims) if dims is not None else list(range(ndim))
+        if isinstance(sizes, int):
+            sizes = [sizes] * len(blocked_dims)
+        if len(sizes) != len(blocked_dims):
+            raise ValueError("one size per blocked dimension required")
+        planes = []
+        for d, s in zip(blocked_dims, sizes):
+            normal = [0] * ndim
+            normal[d] = 1
+            planes.append(CuttingPlanes(normal, s))
+        return cls(array, planes, directions)
+
+    # -- queries ---------------------------------------------------------------------
+
+    @property
+    def num_dims(self) -> int:
+        return len(self.planes)
+
+    @property
+    def array_ndim(self) -> int:
+        return len(self.planes[0].normal)
+
+    def cutting_planes_matrix(self) -> FracMatrix:
+        """The paper's cutting-planes matrix (normals as columns)."""
+        return FracMatrix([[p.normal[i] for p in self.planes] for i in range(self.array_ndim)])
+
+    def block_of(self, point: Sequence[int]) -> tuple[int, ...]:
+        """Concrete block coordinates (z, not direction-adjusted)."""
+        return tuple(p.block_of(point) for p in self.planes)
+
+    def traversal_of(self, point: Sequence[int]) -> tuple[int, ...]:
+        """Direction-adjusted traversal coordinates w = d * z."""
+        return tuple(d * z for d, z in zip(self.directions, self.block_of(point)))
+
+    def membership_constraints(
+        self, indices: Sequence[Affine], block_vars: Sequence[str]
+    ) -> list[Constraint]:
+        """Constraints tying subscripts to traversal coordinates ``block_vars``.
+
+        For plane set j with direction d and spacing s::
+
+            s*(d*w_j - 1) + 1 <= normal.indices - offset <= s*(d*w_j)
+        """
+        if len(block_vars) != self.num_dims:
+            raise ValueError("one block variable per plane set required")
+        out: list[Constraint] = []
+        for plane, direction, w in zip(self.planes, self.directions, block_vars):
+            x = plane.value(indices)
+            s = plane.spacing
+            # x <= s*d*w  ->  s*d*w - x >= 0
+            upper = {w: s * direction}
+            for v, c in x.coeffs.items():
+                upper[v] = upper.get(v, 0) - c
+            out.append(Constraint.ge(upper, -x.const))
+            # x >= s*(d*w - 1) + 1  ->  x - s*d*w + s - 1 >= 0
+            lower = {w: -s * direction}
+            for v, c in x.coeffs.items():
+                lower[v] = lower.get(v, 0) + c
+            out.append(Constraint.ge(lower, x.const + s - 1))
+        return out
+
+    def data_domain_constraints(self, array: Array, point_vars: Sequence[str]) -> list[Constraint]:
+        """``1 <= a_i <= extent_i`` for a symbolic data point ``point_vars``."""
+        if array.ndim != self.array_ndim:
+            raise ValueError("array rank mismatch")
+        out: list[Constraint] = []
+        for var, extent in zip(point_vars, array.extents):
+            out.append(Constraint.ge({var: 1}, -1))
+            coeffs = {var: -1}
+            for v, c in extent.coeffs.items():
+                coeffs[v] = coeffs.get(v, 0) + c
+            out.append(Constraint.ge(coeffs, extent.const))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"DataBlocking({self.array}, {len(self.planes)} plane sets, "
+            f"spacings={[p.spacing for p in self.planes]}, directions={self.directions})"
+        )

@@ -1,0 +1,450 @@
+"""Code generation for shackled programs.
+
+Two generators are provided, mirroring the paper:
+
+* :func:`naive_code` — the directly-derived form (paper Figure 5): loops
+  over all blocks, the original loop nest inside, and a membership guard
+  around every statement.  Always correct, never efficient.
+* :func:`simplified_code` — the polyhedrally simplified form (paper
+  Figures 6, 7, 10): for a single perfectly nested statement the guards
+  are converted into tight loop bounds by scanning the combined
+  polyhedron; for general imperfect nests the guards are reduced to their
+  gist in context and hoisted into loop bounds where every statement
+  under the loop shares them.
+
+Both forms execute statement instances in exactly the same order — block
+lexicographic, then original program order — which is the order
+:mod:`repro.core.instances` enumerates; simplification only removes
+control overhead.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.product import block_var_names
+from repro.ir.analysis import iteration_domain, statement_contexts
+from repro.ir.expr import Affine, DivBound
+from repro.ir.nodes import Guard, Loop, Node, Program, Statement
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.scan import Bound, scan_bounds
+from repro.polyhedra.simplify import gist
+
+
+def _fresh_block_names(shackle) -> list[str]:
+    """t1, t2, ... avoiding any name already used by the program."""
+    program = shackle.factors()[0].program
+    used = set(program.params) | set(program.arrays)
+    for ctx in statement_contexts(program):
+        used.update(ctx.loop_vars)
+    names: list[str] = []
+    counter = 1
+    total = shackle.num_block_dims
+    while len(names) < total:
+        candidate = f"t{counter}"
+        counter += 1
+        if candidate not in used:
+            names.append(candidate)
+    return names
+
+
+def _plane_value_range(plane, array) -> tuple[Affine, Affine]:
+    lo = Affine({}, -plane.offset)
+    hi = Affine({}, -plane.offset)
+    for n, extent in zip(plane.normal, array.extents):
+        if n > 0:
+            lo = lo + Affine({}, n)  # n * 1
+            hi = hi + extent * n
+        elif n < 0:
+            lo = lo + extent * n
+            hi = hi + Affine({}, n)
+    return lo, hi
+
+
+def _block_loop_specs(shackle, names: list[str]) -> list[tuple[str, DivBound, DivBound]]:
+    """(var, lower, upper) for each traversal coordinate, outermost first."""
+    program = shackle.factors()[0].program
+    specs: list[tuple[str, DivBound, DivBound]] = []
+    flat = 0
+    for factor in shackle.factors():
+        array = program.arrays[factor.blocking.array]
+        for plane, direction in zip(factor.blocking.planes, factor.blocking.directions):
+            x_lo, x_hi = _plane_value_range(plane, array)
+            s = plane.spacing
+            if direction == 1:
+                lower = DivBound(x_lo, s)  # ceil(x_lo / s)
+                upper = DivBound(x_hi + (s - 1), s)  # ceil(x_hi/s) as a floor
+            else:
+                lower = DivBound(-x_hi - (s - 1), s)  # -ceil(x_hi/s)
+                upper = DivBound(-x_lo, s)  # -ceil(x_lo/s) = floor(-x_lo/s)
+            specs.append((names[flat], _fold_const(lower, "lower"), _fold_const(upper, "upper")))
+            flat += 1
+    return specs
+
+
+def _memberships_flat(shackle, label: str, names: list[str]) -> list[Constraint]:
+    out: list[Constraint] = []
+    offset = 0
+    for factor in shackle.factors():
+        group = names[offset : offset + factor.num_block_dims]
+        out.extend(factor.membership(label, group))
+        offset += factor.num_block_dims
+    return out
+
+
+def _copy_nodes(nodes: list[Node], wrap_statement) -> list[Node]:
+    out: list[Node] = []
+    for node in nodes:
+        if isinstance(node, Statement):
+            out.append(wrap_statement(node))
+        elif isinstance(node, Loop):
+            out.append(
+                Loop(node.var, list(node.lowers), list(node.uppers), _copy_nodes(node.body, wrap_statement))
+            )
+        elif isinstance(node, Guard):
+            out.append(Guard(list(node.conditions), _copy_nodes(node.body, wrap_statement)))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node {node!r}")
+    return out
+
+
+def naive_code(shackle, name: str | None = None) -> Program:
+    """Paper Figure 5: block loops around the guarded original nest."""
+    program = shackle.factors()[0].program
+    names = _fresh_block_names(shackle)
+
+    def wrap(stmt: Statement) -> Node:
+        conditions = _memberships_flat(shackle, stmt.label, names)
+        return Guard(conditions, [Statement(stmt.label, stmt.lhs, stmt.rhs)])
+
+    body: list[Node] = _copy_nodes(program.body, wrap)
+    for var, lower, upper in reversed(_block_loop_specs(shackle, names)):
+        body = [Loop(var, lower, upper, body)]
+    return Program(
+        name or f"{program.name}_shackled_naive",
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=body,
+        assumptions=list(program.assumptions),
+    )
+
+
+def _bound_to_divbound(bound: Bound) -> DivBound:
+    const = bound.const
+    if isinstance(const, Fraction) and const.denominator != 1:
+        raise ValueError("fractional bound constant in codegen")
+    return DivBound(Affine(bound.coeffs, const), bound.den)
+
+
+def _perfect_single_statement(program: Program):
+    """Return (loops, statement) if the program is one perfect nest."""
+    loops = []
+    body = program.body
+    while len(body) == 1 and isinstance(body[0], Loop):
+        loops.append(body[0])
+        body = body[0].body
+    if len(body) == 1 and isinstance(body[0], Statement):
+        return loops, body[0]
+    return None
+
+
+def simplified_code(shackle, name: str | None = None) -> Program:
+    """Simplified shackled code (paper Figures 6, 7, 10).
+
+    The instance execution order is identical to :func:`naive_code`; only
+    redundant control flow is removed.
+    """
+    program = shackle.factors()[0].program
+    names = _fresh_block_names(shackle)
+    perfect = _perfect_single_statement(program)
+    if perfect is not None:
+        return _simplified_perfect(shackle, program, names, perfect, name)
+    return _simplified_general(shackle, program, names, name)
+
+
+def _simplified_perfect(shackle, program, names, perfect, name) -> Program:
+    loops, stmt = perfect
+    ctx = statement_contexts(program)[0]
+    system = iteration_domain(ctx, program).conjoin(
+        System(_memberships_flat(shackle, stmt.label, names))
+    )
+    order = names + ctx.loop_vars
+    bounds, residual = scan_bounds(system, order, prune=True)
+    inner: list[Node] = [Statement(stmt.label, stmt.lhs, stmt.rhs)]
+    for level in reversed(bounds):
+        lowers = [_bound_to_divbound(b) for b in level.lowers]
+        uppers = [_bound_to_divbound(b) for b in level.uppers]
+        inner = [Loop(level.var, lowers, uppers, inner)]
+    # Residual constraints not already guaranteed by the assumptions wrap
+    # the whole nest.
+    leftover = gist(System(residual), System(program.assumptions))
+    if len(leftover):
+        inner = [Guard(list(leftover), inner)]
+    return Program(
+        name or f"{program.name}_shackled",
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=collapse_degenerate_loops(inner),
+        assumptions=list(program.assumptions),
+    )
+
+
+def _simplified_general(shackle, program, names, name) -> Program:
+    contexts = {c.label: c for c in statement_contexts(program)}
+    specs = _block_loop_specs(shackle, names)
+    block_context = System(
+        [c for var, lower, upper in specs for c in Loop(var, lower, upper).bounds_constraints()]
+        + list(program.assumptions)
+    )
+
+    def rebuild(nodes: list[Node], context: System) -> list[Node]:
+        out: list[Node] = []
+        for node in nodes:
+            if isinstance(node, Statement):
+                ctx = contexts[node.label]
+                membership = System(_memberships_flat(shackle, node.label, names))
+                reduced = gist(membership, context.conjoin(System(ctx.guards)))
+                stmt = Statement(node.label, node.lhs, node.rhs)
+                if len(reduced):
+                    out.append(Guard(list(reduced), [stmt]))
+                else:
+                    out.append(stmt)
+            elif isinstance(node, Loop):
+                inner_ctx = context.conjoin(System(node.bounds_constraints()))
+                rebuilt = Loop(
+                    node.var, list(node.lowers), list(node.uppers), rebuild(node.body, inner_ctx)
+                )
+                tightened = _merge_guards(_tighten_loop(_fold_shared_guards(rebuilt)))
+                if isinstance(tightened, Loop):
+                    tightened = _prune_loop_bounds(tightened, context)
+                elif isinstance(tightened, Guard) and len(tightened.body) == 1 and isinstance(
+                    tightened.body[0], Loop
+                ):
+                    inner = _prune_loop_bounds(
+                        tightened.body[0], context.conjoin(System(tightened.conditions))
+                    )
+                    tightened = Guard(tightened.conditions, [inner])
+                out.append(tightened)
+            elif isinstance(node, Guard):
+                inner_ctx = context.conjoin(System(node.conditions))
+                out.append(
+                    _merge_guards(Guard(list(node.conditions), rebuild(node.body, inner_ctx)))
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown node {node!r}")
+        return out
+
+    body = rebuild(program.body, block_context)
+    for var, lower, upper in reversed(specs):
+        body = [Loop(var, lower, upper, body)]
+    return Program(
+        name or f"{program.name}_shackled",
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=collapse_degenerate_loops(body),
+        assumptions=list(program.assumptions),
+    )
+
+
+def _fold_const(bound: DivBound, kind: str) -> DivBound:
+    """Evaluate constant div bounds: ``(1)/3`` as a lower bound is ``1``."""
+    if bound.den != 1 and bound.affine.is_constant():
+        if kind == "lower":
+            return DivBound(bound.evaluate_lower({}))
+        return DivBound(bound.evaluate_upper({}))
+    return bound
+
+
+def _fold_shared_guards(loop: Loop) -> Loop:
+    """If every child of the loop is guarded by a common condition set,
+    factor those conditions into a single guard around the whole body so
+    that :func:`_tighten_loop` can fold them into the loop bounds.
+
+    This is what merges the two guarded ADI statements under one pinned
+    ``i`` (paper Figure 14): both children carry ``i == t2 + 1``.
+    """
+    if len(loop.body) < 2 or not all(isinstance(c, Guard) for c in loop.body):
+        return loop
+    guards = [c for c in loop.body if isinstance(c, Guard)]
+    common = set(guards[0].conditions)
+    for g in guards[1:]:
+        common &= set(g.conditions)
+    if not common:
+        return loop
+    children: list[Node] = []
+    for g in guards:
+        residual = [c for c in g.conditions if c not in common]
+        if residual:
+            children.append(Guard(residual, g.body))
+        else:
+            children.extend(g.body)
+    ordered_common = [c for c in guards[0].conditions if c in common]
+    return Loop(loop.var, list(loop.lowers), list(loop.uppers), [Guard(ordered_common, children)])
+
+
+def _prune_loop_bounds(loop: Loop, context: System) -> Loop:
+    """Drop loop bounds implied by the context plus the remaining bounds."""
+    from repro.polyhedra.simplify import implies
+
+    def bound_constraint(b: DivBound, kind: str) -> Constraint:
+        if kind == "lower":  # var >= ceil(aff/den)  <=>  den*var - aff >= 0
+            coeffs = {loop.var: b.den}
+            for v, c in b.affine.coeffs.items():
+                coeffs[v] = coeffs.get(v, 0) - c
+            return Constraint.ge(coeffs, -b.affine.const)
+        coeffs = {loop.var: -b.den}
+        for v, c in b.affine.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return Constraint.ge(coeffs, b.affine.const)
+
+    def prune(bounds: list[DivBound], kind: str) -> list[DivBound]:
+        kept = list(dict.fromkeys(bounds))
+        changed = True
+        while changed and len(kept) > 1:
+            changed = False
+            for i, candidate in enumerate(kept):
+                others = [bound_constraint(b, kind) for j, b in enumerate(kept) if j != i]
+                if implies(context.conjoin(System(others)), bound_constraint(candidate, kind)):
+                    kept.pop(i)
+                    changed = True
+                    break
+        return kept
+
+    return Loop(loop.var, prune(loop.lowers, "lower"), prune(loop.uppers, "upper"), loop.body)
+
+
+def _tighten_loop(loop: Loop) -> Node:
+    """Fold guards into loop bounds and hoist loop-independent guards out.
+
+    Applied bottom-up by ``rebuild``.  When the loop body is a single
+    Guard:
+
+    * inequality conditions on this loop's variable become extra bounds;
+    * equality conditions ``a*var + e == 0`` become a matching lower and
+      upper bound pair (an empty range when not divisible — exactly the
+      integer semantics of the guard);
+    * conditions not mentioning the variable are hoisted above the loop,
+      which lets enclosing levels fold them in turn (this is what turns
+      the naive Cholesky guards into Figure-7-style bounds).
+    """
+    if len(loop.body) != 1 or not isinstance(loop.body[0], Guard):
+        return loop
+    guard = loop.body[0]
+    remaining: list[Constraint] = []
+    hoisted: list[Constraint] = []
+    lowers = list(loop.lowers)
+    uppers = list(loop.uppers)
+    for c in guard.conditions:
+        a = c.coeff(loop.var)
+        if a == 0:
+            hoisted.append(c)
+            continue
+        rest = Affine({v: x for v, x in c.coeffs.items() if v != loop.var}, c.const)
+        if c.is_eq:
+            # a*var + rest == 0: var in [ceil(-rest/a), floor(-rest/a)].
+            sign = 1 if a > 0 else -1
+            lowers.append(DivBound(-rest * sign, abs(a)))
+            uppers.append(DivBound(-rest * sign, abs(a)))
+        elif a > 0:
+            # a*var + rest >= 0  ->  var >= ceil(-rest / a)
+            lowers.append(DivBound(-rest, a))
+        else:
+            # -|a|*var + rest >= 0  ->  var <= floor(rest / |a|)
+            uppers.append(DivBound(rest, -a))
+    body: list[Node] = [Guard(remaining, guard.body)] if remaining else list(guard.body)
+    tightened = Loop(loop.var, lowers, uppers, body)
+    if hoisted:
+        return Guard(hoisted, [tightened])
+    return tightened
+
+
+def _substitute_var(nodes: list[Node], var: str, value: Affine) -> list[Node]:
+    """Replace ``var`` by an affine value throughout a subtree."""
+    mapping = {var: value}
+
+    def sub_bound(b: DivBound) -> DivBound:
+        return DivBound(b.affine.substitute(mapping), b.den)
+
+    def sub_constraint(c: Constraint) -> Constraint:
+        return c.substitute(var, value.coeffs, value.const)
+
+    out: list[Node] = []
+    for node in nodes:
+        if isinstance(node, Loop):
+            out.append(
+                Loop(
+                    node.var,
+                    [sub_bound(b) for b in node.lowers],
+                    [sub_bound(b) for b in node.uppers],
+                    _substitute_var(node.body, var, value),
+                )
+            )
+        elif isinstance(node, Guard):
+            out.append(
+                Guard(
+                    [sub_constraint(c) for c in node.conditions],
+                    _substitute_var(node.body, var, value),
+                )
+            )
+        elif isinstance(node, Statement):
+            sub_ref = node.lhs.__class__(
+                node.lhs.array, *(i.substitute(mapping) for i in node.lhs.indices)
+            )
+            out.append(Statement(node.label, sub_ref, _substitute_expr(node.rhs, mapping)))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown node {node!r}")
+    return out
+
+
+def _substitute_expr(expr, mapping):
+    from repro.ir.expr import AffExpr, BinOp, Call, Const, Ref, UnOp
+
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, AffExpr):
+        return AffExpr(expr.affine.substitute(mapping))
+    if isinstance(expr, Ref):
+        return Ref(expr.array, *(i.substitute(mapping) for i in expr.indices))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _substitute_expr(expr.left, mapping), _substitute_expr(expr.right, mapping))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _substitute_expr(expr.operand, mapping))
+    if isinstance(expr, Call):
+        return Call(expr.func, *(_substitute_expr(a, mapping) for a in expr.args))
+    raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def collapse_degenerate_loops(nodes: list[Node]) -> list[Node]:
+    """Remove single-iteration loops like ``do t3 = t1, t1``.
+
+    Products of shackles whose chosen references share subscript rows
+    produce such loops (the paper's C x A matmul product constrains the
+    same row coordinate twice); substituting the pinned value recovers the
+    clean Figure-10 shape.  Only exact (den == 1) pinned bounds collapse.
+    """
+    out: list[Node] = []
+    for node in nodes:
+        if isinstance(node, Loop):
+            body = collapse_degenerate_loops(node.body)
+            if (
+                len(node.lowers) == 1
+                and len(node.uppers) == 1
+                and node.lowers[0].den == 1
+                and node.lowers[0] == node.uppers[0]
+            ):
+                out.extend(_substitute_var(body, node.var, node.lowers[0].affine))
+            else:
+                out.append(Loop(node.var, list(node.lowers), list(node.uppers), body))
+        elif isinstance(node, Guard):
+            out.append(Guard(list(node.conditions), collapse_degenerate_loops(node.body)))
+        else:
+            out.append(node)
+    return out
+
+
+def _merge_guards(node: Node) -> Node:
+    """Collapse ``Guard(a, [Guard(b, body)])`` into ``Guard(a+b, body)``."""
+    if isinstance(node, Guard) and len(node.body) == 1 and isinstance(node.body[0], Guard):
+        inner = node.body[0]
+        return _merge_guards(Guard(node.conditions + inner.conditions, inner.body))
+    return node

@@ -1,0 +1,202 @@
+"""Block-by-block enumeration of shackled statement instances.
+
+This realizes the shackle's semantics directly: blocks are visited in
+ascending lexicographic order of traversal coordinates, and within a
+block the shackled statement instances execute in original program order.
+Guard simplification in :mod:`repro.core.codegen` never changes this
+order — so this enumerator is both the execution engine (fed to the
+memory-hierarchy simulator) and the ground truth that generated code is
+tested against.
+
+For speed, the per-statement polyhedron scans are compiled to Python
+nested loops with ``exec`` once per (shackle, statement); enumeration for
+a given parameter binding then runs without any symbolic machinery.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterator
+
+from repro.core.product import block_var_names
+from repro.ir.analysis import StatementContext, iteration_domain, statement_contexts
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.scan import LoopBounds, scan_bounds
+
+
+def _bound_expr(bound, kind: str) -> str:
+    """Python source for a Bound's ceiling (lower) or floor (upper)."""
+    const = bound.const
+    if isinstance(const, Fraction):
+        if const.denominator != 1:
+            # Fold fractional constants conservatively into the division.
+            # (Does not occur for normalized integer constraints.)
+            raise ValueError("fractional bound constant")
+        const = int(const)
+    terms = [f"{c}*{v}" for v, c in bound.coeffs.items()]
+    terms.append(str(const))
+    expr = "+".join(terms).replace("+-", "-")
+    if bound.den == 1:
+        return f"({expr})"
+    if kind == "lower":
+        return f"(-((-({expr}))//{bound.den}))"
+    return f"(({expr})//{bound.den})"
+
+
+def _level_source(level: LoopBounds) -> tuple[str, str]:
+    los = [_bound_expr(b, "lower") for b in level.lowers]
+    his = [_bound_expr(b, "upper") for b in level.uppers]
+    lo = los[0] if len(los) == 1 else "max(" + ",".join(los) + ")"
+    hi = his[0] if len(his) == 1 else "min(" + ",".join(his) + ")"
+    return lo, hi
+
+
+class _StatementWalker:
+    """Compiled scanners for one statement under one shackle."""
+
+    def __init__(self, ctx: StatementContext, system: System, block_vars: list[str]) -> None:
+        self.ctx = ctx
+        self.block_vars = block_vars
+        order = block_vars + ctx.loop_vars
+        bounds, residual = scan_bounds(system, order, prune=True)
+        self.block_levels = bounds[: len(block_vars)]
+        self.loop_levels = bounds[len(block_vars) :]
+        self.residual = residual
+        params = sorted(
+            {
+                v
+                for lvl in bounds
+                for b in lvl.lowers + lvl.uppers
+                for v in b.coeffs
+                if v not in order
+            }
+            | {v for c in residual for v in c.variables()}
+        )
+        self.params = params
+        self._compile()
+
+    def _compile(self) -> None:
+        # block_bounds(k, w, env) -> (lo, hi) for traversal coordinate k
+        # given the k earlier coordinates in w.
+        lines = ["def block_bounds(k, w, env):"]
+        for p in self.params:
+            lines.append(f"    {p} = env['{p}']")
+        for k, level in enumerate(self.block_levels):
+            lines.append(f"    if k == {k}:")
+            for j in range(k):
+                lines.append(f"        {self.block_vars[j]} = w[{j}]")
+            lo, hi = _level_source(level)
+            lines.append(f"        return ({lo}, {hi})")
+        lines.append("    raise IndexError(k)")
+
+        # instances(w, env, out): append iteration vectors for block w.
+        lines.append("def instances(w, env, out):")
+        for p in self.params:
+            lines.append(f"    {p} = env['{p}']")
+        for j, name in enumerate(self.block_vars):
+            lines.append(f"    {name} = w[{j}]")
+        indent = "    "
+        # Reject blocks outside this statement's block range.
+        for k, level in enumerate(self.block_levels):
+            lo, hi = _level_source(level)
+            lines.append(f"{indent}if not ({lo} <= {self.block_vars[k]} <= {hi}): return")
+        append = "out.append"
+        for level in self.loop_levels:
+            lo, hi = _level_source(level)
+            lines.append(f"{indent}for {level.var} in range({lo}, ({hi})+1):")
+            indent += "    "
+        ivec = ", ".join(self.ctx.loop_vars)
+        trailing = "," if len(self.ctx.loop_vars) == 1 else ""
+        lines.append(f"{indent}{append}(({ivec}{trailing}))")
+        namespace: dict = {}
+        exec("\n".join(lines), namespace)  # noqa: S102 - trusted generated code
+        self.block_bounds = namespace["block_bounds"]
+        self.instances = namespace["instances"]
+
+    def feasible(self, env: dict[str, int]) -> bool:
+        return all(c.evaluate(env) for c in self.residual)
+
+
+class BlockSchedule:
+    """Reusable compiled schedule for one shackle over one program."""
+
+    def __init__(self, shackle) -> None:
+        self.shackle = shackle
+        self.program = shackle.factors()[0].program
+        names = block_var_names(shackle, "")
+        self.block_vars = [n for group in names for n in group]
+        self.walkers: list[_StatementWalker] = []
+        for ctx in statement_contexts(self.program):
+            system = iteration_domain(ctx, self.program)
+            constraints: list[Constraint] = []
+            for factor, group in zip(shackle.factors(), names):
+                constraints.extend(factor.membership(ctx.label, group))
+            system = system.conjoin(System(constraints))
+            self.walkers.append(_StatementWalker(ctx, system, self.block_vars))
+
+    def blocks(self, env: dict[str, int]) -> Iterator[tuple[int, ...]]:
+        """All block coordinates in ascending traversal order."""
+        active = [w for w in self.walkers if w.feasible(env)]
+        ndims = len(self.block_vars)
+
+        def recurse(prefix: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+            k = len(prefix)
+            if k == ndims:
+                yield prefix
+                return
+            lo = None
+            hi = None
+            for walker in active:
+                wlo, whi = walker.block_bounds(k, prefix, env)
+                if wlo > whi:
+                    continue
+                lo = wlo if lo is None else min(lo, wlo)
+                hi = whi if hi is None else max(hi, whi)
+            if lo is None:
+                return
+            for value in range(lo, hi + 1):
+                yield from recurse(prefix + (value,))
+
+        yield from recurse(())
+
+    def block_instances(
+        self, block: tuple[int, ...], env: dict[str, int]
+    ) -> list[tuple[StatementContext, tuple[int, ...]]]:
+        """Instances shackled to ``block``, in original program order."""
+        collected: list[tuple[tuple, StatementContext, tuple[int, ...]]] = []
+        for walker in self.walkers:
+            if not walker.feasible(env):
+                continue
+            out: list[tuple[int, ...]] = []
+            walker.instances(block, env, out)
+            ctx = walker.ctx
+            for ivec in out:
+                collected.append((ctx.schedule_key(ivec), ctx, ivec))
+        collected.sort(key=lambda t: t[0])
+        return [(ctx, ivec) for _, ctx, ivec in collected]
+
+
+def enumerate_block_instances(
+    shackle, env: dict[str, int], schedule: BlockSchedule | None = None
+) -> Iterator[tuple[tuple[int, ...], list[tuple[StatementContext, tuple[int, ...]]]]]:
+    """Yield ``(block, instances)`` in the shackle's execution order.
+
+    Empty blocks (no shackled instances) are skipped, mirroring the
+    generated code which simply runs zero iterations there.
+    """
+    schedule = schedule or BlockSchedule(shackle)
+    for block in schedule.blocks(env):
+        instances = schedule.block_instances(block, env)
+        if instances:
+            yield block, instances
+
+
+def instance_schedule(
+    shackle, env: dict[str, int], schedule: BlockSchedule | None = None
+) -> list[tuple[tuple[int, ...], StatementContext, tuple[int, ...]]]:
+    """The complete flat execution order: (block, statement, ivec) triples."""
+    out: list[tuple[tuple[int, ...], StatementContext, tuple[int, ...]]] = []
+    for block, instances in enumerate_block_instances(shackle, env, schedule):
+        for ctx, ivec in instances:
+            out.append((block, ctx, ivec))
+    return out

@@ -1,0 +1,116 @@
+"""Legality of data shackles — Theorem 1 of the paper, decided exactly.
+
+A shackle (or product of shackles) maps statement instances to a totally
+ordered set of traversal coordinates.  It is legal iff for every
+dependence ``(S1, u) -> (S2, v)``, the conjunction of
+
+* the dependence polyhedron (both domains, subscript equality, original
+  execution order), and
+* "the block of the target is touched strictly before the block of the
+  source" (a lexicographic disjunction over the concatenated traversal
+  coordinates of all factors)
+
+has no integer solution.  Instances mapped to the *same* block run in
+original program order, so equality of coordinates is never a violation —
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.product import block_var_names
+from repro.dependence.analysis import Dependence, compute_dependences
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.omega import integer_feasible, integer_sample
+
+
+@dataclass
+class Violation:
+    """A dependence broken by the shackle, with the violating system."""
+
+    dependence: Dependence
+    lex_position: int  # which traversal coordinate strictly decreases
+    system: System = field(repr=False)
+
+    def witness(self) -> dict[str, int] | None:
+        """A concrete violating pair of instances (solves the system)."""
+        return integer_sample(self.system)
+
+    def describe(self) -> str:
+        return (
+            f"violates {self.dependence.describe()} at traversal coordinate "
+            f"{self.lex_position}"
+        )
+
+
+@dataclass
+class LegalityResult:
+    """Outcome of a legality check; truthy iff the shackle is legal."""
+
+    shackle: object
+    violations: list[Violation]
+    checked_dependences: int
+
+    @property
+    def legal(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.legal
+
+    def explain(self) -> str:
+        if self.legal:
+            return f"legal ({self.checked_dependences} dependences respected)"
+        lines = [f"ILLEGAL ({len(self.violations)} violated dependence levels):"]
+        lines.extend("  " + v.describe() for v in self.violations)
+        return "\n".join(lines)
+
+
+def _memberships(shackle, ctx_label, loop_vars, suffix, names) -> System:
+    rename = {v: v + suffix for v in loop_vars}
+    constraints: list[Constraint] = []
+    for factor, factor_names in zip(shackle.factors(), names):
+        constraints.extend(factor.membership(ctx_label, factor_names, rename))
+    return System(constraints)
+
+
+def check_legality(
+    shackle,
+    dependences: list[Dependence] | None = None,
+    first_violation_only: bool = False,
+) -> LegalityResult:
+    """Decide Theorem-1 legality of a shackle or product.
+
+    ``dependences`` may be precomputed (e.g. when checking many candidate
+    shackles of the same program, as the search driver does).
+    """
+    program = shackle.factors()[0].program
+    if dependences is None:
+        dependences = compute_dependences(program)
+
+    src_names = block_var_names(shackle, "s")
+    tgt_names = block_var_names(shackle, "t")
+    flat_src = [n for group in src_names for n in group]
+    flat_tgt = [n for group in tgt_names for n in group]
+
+    violations: list[Violation] = []
+    for dep in dependences:
+        base = dep.system.conjoin(
+            _memberships(shackle, dep.src.label, dep.src.loop_vars, "__s", src_names),
+            _memberships(shackle, dep.tgt.label, dep.tgt.loop_vars, "__t", tgt_names),
+        )
+        # M(S2, v) < M(S1, u) lexicographically: disjunction over the
+        # position k of the first strictly smaller coordinate.
+        for k in range(len(flat_src)):
+            constraints: list[Constraint] = []
+            for i in range(k):
+                constraints.append(Constraint.eq({flat_tgt[i]: 1, flat_src[i]: -1}, 0))
+            constraints.append(Constraint.ge({flat_src[k]: 1, flat_tgt[k]: -1}, -1))
+            candidate = base.conjoin(System(constraints))
+            if integer_feasible(candidate):
+                violations.append(Violation(dep, k, candidate))
+                if first_violation_only:
+                    return LegalityResult(shackle, violations, len(dependences))
+                break  # one violating level per dependence is enough to report
+    return LegalityResult(shackle, violations, len(dependences))

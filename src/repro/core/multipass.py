@@ -1,0 +1,94 @@
+"""Multi-pass shackling (Section 8 of the paper).
+
+A shackled reference makes a single sweep through the blocked array,
+which is inadequate for relaxation-style codes "in which an array
+element is eventually affected by every other element".  The paper's
+proposed solution, implemented here:
+
+    rather than perform all shackled statement instances when we touch a
+    block, we can perform only those instances for which dependences
+    have been satisfied.  The array is traversed repeatedly till all
+    instances are performed.
+
+:func:`multipass_schedule` executes exactly that discipline and reports
+the number of sweeps needed.  Dependences are resolved at instance level
+for the given (small) parameter binding, so this is a reference
+executor for studying the technique, not a production scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instances import BlockSchedule
+from repro.dependence.oracle import brute_force_dependences
+from repro.ir.analysis import StatementContext
+
+
+@dataclass
+class MultipassResult:
+    """The multi-pass execution order and sweep count."""
+
+    schedule: list[tuple[int, tuple[int, ...], StatementContext, tuple[int, ...]]]
+    passes: int
+
+    def instance_order(self) -> list[tuple[str, tuple[int, ...]]]:
+        return [(ctx.label, ivec) for _, _, ctx, ivec in self.schedule]
+
+
+def multipass_schedule(shackle, env: dict[str, int], max_passes: int | None = None) -> MultipassResult:
+    """Execute the shackle in repeated sweeps, deferring unready instances.
+
+    Each sweep visits the blocks in traversal order; an instance runs the
+    first time its block is visited with every dependence predecessor
+    already executed.  Raises if ``max_passes`` sweeps do not finish, or
+    if a sweep makes no progress (cannot happen for programs whose
+    original order satisfies all dependences, but guarded defensively).
+    """
+    program = shackle.factors()[0].program
+    block_schedule = BlockSchedule(shackle)
+
+    predecessors: dict[tuple[str, tuple[int, ...]], set] = {}
+    for _, src_label, src_ivec, tgt_label, tgt_ivec in brute_force_dependences(program, env):
+        predecessors.setdefault((tgt_label, tgt_ivec), set()).add((src_label, src_ivec))
+
+    blocks = [
+        (block, block_schedule.block_instances(block, env))
+        for block in block_schedule.blocks(env)
+    ]
+    blocks = [(b, insts) for b, insts in blocks if insts]
+    total = sum(len(insts) for _, insts in blocks)
+
+    executed: set[tuple[str, tuple[int, ...]]] = set()
+    schedule: list[tuple[int, tuple[int, ...], StatementContext, tuple[int, ...]]] = []
+    passes = 0
+    while len(executed) < total:
+        passes += 1
+        if max_passes is not None and passes > max_passes:
+            raise RuntimeError(f"did not finish within {max_passes} passes")
+        progressed = False
+        for block, instances in blocks:
+            # Within a block visit, keep draining newly-ready instances in
+            # program order until none fire (instances inside one block may
+            # enable each other).
+            changed = True
+            while changed:
+                changed = False
+                for ctx, ivec in instances:
+                    key = (ctx.label, ivec)
+                    if key in executed:
+                        continue
+                    if predecessors.get(key, set()) <= executed:
+                        executed.add(key)
+                        schedule.append((passes, block, ctx, ivec))
+                        changed = True
+                        progressed = True
+        if not progressed:  # pragma: no cover - defensive
+            raise RuntimeError("no progress in a sweep; dependence cycle?")
+    return MultipassResult(schedule, passes)
+
+
+def single_sweep_suffices(shackle, env: dict[str, int]) -> bool:
+    """True iff one sweep executes everything (i.e. the shackle is legal
+    at this parameter binding)."""
+    return multipass_schedule(shackle, env).passes == 1

@@ -1,0 +1,134 @@
+"""Automatic shackle search (the paper's Section 8 "ongoing work").
+
+The paper leaves automation open but sketches the method we implement:
+enumerate plausible data shackles, test each for legality, and rank the
+legal ones.  Candidates are built by choosing, per statement, one of its
+references to the blocked array.  Ranking uses Theorem 2 as a static cost
+model: fewer unconstrained references means more of the computation's
+data traffic is bounded by the block size.
+
+Products are explored greedily: starting from the best single shackle,
+extend the product with further legal shackles while some reference
+remains unconstrained ("if there is no statement left which has an
+unconstrained reference, there is no benefit to extending the product").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.blocking import DataBlocking
+from repro.core.legality import check_legality
+from repro.core.product import ShackleProduct
+from repro.core.shackle import DataShackle
+from repro.core.span import unconstrained_references
+from repro.dependence.analysis import compute_dependences
+from repro.ir.analysis import statement_contexts
+from repro.ir.nodes import Program
+
+
+@dataclass
+class SearchResult:
+    """A ranked legal shackle (or product) candidate."""
+
+    shackle: object
+    unconstrained: int
+    choices: dict[str, str]
+
+    def describe(self) -> str:
+        picks = ", ".join(f"{label}:{ref}" for label, ref in sorted(self.choices.items()))
+        return f"[{picks}] unconstrained={self.unconstrained}"
+
+
+def candidate_choices(program: Program, array: str) -> list[dict]:
+    """All per-statement reference choices to ``array`` (paper Section 6.1).
+
+    Statements that never touch ``array`` make a candidate invalid unless
+    the caller supplies dummies, so such programs yield no candidates here.
+    """
+    per_statement: list[list] = []
+    labels: list[str] = []
+    for ctx in statement_contexts(program):
+        refs = []
+        seen = set()
+        for ref in ctx.statement.references():
+            if ref.array == array and ref not in seen:
+                seen.add(ref)
+                refs.append(ref)
+        if not refs:
+            return []
+        per_statement.append(refs)
+        labels.append(ctx.label)
+    return [dict(zip(labels, combo)) for combo in itertools.product(*per_statement)]
+
+
+def search_shackles(
+    program: Program,
+    blocking: DataBlocking | list[DataBlocking],
+    max_product: int = 2,
+) -> list[SearchResult]:
+    """Enumerate and rank legal shackles of ``program``.
+
+    ``blocking`` is either a list of candidate blockings, or a single one
+    — in which case same-spacing axis-aligned blockings of every other
+    array in the program are added automatically, so that products like
+    the paper's C x A matmul shackle are reachable.
+
+    Returns legal candidates sorted best-first (fewest Theorem-2
+    unconstrained references, then smallest product).  Products up to
+    ``max_product`` factors are explored greedily from the best single
+    shackles.
+    """
+    if isinstance(blocking, DataBlocking):
+        spacing = blocking.planes[0].spacing
+        blockings = [blocking]
+        for array in program.arrays.values():
+            if array.name != blocking.array:
+                blockings.append(DataBlocking.grid(array.name, array.ndim, spacing))
+    else:
+        blockings = list(blocking)
+
+    dependences = compute_dependences(program)
+    singles: list[tuple[DataShackle, dict]] = []
+    for candidate_blocking in blockings:
+        for choice in candidate_choices(program, candidate_blocking.array):
+            shackle = DataShackle(program, candidate_blocking, choice)
+            if check_legality(shackle, dependences, first_violation_only=True):
+                singles.append((shackle, choice))
+
+    results: list[SearchResult] = []
+    for shackle, choice in singles:
+        results.append(
+            SearchResult(
+                shackle,
+                len(unconstrained_references(shackle)),
+                {k: str(v) for k, v in choice.items()},
+            )
+        )
+
+    # Greedy product extension: combine legal singles pairwise (and deeper)
+    # while unconstrained references remain.  A product of individually
+    # legal shackles is always legal (Section 6), so no re-check is needed
+    # for these combinations.
+    frontier = [
+        (res.shackle, dict(res.choices)) for res in results if res.unconstrained > 0
+    ]
+    depth = 1
+    while depth < max_product and frontier:
+        next_frontier = []
+        for shackle, choices in frontier:
+            for single, choice in singles:
+                product = ShackleProduct(shackle, single)
+                merged = dict(choices)
+                for k, v in choice.items():
+                    merged[k] = merged[k] + "*" + str(v)
+                unconstrained = len(unconstrained_references(product))
+                results.append(SearchResult(product, unconstrained, merged))
+                if unconstrained > 0:
+                    next_frontier.append((product, merged))
+        frontier = next_frontier
+        depth += 1
+
+    results.sort(key=lambda r: (r.unconstrained, len(r.shackle.factors())))
+    return results

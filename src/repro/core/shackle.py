@@ -1,0 +1,151 @@
+"""Data shackles: binding statement references to a data blocking.
+
+Definition 1 of the paper, in code: a shackle is (i) a blocked data
+object, (ii) an order of enumeration of the blocks (folded into the
+blocking's traversal directions), and (iii) for each statement, a chosen
+reference of the blocked array — when a block is touched, all instances
+whose chosen reference lands in the block are performed, in original
+program order.
+
+Statements that do not reference the blocked array receive a *dummy
+reference* (the paper's ``+ 0*B[I,J]`` trick): a list of affine subscript
+functions supplied by the caller, irrelevant to the computation but
+determining when those instances run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.blocking import DataBlocking
+from repro.ir.analysis import StatementContext, statement_contexts
+from repro.ir.expr import Affine, Ref
+from repro.ir.nodes import Program
+from repro.polyhedra.constraints import Constraint
+
+
+class DataShackle:
+    """One shackle: a blocking plus a chosen reference per statement."""
+
+    def __init__(
+        self,
+        program: Program,
+        blocking: DataBlocking,
+        ref_choice: Mapping[str, Ref] | None = None,
+        dummies: Mapping[str, Sequence[Affine | str | int]] | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.program = program
+        self.blocking = blocking
+        self.name = name or f"shackle({blocking.array})"
+        self._contexts = {c.label: c for c in statement_contexts(program)}
+
+        self.ref_choice: dict[str, Ref] = dict(ref_choice or {})
+        self.dummies: dict[str, tuple[Affine, ...]] = {
+            label: tuple(Affine.lift(a) for a in affines)
+            for label, affines in (dummies or {}).items()
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        array = self.blocking.array
+        if array not in self.program.arrays:
+            raise ValueError(f"blocked array {array!r} is not declared in the program")
+        if self.program.arrays[array].ndim != self.blocking.array_ndim:
+            raise ValueError(f"blocking rank does not match array {array!r}")
+        for label, ref in self.ref_choice.items():
+            ctx = self._context(label)
+            if ref.array != array:
+                raise ValueError(f"chosen reference {ref} is not to the blocked array {array!r}")
+            if ref not in ctx.statement.references():
+                raise ValueError(f"{ref} does not occur in statement {label}")
+        for label, affines in self.dummies.items():
+            ctx = self._context(label)
+            if len(affines) != self.blocking.array_ndim:
+                raise ValueError(f"dummy reference for {label} has wrong arity")
+            scope = set(ctx.loop_vars) | set(self.program.params)
+            for a in affines:
+                if a.variables() - scope:
+                    raise ValueError(f"dummy reference for {label} uses unbound variables")
+        for label in self._contexts:
+            if label not in self.ref_choice and label not in self.dummies:
+                raise ValueError(
+                    f"statement {label} has neither a chosen reference nor a dummy; "
+                    f"every statement must be shackled"
+                )
+
+    def _context(self, label: str) -> StatementContext:
+        if label not in self._contexts:
+            raise ValueError(f"no statement labelled {label!r}")
+        return self._contexts[label]
+
+    # -- interface used by legality / codegen / execution -----------------------------
+
+    def factors(self) -> list["DataShackle"]:
+        return [self]
+
+    @property
+    def num_block_dims(self) -> int:
+        return self.blocking.num_dims
+
+    def subscripts(self, label: str) -> tuple[Affine, ...]:
+        """The chosen (or dummy) subscript functions for a statement."""
+        if label in self.ref_choice:
+            return self.ref_choice[label].indices
+        return self.dummies[label]
+
+    def membership(
+        self, label: str, block_vars: Sequence[str], rename: Mapping[str, str] | None = None
+    ) -> list[Constraint]:
+        """Constraints tying ``label``'s instances to traversal coords."""
+        indices = self.subscripts(label)
+        if rename:
+            indices = tuple(a.rename(rename) for a in indices)
+        return self.blocking.membership_constraints(indices, block_vars)
+
+    def __repr__(self) -> str:
+        return f"DataShackle({self.name}: {self.blocking!r})"
+
+
+def shackle_refs(
+    program: Program,
+    blocking: DataBlocking,
+    choice: Mapping[str, str | Ref] | str = "lhs",
+    dummies: Mapping[str, Sequence[Affine | str | int]] | None = None,
+    name: str | None = None,
+) -> DataShackle:
+    """Convenience constructor for common reference choices.
+
+    ``choice`` may be:
+
+    * ``"lhs"`` — shackle every statement's left-hand-side reference
+      (statements whose lhs is a different array must appear in
+      ``dummies`` or reference the blocked array somewhere ... their lhs
+      must be to the blocked array, otherwise supply an explicit choice);
+    * a mapping from statement label to a reference, given either as a
+      :class:`Ref` or as source text like ``"A[L,K]"``.
+    """
+    ref_choice: dict[str, Ref] = {}
+    if choice == "lhs":
+        for ctx in statement_contexts(program):
+            if ctx.statement.lhs.array == blocking.array:
+                ref_choice[ctx.label] = ctx.statement.lhs
+            elif dummies is None or ctx.label not in dummies:
+                raise ValueError(
+                    f"statement {ctx.label} does not write {blocking.array}; "
+                    f"provide an explicit choice or a dummy reference"
+                )
+    else:
+        for label, ref in choice.items():
+            ref_choice[label] = _parse_ref(ref) if isinstance(ref, str) else ref
+    return DataShackle(program, blocking, ref_choice, dummies=dummies, name=name)
+
+
+def _parse_ref(text: str) -> Ref:
+    from repro.ir.parser import ParseError, _ExprParser, _tokenize
+
+    parser = _ExprParser(_tokenize(text, 0), 0)
+    ref = parser.parse_atom()
+    if not isinstance(ref, Ref) or not parser.at_end():
+        raise ParseError(f"{text!r} is not an array reference")
+    return ref

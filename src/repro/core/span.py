@@ -1,0 +1,62 @@
+"""Theorem 2: which references does a shackle leave unconstrained?
+
+For a statement with shackled access matrices ``F1..Fn`` and another
+reference with access matrix ``F``, the data touched by ``F`` is bounded
+by the block-size parameters iff every row of ``F`` is spanned by the
+rows of ``F1..Fn``.  This drives the paper's product-sizing heuristic:
+extend the Cartesian product while some statement still has an
+unconstrained reference; stop when none remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.analysis import statement_contexts
+from repro.ir.expr import Ref
+from repro.linalg import FracMatrix
+
+
+@dataclass
+class ReferenceStatus:
+    """Whether one reference is bounded under a shackle."""
+
+    label: str
+    ref: Ref
+    bounded: bool
+
+
+def _shackled_rows(shackle, ctx) -> list[list]:
+    rows: list[list] = []
+    for factor in shackle.factors():
+        for affine in factor.subscripts(ctx.label):
+            rows.append([affine.coeff(v) for v in ctx.loop_vars])
+    return rows
+
+
+def reference_statuses(shackle) -> list[ReferenceStatus]:
+    """Theorem-2 status of every reference of every statement."""
+    program = shackle.factors()[0].program
+    out: list[ReferenceStatus] = []
+    for ctx in statement_contexts(program):
+        span = FracMatrix(_shackled_rows(shackle, ctx))
+        for ref in ctx.statement.references():
+            rows = [[idx.coeff(v) for v in ctx.loop_vars] for idx in ref.indices]
+            bounded = all(span.row_space_contains(row) for row in rows)
+            out.append(ReferenceStatus(ctx.label, ref, bounded))
+    return out
+
+
+def unconstrained_references(shackle) -> list[ReferenceStatus]:
+    """References whose data is NOT bounded by block-size parameters."""
+    return [s for s in reference_statuses(shackle) if not s.bounded]
+
+
+def fully_constrained(shackle) -> bool:
+    """True iff no statement has an unconstrained reference.
+
+    The paper's guidance: "If there is no statement left which has an
+    unconstrained reference, then there is no benefit to be obtained from
+    extending the product."
+    """
+    return not unconstrained_references(shackle)

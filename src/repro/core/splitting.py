@@ -1,0 +1,256 @@
+"""Index-set splitting for shackled code (the paper's Figure 7 form).
+
+The paper's Cholesky figure is produced by the Omega calculator, which
+splits loop ranges at block boundaries so that each region carries no
+guards: updates-from-the-left / baby-Cholesky on the diagonal block,
+then updates / scale-and-update on the off-diagonal blocks (Figure 8).
+
+:func:`split_code` reproduces that: every loop (block loops included) is
+split at boundary expressions derived from the per-statement polyhedra —
+the projections of each statement's (domain and membership) system onto
+the loop variable.  Boundaries must form a provably totally ordered
+chain in context (decided exactly); each segment is then regenerated
+with the segment constraints in context, so guards vanish into bounds
+and infeasible statements disappear.  The instance execution order is
+unchanged — segments partition each range in increasing order.
+
+Statement labels may appear in several segments of the output; copies
+denote the same source statement restricted to disjoint index sets.
+"""
+
+from __future__ import annotations
+
+from repro.core.codegen import (
+    _block_loop_specs,
+    _fold_shared_guards,
+    _fresh_block_names,
+    _memberships_flat,
+    _merge_guards,
+    _prune_loop_bounds,
+    _tighten_loop,
+    collapse_degenerate_loops,
+)
+from repro.ir.analysis import iteration_domain, statement_contexts
+from repro.ir.expr import Affine, DivBound
+from repro.ir.nodes import Guard, Loop, Node, Program, Statement
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.fourier_motzkin import project
+from repro.polyhedra.omega import integer_feasible
+from repro.polyhedra.scan import scan_bounds
+from repro.polyhedra.simplify import gist, implies
+
+
+def _affine_le(a: Affine, b: Affine) -> Constraint:
+    diff = b - a
+    return Constraint.ge(diff.coeffs, diff.const)
+
+
+class _SplitBuilder:
+    def __init__(self, shackle, max_segments: int = 6) -> None:
+        self.shackle = shackle
+        self.program = shackle.factors()[0].program
+        self.names = _fresh_block_names(shackle)
+        self.specs = _block_loop_specs(shackle, self.names)
+        self.max_segments = max_segments
+        self.params = set(self.program.params)
+        self.systems: dict[str, System] = {}
+        self.contexts = {}
+        for ctx in statement_contexts(self.program):
+            membership = System(_memberships_flat(shackle, ctx.label, self.names))
+            self.systems[ctx.label] = iteration_domain(ctx, self.program).conjoin(membership)
+            self.contexts[ctx.label] = ctx
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _labels_under(self, nodes: list[Node]) -> list[str]:
+        out: list[str] = []
+
+        def walk(ns):
+            for n in ns:
+                if isinstance(n, Statement):
+                    out.append(n.label)
+                elif isinstance(n, (Loop, Guard)):
+                    walk(n.body)
+
+        walk(nodes)
+        return out
+
+    def _feasible(self, label: str, context: System) -> bool:
+        return integer_feasible(self.systems[label].conjoin(context))
+
+    def _boundaries(
+        self, labels: list[str], context: System, var: str, scope: set[str]
+    ) -> list[Affine]:
+        """Candidate split starts for ``var`` from per-statement projections."""
+        allowed = scope | self.params
+        seen: dict[tuple, Affine] = {}
+        for label in labels:
+            system = self.systems[label].conjoin(context)
+            projected = project(system, allowed | {var})
+            bounds, _ = scan_bounds(projected, [var], prune=True)
+            for b in bounds[0].lowers:
+                if b.den == 1 and set(b.coeffs) <= allowed:
+                    start = Affine(b.coeffs, b.const)
+                    seen.setdefault(start._key(), start)
+            for b in bounds[0].uppers:
+                if b.den == 1 and set(b.coeffs) <= allowed:
+                    start = Affine(b.coeffs, b.const) + 1
+                    seen.setdefault(start._key(), start)
+        return list(seen.values())
+
+    def _useful(self, boundary: Affine, loop: Loop, context: System) -> bool:
+        """Discard boundaries provably at/outside the loop's range.
+
+        A boundary past some upper bound (or at/below some lower bound)
+        cannot start a distinct non-empty segment, and keeping it often
+        breaks the total-order requirement (e.g. ``N+1`` vs ``64*t1+1``).
+        """
+        for u in loop.uppers:
+            # boundary > floor(aff/den)  <=>  den*boundary >= aff + 1
+            diff = boundary * u.den - u.affine
+            if implies(context, Constraint.ge(diff.coeffs, diff.const - 1)):
+                return False
+        for l in loop.lowers:
+            # boundary <= ceil(aff/den)  <=>  aff - den*(boundary - 1) >= 1
+            diff = l.affine - boundary * l.den + l.den
+            if implies(context, Constraint.ge(diff.coeffs, diff.const - 1)):
+                return False
+        return True
+
+    def _chain(self, boundaries: list[Affine], context: System) -> list[Affine] | None:
+        """Greedily build a provably totally ordered boundary chain.
+
+        Boundaries that are incomparable (in context) with an already
+        placed one are skipped — splitting there would need runtime
+        min/max region tests, which the paper's figures never require.
+        """
+        ordered: list[Affine] = []
+        for b in boundaries:
+            if len(ordered) >= self.max_segments:
+                break
+            placed = False
+            comparable = True
+            position = len(ordered)
+            for i, existing in enumerate(ordered):
+                le = implies(context, _affine_le(b, existing))
+                ge = implies(context, _affine_le(existing, b))
+                if le and ge:
+                    placed = True  # equal in context: drop duplicate
+                    break
+                if le and position == len(ordered):
+                    position = i
+                if not le and not ge:
+                    comparable = False
+                    break
+            if placed or not comparable:
+                continue
+            ordered.insert(position, b)
+        return ordered or None
+
+    # -- rebuilding --------------------------------------------------------------
+
+    def build(self) -> Program:
+        body: list[Node] = [
+            Statement(s.label, s.lhs, s.rhs) if isinstance(s, Statement) else s
+            for s in self.program.body
+        ]
+        nest: list[Node] = list(self.program.body)
+        for var, lower, upper in reversed(self.specs):
+            nest = [Loop(var, lower, upper, nest)]
+        out = self.rebuild(nest, System(self.program.assumptions), set())
+        return Program(
+            f"{self.program.name}_shackled_split",
+            params=list(self.program.params),
+            arrays=list(self.program.arrays.values()),
+            body=collapse_degenerate_loops(out),
+            assumptions=list(self.program.assumptions),
+        )
+
+    def rebuild(self, nodes: list[Node], context: System, scope: set[str]) -> list[Node]:
+        out: list[Node] = []
+        for node in nodes:
+            if isinstance(node, Statement):
+                if not self._feasible(node.label, context):
+                    continue
+                reduced = gist(self.systems[node.label], context)
+                stmt = Statement(node.label, node.lhs, node.rhs)
+                if len(reduced):
+                    out.append(Guard(list(reduced), [stmt]))
+                else:
+                    out.append(stmt)
+            elif isinstance(node, Guard):
+                inner_ctx = context.conjoin(System(node.conditions))
+                body = self.rebuild(node.body, inner_ctx, scope)
+                if not body:
+                    continue
+                reduced = gist(System(node.conditions), context)
+                if len(reduced):
+                    out.append(_merge_guards(Guard(list(reduced), body)))
+                else:
+                    out.extend(body)
+            elif isinstance(node, Loop):
+                out.extend(self._rebuild_loop(node, context, scope))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown node {node!r}")
+        return out
+
+    def _rebuild_loop(self, loop: Loop, context: System, scope: set[str]) -> list[Node]:
+        labels = self._labels_under(loop.body)
+        base_ctx = context.conjoin(System(loop.bounds_constraints()))
+        boundaries = self._boundaries(labels, base_ctx, loop.var, scope)
+        boundaries = [b for b in boundaries if self._useful(b, loop, context)]
+        chain = self._chain(boundaries, base_ctx)
+        segments: list[tuple[list[DivBound], list[DivBound]]] = []
+        if chain:
+            starts = chain
+            for i, start in enumerate(starts):
+                extra_lo = [DivBound(start)]
+                extra_hi = (
+                    [DivBound(starts[i + 1] - 1)] if i + 1 < len(starts) else []
+                )
+                segments.append((extra_lo, extra_hi))
+            # Leading segment before the first boundary.
+            segments.insert(0, ([], [DivBound(starts[0] - 1)]))
+        else:
+            segments = [([], [])]
+
+        out: list[Node] = []
+        for extra_lo, extra_hi in segments:
+            seg_loop = Loop(
+                loop.var,
+                list(loop.lowers) + extra_lo,
+                list(loop.uppers) + extra_hi,
+                [],
+            )
+            seg_ctx = context.conjoin(System(seg_loop.bounds_constraints()))
+            if not integer_feasible(seg_ctx):
+                continue
+            if not any(self._feasible(label, seg_ctx) for label in labels):
+                continue
+            body = self.rebuild(loop.body, seg_ctx, scope | {loop.var})
+            if not body:
+                continue
+            seg_loop.body[:] = body
+            tightened = _merge_guards(_tighten_loop(_fold_shared_guards(seg_loop)))
+            if isinstance(tightened, Loop):
+                tightened = _prune_loop_bounds(tightened, context)
+            elif (
+                isinstance(tightened, Guard)
+                and len(tightened.body) == 1
+                and isinstance(tightened.body[0], Loop)
+            ):
+                inner = _prune_loop_bounds(
+                    tightened.body[0], context.conjoin(System(tightened.conditions))
+                )
+                tightened = Guard(tightened.conditions, [inner])
+            out.append(tightened)
+        return out
+
+
+def split_code(shackle, name: str | None = None, max_segments: int = 6) -> Program:
+    """Generate shackled code with index-set splitting (Figure 7 style)."""
+    builder = _SplitBuilder(shackle, max_segments=max_segments)
+    program = builder.build()
+    if name:
+        program.name = name
+    return program

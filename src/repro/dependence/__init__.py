@@ -1,0 +1,21 @@
+"""Affine dependence analysis for (imperfectly) nested loop programs.
+
+Because shackling applies to imperfectly nested loops, dependences cannot
+be summarized by distance/direction vectors alone (Section 5 of the
+paper); instead each dependence is kept as a *polyhedron* over the source
+and target iteration vectors, and legality questions become integer
+feasibility queries on those polyhedra.
+"""
+
+from repro.dependence.analysis import Dependence, compute_dependences
+from repro.dependence.direction import carried_component_sign, loops_fully_permutable
+from repro.dependence.oracle import brute_force_dependences, enumerate_instances
+
+__all__ = [
+    "Dependence",
+    "brute_force_dependences",
+    "carried_component_sign",
+    "compute_dependences",
+    "enumerate_instances",
+    "loops_fully_permutable",
+]

@@ -1,0 +1,160 @@
+"""Dependence polyhedra between statement instances.
+
+For every pair of references to the same array (at least one a write) and
+every dependence level — carried by a common loop, or loop-independent —
+we build the conjunction of:
+
+* both statements' iteration domains (source variables renamed ``v__s``,
+  target variables ``v__t``; parameters shared);
+* subscript equality (same array element);
+* the ordering constraints of that level (equal outer counters, strictly
+  smaller source counter at the carrying loop; or all equal plus textual
+  order for loop-independent dependences).
+
+A :class:`Dependence` is recorded whenever the conjunction has an integer
+solution.  This is exactly the formulation of Section 5.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.analysis import (
+    StatementContext,
+    common_loop_depth,
+    iteration_domain,
+    statement_contexts,
+    textually_before,
+)
+from repro.ir.expr import Affine, Ref
+from repro.ir.nodes import Program
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.omega import integer_feasible
+
+SRC_SUFFIX = "__s"
+TGT_SUFFIX = "__t"
+
+
+def src_name(var: str) -> str:
+    return var + SRC_SUFFIX
+
+
+def tgt_name(var: str) -> str:
+    return var + TGT_SUFFIX
+
+
+@dataclass
+class Dependence:
+    """One dependence level between two references.
+
+    ``level`` is the 1-based index of the carrying common loop, or ``None``
+    for a loop-independent dependence.  ``system`` constrains the renamed
+    source/target iteration variables plus the shared parameters.
+    """
+
+    kind: str  # "flow" | "anti" | "output"
+    src: StatementContext
+    tgt: StatementContext
+    src_ref: Ref
+    tgt_ref: Ref
+    level: int | None
+    system: System = field(repr=False)
+
+    @property
+    def array(self) -> str:
+        return self.src_ref.array
+
+    @property
+    def src_vars(self) -> list[str]:
+        return [src_name(v) for v in self.src.loop_vars]
+
+    @property
+    def tgt_vars(self) -> list[str]:
+        return [tgt_name(v) for v in self.tgt.loop_vars]
+
+    def describe(self) -> str:
+        lvl = "independent" if self.level is None else f"level {self.level}"
+        return (
+            f"{self.kind} {self.src.label}:{self.src_ref} -> "
+            f"{self.tgt.label}:{self.tgt_ref} ({lvl})"
+        )
+
+
+def _rename_affine(affine: Affine, loop_vars: list[str], suffix: str) -> Affine:
+    return affine.rename({v: v + suffix for v in loop_vars})
+
+
+def _renamed_domain(ctx: StatementContext, program: Program, suffix: str) -> System:
+    dom = iteration_domain(ctx, program)
+    return dom.rename({v: v + suffix for v in ctx.loop_vars})
+
+
+def _subscript_equality(src_ref: Ref, tgt_ref: Ref, src_ctx, tgt_ctx) -> list[Constraint]:
+    out: list[Constraint] = []
+    for a, b in zip(src_ref.indices, tgt_ref.indices):
+        lhs = _rename_affine(a, src_ctx.loop_vars, SRC_SUFFIX)
+        rhs = _rename_affine(b, tgt_ctx.loop_vars, TGT_SUFFIX)
+        diff = lhs - rhs
+        out.append(Constraint.eq(diff.coeffs, diff.const))
+    return out
+
+
+def _order_levels(src: StatementContext, tgt: StatementContext) -> list[tuple[int | None, list[Constraint]]]:
+    """All (level, constraints) alternatives for 'src executes before tgt'."""
+    common = common_loop_depth(src, tgt)
+    levels: list[tuple[int | None, list[Constraint]]] = []
+    for carry in range(1, common + 1):
+        constraints: list[Constraint] = []
+        for i in range(carry - 1):
+            v = src.loop_vars[i]
+            constraints.append(Constraint.eq({src_name(v): 1, tgt_name(v): -1}, 0))
+        v = src.loop_vars[carry - 1]
+        # src counter < tgt counter at the carrying loop.
+        constraints.append(Constraint.ge({tgt_name(v): 1, src_name(v): -1}, -1))
+        levels.append((carry, constraints))
+    if textually_before(src, tgt, common):
+        constraints = []
+        for i in range(common):
+            v = src.loop_vars[i]
+            constraints.append(Constraint.eq({src_name(v): 1, tgt_name(v): -1}, 0))
+        levels.append((None, constraints))
+    return levels
+
+
+def _reference_pairs(src: StatementContext, tgt: StatementContext):
+    """(kind, src_ref, tgt_ref) pairs with at least one write."""
+    src_write = src.statement.lhs
+    tgt_write = tgt.statement.lhs
+    pairs: list[tuple[str, Ref, Ref]] = []
+    for read in tgt.statement.reads():
+        if read.array == src_write.array:
+            pairs.append(("flow", src_write, read))
+    for read in src.statement.reads():
+        if read.array == tgt_write.array:
+            pairs.append(("anti", read, tgt_write))
+    if src_write.array == tgt_write.array:
+        pairs.append(("output", src_write, tgt_write))
+    return pairs
+
+
+def compute_dependences(program: Program, arrays: set[str] | None = None) -> list[Dependence]:
+    """All dependence levels in ``program`` (optionally restricted to arrays)."""
+    contexts = statement_contexts(program)
+    out: list[Dependence] = []
+    for src in contexts:
+        for tgt in contexts:
+            for kind, src_ref, tgt_ref in _reference_pairs(src, tgt):
+                if arrays is not None and src_ref.array not in arrays:
+                    continue
+                base = (
+                    _renamed_domain(src, program, SRC_SUFFIX)
+                    .conjoin(_renamed_domain(tgt, program, TGT_SUFFIX))
+                    .conjoin(System(_subscript_equality(src_ref, tgt_ref, src, tgt)))
+                )
+                for level, order in _order_levels(src, tgt):
+                    system = base.conjoin(System(order))
+                    if integer_feasible(system):
+                        out.append(
+                            Dependence(kind, src, tgt, src_ref, tgt_ref, level, system)
+                        )
+    return out

@@ -1,0 +1,60 @@
+"""Direction information for perfectly nested loops.
+
+The control-centric baseline (iteration-space tiling, Section 3 of the
+paper) needs classic legality conditions: a band of loops may be tiled iff
+it is *fully permutable*, i.e. no dependence carried within the band has a
+negative component in any band loop.  We answer those questions with
+integer feasibility queries on the dependence polyhedra rather than with
+direction-vector abstractions, which keeps the machinery exact.
+"""
+
+from __future__ import annotations
+
+from repro.dependence.analysis import Dependence, src_name, tgt_name
+from repro.polyhedra.constraints import Constraint
+from repro.polyhedra.omega import integer_feasible
+
+
+def carried_component_sign(dep: Dependence, loop_index: int) -> set[str]:
+    """Possible signs of ``tgt - src`` at common loop ``loop_index`` (0-based).
+
+    Returns a subset of {"<", "=", ">"} — e.g. {"<"} means the target
+    counter is always strictly larger.
+    """
+    var = dep.src.loop_vars[loop_index]
+    if dep.tgt.loop_vars[loop_index] != var:
+        raise ValueError("loop_index beyond the common nest of this dependence")
+    diff = {tgt_name(var): 1, src_name(var): -1}
+    signs: set[str] = set()
+    if integer_feasible(dep.system.conjoin(Constraint.ge(diff, -1))):
+        signs.add("<")
+    if integer_feasible(dep.system.conjoin(Constraint.eq(diff, 0))):
+        signs.add("=")
+    if integer_feasible(dep.system.conjoin(Constraint.ge({k: -v for k, v in diff.items()}, -1))):
+        signs.add(">")
+    return signs
+
+
+def loops_fully_permutable(dependences: list[Dependence], band: range) -> bool:
+    """True iff the loops in ``band`` (0-based indices) are fully permutable.
+
+    Standard condition: every dependence carried at a level inside the band
+    must have non-negative components at *all* band levels.
+    """
+    for dep in dependences:
+        if dep.level is None:
+            continue
+        level0 = dep.level - 1
+        if level0 not in band:
+            continue
+        for i in band:
+            if i >= min(dep.src.depth, dep.tgt.depth):
+                continue
+            try:
+                signs = carried_component_sign(dep, i)
+            except ValueError:
+                # Differently-named loops at this level: not a common band.
+                return False
+            if ">" in signs:
+                return False
+    return True

@@ -1,0 +1,96 @@
+"""Brute-force dependence oracle and instance enumeration.
+
+These utilities interpret the *access pattern* of a program directly for
+concrete parameter values.  They are deliberately naive: the test suite
+uses them as ground truth against the polyhedral analyses.
+"""
+
+from __future__ import annotations
+
+from repro.ir.analysis import StatementContext, iteration_domain, statement_contexts
+from repro.ir.expr import Ref
+from repro.ir.nodes import Program
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.omega import enumerate_points
+
+
+def enumerate_instances(
+    program: Program, env: dict[str, int]
+) -> list[tuple[StatementContext, tuple[int, ...]]]:
+    """All statement instances in original program order, for fixed params."""
+    contexts = statement_contexts(program)
+    instances: list[tuple[tuple, StatementContext, tuple[int, ...]]] = []
+    for ctx in contexts:
+        dom = iteration_domain(ctx, program)
+        fixed = dom.conjoin(
+            System([Constraint.eq({p: 1}, -v) for p, v in env.items()])
+        )
+        order = list(env.keys()) + ctx.loop_vars
+        for point in enumerate_points(fixed, order):
+            ivec = point[len(env) :]
+            instances.append((ctx.schedule_key(ivec), ctx, ivec))
+    instances.sort(key=lambda t: t[0])
+    return [(ctx, ivec) for _, ctx, ivec in instances]
+
+
+def _accesses(ctx: StatementContext, ivec: tuple[int, ...]):
+    """(ref, element, is_write) triples for one instance."""
+    point = dict(zip(ctx.loop_vars, ivec))
+    out = []
+    write = ctx.statement.lhs
+    out.append((write, _element(write, point), True))
+    for read in ctx.statement.reads():
+        out.append((read, _element(read, point), False))
+    return out
+
+
+def _element(ref: Ref, point: dict[str, int]) -> tuple:
+    return (ref.array,) + tuple(int(i.evaluate(point)) for i in ref.indices)
+
+
+def brute_force_dependences(
+    program: Program, env: dict[str, int]
+) -> set[tuple[str, str, tuple[int, ...], str, tuple[int, ...]]]:
+    """All (kind, src_label, src_ivec, tgt_label, tgt_ivec) pairs.
+
+    Quadratic in the instance count — meant for tiny problem sizes only.
+    """
+    instances = enumerate_instances(program, env)
+    accesses = [
+        (index, ctx, ivec, _accesses(ctx, ivec)) for index, (ctx, ivec) in enumerate(instances)
+    ]
+    out: set[tuple] = set()
+    for i, src_ctx, src_ivec, src_acc in accesses:
+        for j, tgt_ctx, tgt_ivec, tgt_acc in accesses:
+            if j <= i:
+                continue
+            for _, src_elem, src_w in src_acc:
+                for _, tgt_elem, tgt_w in tgt_acc:
+                    if src_elem != tgt_elem:
+                        continue
+                    if src_w and tgt_w:
+                        kind = "output"
+                    elif src_w:
+                        kind = "flow"
+                    elif tgt_w:
+                        kind = "anti"
+                    else:
+                        continue
+                    out.add((kind, src_ctx.label, src_ivec, tgt_ctx.label, tgt_ivec))
+    return out
+
+
+def instantiate_dependences(dependences, env: dict[str, int]) -> set[tuple]:
+    """Expand polyhedral dependences into concrete instance pairs."""
+    out: set[tuple] = set()
+    for dep in dependences:
+        fixed = dep.system.conjoin(
+            System([Constraint.eq({p: 1}, -v) for p, v in env.items()])
+        )
+        order = list(env.keys()) + dep.src_vars + dep.tgt_vars
+        for point in enumerate_points(fixed, order):
+            body = point[len(env) :]
+            src_ivec = body[: len(dep.src_vars)]
+            tgt_ivec = body[len(dep.src_vars) :]
+            out.add((dep.kind, dep.src.label, src_ivec, dep.tgt.label, tgt_ivec))
+    return out

@@ -1,0 +1,12 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+Each ``fig*`` function in :mod:`repro.experiments.figures` regenerates one
+performance figure of the paper on the simulated machine; the code
+figures (3, 5, 6, 7, 10, 14) are covered by golden tests and the
+benchmark suite.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments.harness import Measurement, simulate
+from repro.experiments.report import format_series, print_table
+
+__all__ = ["Measurement", "format_series", "print_table", "simulate"]

@@ -1,0 +1,83 @@
+"""Regenerate every experiment: ``python -m repro.experiments``.
+
+Prints the paper's code figures and performance figures (on the scaled
+simulated machine) plus the ablations.  Use ``--quick`` for smaller
+sweeps, ``--native`` to additionally time C-compiled code on this host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    parser.add_argument("--quick", action="store_true", help="smaller sweeps")
+    parser.add_argument("--native", action="store_true", help="also time C code on this host")
+    parser.add_argument(
+        "--check", action="store_true", help="verify numerics against numpy oracles"
+    )
+    args = parser.parse_args(argv)
+
+    print("=" * 72)
+    print("Code figures")
+    print("=" * 72)
+    for name, text in figures.code_figures().items():
+        print(f"\n--- {name} ---")
+        print(text)
+
+    print("=" * 72)
+    print("Performance figures (simulated machine: sp2-scaled)")
+    print("=" * 72)
+    check = args.check
+    if args.quick:
+        figures.fig11_cholesky(sizes=[24, 48], check=check)
+        figures.fig12_qr(sizes=[16, 32], check=check)
+        figures.fig13_gmtry(n=48, check=check)
+        figures.fig13_adi(sizes=[32, 64], check=check)
+        figures.fig15_banded_cholesky(n=64, bandwidths=[4, 16, 32], check=check)
+        figures.ablation_block_size(n=32)
+        figures.ablation_multilevel(n=48)
+        figures.ablation_shackle_vs_tiling(n=32)
+        figures.ablation_traversal_order(n=32)
+        figures.ablation_data_reshaping(n=32, block=8)
+        figures.ablation_register_blocking(n=24)
+        figures.ablation_associativity(n=32)
+        figures.ablation_writeback_traffic(n=32)
+    else:
+        figures.fig11_cholesky(sizes=[24, 48, 72, 96, 120], check=check)
+        figures.fig12_qr(sizes=[16, 32, 48, 64, 96], check=check)
+        figures.fig13_gmtry(n=80, check=check)
+        figures.fig13_adi(sizes=[32, 64, 96, 128], check=check)
+        figures.fig15_banded_cholesky(n=96, bandwidths=[4, 8, 16, 32, 48], check=check)
+        figures.ablation_block_size(n=48, blocks=[2, 4, 8, 12, 16, 24, 48])
+        figures.ablation_multilevel(n=80)
+        figures.ablation_shackle_vs_tiling(n=48)
+        figures.ablation_traversal_order(n=48)
+        figures.ablation_data_reshaping(n=64, block=8)
+        figures.ablation_register_blocking(n=48)
+        figures.ablation_associativity(n=64, block=8)
+        figures.ablation_writeback_traffic(n=96, block=8)
+
+    if args.native:
+        from repro.backends import c_compiler_available, compile_and_run
+        from repro.core import simplified_code
+        from repro.kernels import matmul
+
+        if c_compiler_available():
+            print("Native C timings (this host, cc -O2), matmul N=384:")
+            prog = matmul.program()
+            blocked = simplified_code(matmul.ca_product(prog, 48))
+            orig = compile_and_run(prog, {"N": 384}, repeats=2)
+            shak = compile_and_run(blocked, {"N": 384}, repeats=2)
+            print(f"  original: {orig.seconds:.4f}s   blocked(48): {shak.seconds:.4f}s")
+        else:
+            print("no C compiler found; skipping --native")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

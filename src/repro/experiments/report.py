@@ -1,0 +1,71 @@
+"""ASCII reporting of experiment results (the paper's figures as tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.harness import Measurement
+
+
+def print_table(rows: Iterable[dict], columns: list[str] | None = None, out=None) -> str:
+    """Render dict rows as a fixed-width ASCII table; returns the text."""
+    rows = list(rows)
+    if not rows:
+        return "(no data)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    lines = [
+        "  ".join(str(c).rjust(widths[c]) for c in columns),
+        "  ".join("-" * widths[c] for c in columns),
+    ]
+    for r in rows:
+        lines.append("  ".join(str(r.get(c, "")).rjust(widths[c]) for c in columns))
+    text = "\n".join(lines) + "\n"
+    if out is not None:
+        out.write(text)
+    else:
+        print(text, end="")
+    return text
+
+
+def format_series(
+    measurements: Iterable[Measurement],
+    x: str,
+    value: str = "mflops",
+    out=None,
+) -> str:
+    """Pivot measurements into an x-vs-variant table (one figure's lines)."""
+    measurements = list(measurements)
+    variants: list[str] = []
+    xs: list = []
+    table: dict[tuple, float] = {}
+    for m in measurements:
+        if m.variant not in variants:
+            variants.append(m.variant)
+        key_x = m.env.get(x, getattr(m, x, None))
+        if key_x not in xs:
+            xs.append(key_x)
+        table[(key_x, m.variant)] = getattr(m, value) if hasattr(m, value) else m.stats[value]
+    rows = []
+    for key_x in xs:
+        row = {x: key_x}
+        for v in variants:
+            cell = table.get((key_x, v))
+            row[v] = round(cell, 2) if isinstance(cell, float) else cell
+        rows.append(row)
+    return print_table(rows, [x] + variants, out=out)
+
+
+def speedup_summary(measurements: Iterable[Measurement], baseline: str) -> dict[str, float]:
+    """Per-variant speedup over the named baseline (matched by env)."""
+    measurements = list(measurements)
+    base = {tuple(sorted(m.env.items())): m.seconds for m in measurements if m.variant == baseline}
+    out: dict[str, list[float]] = {}
+    for m in measurements:
+        if m.variant == baseline:
+            continue
+        key = tuple(sorted(m.env.items()))
+        if key in base and m.seconds > 0:
+            out.setdefault(m.variant, []).append(base[key] / m.seconds)
+    return {v: sum(vals) / len(vals) for v, vals in out.items()}

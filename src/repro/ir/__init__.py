@@ -1,0 +1,53 @@
+"""Loop-nest intermediate representation.
+
+The IR models exactly the programs the paper transforms: imperfectly
+nested ``do`` loops over symbolic parameters, whose statements assign to
+array elements through affine references.  It provides:
+
+* :mod:`repro.ir.expr` — affine index expressions and arithmetic
+  expression trees (the computation inside statements);
+* :mod:`repro.ir.nodes` — ``Program`` / ``Loop`` / ``Guard`` /
+  ``Statement`` nodes;
+* :mod:`repro.ir.builder` — a fluent construction API;
+* :mod:`repro.ir.parser` — a small Fortran-ish textual front end;
+* :mod:`repro.ir.printer` — source reconstruction (used for golden tests
+  against the paper's code figures);
+* :mod:`repro.ir.analysis` — statement contexts, iteration domains,
+  access matrices and 2d+1 schedules.
+"""
+
+from repro.ir.analysis import (
+    StatementContext,
+    access_matrix,
+    iteration_domain,
+    statement_contexts,
+)
+from repro.ir.builder import ProgramBuilder
+from repro.ir.expr import Affine, BinOp, Call, Const, DivBound, Expr, Ref, UnOp, parse_affine
+from repro.ir.nodes import Array, Guard, Loop, Program, Statement
+from repro.ir.parser import parse_program
+from repro.ir.printer import to_source
+
+__all__ = [
+    "Affine",
+    "Array",
+    "BinOp",
+    "Call",
+    "Const",
+    "DivBound",
+    "Expr",
+    "Guard",
+    "Loop",
+    "Program",
+    "ProgramBuilder",
+    "Ref",
+    "Statement",
+    "StatementContext",
+    "UnOp",
+    "access_matrix",
+    "iteration_domain",
+    "parse_affine",
+    "parse_program",
+    "statement_contexts",
+    "to_source",
+]

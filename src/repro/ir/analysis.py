@@ -1,0 +1,136 @@
+"""Static analysis of IR programs: contexts, domains, schedules, accesses.
+
+A *statement instance* in the paper is a statement plus the values of its
+surrounding loop variables.  This module computes, per statement:
+
+* the surrounding loops and guards (its *context*);
+* the iteration domain as a polyhedral :class:`~repro.polyhedra.System`;
+* the 2d+1-style schedule used to compare program order symbolically;
+* the access matrix of any reference (for Theorem 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.ir.expr import Affine, Ref
+from repro.ir.nodes import Guard, Loop, Node, Program, Statement
+from repro.linalg import FracMatrix
+from repro.polyhedra.constraints import Constraint, System
+
+
+@dataclass
+class StatementContext:
+    """A statement with its enclosing control structure.
+
+    ``positions`` holds one tuple per 'static' level: ``positions[k]`` is
+    the path of sibling indices between loop ``k`` and loop ``k+1`` (or the
+    statement itself for the innermost level).  Together with the loop
+    variables it forms the interleaved 2d+1 schedule
+    ``(positions[0], var_1, positions[1], ..., var_d, positions[d])``.
+    """
+
+    statement: Statement
+    loops: list[Loop]
+    guards: list[Constraint]
+    positions: list[tuple[int, ...]]
+
+    @property
+    def label(self) -> str:
+        return self.statement.label
+
+    @property
+    def loop_vars(self) -> list[str]:
+        return [loop.var for loop in self.loops]
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    def schedule_key(self, ivec: Sequence[int]) -> tuple:
+        """A totally ordered key realizing original program order."""
+        if len(ivec) != self.depth:
+            raise ValueError("iteration vector length mismatch")
+        key: list = []
+        for k, loop_value in enumerate(ivec):
+            key.append(self.positions[k])
+            key.append(loop_value)
+        key.append(self.positions[self.depth])
+        return tuple(key)
+
+
+def statement_contexts(program: Program) -> list[StatementContext]:
+    """Collect every statement with loops, guards and schedule positions."""
+    out: list[StatementContext] = []
+
+    def walk(
+        nodes: Iterable[Node],
+        loops: list[Loop],
+        guards: list[Constraint],
+        path: tuple[int, ...],
+        positions: list[tuple[int, ...]],
+    ) -> None:
+        for index, node in enumerate(nodes):
+            here = path + (index,)
+            if isinstance(node, Statement):
+                out.append(
+                    StatementContext(node, list(loops), list(guards), positions + [here])
+                )
+            elif isinstance(node, Loop):
+                walk(node.body, loops + [node], guards, (), positions + [here])
+            elif isinstance(node, Guard):
+                walk(node.body, loops, guards + node.conditions, here, positions)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown node {node!r}")
+
+    walk(program.body, [], [], (), [])
+    return out
+
+
+def iteration_domain(ctx: StatementContext, program: Program) -> System:
+    """The set of iteration vectors (plus parameters) executing ``ctx``."""
+    constraints: list[Constraint] = list(program.assumptions)
+    for loop in ctx.loops:
+        constraints.extend(loop.bounds_constraints())
+    constraints.extend(ctx.guards)
+    return System(constraints)
+
+
+def access_matrix(ref: Ref, iter_vars: Sequence[str]) -> FracMatrix:
+    """The data access matrix F with ref indices = F * iteration vector.
+
+    Constant terms and symbolic parameters are dropped, following the
+    paper's Theorem 2 setting ("if the functions are affine, we drop the
+    constant terms").
+    """
+    rows = [[idx.coeff(v) for v in iter_vars] for idx in ref.indices]
+    return FracMatrix(rows)
+
+
+def access_affines(ref: Ref) -> list[Affine]:
+    """The full affine subscript functions (with constants/parameters)."""
+    return list(ref.indices)
+
+
+def common_loop_depth(a: StatementContext, b: StatementContext) -> int:
+    """Number of loops shared by two statements (same Loop objects)."""
+    depth = 0
+    for la, lb in zip(a.loops, b.loops):
+        if la is not lb:
+            break
+        # Shared loops also require an identical static path above them.
+        if a.positions[depth] != b.positions[depth]:
+            break
+        depth += 1
+    return depth
+
+
+def textually_before(a: StatementContext, b: StatementContext, at_depth: int) -> bool:
+    """True iff a's static position just below loop ``at_depth`` precedes b's.
+
+    Used for the loop-independent dependence level: with all common loop
+    counters equal, instance order is the textual order at the first
+    static level where the statements diverge.
+    """
+    return a.positions[at_depth] < b.positions[at_depth]

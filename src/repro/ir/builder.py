@@ -1,0 +1,114 @@
+"""Fluent construction API for IR programs.
+
+Example (the paper's Figure 1(i), matrix multiplication in I-J-K order)::
+
+    pb = ProgramBuilder("matmul", params=["N"])
+    pb.array("A", "N", "N"); pb.array("B", "N", "N"); pb.array("C", "N", "N")
+    with pb.loop("I", 1, "N"):
+        with pb.loop("J", 1, "N"):
+            with pb.loop("K", 1, "N"):
+                c = pb.ref("C", "I", "J")
+                pb.assign("S1", c, c + pb.ref("A", "I", "K") * pb.ref("B", "K", "J"))
+    program = pb.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.ir.expr import Call, Const, Expr, Ref, as_expr
+from repro.ir.nodes import Array, Guard, Loop, Program, Statement
+from repro.polyhedra.constraints import Constraint
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.ir.nodes.Program` with context-managed loops."""
+
+    def __init__(self, name: str, params: list[str] | None = None) -> None:
+        self.name = name
+        self.params = list(params or [])
+        self._arrays: dict[str, Array] = {}
+        self._assumptions: list[Constraint] = []
+        self._root: list = []
+        self._stack: list[list] = [self._root]
+        self._auto_label = 0
+
+    # -- declarations -------------------------------------------------------------
+
+    def array(self, name: str, *extents) -> "ProgramBuilder":
+        """Declare ``name[1..e1, 1..e2, ...]``."""
+        self._arrays[name] = Array(name, extents)
+        return self
+
+    def assume(self, constraint: Constraint) -> "ProgramBuilder":
+        """Add a parameter assumption such as ``N >= 1``."""
+        self._assumptions.append(constraint)
+        return self
+
+    def assume_ge(self, var: str, value: int) -> "ProgramBuilder":
+        return self.assume(Constraint.ge({var: 1}, -value))
+
+    # -- expressions ----------------------------------------------------------------
+
+    @staticmethod
+    def ref(array: str, *indices) -> Ref:
+        return Ref(array, *indices)
+
+    @staticmethod
+    def const(value) -> Const:
+        return Const(value)
+
+    @staticmethod
+    def sqrt(value) -> Call:
+        return Call("sqrt", as_expr(value))
+
+    # -- structure -------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def loop(self, var: str, lower, upper) -> Iterator[Loop]:
+        node = Loop(var, lower, upper)
+        self._stack[-1].append(node)
+        self._stack.append(node.body)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    @contextlib.contextmanager
+    def guard(self, *conditions: Constraint) -> Iterator[Guard]:
+        node = Guard(conditions)
+        self._stack[-1].append(node)
+        self._stack.append(node.body)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    def assign(self, label: str | None, lhs: Ref, rhs) -> Statement:
+        if label is None:
+            self._auto_label += 1
+            label = f"S{self._auto_label}"
+        node = Statement(label, lhs, as_expr(rhs))
+        self._stack[-1].append(node)
+        return node
+
+    def accumulate(self, label: str | None, lhs: Ref, increment) -> Statement:
+        """Sugar for ``lhs = lhs + increment``."""
+        return self.assign(label, lhs, lhs + as_expr(increment))
+
+    # -- finalize ---------------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Program:
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced loop/guard contexts")
+        program = Program(
+            self.name,
+            params=self.params,
+            arrays=list(self._arrays.values()),
+            body=self._root,
+            assumptions=self._assumptions,
+        )
+        if validate:
+            program.validate()
+        return program

@@ -1,0 +1,462 @@
+"""Affine index expressions and statement-body expression trees."""
+
+from __future__ import annotations
+
+import math
+import re
+from fractions import Fraction
+from typing import Mapping
+
+
+class Affine:
+    """An affine form ``sum(coeffs[v] * v) + const`` over named variables.
+
+    Used for array subscripts and loop bounds.  Immutable; supports
+    arithmetic with other affine forms and numbers.
+    """
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Mapping[str, object] | None = None, const: object = 0) -> None:
+        clean = {v: Fraction(c) for v, c in (coeffs or {}).items() if Fraction(c) != 0}
+        object.__setattr__(self, "coeffs", dict(sorted(clean.items())))
+        object.__setattr__(self, "const", Fraction(const))
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Affine is immutable")
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def var(cls, name: str) -> "Affine":
+        return cls({name: 1}, 0)
+
+    @classmethod
+    def lift(cls, value: "Affine | int | str | Fraction") -> "Affine":
+        """Coerce ints, Fractions, variable names or affine strings."""
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, (int, Fraction)):
+            return cls({}, value)
+        if isinstance(value, str):
+            return parse_affine(value)
+        raise TypeError(f"cannot lift {value!r} to an affine expression")
+
+    # -- queries -----------------------------------------------------------------
+
+    def variables(self) -> set[str]:
+        return set(self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def coeff(self, var: str) -> Fraction:
+        return self.coeffs.get(var, Fraction(0))
+
+    def evaluate(self, env: Mapping[str, int]) -> Fraction:
+        return self.const + sum((c * env[v] for v, c in self.coeffs.items()), Fraction(0))
+
+    def evaluate_int(self, env: Mapping[str, int]) -> int:
+        value = self.evaluate(env)
+        if value.denominator != 1:
+            raise ValueError(f"affine {self} does not evaluate to an integer at {env}")
+        return int(value)
+
+    # -- arithmetic ----------------------------------------------------------------
+
+    def __add__(self, other) -> "Affine":
+        other = Affine.lift(other)
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return Affine(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine({v: -c for v, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other) -> "Affine":
+        return self + (-Affine.lift(other))
+
+    def __rsub__(self, other) -> "Affine":
+        return Affine.lift(other) - self
+
+    def __mul__(self, scalar) -> "Affine":
+        scalar = Fraction(scalar)
+        return Affine({v: c * scalar for v, c in self.coeffs.items()}, self.const * scalar)
+
+    __rmul__ = __mul__
+
+    def substitute(self, mapping: Mapping[str, "Affine"]) -> "Affine":
+        out = Affine({}, self.const)
+        for v, c in self.coeffs.items():
+            if v in mapping:
+                out = out + mapping[v] * c
+            else:
+                out = out + Affine({v: c})
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "Affine":
+        return Affine({mapping.get(v, v): c for v, c in self.coeffs.items()}, self.const)
+
+    # -- dunder ---------------------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (tuple(self.coeffs.items()), self.const)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Affine({}, other)
+        return isinstance(other, Affine) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for v, c in self.coeffs.items():
+            if c == 1:
+                term = v
+            elif c == -1:
+                term = f"-{v}"
+            else:
+                term = f"{c}*{v}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+{term}")
+            else:
+                parts.append(term)
+        if self.const != 0 or not parts:
+            c = self.const
+            text = str(c) if c < 0 or not parts else f"+{c}"
+            parts.append(text)
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Affine({self})"
+
+
+_AFFINE_TOKEN = re.compile(r"\s*(?:(\d+)|([A-Za-z_][A-Za-z_0-9]*)|([+\-*()]))")
+
+
+def parse_affine(text: str) -> Affine:
+    """Parse strings like ``"J+1"``, ``"2*N - 3"`` or ``"-(I - J)"``."""
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _AFFINE_TOKEN.match(text, pos)
+        if not m:
+            if text[pos:].strip():
+                raise ValueError(f"bad affine expression {text!r} at {text[pos:]!r}")
+            break
+        tokens.append(m.group(0).strip())
+        pos = m.end()
+    tokens = [t for t in tokens if t]
+    index = 0
+
+    def peek() -> str | None:
+        return tokens[index] if index < len(tokens) else None
+
+    def advance() -> str:
+        nonlocal index
+        token = tokens[index]
+        index += 1
+        return token
+
+    def parse_atom() -> Affine:
+        token = peek()
+        if token is None:
+            raise ValueError(f"unexpected end of affine expression {text!r}")
+        if token == "(":
+            advance()
+            inner = parse_sum()
+            if peek() != ")":
+                raise ValueError(f"missing ')' in {text!r}")
+            advance()
+            return inner
+        if token == "-":
+            advance()
+            return -parse_atom()
+        if token == "+":
+            advance()
+            return parse_atom()
+        advance()
+        if token.isdigit():
+            value = Affine({}, int(token))
+        else:
+            value = Affine.var(token)
+        # Multiplication binds here: 2*N, N*2, 2*(x+1)...
+        while peek() == "*":
+            advance()
+            rhs = parse_atom()
+            if value.is_constant():
+                value = rhs * value.const
+            elif rhs.is_constant():
+                value = value * rhs.const
+            else:
+                raise ValueError(f"non-affine product in {text!r}")
+        return value
+
+    def parse_sum() -> Affine:
+        value = parse_atom()
+        while peek() in ("+", "-"):
+            op = advance()
+            rhs = parse_atom()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    result = parse_sum()
+    if index != len(tokens):
+        raise ValueError(f"trailing tokens in affine expression {text!r}")
+    return result
+
+
+class DivBound:
+    """A loop bound of the form ``affine / den`` (den > 0).
+
+    Interpreted as a ceiling when used as a lower bound and as a floor when
+    used as an upper bound — exactly the convention of generated block-loop
+    bounds like ``(N+24)/25`` in the paper's figures.
+    """
+
+    __slots__ = ("affine", "den")
+
+    def __init__(self, affine: Affine | int | str, den: int = 1) -> None:
+        object.__setattr__(self, "affine", Affine.lift(affine))
+        object.__setattr__(self, "den", int(den))
+        if self.den <= 0:
+            raise ValueError("DivBound denominator must be positive")
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("DivBound is immutable")
+
+    def evaluate_lower(self, env: Mapping[str, int]) -> int:
+        return math.ceil(self.affine.evaluate(env) / self.den)
+
+    def evaluate_upper(self, env: Mapping[str, int]) -> int:
+        return math.floor(self.affine.evaluate(env) / self.den)
+
+    def rename(self, mapping: Mapping[str, str]) -> "DivBound":
+        return DivBound(self.affine.rename(mapping), self.den)
+
+    def _key(self) -> tuple:
+        return (self.affine._key(), self.den)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DivBound) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        if self.den == 1:
+            return str(self.affine)
+        return f"({self.affine})/{self.den}"
+
+    def __repr__(self) -> str:
+        return f"DivBound({self})"
+
+
+def as_bound(value) -> DivBound:
+    """Coerce ints/strings/Affine/DivBound to a DivBound."""
+    if isinstance(value, DivBound):
+        return value
+    return DivBound(Affine.lift(value))
+
+
+# ---------------------------------------------------------------------------
+# Expression trees (statement right-hand sides)
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for statement-body expressions.
+
+    Subclasses: :class:`Const`, :class:`Ref` (array element), :class:`AffExpr`
+    (an affine form used as a value), :class:`BinOp`, :class:`UnOp`,
+    :class:`Call`.
+    """
+
+    def __add__(self, other) -> "BinOp":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other) -> "BinOp":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other) -> "BinOp":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other) -> "BinOp":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other) -> "BinOp":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other) -> "BinOp":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other) -> "BinOp":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other) -> "BinOp":
+        return BinOp("/", as_expr(other), self)
+
+    def __neg__(self) -> "UnOp":
+        return UnOp("-", self)
+
+    def references(self) -> list["Ref"]:
+        """All array references in this expression, left to right."""
+        out: list[Ref] = []
+        self._collect_refs(out)
+        return out
+
+    def _collect_refs(self, out: list["Ref"]) -> None:
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        raise NotImplementedError
+
+
+class Const(Expr):
+    """A numeric literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def _collect_refs(self, out: list["Ref"]) -> None:
+        pass
+
+    def rename(self, mapping: Mapping[str, str]) -> "Const":
+        return self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class AffExpr(Expr):
+    """An affine form used as a scalar value (e.g. ``A[i,j] = i + j``)."""
+
+    __slots__ = ("affine",)
+
+    def __init__(self, affine) -> None:
+        self.affine = Affine.lift(affine)
+
+    def _collect_refs(self, out: list["Ref"]) -> None:
+        pass
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffExpr":
+        return AffExpr(self.affine.rename(mapping))
+
+    def __str__(self) -> str:
+        return str(self.affine)
+
+
+class Ref(Expr):
+    """An array element reference ``A[i1, ..., ik]`` with affine subscripts."""
+
+    __slots__ = ("array", "indices")
+
+    def __init__(self, array: str, *indices) -> None:
+        self.array = array
+        self.indices: tuple[Affine, ...] = tuple(Affine.lift(i) for i in indices)
+
+    def _collect_refs(self, out: list["Ref"]) -> None:
+        out.append(self)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Ref":
+        return Ref(self.array, *(i.rename(mapping) for i in self.indices))
+
+    def _key(self) -> tuple:
+        return (self.array, tuple(i._key() for i in self.indices))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Ref) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        return f"{self.array}[{','.join(str(i) for i in self.indices)}]"
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation (+, -, *, /)."""
+
+    __slots__ = ("op", "left", "right")
+
+    OPS = ("+", "-", "*", "/")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _collect_refs(self, out: list["Ref"]) -> None:
+        self.left._collect_refs(out)
+        self.right._collect_refs(out)
+
+    def rename(self, mapping: Mapping[str, str]) -> "BinOp":
+        return BinOp(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class UnOp(Expr):
+    """A unary operation (currently only negation)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op != "-":
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def _collect_refs(self, out: list["Ref"]) -> None:
+        self.operand._collect_refs(out)
+
+    def rename(self, mapping: Mapping[str, str]) -> "UnOp":
+        return UnOp(self.op, self.operand.rename(mapping))
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+class Call(Expr):
+    """An intrinsic function call: sqrt, abs, sign, min, max."""
+
+    __slots__ = ("func", "args")
+
+    FUNCS = ("sqrt", "abs", "sign", "min", "max")
+
+    def __init__(self, func: str, *args: Expr) -> None:
+        if func not in self.FUNCS:
+            raise ValueError(f"unknown intrinsic {func!r}")
+        self.func = func
+        self.args = tuple(as_expr(a) for a in args)
+
+    def _collect_refs(self, out: list["Ref"]) -> None:
+        for a in self.args:
+            a._collect_refs(out)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Call":
+        return Call(self.func, *(a.rename(mapping) for a in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(str(a) for a in self.args)})"
+
+
+def as_expr(value) -> Expr:
+    """Coerce numbers and affine forms into :class:`Expr` nodes."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, (Affine, Fraction)):
+        return AffExpr(Affine.lift(value))
+    raise TypeError(f"cannot convert {value!r} to an expression")

@@ -1,0 +1,213 @@
+"""IR nodes: programs, loops, guards and statements."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.ir.expr import Affine, DivBound, Expr, Ref, as_bound
+from repro.polyhedra.constraints import Constraint
+
+
+class Array:
+    """A declared array with 1-based index ranges ``1..extent`` per dim."""
+
+    __slots__ = ("name", "extents")
+
+    def __init__(self, name: str, extents: Sequence) -> None:
+        self.name = name
+        self.extents: tuple[Affine, ...] = tuple(Affine.lift(e) for e in extents)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.extents)
+
+    def __repr__(self) -> str:
+        return f"Array({self.name}[{','.join(str(e) for e in self.extents)}])"
+
+
+class Node:
+    """Base class for body nodes (Loop, Guard, Statement)."""
+
+
+class Statement(Node):
+    """A labelled assignment ``label: lhs = rhs``."""
+
+    __slots__ = ("label", "lhs", "rhs")
+
+    def __init__(self, label: str, lhs: Ref, rhs: Expr) -> None:
+        self.label = label
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def references(self) -> list[Ref]:
+        """All references: the write first, then reads left to right."""
+        return [self.lhs] + self.rhs.references()
+
+    def reads(self) -> list[Ref]:
+        return self.rhs.references()
+
+    def __repr__(self) -> str:
+        return f"Statement({self.label}: {self.lhs} = {self.rhs})"
+
+
+class Loop(Node):
+    """``do var = max(lowers), min(uppers)`` with unit step.
+
+    Bounds are :class:`DivBound` values: a lower bound is the ceiling of
+    its quotient, an upper bound the floor — so generated block loops like
+    ``do t1 = 1, (N+24)/25`` are represented exactly.
+    """
+
+    __slots__ = ("var", "lowers", "uppers", "body")
+
+    def __init__(self, var: str, lower, upper, body: Iterable[Node] | None = None) -> None:
+        self.var = var
+        self.lowers: list[DivBound] = [as_bound(b) for b in _as_list(lower)]
+        self.uppers: list[DivBound] = [as_bound(b) for b in _as_list(upper)]
+        if not self.lowers or not self.uppers:
+            raise ValueError(f"loop {var} must have at least one bound on each side")
+        self.body: list[Node] = list(body or [])
+
+    def bounds_constraints(self) -> list[Constraint]:
+        """The affine constraints ``lower <= var <= upper`` (exact for den=1
+        and the standard div semantics otherwise: ``den*var >= affine`` /
+        ``den*var <= affine``)."""
+        out: list[Constraint] = []
+        for b in self.lowers:
+            # var >= ceil(aff/den)  <=>  den*var >= aff
+            coeffs = {self.var: b.den}
+            for v, c in b.affine.coeffs.items():
+                coeffs[v] = coeffs.get(v, 0) - c
+            out.append(Constraint.ge(coeffs, -b.affine.const))
+        for b in self.uppers:
+            coeffs = {self.var: -b.den}
+            for v, c in b.affine.coeffs.items():
+                coeffs[v] = coeffs.get(v, 0) + c
+            out.append(Constraint.ge(coeffs, b.affine.const))
+        return out
+
+    def __repr__(self) -> str:
+        lo = ",".join(str(b) for b in self.lowers)
+        hi = ",".join(str(b) for b in self.uppers)
+        return f"Loop({self.var} = {lo}..{hi}; {len(self.body)} children)"
+
+
+class Guard(Node):
+    """``if (conjunction of affine constraints) then body``."""
+
+    __slots__ = ("conditions", "body")
+
+    def __init__(self, conditions: Iterable[Constraint], body: Iterable[Node] | None = None) -> None:
+        self.conditions: list[Constraint] = list(conditions)
+        self.body: list[Node] = list(body or [])
+
+    def __repr__(self) -> str:
+        return f"Guard({len(self.conditions)} conds; {len(self.body)} children)"
+
+
+class Program:
+    """A whole kernel: parameters, array declarations and a body.
+
+    ``assumptions`` are constraints on the parameters (e.g. ``N >= 1``)
+    that legality tests and simplification may rely on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str] = (),
+        arrays: Mapping[str, Sequence] | Sequence[Array] = (),
+        body: Iterable[Node] | None = None,
+        assumptions: Iterable[Constraint] = (),
+    ) -> None:
+        self.name = name
+        self.params: list[str] = list(params)
+        if isinstance(arrays, Mapping):
+            self.arrays: dict[str, Array] = {
+                name: Array(name, extents) for name, extents in arrays.items()
+            }
+        else:
+            self.arrays = {a.name: a for a in arrays}
+        self.body: list[Node] = list(body or [])
+        self.assumptions: list[Constraint] = list(assumptions)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def statements(self) -> list[Statement]:
+        out: list[Statement] = []
+
+        def walk(nodes: Iterable[Node]) -> None:
+            for node in nodes:
+                if isinstance(node, Statement):
+                    out.append(node)
+                elif isinstance(node, (Loop, Guard)):
+                    walk(node.body)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown node {node!r}")
+
+        walk(self.body)
+        return out
+
+    def statement(self, label: str) -> Statement:
+        for s in self.statements():
+            if s.label == label:
+                return s
+        raise KeyError(f"no statement labelled {label!r} in {self.name}")
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raise ValueError on problems."""
+        labels: set[str] = set()
+
+        def walk(nodes: Iterable[Node], enclosing: list[str]) -> None:
+            for node in nodes:
+                if isinstance(node, Loop):
+                    if node.var in enclosing:
+                        raise ValueError(f"loop variable {node.var!r} shadows an outer loop")
+                    if node.var in self.params:
+                        raise ValueError(f"loop variable {node.var!r} shadows a parameter")
+                    scope = set(enclosing) | set(self.params)
+                    for b in node.lowers + node.uppers:
+                        free = b.affine.variables() - scope
+                        if free:
+                            raise ValueError(
+                                f"loop {node.var!r} bound {b} uses unbound variables {sorted(free)}"
+                            )
+                    walk(node.body, enclosing + [node.var])
+                elif isinstance(node, Guard):
+                    scope = set(enclosing) | set(self.params)
+                    for c in node.conditions:
+                        free = c.variables() - scope
+                        if free:
+                            raise ValueError(f"guard uses unbound variables {sorted(free)}")
+                    walk(node.body, enclosing)
+                elif isinstance(node, Statement):
+                    if node.label in labels:
+                        raise ValueError(f"duplicate statement label {node.label!r}")
+                    labels.add(node.label)
+                    scope = set(enclosing) | set(self.params)
+                    for ref in node.references():
+                        if ref.array not in self.arrays:
+                            raise ValueError(f"reference to undeclared array {ref.array!r}")
+                        if len(ref.indices) != self.arrays[ref.array].ndim:
+                            raise ValueError(
+                                f"{ref} has wrong arity for {self.arrays[ref.array]!r}"
+                            )
+                        for idx in ref.indices:
+                            free = idx.variables() - scope
+                            if free:
+                                raise ValueError(
+                                    f"{ref} subscript uses unbound variables {sorted(free)}"
+                                )
+                else:
+                    raise TypeError(f"unknown node {node!r}")
+
+        walk(self.body, [])
+
+    def __repr__(self) -> str:
+        return f"Program({self.name}; params={self.params}; {len(self.statements())} statements)"
+
+
+def _as_list(value) -> list:
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]

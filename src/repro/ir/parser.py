@@ -1,0 +1,352 @@
+"""Textual front end for the loop-nest mini-language.
+
+Grammar (indentation-sensitive, ``#`` comments)::
+
+    program cholesky(N)
+    array A[N,N]
+    assume N >= 1
+    do J = 1, N
+      S1: A[J,J] = sqrt(A[J,J])
+      do I = J+1, N
+        S2: A[I,J] = A[I,J] / A[J,J]
+      do L = J+1, N
+        do K = J+1, L
+          S3: A[L,K] = A[L,K] - A[L,J]*A[K,J]
+
+Loop bounds may be affine expressions, integer-divided affine expressions
+(``(N+24)/25``, a ceiling as a lower bound and a floor as an upper bound)
+or ``max(...)``/``min(...)`` of those.  ``lhs += e`` and ``lhs -= e``
+de-sugar to ``lhs = lhs + e`` / ``lhs = lhs - e``.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+
+from repro.ir.expr import Affine, BinOp, Call, Const, DivBound, Expr, Ref, UnOp
+from repro.ir.nodes import Guard, Loop, Program, Statement
+from repro.polyhedra.constraints import Constraint
+
+
+class ParseError(ValueError):
+    """Raised with a line number when the mini-language input is malformed."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d+|\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|==|\+=|-=|[-+*/()\[\],<>=:]))"
+)
+
+
+def _tokenize(text: str, line_no: int) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or not m.group(0).strip():
+            if text[pos:].strip():
+                raise ParseError(f"unexpected character {text[pos:].strip()[0]!r}", line_no)
+            break
+        tokens.append(m.group(0).strip())
+        pos = m.end()
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[str], line_no: int) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> str:
+        if self.pos >= len(self.tokens):
+            raise ParseError("unexpected end of line", self.line_no)
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.advance()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}", self.line_no)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- expression grammar ------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.peek() in ("+", "-"):
+            op = self.advance()
+            left = BinOp(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.peek() in ("*", "/"):
+            op = self.advance()
+            left = BinOp(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> Expr:
+        token = self.peek()
+        if token == "-":
+            self.advance()
+            return UnOp("-", self.parse_factor())
+        if token == "+":
+            self.advance()
+            return self.parse_factor()
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        token = self.advance()
+        if token == "(":
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if re.fullmatch(r"\d+\.\d+", token):
+            return Const(float(token))
+        if token.isdigit():
+            return Const(int(token))
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            raise ParseError(f"unexpected token {token!r}", self.line_no)
+        name = token
+        if self.peek() == "(":
+            self.advance()
+            args = [self.parse_expr()]
+            while self.peek() == ",":
+                self.advance()
+                args.append(self.parse_expr())
+            self.expect(")")
+            return Call(name, *args)
+        if self.peek() == "[":
+            self.advance()
+            indices = [expr_to_affine(self.parse_expr(), self.line_no)]
+            while self.peek() == ",":
+                self.advance()
+                indices.append(expr_to_affine(self.parse_expr(), self.line_no))
+            self.expect("]")
+            return Ref(name, *indices)
+        from repro.ir.expr import AffExpr
+
+        return AffExpr(Affine.var(name))
+
+
+def expr_to_affine(expr: Expr, line_no: int | None = None) -> Affine:
+    """Convert an affine-shaped expression tree to an :class:`Affine`."""
+    from repro.ir.expr import AffExpr
+
+    if isinstance(expr, Const):
+        if isinstance(expr.value, float) and not expr.value.is_integer():
+            raise ParseError(f"non-integer constant {expr.value} in affine position", line_no)
+        return Affine({}, int(expr.value))
+    if isinstance(expr, AffExpr):
+        return expr.affine
+    if isinstance(expr, UnOp) and expr.op == "-":
+        return -expr_to_affine(expr.operand, line_no)
+    if isinstance(expr, BinOp):
+        if expr.op in ("+", "-"):
+            left = expr_to_affine(expr.left, line_no)
+            right = expr_to_affine(expr.right, line_no)
+            return left + right if expr.op == "+" else left - right
+        if expr.op == "*":
+            left = expr_to_affine(expr.left, line_no)
+            right = expr_to_affine(expr.right, line_no)
+            if left.is_constant():
+                return right * left.const
+            if right.is_constant():
+                return left * right.const
+            raise ParseError("non-affine product", line_no)
+        if expr.op == "/":
+            left = expr_to_affine(expr.left, line_no)
+            right = expr_to_affine(expr.right, line_no)
+            if right.is_constant() and right.const != 0:
+                return left * Fraction(1, 1) * Fraction(1, int(right.const))
+            raise ParseError("division by non-constant in affine position", line_no)
+    raise ParseError(f"expression {expr} is not affine", line_no)
+
+
+def _expr_to_bounds(expr: Expr, line_no: int) -> list[DivBound]:
+    """Convert a bound expression to DivBounds (max/min become lists)."""
+    if isinstance(expr, Call) and expr.func in ("max", "min"):
+        out: list[DivBound] = []
+        for arg in expr.args:
+            out.extend(_expr_to_bounds(arg, line_no))
+        return out
+    if isinstance(expr, BinOp) and expr.op == "/":
+        den_affine = expr_to_affine(expr.right, line_no)
+        if not den_affine.is_constant() or den_affine.const <= 0:
+            raise ParseError("bound divisor must be a positive integer", line_no)
+        num = expr_to_affine(expr.left, line_no)
+        return [DivBound(num, int(den_affine.const))]
+    return [DivBound(expr_to_affine(expr, line_no))]
+
+
+_COMPARISONS = ("<=", ">=", "==", "<", ">")
+
+
+def _parse_condition(parser: _ExprParser) -> Constraint:
+    left = expr_to_affine(parser.parse_expr(), parser.line_no)
+    op = parser.advance()
+    if op not in _COMPARISONS:
+        raise ParseError(f"expected comparison, got {op!r}", parser.line_no)
+    right = expr_to_affine(parser.parse_expr(), parser.line_no)
+    diff = right - left  # right - left
+    if op == "<=":
+        return Constraint.ge(diff.coeffs, diff.const)
+    if op == "<":
+        return Constraint.ge(diff.coeffs, diff.const - 1)
+    if op == ">=":
+        return Constraint.ge((-diff).coeffs, (-diff).const)
+    if op == ">":
+        neg = -diff
+        return Constraint.ge(neg.coeffs, neg.const - 1)
+    return Constraint.eq(diff.coeffs, diff.const)
+
+
+def parse_program(text: str, name: str | None = None, validate: bool = True) -> Program:
+    """Parse the mini-language into a :class:`~repro.ir.nodes.Program`."""
+    program_name = name or "anonymous"
+    params: list[str] = []
+    arrays: dict[str, list[Affine]] = {}
+    assumptions: list[Constraint] = []
+    root: list = []
+    # Stack of (indent, body-list); statements attach to the deepest block
+    # whose indent is smaller than theirs.
+    stack: list[tuple[int, list]] = [(-1, root)]
+    auto_label = 0
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        indent = len(line) - len(line.lstrip(" "))
+        body_text = line.strip()
+
+        if body_text.startswith("program "):
+            m = re.fullmatch(r"program\s+([A-Za-z_][\w]*)\s*\(([^)]*)\)", body_text)
+            if not m:
+                raise ParseError("malformed program header", line_no)
+            program_name = m.group(1)
+            params = [p.strip() for p in m.group(2).split(",") if p.strip()]
+            continue
+        if body_text.startswith("array "):
+            m = re.fullmatch(r"array\s+([A-Za-z_][\w]*)\s*\[([^\]]*)\]", body_text)
+            if not m:
+                raise ParseError("malformed array declaration", line_no)
+            extents = [
+                expr_to_affine(
+                    _ExprParser(_tokenize(part, line_no), line_no).parse_expr(), line_no
+                )
+                for part in m.group(2).split(",")
+            ]
+            arrays[m.group(1)] = extents
+            continue
+        if body_text.startswith("assume "):
+            parser = _ExprParser(_tokenize(body_text[len("assume ") :], line_no), line_no)
+            assumptions.append(_parse_condition(parser))
+            if not parser.at_end():
+                raise ParseError("trailing tokens after assumption", line_no)
+            continue
+
+        while stack and stack[-1][0] >= indent:
+            stack.pop()
+        if not stack:
+            raise ParseError("bad indentation", line_no)
+        parent_body = stack[-1][1]
+
+        if body_text.startswith("do "):
+            m = re.fullmatch(r"do\s+([A-Za-z_][\w]*)\s*=\s*(.*)", body_text)
+            if not m:
+                raise ParseError("malformed do header", line_no)
+            var = m.group(1)
+            parser = _ExprParser(_tokenize(m.group(2), line_no), line_no)
+            lower_expr = _parse_bound_expr(parser)
+            parser.expect(",")
+            upper_expr = _parse_bound_expr(parser)
+            if not parser.at_end():
+                raise ParseError("trailing tokens after loop bounds", line_no)
+            node = Loop(
+                var,
+                _expr_to_bounds(lower_expr, line_no),
+                _expr_to_bounds(upper_expr, line_no),
+            )
+            parent_body.append(node)
+            stack.append((indent, node.body))
+            continue
+
+        if body_text.startswith("if "):
+            parser = _ExprParser(_tokenize(body_text[3:], line_no), line_no)
+            conditions = [_parse_condition(parser)]
+            while parser.peek() == "and":
+                parser.advance()
+                conditions.append(_parse_condition(parser))
+            if not parser.at_end():
+                raise ParseError("trailing tokens after guard", line_no)
+            node = Guard(conditions)
+            parent_body.append(node)
+            stack.append((indent, node.body))
+            continue
+
+        # Statement: [label:] lhs (=|+=|-=) rhs
+        label = None
+        m = re.match(r"([A-Za-z_][\w]*)\s*:\s*(.*)", body_text)
+        if m and "[" not in m.group(1):
+            label = m.group(1)
+            body_text = m.group(2)
+        parser = _ExprParser(_tokenize(body_text, line_no), line_no)
+        lhs = parser.parse_atom()
+        if not isinstance(lhs, Ref):
+            raise ParseError("statement left-hand side must be an array reference", line_no)
+        op = parser.advance()
+        if op not in ("=", "+=", "-="):
+            raise ParseError(f"expected assignment, got {op!r}", line_no)
+        rhs = parser.parse_expr()
+        if not parser.at_end():
+            raise ParseError("trailing tokens after statement", line_no)
+        if op == "+=":
+            rhs = BinOp("+", lhs, rhs)
+        elif op == "-=":
+            rhs = BinOp("-", lhs, rhs)
+        if label is None:
+            auto_label += 1
+            label = f"_S{auto_label}"
+        parent_body.append(Statement(label, lhs, rhs))
+
+    program = Program(
+        program_name,
+        params=params,
+        arrays={n: e for n, e in arrays.items()},
+        body=root,
+        assumptions=assumptions,
+    )
+    if validate:
+        program.validate()
+    return program
+
+
+def _parse_bound_expr(parser: _ExprParser) -> Expr:
+    """Parse one loop bound, stopping at a top-level comma."""
+    # parse_expr naturally stops at ',' because ',' is not an operator; but
+    # max(...)/min(...) consume their internal commas via call parsing.
+    return parser.parse_expr()
+
+
+def parse_condition_text(text: str) -> Constraint:
+    """Parse a standalone condition like ``"25*b - 24 <= I"`` (test helper)."""
+    parser = _ExprParser(_tokenize(text, 0), 0)
+    c = _parse_condition(parser)
+    if not parser.at_end():
+        raise ParseError("trailing tokens in condition", 0)
+    return c

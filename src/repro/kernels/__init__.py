@@ -1,0 +1,33 @@
+"""The paper's benchmark kernels as IR programs plus numpy oracles.
+
+Each module provides the kernel's IR ``program(...)``, a numpy
+``reference(...)`` implementation used as a correctness oracle, an
+``init(arena, buf, rng)`` that fills the arrays with numerically safe
+data, and convenience constructors for the shackles the paper applies.
+"""
+
+from repro.kernels import (
+    adi,
+    blocked_library,
+    cholesky,
+    gmtry,
+    matmul,
+    qr,
+    relaxation,
+    syrk,
+    trisolve,
+    trsm,
+)
+
+__all__ = [
+    "adi",
+    "blocked_library",
+    "cholesky",
+    "gmtry",
+    "matmul",
+    "qr",
+    "relaxation",
+    "syrk",
+    "trisolve",
+    "trsm",
+]

@@ -1,0 +1,84 @@
+"""Matrix multiplication (paper Figure 1(i)) and its shackles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DataBlocking, ShackleProduct, multi_level, shackle_refs
+from repro.ir import parse_program
+from repro.ir.nodes import Program
+
+_ORDERS = {
+    "ijk": ("I", "J", "K"),
+    "ikj": ("I", "K", "J"),
+    "jik": ("J", "I", "K"),
+    "jki": ("J", "K", "I"),
+    "kij": ("K", "I", "J"),
+    "kji": ("K", "J", "I"),
+}
+
+
+def program(order: str = "ijk") -> Program:
+    """``C += A * B`` with the requested loop order (all six are legal)."""
+    if order not in _ORDERS:
+        raise ValueError(f"unknown loop order {order!r}")
+    v1, v2, v3 = _ORDERS[order]
+    return parse_program(
+        f"""
+program mm_{order}(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do {v1} = 1, N
+  do {v2} = 1, N
+    do {v3} = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+    )
+
+
+def reference(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    return c + a @ b
+
+
+def init(arena, buf, rng) -> None:
+    n = arena.env["N"]
+    arena.set_array(buf, "A", rng.random((n, n)))
+    arena.set_array(buf, "B", rng.random((n, n)))
+    arena.set_array(buf, "C", 0.0)
+
+
+def check(arena, initial, final) -> bool:
+    a = arena.view(initial, "A")
+    b = arena.view(initial, "B")
+    c0 = arena.view(initial, "C")
+    return np.allclose(arena.view(final, "C"), reference(a, b, c0))
+
+
+def flops(n: int) -> int:
+    return 2 * n ** 3
+
+
+def c_shackle(prog: Program, size: int):
+    """Block C alone (paper Section 4.1 / Figure 6)."""
+    return shackle_refs(prog, DataBlocking.grid("C", 2, size), "lhs")
+
+
+def ca_product(prog: Program, size: int):
+    """The fully-blocking C x A product (paper Figure 3 / Section 6.1)."""
+    c = shackle_refs(prog, DataBlocking.grid("C", 2, size), "lhs")
+    a = shackle_refs(prog, DataBlocking.grid("A", 2, size), {"S1": "A[I,K]"})
+    return ShackleProduct(c, a)
+
+
+def two_level(prog: Program, outer: int, inner: int):
+    """Multi-level blocking (paper Figure 10): outer then inner blocks."""
+
+    def level(size):
+        return [
+            shackle_refs(prog, DataBlocking.grid("C", 2, size), "lhs"),
+            shackle_refs(prog, DataBlocking.grid("A", 2, size), {"S1": "A[I,K]"}),
+        ]
+
+    return multi_level(level(outer), level(inner))

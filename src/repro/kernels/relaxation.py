@@ -1,0 +1,88 @@
+"""Relaxation kernels — the Section 8 multi-pass motivation.
+
+``seidel1d`` is an in-place time-iterated 1-D relaxation: every element
+is eventually affected by every other, so a single block sweep cannot be
+legal for any blocking of A — the case the paper's multi-pass proposal
+addresses.  ``seidel2d`` is a single Gauss-Seidel sweep, which *is*
+single-sweep shackleable (its dependence distances are non-negative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DataBlocking, DataShackle, shackle_refs
+from repro.ir import parse_program
+from repro.ir.nodes import Program
+
+SEIDEL_1D_TIME = """
+program seidel1d(N, T)
+array A[N]
+assume N >= 3
+assume T >= 1
+do t = 1, T
+  do i = 2, N-1
+    S1: A[i] = (A[i-1] + A[i] + A[i+1]) / 3
+"""
+
+SEIDEL_2D = """
+program seidel2d(N)
+array A[N,N]
+assume N >= 3
+do i = 2, N-1
+  do j = 2, N-1
+    S1: A[i,j] = (A[i-1,j] + A[i+1,j] + A[i,j-1] + A[i,j+1] + A[i,j]) / 5
+"""
+
+
+def program(variant: str = "1d-time") -> Program:
+    if variant == "1d-time":
+        return parse_program(SEIDEL_1D_TIME)
+    if variant == "2d":
+        return parse_program(SEIDEL_2D)
+    raise ValueError(f"unknown relaxation variant {variant!r}")
+
+
+def reference_1d(a: np.ndarray, steps: int) -> np.ndarray:
+    a = a.astype(float).copy()
+    n = a.shape[0]
+    for _ in range(steps):
+        for i in range(1, n - 1):
+            a[i] = (a[i - 1] + a[i] + a[i + 1]) / 3
+    return a
+
+
+def reference_2d(a: np.ndarray) -> np.ndarray:
+    a = a.astype(float).copy()
+    n = a.shape[0]
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            a[i, j] = (a[i - 1, j] + a[i + 1, j] + a[i, j - 1] + a[i, j + 1] + a[i, j]) / 5
+    return a
+
+
+def init_1d(arena, buf, rng) -> None:
+    arena.set_array(buf, "A", rng.random(arena.env["N"]))
+
+
+def init_2d(arena, buf, rng) -> None:
+    n = arena.env["N"]
+    arena.set_array(buf, "A", rng.random((n, n)))
+
+
+def check_1d(arena, initial, final) -> bool:
+    want = reference_1d(arena.view(initial, "A"), arena.env["T"])
+    return np.allclose(arena.view(final, "A"), want)
+
+
+def check_2d(arena, initial, final) -> bool:
+    want = reference_2d(arena.view(initial, "A"))
+    return np.allclose(arena.view(final, "A"), want)
+
+
+def lhs_shackle_1d(prog: Program, size: int) -> DataShackle:
+    return shackle_refs(prog, DataBlocking.grid("A", 1, size), "lhs")
+
+
+def lhs_shackle_2d(prog: Program, size: int) -> DataShackle:
+    return shackle_refs(prog, DataBlocking.grid("A", 2, size), "lhs")

@@ -1,0 +1,65 @@
+"""Symmetric rank-k update: C := C + A * A^T (lower triangle).
+
+A Level-3 BLAS family member beyond the paper's benchmarks; included to
+exercise shackling on triangular iteration spaces where the blocked
+code's diagonal blocks are ragged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DataBlocking, ShackleProduct, shackle_refs
+from repro.ir import parse_program
+from repro.ir.nodes import Program
+
+SYRK = """
+program syrk(N)
+array A[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, I
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*A[J,K]
+"""
+
+
+def program() -> Program:
+    return parse_program(SYRK)
+
+
+def reference(a: np.ndarray, c: np.ndarray) -> np.ndarray:
+    out = c.copy()
+    full = a @ a.T
+    return out + np.tril(full)
+
+
+def init(arena, buf, rng) -> None:
+    n = arena.env["N"]
+    arena.set_array(buf, "A", rng.random((n, n)))
+    arena.set_array(buf, "C", 0.0)
+
+
+def check(arena, initial, final) -> bool:
+    a = arena.view(initial, "A")
+    c0 = arena.view(initial, "C")
+    want = reference(a, c0)
+    got = arena.view(final, "C")
+    n = a.shape[0]
+    mask = np.tril(np.ones((n, n), dtype=bool))
+    return np.allclose(got[mask], want[mask])
+
+
+def flops(n: int) -> int:
+    return n * n * (n + 1)
+
+
+def c_shackle(prog: Program, size: int):
+    return shackle_refs(prog, DataBlocking.grid("C", 2, size), "lhs")
+
+
+def ca_product(prog: Program, size: int) -> ShackleProduct:
+    c = c_shackle(prog, size)
+    a = shackle_refs(prog, DataBlocking.grid("A", 2, size), {"S1": "A[I,K]"})
+    return ShackleProduct(c, a)

@@ -1,0 +1,93 @@
+"""Triangular solves — the paper's example of block traversal order.
+
+Forward substitution admits the natural ascending block walk; backward
+substitution requires the reversed traversal ("traversing the blocks
+bottom to top or right to left will be legal", Section 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DataBlocking, DataShackle
+from repro.core.shackle import _parse_ref
+from repro.ir import parse_program
+from repro.ir.nodes import Program
+
+FORWARD = """
+program trisolve_forward(N)
+array L[N,N]
+array x[N]
+array b[N]
+assume N >= 1
+do I = 1, N
+  S1: x[I] = b[I] / L[I,I]
+  do J = I+1, N
+    S2: b[J] = b[J] - L[J,I]*x[I]
+"""
+
+BACKWARD = """
+program trisolve_backward(N)
+array U[N,N]
+array x[N]
+array b[N]
+assume N >= 1
+do I0 = 1, N
+  S1: x[N+1-I0] = b[N+1-I0] / U[N+1-I0,N+1-I0]
+  do J0 = 1, N-I0
+    S2: b[N-J0+1-I0] = b[N-J0+1-I0] - U[N-J0+1-I0,N+1-I0]*x[N+1-I0]
+"""
+
+
+def program(variant: str = "forward") -> Program:
+    if variant == "forward":
+        return parse_program(FORWARD)
+    if variant == "backward":
+        return parse_program(BACKWARD)
+    raise ValueError(f"unknown trisolve variant {variant!r}")
+
+
+def reference_forward(l: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.linalg.solve(np.tril(l), b)
+
+
+def reference_backward(u: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.linalg.solve(np.triu(u), b)
+
+
+def init_forward(arena, buf, rng) -> None:
+    n = arena.env["N"]
+    arena.set_array(buf, "L", np.tril(rng.random((n, n))) + n * np.eye(n))
+    arena.set_array(buf, "b", rng.random(n))
+    arena.set_array(buf, "x", 0.0)
+
+
+def init_backward(arena, buf, rng) -> None:
+    n = arena.env["N"]
+    arena.set_array(buf, "U", np.triu(rng.random((n, n))) + n * np.eye(n))
+    arena.set_array(buf, "b", rng.random(n))
+    arena.set_array(buf, "x", 0.0)
+
+
+def check_forward(arena, initial, final) -> bool:
+    want = reference_forward(arena.view(initial, "L"), arena.view(initial, "b"))
+    return np.allclose(arena.view(final, "x"), want)
+
+
+def check_backward(arena, initial, final) -> bool:
+    want = reference_backward(arena.view(initial, "U"), arena.view(initial, "b"))
+    return np.allclose(arena.view(final, "x"), want)
+
+
+def x_shackle(prog: Program, size: int, descending: bool = False) -> DataShackle:
+    """Block the solution vector; descending walks blocks last-to-first."""
+    directions = [-1] if descending else [1]
+    blocking = DataBlocking.grid("x", 1, size, directions=directions)
+    update_index = prog.statement("S2").lhs.indices[0]
+    return DataShackle(
+        prog,
+        blocking,
+        {"S1": prog.statement("S1").lhs},
+        dummies={"S2": [update_index]},
+        name=f"trisolve-x-{'desc' if descending else 'asc'}",
+    )

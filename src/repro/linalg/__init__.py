@@ -1,0 +1,20 @@
+"""Exact rational linear algebra used by the polyhedral layer.
+
+Everything here works over :class:`fractions.Fraction` so that dependence
+testing and legality checking are exact — floating point never enters the
+compiler's reasoning.
+"""
+
+from repro.linalg.intmath import ceil_div, ext_gcd, floor_div, gcd_list, lcm, lcm_list, sign
+from repro.linalg.matrix import FracMatrix
+
+__all__ = [
+    "FracMatrix",
+    "ceil_div",
+    "ext_gcd",
+    "floor_div",
+    "gcd_list",
+    "lcm",
+    "lcm_list",
+    "sign",
+]

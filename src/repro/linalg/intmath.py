@@ -1,0 +1,71 @@
+"""Small exact integer helpers (gcd/lcm families, floor/ceil division)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable
+
+
+def sign(x) -> int:
+    """Return -1, 0 or 1 according to the sign of ``x``."""
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0
+
+
+def gcd_list(values: Iterable[int]) -> int:
+    """Greatest common divisor of any number of integers (0 for empty input).
+
+    The result is always non-negative and ``gcd_list([0, 0]) == 0``.
+    """
+    g = 0
+    for v in values:
+        g = math.gcd(g, int(v))
+    return g
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two integers (``lcm(0, x) == 0``)."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // math.gcd(a, b)
+
+
+def lcm_list(values: Iterable[int]) -> int:
+    """Least common multiple of any number of integers (1 for empty input)."""
+    out = 1
+    for v in values:
+        out = lcm(out, int(v))
+        if out == 0:
+            return 0
+    return out
+
+
+def ext_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def floor_div(num, den) -> int:
+    """Floor of ``num / den`` for integers or Fractions, exact."""
+    q = Fraction(num) / Fraction(den)
+    return math.floor(q)
+
+
+def ceil_div(num, den) -> int:
+    """Ceiling of ``num / den`` for integers or Fractions, exact."""
+    q = Fraction(num) / Fraction(den)
+    return math.ceil(q)

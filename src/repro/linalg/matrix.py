@@ -1,0 +1,149 @@
+"""Exact matrices over the rationals.
+
+:class:`FracMatrix` is intentionally small: the polyhedral layer and the
+Theorem-2 span analysis only need rank computations, row-space membership,
+and linear solves, all on matrices with a handful of rows and columns.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+
+class FracMatrix:
+    """A dense matrix of :class:`fractions.Fraction` entries.
+
+    Instances are mutable but every public operation returns a new matrix;
+    in-place mutation is reserved for the internal elimination routines.
+    """
+
+    def __init__(self, rows: Iterable[Sequence]) -> None:
+        self.rows: list[list[Fraction]] = [[Fraction(x) for x in row] for row in rows]
+        if self.rows:
+            width = len(self.rows[0])
+            if any(len(row) != width for row in self.rows):
+                raise ValueError("all rows must have the same length")
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "FracMatrix":
+        return cls([[Fraction(int(i == j)) for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def zeros(cls, n: int, m: int) -> "FracMatrix":
+        return cls([[Fraction(0)] * m for _ in range(n)])
+
+    # -- basic shape / access --------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def ncols(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+    def __getitem__(self, ij: tuple[int, int]) -> Fraction:
+        i, j = ij
+        return self.rows[i][j]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FracMatrix) and self.rows == other.rows
+
+    def __repr__(self) -> str:
+        body = "; ".join(" ".join(str(x) for x in row) for row in self.rows)
+        return f"FracMatrix([{body}])"
+
+    def copy(self) -> "FracMatrix":
+        return FracMatrix(self.rows)
+
+    def transpose(self) -> "FracMatrix":
+        return FracMatrix([[self.rows[i][j] for i in range(self.nrows)] for j in range(self.ncols)])
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def matmul(self, other: "FracMatrix") -> "FracMatrix":
+        if self.ncols != other.nrows:
+            raise ValueError("shape mismatch in matmul")
+        return FracMatrix(
+            [
+                [
+                    sum((self.rows[i][k] * other.rows[k][j] for k in range(self.ncols)), Fraction(0))
+                    for j in range(other.ncols)
+                ]
+                for i in range(self.nrows)
+            ]
+        )
+
+    def matvec(self, vec: Sequence) -> list[Fraction]:
+        v = [Fraction(x) for x in vec]
+        if self.ncols != len(v):
+            raise ValueError("shape mismatch in matvec")
+        return [sum((row[k] * v[k] for k in range(self.ncols)), Fraction(0)) for row in self.rows]
+
+    # -- elimination-based queries ----------------------------------------------
+
+    def rref(self) -> "FracMatrix":
+        """Reduced row-echelon form (Gauss-Jordan, exact)."""
+        mat = [row[:] for row in self.rows]
+        nrows, ncols = len(mat), self.ncols
+        pivot_row = 0
+        for col in range(ncols):
+            pivot = next((r for r in range(pivot_row, nrows) if mat[r][col] != 0), None)
+            if pivot is None:
+                continue
+            mat[pivot_row], mat[pivot] = mat[pivot], mat[pivot_row]
+            factor = mat[pivot_row][col]
+            mat[pivot_row] = [x / factor for x in mat[pivot_row]]
+            for r in range(nrows):
+                if r != pivot_row and mat[r][col] != 0:
+                    scale = mat[r][col]
+                    mat[r] = [a - scale * b for a, b in zip(mat[r], mat[pivot_row])]
+            pivot_row += 1
+            if pivot_row == nrows:
+                break
+        return FracMatrix(mat)
+
+    def rank(self) -> int:
+        reduced = self.rref()
+        return sum(1 for row in reduced.rows if any(x != 0 for x in row))
+
+    def row_space_contains(self, vec: Sequence) -> bool:
+        """True iff ``vec`` lies in the span of this matrix's rows.
+
+        This is the test used by Theorem 2 of the paper: a data reference is
+        bounded by a shackle iff every row of its access matrix lies in the
+        row space of the shackled references' access matrices.
+        """
+        v = [Fraction(x) for x in vec]
+        if not self.rows:
+            return all(x == 0 for x in v)
+        if len(v) != self.ncols:
+            raise ValueError("vector length must match column count")
+        augmented = FracMatrix(self.rows + [v])
+        return augmented.rank() == self.rank()
+
+    def solve(self, rhs: Sequence) -> list[Fraction] | None:
+        """Solve ``self @ x == rhs``; return one solution or None if unsolvable."""
+        b = [Fraction(x) for x in rhs]
+        if len(b) != self.nrows:
+            raise ValueError("rhs length must match row count")
+        augmented = FracMatrix([row + [b[i]] for i, row in enumerate(self.rows)]).rref()
+        solution = [Fraction(0)] * self.ncols
+        for row in augmented.rows:
+            pivot_col = next((j for j in range(self.ncols) if row[j] != 0), None)
+            if pivot_col is None:
+                if row[-1] != 0:
+                    return None
+                continue
+            # Free variables stay 0; express the pivot variable directly.
+            solution[pivot_col] = row[-1] - sum(
+                (row[j] * solution[j] for j in range(pivot_col + 1, self.ncols)), Fraction(0)
+            )
+        # Verify (free-variable choice of 0 may not satisfy all rows otherwise).
+        for row, target in zip(self.rows, b):
+            if sum((row[j] * solution[j] for j in range(self.ncols)), Fraction(0)) != target:
+                return None
+        return solution

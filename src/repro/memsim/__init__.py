@@ -1,0 +1,37 @@
+"""Multi-level memory-hierarchy simulation.
+
+The paper's evaluation machine (an IBM SP-2 thin node) is replaced by an
+explicit model: set-associative LRU caches in a hierarchy whose per-level
+latencies follow the paper's "roughly ten-fold from one level to the
+next", fed with the exact memory trace of the (transformed) program.
+
+Array layouts map subscripts to addresses in a single flat arena —
+column-major by default (the paper assumes FORTRAN order), with banded
+storage available for the banded Cholesky experiment (Figure 15).
+"""
+
+from repro.memsim.cache import CacheLevel
+from repro.memsim.cost import CostModel, MachineSpec, SP2_LIKE, SP2_SCALED, TINY
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.layout import (
+    Arena,
+    BandedColumnLayout,
+    BlockMajorLayout,
+    ColumnMajorLayout,
+    RowMajorLayout,
+)
+
+__all__ = [
+    "Arena",
+    "BandedColumnLayout",
+    "BlockMajorLayout",
+    "CacheLevel",
+    "ColumnMajorLayout",
+    "CostModel",
+    "MachineSpec",
+    "MemoryHierarchy",
+    "RowMajorLayout",
+    "SP2_LIKE",
+    "SP2_SCALED",
+    "TINY",
+]

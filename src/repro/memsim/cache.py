@@ -1,0 +1,104 @@
+"""One set-associative LRU cache level.
+
+Addresses are in *elements* (one element = one array entry, nominally 8
+bytes); line size, capacity and associativity are in elements and lines.
+The implementation keeps each set as a most-recently-used-first list of
+tags, which is both simple and fast enough for pure-Python simulation.
+"""
+
+from __future__ import annotations
+
+
+class CacheLevel:
+    """A set-associative cache with LRU replacement."""
+
+    def __init__(self, name: str, size_elems: int, line_elems: int, assoc: int, latency: int) -> None:
+        if size_elems % (line_elems * assoc) != 0:
+            raise ValueError("cache size must be a multiple of line size * associativity")
+        if line_elems & (line_elems - 1):
+            raise ValueError("line size must be a power of two")
+        self.name = name
+        self.size_elems = size_elems
+        self.line_elems = line_elems
+        self.assoc = assoc
+        self.latency = latency
+        self.num_sets = size_elems // (line_elems * assoc)
+        self.line_shift = line_elems.bit_length() - 1
+        self.sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        # Dirty-line tracking for write-back accounting; a write-allocate,
+        # write-back policy (the common choice, and what the SP-2 used).
+        self.dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        # Element address of the dirty line evicted by the most recent
+        # install, for the hierarchy to propagate to the next level.
+        self.pending_victim: int | None = None
+
+    def reset(self) -> None:
+        self.sets = [[] for _ in range(self.num_sets)]
+        self.dirty = set()
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.pending_victim = None
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Touch an element address; returns True on hit (and updates LRU).
+
+        Writes allocate on miss and mark the line dirty; evicting a dirty
+        line counts a write-back (extra traffic to the next level).
+        """
+        line = addr >> self.line_shift
+        bucket = self.sets[line % self.num_sets]
+        if line in bucket:
+            self.hits += 1
+            if bucket[0] != line:
+                bucket.remove(line)
+                bucket.insert(0, line)
+            if write:
+                self.dirty.add(line)
+            return True
+        self.misses += 1
+        bucket.insert(0, line)
+        if write:
+            self.dirty.add(line)
+        if len(bucket) > self.assoc:
+            victim = bucket.pop()
+            if victim in self.dirty:
+                self.dirty.discard(victim)
+                self.writebacks += 1
+                self.pending_victim = victim << self.line_shift
+        return False
+
+    def pop_victim(self) -> int | None:
+        """The dirty line (element address) evicted by the last install."""
+        victim = self.pending_victim
+        self.pending_victim = None
+        return victim
+
+    def receive_writeback(self, addr: int) -> bool:
+        """Absorb a write-back from a faster level.
+
+        If this level holds the line, mark it dirty and report success;
+        otherwise the hierarchy forwards the write-back further down.
+        """
+        line = addr >> self.line_shift
+        bucket = self.sets[line % self.num_sets]
+        if line in bucket:
+            self.dirty.add(line)
+            return True
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheLevel({self.name}: {self.size_elems} elems, line {self.line_elems}, "
+            f"{self.assoc}-way, {self.num_sets} sets)"
+        )

@@ -1,0 +1,100 @@
+"""Machine specifications and the execution cost model.
+
+``time = data-access cycles (from the cache simulation) + flops * CPI``.
+
+The CPI knob models *scalar back-end quality*, which the paper's Section
+7 shows to be the difference between compiler-generated inner loops
+compiled by ``xlf`` and hand-tuned BLAS kernels (the "Matrix Multiply
+replaced by DGEMM" lines): same block structure and data movement,
+different cycles per flop.  ``scalar_cpi`` is the xlf-like value,
+``kernel_cpi`` the DGEMM-like value.
+
+``SP2_SCALED`` shrinks the caches (and therefore the matrix sizes needed
+to exercise them) so pure-Python simulation stays fast; blocking behaviour
+depends on the block-size:cache-size ratio, so shapes are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memsim.cache import CacheLevel
+from repro.memsim.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class MachineSpec:
+    """A simulated machine: cache levels plus latency/CPI parameters.
+
+    ``levels`` entries are (name, size_elems, line_elems, assoc, latency).
+    Latencies follow the paper's "roughly ten-fold per level".
+    """
+
+    name: str
+    levels: list[tuple[str, int, int, int, int]]
+    memory_latency: int
+    clock_mhz: float = 66.7  # SP-2 thin node POWER2 clock
+    scalar_cpi: float = 4.0
+    kernel_cpi: float = 1.0
+
+    def hierarchy(self) -> MemoryHierarchy:
+        return MemoryHierarchy(
+            [CacheLevel(*spec) for spec in self.levels], self.memory_latency
+        )
+
+
+# A two-level hierarchy scaled down ~16x from an SP-2 thin node (64 KB
+# 4-way L1 with 32-byte lines; here sizes are in 8-byte elements).
+SP2_SCALED = MachineSpec(
+    name="sp2-scaled",
+    levels=[
+        ("L1", 512, 4, 4, 1),  # 4 KB equivalent
+        ("L2", 4096, 8, 8, 10),  # 32 KB equivalent
+    ],
+    memory_latency=100,
+    scalar_cpi=4.0,
+    kernel_cpi=1.0,
+)
+
+# Full-size SP-2-like caches for C-backend runs and large simulations.
+SP2_LIKE = MachineSpec(
+    name="sp2-like",
+    levels=[
+        ("L1", 8192, 4, 4, 1),  # 64 KB of 8-byte elements
+        ("L2", 65536, 8, 8, 10),  # 512 KB
+    ],
+    memory_latency=100,
+    scalar_cpi=4.0,
+    kernel_cpi=1.0,
+)
+
+# A deliberately tiny single-level machine for unit tests.
+TINY = MachineSpec(
+    name="tiny",
+    levels=[("L1", 16, 2, 2, 1)],
+    memory_latency=10,
+    scalar_cpi=1.0,
+    kernel_cpi=1.0,
+)
+
+
+@dataclass
+class CostModel:
+    """Turns simulation counters into cycles / time / MFlops."""
+
+    machine: MachineSpec
+    use_kernel_cpi: bool = False
+
+    @property
+    def cpi(self) -> float:
+        return self.machine.kernel_cpi if self.use_kernel_cpi else self.machine.scalar_cpi
+
+    def cycles(self, hierarchy: MemoryHierarchy, flops: int) -> float:
+        return hierarchy.access_cycles() + flops * self.cpi
+
+    def seconds(self, hierarchy: MemoryHierarchy, flops: int) -> float:
+        return self.cycles(hierarchy, flops) / (self.machine.clock_mhz * 1e6)
+
+    def mflops(self, hierarchy: MemoryHierarchy, flops: int) -> float:
+        seconds = self.seconds(hierarchy, flops)
+        return (flops / 1e6) / seconds if seconds > 0 else 0.0

@@ -1,0 +1,97 @@
+"""A multi-level hierarchy of caches in front of main memory."""
+
+from __future__ import annotations
+
+from repro.memsim.cache import CacheLevel
+
+
+class MemoryHierarchy:
+    """Caches ordered fastest-first; a miss in every level goes to memory.
+
+    On a miss the line is installed at every level (a simple non-exclusive
+    fill policy).  ``access`` returns the latency of the satisfying level,
+    and per-level hit/miss counters accumulate for reporting.
+    """
+
+    def __init__(self, levels: list[CacheLevel], memory_latency: int) -> None:
+        self.levels = list(levels)
+        self.memory_latency = memory_latency
+        self.memory_accesses = 0
+        self.memory_writebacks = 0
+        self.total_accesses = 0
+
+    def reset(self) -> None:
+        for level in self.levels:
+            level.reset()
+        self.memory_accesses = 0
+        self.memory_writebacks = 0
+        self.total_accesses = 0
+
+    def access(self, addr: int, write: bool = False) -> int:
+        """Touch an element address; returns the cycles this access cost.
+
+        Dirty victims evicted by the installs are written back to the
+        next level that holds the line (or to memory), so outbound
+        traffic is accounted exactly.
+        """
+        self.total_accesses += 1
+        cost = 0
+        hit_index = len(self.levels)
+        for index, level in enumerate(self.levels):
+            cost += level.latency
+            if level.access(addr, write):
+                hit_index = index
+                break
+        if hit_index == len(self.levels):
+            self.memory_accesses += 1
+            cost += self.memory_latency
+        self._drain_victims()
+        return cost
+
+    def _drain_victims(self) -> None:
+        for index, level in enumerate(self.levels):
+            victim = level.pop_victim()
+            if victim is None:
+                continue
+            placed = False
+            for lower in self.levels[index + 1 :]:
+                if lower.receive_writeback(victim):
+                    placed = True
+                    break
+            if not placed:
+                self.memory_writebacks += 1
+
+    def access_cycles(self) -> int:
+        """Total data-access cycles across all recorded accesses.
+
+        Includes write-back traffic: every dirty line evicted from the
+        last cache level pays one memory access on its way out.
+        """
+        cycles = 0
+        remaining = self.total_accesses
+        for level in self.levels:
+            cycles += remaining * level.latency
+            remaining -= level.hits
+        cycles += self.memory_accesses * self.memory_latency
+        cycles += self.writeback_traffic() * self.memory_latency
+        return cycles
+
+    def writeback_traffic(self) -> int:
+        """Dirty lines written all the way out to memory (the outbound
+        traffic of the write-back policy)."""
+        return self.memory_writebacks
+
+    def stats(self) -> dict:
+        out = {"accesses": self.total_accesses, "memory_accesses": self.memory_accesses}
+        for level in self.levels:
+            out[f"{level.name}_hits"] = level.hits
+            out[f"{level.name}_misses"] = level.misses
+        out["writebacks"] = self.writeback_traffic()
+        return out
+
+    def describe(self) -> str:
+        parts = [
+            f"{lvl.name}:{lvl.size_elems}e/{lvl.line_elems}l/{lvl.assoc}w@{lvl.latency}cy"
+            for lvl in self.levels
+        ]
+        return " -> ".join(parts) + f" -> mem@{self.memory_latency}cy"

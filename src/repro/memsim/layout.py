@@ -1,0 +1,243 @@
+"""Array storage layouts and the flat arena.
+
+Every declared array of a program is assigned a region of one flat
+``numpy`` buffer; a layout maps (1-based) subscripts to element addresses
+within the arena.  Layouts provide both a Python callable (used by tests
+and oracles) and a *source expression* (used by the Python and C backends
+to inline address arithmetic into generated code).
+
+The paper's convention is FORTRAN column-major storage; the banded layout
+implements LAPACK-style band storage for the Figure 15 experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ir.nodes import Array, Program
+
+
+class ColumnMajorLayout:
+    """FORTRAN order: address = base + (i1-1) + (i2-1)*n1 + (i3-1)*n1*n2..."""
+
+    def __init__(self, array: Array, base: int, extents: list[int]) -> None:
+        self.array = array
+        self.base = base
+        self.extents = extents
+        self.strides = []
+        stride = 1
+        for extent in extents:
+            self.strides.append(stride)
+            stride *= extent
+        self.size = stride if extents else 1
+
+    def addr(self, indices: tuple[int, ...]) -> int:
+        return self.base + sum((i - 1) * s for i, s in zip(indices, self.strides))
+
+    def addr_source(self, index_sources: list[str]) -> str:
+        terms = [str(self.base)]
+        for src, stride in zip(index_sources, self.strides):
+            if stride == 1:
+                terms.append(f"(({src})-1)")
+            else:
+                terms.append(f"(({src})-1)*{stride}")
+        return "+".join(terms)
+
+    def in_bounds(self, indices: tuple[int, ...]) -> bool:
+        return all(1 <= i <= n for i, n in zip(indices, self.extents))
+
+
+class RowMajorLayout(ColumnMajorLayout):
+    """C order: last subscript contiguous."""
+
+    def __init__(self, array: Array, base: int, extents: list[int]) -> None:
+        super().__init__(array, base, extents)
+        self.strides = []
+        stride = 1
+        for extent in reversed(extents):
+            self.strides.insert(0, stride)
+            stride *= extent
+        self.size = stride if extents else 1
+
+
+class BandedColumnLayout:
+    """LAPACK-style lower-band storage for a 2-D array.
+
+    Only elements with ``0 <= i - j <= bandwidth`` are stored:
+    ``addr = base + (i - j) + (j - 1) * (bandwidth + 1)``.  Out-of-band
+    accesses are a caller error (the banded kernels guard against them).
+    """
+
+    def __init__(self, array: Array, base: int, extents: list[int], bandwidth: int) -> None:
+        if len(extents) != 2:
+            raise ValueError("banded layout requires a 2-D array")
+        self.array = array
+        self.base = base
+        self.extents = extents
+        self.bandwidth = bandwidth
+        self.size = extents[1] * (bandwidth + 1)
+
+    def addr(self, indices: tuple[int, ...]) -> int:
+        i, j = indices
+        return self.base + (i - j) + (j - 1) * (self.bandwidth + 1)
+
+    def addr_source(self, index_sources: list[str]) -> str:
+        i, j = index_sources
+        return f"{self.base}+(({i})-({j}))+(({j})-1)*{self.bandwidth + 1}"
+
+    def in_bounds(self, indices: tuple[int, ...]) -> bool:
+        i, j = indices
+        return 1 <= j <= self.extents[1] and 0 <= i - j <= self.bandwidth
+
+
+class BlockMajorLayout:
+    """Block-contiguous storage (the paper's Section 5.3 data reshaping).
+
+    The array is partitioned into ``block_sizes`` tiles; tiles are laid
+    out in row-major tile order and each tile's elements are
+    column-major within it.  Shackling "takes no position on how the
+    remapped data is stored", but storing blocks contiguously removes
+    the conflict misses that strided columns of a block otherwise cause.
+    """
+
+    def __init__(self, array: Array, base: int, extents: list[int], block_sizes) -> None:
+        if isinstance(block_sizes, int):
+            block_sizes = [block_sizes] * len(extents)
+        if len(block_sizes) != len(extents):
+            raise ValueError("one block size per dimension required")
+        self.array = array
+        self.base = base
+        self.extents = extents
+        self.block_sizes = list(block_sizes)
+        self.blocks_per_dim = [
+            (extent + size - 1) // size for extent, size in zip(extents, block_sizes)
+        ]
+        self.block_elems = 1
+        for size in block_sizes:
+            self.block_elems *= size
+        total_blocks = 1
+        for count in self.blocks_per_dim:
+            total_blocks *= count
+        self.size = total_blocks * self.block_elems
+
+    def addr(self, indices: tuple[int, ...]) -> int:
+        block_id = 0
+        offset = 0
+        offset_stride = 1
+        for k, (i, size, count) in enumerate(
+            zip(indices, self.block_sizes, self.blocks_per_dim)
+        ):
+            block_id = block_id * count + (i - 1) // size
+            offset += ((i - 1) % size) * offset_stride
+            offset_stride *= size
+        return self.base + block_id * self.block_elems + offset
+
+    def addr_source(self, index_sources: list[str]) -> str:
+        block_parts: list[str] = []
+        offset_parts: list[str] = []
+        offset_stride = 1
+        block_expr = "0"
+        for i_src, size, count in zip(index_sources, self.block_sizes, self.blocks_per_dim):
+            block_expr = f"(({block_expr})*{count}+(({i_src})-1)//{size})"
+            offset_parts.append(f"((({i_src})-1)%{size})*{offset_stride}")
+            offset_stride *= size
+        offset = "+".join(offset_parts)
+        return f"{self.base}+({block_expr})*{self.block_elems}+{offset}"
+
+    def in_bounds(self, indices: tuple[int, ...]) -> bool:
+        return all(1 <= i <= n for i, n in zip(indices, self.extents))
+
+
+class Arena:
+    """All of a program's arrays packed into one element-addressed space.
+
+    ``layout_overrides`` maps array names either to a layout *class*
+    (constructed with the default arguments) or to a ready factory
+    ``lambda array, base, extents: layout``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        env: dict[str, int],
+        layout_overrides: dict | None = None,
+        gap: int = 0,
+    ) -> None:
+        self.program = program
+        self.env = dict(env)
+        self.layouts: dict[str, object] = {}
+        base = 0
+        overrides = layout_overrides or {}
+        for array in program.arrays.values():
+            extents = [e.evaluate_int(env) for e in array.extents]
+            factory = overrides.get(array.name, ColumnMajorLayout)
+            if isinstance(factory, type):
+                layout = factory(array, base, extents)
+            else:
+                layout = factory(array, base, extents)
+            self.layouts[array.name] = layout
+            base += layout.size + gap
+        self.total_size = base
+
+    def layout(self, name: str):
+        return self.layouts[name]
+
+    def addr(self, name: str, indices: tuple[int, ...]) -> int:
+        return self.layouts[name].addr(indices)
+
+    def allocate(self) -> np.ndarray:
+        return np.zeros(self.total_size, dtype=np.float64)
+
+    def set_array(self, buf: np.ndarray, name: str, values) -> None:
+        """Write values into an array regardless of its layout.
+
+        Uses the fast column-major view when available, otherwise the
+        element-by-element dense store.  Scalars broadcast.
+        """
+        layout = self.layouts[name]
+        dense = np.broadcast_to(np.asarray(values, dtype=np.float64), tuple(layout.extents))
+        try:
+            self.view(buf, name)[:] = dense
+        except TypeError:
+            self.store_dense(buf, name, dense)
+
+    def get_array(self, buf: np.ndarray, name: str) -> np.ndarray:
+        """Read an array back densely regardless of its layout."""
+        try:
+            return np.array(self.view(buf, name))
+        except TypeError:
+            return self.load_dense(buf, name)
+
+    def store_dense(self, buf: np.ndarray, name: str, values: np.ndarray) -> None:
+        """Write a dense ndarray into the arena through any layout.
+
+        Elements outside the layout's stored region (e.g. out-of-band for
+        banded storage) are skipped.
+        """
+        layout = self.layouts[name]
+        it = np.ndindex(*layout.extents)
+        for zero_based in it:
+            indices = tuple(i + 1 for i in zero_based)
+            if layout.in_bounds(indices):
+                buf[layout.addr(indices)] = values[zero_based]
+
+    def load_dense(self, buf: np.ndarray, name: str) -> np.ndarray:
+        """Read an array back into dense form (zeros where not stored)."""
+        layout = self.layouts[name]
+        out = np.zeros(tuple(layout.extents))
+        for zero_based in np.ndindex(*layout.extents):
+            indices = tuple(i + 1 for i in zero_based)
+            if layout.in_bounds(indices):
+                out[zero_based] = buf[layout.addr(indices)]
+        return out
+
+    def view(self, buf: np.ndarray, name: str) -> np.ndarray:
+        """A (column-major) ndarray view of one array, for numpy oracles.
+
+        Only valid for ColumnMajor layouts.
+        """
+        layout = self.layouts[name]
+        if not isinstance(layout, ColumnMajorLayout) or isinstance(layout, RowMajorLayout):
+            raise TypeError(f"no ndarray view for layout of {name}")
+        flat = buf[layout.base : layout.base + layout.size]
+        return flat.reshape(tuple(layout.extents), order="F")

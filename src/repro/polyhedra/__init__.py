@@ -1,0 +1,32 @@
+"""Polyhedral algebra: constraints, projection, exact integer feasibility.
+
+This package plays the role the Omega calculator plays in the paper: it
+decides integer feasibility of conjunctions of affine constraints (used by
+dependence analysis and the Theorem-1 legality test) and simplifies the
+guards/bounds of generated code (used by the shackle code generator).
+
+All variables are implicitly integer-valued.  Symbolic parameters such as
+the matrix size ``N`` are ordinary variables from the solver's perspective:
+a legality question "is there any N and any pair of instances that violate
+the dependence?" is an existential query over parameters too.
+"""
+
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.fourier_motzkin import eliminate_variable, project, rational_feasible
+from repro.polyhedra.omega import integer_feasible, integer_sample
+from repro.polyhedra.scan import LoopBounds, scan_bounds
+from repro.polyhedra.simplify import gist, implies
+
+__all__ = [
+    "Constraint",
+    "System",
+    "LoopBounds",
+    "eliminate_variable",
+    "project",
+    "rational_feasible",
+    "integer_feasible",
+    "integer_sample",
+    "gist",
+    "implies",
+    "scan_bounds",
+]

@@ -1,0 +1,197 @@
+"""Affine constraints and conjunctive constraint systems.
+
+A :class:`Constraint` is ``sum(coeffs[v] * v) + const >= 0`` (kind ``ge``)
+or ``... == 0`` (kind ``eq``) with integer coefficients.  A :class:`System`
+is a conjunction of constraints; unions of polyhedra are represented as
+plain Python lists of systems by the callers that need disjunction
+(dependence levels, lexicographic order violations).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.linalg.intmath import floor_div, gcd_list, lcm_list
+
+
+class Constraint:
+    """One affine constraint over named integer variables.
+
+    The representation is normalized on construction:
+
+    * coefficients are scaled to integers (rational inputs are accepted);
+    * the gcd of the variable coefficients is divided out, and for
+      inequalities the constant is floored — a sound tightening because all
+      variables are integer-valued;
+    * zero coefficients are dropped.
+    """
+
+    __slots__ = ("coeffs", "const", "is_eq")
+
+    def __init__(self, coeffs: Mapping[str, object], const: object, is_eq: bool = False) -> None:
+        frac_coeffs = {v: Fraction(c) for v, c in coeffs.items() if Fraction(c) != 0}
+        frac_const = Fraction(const)
+        denominators = [c.denominator for c in frac_coeffs.values()] + [frac_const.denominator]
+        scale = lcm_list(denominators)
+        int_coeffs = {v: int(c * scale) for v, c in frac_coeffs.items()}
+        int_const = frac_const * scale  # may still be a Fraction only if scale wrong; it is exact
+        g = gcd_list(int_coeffs.values())
+        if g > 1:
+            int_coeffs = {v: c // g for v, c in int_coeffs.items()}
+            if is_eq:
+                # Divisibility is checked by the caller (solver); keep exact
+                # rational constant so an eq like 2x + 1 == 0 stays detectably
+                # infeasible after normalization.
+                int_const = Fraction(int_const, g)
+            else:
+                int_const = Fraction(floor_div(int_const, g))
+        self.coeffs: dict[str, int] = dict(sorted(int_coeffs.items()))
+        self.const: Fraction = Fraction(int_const)
+        self.is_eq: bool = is_eq
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def ge(cls, coeffs: Mapping[str, object], const: object) -> "Constraint":
+        """``sum(coeffs) + const >= 0``."""
+        return cls(coeffs, const, is_eq=False)
+
+    @classmethod
+    def eq(cls, coeffs: Mapping[str, object], const: object) -> "Constraint":
+        """``sum(coeffs) + const == 0``."""
+        return cls(coeffs, const, is_eq=True)
+
+    @classmethod
+    def le_expr(cls, lo: Mapping[str, object], lo_const, hi: Mapping[str, object], hi_const) -> "Constraint":
+        """``lo_expr <= hi_expr`` as a single ``ge`` constraint."""
+        coeffs = dict(hi)
+        for v, c in lo.items():
+            coeffs[v] = Fraction(coeffs.get(v, 0)) - Fraction(c)
+        return cls.ge(coeffs, Fraction(hi_const) - Fraction(lo_const))
+
+    # -- queries ---------------------------------------------------------------
+
+    def variables(self) -> set[str]:
+        return set(self.coeffs)
+
+    def coeff(self, var: str) -> int:
+        return self.coeffs.get(var, 0)
+
+    def is_trivially_true(self) -> bool:
+        if self.coeffs:
+            return False
+        return self.const == 0 if self.is_eq else self.const >= 0
+
+    def is_trivially_false(self) -> bool:
+        if self.coeffs:
+            return False
+        return self.const != 0 if self.is_eq else self.const < 0
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        value = self.const + sum(c * env[v] for v, c in self.coeffs.items())
+        return value == 0 if self.is_eq else value >= 0
+
+    def negated(self) -> "Constraint":
+        """Integer negation of an inequality: ``not (e >= 0)`` is ``-e - 1 >= 0``.
+
+        Only valid for ``ge`` constraints (negating an equality is a
+        disjunction, which a single Constraint cannot express).
+        """
+        if self.is_eq:
+            raise ValueError("cannot negate an equality into a single constraint")
+        return Constraint.ge({v: -c for v, c in self.coeffs.items()}, -self.const - 1)
+
+    # -- transformations ---------------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(
+            {mapping.get(v, v): c for v, c in self.coeffs.items()}, self.const, self.is_eq
+        )
+
+    def substitute(self, var: str, coeffs: Mapping[str, object], const: object) -> "Constraint":
+        """Replace ``var`` by the affine form ``coeffs + const``."""
+        if var not in self.coeffs:
+            return self
+        factor = self.coeffs[var]
+        new_coeffs: dict[str, Fraction] = {
+            v: Fraction(c) for v, c in self.coeffs.items() if v != var
+        }
+        for v, c in coeffs.items():
+            new_coeffs[v] = new_coeffs.get(v, Fraction(0)) + factor * Fraction(c)
+        new_const = self.const + factor * Fraction(const)
+        return Constraint(new_coeffs, new_const, self.is_eq)
+
+    # -- dunder ------------------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (tuple(self.coeffs.items()), self.const, self.is_eq)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constraint) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c}*{v}" for v, c in self.coeffs.items()) or "0"
+        op = "==" if self.is_eq else ">="
+        return f"{terms} + {self.const} {op} 0"
+
+
+class System:
+    """A conjunction of constraints (a polyhedron's integer points)."""
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        # Deduplicate while preserving order; drop trivially-true constraints.
+        seen: set[tuple] = set()
+        kept: list[Constraint] = []
+        for c in constraints:
+            if c.is_trivially_true():
+                continue
+            key = c._key()
+            if key not in seen:
+                seen.add(key)
+                kept.append(c)
+        self.constraints: tuple[Constraint, ...] = tuple(kept)
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for c in self.constraints:
+            out |= c.variables()
+        return out
+
+    def conjoin(self, *others: "System | Constraint") -> "System":
+        extra: list[Constraint] = []
+        for item in others:
+            if isinstance(item, Constraint):
+                extra.append(item)
+            else:
+                extra.extend(item.constraints)
+        return System(list(self.constraints) + extra)
+
+    def rename(self, mapping: Mapping[str, str]) -> "System":
+        return System(c.rename(mapping) for c in self.constraints)
+
+    def equalities(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.is_eq]
+
+    def inequalities(self) -> list[Constraint]:
+        return [c for c in self.constraints if not c.is_eq]
+
+    def has_obvious_contradiction(self) -> bool:
+        return any(c.is_trivially_false() for c in self.constraints)
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return all(c.evaluate(env) for c in self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __repr__(self) -> str:
+        return "System[" + "; ".join(repr(c) for c in self.constraints) + "]"

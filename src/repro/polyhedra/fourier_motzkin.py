@@ -1,0 +1,101 @@
+"""Fourier-Motzkin elimination over the rationals.
+
+Used for projection (loop-bound extraction in the code generator) and as
+the inequality engine inside the exact integer test in
+:mod:`repro.polyhedra.omega`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.polyhedra.constraints import Constraint, System
+
+
+def _combine(lower: Constraint, upper: Constraint, var: str, dark: bool = False) -> Constraint:
+    """Combine a lower bound (positive coeff) and an upper bound (negative).
+
+    ``lower``:  b*var + e_l >= 0  (b > 0),  ``upper``: -a*var + e_u >= 0 (a > 0).
+    The real shadow is ``a*e_l + b*e_u >= 0``; the dark shadow subtracts
+    ``(a-1)*(b-1)`` (Pugh's Omega test), guaranteeing an integer point for
+    ``var`` whenever the shadow holds.
+    """
+    b = lower.coeff(var)
+    a = -upper.coeff(var)
+    if b <= 0 or a <= 0:
+        raise ValueError("mis-oriented bounds in FM combination")
+    coeffs: dict[str, Fraction] = {}
+    for v, c in lower.coeffs.items():
+        if v != var:
+            coeffs[v] = Fraction(a * c)
+    for v, c in upper.coeffs.items():
+        if v != var:
+            coeffs[v] = coeffs.get(v, Fraction(0)) + b * c
+    const = a * lower.const + b * upper.const
+    if dark:
+        const -= (a - 1) * (b - 1)
+    return Constraint.ge(coeffs, const)
+
+
+def eliminate_variable(system: System, var: str, dark: bool = False) -> System:
+    """Project ``var`` out of an inequality-only system.
+
+    With ``dark=False`` this is the exact rational (real) shadow; with
+    ``dark=True`` it is Pugh's dark shadow, a sufficient condition for an
+    integer point to exist for ``var``.
+
+    Equalities involving ``var`` must have been eliminated beforehand.
+    """
+    lowers: list[Constraint] = []
+    uppers: list[Constraint] = []
+    rest: list[Constraint] = []
+    for c in system:
+        if c.is_eq and c.coeff(var) != 0:
+            raise ValueError(f"equality involving {var!r} present during FM elimination")
+        a = c.coeff(var)
+        if a > 0:
+            lowers.append(c)
+        elif a < 0:
+            uppers.append(c)
+        else:
+            rest.append(c)
+    for lo in lowers:
+        for hi in uppers:
+            rest.append(_combine(lo, hi, var, dark=dark))
+    return System(rest)
+
+
+def project(system: System, keep: set[str] | frozenset[str]) -> System:
+    """Rational projection of ``system`` onto the variables in ``keep``."""
+    out = _substitute_equalities_rational(system)
+    for var in sorted(out.variables() - set(keep)):
+        out = eliminate_variable(out, var)
+    return out
+
+
+def _substitute_equalities_rational(system: System) -> System:
+    """Remove equalities by rational substitution (sound for projection)."""
+    constraints = list(system)
+    while True:
+        eq = next((c for c in constraints if c.is_eq and c.coeffs), None)
+        if eq is None:
+            return System(constraints)
+        # Solve the equality for one variable (rationally) and substitute.
+        var, coeff = next(iter(eq.coeffs.items()))
+        sub_coeffs = {v: Fraction(-c, coeff) for v, c in eq.coeffs.items() if v != var}
+        sub_const = Fraction(-eq.const, coeff)
+        constraints = [
+            c.substitute(var, sub_coeffs, sub_const) for c in constraints if c is not eq
+        ]
+
+
+def rational_feasible(system: System) -> bool:
+    """True iff the system has a rational solution (classic FM decision)."""
+    out = _substitute_equalities_rational(system)
+    if out.has_obvious_contradiction():
+        return False
+    for var in sorted(out.variables()):
+        out = eliminate_variable(out, var)
+        if out.has_obvious_contradiction():
+            return False
+    return not out.has_obvious_contradiction()

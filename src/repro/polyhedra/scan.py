@@ -1,0 +1,138 @@
+"""Loop-bound extraction: turn a polyhedron into scannable nested loops.
+
+Given a conjunction of affine constraints and an ordered list of variables
+(outermost first), :func:`scan_bounds` computes, for each variable, lower
+bounds of the form ``ceil(expr / den)`` and upper bounds ``floor(expr /
+den)`` where ``expr`` only mentions earlier variables and symbolic
+parameters.  This is the code-generation half of what the paper uses the
+Omega calculator for: scanning the set of statement instances shackled to
+each data block.
+
+Outer levels use the rational (real) shadow of Fourier-Motzkin
+elimination, which over-approximates the integer projection; that is safe
+for code generation — inner loops simply execute zero iterations on the
+extra points — and is exactly how Omega's codegen behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.fourier_motzkin import eliminate_variable
+from repro.polyhedra.simplify import implies
+
+
+@dataclass
+class Bound:
+    """One affine bound ``(coeffs + const) / den`` (den > 0).
+
+    For a lower bound the loop variable must be >= the ceiling of this
+    quantity; for an upper bound, <= its floor.
+    """
+
+    coeffs: dict[str, int]
+    const: Fraction
+    den: int
+
+    def evaluate_lower(self, env: dict[str, int]) -> int:
+        value = self.const + sum(c * env[v] for v, c in self.coeffs.items())
+        return int((Fraction(value) / self.den).__ceil__())
+
+    def evaluate_upper(self, env: dict[str, int]) -> int:
+        value = self.const + sum(c * env[v] for v, c in self.coeffs.items())
+        return int((Fraction(value) / self.den).__floor__())
+
+    def key(self) -> tuple:
+        return (tuple(sorted(self.coeffs.items())), self.const, self.den)
+
+
+@dataclass
+class LoopBounds:
+    """All bounds for one scanned variable (max of lowers, min of uppers)."""
+
+    var: str
+    lowers: list[Bound] = field(default_factory=list)
+    uppers: list[Bound] = field(default_factory=list)
+
+
+def _to_inequalities(system: System) -> System:
+    out: list[Constraint] = []
+    for c in system:
+        if c.is_eq:
+            out.append(Constraint.ge(c.coeffs, c.const))
+            out.append(Constraint.ge({v: -a for v, a in c.coeffs.items()}, -c.const))
+        else:
+            out.append(c)
+    return System(out)
+
+
+def _prune_level(level: list[Constraint], rest: list[Constraint]) -> list[Constraint]:
+    """Drop bounds at this loop level implied by the other constraints."""
+    kept = list(level)
+    changed = True
+    while changed:
+        changed = False
+        for i, candidate in enumerate(kept):
+            context = System(kept[:i] + kept[i + 1 :] + rest)
+            if implies(context, candidate):
+                kept.pop(i)
+                changed = True
+                break
+    return kept
+
+
+def scan_bounds(
+    system: System, order: list[str], prune: bool = True
+) -> tuple[list[LoopBounds], list[Constraint]]:
+    """Compute loop bounds for ``order`` (outermost first).
+
+    Returns ``(bounds, residual)`` where ``residual`` holds the constraints
+    that mention none of the scanned variables (conditions on symbolic
+    parameters; typically assumptions such as ``N >= 1``).
+    """
+    current = _to_inequalities(system)
+    per_var: dict[str, LoopBounds] = {}
+    levels: dict[str, list[Constraint]] = {}
+    for var in reversed(order):
+        level = [c for c in current if c.coeff(var) != 0]
+        rest = [c for c in current if c.coeff(var) == 0]
+        levels[var] = level
+        current = eliminate_variable(System(level + rest), var)
+    residual = [c for c in current if not c.is_trivially_true()]
+
+    if prune:
+        # Prune each level against what is already enforced when its loop
+        # bounds are evaluated: the (pruned) levels of *outer* variables
+        # plus the residual parameter conditions.  This is what lets an
+        # inner bound like ``I >= 1`` disappear when the outer block loop
+        # already implies it (paper Figure 6 has no ``max(1, ...)``).
+        # Inner levels must NOT be used as context: an outer bound that is
+        # only implied by inner constraints cannot be dropped, because the
+        # generated nest evaluates bounds outside-in.
+        outer_context: list[Constraint] = list(residual)
+        for var in order:
+            levels[var] = _prune_level(levels[var], outer_context)
+            outer_context.extend(levels[var])
+
+    for var in order:
+        level = levels[var]
+        bounds = LoopBounds(var)
+        seen_lowers: set[tuple] = set()
+        seen_uppers: set[tuple] = set()
+        for c in level:
+            a = c.coeff(var)
+            expr = {v: x for v, x in c.coeffs.items() if v != var}
+            if a > 0:
+                bound = Bound({v: -x for v, x in expr.items()}, -c.const, a)
+                if bound.key() not in seen_lowers:
+                    seen_lowers.add(bound.key())
+                    bounds.lowers.append(bound)
+            else:
+                bound = Bound(expr, c.const, -a)
+                if bound.key() not in seen_uppers:
+                    seen_uppers.add(bound.key())
+                    bounds.uppers.append(bound)
+        per_var[var] = bounds
+    return [per_var[v] for v in order], residual

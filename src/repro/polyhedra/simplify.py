@@ -1,0 +1,49 @@
+"""Constraint simplification: integer implication and gist.
+
+These are the "polyhedral algebra tool" services the paper delegates to the
+Omega calculator: the shackle code generator produces naive guards (paper
+Figure 5) and this module removes every guard that is implied by its
+context, yielding code like the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.omega import integer_feasible
+
+
+def implies(context: System, constraint: Constraint) -> bool:
+    """True iff every integer point of ``context`` satisfies ``constraint``."""
+    if constraint.is_trivially_true():
+        return True
+    if constraint.is_eq:
+        ge = Constraint.ge(constraint.coeffs, constraint.const)
+        le = Constraint.ge({v: -c for v, c in constraint.coeffs.items()}, -constraint.const)
+        return implies(context, ge) and implies(context, le)
+    return not integer_feasible(context.conjoin(constraint.negated()))
+
+
+def gist(system: System, context: System) -> System:
+    """Remove from ``system`` every constraint implied by ``context``.
+
+    The result, conjoined with ``context``, describes the same integer set
+    as ``system`` conjoined with ``context``.  This is a greedy minimization
+    (each surviving constraint is tested against the context plus the other
+    survivors), matching the classic Omega ``gist`` operator's contract.
+    """
+    remaining = list(system.constraints)
+    changed = True
+    while changed:
+        changed = False
+        for i, candidate in enumerate(remaining):
+            others = System(remaining[:i] + remaining[i + 1 :])
+            if implies(context.conjoin(others), candidate):
+                remaining.pop(i)
+                changed = True
+                break
+    return System(remaining)
+
+
+def remove_redundant(system: System) -> System:
+    """Drop constraints implied by the remaining ones (gist against true)."""
+    return gist(system, System())

@@ -1,0 +1,21 @@
+"""Control-centric transformations: the paper's Section 3 baseline.
+
+Iteration-space tiling (strip-mine and interchange) for perfectly nested
+loops, loop permutation, loop fusion (jamming) and code sinking — the
+classic toolkit the paper contrasts data shackling with.  All legality
+checks are exact, via the dependence polyhedra.
+"""
+
+from repro.tiling.fusion import can_fuse_adjacent, fuse_adjacent_loops
+from repro.tiling.permute import can_permute, permute_loops
+from repro.tiling.sinking import sink_to_perfect_nest
+from repro.tiling.tile import tile_perfect_nest
+
+__all__ = [
+    "can_fuse_adjacent",
+    "can_permute",
+    "fuse_adjacent_loops",
+    "permute_loops",
+    "sink_to_perfect_nest",
+    "tile_perfect_nest",
+]

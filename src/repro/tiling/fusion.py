@@ -1,0 +1,138 @@
+"""Loop fusion (jamming) with exact legality checking.
+
+Two adjacent sibling loops with identical bounds fuse into one loop
+running both bodies per iteration.  Fusion is illegal iff some
+dependence between the two bodies would be reversed: a dependence from
+an instance of the first loop at iteration ``i`` to an instance of the
+second at iteration ``j`` must keep ``i <= j`` (it runs at the fused
+iteration boundary), and a dependence from the second loop to the first
+(textually backward, necessarily loop-carried through an outer loop)
+must keep ``i < j``.
+"""
+
+from __future__ import annotations
+
+from repro.dependence import compute_dependences
+from repro.dependence.analysis import src_name, tgt_name
+from repro.ir.nodes import Guard, Loop, Node, Program, Statement
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.omega import integer_feasible
+
+
+def _statement_labels(node: Node) -> set[str]:
+    out: set[str] = set()
+
+    def walk(n: Node) -> None:
+        if isinstance(n, Statement):
+            out.add(n.label)
+        elif isinstance(n, (Loop, Guard)):
+            for child in n.body:
+                walk(child)
+
+    walk(node)
+    return out
+
+
+def can_fuse_adjacent(program: Program, first: Loop, second: Loop) -> bool:
+    """Exact fusion legality for two sibling loops of ``program``."""
+    first_labels = _statement_labels(first)
+    second_labels = _statement_labels(second)
+    deps = compute_dependences(program)
+    for dep in deps:
+        if dep.level is not None:
+            # Carried by a common outer loop: that loop still orders the
+            # dependent instances after fusion, so fusion cannot break it.
+            continue
+        src_in_first = dep.src.label in first_labels
+        tgt_in_second = dep.tgt.label in second_labels
+        src_in_second = dep.src.label in second_labels
+        tgt_in_first = dep.tgt.label in first_labels
+        if src_in_first and tgt_in_second:
+            sv, tv = src_name(first.var), tgt_name(second.var)
+            # Violated if the source iteration exceeds the target's:
+            # after fusion the (fused) iteration tv runs the second body
+            # after the first body of the same iteration.
+            bad = Constraint.ge({sv: 1, tv: -1}, -1)  # sv >= tv + 1
+            if integer_feasible(dep.system.conjoin(System([bad]))):
+                return False
+        elif src_in_second and tgt_in_first:
+            sv, tv = src_name(second.var), tgt_name(first.var)
+            bad = Constraint.ge({sv: 1, tv: -1}, 0)  # sv >= tv
+            if integer_feasible(dep.system.conjoin(System([bad]))):
+                return False
+    return True
+
+
+def _same_bounds(a: Loop, b: Loop) -> bool:
+    return (
+        [x._key() for x in a.lowers] == [x._key() for x in b.lowers]
+        and [x._key() for x in a.uppers] == [x._key() for x in b.uppers]
+    )
+
+
+def fuse_adjacent_loops(program: Program, parent_var: str | None = None, check: bool = True) -> Program:
+    """Fuse every pair of adjacent same-bound sibling loops (one pass).
+
+    ``parent_var`` restricts fusion to the body of that loop (None means
+    everywhere, including top level).  The fused loop takes the first
+    loop's variable; the second body is renamed accordingly.
+    """
+
+    def fuse_in(body: list[Node], here: bool) -> list[Node]:
+        out: list[Node] = []
+        for node in body:
+            if isinstance(node, Loop):
+                inner_here = parent_var is None or node.var == parent_var
+                node = Loop(node.var, list(node.lowers), list(node.uppers),
+                            fuse_in(node.body, inner_here))
+            elif isinstance(node, Guard):
+                node = Guard(list(node.conditions), fuse_in(node.body, here))
+            if (
+                here
+                and out
+                and isinstance(node, Loop)
+                and isinstance(out[-1], Loop)
+                and _same_bounds(out[-1], node)
+            ):
+                first = out[-1]
+                if not check or can_fuse_adjacent(program, first, node):
+                    renamed = _rename_body(node.body, {node.var: first.var})
+                    out[-1] = Loop(
+                        first.var, list(first.lowers), list(first.uppers),
+                        first.body + renamed,
+                    )
+                    continue
+            out.append(node)
+        return out
+
+    top = parent_var is None
+    return Program(
+        f"{program.name}_fused",
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=fuse_in(program.body, top),
+        assumptions=list(program.assumptions),
+    )
+
+
+def _rename_body(nodes: list[Node], mapping: dict[str, str]) -> list[Node]:
+    out: list[Node] = []
+    for node in nodes:
+        if isinstance(node, Statement):
+            out.append(
+                Statement(node.label, node.lhs.rename(mapping), node.rhs.rename(mapping))
+            )
+        elif isinstance(node, Loop):
+            out.append(
+                Loop(
+                    node.var,
+                    [b.rename(mapping) for b in node.lowers],
+                    [b.rename(mapping) for b in node.uppers],
+                    _rename_body(node.body, mapping),
+                )
+            )
+        elif isinstance(node, Guard):
+            out.append(
+                Guard([c.rename(mapping) for c in node.conditions], _rename_body(node.body, mapping))
+            )
+    return out

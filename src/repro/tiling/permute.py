@@ -1,0 +1,76 @@
+"""Loop permutation (interchange) with exact legality checking.
+
+Applies to nests where a prefix of loops encloses all statements (the
+statements may be several, all at the innermost level).  Legality: no
+dependence may become lexicographically backward under the permuted
+order — checked by integer feasibility per dependence.
+"""
+
+from __future__ import annotations
+
+from repro.dependence import compute_dependences
+from repro.dependence.analysis import Dependence, src_name, tgt_name
+from repro.ir.nodes import Loop, Node, Program, Statement
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.omega import integer_feasible
+
+
+def _loop_chain(program: Program) -> tuple[list[Loop], list[Node]]:
+    loops: list[Loop] = []
+    body = program.body
+    while len(body) == 1 and isinstance(body[0], Loop):
+        loops.append(body[0])
+        body = body[0].body
+    if not loops or not all(isinstance(n, Statement) for n in body):
+        raise ValueError("permute_loops requires all statements at the innermost level")
+    return loops, body
+
+
+def _violates_order(dep: Dependence, order: list[str]) -> bool:
+    """Does any instance pair run target-before-source under ``order``?"""
+    # Statements share all loops here, so positions beyond loops are the
+    # textual order; after permutation textual order within an iteration
+    # is unchanged, so reversal requires a strictly-backward loop vector.
+    for k in range(len(order)):
+        constraints: list[Constraint] = []
+        for v in order[:k]:
+            constraints.append(Constraint.eq({src_name(v): 1, tgt_name(v): -1}, 0))
+        v = order[k]
+        constraints.append(Constraint.ge({src_name(v): 1, tgt_name(v): -1}, -1))
+        if integer_feasible(dep.system.conjoin(System(constraints))):
+            return True
+    return False
+
+
+def can_permute(program: Program, order: list[str]) -> bool:
+    """True iff permuting the nest's loops into ``order`` is legal."""
+    loops, _ = _loop_chain(program)
+    if sorted(order) != sorted(l.var for l in loops):
+        raise ValueError("order must be a permutation of the nest's loop variables")
+    deps = compute_dependences(program)
+    return not any(_violates_order(dep, order) for dep in deps)
+
+
+def permute_loops(program: Program, order: list[str], check: bool = True) -> Program:
+    """Interchange the nest's loops into ``order`` (outermost first).
+
+    Loop bounds must not reference loop variables moved inward past them;
+    this is validated structurally after permutation.
+    """
+    if check and not can_permute(program, order):
+        raise ValueError(f"loop permutation to {order} is illegal")
+    loops, innermost = _loop_chain(program)
+    by_var = {l.var: l for l in loops}
+    body: list[Node] = [Statement(s.label, s.lhs, s.rhs) for s in innermost]
+    for var in reversed(order):
+        old = by_var[var]
+        body = [Loop(old.var, list(old.lowers), list(old.uppers), body)]
+    out = Program(
+        f"{program.name}_permuted",
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=body,
+        assumptions=list(program.assumptions),
+    )
+    out.validate()  # catches bound references to now-inner variables
+    return out

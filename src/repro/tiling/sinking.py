@@ -1,0 +1,160 @@
+"""Code sinking: converting imperfect nests to perfect ones with guards.
+
+The paper (Section 3) uses code sinking as the classic route from
+imperfectly nested loops to tilable perfect nests: every statement is
+moved into an adjacent loop at its level, guarded so it executes exactly
+once at the right iteration.  There is no unique way to sink — the
+paper's point is precisely that the choices matter and no systematic
+procedure is known; this implementation sinks each statement into the
+lexically-next loop at its first iteration (or the previous loop at its
+last iteration, for trailing statements).
+
+Sinking a statement into a loop is only correct if that loop provably
+executes at least once for every enclosing iteration (otherwise the sunk
+instance would be lost — right-looking Cholesky's ``S1`` at ``J = N`` is
+exactly such a case).  This implementation verifies non-emptiness with
+the exact integer implication test and raises when it cannot.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import DivBound
+from repro.ir.nodes import Guard, Loop, Node, Program, Statement
+from repro.polyhedra.constraints import Constraint, System
+from repro.polyhedra.simplify import implies
+
+
+def _pin_guard(var: str, bound: DivBound) -> Constraint:
+    """``var == bound`` for a den-1 bound (guards a sunk statement)."""
+    if bound.den != 1:
+        raise ValueError("cannot pin a statement to a divided bound")
+    coeffs = {var: 1}
+    for v, c in bound.affine.coeffs.items():
+        coeffs[v] = coeffs.get(v, 0) - c
+    return Constraint.eq(coeffs, -bound.affine.const)
+
+
+def _provably_nonempty(loop: Loop, context: System) -> bool:
+    """True iff every context point gives the loop at least one iteration.
+
+    Sufficient check: every (lower, upper) bound pair with unit
+    denominators satisfies ``lower <= upper`` in context.  Divided bounds
+    are rejected conservatively.
+    """
+    for lo in loop.lowers:
+        for hi in loop.uppers:
+            if lo.den != 1 or hi.den != 1:
+                return False
+            diff = hi.affine - lo.affine
+            if not implies(context, Constraint.ge(diff.coeffs, diff.const)):
+                return False
+    return True
+
+
+def sink_to_perfect_nest(program: Program, name: str | None = None) -> Program:
+    """Sink every statement to the innermost loop level.
+
+    The result is semantically identical to the input (same instances,
+    same order), with statements wrapped in guards pinning the loops they
+    did not originally belong to.  Raises ValueError when a statement
+    would be sunk into a loop that may execute zero times (the instance
+    would be lost) or when no adjacent loop exists.
+    """
+
+    def sink_level(nodes: list[Node], context: System) -> list[Node]:
+        loops = [n for n in nodes if isinstance(n, Loop)]
+        if not loops:
+            return nodes
+        perfected: dict[int, Loop] = {}
+        for loop in loops:
+            inner_context = context.conjoin(System(loop.bounds_constraints()))
+            perfected[id(loop)] = Loop(
+                loop.var,
+                list(loop.lowers),
+                list(loop.uppers),
+                sink_level(loop.body, inner_context),
+            )
+        if len(loops) == len(nodes) and len(loops) == 1:
+            return [perfected[id(loops[0])]]
+
+        out: list[Node] = []
+        pending: list[Node] = []
+        for node in nodes:
+            if isinstance(node, Loop):
+                target = perfected[id(node)]
+                if pending:
+                    if not _provably_nonempty(target, context):
+                        raise ValueError(
+                            f"cannot sink into loop {target.var!r}: it may run "
+                            f"zero iterations, losing the sunk instances"
+                        )
+                    guards = [
+                        Guard([_pin_guard(target.var, target.lowers[0])], [p])
+                        for p in pending
+                    ]
+                    target = Loop(
+                        target.var,
+                        list(target.lowers),
+                        list(target.uppers),
+                        _push_into(guards, target.body),
+                    )
+                    pending = []
+                out.append(target)
+            else:
+                pending.append(node)
+        if pending:
+            if not out or not isinstance(out[-1], Loop):
+                raise ValueError("no loop to sink trailing statements into")
+            last = out[-1]
+            if not _provably_nonempty(last, context):
+                raise ValueError(
+                    f"cannot sink into loop {last.var!r}: it may run zero "
+                    f"iterations, losing the sunk instances"
+                )
+            guards = [
+                Guard([_pin_guard(last.var, last.uppers[0])], [p]) for p in pending
+            ]
+            out[-1] = Loop(
+                last.var,
+                list(last.lowers),
+                list(last.uppers),
+                _append_into(last.body, guards),
+            )
+        return out
+
+    def _push_into(guards: list[Node], body: list[Node]) -> list[Node]:
+        """Prepend guards, sinking them further if the body is one loop."""
+        if len(body) == 1 and isinstance(body[0], Loop):
+            inner = body[0]
+            sunk = [
+                Guard(g.conditions + [_pin_guard(inner.var, inner.lowers[0])], g.body)
+                if isinstance(g, Guard)
+                else g
+                for g in guards
+            ]
+            return [
+                Loop(inner.var, list(inner.lowers), list(inner.uppers), _push_into(sunk, inner.body))
+            ]
+        return guards + body
+
+    def _append_into(body: list[Node], guards: list[Node]) -> list[Node]:
+        if len(body) == 1 and isinstance(body[0], Loop):
+            inner = body[0]
+            sunk = [
+                Guard(g.conditions + [_pin_guard(inner.var, inner.uppers[0])], g.body)
+                if isinstance(g, Guard)
+                else g
+                for g in guards
+            ]
+            return [
+                Loop(inner.var, list(inner.lowers), list(inner.uppers), _append_into(inner.body, sunk))
+            ]
+        return body + guards
+
+    return Program(
+        name or f"{program.name}_sunk",
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=sink_level(program.body, System(program.assumptions)),
+        assumptions=list(program.assumptions),
+    )

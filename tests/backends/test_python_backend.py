@@ -1,0 +1,149 @@
+"""Python backend tests: semantics, tracing, flop accounting."""
+
+import numpy as np
+import pytest
+
+from repro.backends import compile_program
+from repro.ir import parse_program
+from repro.memsim import Arena, MemoryHierarchy, CacheLevel
+
+
+def test_simple_init_loop():
+    p = parse_program(
+        """
+program init(N)
+array A[N]
+do I = 1, N
+  S1: A[I] = 2*I + 1
+"""
+    )
+    arena = Arena(p, {"N": 5})
+    buf = arena.allocate()
+    result = compile_program(p, arena).run(buf)
+    assert list(buf) == [3, 5, 7, 9, 11]
+    assert result.counts == {"S1": 5}
+    assert result.instances == 5
+
+
+def test_guard_execution():
+    p = parse_program(
+        """
+program g(N)
+array A[N]
+do I = 1, N
+  if I >= 3
+    S1: A[I] = 1
+"""
+    )
+    arena = Arena(p, {"N": 5})
+    buf = arena.allocate()
+    compile_program(p, arena).run(buf)
+    assert list(buf) == [0, 0, 1, 1, 1]
+
+
+def test_min_max_divbounds_execution():
+    p = parse_program(
+        """
+program b(N)
+array A[N]
+do t = 1, (N+2)/3
+  do I = 3*t-2, min(N, 3*t)
+    S1: A[I] = t
+"""
+    )
+    arena = Arena(p, {"N": 7})
+    buf = arena.allocate()
+    compile_program(p, arena).run(buf)
+    assert list(buf) == [1, 1, 1, 2, 2, 2, 3]
+
+
+def test_intrinsics():
+    p = parse_program(
+        """
+program f(N)
+array A[N]
+do I = 1, N
+  S1: A[I] = sqrt(A[I]) + sign(A[I]) + abs(0 - A[I])
+"""
+    )
+    arena = Arena(p, {"N": 3})
+    buf = arena.allocate()
+    buf[:] = [4.0, 9.0, 16.0]
+    compile_program(p, arena).run(buf)
+    assert list(buf) == [2 + 1 + 4, 3 + 1 + 9, 4 + 1 + 16]
+
+
+def test_trace_order_reads_then_write():
+    p = parse_program(
+        """
+program t(N)
+array A[N]
+array B[N]
+do I = 1, N
+  S1: A[I] = B[I] + A[I]
+"""
+    )
+    arena = Arena(p, {"N": 2})
+    buf = arena.allocate()
+
+    class Recorder:
+        def __init__(self):
+            self.log = []
+
+        def access(self, addr, write=False):
+            self.log.append((addr, write))
+            return 0
+
+    rec = Recorder()
+    compile_program(p, arena, trace=True).run(buf, mem=rec)
+    a = arena.layout("A").base
+    b = arena.layout("B").base
+    # Per instance: read B[I], read A[I], then write A[I].
+    assert rec.log == [
+        (b, False),
+        (a, False),
+        (a, True),
+        (b + 1, False),
+        (a + 1, False),
+        (a + 1, True),
+    ]
+
+
+def test_trace_requires_mem():
+    p = parse_program("program t(N)\narray A[N]\ndo I = 1, N\n  S1: A[I] = 0")
+    arena = Arena(p, {"N": 2})
+    cp = compile_program(p, arena, trace=True)
+    with pytest.raises(ValueError, match="pass mem="):
+        cp.run(arena.allocate())
+
+
+def test_flop_accounting():
+    p = parse_program(
+        """
+program f(N)
+array A[N]
+do I = 1, N
+  S1: A[I] = A[I]*A[I] + 1
+  S2: A[I] = sqrt(A[I])
+"""
+    )
+    arena = Arena(p, {"N": 4})
+    result = compile_program(p, arena).run(arena.allocate())
+    assert result.flops_per_statement == {"S1": 2, "S2": 1}
+    assert result.flops == 4 * 2 + 4 * 1
+
+
+def test_tracing_counts_match_hierarchy():
+    p = parse_program(
+        """
+program t(N)
+array A[N]
+do I = 1, N
+  S1: A[I] = A[I] + 1
+"""
+    )
+    arena = Arena(p, {"N": 10})
+    mem = MemoryHierarchy([CacheLevel("L1", 8, 2, 2, 1)], memory_latency=10)
+    compile_program(p, arena, trace=True).run(arena.allocate(), mem=mem)
+    # 2 accesses per instance (read + write).
+    assert mem.total_accesses == 20

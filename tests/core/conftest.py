@@ -1,0 +1,86 @@
+"""Shared kernels and helpers for the shackling-core tests."""
+
+import pytest
+
+from repro.ir import parse_program
+
+MATMUL = """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+
+RIGHT_CHOLESKY = """
+program cholesky(N)
+array A[N,N]
+assume N >= 1
+do J = 1, N
+  S1: A[J,J] = sqrt(A[J,J])
+  do I = J+1, N
+    S2: A[I,J] = A[I,J] / A[J,J]
+  do L = J+1, N
+    do K = J+1, L
+      S3: A[L,K] = A[L,K] - A[L,J]*A[K,J]
+"""
+
+TRISOLVE = """
+program trisolve(N)
+array L[N,N]
+array x[N]
+array b[N]
+assume N >= 1
+do I = 1, N
+  S1: x[I] = b[I] / L[I,I]
+  do J = I+1, N
+    S2: b[J] = b[J] - L[J,I]*x[I]
+"""
+
+
+@pytest.fixture(scope="session")
+def matmul_program():
+    return parse_program(MATMUL)
+
+
+@pytest.fixture(scope="session")
+def cholesky_program():
+    return parse_program(RIGHT_CHOLESKY)
+
+
+@pytest.fixture(scope="session")
+def trisolve_program():
+    return parse_program(TRISOLVE)
+
+
+@pytest.fixture(scope="session")
+def cholesky_dependences(cholesky_program):
+    from repro.dependence import compute_dependences
+
+    return compute_dependences(cholesky_program)
+
+
+@pytest.fixture(scope="session")
+def matmul_dependences(matmul_program):
+    from repro.dependence import compute_dependences
+
+    return compute_dependences(matmul_program)
+
+
+def shackled_execution_order(shackle, blocking, program, env):
+    """Brute-force shackled order: sort instances by (block, program order)."""
+    from repro.dependence.oracle import enumerate_instances
+
+    instances = enumerate_instances(program, env)
+
+    def key(ctx, ivec):
+        point_env = dict(zip(ctx.loop_vars, ivec))
+        subscripts = shackle.subscripts(ctx.label)
+        point = [int(a.evaluate(point_env)) for a in subscripts]
+        return (blocking.traversal_of(point), ctx.schedule_key(ivec))
+
+    return sorted(instances, key=lambda t: key(*t))

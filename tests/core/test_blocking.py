@@ -1,0 +1,91 @@
+"""Tests for cutting planes and data blockings."""
+
+import pytest
+
+from repro.core import CuttingPlanes, DataBlocking
+from repro.ir import Affine
+from repro.linalg import FracMatrix
+from repro.polyhedra import System
+
+
+def test_cutting_planes_block_of_paper_convention():
+    # spacing 25: block b covers 25b-24 .. 25b (paper Section 5.1).
+    plane = CuttingPlanes([1, 0], 25)
+    assert plane.block_of((1, 99)) == 1
+    assert plane.block_of((25, 1)) == 1
+    assert plane.block_of((26, 1)) == 2
+    assert plane.block_of((50, 7)) == 2
+    assert plane.block_of((51, 7)) == 3
+
+
+def test_cutting_planes_validation():
+    with pytest.raises(ValueError):
+        CuttingPlanes([0, 0], 25)
+    with pytest.raises(ValueError):
+        CuttingPlanes([1, 0], 0)
+
+
+def test_diagonal_cutting_planes():
+    plane = CuttingPlanes([1, -1], 10)
+    # Element (i, j) is assigned by the value i - j.
+    assert plane.block_of((5, 5)) == 0
+    assert plane.block_of((15, 5)) == 1
+    assert plane.block_of((5, 15)) == -1
+
+
+def test_grid_blocking_coords():
+    blocking = DataBlocking.grid("A", 2, 25)
+    assert blocking.num_dims == 2
+    assert blocking.block_of((26, 30)) == (2, 2)
+    assert blocking.block_of((1, 1)) == (1, 1)
+
+
+def test_grid_partial_dims():
+    # Column-only blocking (the paper's QR shackle).
+    blocking = DataBlocking.grid("A", 2, 8, dims=[1])
+    assert blocking.num_dims == 1
+    assert blocking.block_of((500, 9)) == (2,)
+
+
+def test_directions_traversal():
+    blocking = DataBlocking.grid("A", 2, 10, directions=[-1, 1])
+    assert blocking.block_of((11, 11)) == (2, 2)
+    assert blocking.traversal_of((11, 11)) == (-2, 2)
+
+
+def test_cutting_planes_matrix():
+    blocking = DataBlocking.grid("A", 2, 25)
+    # Paper Figure 4: the identity cutting-planes matrix.
+    assert blocking.cutting_planes_matrix() == FracMatrix([[1, 0], [0, 1]])
+
+
+def test_membership_constraints_match_block_of():
+    blocking = DataBlocking.grid("A", 2, 7)
+    indices = (Affine.var("i"), Affine.var("j"))
+    constraints = System(blocking.membership_constraints(indices, ["w1", "w2"]))
+    for i in range(1, 20):
+        for j in range(1, 20):
+            z1, z2 = blocking.block_of((i, j))
+            assert constraints.evaluate({"i": i, "j": j, "w1": z1, "w2": z2})
+            assert not constraints.evaluate({"i": i, "j": j, "w1": z1 + 1, "w2": z2})
+
+
+def test_membership_constraints_reversed_direction():
+    blocking = DataBlocking.grid("A", 1, 5, directions=[-1])
+    constraints = System(blocking.membership_constraints((Affine.var("i"),), ["w"]))
+    for i in range(1, 26):
+        (w,) = blocking.traversal_of((i,))
+        assert w == -blocking.block_of((i,))[0]
+        assert constraints.evaluate({"i": i, "w": w})
+        assert not constraints.evaluate({"i": i, "w": w + 1})
+
+
+def test_rank_mismatch_rejected():
+    planes = [CuttingPlanes([1, 0], 5), CuttingPlanes([1], 5)]
+    with pytest.raises(ValueError):
+        DataBlocking("A", planes)
+
+
+def test_bad_directions_rejected():
+    with pytest.raises(ValueError):
+        DataBlocking.grid("A", 2, 5, directions=[1, 2])

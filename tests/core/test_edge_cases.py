@@ -1,0 +1,86 @@
+"""Edge cases: degenerate blockings, tiny arrays, printer corners."""
+
+import numpy as np
+
+from repro.backends import compile_program
+from repro.core import DataBlocking, check_legality, shackle_refs, simplified_code
+from repro.ir import to_source
+from repro.ir.printer import constraint_to_source
+from repro.kernels import cholesky, matmul
+from repro.memsim import Arena
+from repro.polyhedra import Constraint
+
+
+def test_block_larger_than_array(matmul_program):
+    """A block bigger than the whole array: one block, original order."""
+    sh = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 1000), "lhs")
+    assert check_legality(sh, first_violation_only=True).legal
+    program = simplified_code(sh)
+    arena = Arena(matmul_program, {"N": 6})
+    buf = arena.allocate()
+    matmul.init(arena, buf, np.random.default_rng(0))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert matmul.check(arena, initial, buf)
+
+
+def test_block_size_one(cholesky_program):
+    """1x1 blocks: element-by-element traversal, still legal and correct."""
+    sh = shackle_refs(cholesky_program, DataBlocking.grid("A", 2, 1), "lhs")
+    assert check_legality(sh, first_violation_only=True).legal
+    program = simplified_code(sh)
+    arena = Arena(cholesky_program, {"N": 6})
+    buf = arena.allocate()
+    cholesky.init(arena, buf, np.random.default_rng(1))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert cholesky.check(arena, initial, buf)
+
+
+def test_n_equals_one(cholesky_program):
+    sh = cholesky.fully_blocked(cholesky_program, 4)
+    program = simplified_code(sh)
+    arena = Arena(cholesky_program, {"N": 1})
+    buf = arena.allocate()
+    cholesky.init(arena, buf, np.random.default_rng(2))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert cholesky.check(arena, initial, buf)
+
+
+def test_constraint_printing_corners():
+    assert constraint_to_source(Constraint.ge({}, 0)) == "0 >= 0"
+    assert constraint_to_source(Constraint.ge({"x": 1}, 0)) == "x >= 0"
+    # Normalization divides out the gcd and floors: -2x + 5 >= 0 -> x <= 2.
+    assert constraint_to_source(Constraint.ge({"x": -2}, 5)) == "2 >= x"
+    assert constraint_to_source(Constraint.eq({"x": 1, "y": -1}, 0)) == "x == y"
+    assert constraint_to_source(Constraint.ge({"x": 1, "y": -3}, -4)) == "x >= 3*y + 4"
+
+
+def test_to_source_includes_assumptions(matmul_program):
+    text = to_source(matmul_program)
+    assert "assume N >= 1" in text
+    assert text.startswith("program mm(N)")
+
+
+def test_rectangular_array_blocking():
+    from repro.ir import parse_program
+
+    p = parse_program(
+        """
+program rect(N, M)
+array A[N,M]
+assume N >= 1
+assume M >= 1
+do I = 1, N
+  do J = 1, M
+    S1: A[I,J] = A[I,J] + 1
+"""
+    )
+    sh = shackle_refs(p, DataBlocking.grid("A", 2, 3), "lhs")
+    assert check_legality(sh, first_violation_only=True).legal
+    program = simplified_code(sh)
+    arena = Arena(p, {"N": 5, "M": 8})
+    buf = arena.allocate()
+    compile_program(program, arena).run(buf)
+    assert np.all(buf == 1.0)

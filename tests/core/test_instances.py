@@ -1,0 +1,103 @@
+"""Tests of block-by-block instance enumeration (the execution engine)."""
+
+import pytest
+
+from repro.core import (
+    DataBlocking,
+    ShackleProduct,
+    enumerate_block_instances,
+    instance_schedule,
+    shackle_refs,
+)
+from repro.core.instances import BlockSchedule
+from repro.core.shackle import _parse_ref
+from repro.dependence import brute_force_dependences
+from repro.dependence.oracle import enumerate_instances
+
+from .conftest import shackled_execution_order
+
+
+def test_matmul_schedule_is_permutation(matmul_program):
+    sh = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 3), "lhs")
+    sched = instance_schedule(sh, {"N": 7})
+    original = enumerate_instances(matmul_program, {"N": 7})
+    assert len(sched) == len(original) == 7 ** 3
+    assert sorted((ctx.label, ivec) for _, ctx, ivec in sched) == sorted(
+        (ctx.label, ivec) for ctx, ivec in original
+    )
+
+
+def test_matmul_blocks_visited_lexicographically(matmul_program):
+    sh = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 3), "lhs")
+    blocks = [block for block, _ in enumerate_block_instances(sh, {"N": 7})]
+    assert blocks == sorted(blocks)
+    assert blocks == [(i, j) for i in range(1, 4) for j in range(1, 4)]
+
+
+def test_matmul_block_contents(matmul_program):
+    """Each block must contain exactly the instances writing into it."""
+    sh = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 3), "lhs")
+    for block, instances in enumerate_block_instances(sh, {"N": 7}):
+        for ctx, ivec in instances:
+            env = dict(zip(ctx.loop_vars, ivec))
+            i, j = (int(a.evaluate(env)) for a in ctx.statement.lhs.indices)
+            assert sh.blocking.block_of((i, j)) == block
+
+
+def test_schedule_matches_bruteforce_order(cholesky_program):
+    sh = shackle_refs(cholesky_program, DataBlocking.grid("A", 2, 3), "lhs")
+    sched = [(ctx.label, ivec) for _, ctx, ivec in instance_schedule(sh, {"N": 8})]
+    brute = [
+        (ctx.label, ivec)
+        for ctx, ivec in shackled_execution_order(sh, sh.blocking, cholesky_program, {"N": 8})
+    ]
+    assert sched == brute
+
+
+def test_schedule_respects_dependences(cholesky_program):
+    sh = shackle_refs(cholesky_program, DataBlocking.grid("A", 2, 3), "lhs")
+    position = {
+        (ctx.label, ivec): k
+        for k, (_, ctx, ivec) in enumerate(instance_schedule(sh, {"N": 7}))
+    }
+    for _, sl, si, tl, ti in brute_force_dependences(cholesky_program, {"N": 7}):
+        assert position[(sl, si)] < position[(tl, ti)]
+
+
+def test_product_schedule_refines_first_factor(matmul_program):
+    """Section 6: the second factor must never reorder across first-factor
+    partitions — instances ordered by factor-1 blocks stay ordered."""
+    c = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 4), "lhs")
+    a = shackle_refs(matmul_program, DataBlocking.grid("A", 2, 4), {"S1": "A[I,K]"})
+    prod = ShackleProduct(c, a)
+    env = {"N": 8}
+    product_order = instance_schedule(prod, env)
+    c_block_sequence = []
+    for _, ctx, ivec in product_order:
+        point_env = dict(zip(ctx.loop_vars, ivec))
+        point = [int(x.evaluate(point_env)) for x in c.subscripts(ctx.label)]
+        c_block_sequence.append(c.blocking.traversal_of(point))
+    assert c_block_sequence == sorted(c_block_sequence)
+
+
+def test_reversed_direction_traversal(trisolve_program):
+    choice = {"S1": _parse_ref("x[I]"), "S2": _parse_ref("x[I]")}
+    down = shackle_refs(
+        trisolve_program, DataBlocking.grid("x", 1, 2, directions=[-1]), choice
+    )
+    blocks = [b for b, _ in enumerate_block_instances(down, {"N": 6})]
+    assert blocks == [(-3,), (-2,), (-1,)]
+    # Traversal coordinate -3 is data block 3 (elements 5,6) touched first.
+    first_block_rows = {
+        ivec[0] if ctx.label == "S1" else None
+        for ctx, ivec in dict(enumerate_block_instances(down, {"N": 6}))[(-3,)]
+    }
+    assert first_block_rows - {None} == {5, 6}
+
+
+def test_block_schedule_reuse(matmul_program):
+    sh = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 3), "lhs")
+    schedule = BlockSchedule(sh)
+    a = instance_schedule(sh, {"N": 5}, schedule)
+    b = instance_schedule(sh, {"N": 6}, schedule)
+    assert len(a) == 125 and len(b) == 216

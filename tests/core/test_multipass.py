@@ -1,0 +1,126 @@
+"""Tests for multi-pass shackling (Section 8) on relaxation kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_legality
+from repro.core.multipass import multipass_schedule, single_sweep_suffices
+from repro.dependence import brute_force_dependences
+from repro.kernels import relaxation
+
+
+def execute_schedule(program, result, env, init, rng_seed=0):
+    """Run a multipass schedule's instance order through the arena."""
+    from repro.backends.python_backend import CompiledProgram
+    from repro.memsim import Arena
+
+    # Execute instance by instance via a tiny per-statement interpreter.
+    arena = Arena(program, env)
+    buf = arena.allocate()
+    init(arena, buf, np.random.default_rng(rng_seed))
+    initial = buf.copy()
+
+    import math
+
+    def run_instance(ctx, ivec):
+        scope = {**env, **dict(zip(ctx.loop_vars, ivec))}
+        stmt = ctx.statement
+
+        def value(expr):
+            from repro.ir.expr import AffExpr, BinOp, Call, Const, Ref, UnOp
+
+            if isinstance(expr, Const):
+                return float(expr.value)
+            if isinstance(expr, AffExpr):
+                return float(expr.affine.evaluate(scope))
+            if isinstance(expr, Ref):
+                idx = tuple(int(i.evaluate(scope)) for i in expr.indices)
+                return buf[arena.addr(expr.array, idx)]
+            if isinstance(expr, BinOp):
+                ops = {
+                    "+": lambda a, b: a + b,
+                    "-": lambda a, b: a - b,
+                    "*": lambda a, b: a * b,
+                    "/": lambda a, b: a / b,
+                }
+                return ops[expr.op](value(expr.left), value(expr.right))
+            if isinstance(expr, UnOp):
+                return -value(expr.operand)
+            if isinstance(expr, Call):
+                fns = {"sqrt": math.sqrt, "abs": abs}
+                return fns[expr.func](value(expr.args[0]))
+            raise TypeError(expr)
+
+        rhs = value(stmt.rhs)
+        idx = tuple(int(i.evaluate(scope)) for i in stmt.lhs.indices)
+        buf[arena.addr(stmt.lhs.array, idx)] = rhs
+
+    for _, _, ctx, ivec in result.schedule:
+        run_instance(ctx, ivec)
+    return arena, initial, buf
+
+
+def test_1d_time_relaxation_needs_multiple_passes():
+    prog = relaxation.program("1d-time")
+    shackle = relaxation.lhs_shackle_1d(prog, 4)
+    # Single-sweep shackling is illegal: time steps of early blocks must
+    # wait for earlier time steps of later blocks.
+    assert not check_legality(shackle, first_violation_only=True).legal
+    env = {"N": 12, "T": 3}
+    assert not single_sweep_suffices(shackle, env)
+    result = multipass_schedule(shackle, env)
+    assert result.passes > 1
+    # Everything executed exactly once.
+    assert len(result.schedule) == 3 * 10
+
+
+def test_multipass_respects_dependences():
+    prog = relaxation.program("1d-time")
+    shackle = relaxation.lhs_shackle_1d(prog, 4)
+    env = {"N": 10, "T": 3}
+    result = multipass_schedule(shackle, env)
+    position = {key: k for k, key in enumerate(result.instance_order())}
+    for _, sl, si, tl, ti in brute_force_dependences(prog, env):
+        assert position[(sl, si)] < position[(tl, ti)]
+
+
+def test_multipass_produces_correct_values():
+    prog = relaxation.program("1d-time")
+    shackle = relaxation.lhs_shackle_1d(prog, 4)
+    env = {"N": 12, "T": 3}
+    result = multipass_schedule(shackle, env)
+    arena, initial, final = execute_schedule(prog, result, env, relaxation.init_1d)
+    assert relaxation.check_1d(arena, initial, final)
+
+
+def test_2d_seidel_single_sweep_is_legal():
+    """A single Gauss-Seidel sweep has non-negative dependence distances:
+    the LHS shackle is legal outright and one pass suffices."""
+    prog = relaxation.program("2d")
+    shackle = relaxation.lhs_shackle_2d(prog, 3)
+    assert check_legality(shackle, first_violation_only=True).legal
+    assert single_sweep_suffices(shackle, {"N": 8})
+
+
+def test_2d_seidel_shackled_execution_correct():
+    prog = relaxation.program("2d")
+    shackle = relaxation.lhs_shackle_2d(prog, 3)
+    from repro.backends import compile_program
+    from repro.core import simplified_code
+    from repro.memsim import Arena
+
+    env = {"N": 9}
+    arena = Arena(prog, env)
+    buf = arena.allocate()
+    relaxation.init_2d(arena, buf, np.random.default_rng(2))
+    initial = buf.copy()
+    compile_program(simplified_code(shackle), arena).run(buf)
+    assert relaxation.check_2d(arena, initial, buf)
+
+
+def test_passes_scale_with_time_steps():
+    prog = relaxation.program("1d-time")
+    shackle = relaxation.lhs_shackle_1d(prog, 4)
+    p2 = multipass_schedule(shackle, {"N": 12, "T": 2}).passes
+    p5 = multipass_schedule(shackle, {"N": 12, "T": 5}).passes
+    assert p5 > p2

@@ -1,0 +1,78 @@
+"""Negative tests (illegal shackles really do break programs) and
+round-trips of generated code through the parser."""
+
+import numpy as np
+import pytest
+
+from repro.backends import compile_program
+from repro.core import DataBlocking, DataShackle, check_legality, simplified_code
+from repro.core.shackle import _parse_ref
+from repro.ir import parse_program, to_source
+from repro.kernels import cholesky, relaxation
+from repro.memsim import Arena
+
+
+def test_illegal_shackle_produces_wrong_results(cholesky_program):
+    """Theorem 1 is load-bearing: generating code for an *illegal*
+    shackle executes instances in a dependence-violating order and the
+    numerics come out wrong."""
+    bad = DataShackle(
+        cholesky_program,
+        DataBlocking.grid("A", 2, 3),
+        {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref("A[J,J]"), "S3": _parse_ref("A[L,K]")},
+    )
+    assert not check_legality(bad, first_violation_only=True).legal
+    program = simplified_code(bad)  # codegen itself never refuses
+    arena = Arena(cholesky_program, {"N": 9})
+    buf = arena.allocate()
+    cholesky.init(arena, buf, np.random.default_rng(0))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert not cholesky.check(arena, initial, buf)
+
+
+def test_illegal_relaxation_shackle_wrong_results():
+    prog = relaxation.program("1d-time")
+    shackle = relaxation.lhs_shackle_1d(prog, 4)
+    assert not check_legality(shackle, first_violation_only=True).legal
+    program = simplified_code(shackle)
+    arena = Arena(prog, {"N": 12, "T": 3})
+    buf = arena.allocate()
+    relaxation.init_1d(arena, buf, np.random.default_rng(1))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert not relaxation.check_1d(arena, initial, buf)
+
+
+@pytest.mark.parametrize(
+    "figure",
+    [
+        "fig3_tiled_matmul",
+        "fig5_naive_shackled_matmul",
+        "fig6_simplified_shackled_matmul",
+        "fig7_shackled_cholesky",
+        "fig10_two_level_matmul",
+        "fig14_adi_transformed",
+    ],
+)
+def test_generated_code_reparses(figure):
+    """Every generated code figure round-trips through the front end."""
+    from repro.experiments.figures import code_figures
+
+    text = code_figures()[figure]
+    program = parse_program(text, validate=False)
+    assert to_source(program, header=False) == text
+
+
+def test_split_code_reparses(cholesky_program):
+    from repro.core import split_code
+    from repro.core.shackle import _parse_ref
+
+    shackle = DataShackle(
+        cholesky_program,
+        DataBlocking.grid("A", 2, 64, dims=[1, 0]),
+        {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref("A[I,J]"), "S3": _parse_ref("A[L,K]")},
+    )
+    text = to_source(split_code(shackle), header=False)
+    reparsed = parse_program(text, validate=False)
+    assert to_source(reparsed, header=False) == text

@@ -1,0 +1,77 @@
+"""Section 6.1's closing claim: the two orders of the Cartesian product
+of the writes and reads shackles give fully-blocked *left-looking* and
+*right-looking* Cholesky.
+
+Distinguishing observable: take an update flowing from block column 1
+into a far block column 3 (instance u), and the first factorization of
+block column 2 (instance f).
+
+* right-looking (eager updates): every update out of block 1 runs while
+  block 1 is current, so u executes before f;
+* left-looking (lazy updates): u waits until block 3 is visited, so u
+  executes after f.
+"""
+
+import numpy as np
+
+from repro.backends import compile_program
+from repro.core import DataBlocking, DataShackle, ShackleProduct, instance_schedule, simplified_code
+from repro.core.shackle import _parse_ref
+from repro.kernels import cholesky
+from repro.memsim import Arena
+
+
+def make_factors(prog, size=3):
+    blocking = DataBlocking.grid("A", 2, size, dims=[1, 0])
+    writes = DataShackle(
+        prog,
+        blocking,
+        {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref("A[I,J]"), "S3": _parse_ref("A[L,K]")},
+        name="writes",
+    )
+    reads = DataShackle(
+        prog,
+        blocking,
+        {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref("A[J,J]"), "S3": _parse_ref("A[K,J]")},
+        name="reads",
+    )
+    return writes, reads
+
+
+def looking_direction(product, env):
+    """'right' if updates are eager, 'left' if lazy (see module doc)."""
+    order = [(ctx.label, ivec) for _, ctx, ivec in instance_schedule(product, env)]
+    position = {key: i for i, key in enumerate(order)}
+    update_far = ("S3", (1, 7, 7))  # J=1 updates A[7,7]: block col 1 -> block col 3
+    factor_mid = ("S1", (4,))  # first factorization of block column 2
+    return "right" if position[update_far] < position[factor_mid] else "left"
+
+
+def test_product_orders_give_left_and_right_looking(cholesky_program):
+    writes, reads = make_factors(cholesky_program)
+    env = {"N": 9}
+    directions = {
+        "writes x reads": looking_direction(ShackleProduct(writes, reads), env),
+        "reads x writes": looking_direction(ShackleProduct(reads, writes), env),
+    }
+    # The paper: one order gives left-looking, the other right-looking.
+    assert set(directions.values()) == {"left", "right"}, directions
+
+
+def test_both_orders_compute_cholesky(cholesky_program):
+    writes, reads = make_factors(cholesky_program)
+    for product in (ShackleProduct(writes, reads), ShackleProduct(reads, writes)):
+        program = simplified_code(product)
+        arena = Arena(cholesky_program, {"N": 9})
+        buf = arena.allocate()
+        cholesky.init(arena, buf, np.random.default_rng(0))
+        initial = buf.copy()
+        compile_program(program, arena).run(buf)
+        assert cholesky.check(arena, initial, buf)
+
+
+def test_single_writes_shackle_is_right_looking_partial(cholesky_program):
+    """The single writes shackle already behaves eagerly within its
+    traversal (updates performed when the written block is touched)."""
+    writes, _ = make_factors(cholesky_program)
+    assert looking_direction(writes, {"N": 9}) in ("left", "right")

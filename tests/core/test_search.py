@@ -1,0 +1,54 @@
+"""Tests for the automatic shackle search (Section 8 automation sketch)."""
+
+from repro.core import DataBlocking, search_shackles
+from repro.core.search import candidate_choices
+from repro.core.span import fully_constrained
+
+
+def test_candidate_enumeration_cholesky(cholesky_program):
+    choices = candidate_choices(cholesky_program, "A")
+    # S1: A[J,J] (write == read here, deduped to 1 distinct);
+    # S2: A[I,J], A[J,J]; S3: A[L,K], A[L,J], A[K,J].
+    assert len(choices) == 1 * 2 * 3
+
+
+def test_candidate_enumeration_requires_references(matmul_program):
+    assert candidate_choices(matmul_program, "C") != []
+    # Every statement must reference the array.
+    from repro.ir import parse_program
+
+    p = parse_program(
+        """
+program two(N)
+array A[N]
+array B[N]
+do I = 1, N
+  S1: A[I] = 1
+  S2: B[I] = 2
+"""
+    )
+    assert candidate_choices(p, "A") == []
+
+
+def test_search_matmul_finds_full_product(matmul_program):
+    results = search_shackles(matmul_program, DataBlocking.grid("C", 2, 25), max_product=2)
+    assert results
+    best = results[0]
+    # The best candidate must bound every reference (Theorem 2): a product.
+    assert best.unconstrained == 0
+    assert fully_constrained(best.shackle)
+
+
+def test_search_cholesky_legal_singles(cholesky_program):
+    results = search_shackles(cholesky_program, DataBlocking.grid("A", 2, 25), max_product=1)
+    # Exactly the three legal single shackles from the census.
+    assert len(results) == 3
+    picks = {tuple(sorted(r.choices.items())) for r in results}
+    assert (("S1", "A[J,J]"), ("S2", "A[I,J]"), ("S3", "A[L,K]")) in picks
+
+
+def test_search_results_are_ranked(cholesky_program):
+    results = search_shackles(cholesky_program, DataBlocking.grid("A", 2, 25), max_product=2)
+    costs = [r.unconstrained for r in results]
+    assert costs == sorted(costs)
+    assert all("unconstrained" in r.describe() for r in results[:1])

@@ -1,0 +1,110 @@
+"""Tests for shackle construction, reference choice and dummies."""
+
+import pytest
+
+from repro.core import DataBlocking, DataShackle, ShackleProduct, multi_level, shackle_refs
+from repro.core.shackle import _parse_ref
+from repro.ir import Affine, parse_program
+
+
+def test_shackle_refs_lhs(matmul_program):
+    sh = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 25), "lhs")
+    assert sh.subscripts("S1") == _parse_ref("C[I,J]").indices
+
+
+def test_shackle_explicit_choice(matmul_program):
+    sh = shackle_refs(
+        matmul_program, DataBlocking.grid("A", 2, 25), {"S1": "A[I,K]"}
+    )
+    assert sh.subscripts("S1") == _parse_ref("A[I,K]").indices
+
+
+def test_shackle_rejects_wrong_array(matmul_program):
+    with pytest.raises(ValueError, match="not to the blocked array"):
+        shackle_refs(matmul_program, DataBlocking.grid("A", 2, 25), {"S1": "C[I,J]"})
+
+
+def test_shackle_rejects_absent_reference(matmul_program):
+    with pytest.raises(ValueError, match="does not occur"):
+        shackle_refs(matmul_program, DataBlocking.grid("A", 2, 25), {"S1": "A[K,I]"})
+
+
+def test_shackle_requires_every_statement(cholesky_program):
+    with pytest.raises(ValueError, match="neither a chosen reference nor a dummy"):
+        DataShackle(
+            cholesky_program,
+            DataBlocking.grid("A", 2, 25),
+            {"S1": _parse_ref("A[J,J]")},
+        )
+
+
+def test_dummy_references():
+    # A statement not touching the blocked array gets a dummy (paper's
+    # ``+ 0*B[I,J]`` device).
+    p = parse_program(
+        """
+program two(N)
+array A[N]
+array B[N]
+do I = 1, N
+  S1: A[I] = 1
+  S2: B[I] = 2
+"""
+    )
+    blocking = DataBlocking.grid("A", 1, 4)
+    sh = DataShackle(
+        p,
+        blocking,
+        {"S1": _parse_ref("A[I]")},
+        dummies={"S2": [Affine.var("I")]},
+    )
+    assert sh.subscripts("S2") == (Affine.var("I"),)
+
+
+def test_dummy_arity_checked():
+    p = parse_program(
+        """
+program two(N)
+array A[N,N]
+array B[N]
+do I = 1, N
+  S1: A[I,I] = 1
+  S2: B[I] = 2
+"""
+    )
+    with pytest.raises(ValueError, match="arity"):
+        DataShackle(
+            p,
+            DataBlocking.grid("A", 2, 4),
+            {"S1": _parse_ref("A[I,I]")},
+            dummies={"S2": [Affine.var("I")]},
+        )
+
+
+def test_product_flattens(matmul_program):
+    c = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 25), "lhs")
+    a = shackle_refs(matmul_program, DataBlocking.grid("A", 2, 25), {"S1": "A[I,K]"})
+    prod = ShackleProduct(c, a)
+    assert len(prod.factors()) == 2
+    assert prod.num_block_dims == 4
+    nested = ShackleProduct(prod, c)
+    assert len(nested.factors()) == 3
+
+
+def test_product_requires_same_program(matmul_program, cholesky_program):
+    c = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 25), "lhs")
+    ch = shackle_refs(cholesky_program, DataBlocking.grid("A", 2, 25), "lhs")
+    with pytest.raises(ValueError, match="same program"):
+        ShackleProduct(c, ch)
+
+
+def test_multi_level_flattening(matmul_program):
+    def level(size):
+        return [
+            shackle_refs(matmul_program, DataBlocking.grid("C", 2, size), "lhs"),
+            shackle_refs(matmul_program, DataBlocking.grid("A", 2, size), {"S1": "A[I,K]"}),
+        ]
+
+    ml = multi_level(level(64), level(8))
+    assert len(ml.factors()) == 4
+    assert ml.num_block_dims == 8

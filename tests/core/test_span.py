@@ -1,0 +1,49 @@
+"""Theorem-2 tests: bounded vs unconstrained references under shackles."""
+
+from repro.core import DataBlocking, ShackleProduct, shackle_refs
+from repro.core.span import fully_constrained, reference_statuses, unconstrained_references
+
+
+def test_matmul_single_shackle_leaves_a_and_b_unconstrained(matmul_program):
+    sh = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 25), "lhs")
+    free = {str(s.ref) for s in unconstrained_references(sh)}
+    assert free == {"A[I,K]", "B[K,J]"}
+    assert not fully_constrained(sh)
+
+
+def test_matmul_product_constrains_everything(matmul_program):
+    """The paper: shackling C[I,J] and A[I,K] constrains B[K,J] too."""
+    c = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 25), "lhs")
+    a = shackle_refs(matmul_program, DataBlocking.grid("A", 2, 25), {"S1": "A[I,K]"})
+    prod = ShackleProduct(c, a)
+    assert fully_constrained(prod)
+    statuses = reference_statuses(prod)
+    assert all(s.bounded for s in statuses)
+
+
+def test_matmul_c_and_b_also_suffice(matmul_program):
+    c = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 25), "lhs")
+    b = shackle_refs(matmul_program, DataBlocking.grid("B", 2, 25), {"S1": "B[K,J]"})
+    assert fully_constrained(ShackleProduct(c, b))
+
+
+def test_triple_product_adds_nothing(matmul_program):
+    """Section 6.1: the C x A x B product produces the same constraint set."""
+    c = shackle_refs(matmul_program, DataBlocking.grid("C", 2, 25), "lhs")
+    a = shackle_refs(matmul_program, DataBlocking.grid("A", 2, 25), {"S1": "A[I,K]"})
+    b = shackle_refs(matmul_program, DataBlocking.grid("B", 2, 25), {"S1": "B[K,J]"})
+    assert fully_constrained(ShackleProduct(c, a))
+    assert fully_constrained(ShackleProduct(c, a, b))
+
+
+def test_cholesky_writes_shackle_statuses(cholesky_program):
+    sh = shackle_refs(cholesky_program, DataBlocking.grid("A", 2, 64), "lhs")
+    free = {(s.label, str(s.ref)) for s in unconstrained_references(sh)}
+    # S3's reads A[L,J] / A[K,J] involve loop J which the write A[L,K] does
+    # not constrain: the "reads are distributed over the entire left
+    # portion of the matrix" remark in Section 4.1.
+    assert ("S3", "A[L,J]") in free
+    assert ("S3", "A[K,J]") in free
+    # The writes themselves are trivially bounded.
+    assert ("S3", "A[L,K]") not in free
+    assert ("S2", "A[I,J]") not in free

@@ -1,0 +1,151 @@
+"""Index-set splitting tests: Figure 7 structure, order and correctness."""
+
+import numpy as np
+import pytest
+
+from repro.backends import compile_program
+from repro.core import (
+    DataBlocking,
+    DataShackle,
+    ShackleProduct,
+    instance_schedule,
+    shackle_refs,
+    split_code,
+)
+from repro.core.shackle import _parse_ref
+from repro.ir import to_source
+from repro.ir.analysis import statement_contexts
+from repro.kernels import cholesky, gmtry, matmul
+from repro.memsim import Arena
+
+from .test_codegen import execution_trace
+
+
+def element_trace(program, env):
+    """Execution order as (label, lhs element) — robust to variable
+    substitution performed by degenerate-loop collapsing."""
+    from repro.ir.nodes import Guard, Loop
+
+    trace = []
+
+    def run(nodes, scope):
+        for node in nodes:
+            if isinstance(node, Loop):
+                lo = max(b.evaluate_lower(scope) for b in node.lowers)
+                hi = min(b.evaluate_upper(scope) for b in node.uppers)
+                for value in range(lo, hi + 1):
+                    run(node.body, {**scope, node.var: value})
+            elif isinstance(node, Guard):
+                if all(c.evaluate(scope) for c in node.conditions):
+                    run(node.body, scope)
+            else:
+                element = tuple(int(i.evaluate(scope)) for i in node.lhs.indices)
+                trace.append((node.label, node.lhs.array, element))
+
+    run(program.body, dict(env))
+    return trace
+
+
+def schedule_element_trace(shackle, env):
+    out = []
+    for _, ctx, ivec in instance_schedule(shackle, env):
+        scope = dict(zip(ctx.loop_vars, ivec))
+        stmt = ctx.statement
+        element = tuple(int(i.evaluate(scope)) for i in stmt.lhs.indices)
+        out.append((stmt.label, stmt.lhs.array, element))
+    return out
+
+
+def figure7_shackle(prog, size):
+    """The paper's writes shackle with column planes first (Fig. 7)."""
+    blocking = DataBlocking.grid("A", 2, size, dims=[1, 0])
+    return DataShackle(
+        prog,
+        blocking,
+        {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref("A[I,J]"), "S3": _parse_ref("A[L,K]")},
+    )
+
+
+def test_figure7_regions_guard_free(cholesky_program):
+    program = split_code(figure7_shackle(cholesky_program, 64))
+    text = to_source(program, header=False)
+    # No residual guards: splitting absorbed them all (as Omega does).
+    assert "if " not in text
+    # Region (i): updates from the left to the diagonal block.
+    assert "do J = 1, 64*t1-64" in text
+    # Region (ii): baby Cholesky of the diagonal block.
+    assert "do J = 64*t1-63" in text
+    # Regions (iii)/(iv): off-diagonal blocks below the diagonal one.
+    assert "do t2 = t1+1" in text
+    # S3 appears in several regions (copies of the same source statement).
+    assert text.count("S3:") >= 3
+
+
+def test_split_preserves_execution_order(cholesky_program):
+    shackle = figure7_shackle(cholesky_program, 3)
+    env = {"N": 8}
+    generated = element_trace(split_code(shackle), env)
+    enumerated = schedule_element_trace(shackle, env)
+    assert generated == enumerated
+
+
+@pytest.mark.parametrize("n", [7, 11])
+def test_split_cholesky_numerically_correct(cholesky_program, n):
+    shackle = figure7_shackle(cholesky_program, 4)
+    program = split_code(shackle)
+    arena = Arena(cholesky_program, {"N": n})
+    buf = arena.allocate()
+    cholesky.init(arena, buf, np.random.default_rng(0))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert cholesky.check(arena, initial, buf)
+
+
+def test_split_on_product(cholesky_program):
+    writes = figure7_shackle(cholesky_program, 3)
+    reads = DataShackle(
+        cholesky_program,
+        DataBlocking.grid("A", 2, 3, dims=[1, 0]),
+        {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref("A[J,J]"), "S3": _parse_ref("A[K,J]")},
+    )
+    prod = ShackleProduct(writes, reads)
+    env = {"N": 6}
+    generated = element_trace(split_code(prod), env)
+    enumerated = schedule_element_trace(prod, env)
+    assert generated == enumerated
+
+
+def test_split_matmul_equals_simplified():
+    """With a single statement there is nothing to split: the output is
+    equivalent to the scan-based code (same instance order)."""
+    prog = matmul.program()
+    shackle = matmul.c_shackle(prog, 3)
+    env = {"N": 7}
+    generated = element_trace(split_code(shackle), env)
+    enumerated = schedule_element_trace(shackle, env)
+    assert generated == enumerated
+
+
+def test_split_gmtry_guard_free_and_correct():
+    prog = gmtry.program()
+    shackle = shackle_refs(prog, DataBlocking.grid("A", 2, 4, dims=[1, 0]), "lhs")
+    program = split_code(shackle)
+    text = to_source(program, header=False)
+    assert "if " not in text
+    arena = Arena(prog, {"N": 11})
+    buf = arena.allocate()
+    gmtry.init(arena, buf, np.random.default_rng(1))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert gmtry.check(arena, initial, buf)
+
+
+def test_split_respects_max_segments(cholesky_program):
+    program = split_code(figure7_shackle(cholesky_program, 4), max_segments=1)
+    # With at most one boundary per loop the code still runs correctly.
+    arena = Arena(cholesky_program, {"N": 9})
+    buf = arena.allocate()
+    cholesky.init(arena, buf, np.random.default_rng(3))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert cholesky.check(arena, initial, buf)

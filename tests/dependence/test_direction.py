@@ -1,0 +1,69 @@
+"""Direction/permutability tests for the control-centric baseline."""
+
+from repro.dependence import (
+    carried_component_sign,
+    compute_dependences,
+    loops_fully_permutable,
+)
+from repro.ir import parse_program
+
+MATMUL = """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+
+SKEWED = """
+program stencil(N)
+array A[N,N]
+assume N >= 2
+do I = 2, N
+  do J = 2, N
+    S1: A[I,J] = A[I-1,J] + A[I,J-1]
+"""
+
+ANTIDIAG = """
+program antidiag(N)
+array A[N,N]
+assume N >= 3
+do I = 2, N
+  do J = 1, N-1
+    S1: A[I,J] = A[I-1,J+1]
+"""
+
+
+def test_matmul_fully_permutable():
+    p = parse_program(MATMUL)
+    deps = compute_dependences(p)
+    assert loops_fully_permutable(deps, range(0, 3))
+
+
+def test_matmul_component_signs():
+    p = parse_program(MATMUL)
+    deps = compute_dependences(p)
+    flow = next(d for d in deps if d.kind == "flow")
+    assert carried_component_sign(flow, 0) == {"="}
+    assert carried_component_sign(flow, 1) == {"="}
+    assert carried_component_sign(flow, 2) == {"<"}
+
+
+def test_stencil_permutable():
+    p = parse_program(SKEWED)
+    deps = compute_dependences(p)
+    # Distances (1,0) and (0,1): non-negative everywhere, permutable.
+    assert loops_fully_permutable(deps, range(0, 2))
+
+
+def test_antidiagonal_not_permutable():
+    p = parse_program(ANTIDIAG)
+    deps = compute_dependences(p)
+    # Distance (1,-1): carried at level 1 with a negative J component.
+    assert not loops_fully_permutable(deps, range(0, 2))
+    flow = next(d for d in deps if d.kind == "flow")
+    assert ">" in carried_component_sign(flow, 1)

@@ -1,0 +1,58 @@
+"""Smoke tests for the per-figure drivers (tiny sizes; shapes asserted
+fully in benchmarks/)."""
+
+from repro.experiments import figures
+
+
+def test_code_figures_complete():
+    out = figures.code_figures()
+    assert set(out) == {
+        "fig3_tiled_matmul",
+        "fig5_naive_shackled_matmul",
+        "fig6_simplified_shackled_matmul",
+        "fig7_shackled_cholesky",
+        "fig10_two_level_matmul",
+        "fig14_adi_transformed",
+    }
+    assert all(isinstance(text, str) and "do " in text for text in out.values())
+    assert "(N+24)/25" in out["fig6_simplified_shackled_matmul"]
+
+
+def test_fig11_quick_with_numeric_check():
+    rows = figures.fig11_cholesky(sizes=[16], block=4, verbose=False, check=True)
+    assert {m.variant for m in rows} == {
+        "input",
+        "compiler",
+        "compiler+dgemm",
+        "lapack",
+        "lapack-library",
+    }
+
+
+def test_fig12_quick_with_numeric_check():
+    rows = figures.fig12_qr(sizes=[12], block=4, verbose=False, check=True)
+    assert len(rows) == 5
+    assert any(m.variant == "lapack-wy-measured" for m in rows)
+
+
+def test_fig13_quick():
+    rows = figures.fig13_adi(sizes=[16], verbose=False, check=True)
+    assert len(rows) == 2
+    rows = figures.fig13_gmtry(n=16, block=4, verbose=False, check=True)
+    assert len(rows) == 2
+
+
+def test_fig15_quick():
+    rows = figures.fig15_banded_cholesky(
+        n=24, bandwidths=[3, 6], block=4, verbose=False
+    )
+    assert {m.variant for m in rows} == {"compiler", "lapack"}
+    assert len(rows) == 4
+
+
+def test_main_quick(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 11" in out and "Figure 15" in out and "Ablation" in out

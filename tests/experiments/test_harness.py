@@ -1,0 +1,88 @@
+"""Unit tests for the experiment harness and reporting."""
+
+import io
+
+import pytest
+
+from repro.experiments import Measurement, format_series, print_table, simulate
+from repro.experiments.report import speedup_summary
+from repro.kernels import matmul
+from repro.memsim.cost import SP2_SCALED, TINY
+
+
+def test_simulate_basic():
+    prog = matmul.program()
+    m = simulate(prog, {"N": 8}, SP2_SCALED, matmul.init, variant="orig")
+    assert m.flops == matmul.flops(8)
+    assert m.stats["accesses"] == 4 * 8 ** 3
+    assert m.mflops > 0
+    assert m.cycles > 0
+    assert m.row()["variant"] == "orig"
+
+
+def test_simulate_check_fn_passes_and_fails():
+    prog = matmul.program()
+    m = simulate(
+        prog, {"N": 6}, TINY, matmul.init, variant="ok", check_fn=matmul.check
+    )
+    assert m.flops == matmul.flops(6)
+
+    def bad_check(arena, initial, final):
+        return False
+
+    with pytest.raises(AssertionError, match="wrong results"):
+        simulate(prog, {"N": 6}, TINY, matmul.init, variant="bad", check_fn=bad_check)
+
+
+def test_cpi_map_changes_cycles_only():
+    prog = matmul.program()
+    slow = simulate(prog, {"N": 8}, SP2_SCALED, matmul.init, variant="s")
+    fast = simulate(
+        prog, {"N": 8}, SP2_SCALED, matmul.init, variant="f", default_cpi="kernel"
+    )
+    assert fast.stats == slow.stats  # identical trace
+    assert fast.cycles < slow.cycles
+    assert fast.mflops > slow.mflops
+
+
+def test_extra_flops_and_overhead():
+    prog = matmul.program()
+    base = simulate(prog, {"N": 6}, TINY, matmul.init, variant="b")
+    loaded = simulate(
+        prog, {"N": 6}, TINY, matmul.init, variant="l",
+        extra_flops=1000, overhead_cycles=5000,
+    )
+    assert loaded.cycles == pytest.approx(
+        base.cycles + 1000 * TINY.kernel_cpi + 5000
+    )
+
+
+def test_print_table_and_series(capsys):
+    rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yyy"}]
+    text = print_table(rows)
+    assert "a" in text and "22" in text
+    out = io.StringIO()
+    print_table(rows, out=out)
+    assert out.getvalue() == text
+    assert print_table([]) == "(no data)\n"
+
+
+def test_format_series_pivot():
+    rows = [
+        Measurement("v1", {"N": 8}, "m", {}, 10, 100.0, 1.0, 5.0),
+        Measurement("v2", {"N": 8}, "m", {}, 10, 50.0, 0.5, 10.0),
+        Measurement("v1", {"N": 16}, "m", {}, 10, 100.0, 1.0, 6.0),
+    ]
+    out = io.StringIO()
+    text = format_series(rows, x="N", out=out)
+    assert "v1" in text and "v2" in text
+    lines = text.strip().splitlines()
+    assert lines[0].split() == ["N", "v1", "v2"]
+
+
+def test_speedup_summary():
+    rows = [
+        Measurement("base", {"N": 8}, "m", {}, 10, 100.0, 2.0, 5.0),
+        Measurement("fast", {"N": 8}, "m", {}, 10, 50.0, 1.0, 10.0),
+    ]
+    assert speedup_summary(rows, baseline="base") == {"fast": 2.0}

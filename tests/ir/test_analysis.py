@@ -1,0 +1,128 @@
+"""Tests for statement contexts, domains, schedules and access matrices."""
+
+from repro.ir import access_matrix, iteration_domain, parse_program, statement_contexts
+from repro.ir.analysis import common_loop_depth, textually_before
+from repro.linalg import FracMatrix
+from repro.polyhedra.omega import enumerate_points
+
+CHOLESKY = """
+program cholesky(N)
+array A[N,N]
+assume N >= 1
+do J = 1, N
+  S1: A[J,J] = sqrt(A[J,J])
+  do I = J+1, N
+    S2: A[I,J] = A[I,J] / A[J,J]
+  do L = J+1, N
+    do K = J+1, L
+      S3: A[L,K] = A[L,K] - A[L,J]*A[K,J]
+"""
+
+
+def contexts():
+    p = parse_program(CHOLESKY)
+    return p, {c.label: c for c in statement_contexts(p)}
+
+
+def test_context_shapes():
+    _, ctx = contexts()
+    assert ctx["S1"].loop_vars == ["J"]
+    assert ctx["S2"].loop_vars == ["J", "I"]
+    assert ctx["S3"].loop_vars == ["J", "L", "K"]
+    assert ctx["S1"].depth == 1 and ctx["S3"].depth == 3
+
+
+def test_iteration_domain_counts():
+    p, ctx = contexts()
+    dom = iteration_domain(ctx["S3"], p)
+    # Fix N = 4: S3 runs for J<L, J<K<=L... count triangles.
+    fixed = dom.conjoin(
+        # N == 4
+        __import__("repro.polyhedra.constraints", fromlist=["Constraint"]).Constraint.eq(
+            {"N": 1}, -4
+        )
+    )
+    pts = enumerate_points(fixed, ["N", "J", "L", "K"])
+    expected = [
+        (4, j, l, k)
+        for j in range(1, 5)
+        for l in range(j + 1, 5)
+        for k in range(j + 1, l + 1)
+    ]
+    assert sorted(pts) == sorted(expected)
+
+
+def test_schedule_keys_realize_program_order():
+    """Brute-force N=3 execution order must match schedule_key sorting."""
+    p, ctx = contexts()
+    n = 3
+    trace = []
+    for j in range(1, n + 1):
+        trace.append(("S1", (j,)))
+        for i in range(j + 1, n + 1):
+            trace.append(("S2", (j, i)))
+        for l in range(j + 1, n + 1):
+            for k in range(j + 1, l + 1):
+                trace.append(("S3", (j, l, k)))
+    keyed = sorted(trace, key=lambda t: ctx[t[0]].schedule_key(t[1]))
+    assert keyed == trace
+
+
+def test_common_loop_depth():
+    _, ctx = contexts()
+    assert common_loop_depth(ctx["S1"], ctx["S2"]) == 1
+    assert common_loop_depth(ctx["S2"], ctx["S3"]) == 1
+    assert common_loop_depth(ctx["S3"], ctx["S3"]) == 3
+
+
+def test_textually_before():
+    _, ctx = contexts()
+    assert textually_before(ctx["S1"], ctx["S2"], 1)
+    assert textually_before(ctx["S2"], ctx["S3"], 1)
+    assert not textually_before(ctx["S3"], ctx["S1"], 1)
+
+
+def test_access_matrix_paper_example():
+    """Theorem 2's worked example: C[I,J], A[I,K], B[K,J] in matmul."""
+    p = parse_program(
+        """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+    )
+    (ctx,) = statement_contexts(p)
+    refs = {str(r): r for r in ctx.statement.references()}
+    order = ["I", "J", "K"]
+    c_mat = access_matrix(refs["C[I,J]"], order)
+    a_mat = access_matrix(refs["A[I,K]"], order)
+    b_mat = access_matrix(refs["B[K,J]"], order)
+    assert c_mat == FracMatrix([[1, 0, 0], [0, 1, 0]])
+    # Row (0,0,1) of B's access matrix is not spanned by C's rows alone...
+    assert not c_mat.row_space_contains(b_mat.rows[0])
+    # ...but C + A rows span everything (the paper's product argument).
+    combined = FracMatrix(c_mat.rows + a_mat.rows)
+    assert combined.row_space_contains(b_mat.rows[0])
+    assert combined.row_space_contains(b_mat.rows[1])
+
+
+def test_guard_positions_distinct():
+    p = parse_program(
+        """
+program g(N)
+array A[N]
+do I = 1, N
+  if I >= 2
+    S1: A[I] = 0
+  S2: A[I] = 1
+"""
+    )
+    ctx = {c.label: c for c in statement_contexts(p)}
+    assert ctx["S1"].guards and not ctx["S2"].guards
+    # S1 comes before S2 in program order at the static level below loop I.
+    assert ctx["S1"].positions[1] < ctx["S2"].positions[1]

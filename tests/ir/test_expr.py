@@ -1,0 +1,129 @@
+"""Tests for affine expressions and expression trees."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import Affine, BinOp, Call, Const, DivBound, Ref, parse_affine
+from repro.ir.expr import AffExpr, UnOp, as_bound, as_expr
+
+
+def test_affine_basic_arithmetic():
+    i = Affine.var("I")
+    j = Affine.var("J")
+    e = 2 * i - j + 3
+    assert e.coeff("I") == 2
+    assert e.coeff("J") == -1
+    assert e.const == 3
+    assert e.evaluate({"I": 1, "J": 5}) == 0
+
+
+def test_affine_zero_coeffs_dropped():
+    i = Affine.var("I")
+    assert (i - i).coeffs == {}
+    assert (i - i).is_constant()
+
+
+def test_affine_substitute():
+    i = Affine.var("I")
+    e = 2 * i + 1
+    out = e.substitute({"I": Affine.var("J") + 3})
+    assert out == 2 * Affine.var("J") + 7
+
+
+def test_affine_rename_and_eq_with_int():
+    e = Affine.var("I").rename({"I": "X"})
+    assert e.coeff("X") == 1
+    assert Affine({}, 5) == 5
+
+
+def test_affine_evaluate_int_rejects_fractions():
+    e = Affine.var("I") * Fraction(1, 2)
+    with pytest.raises(ValueError):
+        e.evaluate_int({"I": 3})
+    assert e.evaluate_int({"I": 4}) == 2
+
+
+def test_parse_affine():
+    e = parse_affine("2*N - 3")
+    assert e.coeff("N") == 2 and e.const == -3
+    assert parse_affine("-(I - J)") == Affine.var("J") - Affine.var("I")
+    assert parse_affine("J+1").coeff("J") == 1
+    with pytest.raises(ValueError):
+        parse_affine("I*J")
+
+
+def test_affine_str_roundtrip():
+    cases = [Affine.var("I") + 1, 2 * Affine.var("N") - 3, Affine({}, 0), -Affine.var("K")]
+    for e in cases:
+        assert parse_affine(str(e)) == e
+
+
+@given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9))
+def test_affine_algebra_laws(a, b, c):
+    i, j = Affine.var("i"), Affine.var("j")
+    left = (a * i + b * j) + c
+    right = c + (b * j) + (a * i)
+    assert left == right
+    assert left - left == Affine({}, 0)
+    env = {"i": 2, "j": -3}
+    assert (left * 2).evaluate(env) == 2 * left.evaluate(env)
+
+
+def test_divbound_semantics():
+    b = DivBound(parse_affine("N+24"), 25)
+    assert b.evaluate_upper({"N": 60}) == 3  # floor(84/25)
+    assert b.evaluate_lower({"N": 60}) == 4  # ceil(84/25)
+    assert str(b) == "(N+24)/25"
+    assert as_bound(5).evaluate_lower({}) == 5
+    with pytest.raises(ValueError):
+        DivBound("N", 0)
+
+
+def test_expression_tree_refs_order():
+    a = Ref("A", "I", "K")
+    b = Ref("B", "K", "J")
+    c = Ref("C", "I", "J")
+    expr = c + a * b
+    assert expr.references() == [c, a, b]
+
+
+def test_ref_equality_and_hash():
+    assert Ref("A", "I") == Ref("A", parse_affine("I"))
+    assert hash(Ref("A", "I")) == hash(Ref("A", "I"))
+    assert Ref("A", "I") != Ref("A", "J")
+
+
+def test_expr_operators_and_str():
+    x = Ref("X", "I")
+    e = -(x + 1) * 2 / x
+    text = str(e)
+    assert "X[I]" in text and "/" in text
+    assert isinstance(e, BinOp)
+
+
+def test_call_validation():
+    with pytest.raises(ValueError):
+        Call("frobnicate", Const(1))
+    c = Call("sqrt", Ref("A", "J", "J"))
+    assert c.references() == [Ref("A", "J", "J")]
+
+
+def test_unop_validation():
+    with pytest.raises(ValueError):
+        UnOp("!", Const(1))
+
+
+def test_as_expr_coercions():
+    assert isinstance(as_expr(3), Const)
+    assert isinstance(as_expr(Affine.var("I")), AffExpr)
+    with pytest.raises(TypeError):
+        as_expr(object())
+
+
+def test_rename_expressions():
+    e = (Ref("A", "I") + AffExpr(Affine.var("I"))).rename({"I": "X"})
+    refs = e.references()
+    assert refs[0].indices[0] == Affine.var("X")

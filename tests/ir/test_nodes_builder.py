@@ -1,0 +1,117 @@
+"""Tests for IR nodes, validation and the fluent builder."""
+
+import pytest
+
+from repro.ir import Loop, ProgramBuilder, Ref
+from repro.polyhedra import Constraint
+
+
+def build_matmul():
+    pb = ProgramBuilder("matmul", params=["N"])
+    pb.array("A", "N", "N").array("B", "N", "N").array("C", "N", "N")
+    pb.assume_ge("N", 1)
+    with pb.loop("I", 1, "N"):
+        with pb.loop("J", 1, "N"):
+            with pb.loop("K", 1, "N"):
+                c = pb.ref("C", "I", "J")
+                pb.accumulate("S1", c, pb.ref("A", "I", "K") * pb.ref("B", "K", "J"))
+    return pb.build()
+
+
+def test_builder_matmul_shape():
+    p = build_matmul()
+    assert [s.label for s in p.statements()] == ["S1"]
+    loop = p.body[0]
+    assert isinstance(loop, Loop)
+    assert loop.var == "I"
+    assert p.arrays["C"].ndim == 2
+
+
+def test_statement_lookup():
+    p = build_matmul()
+    s = p.statement("S1")
+    assert s.lhs == Ref("C", "I", "J")
+    with pytest.raises(KeyError):
+        p.statement("nope")
+
+
+def test_loop_bounds_constraints():
+    loop = Loop("I", 1, "N")
+    cs = loop.bounds_constraints()
+    assert len(cs) == 2
+    assert all(not c.is_eq for c in cs)
+    assert cs[0].evaluate({"I": 1, "N": 5})
+    assert not cs[0].evaluate({"I": 0, "N": 5})
+    assert cs[1].evaluate({"I": 5, "N": 5})
+    assert not cs[1].evaluate({"I": 6, "N": 5})
+
+
+def test_loop_divbound_constraints():
+    from repro.ir.expr import DivBound, parse_affine
+
+    # do b = 1, (N+24)/25  -> 25*b <= N+24.
+    loop = Loop("b", 1, DivBound(parse_affine("N+24"), 25))
+    upper = loop.bounds_constraints()[1]
+    assert upper.evaluate({"b": 3, "N": 60})
+    assert not upper.evaluate({"b": 4, "N": 60})
+
+
+def test_validation_catches_shadowing():
+    pb = ProgramBuilder("bad", params=["N"])
+    pb.array("A", "N")
+    with pb.loop("I", 1, "N"):
+        with pb.loop("I", 1, "N"):
+            pb.assign("S1", pb.ref("A", "I"), 0)
+    with pytest.raises(ValueError, match="shadows"):
+        pb.build()
+
+
+def test_validation_catches_unbound_variable():
+    pb = ProgramBuilder("bad", params=["N"])
+    pb.array("A", "N")
+    with pb.loop("I", 1, "N"):
+        pb.assign("S1", pb.ref("A", "Q"), 0)
+    with pytest.raises(ValueError, match="unbound"):
+        pb.build()
+
+
+def test_validation_catches_undeclared_array():
+    pb = ProgramBuilder("bad", params=["N"])
+    with pb.loop("I", 1, "N"):
+        pb.assign("S1", pb.ref("A", "I"), 0)
+    with pytest.raises(ValueError, match="undeclared"):
+        pb.build()
+
+
+def test_validation_catches_arity():
+    pb = ProgramBuilder("bad", params=["N"])
+    pb.array("A", "N")
+    with pb.loop("I", 1, "N"):
+        pb.assign("S1", pb.ref("A", "I", "I"), 0)
+    with pytest.raises(ValueError, match="arity"):
+        pb.build()
+
+
+def test_validation_catches_duplicate_labels():
+    pb = ProgramBuilder("bad", params=["N"])
+    pb.array("A", "N")
+    with pb.loop("I", 1, "N"):
+        pb.assign("S1", pb.ref("A", "I"), 0)
+        pb.assign("S1", pb.ref("A", "I"), 1)
+    with pytest.raises(ValueError, match="duplicate"):
+        pb.build()
+
+
+def test_guard_builder():
+    pb = ProgramBuilder("guarded", params=["N"])
+    pb.array("A", "N")
+    with pb.loop("I", 1, "N"):
+        with pb.guard(Constraint.ge({"I": 1}, -2)):  # I >= 2
+            pb.assign("S1", pb.ref("A", "I"), 0)
+    p = pb.build()
+    assert len(p.statements()) == 1
+
+
+def test_loop_requires_bounds():
+    with pytest.raises(ValueError):
+        Loop("I", [], ["N"])

@@ -1,0 +1,145 @@
+"""Parser and printer tests, including round-tripping."""
+
+import pytest
+
+from repro.ir import parse_program, to_source
+from repro.ir.nodes import Guard, Loop, Statement
+from repro.ir.parser import ParseError, parse_condition_text
+
+CHOLESKY = """
+program cholesky(N)
+array A[N,N]
+assume N >= 1
+do J = 1, N
+  S1: A[J,J] = sqrt(A[J,J])
+  do I = J+1, N
+    S2: A[I,J] = A[I,J] / A[J,J]
+  do L = J+1, N
+    do K = J+1, L
+      S3: A[L,K] = A[L,K] - A[L,J]*A[K,J]
+"""
+
+
+def test_parse_cholesky_structure():
+    p = parse_program(CHOLESKY)
+    assert p.name == "cholesky"
+    assert p.params == ["N"]
+    assert [s.label for s in p.statements()] == ["S1", "S2", "S3"]
+    outer = p.body[0]
+    assert isinstance(outer, Loop) and outer.var == "J"
+    assert isinstance(outer.body[0], Statement)
+    assert isinstance(outer.body[1], Loop) and outer.body[1].var == "I"
+    inner_l = outer.body[2]
+    assert isinstance(inner_l, Loop) and inner_l.var == "L"
+    assert isinstance(inner_l.body[0], Loop) and inner_l.body[0].var == "K"
+
+
+def test_parse_bounds():
+    p = parse_program(CHOLESKY)
+    i_loop = p.body[0].body[1]
+    assert str(i_loop.lowers[0]) == "J+1"
+    assert str(i_loop.uppers[0]) == "N"
+
+
+def test_roundtrip_cholesky():
+    p = parse_program(CHOLESKY)
+    text = to_source(p)
+    p2 = parse_program(text)
+    assert to_source(p2) == text
+    assert [s.label for s in p2.statements()] == ["S1", "S2", "S3"]
+
+
+def test_parse_augmented_assignment():
+    p = parse_program(
+        """
+program adi(n)
+array X[n,n]
+array A[n,n]
+array B[n,n]
+do i = 2, n
+  do k = 1, n
+    S1: X[i,k] -= X[i-1,k]*A[i,k]/B[i-1,k]
+"""
+    )
+    s = p.statement("S1")
+    reads = [str(r) for r in s.reads()]
+    assert str(s.lhs) == "X[i,k]"
+    assert "X[i,k]" in reads and "B[i-1,k]" in reads
+
+
+def test_parse_max_min_and_div_bounds():
+    p = parse_program(
+        """
+program blocked(N)
+array C[N,N]
+do t1 = 1, (N+24)/25
+  do I = max(1, 25*t1-24), min(N, 25*t1)
+    S1: C[I,I] = 0
+"""
+    )
+    t1 = p.body[0]
+    assert t1.uppers[0].den == 25
+    i_loop = t1.body[0]
+    assert len(i_loop.lowers) == 2 and len(i_loop.uppers) == 2
+
+
+def test_parse_guard():
+    p = parse_program(
+        """
+program g(N)
+array A[N]
+do I = 1, N
+  if I >= 2 and N >= I + 1
+    S1: A[I] = 0
+"""
+    )
+    guard = p.body[0].body[0]
+    assert isinstance(guard, Guard)
+    assert len(guard.conditions) == 2
+    assert guard.conditions[0].evaluate({"I": 2, "N": 5})
+    assert not guard.conditions[0].evaluate({"I": 1, "N": 5})
+
+
+def test_parse_condition_text_ops():
+    c = parse_condition_text("25*b - 24 <= I")
+    assert c.evaluate({"b": 1, "I": 1})
+    assert not c.evaluate({"b": 2, "I": 25})
+    eq = parse_condition_text("I == J")
+    assert eq.is_eq
+    lt = parse_condition_text("I < J")
+    assert lt.evaluate({"I": 1, "J": 2}) and not lt.evaluate({"I": 2, "J": 2})
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_program("do = 1, N")
+    with pytest.raises(ParseError):
+        parse_program("program p(N)\narray A[N]\ndo I = 1, N\n  S1: 3 = A[I]")
+    with pytest.raises(ParseError):
+        parse_program("program p(N)\narray A[N]\ndo I = 1 N\n  S1: A[I] = 0")
+
+
+def test_auto_labels():
+    p = parse_program(
+        """
+program p(N)
+array A[N]
+do I = 1, N
+  A[I] = 0
+  A[I] = 1
+"""
+    )
+    labels = [s.label for s in p.statements()]
+    assert len(set(labels)) == 2
+
+
+def test_float_constants():
+    p = parse_program(
+        """
+program p(N)
+array A[N]
+do I = 1, N
+  S1: A[I] = 0.5
+"""
+    )
+    assert "0.5" in str(p.statement("S1").rhs)

@@ -1,0 +1,54 @@
+"""Property test: print -> parse -> print is a fixpoint for random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Affine, ProgramBuilder, parse_program, to_source
+
+
+@st.composite
+def random_program(draw):
+    pb = ProgramBuilder("roundtrip", params=["N", "M"])
+    pb.array("A", "N", "M")
+    pb.array("v", "N")
+    pb.assume_ge("N", 1)
+    depth = draw(st.integers(1, 3))
+    vars_in_scope = []
+
+    def subscript():
+        if vars_in_scope and draw(st.booleans()):
+            base = Affine.var(draw(st.sampled_from(vars_in_scope)))
+        else:
+            base = Affine({}, 1)
+        return base + draw(st.integers(0, 2))
+
+    def emit(level):
+        name = f"i{level}"
+        upper = draw(st.sampled_from(["N", "M", "N-1"]))
+        with pb.loop(name, 1, upper):
+            vars_in_scope.append(name)
+            kind = draw(st.integers(0, 2))
+            if kind == 0:
+                pb.assign(None, pb.ref("v", subscript()), pb.ref("v", subscript()) + 1)
+            elif kind == 1:
+                pb.assign(
+                    None,
+                    pb.ref("A", subscript(), subscript()),
+                    pb.ref("A", subscript(), subscript()) * 2.0,
+                )
+            if level < depth:
+                emit(level + 1)
+            if draw(st.booleans()):
+                pb.assign(None, pb.ref("v", subscript()), 0)
+            vars_in_scope.pop()
+
+    emit(1)
+    return pb.build(validate=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_program())
+def test_print_parse_print_fixpoint(program):
+    text = to_source(program)
+    reparsed = parse_program(text, validate=False)
+    assert to_source(reparsed) == text

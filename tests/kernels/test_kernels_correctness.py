@@ -1,0 +1,165 @@
+"""Every kernel, original and shackled, must match its numpy oracle.
+
+This is the end-to-end integration test: parse -> shackle -> legality ->
+codegen -> compile (Python backend) -> execute -> compare numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import compile_program
+from repro.core import check_legality, naive_code, simplified_code
+from repro.kernels import adi, cholesky, gmtry, matmul, qr, trisolve
+from repro.memsim import Arena
+
+
+def run_variants(module_program, shackles, arena_env, init, check, program=None):
+    """Run the original and each shackled variant; all must pass check."""
+    prog = program if program is not None else module_program
+    arena = Arena(prog, arena_env)
+    rng = np.random.default_rng(42)
+    initial = arena.allocate()
+    init(arena, initial, rng)
+
+    baseline = initial.copy()
+    compile_program(prog, arena).run(baseline)
+    assert check(arena, initial, baseline), "original kernel fails its oracle"
+
+    for shackle in shackles:
+        for codegen in (simplified_code, naive_code):
+            generated = codegen(shackle)
+            buf = initial.copy()
+            compile_program(generated, arena).run(buf)
+            assert check(arena, initial, buf), (
+                f"{codegen.__name__} of {getattr(shackle, 'name', shackle)} "
+                f"fails the oracle"
+            )
+
+
+def test_matmul_all_orders_match():
+    for order in ("ijk", "jik", "kij"):
+        prog = matmul.program(order)
+        run_variants(prog, [], {"N": 9}, matmul.init, matmul.check)
+
+
+def test_matmul_shackled_variants():
+    prog = matmul.program()
+    shackles = [
+        matmul.c_shackle(prog, 4),
+        matmul.ca_product(prog, 4),
+        matmul.two_level(prog, 6, 2),
+    ]
+    run_variants(prog, shackles, {"N": 13}, matmul.init, matmul.check)
+
+
+def test_cholesky_right_and_left_match():
+    for variant in ("right", "left"):
+        prog = cholesky.program(variant)
+        run_variants(prog, [], {"N": 10}, cholesky.init, cholesky.check)
+
+
+def test_cholesky_shackled_variants():
+    prog = cholesky.program("right")
+    shackles = [
+        cholesky.writes_shackle(prog, 4),
+        cholesky.reads_shackle(prog, 4),
+        cholesky.fully_blocked(prog, 4),
+    ]
+    for sh in shackles:
+        assert check_legality(sh, first_violation_only=True).legal
+    run_variants(prog, shackles, {"N": 11}, cholesky.init, cholesky.check)
+
+
+def test_banded_cholesky():
+    prog = cholesky.program("banded")
+    run_variants(prog, [cholesky.writes_shackle(prog, 4)], {"N": 12, "BW": 3},
+                 cholesky.init_banded, cholesky.check)
+
+
+def test_qr_matches_reference_and_numpy():
+    prog = qr.program()
+    run_variants(prog, [], {"N": 8}, qr.init, qr.check)
+
+
+def test_qr_column_shackle_legal_and_correct():
+    prog = qr.program()
+    sh = qr.column_shackle(prog, 3)
+    assert check_legality(sh, first_violation_only=True).legal
+    run_variants(prog, [sh], {"N": 9}, qr.init, qr.check)
+
+
+def test_adi_and_fusion_shackle():
+    prog = adi.program()
+    sh = adi.fusion_shackle(prog)
+    assert check_legality(sh, first_violation_only=True).legal
+    run_variants(prog, [sh], {"n": 9}, adi.init, adi.check)
+
+
+def test_gmtry_and_shackles():
+    prog = gmtry.program()
+    shackles = [gmtry.writes_shackle(prog, 4), gmtry.fully_blocked(prog, 4)]
+    for sh in shackles:
+        assert check_legality(sh, first_violation_only=True).legal
+    run_variants(prog, shackles, {"N": 11}, gmtry.init, gmtry.check)
+
+
+def test_trisolve_forward():
+    prog = trisolve.program("forward")
+    sh = trisolve.x_shackle(prog, 3)
+    assert check_legality(sh, first_violation_only=True).legal
+    run_variants(prog, [sh], {"N": 10}, trisolve.init_forward, trisolve.check_forward)
+
+
+def test_trisolve_backward_needs_descending():
+    prog = trisolve.program("backward")
+    ascending = trisolve.x_shackle(prog, 3, descending=False)
+    descending = trisolve.x_shackle(prog, 3, descending=True)
+    assert not check_legality(ascending, first_violation_only=True).legal
+    assert check_legality(descending, first_violation_only=True).legal
+    run_variants(
+        prog, [descending], {"N": 10}, trisolve.init_backward, trisolve.check_backward
+    )
+
+
+def test_flop_counts_consistent():
+    prog = matmul.program()
+    arena = Arena(prog, {"N": 6})
+    buf = arena.allocate()
+    matmul.init(arena, buf, np.random.default_rng(0))
+    result = compile_program(prog, arena).run(buf)
+    assert result.flops == matmul.flops(6)
+
+
+def test_syrk_and_shackles():
+    from repro.kernels import syrk
+
+    prog = syrk.program()
+    shackles = [syrk.c_shackle(prog, 4), syrk.ca_product(prog, 4)]
+    for sh in shackles:
+        assert check_legality(sh, first_violation_only=True).legal
+    run_variants(prog, shackles, {"N": 10}, syrk.init, syrk.check)
+
+
+def test_syrk_split_codegen():
+    from repro.core import split_code
+    from repro.ir import to_source
+    from repro.kernels import syrk
+
+    prog = syrk.program()
+    program = split_code(syrk.c_shackle(prog, 4))
+    arena = Arena(prog, {"N": 9})
+    buf = arena.allocate()
+    syrk.init(arena, buf, np.random.default_rng(5))
+    initial = buf.copy()
+    compile_program(program, arena).run(buf)
+    assert syrk.check(arena, initial, buf)
+
+
+def test_trsm_and_shackles():
+    from repro.kernels import trsm
+
+    prog = trsm.program()
+    shackles = [trsm.column_shackle(prog, 3), trsm.tile_product(prog, 3)]
+    for sh in shackles:
+        assert check_legality(sh, first_violation_only=True).legal
+    run_variants(prog, shackles, {"N": 8, "M": 6}, trsm.init, trsm.check)

@@ -1,0 +1,57 @@
+"""Unit and property tests for the exact integer helpers."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg import ceil_div, ext_gcd, floor_div, gcd_list, lcm, lcm_list, sign
+
+
+def test_sign():
+    assert sign(5) == 1
+    assert sign(-3) == -1
+    assert sign(0) == 0
+    assert sign(Fraction(-1, 7)) == -1
+
+
+def test_gcd_list():
+    assert gcd_list([]) == 0
+    assert gcd_list([0, 0]) == 0
+    assert gcd_list([4, 6, 8]) == 2
+    assert gcd_list([-4, 6]) == 2
+    assert gcd_list([7]) == 7
+
+
+def test_lcm():
+    assert lcm(4, 6) == 12
+    assert lcm(0, 5) == 0
+    assert lcm(-4, 6) == 12
+
+
+def test_lcm_list():
+    assert lcm_list([]) == 1
+    assert lcm_list([2, 3, 4]) == 12
+    assert lcm_list([2, 0]) == 0
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_ext_gcd_bezout(a, b):
+    g, x, y = ext_gcd(a, b)
+    assert g == math.gcd(a, b)
+    assert a * x + b * y == g
+
+
+@given(st.integers(-1000, 1000), st.integers(1, 50))
+def test_floor_ceil_div(num, den):
+    assert floor_div(num, den) == num // den
+    assert ceil_div(num, den) == -((-num) // den)
+    assert floor_div(num, den) <= Fraction(num, den) <= ceil_div(num, den)
+
+
+def test_div_with_fractions():
+    assert floor_div(Fraction(7, 2), 1) == 3
+    assert ceil_div(Fraction(7, 2), 1) == 4
+    assert floor_div(7, Fraction(2)) == 3

@@ -1,0 +1,102 @@
+"""Tests for the exact rational matrix (rank, span, solve)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linalg import FracMatrix
+
+small_ints = st.integers(-5, 5)
+
+
+def test_identity_and_shape():
+    eye = FracMatrix.identity(3)
+    assert eye.nrows == eye.ncols == 3
+    assert eye[0, 0] == 1 and eye[0, 1] == 0
+    assert eye.rank() == 3
+
+
+def test_ragged_rows_rejected():
+    with pytest.raises(ValueError):
+        FracMatrix([[1, 2], [3]])
+
+
+def test_rank_of_dependent_rows():
+    m = FracMatrix([[1, 2, 3], [2, 4, 6], [1, 0, 0]])
+    assert m.rank() == 2
+
+
+def test_rref_idempotent():
+    m = FracMatrix([[2, 4], [1, 3]])
+    assert m.rref().rref() == m.rref()
+
+
+def test_transpose():
+    m = FracMatrix([[1, 2, 3], [4, 5, 6]])
+    t = m.transpose()
+    assert t.nrows == 3 and t.ncols == 2
+    assert t[2, 1] == 6
+
+
+def test_matmul_matvec():
+    a = FracMatrix([[1, 2], [3, 4]])
+    b = FracMatrix([[0, 1], [1, 0]])
+    assert a.matmul(b).rows == [[Fraction(2), Fraction(1)], [Fraction(4), Fraction(3)]]
+    assert a.matvec([1, 1]) == [Fraction(3), Fraction(7)]
+
+
+def test_row_space_contains():
+    # The Theorem-2 example from the paper: C[I,J] has access rows
+    # (1,0,0) and (0,1,0); row (0,0,1) of B's access matrix is NOT spanned,
+    # but adding A[I,K]'s rows (1,0,0),(0,0,1) makes every row spanned.
+    c_rows = FracMatrix([[1, 0, 0], [0, 1, 0]])
+    assert not c_rows.row_space_contains([0, 0, 1])
+    ca_rows = FracMatrix([[1, 0, 0], [0, 1, 0], [1, 0, 0], [0, 0, 1]])
+    assert ca_rows.row_space_contains([0, 0, 1])
+    assert ca_rows.row_space_contains([0, 1, 0])
+    assert ca_rows.row_space_contains([2, -3, 5])
+
+
+def test_row_space_contains_empty_matrix():
+    empty = FracMatrix([])
+    assert empty.row_space_contains([0, 0])
+    assert not empty.row_space_contains([1, 0])
+
+
+def test_solve_unique():
+    m = FracMatrix([[2, 0], [0, 4]])
+    assert m.solve([4, 8]) == [Fraction(2), Fraction(2)]
+
+
+def test_solve_inconsistent():
+    m = FracMatrix([[1, 1], [1, 1]])
+    assert m.solve([1, 2]) is None
+
+
+def test_solve_underdetermined_returns_some_solution():
+    m = FracMatrix([[1, 1]])
+    x = m.solve([5])
+    assert x is not None
+    assert x[0] + x[1] == 5
+
+
+@given(st.lists(st.lists(small_ints, min_size=3, max_size=3), min_size=1, max_size=4))
+def test_rank_le_min_dims(rows):
+    m = FracMatrix(rows)
+    assert 0 <= m.rank() <= min(m.nrows, m.ncols)
+    assert m.rank() == m.transpose().rank()
+
+
+@given(
+    st.lists(st.lists(small_ints, min_size=3, max_size=3), min_size=1, max_size=3),
+    st.lists(small_ints, min_size=1, max_size=3),
+)
+def test_linear_combination_in_row_space(rows, weights):
+    m = FracMatrix(rows)
+    combo = [
+        sum(weights[i % len(weights)] * rows[i][j] for i in range(len(rows)))
+        for j in range(3)
+    ]
+    assert m.row_space_contains(combo)

@@ -1,0 +1,102 @@
+"""Tests for block-major (reshaped) storage."""
+
+import numpy as np
+import pytest
+
+from repro.ir import parse_program
+from repro.memsim import Arena, BlockMajorLayout
+
+PROG = parse_program(
+    """
+program p(N)
+array A[N,N]
+do I = 1, N
+  S1: A[I,I] = 1
+"""
+)
+
+
+def make_arena(n=8, block=4):
+    return Arena(
+        PROG,
+        {"N": n},
+        layout_overrides={
+            "A": lambda a, base, ext: BlockMajorLayout(a, base, ext, block)
+        },
+    )
+
+
+def test_block_contiguity():
+    arena = make_arena()
+    layout = arena.layout("A")
+    # All 16 elements of block (1,1) occupy addresses 0..15.
+    addrs = {layout.addr((i, j)) for i in range(1, 5) for j in range(1, 5)}
+    assert addrs == set(range(16))
+    # Block (1,2) (columns 5..8) is the next contiguous chunk.
+    addrs2 = {layout.addr((i, j)) for i in range(1, 5) for j in range(5, 9)}
+    assert addrs2 == set(range(16, 32))
+
+
+def test_addr_bijective_and_in_bounds():
+    arena = make_arena(n=7, block=3)  # ragged edge blocks
+    layout = arena.layout("A")
+    seen = set()
+    for i in range(1, 8):
+        for j in range(1, 8):
+            assert layout.in_bounds((i, j))
+            a = layout.addr((i, j))
+            assert a not in seen
+            seen.add(a)
+    assert len(seen) == 49
+
+
+def test_addr_source_matches_addr():
+    arena = make_arena(n=7, block=3)
+    layout = arena.layout("A")
+    src = layout.addr_source(["i", "j"])
+    for i in range(1, 8):
+        for j in range(1, 8):
+            assert eval(src, {}, {"i": i, "j": j}) == layout.addr((i, j))
+
+
+def test_set_get_roundtrip_through_reshaped_layout():
+    arena = make_arena(n=6, block=4)
+    buf = arena.allocate()
+    values = np.arange(36, dtype=float).reshape(6, 6)
+    arena.set_array(buf, "A", values)
+    assert np.array_equal(arena.get_array(buf, "A"), values)
+
+
+def test_block_size_validation():
+    with pytest.raises(ValueError, match="one block size"):
+        make_arena_bad = Arena(
+            PROG,
+            {"N": 8},
+            layout_overrides={
+                "A": lambda a, base, ext: BlockMajorLayout(a, base, ext, [4])
+            },
+        )
+
+
+def test_execution_identical_under_reshaping():
+    """Reshaping must never change program results, only addresses."""
+    from repro.backends import compile_program
+    from repro.kernels import matmul
+
+    prog = matmul.program()
+    rng = np.random.default_rng(0)
+    results = {}
+    for name, overrides in [
+        ("col", None),
+        (
+            "blk",
+            {"A": lambda a, b, e: BlockMajorLayout(a, b, e, 4),
+             "C": lambda a, b, e: BlockMajorLayout(a, b, e, 4)},
+        ),
+    ]:
+        arena = Arena(prog, {"N": 9}, layout_overrides=overrides)
+        buf = arena.allocate()
+        matmul.init(arena, buf, np.random.default_rng(42))
+        compile_program(prog, arena).run(buf)
+        results[name] = arena.get_array(buf, "C")
+    assert np.allclose(results["col"], results["blk"])

@@ -1,0 +1,145 @@
+"""Cache level and hierarchy unit + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import CacheLevel, MemoryHierarchy
+
+
+def test_cache_basic_hit_miss():
+    c = CacheLevel("L1", size_elems=16, line_elems=2, assoc=2, latency=1)
+    assert not c.access(0)  # cold miss
+    assert c.access(0)  # hit
+    assert c.access(1)  # same line
+    assert not c.access(2)  # next line
+
+
+def test_cache_lru_eviction():
+    # 1 set x 2 ways of 1-element lines.
+    c = CacheLevel("L1", size_elems=2, line_elems=1, assoc=2, latency=1)
+    c.access(0)
+    c.access(1)
+    c.access(0)  # 0 is now MRU
+    c.access(2)  # evicts 1 (LRU)
+    assert c.access(0)
+    assert not c.access(1)
+
+
+def test_cache_set_mapping():
+    # 2 sets, direct mapped, line 1: addresses 0,2 map to set 0; 1,3 to set 1.
+    c = CacheLevel("L1", size_elems=2, line_elems=1, assoc=1, latency=1)
+    c.access(0)
+    c.access(1)
+    assert c.access(0) and c.access(1)
+    c.access(2)  # evicts 0
+    assert not c.access(0)
+    assert c.access(1)
+
+
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        CacheLevel("L1", size_elems=10, line_elems=3, assoc=1, latency=1)
+    with pytest.raises(ValueError):
+        CacheLevel("L1", size_elems=9, line_elems=2, assoc=2, latency=1)
+
+
+def test_hierarchy_counters_and_cycles():
+    h = MemoryHierarchy(
+        [CacheLevel("L1", 4, 1, 2, 1), CacheLevel("L2", 16, 1, 2, 10)], memory_latency=100
+    )
+    h.access(0)  # miss everywhere: 1 + 10 + 100
+    assert h.access(0) == 1  # L1 hit
+    stats = h.stats()
+    assert stats["accesses"] == 2
+    assert stats["L1_hits"] == 1 and stats["L1_misses"] == 1
+    assert stats["memory_accesses"] == 1
+    assert h.access_cycles() == 2 * 1 + 1 * 10 + 1 * 100
+
+
+def test_hierarchy_reset():
+    h = MemoryHierarchy([CacheLevel("L1", 4, 1, 2, 1)], memory_latency=10)
+    h.access(0)
+    h.reset()
+    assert h.total_accesses == 0
+    assert not h.levels[0].sets[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+def test_cache_invariants(addresses):
+    c = CacheLevel("L1", size_elems=16, line_elems=2, assoc=2, latency=1)
+    for a in addresses:
+        c.access(a)
+    assert c.hits + c.misses == len(addresses)
+    assert 0 <= c.miss_ratio() <= 1
+    # No set may exceed associativity.
+    assert all(len(s) <= c.assoc for s in c.sets)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=200))
+def test_bigger_cache_never_more_misses_fully_assoc(addresses):
+    """With full associativity and LRU, misses are monotone in capacity."""
+    small = CacheLevel("s", size_elems=8, line_elems=1, assoc=8, latency=1)
+    large = CacheLevel("l", size_elems=32, line_elems=1, assoc=32, latency=1)
+    for a in addresses:
+        small.access(a)
+        large.access(a)
+    assert large.misses <= small.misses
+
+
+def test_sequential_scan_spatial_locality():
+    c = CacheLevel("L1", size_elems=64, line_elems=4, assoc=4, latency=1)
+    for a in range(64):
+        c.access(a)
+    # One miss per 4-element line.
+    assert c.misses == 16
+    assert c.hits == 48
+
+
+def test_writeback_accounting():
+    c = CacheLevel("L1", size_elems=2, line_elems=1, assoc=2, latency=1)
+    c.access(0, write=True)
+    c.access(1)
+    c.access(2)  # evicts dirty line 0 -> one writeback
+    assert c.writebacks == 1
+    c.access(3)  # evicts clean line 1 -> no writeback
+    assert c.writebacks == 1
+
+
+def test_write_hit_marks_dirty():
+    c = CacheLevel("L1", size_elems=2, line_elems=1, assoc=2, latency=1)
+    c.access(0)  # clean fill
+    c.access(0, write=True)  # dirtied on hit
+    c.access(1)
+    c.access(2)  # evict 0 (LRU) -> writeback
+    assert c.writebacks == 1
+
+
+def test_hierarchy_reports_writebacks():
+    h = MemoryHierarchy([CacheLevel("L1", 2, 1, 2, 1)], memory_latency=10)
+    h.access(0, write=True)
+    h.access(1, write=True)
+    h.access(2)
+    stats = h.stats()
+    assert stats["writebacks"] == 1
+    assert h.writeback_traffic() == 1
+
+
+def test_writeback_propagates_through_hierarchy():
+    """A dirty line evicted from L1 lands in L2 (marked dirty there), and
+    only reaches memory when L2 evicts it in turn."""
+    h = MemoryHierarchy(
+        [CacheLevel("L1", 2, 1, 2, 1), CacheLevel("L2", 8, 1, 8, 10)],
+        memory_latency=100,
+    )
+    h.access(0, write=True)  # dirty in L1 (and installed in L2)
+    h.access(1)
+    h.access(2)  # L1 evicts dirty 0 -> absorbed by L2, not memory
+    assert h.memory_writebacks == 0
+    assert h.levels[0].writebacks == 1
+    # Now flood L2 so line 0 is evicted from it too.
+    for a in range(3, 12):
+        h.access(a)
+    assert h.memory_writebacks == 1

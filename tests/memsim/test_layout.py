@@ -1,0 +1,93 @@
+"""Array layout and arena tests."""
+
+import numpy as np
+import pytest
+
+from repro.ir import parse_program
+from repro.memsim import Arena, BandedColumnLayout, ColumnMajorLayout, RowMajorLayout
+from repro.memsim.cost import SP2_SCALED, CostModel, MachineSpec
+
+PROG = parse_program(
+    """
+program p(N)
+array A[N,N]
+array v[N]
+do I = 1, N
+  S1: v[I] = A[I,I]
+"""
+)
+
+
+def test_column_major_addresses():
+    arena = Arena(PROG, {"N": 4})
+    layout = arena.layout("A")
+    assert layout.addr((1, 1)) == 0
+    assert layout.addr((2, 1)) == 1  # column-contiguous
+    assert layout.addr((1, 2)) == 4
+    assert arena.layout("v").base == 16
+    assert arena.total_size == 20
+
+
+def test_row_major_addresses():
+    arena = Arena(PROG, {"N": 4}, layout_overrides={"A": RowMajorLayout})
+    layout = arena.layout("A")
+    assert layout.addr((1, 1)) == 0
+    assert layout.addr((1, 2)) == 1  # row-contiguous
+    assert layout.addr((2, 1)) == 4
+
+
+def test_addr_source_agrees_with_addr():
+    arena = Arena(PROG, {"N": 5})
+    layout = arena.layout("A")
+    src = layout.addr_source(["i", "j"])
+    for i in range(1, 6):
+        for j in range(1, 6):
+            assert eval(src, {}, {"i": i, "j": j}) == layout.addr((i, j))
+
+
+def test_banded_layout():
+    prog = parse_program(
+        """
+program b(N, BW)
+array A[N,N]
+do I = 1, N
+  S1: A[I,I] = 1
+"""
+    )
+    arena = Arena(
+        prog,
+        {"N": 6, "BW": 2},
+        layout_overrides={"A": lambda a, base, ext: BandedColumnLayout(a, base, ext, 2)},
+    )
+    layout = arena.layout("A")
+    # Column j stores rows j..j+BW contiguously.
+    assert layout.addr((1, 1)) == 0
+    assert layout.addr((2, 1)) == 1
+    assert layout.addr((3, 1)) == 2
+    assert layout.addr((2, 2)) == 3
+    assert layout.size == 6 * 3
+    assert layout.in_bounds((3, 1)) and not layout.in_bounds((4, 1))
+    src = layout.addr_source(["i", "j"])
+    assert eval(src, {}, {"i": 3, "j": 2}) == layout.addr((3, 2))
+
+
+def test_arena_views_roundtrip():
+    arena = Arena(PROG, {"N": 3})
+    buf = arena.allocate()
+    view = arena.view(buf, "A")
+    view[:] = np.arange(9).reshape(3, 3)
+    # Column-major: A[2,1] is buf[1].
+    assert buf[arena.addr("A", (2, 1))] == view[1, 0]
+    assert buf[arena.addr("A", (1, 2))] == view[0, 1]
+
+
+def test_machine_specs_hierarchies():
+    h = SP2_SCALED.hierarchy()
+    assert len(h.levels) == 2
+    assert "L1" in h.describe()
+    model = CostModel(SP2_SCALED)
+    h.access(0)
+    assert model.cycles(h, flops=10) == h.access_cycles() + 10 * SP2_SCALED.scalar_cpi
+    fast = CostModel(SP2_SCALED, use_kernel_cpi=True)
+    assert fast.cpi < model.cpi
+    assert model.mflops(h, flops=10) > 0

@@ -1,0 +1,87 @@
+"""Tests for constraint normalization and system basics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.polyhedra import Constraint, System
+
+
+def test_normalization_drops_zero_coeffs():
+    c = Constraint.ge({"x": 0, "y": 2}, 4)
+    assert c.coeffs == {"y": 1}
+    assert c.const == 2
+
+
+def test_inequality_gcd_tightening():
+    # 2x - 1 >= 0 over integers means x >= 1, i.e. x - 1 >= 0.
+    c = Constraint.ge({"x": 2}, -1)
+    assert c.coeffs == {"x": 1}
+    assert c.const == -1
+
+
+def test_rational_input_scaled_to_integers():
+    c = Constraint.ge({"x": Fraction(1, 2), "y": Fraction(1, 3)}, Fraction(1, 6))
+    assert c.coeffs == {"x": 3, "y": 2}
+    assert c.const == 1
+
+
+def test_equality_keeps_fractional_const_for_infeasibility():
+    # 2x + 1 == 0 has no integer solution; normalization must not hide that.
+    c = Constraint.eq({"x": 2}, 1)
+    assert c.const.denominator != 1 or c.coeffs.get("x", 0) * 2 != 2
+
+
+def test_trivial_checks():
+    assert Constraint.ge({}, 0).is_trivially_true()
+    assert Constraint.ge({}, -1).is_trivially_false()
+    assert Constraint.eq({}, 0).is_trivially_true()
+    assert Constraint.eq({}, 3).is_trivially_false()
+    assert not Constraint.ge({"x": 1}, 0).is_trivially_true()
+
+
+def test_negated():
+    c = Constraint.ge({"x": 1}, -5)  # x >= 5
+    n = c.negated()  # x <= 4
+    assert n.evaluate({"x": 4})
+    assert not n.evaluate({"x": 5})
+    with pytest.raises(ValueError):
+        Constraint.eq({"x": 1}, 0).negated()
+
+
+def test_le_expr():
+    # x + 1 <= y  <=>  y - x - 1 >= 0
+    c = Constraint.le_expr({"x": 1}, 1, {"y": 1}, 0)
+    assert c.evaluate({"x": 1, "y": 2})
+    assert not c.evaluate({"x": 2, "y": 2})
+
+
+def test_substitute():
+    c = Constraint.ge({"x": 2, "y": 1}, 0)
+    s = c.substitute("x", {"z": 1}, 3)  # x := z + 3
+    assert s.evaluate({"z": 0, "y": -6})
+    assert not s.evaluate({"z": 0, "y": -7})
+
+
+def test_rename():
+    c = Constraint.ge({"x": 1}, 0).rename({"x": "w"})
+    assert c.coeffs == {"w": 1}
+
+
+def test_system_dedup_and_trivia():
+    s = System([Constraint.ge({"x": 1}, 0), Constraint.ge({"x": 1}, 0), Constraint.ge({}, 7)])
+    assert len(s) == 1
+
+
+def test_system_conjoin_variables():
+    s = System([Constraint.ge({"x": 1}, 0)])
+    t = s.conjoin(Constraint.ge({"y": 1}, 0), System([Constraint.eq({"z": 1}, -1)]))
+    assert t.variables() == {"x", "y", "z"}
+    assert len(t.equalities()) == 1
+    assert len(t.inequalities()) == 2
+
+
+def test_system_evaluate():
+    s = System([Constraint.ge({"x": 1}, 0), Constraint.ge({"x": -1}, 5)])
+    assert s.evaluate({"x": 3})
+    assert not s.evaluate({"x": 6})

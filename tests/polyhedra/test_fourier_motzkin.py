@@ -1,0 +1,71 @@
+"""Soundness tests for rational Fourier-Motzkin elimination."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import Constraint, System, eliminate_variable, project, rational_feasible
+
+
+def box(var, lo, hi):
+    return [Constraint.ge({var: 1}, -lo), Constraint.ge({var: -1}, hi)]
+
+
+def test_eliminate_removes_variable():
+    s = System(box("x", 1, 5) + [Constraint.ge({"y": 1, "x": -1}, 0)])  # y >= x
+    out = eliminate_variable(s, "x")
+    assert "x" not in out.variables()
+    # y >= x >= 1 must survive as y >= 1.
+    assert out.evaluate({"y": 1})
+    assert not out.evaluate({"y": 0})
+
+
+def test_eliminate_rejects_equalities():
+    s = System([Constraint.eq({"x": 1, "y": -1}, 0)])
+    try:
+        eliminate_variable(s, "x")
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")
+
+
+def test_project_keeps_only_requested():
+    s = System(
+        box("x", 1, 10)
+        + box("y", 1, 10)
+        + [Constraint.eq({"z": 1, "x": -1, "y": -1}, 0)]  # z == x + y
+    )
+    out = project(s, {"z"})
+    assert out.variables() <= {"z"}
+    assert out.evaluate({"z": 2})
+    assert out.evaluate({"z": 20})
+    assert not out.evaluate({"z": 1})
+    assert not out.evaluate({"z": 21})
+
+
+def test_rational_feasible_basic():
+    assert rational_feasible(System(box("x", 0, 5)))
+    assert not rational_feasible(System([Constraint.ge({"x": 1}, -3), Constraint.ge({"x": -1}, 0)]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            lambda cx, cy, const: Constraint.ge({"x": cx, "y": cy}, const),
+            st.integers(-3, 3),
+            st.integers(-3, 3),
+            st.integers(-5, 5),
+        ),
+        max_size=4,
+    ),
+    st.integers(-4, 4),
+    st.integers(-4, 4),
+)
+def test_projection_contains_shadow_of_points(cs, px, py):
+    """Any point of the polyhedron projects into the eliminated system."""
+    s = System(box("x", -4, 4) + box("y", -4, 4) + cs)
+    if not s.evaluate({"x": px, "y": py}):
+        return
+    out = eliminate_variable(s, "x")
+    assert out.evaluate({"y": py})

@@ -1,0 +1,156 @@
+"""Exactness tests for the integer feasibility (Omega) test.
+
+The key oracle is brute-force enumeration on bounded random systems: the
+Omega test must agree exactly with exhaustive search.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import Constraint, System, integer_feasible, integer_sample
+from repro.polyhedra.omega import enumerate_points
+
+
+def box(var, lo, hi):
+    return [Constraint.ge({var: 1}, -lo), Constraint.ge({var: -1}, hi)]
+
+
+def test_empty_system_feasible():
+    assert integer_feasible(System())
+
+
+def test_trivially_false():
+    assert not integer_feasible(System([Constraint.ge({}, -1)]))
+
+
+def test_simple_box():
+    s = System(box("x", 1, 10) + box("y", 1, 10) + [Constraint.ge({"x": 1, "y": -1}, 0)])
+    assert integer_feasible(s)
+
+
+def test_contradictory_bounds():
+    s = System([Constraint.ge({"x": 1}, -10), Constraint.ge({"x": -1}, 5)])  # x>=10, x<=5
+    assert not integer_feasible(s)
+
+
+def test_integer_gap():
+    # 2 <= 2x <= 3 has a rational solution (x=1.25) but no integer one...
+    # wait: 2x>=2 -> x>=1; 2x<=3 -> x<=1 after tightening, so x=1 works.
+    # A true gap: 3 <= 2x <= 3, i.e. 2x == 3.
+    s = System([Constraint.eq({"x": 2}, -3)])
+    assert not integer_feasible(s)
+
+
+def test_gcd_infeasible_equality():
+    # 2x + 4y == 1 has no integer solution.
+    s = System([Constraint.eq({"x": 2, "y": 4}, -1)])
+    assert not integer_feasible(s)
+
+
+def test_equality_lattice():
+    # 3x - 6y == 3 is solvable (x = 1 + 2y).
+    s = System([Constraint.eq({"x": 3, "y": -6}, -3)])
+    assert integer_feasible(s)
+
+
+def test_dark_shadow_gap_classic():
+    # Pugh's classic: 0 <= 3x - 2y <= 1, 1 <= x <= 2, integer solutions exist
+    # (x=1,y=1). Then exclude them to force gray-region reasoning:
+    # 27 <= 11x <= 28 -> no integer x.
+    s = System(
+        [Constraint.ge({"x": 11}, -27), Constraint.ge({"x": -11}, 28)]
+    )
+    assert not integer_feasible(s)
+
+
+def test_coupled_divisibility():
+    # x == 2a, x == 3b, 1 <= x <= 5 -> x must be divisible by 6: infeasible.
+    s = System(
+        [
+            Constraint.eq({"x": 1, "a": -2}, 0),
+            Constraint.eq({"x": 1, "b": -3}, 0),
+            Constraint.ge({"x": 1}, -1),
+            Constraint.ge({"x": -1}, 5),
+        ]
+    )
+    assert not integer_feasible(s)
+    # Widening to x <= 6 makes x = 6 work.
+    s2 = System(
+        [
+            Constraint.eq({"x": 1, "a": -2}, 0),
+            Constraint.eq({"x": 1, "b": -3}, 0),
+            Constraint.ge({"x": 1}, -1),
+            Constraint.ge({"x": -1}, 6),
+        ]
+    )
+    assert integer_feasible(s2)
+
+
+def test_unbounded_direction():
+    s = System([Constraint.ge({"x": 1}, -1000000)])
+    assert integer_feasible(s)
+
+
+def test_sample_satisfies_system():
+    s = System(
+        box("x", 3, 9)
+        + box("y", 0, 4)
+        + [Constraint.eq({"x": 1, "y": -2}, 0)]  # x == 2y
+    )
+    pt = integer_sample(s)
+    assert pt is not None
+    assert s.evaluate(pt)
+    assert pt["x"] == 2 * pt["y"]
+
+
+def test_sample_none_when_infeasible():
+    s = System([Constraint.eq({"x": 2}, -3)])
+    assert integer_sample(s) is None
+
+
+def test_enumerate_points_small_triangle():
+    # 1 <= x <= 3, 1 <= y <= x.
+    s = System(
+        box("x", 1, 3)
+        + [Constraint.ge({"y": 1}, -1), Constraint.ge({"x": 1, "y": -1}, 0)]
+    )
+    pts = enumerate_points(s, ["x", "y"])
+    assert pts == [(1, 1), (2, 1), (2, 2), (3, 1), (3, 2), (3, 3)]
+
+
+constraint_strategy = st.builds(
+    lambda cx, cy, cz, const, eq: Constraint(
+        {"x": cx, "y": cy, "z": cz}, const, is_eq=eq
+    ),
+    st.integers(-3, 3),
+    st.integers(-3, 3),
+    st.integers(-3, 3),
+    st.integers(-6, 6),
+    st.booleans(),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(constraint_strategy, min_size=0, max_size=4))
+def test_omega_matches_bruteforce(random_constraints):
+    bounds = box("x", -4, 4) + box("y", -4, 4) + box("z", -4, 4)
+    s = System(bounds + random_constraints)
+    brute = any(
+        s.evaluate({"x": x, "y": y, "z": z})
+        for x in range(-4, 5)
+        for y in range(-4, 5)
+        for z in range(-4, 5)
+    )
+    assert integer_feasible(s) == brute
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(constraint_strategy, min_size=1, max_size=3))
+def test_sample_agrees_with_feasibility(random_constraints):
+    bounds = box("x", -3, 3) + box("y", -3, 3) + box("z", -3, 3)
+    s = System(bounds + random_constraints)
+    pt = integer_sample(s)
+    if pt is None:
+        assert not integer_feasible(s)
+    else:
+        assert s.evaluate(pt)

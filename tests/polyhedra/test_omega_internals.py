@@ -1,0 +1,115 @@
+"""Focused tests for the Omega test's internal phases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import Constraint, System, integer_feasible
+from repro.polyhedra.omega import _Infeasible, _solve_equalities
+
+
+def box(var, lo, hi):
+    return [Constraint.ge({var: 1}, -lo), Constraint.ge({var: -1}, hi)]
+
+
+class TestEqualityLattice:
+    def test_substitution_into_inequalities(self):
+        # x == 2y, x >= 5 -> over the lattice parameter: y >= 3 (integer).
+        # The output is expressed over fresh lattice variables, so narrow
+        # the original system before eliminating.
+        s = System([Constraint.eq({"x": 1, "y": -2}, 0), Constraint.ge({"x": 1}, -5)])
+        out = _solve_equalities(s)
+        assert not out.equalities()
+        assert integer_feasible(out)
+        narrowed = _solve_equalities(s.conjoin(Constraint.ge({"y": -1}, 2)))  # y <= 2
+        assert not integer_feasible(narrowed)
+
+    def test_inconsistent_equalities(self):
+        s = System([Constraint.eq({"x": 1}, -3), Constraint.eq({"x": 1}, -4)])
+        with pytest.raises(_Infeasible):
+            _solve_equalities(s)
+
+    def test_gcd_infeasibility(self):
+        s = System([Constraint.eq({"x": 4, "y": 6}, -1)])
+        with pytest.raises(_Infeasible):
+            _solve_equalities(s)
+
+    def test_redundant_equalities_ok(self):
+        s = System(
+            [Constraint.eq({"x": 1, "y": -1}, 0), Constraint.eq({"x": 2, "y": -2}, 0)]
+        )
+        out = _solve_equalities(s)
+        assert not out.equalities()
+
+    def test_full_rank_point_solution(self):
+        s = System(
+            [
+                Constraint.eq({"x": 1, "y": 1}, -7),  # x + y == 7
+                Constraint.eq({"x": 1, "y": -1}, -1),  # x - y == 1
+            ]
+        )
+        out = _solve_equalities(s)  # x=4, y=3: consistent, no free vars
+        assert integer_feasible(out)
+        bad = System(
+            [
+                Constraint.eq({"x": 1, "y": 1}, -7),
+                Constraint.eq({"x": 1, "y": -1}, -2),  # forces x=4.5
+            ]
+        )
+        with pytest.raises(_Infeasible):
+            _solve_equalities(bad)
+
+
+class TestGrayRegion:
+    def test_splinter_needed_case(self):
+        # x == 5y + 3z with 2 <= x <= 3, y,z in small boxes: coupled
+        # divisibility that dark/real shadows alone cannot settle.
+        s = System(
+            box("x", 2, 3)
+            + box("y", -2, 2)
+            + box("z", -2, 2)
+            + [Constraint.eq({"x": 1, "y": -5, "z": -3}, 0)]
+        )
+        # x=2: 5y+3z=2 -> y=1,z=-1. Feasible.
+        assert integer_feasible(s)
+
+    def test_wide_coefficients_agree_with_bruteforce(self):
+        for lo, hi, expected in [(13, 17, True), (8, 9, True), (29, 29, False)]:
+            # 6a + 10b in [lo, hi] with small a, b: gcd 2 lattice.
+            s = System(
+                box("a", -3, 3)
+                + box("b", -3, 3)
+                + [
+                    Constraint.ge({"a": 6, "b": 10}, -lo),
+                    Constraint.ge({"a": -6, "b": -10}, hi),
+                ]
+            )
+            brute = any(
+                lo <= 6 * a + 10 * b <= hi
+                for a in range(-3, 4)
+                for b in range(-3, 4)
+            )
+            assert brute == expected
+            assert integer_feasible(s) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            lambda cx, cy, const: Constraint.eq({"x": cx, "y": cy}, const),
+            st.integers(-4, 4),
+            st.integers(-4, 4),
+            st.integers(-8, 8),
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_equality_elimination_preserves_feasibility(eqs):
+    bounds = box("x", -6, 6) + box("y", -6, 6)
+    s = System(bounds + eqs)
+    brute = any(
+        s.evaluate({"x": x, "y": y}) for x in range(-6, 7) for y in range(-6, 7)
+    )
+    assert integer_feasible(s) == brute

@@ -1,0 +1,107 @@
+"""Tests for loop-bound extraction (polyhedron scanning)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import Constraint, System, scan_bounds
+from repro.polyhedra.omega import enumerate_points
+
+
+def box(var, lo, hi):
+    return [Constraint.ge({var: 1}, -lo), Constraint.ge({var: -1}, hi)]
+
+
+def enumerate_via_bounds(bounds, residual, order, env=None):
+    """Walk the generated loop nest and collect points (test helper)."""
+    env = dict(env or {})
+    for c in residual:
+        if not c.evaluate(env):
+            return []
+    points = []
+
+    def walk(level, env):
+        if level == len(bounds):
+            points.append(tuple(env[v] for v in order))
+            return
+        b = bounds[level]
+        lo = max((bb.evaluate_lower(env) for bb in b.lowers), default=None)
+        hi = min((bb.evaluate_upper(env) for bb in b.uppers), default=None)
+        assert lo is not None and hi is not None, f"unbounded {b.var}"
+        for val in range(lo, hi + 1):
+            walk(level + 1, {**env, b.var: val})
+
+    walk(0, env)
+    return points
+
+
+def test_triangle_bounds():
+    # 1 <= x <= 5, 1 <= y <= x.
+    s = System(box("x", 1, 5) + [Constraint.ge({"y": 1}, -1), Constraint.ge({"x": 1, "y": -1}, 0)])
+    bounds, residual = scan_bounds(s, ["x", "y"])
+    assert residual == []
+    pts = enumerate_via_bounds(bounds, residual, ["x", "y"])
+    assert pts == enumerate_points(s, ["x", "y"])
+
+
+def test_block_bounds_shape():
+    """The matmul block-loop shape: 25b-24 <= i <= 25b, 1 <= i <= N."""
+    s = System(
+        [
+            Constraint.ge({"i": 1, "b": -25}, 24),
+            Constraint.ge({"i": -1, "b": 25}, 0),
+            Constraint.ge({"i": 1}, -1),
+            Constraint.ge({"i": -1, "N": 1}, 0),
+        ]
+    )
+    bounds, residual = scan_bounds(s, ["b", "i"])
+    # b ranges over ceil(1/25)=1 .. floor((N+24)/25); the generated upper
+    # bound for b must be (N+24)/25.
+    b_bounds = bounds[0]
+    uppers = {(tuple(sorted(u.coeffs.items())), u.const, u.den) for u in b_bounds.uppers}
+    assert ((("N", 1),), 24, 25) in uppers
+    # With N = 60 the walk must produce exactly i in 1..60 partitioned by b.
+    pts = enumerate_via_bounds(bounds, residual, ["b", "i"], env={"N": 60})
+    assert len(pts) == 60
+    assert all(25 * b - 24 <= i <= 25 * b for b, i in pts)
+
+
+def test_equality_collapses_loop():
+    # x == y + 1, 1 <= y <= 4: scanning [y, x] should pin x.
+    s = System(box("y", 1, 4) + [Constraint.eq({"x": 1, "y": -1}, -1)])
+    bounds, residual = scan_bounds(s, ["y", "x"])
+    pts = enumerate_via_bounds(bounds, residual, ["y", "x"])
+    assert pts == [(y, y + 1) for y in range(1, 5)]
+
+
+def test_residual_parameter_constraints():
+    s = System([Constraint.ge({"N": 1}, -10)] + box("x", 1, 3))
+    bounds, residual = scan_bounds(s, ["x"])
+    assert len(residual) == 1
+    assert residual[0].coeff("N") == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            lambda cx, cy, const: Constraint.ge({"x": cx, "y": cy}, const),
+            st.integers(-2, 2),
+            st.integers(-2, 2),
+            st.integers(-4, 4),
+        ),
+        max_size=3,
+    ),
+    st.booleans(),
+)
+def test_scan_matches_enumeration(cs, prune):
+    """Scanning a bounded polyhedron enumerates exactly its integer points.
+
+    The real-shadow over-approximation means outer loops may visit extra
+    values, but those must produce empty inner ranges — the *set* of full
+    points must match exactly.
+    """
+    s = System(box("x", -3, 3) + box("y", -3, 3) + cs)
+    bounds, residual = scan_bounds(s, ["x", "y"], prune=prune)
+    got = enumerate_via_bounds(bounds, residual, ["x", "y"])
+    want = enumerate_points(s, ["x", "y"])
+    assert sorted(got) == sorted(want)

@@ -1,0 +1,96 @@
+"""Tests for implication testing and the gist operator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import Constraint, System, gist, implies
+from repro.polyhedra.simplify import remove_redundant
+
+
+def box(var, lo, hi):
+    return [Constraint.ge({var: 1}, -lo), Constraint.ge({var: -1}, hi)]
+
+
+def test_implies_basic():
+    ctx = System([Constraint.ge({"x": 1}, -5)])  # x >= 5
+    assert implies(ctx, Constraint.ge({"x": 1}, -3))  # x >= 3
+    assert not implies(ctx, Constraint.ge({"x": 1}, -7))  # x >= 7
+
+
+def test_implies_equality():
+    ctx = System([Constraint.eq({"x": 1, "y": -1}, 0)])  # x == y
+    assert implies(ctx, Constraint.eq({"x": 2, "y": -2}, 0))
+    assert not implies(ctx, Constraint.eq({"x": 1}, 0))
+
+
+def test_implies_uses_integrality():
+    # Context: 1 <= x <= 2 and x == 2y. Over the rationals x could be 1,
+    # but over the integers x must be 2 (y=1). So x >= 2 is implied.
+    ctx = System(
+        box("x", 1, 2) + box("y", -5, 5) + [Constraint.eq({"x": 1, "y": -2}, 0)]
+    )
+    assert implies(ctx, Constraint.ge({"x": 1}, -2))
+
+
+def test_gist_removes_implied_guards():
+    # This is the paper's Figure 5 -> Figure 6 situation in miniature:
+    # the guard "1 <= I <= N" is implied by the loop context.
+    context = System(
+        [
+            Constraint.ge({"I": 1}, -1),
+            Constraint.ge({"I": -1, "N": 1}, 0),
+        ]
+    )
+    guards = System(
+        [
+            Constraint.ge({"I": 1}, -1),  # implied
+            Constraint.ge({"I": 1, "b": -25}, 24),  # 25b - 24 <= I: kept
+        ]
+    )
+    out = gist(guards, context)
+    assert len(out) == 1
+    assert out.constraints[0].coeff("b") == -25
+
+
+def test_gist_empty_when_fully_implied():
+    ctx = System(box("x", 1, 10))
+    out = gist(System(box("x", 0, 11)), ctx)
+    assert len(out) == 0
+
+
+def test_remove_redundant():
+    s = System(
+        [
+            Constraint.ge({"x": 1}, -5),  # x >= 5
+            Constraint.ge({"x": 1}, -3),  # x >= 3 (redundant)
+        ]
+    )
+    out = remove_redundant(s)
+    assert len(out) == 1
+    assert out.constraints[0].const == -5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            lambda cx, cy, const: Constraint.ge({"x": cx, "y": cy}, const),
+            st.integers(-2, 2),
+            st.integers(-2, 2),
+            st.integers(-4, 4),
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_gist_preserves_integer_set(cs):
+    """gist(S, ctx) ∧ ctx must equal S ∧ ctx on a bounded grid."""
+    ctx = System(box("x", -3, 3) + box("y", -3, 3))
+    s = System(cs)
+    g = gist(s, ctx)
+    for x in range(-3, 4):
+        for y in range(-3, 4):
+            env = {"x": x, "y": y}
+            assert (s.evaluate(env) and ctx.evaluate(env)) == (
+                g.evaluate(env) and ctx.evaluate(env)
+            )

@@ -1,0 +1,170 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+MM = """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+
+CHOLESKY = """
+program cholesky(N)
+array A[N,N]
+assume N >= 1
+do J = 1, N
+  S1: A[J,J] = sqrt(A[J,J])
+  do I = J+1, N
+    S2: A[I,J] = A[I,J] / A[J,J]
+  do L = J+1, N
+    do K = J+1, L
+      S3: A[L,K] = A[L,K] - A[L,J]*A[K,J]
+"""
+
+
+@pytest.fixture
+def mm_file(tmp_path):
+    path = tmp_path / "mm.loop"
+    path.write_text(MM)
+    return str(path)
+
+
+@pytest.fixture
+def cholesky_file(tmp_path):
+    path = tmp_path / "cholesky.loop"
+    path.write_text(CHOLESKY)
+    return str(path)
+
+
+def test_show(mm_file, capsys):
+    assert main(["show", mm_file]) == 0
+    out = capsys.readouterr().out
+    assert "program mm(N)" in out
+    assert "S1: C[I,J]" in out
+
+
+def test_deps(mm_file, capsys):
+    assert main(["deps", mm_file]) == 0
+    out = capsys.readouterr().out
+    assert "flow" in out and "level 3" in out
+
+
+def test_shackle_simplified(mm_file, capsys):
+    assert main(["shackle", mm_file, "--array", "C", "--block", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "do t1 = 1, (N+24)/25" in out
+
+
+def test_shackle_product_and_naive(mm_file, capsys):
+    assert (
+        main(
+            [
+                "shackle",
+                mm_file,
+                "--array",
+                "C",
+                "--block",
+                "25",
+                "--product",
+                "A:25:S1=A[I,K]",
+                "--naive",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.count("do ") == 7  # 4 block loops + 3 original
+    assert "if " in out
+
+
+def test_shackle_split_cholesky(cholesky_file, capsys):
+    assert (
+        main(
+            [
+                "shackle",
+                cholesky_file,
+                "--array",
+                "A",
+                "--block",
+                "64",
+                "--dims",
+                "1,0",
+                "--refs",
+                "S1=A[J,J],S2=A[I,J],S3=A[L,K]",
+                "--split",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "do t2 = t1+1" in out
+    assert "if " not in out
+
+
+def test_shackle_illegal_returns_error(cholesky_file, capsys):
+    code = main(
+        [
+            "shackle",
+            cholesky_file,
+            "--array",
+            "A",
+            "--block",
+            "25",
+            "--refs",
+            "S1=A[J,J],S2=A[J,J],S3=A[L,K]",
+        ]
+    )
+    assert code == 1
+    assert "ILLEGAL" in capsys.readouterr().err
+
+
+def test_legality(cholesky_file, capsys):
+    assert (
+        main(["legality", cholesky_file, "--array", "A", "--block", "25"]) == 0
+    )
+    assert "legal" in capsys.readouterr().out
+
+
+def test_search(cholesky_file, capsys):
+    assert (
+        main(["search", cholesky_file, "--array", "A", "--block", "25"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "unconstrained=" in out
+
+
+def test_emit_c(mm_file, capsys):
+    assert (
+        main(["shackle", mm_file, "--array", "C", "--block", "25", "--emit-c"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "#include <stdio.h>" in out and "malloc" in out
+
+
+def test_simulate(mm_file, capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                mm_file,
+                "--array",
+                "C",
+                "--block",
+                "8",
+                "--size",
+                "N=16",
+                "--original",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "mflops" in out and "original" in out and "shackled" in out

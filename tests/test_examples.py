@@ -1,0 +1,35 @@
+"""Smoke-run every example script so the walkthroughs never rot.
+
+Each example's ``main()`` is imported and executed; assertions inside
+the examples (they verify their own numerics) run as part of this.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    if path.stem == "native_codegen":
+        from repro.backends import c_compiler_available
+
+        if not c_compiler_available():
+            pytest.skip("no C compiler")
+        # Keep the native example fast under test.
+        monkeypatch.setattr(sys, "argv", [str(path), "128"])
+    module = load_module(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"

@@ -1,0 +1,178 @@
+"""Whole-pipeline property tests on randomly generated programs.
+
+Hypothesis builds small random loop nests with affine subscripts; for
+each we check the full chain against brute force:
+
+* dependence analysis instantiates to exactly the brute-force pairs;
+* the Theorem-1 legality verdict matches a direct order check of the
+  shackled instance stream;
+* for legal shackles, naive / simplified / split code generation all
+  execute the enumerator's exact instance order;
+* executing the generated code produces the same array contents as the
+  original program.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import compile_program
+from repro.core import (
+    DataBlocking,
+    DataShackle,
+    check_legality,
+    instance_schedule,
+    naive_code,
+    simplified_code,
+    split_code,
+)
+from repro.dependence import brute_force_dependences, compute_dependences
+from repro.dependence.oracle import enumerate_instances, instantiate_dependences
+from repro.ir import Affine, ProgramBuilder
+from repro.memsim import Arena
+
+# -- random program generation -------------------------------------------------
+
+N_VALUE = 6  # concrete size used for brute-force comparisons
+
+
+@st.composite
+def random_program(draw):
+    """A 2-deep loop nest over one 2-D array with 1-3 affine statements."""
+    pb = ProgramBuilder("rand", params=["N"])
+    pb.array("A", "N+2", "N+2")  # padding so off-by-one subscripts stay legal
+    pb.assume_ge("N", 1)
+    n_statements = draw(st.integers(1, 3))
+
+    def subscript(vars_in_scope):
+        v = draw(st.sampled_from(vars_in_scope))
+        offset = draw(st.integers(0, 2))
+        return Affine.var(v) + offset
+
+    with pb.loop("I", 1, "N"):
+        with pb.loop("J", 1, "N"):
+            for k in range(n_statements):
+                lhs = pb.ref("A", subscript(["I", "J"]), subscript(["I", "J"]))
+                read = pb.ref("A", subscript(["I", "J"]), subscript(["I", "J"]))
+                pb.assign(f"S{k}", lhs, read + pb.const(k + 1))
+    return pb.build()
+
+
+def shackled_order_bruteforce(program, shackle, env):
+    """Order instances by (traversal block of the chosen ref, program order)."""
+    instances = enumerate_instances(program, env)
+
+    def key(ctx, ivec):
+        scope = dict(zip(ctx.loop_vars, ivec))
+        point = [int(a.evaluate(scope)) for a in shackle.subscripts(ctx.label)]
+        return (shackle.blocking.traversal_of(point), ctx.schedule_key(ivec))
+
+    return sorted(instances, key=lambda t: key(*t))
+
+
+common = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@common
+@given(random_program())
+def test_dependences_match_bruteforce(program):
+    deps = compute_dependences(program)
+    got = instantiate_dependences(deps, {"N": N_VALUE})
+    want = brute_force_dependences(program, {"N": N_VALUE})
+    assert got == want
+
+
+@common
+@given(random_program(), st.integers(2, 4), st.sampled_from([(1, 1), (1, -1), (-1, 1)]))
+def test_legality_matches_bruteforce(program, block, directions):
+    blocking = DataBlocking.grid("A", 2, block, directions=list(directions))
+    shackle = DataShackle(
+        program, blocking, {s.label: s.lhs for s in program.statements()}
+    )
+    verdict = check_legality(shackle, first_violation_only=True).legal
+
+    env = {"N": N_VALUE}
+    position = {}
+    for rank, (ctx, ivec) in enumerate(shackled_order_bruteforce(program, shackle, env)):
+        position[(ctx.label, ivec)] = rank
+    brute = all(
+        position[(sl, si)] < position[(tl, ti)]
+        for _, sl, si, tl, ti in brute_force_dependences(program, env)
+    )
+    # Exact check is over ALL N; brute force is at one N. Legal (exact)
+    # must imply legal (brute); an exact violation might need a larger N
+    # than brute checks, so only assert the sound direction plus agreement
+    # when brute finds a violation.
+    if verdict:
+        assert brute
+    if not brute:
+        assert not verdict
+
+
+@common
+@given(random_program(), st.integers(2, 4))
+def test_codegen_order_and_results(program, block):
+    blocking = DataBlocking.grid("A", 2, block)
+    shackle = DataShackle(
+        program, blocking, {s.label: s.lhs for s in program.statements()}
+    )
+    if not check_legality(shackle, first_violation_only=True).legal:
+        return
+    env = {"N": N_VALUE}
+    enumerated = [(ctx.label, ivec) for _, ctx, ivec in instance_schedule(shackle, env)]
+
+    arena = Arena(program, env)
+    rng = np.random.default_rng(0)
+    initial = arena.allocate()
+    initial[:] = rng.random(arena.total_size)
+    want = initial.copy()
+    compile_program(program, arena).run(want)
+
+    for codegen in (naive_code, simplified_code, split_code):
+        generated = codegen(shackle)
+        # Execution order must equal the enumerator's (by lhs elements,
+        # robust to loop collapsing).
+        trace = _element_trace(generated, env)
+        expected = [
+            _element_of(ctx, ivec) for _, ctx, ivec in instance_schedule(shackle, env)
+        ]
+        assert trace == expected, codegen.__name__
+        # And the numerics must match the original program.
+        buf = initial.copy()
+        compile_program(generated, arena).run(buf)
+        assert np.array_equal(buf, want), codegen.__name__
+    assert len(enumerated) == len(expected)
+
+
+def _element_of(ctx, ivec):
+    scope = dict(zip(ctx.loop_vars, ivec))
+    stmt = ctx.statement
+    return (stmt.label, tuple(int(i.evaluate(scope)) for i in stmt.lhs.indices))
+
+
+def _element_trace(program, env):
+    from repro.ir.nodes import Guard, Loop
+
+    trace = []
+
+    def run(nodes, scope):
+        for node in nodes:
+            if isinstance(node, Loop):
+                lo = max(b.evaluate_lower(scope) for b in node.lowers)
+                hi = min(b.evaluate_upper(scope) for b in node.uppers)
+                for value in range(lo, hi + 1):
+                    run(node.body, {**scope, node.var: value})
+            elif isinstance(node, Guard):
+                if all(c.evaluate(scope) for c in node.conditions):
+                    run(node.body, scope)
+            else:
+                trace.append(
+                    (node.label, tuple(int(i.evaluate(scope)) for i in node.lhs.indices))
+                )
+
+    run(program.body, dict(env))
+    return trace

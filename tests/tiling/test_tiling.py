@@ -1,0 +1,258 @@
+"""Tests for the control-centric baseline: tiling, permutation, fusion."""
+
+import numpy as np
+import pytest
+
+from repro.backends import compile_program
+from repro.ir import parse_program, to_source
+from repro.ir.nodes import Loop
+from repro.kernels import adi, matmul
+from repro.memsim import Arena
+from repro.tiling import (
+    can_fuse_adjacent,
+    can_permute,
+    fuse_adjacent_loops,
+    permute_loops,
+    sink_to_perfect_nest,
+    tile_perfect_nest,
+)
+
+
+def test_figure3_tiled_matmul():
+    """Tiling matmul with 25x25x25 tiles gives the paper's Figure 3."""
+    p = matmul.program()
+    tiled = tile_perfect_nest(p, [25, 25, 25])
+    text = to_source(tiled, header=False)
+    assert text.count("do ") == 6
+    assert "(N+24)/25" in text
+    assert "min(N, 25*tI)" in text
+    # Execution matches the original.
+    arena = Arena(p, {"N": 13})
+    buf = arena.allocate()
+    matmul.init(arena, buf, np.random.default_rng(1))
+    blocked = buf.copy()
+    compile_program(p, arena).run(buf)
+    compile_program(tiled, arena).run(blocked)
+    assert np.allclose(buf, blocked)
+
+
+def test_tile_band_subset():
+    p = matmul.program()
+    tiled = tile_perfect_nest(p, [10, 10], band=range(0, 2))
+    text = to_source(tiled, header=False)
+    assert text.count("do ") == 5
+    assert "do K = 1, N" in text
+
+
+def test_tile_rejects_non_permutable():
+    p = parse_program(
+        """
+program antidiag(N)
+array A[N,N]
+assume N >= 3
+do I = 2, N
+  do J = 1, N-1
+    S1: A[I,J] = A[I-1,J+1]
+"""
+    )
+    with pytest.raises(ValueError, match="not fully permutable"):
+        tile_perfect_nest(p, [4, 4])
+
+
+def test_tile_rejects_imperfect():
+    p = parse_program(
+        """
+program imperfect(N)
+array A[N]
+do I = 1, N
+  S1: A[I] = 0
+  do J = 1, N
+    S2: A[J] = A[J] + 1
+"""
+    )
+    with pytest.raises(ValueError, match="perfectly nested"):
+        tile_perfect_nest(p, [4, 4])
+
+
+def test_permute_matmul_all_orders():
+    p = matmul.program()
+    assert can_permute(p, ["K", "J", "I"])
+    permuted = permute_loops(p, ["J", "K", "I"])
+    outer = permuted.body[0]
+    assert isinstance(outer, Loop) and outer.var == "J"
+    arena = Arena(p, {"N": 9})
+    buf = arena.allocate()
+    matmul.init(arena, buf, np.random.default_rng(3))
+    other = buf.copy()
+    compile_program(p, arena).run(buf)
+    compile_program(permuted, arena).run(other)
+    assert np.allclose(buf, other)
+
+
+def test_permute_illegal_detected():
+    p = parse_program(
+        """
+program skew(N)
+array A[N,N]
+assume N >= 3
+do I = 2, N
+  do J = 1, N-1
+    S1: A[I,J] = A[I-1,J+1]
+"""
+    )
+    assert not can_permute(p, ["J", "I"])
+    with pytest.raises(ValueError, match="illegal"):
+        permute_loops(p, ["J", "I"])
+
+
+def test_adi_fuse_then_interchange_matches_paper():
+    """The control-centric route to Figure 14(ii): fuse k loops, then
+    interchange i and k — legal, and equal to the original semantics."""
+    p = adi.program()
+    fused = fuse_adjacent_loops(p, parent_var="i")
+    # One i loop containing a single fused k loop with both statements.
+    i_loop = fused.body[0]
+    assert len(i_loop.body) == 1 and isinstance(i_loop.body[0], Loop)
+    assert len(i_loop.body[0].body) == 2
+    assert can_permute(fused, ["k1", "i"])
+    final = permute_loops(fused, ["k1", "i"])
+    arena = Arena(p, {"n": 9})
+    buf = arena.allocate()
+    adi.init(arena, buf, np.random.default_rng(5))
+    out = buf.copy()
+    compile_program(p, arena).run(buf)
+    compile_program(final, arena).run(out)
+    assert np.allclose(buf, out)
+
+
+def test_fusion_illegal_case():
+    p = parse_program(
+        """
+program bad(N)
+array A[N]
+array B[N]
+do I1 = 1, N
+  S1: A[I1] = B[I1]
+do I2 = 1, N
+  S2: B[I2] = A[N+1-I2]
+"""
+    )
+    first, second = p.body
+    assert not can_fuse_adjacent(p, first, second)
+    fused = fuse_adjacent_loops(p)
+    # Refused: still two loops.
+    assert len(fused.body) == 2
+
+
+def test_fusion_legal_case_executes_correctly():
+    p = parse_program(
+        """
+program ok(N)
+array A[N]
+array B[N]
+do I1 = 1, N
+  S1: A[I1] = I1
+do I2 = 1, N
+  S2: B[I2] = A[I2] * 2
+"""
+    )
+    fused = fuse_adjacent_loops(p)
+    assert len(fused.body) == 1
+    arena = Arena(p, {"N": 6})
+    buf = arena.allocate()
+    out = buf.copy()
+    compile_program(p, arena).run(buf)
+    compile_program(fused, arena).run(out)
+    assert np.allclose(buf, out)
+
+
+def test_sinking_left_looking_shape():
+    p = parse_program(
+        """
+program two_level(N)
+array A[N,N]
+assume N >= 1
+do J = 1, N
+  S1: A[J,J] = 1
+  do I = 1, N
+    S2: A[I,J] = A[I,J] + 1
+"""
+    )
+    sunk = sink_to_perfect_nest(p)
+    # Perfect J-I nest now.
+    j_loop = sunk.body[0]
+    assert isinstance(j_loop, Loop) and len(j_loop.body) == 1
+    i_loop = j_loop.body[0]
+    assert isinstance(i_loop, Loop)
+    arena = Arena(p, {"N": 5})
+    buf = arena.allocate()
+    out = buf.copy()
+    compile_program(p, arena).run(buf)
+    compile_program(sunk, arena).run(out)
+    assert np.allclose(buf, out)
+
+
+def test_sinking_trailing_statement():
+    p = parse_program(
+        """
+program trail(N)
+array A[N]
+assume N >= 1
+do J = 1, N
+  do I = 1, N
+    S1: A[I] = A[I] + 1
+  S2: A[J] = A[J] * 2
+"""
+    )
+    sunk = sink_to_perfect_nest(p)
+    arena = Arena(p, {"N": 5})
+    buf = arena.allocate()
+    buf[:] = 1.0
+    out = buf.copy()
+    compile_program(p, arena).run(buf)
+    compile_program(sunk, arena).run(out)
+    assert np.allclose(buf, out)
+
+
+def test_sinking_cholesky_refused():
+    """Right-looking Cholesky cannot be sunk naively: S1 would sink into
+    the I loop, which runs zero iterations when J = N — the instance
+    would be lost.  The exact non-emptiness check must refuse (this is
+    the paper's Section 3 point that sinking choices are subtle; the
+    correct derivation jams the I and L loops first)."""
+    from repro.kernels import cholesky
+
+    p = cholesky.program("right")
+    with pytest.raises(ValueError, match="zero iterations"):
+        sink_to_perfect_nest(p)
+
+
+def test_tiling_rejects_wrong_tile_count():
+    p = matmul.program()
+    with pytest.raises(ValueError, match="one tile size"):
+        tile_perfect_nest(p, [10, 10])
+
+
+def test_cholesky_jam_update_loops():
+    """The paper's Section 3 prescription for right-looking Cholesky:
+    'jam the I and L loops together' — legal, semantics preserved."""
+    from repro.kernels import cholesky
+
+    p = cholesky.program("right")
+    fused = fuse_adjacent_loops(p, parent_var="J")
+    j_loop = fused.body[0]
+    # S1 followed by ONE fused loop containing S2 and the K nest.
+    assert len(j_loop.body) == 2
+    fused_loop = j_loop.body[1]
+    assert isinstance(fused_loop, Loop) and len(fused_loop.body) == 2
+
+    arena = Arena(p, {"N": 9})
+    buf = arena.allocate()
+    rng = np.random.default_rng(7)
+    from repro.kernels import cholesky as ch
+
+    ch.init(arena, buf, rng)
+    out = buf.copy()
+    compile_program(p, arena).run(buf)
+    compile_program(fused, arena).run(out)
+    assert np.allclose(buf, out)
