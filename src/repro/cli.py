@@ -9,8 +9,14 @@ writing any Python:
     python -m repro shackle kernel.loop --array A --block 25 [--refs lhs]
         [--dims 1,0] [--product A:25:lhs ...] [--naive|--split]
     python -m repro legality kernel.loop --array A --block 25
-    python -m repro search kernel.loop --array A --block 25
+    python -m repro search kernel.loop --array A --block 25 [--jobs 4 --cache --metrics]
     python -m repro simulate kernel.loop [--array A --block 25 ...] --size N=48
+
+``search`` and ``simulate`` run on the execution engine
+(:mod:`repro.engine`): ``--jobs N`` fans independent work out across N
+worker processes, ``--cache [DIR]`` serves repeated work from the
+content-addressed result cache (default store: ``.repro_cache/``), and
+``--metrics`` prints the engine's counter/timer report afterwards.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import __version__
 from repro.core import (
     DataBlocking,
     ShackleProduct,
@@ -109,8 +116,36 @@ def _add_shackle_args(sub):
     )
 
 
+def _add_engine_args(sub):
+    sub.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sub.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro_cache",
+        default=None,
+        metavar="DIR",
+        help="serve repeated work from a content-addressed cache (default dir: .repro_cache)",
+    )
+    sub.add_argument(
+        "--metrics", action="store_true", help="print the engine metrics report"
+    )
+
+
+def _engine_cache(args):
+    if getattr(args, "cache", None) is None:
+        return None
+    from repro.engine.cache import ResultCache
+
+    return ResultCache(root=args.cache)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     show = commands.add_parser("show", help="parse and pretty-print a program")
@@ -135,12 +170,14 @@ def main(argv: list[str] | None = None) -> int:
     search.add_argument("--array", required=True)
     search.add_argument("--block", type=int, default=25)
     search.add_argument("--max-product", type=int, default=2)
+    _add_engine_args(search)
 
     simulate_cmd = commands.add_parser("simulate", help="simulate on the scaled machine")
     simulate_cmd.add_argument("file")
     _add_shackle_args(simulate_cmd)
     simulate_cmd.add_argument("--size", action="append", required=True, help="param binding N=48")
     simulate_cmd.add_argument("--original", action="store_true", help="also run unshackled")
+    _add_engine_args(simulate_cmd)
 
     args = parser.parse_args(argv)
     program = _load(args.file)
@@ -163,8 +200,19 @@ def main(argv: list[str] | None = None) -> int:
         blocking = DataBlocking.grid(
             args.array, program.arrays[args.array].ndim, args.block
         )
-        for result in search_shackles(program, blocking, max_product=args.max_product):
+        results = search_shackles(
+            program,
+            blocking,
+            max_product=args.max_product,
+            jobs=args.jobs,
+            cache=_engine_cache(args),
+        )
+        for result in results:
             print(result.describe())
+        if args.metrics:
+            from repro.engine.metrics import METRICS
+
+            print(METRICS.report())
         return 0
 
     if args.command == "shackle":
@@ -188,12 +236,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "simulate":
-        import numpy as np
-
-        from repro.backends import compile_program
+        from repro.experiments.harness import SweepPoint, random_init, simulate_sweep
         from repro.experiments.report import print_table
-        from repro.memsim import Arena
-        from repro.memsim.cost import SP2_SCALED, CostModel
+        from repro.memsim.cost import SP2_SCALED
 
         env = {}
         for binding in args.size:
@@ -203,24 +248,18 @@ def main(argv: list[str] | None = None) -> int:
         variants = {"shackled": simplified_code(shackle)}
         if args.original:
             variants["original"] = program
-        rows = []
-        for name, prog in variants.items():
-            arena = Arena(prog, env)
-            buf = arena.allocate()
-            buf[:] = np.random.default_rng(0).random(arena.total_size)
-            hierarchy = SP2_SCALED.hierarchy()
-            run = compile_program(prog, arena, trace=True).run(buf, mem=hierarchy)
-            model = CostModel(SP2_SCALED)
-            rows.append(
-                {
-                    "variant": name,
-                    **env,
-                    "flops": run.flops,
-                    "mflops": round(model.mflops(hierarchy, run.flops), 2),
-                    **hierarchy.stats(),
-                }
-            )
-        print_table(rows)
+        points = [
+            SweepPoint(prog, env, SP2_SCALED, random_init, name, options={"seed": 0})
+            for name, prog in variants.items()
+        ]
+        measurements = simulate_sweep(
+            points, jobs=args.jobs, cache=_engine_cache(args)
+        )
+        print_table([m.row() for m in measurements])
+        if args.metrics:
+            from repro.engine.metrics import METRICS
+
+            print(METRICS.report())
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.product import block_var_names
 from repro.dependence.analysis import Dependence, compute_dependences
+from repro.engine.metrics import METRICS
 from repro.polyhedra.constraints import Constraint, System
 from repro.polyhedra.omega import integer_feasible, integer_sample
 
@@ -85,32 +86,34 @@ def check_legality(
     ``dependences`` may be precomputed (e.g. when checking many candidate
     shackles of the same program, as the search driver does).
     """
-    program = shackle.factors()[0].program
-    if dependences is None:
-        dependences = compute_dependences(program)
+    METRICS.inc("legality.checks")
+    with METRICS.timer("legality.check"):
+        program = shackle.factors()[0].program
+        if dependences is None:
+            dependences = compute_dependences(program)
 
-    src_names = block_var_names(shackle, "s")
-    tgt_names = block_var_names(shackle, "t")
-    flat_src = [n for group in src_names for n in group]
-    flat_tgt = [n for group in tgt_names for n in group]
+        src_names = block_var_names(shackle, "s")
+        tgt_names = block_var_names(shackle, "t")
+        flat_src = [n for group in src_names for n in group]
+        flat_tgt = [n for group in tgt_names for n in group]
 
-    violations: list[Violation] = []
-    for dep in dependences:
-        base = dep.system.conjoin(
-            _memberships(shackle, dep.src.label, dep.src.loop_vars, "__s", src_names),
-            _memberships(shackle, dep.tgt.label, dep.tgt.loop_vars, "__t", tgt_names),
-        )
-        # M(S2, v) < M(S1, u) lexicographically: disjunction over the
-        # position k of the first strictly smaller coordinate.
-        for k in range(len(flat_src)):
-            constraints: list[Constraint] = []
-            for i in range(k):
-                constraints.append(Constraint.eq({flat_tgt[i]: 1, flat_src[i]: -1}, 0))
-            constraints.append(Constraint.ge({flat_src[k]: 1, flat_tgt[k]: -1}, -1))
-            candidate = base.conjoin(System(constraints))
-            if integer_feasible(candidate):
-                violations.append(Violation(dep, k, candidate))
-                if first_violation_only:
-                    return LegalityResult(shackle, violations, len(dependences))
-                break  # one violating level per dependence is enough to report
-    return LegalityResult(shackle, violations, len(dependences))
+        violations: list[Violation] = []
+        for dep in dependences:
+            base = dep.system.conjoin(
+                _memberships(shackle, dep.src.label, dep.src.loop_vars, "__s", src_names),
+                _memberships(shackle, dep.tgt.label, dep.tgt.loop_vars, "__t", tgt_names),
+            )
+            # M(S2, v) < M(S1, u) lexicographically: disjunction over the
+            # position k of the first strictly smaller coordinate.
+            for k in range(len(flat_src)):
+                constraints: list[Constraint] = []
+                for i in range(k):
+                    constraints.append(Constraint.eq({flat_tgt[i]: 1, flat_src[i]: -1}, 0))
+                constraints.append(Constraint.ge({flat_src[k]: 1, flat_tgt[k]: -1}, -1))
+                candidate = base.conjoin(System(constraints))
+                if integer_feasible(candidate):
+                    violations.append(Violation(dep, k, candidate))
+                    if first_violation_only:
+                        return LegalityResult(shackle, violations, len(dependences))
+                    break  # one violating level per dependence is enough to report
+        return LegalityResult(shackle, violations, len(dependences))

@@ -63,10 +63,61 @@ def candidate_choices(program: Program, array: str) -> list[dict]:
     return [dict(zip(labels, combo)) for combo in itertools.product(*per_statement)]
 
 
+def _shackle_key(blocking: DataBlocking, choice: dict) -> tuple:
+    """Order-insensitive structural identity of one (blocking, choice) pair.
+
+    Used to deduplicate product factor sets: two products with the same
+    unordered multiset of factor keys constrain exactly the same
+    references, so only one needs to be ranked.
+    """
+    return (
+        blocking.array,
+        tuple((p.normal, p.spacing, p.offset) for p in blocking.planes),
+        blocking.directions,
+        tuple(sorted((label, str(ref)) for label, ref in choice.items())),
+    )
+
+
+def _legal_flags(
+    program: Program,
+    candidates: list[tuple[DataBlocking, dict]],
+    jobs: int,
+    cache,
+) -> list[bool]:
+    """Theorem-1 verdict per candidate, in candidate order.
+
+    With ``jobs == 1`` and no cache this is the direct in-process loop;
+    otherwise candidates become engine legality jobs so verdicts can be
+    served from the content-addressed cache and fresh checks can fan out
+    across worker processes (order is preserved either way).
+    """
+    if jobs == 1 and cache is None:
+        dependences = compute_dependences(program)
+        return [
+            bool(
+                check_legality(
+                    DataShackle(program, blocking, choice),
+                    dependences,
+                    first_violation_only=True,
+                )
+            )
+            for blocking, choice in candidates
+        ]
+    from repro.engine.jobs import legality_job
+    from repro.engine.pool import run_jobs
+
+    specs = [legality_job(program, blocking, choice) for blocking, choice in candidates]
+    return [out["legal"] for out in run_jobs(specs, jobs=jobs, cache=cache)]
+
+
 def search_shackles(
     program: Program,
     blocking: DataBlocking | list[DataBlocking],
     max_product: int = 2,
+    *,
+    jobs: int = 1,
+    cache=None,
+    max_frontier: int = 64,
 ) -> list[SearchResult]:
     """Enumerate and rank legal shackles of ``program``.
 
@@ -78,7 +129,14 @@ def search_shackles(
     Returns legal candidates sorted best-first (fewest Theorem-2
     unconstrained references, then smallest product).  Products up to
     ``max_product`` factors are explored greedily from the best single
-    shackles.
+    shackles; factor sets are deduplicated unordered (A x B and B x A
+    rank identically, so only the first is kept) and the greedy frontier
+    is capped at ``max_frontier`` per depth to bound the blowup.
+
+    ``jobs`` fans the independent legality checks out across worker
+    processes (1 = serial; rankings are identical either way), and
+    ``cache`` is an optional :class:`repro.engine.cache.ResultCache`
+    serving previously computed verdicts by content fingerprint.
     """
     if isinstance(blocking, DataBlocking):
         spacing = blocking.planes[0].spacing
@@ -89,13 +147,17 @@ def search_shackles(
     else:
         blockings = list(blocking)
 
-    dependences = compute_dependences(program)
-    singles: list[tuple[DataShackle, dict]] = []
-    for candidate_blocking in blockings:
-        for choice in candidate_choices(program, candidate_blocking.array):
-            shackle = DataShackle(program, candidate_blocking, choice)
-            if check_legality(shackle, dependences, first_violation_only=True):
-                singles.append((shackle, choice))
+    candidates = [
+        (candidate_blocking, choice)
+        for candidate_blocking in blockings
+        for choice in candidate_choices(program, candidate_blocking.array)
+    ]
+    flags = _legal_flags(program, candidates, jobs, cache)
+    singles = [
+        (DataShackle(program, candidate_blocking, choice), choice)
+        for (candidate_blocking, choice), legal in zip(candidates, flags)
+        if legal
+    ]
 
     results: list[SearchResult] = []
     for shackle, choice in singles:
@@ -111,22 +173,32 @@ def search_shackles(
     # while unconstrained references remain.  A product of individually
     # legal shackles is always legal (Section 6), so no re-check is needed
     # for these combinations.
+    single_keys = [_shackle_key(s.blocking, c) for s, c in singles]
     frontier = [
-        (res.shackle, dict(res.choices)) for res in results if res.unconstrained > 0
+        (res.shackle, dict(res.choices), (key,))
+        for res, key in zip(results, single_keys)
+        if res.unconstrained > 0
     ]
+    seen_products: set[tuple] = set()
     depth = 1
     while depth < max_product and frontier:
         next_frontier = []
-        for shackle, choices in frontier:
-            for single, choice in singles:
+        for shackle, choices, keys in frontier:
+            for (single, choice), single_key in zip(singles, single_keys):
+                if single_key in keys:
+                    continue  # repeating a factor constrains nothing new
+                combo = tuple(sorted(keys + (single_key,)))
+                if combo in seen_products:
+                    continue  # unordered duplicate (e.g. B x A after A x B)
+                seen_products.add(combo)
                 product = ShackleProduct(shackle, single)
                 merged = dict(choices)
                 for k, v in choice.items():
                     merged[k] = merged[k] + "*" + str(v)
                 unconstrained = len(unconstrained_references(product))
                 results.append(SearchResult(product, unconstrained, merged))
-                if unconstrained > 0:
-                    next_frontier.append((product, merged))
+                if unconstrained > 0 and len(next_frontier) < max_frontier:
+                    next_frontier.append((product, merged, keys + (single_key,)))
         frontier = next_frontier
         depth += 1
 

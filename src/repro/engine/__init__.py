@@ -1,0 +1,57 @@
+"""repro.engine — the execution substrate for compile/search/simulate work.
+
+Four pieces (see docs/ENGINE.md for the architecture):
+
+* :mod:`repro.engine.jobs` — canonical job specs with stable content
+  fingerprints (program source + blocking + options);
+* :mod:`repro.engine.cache` — two-tier content-addressed result cache
+  (in-memory LRU over an on-disk store);
+* :mod:`repro.engine.pool` — an order-preserving process pool with a
+  deterministic serial fallback;
+* :mod:`repro.engine.metrics` — process-global counters and timers
+  instrumenting the polyhedral core and the cache simulator.
+
+Only the dependency-free modules (metrics, cache) are imported eagerly:
+``repro.polyhedra`` and ``repro.memsim`` import them from *below* the
+rest of the package, so ``jobs`` and ``pool`` (which depend on
+``repro.core``) load lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache, default_cache_root
+from repro.engine.metrics import METRICS, MetricsRegistry
+
+_LAZY = {
+    "JobSpec": "jobs",
+    "canonical_json": "jobs",
+    "fingerprint": "jobs",
+    "legality_job": "jobs",
+    "codegen_job": "jobs",
+    "search_job": "jobs",
+    "simulate_job": "jobs",
+    "execute": "jobs",
+    "WorkerPool": "pool",
+    "run_jobs": "pool",
+    "default_jobs": "pool",
+}
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "METRICS",
+    "MetricsRegistry",
+    "ResultCache",
+    "default_cache_root",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f"repro.engine.{_LAZY[name]}")
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,144 @@
+"""Two-tier content-addressed result cache.
+
+Results are keyed by job fingerprints (see :mod:`repro.engine.jobs`): a
+bounded in-memory LRU tier sits in front of an optional on-disk store,
+so repeated searches and sweeps within one process are served from
+memory while separate invocations share results through the filesystem.
+
+Disk layout (human-inspectable, one JSON file per result):
+
+    <root>/<fp[:2]>/<fp>.json
+
+Values must be JSON-serializable.  Writes to disk are atomic
+(write-temp-then-rename), so a crashed or concurrent writer never leaves
+a torn entry; readers treat undecodable files as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.engine.metrics import METRICS
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_root() -> Path:
+    """The conventional on-disk store location (under the CWD)."""
+    return Path(DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """In-memory LRU over an optional on-disk content-addressed store."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        root: str | os.PathLike | None = None,
+        metrics=METRICS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.root = Path(root) if root is not None else None
+        self.metrics = metrics
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.puts = 0
+
+    # -- key layout --------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> Path:
+        assert self.root is not None
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # -- tier plumbing -----------------------------------------------------------
+
+    def _remember(self, fingerprint: str, value: object) -> None:
+        self._memory[fingerprint] = value
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+            self.metrics.inc("engine.cache.evictions")
+
+    def get(self, fingerprint: str):
+        """The cached value for ``fingerprint``, or None on miss.
+
+        Disk hits are promoted into the memory tier.
+        """
+        if fingerprint in self._memory:
+            self._memory.move_to_end(fingerprint)
+            self.memory_hits += 1
+            self.metrics.inc("engine.cache.hits")
+            return self._memory[fingerprint]
+        if self.root is not None:
+            path = self._path(fingerprint)
+            try:
+                value = json.loads(path.read_text())
+            except (OSError, ValueError):
+                pass
+            else:
+                self.disk_hits += 1
+                self.metrics.inc("engine.cache.hits")
+                self._remember(fingerprint, value)
+                return value
+        self.misses += 1
+        self.metrics.inc("engine.cache.misses")
+        return None
+
+    def put(self, fingerprint: str, value: object) -> None:
+        """Store ``value`` (JSON-serializable) under ``fingerprint``.
+
+        With a disk tier configured the write goes through to disk, so a
+        later memory eviction loses nothing.
+        """
+        text = json.dumps(value)  # validate serializability up front
+        self.puts += 1
+        self._remember(fingerprint, value)
+        if self.root is not None:
+            path = self._path(fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(text)
+            os.replace(tmp, path)
+
+    # -- maintenance / reporting -------------------------------------------------
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and the disk store too when ``disk``)."""
+        self._memory.clear()
+        if disk and self.root is not None and self.root.exists():
+            for bucket in self.root.iterdir():
+                if bucket.is_dir():
+                    for entry in bucket.glob("*.json"):
+                        entry.unlink()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "memory_entries": len(self._memory),
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,278 @@
+"""Canonical job specs with stable content fingerprints.
+
+Every unit of work the engine schedules — a Theorem-1 legality check, a
+code generation, a shackle search, a simulator point — is described by a
+:class:`JobSpec`: a kind tag plus a JSON-serializable payload in which
+programs appear as their printed source, blockings as plane/direction
+tuples, and reference choices as reference source text.  The fingerprint
+is the SHA-256 of the kind and the canonical (sorted-key) JSON of the
+payload, so two requests for the same work hash identically regardless
+of how their Python objects were constructed, and the fingerprint is
+stable across processes and sessions — the key property the
+content-addressed cache relies on.
+
+The ``run_*_job`` executors at the bottom are pure functions from
+payload to JSON-serializable result; they are what worker processes
+import and run, reconstructing programs from source (memoized per
+worker, so a worker re-parses each distinct program once).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Mapping
+
+from repro.core.blocking import CuttingPlanes, DataBlocking
+from repro.core.legality import check_legality
+from repro.core.shackle import DataShackle, _parse_ref
+from repro.ir import parse_program, to_source
+from repro.ir.nodes import Program
+
+ENGINE_SCHEMA_VERSION = 1
+"""Bump to invalidate every existing cache entry on a format change."""
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(kind: str, payload) -> str:
+    """SHA-256 content fingerprint of a job."""
+    text = f"{ENGINE_SCHEMA_VERSION}\n{kind}\n{canonical_json(payload)}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of work: a kind plus a canonical payload."""
+
+    kind: str
+    payload: dict = field(hash=False)
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.kind, self.payload)
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.fingerprint[:12]}"
+
+
+# -- canonical forms of the domain objects ----------------------------------------
+
+
+def program_source(program: Program | str) -> str:
+    """Canonical textual form of a program (already-text passes through)."""
+    return program if isinstance(program, str) else to_source(program)
+
+
+def blocking_spec(blocking: DataBlocking) -> dict:
+    """JSON-able canonical form of a :class:`DataBlocking`."""
+    return {
+        "array": blocking.array,
+        "planes": [
+            [list(p.normal), p.spacing, p.offset] for p in blocking.planes
+        ],
+        "directions": list(blocking.directions),
+    }
+
+
+def blocking_from_spec(spec: Mapping) -> DataBlocking:
+    """Rebuild a :class:`DataBlocking` from :func:`blocking_spec` output."""
+    planes = [
+        CuttingPlanes(normal, spacing, offset)
+        for normal, spacing, offset in spec["planes"]
+    ]
+    return DataBlocking(spec["array"], planes, spec["directions"])
+
+
+def choice_spec(choice: Mapping) -> dict:
+    """Reference choice as label -> reference source text."""
+    return {label: str(ref) for label, ref in choice.items()}
+
+
+# -- job constructors --------------------------------------------------------------
+
+
+def legality_job(program, blocking: DataBlocking, choice: Mapping) -> JobSpec:
+    """Theorem-1 legality of one shackle candidate."""
+    return JobSpec(
+        "legality",
+        {
+            "program": program_source(program),
+            "blocking": blocking_spec(blocking),
+            "choice": choice_spec(choice),
+        },
+    )
+
+
+def codegen_job(
+    program, blocking: DataBlocking, choice: Mapping | str = "lhs", mode: str = "simplified"
+) -> JobSpec:
+    """Shackled code generation (``naive``, ``split`` or ``simplified``)."""
+    if mode not in ("naive", "split", "simplified"):
+        raise ValueError(f"unknown codegen mode {mode!r}")
+    return JobSpec(
+        "codegen",
+        {
+            "program": program_source(program),
+            "blocking": blocking_spec(blocking),
+            "choice": choice if isinstance(choice, str) else choice_spec(choice),
+            "mode": mode,
+        },
+    )
+
+
+def search_job(program, blocking: DataBlocking, max_product: int = 2) -> JobSpec:
+    """A full ranked shackle search as one cacheable unit."""
+    return JobSpec(
+        "search",
+        {
+            "program": program_source(program),
+            "blocking": blocking_spec(blocking),
+            "max_product": max_product,
+        },
+    )
+
+
+def simulate_job(
+    program,
+    env: Mapping[str, int],
+    machine,
+    variant: str = "variant",
+    init: str = "repro.experiments.harness.random_init",
+    options: Mapping | None = None,
+) -> JobSpec:
+    """One simulator point: program at ``env`` on ``machine``.
+
+    ``machine`` is a :class:`~repro.memsim.cost.MachineSpec` or its name;
+    ``init`` is the dotted path of a module-level ``(arena, buf, rng)``
+    initializer so the payload stays pure data.
+    """
+    return JobSpec(
+        "simulate",
+        {
+            "program": program_source(program),
+            "env": {k: int(v) for k, v in env.items()},
+            "machine": machine if isinstance(machine, str) else machine.name,
+            "variant": variant,
+            "init": init,
+            "options": dict(options or {}),
+        },
+    )
+
+
+# -- executors (pure payload -> JSON result; run in worker processes) --------------
+
+
+@lru_cache(maxsize=64)
+def _parsed(source: str) -> Program:
+    return parse_program(source)
+
+
+@lru_cache(maxsize=64)
+def _dependences(source: str):
+    from repro.dependence.analysis import compute_dependences
+
+    return compute_dependences(_parsed(source))
+
+
+def _shackle_from_payload(payload: Mapping) -> DataShackle:
+    program = _parsed(payload["program"])
+    blocking = blocking_from_spec(payload["blocking"])
+    choice = payload["choice"]
+    if choice == "lhs":
+        from repro.core.shackle import shackle_refs
+
+        return shackle_refs(program, blocking, "lhs")
+    return DataShackle(
+        program, blocking, {label: _parse_ref(text) for label, text in choice.items()}
+    )
+
+
+def run_legality_job(payload: Mapping) -> dict:
+    shackle = _shackle_from_payload(payload)
+    verdict = check_legality(
+        shackle, _dependences(payload["program"]), first_violation_only=True
+    )
+    return {"legal": verdict.legal}
+
+
+def run_codegen_job(payload: Mapping) -> dict:
+    from repro.core.codegen import naive_code, simplified_code
+    from repro.core.splitting import split_code
+
+    generate = {
+        "naive": naive_code,
+        "split": split_code,
+        "simplified": simplified_code,
+    }[payload["mode"]]
+    return {"source": to_source(generate(_shackle_from_payload(payload)))}
+
+
+def run_search_job(payload: Mapping) -> dict:
+    from repro.core.search import search_shackles
+
+    results = search_shackles(
+        _parsed(payload["program"]),
+        blocking_from_spec(payload["blocking"]),
+        max_product=payload["max_product"],
+    )
+    return {
+        "results": [
+            {
+                "choices": dict(r.choices),
+                "unconstrained": r.unconstrained,
+                "factors": len(r.shackle.factors()),
+            }
+            for r in results
+        ]
+    }
+
+
+def resolve_dotted(path: str):
+    """Import ``pkg.mod.attr`` and return the attribute."""
+    module_name, _, attr = path.rpartition(".")
+    if not module_name:
+        raise ValueError(f"not a dotted path: {path!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _machine_by_name(name: str):
+    from repro.memsim import cost
+
+    for value in vars(cost).values():
+        if isinstance(value, cost.MachineSpec) and value.name == name:
+            return value
+    raise ValueError(f"unknown machine {name!r}")
+
+
+def run_simulate_job(payload: Mapping) -> dict:
+    from repro.experiments.harness import measurement_payload, simulate
+
+    measurement = simulate(
+        _parsed(payload["program"]),
+        payload["env"],
+        _machine_by_name(payload["machine"]),
+        resolve_dotted(payload["init"]),
+        variant=payload["variant"],
+        **payload["options"],
+    )
+    return measurement_payload(measurement)
+
+
+EXECUTORS = {
+    "legality": run_legality_job,
+    "codegen": run_codegen_job,
+    "search": run_search_job,
+    "simulate": run_simulate_job,
+}
+
+
+def execute(spec: JobSpec):
+    """Run a job in-process and return its JSON-serializable result."""
+    return EXECUTORS[spec.kind](spec.payload)

@@ -1,0 +1,121 @@
+"""Engine metrics: counters and timers for the compilation pipeline.
+
+One process-global :data:`METRICS` registry accumulates named counters
+(legality checks run, Omega feasibility calls, Fourier-Motzkin
+eliminations, cache-simulator accesses, result-cache hits/misses) and
+wall-clock timers.  Instrumented modules pay one dict update per event,
+so the hooks are cheap enough to leave on permanently.
+
+This module must stay free of ``repro`` imports: it is imported from
+``repro.polyhedra`` and ``repro.memsim``, which sit below the engine in
+the dependency order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class MetricsRegistry:
+    """Named counters plus named (count, total-seconds) timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, list[float]] = {}  # name -> [count, seconds]
+
+    # -- counters ----------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Current value of counter ``name``."""
+        return self.counters.get(name, default)
+
+    # -- timers ------------------------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timed event of ``seconds`` under timer ``name``."""
+        with self._lock:
+            entry = self.timers.setdefault(name, [0, 0.0])
+            entry[0] += 1
+            entry[1] += seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager: time the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- lifecycle / reporting ---------------------------------------------------
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (counters, timers) safe to serialize."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    name: {"count": entry[0], "seconds": entry[1]}
+                    for name, entry in self.timers.items()
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used to surface metrics gathered inside worker processes, which
+        do not share the parent's registry.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, entry in snapshot.get("timers", {}).items():
+            with self._lock:
+                slot = self.timers.setdefault(name, [0, 0.0])
+                slot[0] += entry["count"]
+                slot[1] += entry["seconds"]
+
+    def report(self) -> str:
+        """Aligned text report of all counters and timers."""
+        snap = self.snapshot()
+        lines = ["engine metrics", "--------------"]
+        counters = snap["counters"]
+        if counters:
+            width = max(len(n) for n in counters)
+            for name in sorted(counters):
+                value = counters[name]
+                shown = int(value) if float(value).is_integer() else round(value, 4)
+                lines.append(f"{name:<{width}}  {shown}")
+            hits = counters.get("engine.cache.hits", 0)
+            misses = counters.get("engine.cache.misses", 0)
+            if hits + misses:
+                rate = hits / (hits + misses)
+                lines.append(f"{'engine.cache.hit_rate':<{width}}  {rate:.1%}")
+        timers = snap["timers"]
+        if timers:
+            lines.append("")
+            width = max(len(n) for n in timers)
+            for name in sorted(timers):
+                entry = timers[name]
+                lines.append(
+                    f"{name:<{width}}  {entry['count']} calls  {entry['seconds']:.4f}s"
+                )
+        if not counters and not timers:
+            lines.append("(no events recorded)")
+        return "\n".join(lines)
+
+
+METRICS = MetricsRegistry()
+"""The process-global registry every instrumented module reports into."""

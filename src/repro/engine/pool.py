@@ -1,0 +1,118 @@
+"""Worker pool: order-preserving parallel execution with a serial fallback.
+
+:class:`WorkerPool` maps a function over items with a
+``ProcessPoolExecutor`` when more than one job slot is requested,
+falling back to a deterministic in-process loop when parallelism is
+unavailable (restricted sandboxes, unpicklable work items) — results are
+returned in submission order either way, so parallel and serial runs
+are observationally identical.
+
+:func:`run_jobs` layers the content-addressed cache on top: duplicate
+fingerprints within a batch collapse to one execution, cached
+fingerprints are served without any execution, and only genuine misses
+reach the pool.  All cache accounting happens in the parent process, so
+metrics are exact even when the work itself runs in children.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence
+
+from repro.engine import jobs as _jobs
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import METRICS
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this host (leave one core free)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class WorkerPool:
+    """Map work over processes, preserving order; serial when jobs<=1."""
+
+    def __init__(self, jobs: int = 1, metrics=METRICS) -> None:
+        self.jobs = default_jobs() if jobs in (0, None) else max(1, int(jobs))
+        self.metrics = metrics
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """``[fn(x) for x in items]``, possibly computed in parallel.
+
+        Falls back to the serial loop if worker processes cannot be
+        created or the items cannot be pickled; the fallback recomputes
+        from scratch, so no partial parallel state leaks through.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = min(self.jobs, len(items))
+        chunksize = max(1, len(items) // (workers * 4))
+        try:
+            with self.metrics.timer("engine.pool.map"):
+                with ProcessPoolExecutor(max_workers=workers) as executor:
+                    return list(executor.map(fn, items, chunksize=chunksize))
+        except (
+            OSError,
+            ValueError,
+            TypeError,
+            AttributeError,
+            BrokenProcessPool,
+            ImportError,
+            pickle.PicklingError,
+        ) as exc:
+            # Covers unavailable process pools (sandboxes) and unpicklable
+            # work items; the serial rerun surfaces any genuine job error.
+            self.metrics.inc("engine.pool.fallbacks")
+            self.metrics.inc(f"engine.pool.fallback.{type(exc).__name__}", 1)
+            return [fn(item) for item in items]
+
+
+def _execute_item(item: tuple[str, dict]):
+    """Top-level (hence picklable) dispatcher run inside workers."""
+    kind, payload = item
+    return _jobs.EXECUTORS[kind](payload)
+
+
+def run_jobs(
+    specs: Sequence[_jobs.JobSpec],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    metrics=METRICS,
+) -> list:
+    """Execute job specs, returning results in submission order.
+
+    Identical fingerprints — whether already cached or merely duplicated
+    within the batch — are computed at most once.  Fresh executions are
+    counted per kind under ``engine.executed.<kind>``; a fully warm
+    batch therefore executes nothing.
+    """
+    results: list = [None] * len(specs)
+    pending: dict[str, list[int]] = {}  # fingerprint -> result slots
+    unique: list[tuple[str, _jobs.JobSpec]] = []
+    for index, spec in enumerate(specs):
+        metrics.inc("engine.jobs.submitted")
+        fp = spec.fingerprint
+        if fp in pending:
+            pending[fp].append(index)
+            continue
+        cached = cache.get(fp) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            continue
+        pending[fp] = [index]
+        unique.append((fp, spec))
+
+    if unique:
+        pool = WorkerPool(jobs, metrics=metrics)
+        outputs = pool.map(_execute_item, [(s.kind, s.payload) for _, s in unique])
+        for (fp, spec), output in zip(unique, outputs):
+            metrics.inc(f"engine.executed.{spec.kind}")
+            if cache is not None:
+                cache.put(fp, output)
+            for index in pending[fp]:
+                results[index] = output
+    return results

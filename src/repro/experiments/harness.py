@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backends import compile_program
+from repro.engine.metrics import METRICS
 from repro.ir.nodes import Program
 from repro.memsim import Arena
 from repro.memsim.cost import MachineSpec
@@ -40,6 +41,30 @@ class Measurement:
                "cycles": round(self.cycles), "mflops": round(self.mflops, 2)}
         out.update(self.stats)
         return out
+
+
+def measurement_payload(measurement: Measurement) -> dict:
+    """JSON-serializable form of a measurement (engine cache value)."""
+    return {
+        "variant": measurement.variant,
+        "env": dict(measurement.env),
+        "machine": measurement.machine,
+        "stats": dict(measurement.stats),
+        "flops": measurement.flops,
+        "cycles": measurement.cycles,
+        "seconds": measurement.seconds,
+        "mflops": measurement.mflops,
+    }
+
+
+def measurement_from_payload(payload: dict) -> Measurement:
+    """Inverse of :func:`measurement_payload`."""
+    return Measurement(**payload)
+
+
+def random_init(arena: Arena, buf, rng) -> None:
+    """Generic initializer: fill the whole arena with uniform randoms."""
+    buf[:] = rng.random(arena.total_size)
 
 
 def simulate(
@@ -72,7 +97,9 @@ def simulate(
 
     hierarchy = machine.hierarchy()
     compiled = compile_program(program, arena, trace=True)
-    result = compiled.run(buf, mem=hierarchy)
+    with METRICS.timer("memsim.run"):
+        result = compiled.run(buf, mem=hierarchy)
+    hierarchy.record_metrics()
     if check_fn is not None and not check_fn(arena, initial, buf):
         raise AssertionError(f"variant {variant!r} produced wrong results at {env}")
 
@@ -97,3 +124,95 @@ def simulate(
         seconds=seconds,
         mflops=mflops,
     )
+
+
+@dataclass
+class SweepPoint:
+    """One point of an experiment sweep: a program at one size/machine.
+
+    ``init`` must be a module-level callable (it crosses process
+    boundaries under ``jobs > 1``); ``options`` are extra keyword
+    arguments forwarded to :func:`simulate` (cpi_map, check_fn, seed,
+    ...).
+    """
+
+    program: Program
+    env: dict
+    machine: MachineSpec
+    init: object
+    variant: str
+    options: dict = field(default_factory=dict)
+
+
+def _run_sweep_point(point: SweepPoint) -> Measurement:
+    """Top-level (hence picklable) executor for one sweep point."""
+    return simulate(
+        point.program,
+        point.env,
+        point.machine,
+        point.init,
+        variant=point.variant,
+        **point.options,
+    )
+
+
+def _point_fingerprint(point: SweepPoint) -> str | None:
+    """Content fingerprint of a sweep point, or None if uncacheable.
+
+    Points whose options hold live objects (e.g. a ``check_fn``
+    callable) have no stable canonical form and simply bypass the cache.
+    """
+    from repro.engine.jobs import canonical_json, fingerprint
+    from repro.ir import to_source
+
+    init_name = f"{getattr(point.init, '__module__', '?')}.{getattr(point.init, '__qualname__', repr(point.init))}"
+    payload = {
+        "program": to_source(point.program),
+        "env": {k: int(v) for k, v in point.env.items()},
+        "machine": point.machine.name,
+        "variant": point.variant,
+        "init": init_name,
+        "options": point.options,
+    }
+    try:
+        canonical_json(payload)
+    except TypeError:
+        return None
+    return fingerprint("simulate", payload)
+
+
+def simulate_sweep(
+    points: list[SweepPoint],
+    *,
+    jobs: int = 1,
+    cache=None,
+) -> list[Measurement]:
+    """Simulate every sweep point, returning measurements in order.
+
+    Independent points fan out across worker processes when ``jobs > 1``
+    (results are identical to the serial order) and are served from the
+    engine's content-addressed ``cache`` when provided — a warm re-run
+    of a sweep performs zero fresh simulations.
+    """
+    from repro.engine.metrics import METRICS
+    from repro.engine.pool import WorkerPool
+
+    results: list[Measurement | None] = [None] * len(points)
+    pending: list[tuple[int, SweepPoint, str | None]] = []
+    for index, point in enumerate(points):
+        fp = _point_fingerprint(point) if cache is not None else None
+        cached = cache.get(fp) if fp is not None else None
+        if cached is not None:
+            results[index] = measurement_from_payload(cached)
+            continue
+        pending.append((index, point, fp))
+
+    if pending:
+        pool = WorkerPool(jobs)
+        measurements = pool.map(_run_sweep_point, [point for _, point, _ in pending])
+        for (index, _, fp), measurement in zip(pending, measurements):
+            METRICS.inc("engine.executed.simulate")
+            if cache is not None and fp is not None:
+                cache.put(fp, measurement_payload(measurement))
+            results[index] = measurement
+    return results

@@ -25,6 +25,12 @@ class Affine:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("Affine is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks slot-based unpickling; rebuild
+        # through the constructor instead (programs cross process
+        # boundaries in the engine's worker pool).
+        return (Affine, (self.coeffs, self.const))
+
     # -- constructors -----------------------------------------------------------
 
     @classmethod
@@ -229,6 +235,11 @@ class DivBound:
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("DivBound is immutable")
+
+    def __reduce__(self):
+        # See Affine.__reduce__: constructor-based pickling bypasses the
+        # immutability guard.
+        return (DivBound, (self.affine, self.den))
 
     def evaluate_lower(self, env: Mapping[str, int]) -> int:
         return math.ceil(self.affine.evaluate(env) / self.den)

@@ -27,6 +27,19 @@ class MemoryHierarchy:
         self.memory_writebacks = 0
         self.total_accesses = 0
 
+    def record_metrics(self, metrics=None) -> None:
+        """Flush access counters into the engine metrics registry.
+
+        Called once per simulated run (not per access) so the simulator
+        hot path stays uninstrumented.
+        """
+        from repro.engine.metrics import METRICS
+
+        registry = metrics if metrics is not None else METRICS
+        registry.inc("memsim.accesses", self.total_accesses)
+        registry.inc("memsim.memory_accesses", self.memory_accesses)
+        registry.inc("memsim.memory_writebacks", self.memory_writebacks)
+
     def access(self, addr: int, write: bool = False) -> int:
         """Touch an element address; returns the cycles this access cost.
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from fractions import Fraction
 
+from repro.engine.metrics import METRICS
 from repro.polyhedra.constraints import Constraint, System
 from repro.polyhedra.fourier_motzkin import eliminate_variable
 
@@ -214,9 +215,11 @@ def _ineq_feasible(system: System) -> bool:
 
 def integer_feasible(system: System) -> bool:
     """True iff the system has an integer solution. Exact."""
+    METRICS.inc("omega.feasibility_calls")
     key = tuple(sorted(c._key() for c in system.constraints))
     cached = _FEASIBILITY_CACHE.get(key)
     if cached is not None:
+        METRICS.inc("omega.memo_hits")
         return cached
     try:
         ineq_only = _solve_equalities(system)

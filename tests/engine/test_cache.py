@@ -1,0 +1,110 @@
+"""Tests for the two-tier content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def metrics():
+    return MetricsRegistry()
+
+
+def test_memory_hit_and_miss(metrics):
+    cache = ResultCache(capacity=4, metrics=metrics)
+    assert cache.get("aa" * 32) is None
+    cache.put("aa" * 32, {"legal": True})
+    assert cache.get("aa" * 32) == {"legal": True}
+    assert cache.memory_hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate == 0.5
+    assert metrics.get("engine.cache.hits") == 1
+    assert metrics.get("engine.cache.misses") == 1
+
+
+def test_lru_eviction_order(metrics):
+    cache = ResultCache(capacity=2, metrics=metrics)
+    cache.put("k1", 1)
+    cache.put("k2", 2)
+    assert cache.get("k1") == 1  # k1 becomes most-recently-used
+    cache.put("k3", 3)  # evicts k2, the least-recently-used
+    assert cache.get("k2") is None
+    assert cache.get("k1") == 1
+    assert cache.get("k3") == 3
+    assert cache.evictions == 1
+    assert metrics.get("engine.cache.evictions") == 1
+
+
+def test_disk_persistence_round_trip(tmp_path, metrics):
+    root = tmp_path / "store"
+    first = ResultCache(root=root, metrics=metrics)
+    first.put("ab" * 32, {"results": [1, 2, 3]})
+    # A later process with a cold memory tier hits the disk store.
+    second = ResultCache(root=root, metrics=metrics)
+    assert second.get("ab" * 32) == {"results": [1, 2, 3]}
+    assert second.disk_hits == 1
+    assert second.memory_hits == 0
+    # The promotion lands in memory: the next get is a memory hit.
+    assert second.get("ab" * 32) == {"results": [1, 2, 3]}
+    assert second.memory_hits == 1
+
+
+def test_disk_layout_is_sharded_json(tmp_path):
+    cache = ResultCache(root=tmp_path / "store")
+    fingerprint = "cd" * 32
+    cache.put(fingerprint, {"x": 1})
+    path = tmp_path / "store" / "cd" / f"{fingerprint}.json"
+    assert path.exists()
+    assert json.loads(path.read_text()) == {"x": 1}
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    root = tmp_path / "store"
+    cache = ResultCache(root=root)
+    fingerprint = "ef" * 32
+    cache.put(fingerprint, {"x": 1})
+    (root / "ef" / f"{fingerprint}.json").write_text("{not json")
+    cold = ResultCache(root=root)
+    assert cold.get(fingerprint) is None
+
+
+def test_eviction_does_not_lose_disk_entries(tmp_path):
+    cache = ResultCache(capacity=1, root=tmp_path / "store")
+    cache.put("k1", 1)
+    cache.put("k2", 2)  # evicts k1 from memory; disk still has it
+    assert cache.get("k1") == 1
+    assert cache.disk_hits == 1
+
+
+def test_unserializable_value_rejected_up_front():
+    cache = ResultCache()
+    with pytest.raises(TypeError):
+        cache.put("kk", {"fn": object()})
+    assert cache.get("kk") is None
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(root=tmp_path / "store")
+    cache.put("k1", 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("k1") == 1  # still on disk
+    cache.clear(disk=True)
+    cache._memory.clear()
+    assert cache.get("k1") is None
+
+
+def test_stats_shape():
+    cache = ResultCache()
+    cache.put("k", 1)
+    cache.get("k")
+    cache.get("other")
+    stats = cache.stats()
+    assert stats["memory_entries"] == 1
+    assert stats["memory_hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["puts"] == 1
+    assert stats["hit_rate"] == 0.5

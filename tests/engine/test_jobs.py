@@ -1,0 +1,113 @@
+"""Tests for canonical job specs and their content fingerprints."""
+
+from repro.core import DataBlocking, check_legality, simplified_code
+from repro.core.shackle import _parse_ref, shackle_refs
+from repro.engine.jobs import (
+    blocking_from_spec,
+    blocking_spec,
+    codegen_job,
+    execute,
+    legality_job,
+    search_job,
+    simulate_job,
+)
+from repro.ir import parse_program, to_source
+from repro.kernels import cholesky
+from repro.memsim.cost import TINY
+
+CENSUS_CHOICE = {
+    "S1": _parse_ref("A[J,J]"),
+    "S2": _parse_ref("A[I,J]"),
+    "S3": _parse_ref("A[L,K]"),
+}
+
+
+def _program():
+    return cholesky.program("right")
+
+
+def test_fingerprint_stable_across_object_identity():
+    prog = _program()
+    blocking = DataBlocking.grid("A", 2, 25)
+    a = legality_job(prog, blocking, CENSUS_CHOICE)
+    # A freshly reparsed program and a rebuilt blocking hash identically.
+    reparsed = parse_program(to_source(prog))
+    b = legality_job(reparsed, DataBlocking.grid("A", 2, 25), dict(CENSUS_CHOICE))
+    assert a.fingerprint == b.fingerprint
+
+
+def test_fingerprint_choice_order_insensitive():
+    prog = _program()
+    blocking = DataBlocking.grid("A", 2, 25)
+    forward = legality_job(prog, blocking, CENSUS_CHOICE)
+    reordered = legality_job(
+        prog, blocking, dict(reversed(list(CENSUS_CHOICE.items())))
+    )
+    assert forward.fingerprint == reordered.fingerprint
+
+
+def test_fingerprint_sensitive_to_inputs():
+    prog = _program()
+    blocking = DataBlocking.grid("A", 2, 25)
+    base = legality_job(prog, blocking, CENSUS_CHOICE)
+    other_block = legality_job(prog, DataBlocking.grid("A", 2, 64), CENSUS_CHOICE)
+    other_choice = legality_job(
+        prog, blocking, {**CENSUS_CHOICE, "S3": _parse_ref("A[K,J]")}
+    )
+    assert len({base.fingerprint, other_block.fingerprint, other_choice.fingerprint}) == 3
+    # Kind participates in the fingerprint too.
+    assert search_job(prog, blocking).fingerprint != base.fingerprint
+
+
+def test_blocking_spec_round_trip():
+    blocking = DataBlocking.grid("A", 2, 25, dims=[1], directions=[-1])
+    rebuilt = blocking_from_spec(blocking_spec(blocking))
+    assert blocking_spec(rebuilt) == blocking_spec(blocking)
+
+
+def test_execute_legality_matches_direct_check():
+    prog = _program()
+    blocking = DataBlocking.grid("A", 2, 25)
+    legal = execute(legality_job(prog, blocking, CENSUS_CHOICE))
+    assert legal == {"legal": True}
+    illegal_choice = {**CENSUS_CHOICE, "S2": _parse_ref("A[J,J]"), "S3": _parse_ref("A[L,K]")}
+    assert execute(legality_job(prog, blocking, illegal_choice)) == {"legal": False}
+
+
+def test_execute_codegen_matches_direct_generation():
+    prog = _program()
+    blocking = DataBlocking.grid("A", 2, 25)
+    out = execute(codegen_job(prog, blocking, CENSUS_CHOICE, mode="simplified"))
+    from repro.core import DataShackle
+
+    direct = simplified_code(DataShackle(prog, blocking, CENSUS_CHOICE))
+    assert out["source"] == to_source(direct)
+
+
+def test_execute_search_job():
+    prog = _program()
+    out = execute(search_job(prog, DataBlocking.grid("A", 2, 25), max_product=1))
+    assert len(out["results"]) == 3  # the Section 6.1 census's legal singles
+    assert all(r["factors"] == 1 for r in out["results"])
+
+
+def test_execute_simulate_job():
+    prog = parse_program(
+        """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+    )
+    out = execute(
+        simulate_job(prog, {"N": 6}, TINY, variant="input", options={"seed": 0})
+    )
+    assert out["variant"] == "input"
+    assert out["flops"] == 2 * 6**3
+    assert out["mflops"] > 0

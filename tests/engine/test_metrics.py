@@ -1,0 +1,91 @@
+"""Tests for the engine metrics registry."""
+
+import time
+
+from repro.engine.metrics import METRICS, MetricsRegistry
+
+
+def test_counters_accumulate():
+    m = MetricsRegistry()
+    m.inc("a")
+    m.inc("a", 4)
+    m.inc("b", 2.5)
+    assert m.get("a") == 5
+    assert m.get("b") == 2.5
+    assert m.get("missing") == 0
+    assert m.get("missing", 7) == 7
+
+
+def test_timer_context_manager():
+    m = MetricsRegistry()
+    with m.timer("work"):
+        time.sleep(0.01)
+    with m.timer("work"):
+        pass
+    snap = m.snapshot()
+    assert snap["timers"]["work"]["count"] == 2
+    assert snap["timers"]["work"]["seconds"] >= 0.01
+
+
+def test_timer_records_on_exception():
+    m = MetricsRegistry()
+    try:
+        with m.timer("failing"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert m.snapshot()["timers"]["failing"]["count"] == 1
+
+
+def test_reset_clears_everything():
+    m = MetricsRegistry()
+    m.inc("x")
+    with m.timer("t"):
+        pass
+    m.reset()
+    assert m.snapshot() == {"counters": {}, "timers": {}}
+    assert "(no events recorded)" in m.report()
+
+
+def test_merge_folds_snapshots():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("n", 2)
+    b.inc("n", 3)
+    b.observe("t", 0.5)
+    a.merge(b.snapshot())
+    assert a.get("n") == 5
+    assert a.snapshot()["timers"]["t"] == {"count": 1, "seconds": 0.5}
+
+
+def test_report_includes_hit_rate():
+    m = MetricsRegistry()
+    m.inc("engine.cache.hits", 3)
+    m.inc("engine.cache.misses", 1)
+    report = m.report()
+    assert "engine.cache.hit_rate" in report
+    assert "75.0%" in report
+
+
+def test_global_registry_is_instrumented_by_legality():
+    from repro.core import DataBlocking, check_legality, shackle_refs
+    from repro.ir import parse_program
+
+    program = parse_program(
+        """
+program mm(N)
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    S1: C[I,J] = C[I,J] + 1
+"""
+    )
+    before = {
+        name: METRICS.get(name)
+        for name in ("legality.checks", "omega.feasibility_calls")
+    }
+    shackle = shackle_refs(program, DataBlocking.grid("C", 2, 8), "lhs")
+    assert check_legality(shackle).legal
+    assert METRICS.get("legality.checks") == before["legality.checks"] + 1
+    assert METRICS.get("omega.feasibility_calls") > before["omega.feasibility_calls"]

@@ -1,0 +1,98 @@
+"""Tests for the worker pool and the cached job runner."""
+
+from repro.core import DataBlocking
+from repro.core.shackle import _parse_ref
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import legality_job
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.pool import WorkerPool, run_jobs
+from repro.kernels import cholesky
+
+
+def _census_specs():
+    prog = cholesky.program("right")
+    blocking = DataBlocking.grid("A", 2, 25)
+    specs = []
+    for s2 in ("A[I,J]", "A[J,J]"):
+        for s3 in ("A[L,K]", "A[L,J]", "A[K,J]"):
+            choice = {
+                "S1": _parse_ref("A[J,J]"),
+                "S2": _parse_ref(s2),
+                "S3": _parse_ref(s3),
+            }
+            specs.append(legality_job(prog, blocking, choice))
+    return specs
+
+
+def test_serial_map_preserves_order():
+    pool = WorkerPool(1)
+    assert pool.map(abs, [-3, 1, -2]) == [3, 1, 2]
+
+
+def test_parallel_map_preserves_order():
+    pool = WorkerPool(2)
+    items = list(range(-20, 20))
+    assert pool.map(abs, items) == [abs(x) for x in items]
+
+
+def test_unpicklable_work_falls_back_to_serial():
+    metrics = MetricsRegistry()
+    pool = WorkerPool(2, metrics=metrics)
+    captured = []
+
+    def closure(x):  # local function: not picklable for a process pool
+        captured.append(x)
+        return x + 1
+
+    assert pool.map(closure, [1, 2, 3]) == [2, 3, 4]
+    assert metrics.get("engine.pool.fallbacks") == 1
+
+
+def test_run_jobs_census_matches_known_verdicts():
+    specs = _census_specs()
+    outs = run_jobs(specs, jobs=1)
+    verdicts = [out["legal"] for out in outs]
+    # (S2, S3) in census order; see bench_legality_census.
+    assert verdicts == [True, True, False, False, False, True]
+
+
+def test_run_jobs_parallel_matches_serial():
+    specs = _census_specs()
+    assert run_jobs(specs, jobs=2) == run_jobs(specs, jobs=1)
+
+
+def test_run_jobs_deduplicates_within_batch():
+    metrics = MetricsRegistry()
+    spec = _census_specs()[0]
+    outs = run_jobs([spec, spec, spec], jobs=1, metrics=metrics)
+    assert outs == [{"legal": True}] * 3
+    assert metrics.get("engine.executed.legality") == 1
+    assert metrics.get("engine.jobs.submitted") == 3
+
+
+def test_run_jobs_warm_cache_executes_nothing():
+    specs = _census_specs()
+    cache = ResultCache()
+    cold_metrics = MetricsRegistry()
+    cold = run_jobs(specs, jobs=1, cache=cache, metrics=cold_metrics)
+    assert cold_metrics.get("engine.executed.legality") == len(specs)
+
+    warm_metrics = MetricsRegistry()
+    warm = run_jobs(specs, jobs=1, cache=cache, metrics=warm_metrics)
+    assert warm == cold
+    assert warm_metrics.get("engine.executed.legality") == 0
+    assert cache.hits == len(specs)
+
+
+def test_run_jobs_disk_cache_spans_processes(tmp_path):
+    specs = _census_specs()
+    root = tmp_path / "store"
+    run_jobs(specs, jobs=1, cache=ResultCache(root=root))
+    # A fresh cache over the same store (as a new process would build)
+    # serves every verdict from disk.
+    metrics = MetricsRegistry()
+    cold_memory = ResultCache(root=root)
+    out = run_jobs(specs, jobs=1, cache=cold_memory, metrics=metrics)
+    assert [o["legal"] for o in out] == [True, True, False, False, False, True]
+    assert metrics.get("engine.executed.legality") == 0
+    assert cold_memory.disk_hits == len(specs)

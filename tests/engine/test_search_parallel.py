@@ -1,0 +1,118 @@
+"""Engine-backed search: parallel/serial equality, warm cache, dedup.
+
+The acceptance bar for the engine: parallel search returns bitwise-
+identical rankings to serial search on the Section 6.1 Cholesky census,
+and a warm-cache re-run performs zero fresh legality checks.
+"""
+
+import pytest
+
+from repro.core import DataBlocking, search_shackles
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import METRICS
+from repro.kernels import cholesky
+
+
+@pytest.fixture
+def program():
+    return cholesky.program("right")
+
+
+@pytest.fixture
+def blocking():
+    return DataBlocking.grid("A", 2, 25)
+
+
+def _ranking(results):
+    return [r.describe() for r in results]
+
+
+def test_parallel_ranking_identical_to_serial(program, blocking):
+    serial = search_shackles(program, blocking, max_product=2)
+    parallel = search_shackles(program, blocking, max_product=2, jobs=2)
+    assert _ranking(parallel) == _ranking(serial)
+
+
+def test_engine_path_matches_legacy_path(program, blocking):
+    # jobs=1 with a cache still routes through the engine; the verdicts
+    # and therefore the ranking must be unchanged.
+    legacy = search_shackles(program, blocking, max_product=2)
+    engine = search_shackles(program, blocking, max_product=2, cache=ResultCache())
+    assert _ranking(engine) == _ranking(legacy)
+
+
+def test_warm_cache_runs_zero_fresh_legality_checks(program, blocking, tmp_path):
+    cache = ResultCache(root=tmp_path / "store")
+    cold = search_shackles(program, blocking, max_product=2, cache=cache)
+
+    before = METRICS.get("engine.executed.legality")
+    warm = search_shackles(program, blocking, max_product=2, cache=cache)
+    assert METRICS.get("engine.executed.legality") == before  # zero fresh checks
+    assert _ranking(warm) == _ranking(cold)
+
+
+def test_warm_disk_cache_survives_process_boundary(program, blocking, tmp_path):
+    root = tmp_path / "store"
+    cold = search_shackles(program, blocking, max_product=2, cache=ResultCache(root=root))
+    before = METRICS.get("engine.executed.legality")
+    # A fresh ResultCache models a new process: memory tier cold, disk warm.
+    warm = search_shackles(
+        program, blocking, max_product=2, cache=ResultCache(root=root)
+    )
+    assert METRICS.get("engine.executed.legality") == before
+    assert _ranking(warm) == _ranking(cold)
+
+
+def test_products_deduplicated_unordered(program, blocking):
+    # A x B and B x A constrain the same references; only one may be ranked.
+    results = search_shackles(program, blocking, max_product=2)
+    keys = [tuple(sorted(r.choices.items())) for r in results if len(r.shackle.factors()) > 1]
+    unordered = [
+        tuple(sorted((label, tuple(sorted(refs.split("*")))) for label, refs in key))
+        for key in keys
+    ]
+    assert len(unordered) == len(set(unordered))
+
+
+def test_no_self_products(program, blocking):
+    # Repeating a factor adds no constraint; such products must be pruned.
+    results = search_shackles(program, blocking, max_product=2)
+    for r in results:
+        factors = r.shackle.factors()
+        if len(factors) == 1:
+            continue
+        signatures = [
+            (f.blocking.array, tuple(sorted((l, str(ref)) for l, ref in f.ref_choice.items())))
+            for f in factors
+        ]
+        assert len(signatures) == len(set(signatures))
+
+
+def test_frontier_cap_bounds_extension(program, blocking):
+    capped = search_shackles(program, blocking, max_product=3, max_frontier=1)
+    uncapped = search_shackles(program, blocking, max_product=3)
+    assert len(capped) <= len(uncapped)
+    costs = [r.unconstrained for r in capped]
+    assert costs == sorted(costs)  # still ranked
+
+def test_matmul_parallel_full_product(matmul_source=None):
+    from repro.ir import parse_program
+
+    program = parse_program(
+        """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+    )
+    blocking = DataBlocking.grid("C", 2, 25)
+    serial = search_shackles(program, blocking, max_product=2)
+    parallel = search_shackles(program, blocking, max_product=2, jobs=2)
+    assert _ranking(parallel) == _ranking(serial)
+    assert serial[0].unconstrained == 0

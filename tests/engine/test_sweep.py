@@ -1,0 +1,87 @@
+"""Engine-backed experiment sweeps: parallel equality and warm cache."""
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import METRICS
+from repro.experiments.harness import (
+    SweepPoint,
+    measurement_from_payload,
+    measurement_payload,
+    random_init,
+    simulate_sweep,
+)
+from repro.ir import parse_program
+from repro.memsim.cost import TINY
+
+MM = """
+program mm(N)
+array A[N,N]
+array B[N,N]
+array C[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    do K = 1, N
+      S1: C[I,J] = C[I,J] + A[I,K]*B[K,J]
+"""
+
+
+@pytest.fixture
+def points():
+    program = parse_program(MM)
+    return [
+        SweepPoint(program, {"N": n}, TINY, random_init, f"mm-{n}", options={"seed": 0})
+        for n in (4, 6, 8)
+    ]
+
+
+def _rows(measurements):
+    return [m.row() for m in measurements]
+
+
+def test_measurement_payload_round_trip(points):
+    [m] = simulate_sweep(points[:1])
+    rebuilt = measurement_from_payload(measurement_payload(m))
+    assert rebuilt == m
+
+
+def test_parallel_sweep_matches_serial(points):
+    serial = simulate_sweep(points)
+    parallel = simulate_sweep(points, jobs=2)
+    assert _rows(parallel) == _rows(serial)
+
+
+def test_warm_cache_runs_zero_fresh_simulations(points, tmp_path):
+    cache = ResultCache(root=tmp_path / "store")
+    cold = simulate_sweep(points, cache=cache)
+
+    before = METRICS.get("engine.executed.simulate")
+    warm = simulate_sweep(points, cache=cache)
+    assert METRICS.get("engine.executed.simulate") == before
+    assert _rows(warm) == _rows(cold)
+
+
+def test_uncacheable_points_bypass_cache(points, tmp_path):
+    # A live check_fn has no canonical JSON form: the point simply runs.
+    program = parse_program(MM)
+    point = SweepPoint(
+        program,
+        {"N": 4},
+        TINY,
+        random_init,
+        "checked",
+        options={"seed": 0, "check_fn": lambda arena, initial, buf: True},
+    )
+    cache = ResultCache(root=tmp_path / "store")
+    before = METRICS.get("engine.executed.simulate")
+    simulate_sweep([point], cache=cache)
+    simulate_sweep([point], cache=cache)
+    assert METRICS.get("engine.executed.simulate") == before + 2
+    assert cache.puts == 0
+
+
+def test_sweep_records_memsim_metrics(points):
+    before = METRICS.get("memsim.accesses")
+    simulate_sweep(points[:1])
+    assert METRICS.get("memsim.accesses") > before

@@ -168,3 +168,73 @@ def test_simulate(mm_file, capsys):
     )
     out = capsys.readouterr().out
     assert "mflops" in out and "original" in out and "shackled" in out
+
+
+def test_version(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_search_engine_flags(cholesky_file, tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert (
+        main(
+            [
+                "search",
+                cholesky_file,
+                "--array",
+                "A",
+                "--block",
+                "25",
+                "--jobs",
+                "2",
+                "--cache",
+                "--metrics",
+            ]
+        )
+        == 0
+    )
+    cold = capsys.readouterr().out
+    assert "unconstrained=" in cold
+    assert "engine metrics" in cold
+    assert (tmp_path / ".repro_cache").is_dir()
+
+    # Warm re-run: same ranking, every verdict served from the cache.
+    assert (
+        main(["search", cholesky_file, "--array", "A", "--block", "25", "--cache"])
+        == 0
+    )
+    warm = capsys.readouterr().out
+    ranking = [line for line in cold.splitlines() if "unconstrained=" in line]
+    assert [line for line in warm.splitlines() if "unconstrained=" in line] == ranking
+
+
+def test_simulate_engine_flags(mm_file, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = [
+        "simulate",
+        mm_file,
+        "--array",
+        "C",
+        "--block",
+        "8",
+        "--size",
+        "N=12",
+        "--original",
+        "--cache",
+        cache_dir,
+        "--metrics",
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "mflops" in cold and "engine metrics" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    cold_rows = [l for l in cold.splitlines() if "shackled" in l or "original" in l]
+    warm_rows = [l for l in warm.splitlines() if "shackled" in l or "original" in l]
+    assert warm_rows == cold_rows
