@@ -1,0 +1,153 @@
+"""Memsim benchmark: per-access oracle vs capture-once/replay-everywhere.
+
+Runs a fig11-sized Cholesky measurement four ways and prints a timing
+table:
+
+* ``oracle``  — the original per-access simulation (``replay=False``);
+* ``capture`` — cold trace store: execute once in capture mode, store
+  the trace, replay it (the first measurement of any sweep);
+* ``replay``  — fresh store over the same disk root: load the trace and
+  replay it, zero program executions (a warm re-simulation);
+* ``memo``    — same store object again: trace and replay counters both
+  memoized (repeated variants inside one sweep).
+
+Then sweeps six cache geometries through ``simulate_sweep`` with a
+shared trace store, asserting the program executes exactly once for the
+whole sweep, and times both replay engines (the compiled kernel and the
+pure-NumPy pipeline) head to head on the captured trace.  All replayed
+stats are asserted bit-identical to the oracle, the warm replay is
+asserted >= 10x faster than the oracle when the compiled kernel is
+available (the NumPy fallback is held to >= 1.5x), and the numbers land
+in ``BENCH_memsim.json`` as a perf-trajectory artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine.metrics import METRICS
+from repro.experiments.harness import SweepPoint, simulate, simulate_sweep
+from repro.kernels import cholesky
+from repro.memsim import _native
+from repro.memsim.cost import SP2_SCALED, MachineSpec
+from repro.memsim.replay import replay_trace
+from repro.memsim.trace import TraceStore, trace_fingerprint
+from repro.memsim.layout import Arena
+
+QUICK = os.environ.get("BENCH_MEMSIM_QUICK") == "1"
+SIZE = 48 if QUICK else 96
+
+SWEEP_MACHINES = [
+    MachineSpec(
+        f"abl-{assoc}w-{size}",
+        [("L1", size, 4, assoc, 1), ("L2", 4096, 8, 8, 10)],
+        memory_latency=100,
+    )
+    for assoc in (1, 2, 4)
+    for size in (256, 512)
+]
+
+
+def test_memsim_replay_speedup(once, tmp_path):
+    program = cholesky.program("right")
+    env = {"N": SIZE}
+    root = tmp_path / "traces"
+    native = _native.load() is not None
+
+    def measure(**kwargs):
+        start = time.perf_counter()
+        measurement = simulate(
+            program, env, SP2_SCALED, cholesky.init, variant="cholesky",
+            seed=0, **kwargs,
+        )
+        return measurement, time.perf_counter() - start
+
+    def run_all():
+        timings = {}
+        oracle, timings["oracle"] = measure(replay=False)
+
+        cold_store = TraceStore(root=root)
+        captured, timings["capture"] = measure(trace_store=cold_store)
+
+        warm_store = TraceStore(root=root)  # fresh instance: disk + replay
+        replayed, timings["replay"] = measure(trace_store=warm_store)
+
+        memoized, timings["memo"] = measure(trace_store=warm_store)
+
+        # Both replay engines head to head on the captured trace.
+        trace = warm_store.get(trace_fingerprint(program, env, Arena(program, env)))
+        engines = {}
+        for engine in ("native", "numpy") if native else ("numpy",):
+            start = time.perf_counter()
+            result = replay_trace(trace, SP2_SCALED, engine=engine)
+            engines[engine] = time.perf_counter() - start
+            assert result.stats() == {
+                key: oracle.stats[key] for key in result.stats()
+            }
+
+        # The geometry ablation sweep: six machines, one execution.
+        sweep_store = TraceStore()
+        points = [
+            SweepPoint(program, env, machine, cholesky.init, machine.name,
+                       options={"seed": 0})
+            for machine in SWEEP_MACHINES
+        ]
+        captures_before = METRICS.get("memsim.trace_capture")
+        start = time.perf_counter()
+        sweep = simulate_sweep(points, trace_store=sweep_store)
+        timings["sweep"] = time.perf_counter() - start
+        sweep_captures = METRICS.get("memsim.trace_capture") - captures_before
+
+        return (oracle, captured, replayed, memoized, sweep, sweep_captures,
+                timings, engines)
+
+    (oracle, captured, replayed, memoized, sweep, sweep_captures,
+     timings, engines) = once(run_all)
+
+    accesses = oracle.stats["accesses"]
+    capture_speedup = timings["oracle"] / timings["capture"]
+    replay_speedup = timings["oracle"] / timings["replay"]
+    print(f"\nCholesky N={SIZE}: {accesses} accesses on {SP2_SCALED.name} "
+          f"(native kernel: {native})")
+    print("phase     seconds   vs oracle")
+    for phase in ("oracle", "capture", "replay", "memo"):
+        print(f"{phase:<8} {timings[phase]:8.4f}   {timings['oracle'] / timings[phase]:6.1f}x")
+    print(f"sweep    {timings['sweep']:8.4f}   {len(SWEEP_MACHINES)} geometries, "
+          f"{sweep_captures} execution(s)")
+    for engine, seconds in engines.items():
+        print(f"engine {engine:<7} {seconds:8.4f}s   "
+              f"{timings['oracle'] / seconds:6.1f}x vs oracle")
+
+    # Bit-identical measurements on every path.
+    assert captured == oracle
+    assert replayed == oracle
+    assert memoized == oracle
+    assert len({m.stats["L1_misses"] for m in sweep}) > 1
+
+    # One execution serves the whole geometry sweep.
+    assert sweep_captures == 1
+
+    # The tentpole criterion: a warm traced measurement is >= 10x faster
+    # than the per-access oracle with the compiled kernel (the default
+    # wherever a C toolchain exists); the pure-NumPy fallback still has
+    # to beat the oracle.
+    min_speedup = (10.0 if not QUICK else 3.0) if native else 1.5
+    assert replay_speedup >= min_speedup, (
+        f"warm replay only {replay_speedup:.1f}x faster than the oracle "
+        f"(native={native}, floor {min_speedup}x)"
+    )
+
+    Path("BENCH_memsim.json").write_text(json.dumps({
+        "benchmark": "memsim_replay",
+        "quick": QUICK,
+        "size": SIZE,
+        "accesses": accesses,
+        "native_kernel": native,
+        "timings_seconds": {k: round(v, 6) for k, v in timings.items()},
+        "engine_seconds": {k: round(v, 6) for k, v in engines.items()},
+        "capture_speedup": round(capture_speedup, 2),
+        "replay_speedup": round(replay_speedup, 2),
+        "sweep_geometries": len(SWEEP_MACHINES),
+        "sweep_executions": int(sweep_captures),
+    }, indent=2) + "\n")

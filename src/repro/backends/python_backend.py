@@ -1,22 +1,31 @@
 """Compile IR programs to Python functions over a flat arena.
 
 The generated function executes the program's exact statement-instance
-order.  With a :class:`~repro.memsim.MemoryHierarchy` passed in, every
-array reference performs a simulated cache access *in operand order*
-(reads left to right, then the write), producing the precise memory trace
-of the program for the performance experiments.
+order.  Array references are observed *in operand order* (reads left to
+right, then the write) in either of two trace modes:
+
+* ``trace=True`` — every reference calls ``mem.access(addr, write)`` on a
+  live :class:`~repro.memsim.MemoryHierarchy` (the original, per-access
+  simulation path, kept as the differential oracle);
+* ``trace="capture"`` — references append ``addr*2 + is_write`` words
+  into the preallocated NumPy chunks of a
+  :class:`~repro.memsim.trace.TraceBuffer` with no per-access Python
+  call, for later vectorized replay (:mod:`repro.memsim.replay`).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.ir.expr import AffExpr, Affine, BinOp, Call, Const, DivBound, Expr, Ref, UnOp
 from repro.ir.nodes import Guard, Loop, Program, Statement
 from repro.memsim.layout import Arena
+from repro.memsim.trace import TraceBuffer
 from repro.polyhedra.constraints import Constraint
+
+_CALL_FUNCS = {"sqrt": "_sqrt", "abs": "abs", "sign": "_sign", "min": "min", "max": "max"}
 
 
 def _int(value) -> int:
@@ -31,7 +40,12 @@ def _affine_src(affine: Affine) -> str:
     parts: list[str] = []
     for v, c in affine.coeffs.items():
         c = _int(c)
-        parts.append(f"{c}*{v}" if c != 1 else v)
+        if c == 1:
+            parts.append(v)
+        elif c == -1:
+            parts.append(f"-{v}")
+        else:
+            parts.append(f"{c}*{v}")
     const = _int(affine.const)
     if const or not parts:
         parts.append(str(const))
@@ -53,11 +67,12 @@ def _constraint_src(c: Constraint) -> str:
 
 
 class _Emitter:
-    def __init__(self, arena: Arena, trace: bool) -> None:
+    def __init__(self, arena: Arena, trace) -> None:
         self.arena = arena
         self.trace = trace
         self.lines: list[str] = []
         self.flops_per_statement: dict[str, int] = {}
+        self.max_statement_accesses = 0
         self._tmp = 0
 
     def emit(self, depth: int, text: str) -> None:
@@ -87,11 +102,13 @@ class _Emitter:
         if isinstance(expr, UnOp):
             return f"(-{self.expr_src(expr.operand, addr_of)})"
         if isinstance(expr, Call):
+            if expr.func not in _CALL_FUNCS:
+                raise ValueError(
+                    f"intrinsic function {expr.func!r} is not supported by the "
+                    f"Python backend (supported: {', '.join(sorted(_CALL_FUNCS))})"
+                )
             args = ", ".join(self.expr_src(a, addr_of) for a in expr.args)
-            fn = {"sqrt": "_sqrt", "abs": "abs", "sign": "_sign", "min": "min", "max": "max"}[
-                expr.func
-            ]
-            return f"{fn}({args})"
+            return f"{_CALL_FUNCS[expr.func]}({args})"
         raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
 
     @staticmethod
@@ -140,11 +157,24 @@ class _Emitter:
             self.emit(depth, f"{var} = {self.addr_src(ref)}")
         lhs_var = self.fresh()
         self.emit(depth, f"{lhs_var} = {self.addr_src(stmt.lhs)}")
-        if self.trace:
+        if self.trace == "capture":
+            # Reads left to right, then the write, appended straight into
+            # the trace buffer's current chunk: one bounds check per
+            # statement, zero per-access Python calls.
+            accesses = [(addr_of[id(ref)], False) for ref in reads] + [(lhs_var, True)]
+            self.max_statement_accesses = max(self.max_statement_accesses, len(accesses))
+            self.emit(depth, f"if _t_fill + {len(accesses)} > _t_cap:")
+            self.emit(depth + 1, "_t_chunk, _t_fill = _t_flush(_t_fill)")
+            for offset, (var, is_write) in enumerate(accesses):
+                slot = f"_t_fill+{offset}" if offset else "_t_fill"
+                word = f"{var}*2+1" if is_write else f"{var}*2"
+                self.emit(depth, f"_t_chunk[{slot}] = {word}")
+            self.emit(depth, f"_t_fill += {len(accesses)}")
+        elif self.trace:
             for ref in reads:
                 self.emit(depth, f"_access({addr_of[id(ref)]})")
         value = self.expr_src(stmt.rhs, addr_of)
-        if self.trace:
+        if self.trace is True:
             self.emit(depth, f"_access({lhs_var}, True)")
         self.emit(depth, f"buf[{lhs_var}] = {value}")
         self.emit(depth, f"_counts['{stmt.label}'] += 1")
@@ -156,6 +186,8 @@ class RunResult:
 
     counts: dict[str, int]
     flops_per_statement: dict[str, int]
+    trace: object | None = field(default=None, compare=False, repr=False)
+    """Encoded int64 trace array when compiled with ``trace="capture"``."""
 
     @property
     def instances(self) -> int:
@@ -167,9 +199,16 @@ class RunResult:
 
 
 class CompiledProgram:
-    """A program compiled against one arena (array sizes fixed)."""
+    """A program compiled against one arena (array sizes fixed).
 
-    def __init__(self, program: Program, arena: Arena, trace: bool = False) -> None:
+    ``trace`` selects the observation mode: ``False`` (none), ``True``
+    (per-access ``mem.access`` callbacks) or ``"capture"`` (append the
+    encoded trace into a :class:`TraceBuffer`).
+    """
+
+    def __init__(self, program: Program, arena: Arena, trace=False) -> None:
+        if trace not in (False, True, "capture"):
+            raise ValueError(f"unknown trace mode {trace!r}")
         self.program = program
         self.arena = arena
         self.trace = trace
@@ -178,9 +217,14 @@ class CompiledProgram:
         header = ["def _run(buf, env, _access, _counts):"]
         for p in params:
             header.append(f"    {p} = env['{p}']")
+        if trace == "capture":
+            header.append("    _t_chunk = _access.chunk")
+            header.append("    _t_cap = _access.chunk_size")
+            header.append("    _t_flush = _access.flush")
+            header.append("    _t_fill = 0")
         emitter.lines = header
         emitter.walk(program.body, 1)
-        emitter.emit(1, "return None")
+        emitter.emit(1, "return _t_fill" if trace == "capture" else "return None")
         self.source = "\n".join(emitter.lines)
         namespace = {
             "_sqrt": math.sqrt,
@@ -189,17 +233,34 @@ class CompiledProgram:
         exec(self.source, namespace)  # noqa: S102 - trusted generated code
         self._run = namespace["_run"]
         self.flops_per_statement = dict(emitter.flops_per_statement)
+        self.max_statement_accesses = emitter.max_statement_accesses
 
-    def run(self, buf, mem=None, env: dict[str, int] | None = None) -> RunResult:
-        """Execute over ``buf``; trace into ``mem`` if compiled with trace."""
+    def run(self, buf, mem=None, env: dict[str, int] | None = None, sink=None) -> RunResult:
+        """Execute over ``buf``.
+
+        With ``trace=True`` the memory trace goes to ``mem.access``; with
+        ``trace="capture"`` it is appended into ``sink`` (a
+        :class:`TraceBuffer`, allocated on demand) and the finished
+        encoded array is returned on ``RunResult.trace``.
+        """
+        counts = {label: 0 for label in self.flops_per_statement}
+        if self.trace == "capture":
+            if sink is None:
+                sink = TraceBuffer()
+            if sink.chunk_size < self.max_statement_accesses:
+                raise ValueError(
+                    f"trace buffer chunks hold {sink.chunk_size} words but one "
+                    f"statement makes {self.max_statement_accesses} accesses"
+                )
+            fill = self._run(buf, env or self.arena.env, sink, counts)
+            return RunResult(counts, dict(self.flops_per_statement), trace=sink.finish(fill))
         if self.trace and mem is None:
             raise ValueError("this program was compiled with tracing; pass mem=")
-        counts = {label: 0 for label in self.flops_per_statement}
         access = mem.access if mem is not None else (lambda addr, write=False: 0)
         self._run(buf, env or self.arena.env, access, counts)
         return RunResult(counts, dict(self.flops_per_statement))
 
 
-def compile_program(program: Program, arena: Arena, trace: bool = False) -> CompiledProgram:
+def compile_program(program: Program, arena: Arena, trace=False) -> CompiledProgram:
     """Compile ``program`` for execution over ``arena``."""
     return CompiledProgram(program, arena, trace)

@@ -17,6 +17,9 @@ writing any Python:
 worker processes, ``--cache [DIR]`` serves repeated work from the
 content-addressed result cache (default store: ``.repro_cache/``), and
 ``--metrics`` prints the engine's counter/timer report afterwards.
+``simulate`` additionally takes ``--replay/--no-replay`` (vectorized
+trace replay vs the per-access oracle; identical numbers) and
+``--trace-cache [DIR]`` to persist captured memory traces on disk.
 """
 
 from __future__ import annotations
@@ -177,6 +180,22 @@ def main(argv: list[str] | None = None) -> int:
     _add_shackle_args(simulate_cmd)
     simulate_cmd.add_argument("--size", action="append", required=True, help="param binding N=48")
     simulate_cmd.add_argument("--original", action="store_true", help="also run unshackled")
+    simulate_cmd.add_argument(
+        "--replay",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="capture the trace once and replay it vectorized "
+        "(--no-replay: per-access oracle simulation)",
+    )
+    simulate_cmd.add_argument(
+        "--trace-cache",
+        nargs="?",
+        const=".repro_cache/traces",
+        default=None,
+        metavar="DIR",
+        help="persist captured traces in an on-disk content-addressed store "
+        "(default dir: .repro_cache/traces)",
+    )
     _add_engine_args(simulate_cmd)
 
     args = parser.parse_args(argv)
@@ -249,11 +268,21 @@ def main(argv: list[str] | None = None) -> int:
         if args.original:
             variants["original"] = program
         points = [
-            SweepPoint(prog, env, SP2_SCALED, random_init, name, options={"seed": 0})
+            SweepPoint(
+                prog,
+                env,
+                SP2_SCALED,
+                random_init,
+                name,
+                options={"seed": 0, "replay": args.replay},
+            )
             for name, prog in variants.items()
         ]
         measurements = simulate_sweep(
-            points, jobs=args.jobs, cache=_engine_cache(args)
+            points,
+            jobs=args.jobs,
+            cache=_engine_cache(args),
+            trace_store=args.trace_cache,
         )
         print_table([m.row() for m in measurements])
         if args.metrics:

@@ -35,6 +35,11 @@ from repro.ir.nodes import Program
 ENGINE_SCHEMA_VERSION = 1
 """Bump to invalidate every existing cache entry on a format change."""
 
+NONSEMANTIC_SIMULATE_OPTIONS = frozenset({"replay", "trace_store"})
+"""Simulate options that cannot change the measurement (the trace-replay
+path is bit-identical to the per-access oracle), excluded from simulate
+fingerprints so results cached either way are shared."""
+
 
 def canonical_json(payload) -> str:
     """Deterministic JSON text: sorted keys, no whitespace."""
@@ -151,7 +156,9 @@ def simulate_job(
 
     ``machine`` is a :class:`~repro.memsim.cost.MachineSpec` or its name;
     ``init`` is the dotted path of a module-level ``(arena, buf, rng)``
-    initializer so the payload stays pure data.
+    initializer so the payload stays pure data.  Options that cannot
+    affect the result (``replay``, ``trace_store``) are dropped from the
+    payload so they never split the cache key.
     """
     return JobSpec(
         "simulate",
@@ -161,7 +168,11 @@ def simulate_job(
             "machine": machine if isinstance(machine, str) else machine.name,
             "variant": variant,
             "init": init,
-            "options": dict(options or {}),
+            "options": {
+                k: v
+                for k, v in dict(options or {}).items()
+                if k not in NONSEMANTIC_SIMULATE_OPTIONS
+            },
         },
     )
 

@@ -2,7 +2,9 @@
 
 One process-global :data:`METRICS` registry accumulates named counters
 (legality checks run, Omega feasibility calls, Fourier-Motzkin
-eliminations, cache-simulator accesses, result-cache hits/misses) and
+eliminations, cache-simulator accesses, trace capture/replay events —
+``memsim.trace_capture``, ``memsim.trace_replay``,
+``memsim.trace_cache_hit`` — and result-cache hits/misses) plus
 wall-clock timers.  Instrumented modules pay one dict update per event,
 so the hooks are cheap enough to leave on permanently.
 

@@ -1,9 +1,16 @@
 """Run one program variant through the simulated machine.
 
-The measurement pipeline: allocate the arena, initialize arrays with the
-kernel's ``init``, compile with tracing, execute while the memory
-hierarchy records the trace, then convert counters into cycles and
-simulated MFlops with the machine's cost model.
+The measurement pipeline is capture-once, replay-everywhere: allocate the
+arena, initialize arrays with the kernel's ``init``, compile in trace
+*capture* mode and execute once to record the address trace, then replay
+the trace through the vectorized cache simulator
+(:mod:`repro.memsim.replay`) and convert counters into cycles and
+simulated MFlops with the machine's cost model.  Traces live in a
+content-addressed :class:`~repro.memsim.trace.TraceStore`, so repeated
+measurements of the same (program, env, layout) — in particular ablation
+sweeps over cache geometry — replay without re-executing the program at
+all.  ``replay=False`` selects the original per-access simulation, which
+is bit-identical and kept as the differential oracle.
 
 Per-statement CPI overrides model the paper's "Matrix Multiply replaced
 by DGEMM" experiments: the same generated code, with the matrix-multiply
@@ -12,7 +19,7 @@ statements costed at hand-tuned-kernel CPI instead of scalar-backend CPI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -21,6 +28,8 @@ from repro.engine.metrics import METRICS
 from repro.ir.nodes import Program
 from repro.memsim import Arena
 from repro.memsim.cost import MachineSpec
+from repro.memsim.replay import replay_trace
+from repro.memsim.trace import Trace, TraceStore, resolve_trace_store, trace_fingerprint
 
 
 @dataclass
@@ -67,6 +76,53 @@ def random_init(arena: Arena, buf, rng) -> None:
     buf[:] = rng.random(arena.total_size)
 
 
+def _machine_key(machine: MachineSpec) -> tuple:
+    """Hashable geometry key for the replay memo (names included, so two
+    machines that differ only in level names do not share stats rows)."""
+    return (tuple(tuple(level) for level in machine.levels), machine.memory_latency)
+
+
+def _execute(program, arena, init_fn, seed, check_fn, trace_mode):
+    """Allocate, initialize and run once; returns (run result, buffers)."""
+    buf = arena.allocate()
+    rng = np.random.default_rng(seed)
+    init_fn(arena, buf, rng)
+    initial = buf.copy() if check_fn is not None else None
+    compiled = compile_program(program, arena, trace=trace_mode)
+    with METRICS.timer("memsim.run"):
+        result = compiled.run(buf)
+    return result, buf, initial
+
+
+def _finish_measurement(
+    variant, env, machine, counts, flops_per_statement, mem_result,
+    cpi_map, default_cpi, extra_flops, overhead_cycles,
+) -> Measurement:
+    """Shared cost-model tail of both simulation paths."""
+    cpis = {"scalar": machine.scalar_cpi, "kernel": machine.kernel_cpi}
+    flop_cycles = 0.0
+    flops = 0
+    for label, count in counts.items():
+        kind = (cpi_map or {}).get(label, default_cpi)
+        flop_cycles += count * flops_per_statement[label] * cpis[kind]
+        flops += count * flops_per_statement[label]
+    flop_cycles += extra_flops * machine.kernel_cpi
+
+    cycles = mem_result.access_cycles() + flop_cycles + overhead_cycles
+    seconds = cycles / (machine.clock_mhz * 1e6)
+    mflops = (flops / 1e6) / seconds if seconds > 0 else 0.0
+    return Measurement(
+        variant=variant,
+        env=dict(env),
+        machine=machine.name,
+        stats=mem_result.stats(),
+        flops=flops,
+        cycles=cycles,
+        seconds=seconds,
+        mflops=mflops,
+    )
+
+
 def simulate(
     program: Program,
     env: dict[str, int],
@@ -81,6 +137,8 @@ def simulate(
     overhead_cycles: float = 0.0,
     check_fn=None,
     seed: int = 1234,
+    replay: bool = True,
+    trace_store: TraceStore | str | None = None,
 ) -> Measurement:
     """Simulate ``program`` at ``env`` on ``machine``.
 
@@ -88,41 +146,63 @@ def simulate(
     unmapped statements use ``default_cpi``.  ``extra_flops`` (costed at
     kernel CPI) and ``overhead_cycles`` support modeled baselines such as
     the LAPACK WY overhead; both default to zero for honest measurements.
+
+    With ``replay`` (the default) the program's address trace is captured
+    once and replayed through the vectorized simulator; the trace is
+    keyed by (program, env, layout) in ``trace_store`` (``None`` = the
+    process-global store, a string/path = an on-disk ``.npz`` store), so
+    a warm store measures without executing the program.  Counters and
+    cycles are bit-identical to ``replay=False``, the per-access oracle.
     """
+    if not replay:
+        arena = Arena(program, env, layout_overrides=layout_overrides)
+        hierarchy = machine.hierarchy()
+        buf = arena.allocate()
+        rng = np.random.default_rng(seed)
+        init_fn(arena, buf, rng)
+        initial = buf.copy() if check_fn is not None else None
+        compiled = compile_program(program, arena, trace=True)
+        with METRICS.timer("memsim.run"):
+            result = compiled.run(buf, mem=hierarchy)
+        hierarchy.record_metrics()
+        if check_fn is not None and not check_fn(arena, initial, buf):
+            raise AssertionError(f"variant {variant!r} produced wrong results at {env}")
+        return _finish_measurement(
+            variant, env, machine, result.counts, result.flops_per_statement,
+            hierarchy, cpi_map, default_cpi, extra_flops, overhead_cycles,
+        )
+
+    store = resolve_trace_store(trace_store)
     arena = Arena(program, env, layout_overrides=layout_overrides)
-    buf = arena.allocate()
-    rng = np.random.default_rng(seed)
-    init_fn(arena, buf, rng)
-    initial = buf.copy() if check_fn is not None else None
+    fp = trace_fingerprint(program, env, arena)
+    trace = store.get(fp)
+    if trace is None:
+        result, buf, initial = _execute(
+            program, arena, init_fn, seed, check_fn, trace_mode="capture"
+        )
+        trace = Trace(result.trace, dict(result.counts), dict(result.flops_per_statement))
+        store.put(fp, trace)
+        METRICS.inc("memsim.trace_capture")
+        if check_fn is not None and not check_fn(arena, initial, buf):
+            raise AssertionError(f"variant {variant!r} produced wrong results at {env}")
+    elif check_fn is not None:
+        # The trace is known but the caller wants the numbers checked:
+        # execute without any tracing (the cheapest possible run).
+        _, buf, initial = _execute(
+            program, arena, init_fn, seed, check_fn, trace_mode=False
+        )
+        if not check_fn(arena, initial, buf):
+            raise AssertionError(f"variant {variant!r} produced wrong results at {env}")
 
-    hierarchy = machine.hierarchy()
-    compiled = compile_program(program, arena, trace=True)
-    with METRICS.timer("memsim.run"):
-        result = compiled.run(buf, mem=hierarchy)
-    hierarchy.record_metrics()
-    if check_fn is not None and not check_fn(arena, initial, buf):
-        raise AssertionError(f"variant {variant!r} produced wrong results at {env}")
-
-    cpis = {"scalar": machine.scalar_cpi, "kernel": machine.kernel_cpi}
-    flop_cycles = 0.0
-    for label, count in result.counts.items():
-        kind = (cpi_map or {}).get(label, default_cpi)
-        flop_cycles += count * result.flops_per_statement[label] * cpis[kind]
-    flop_cycles += extra_flops * machine.kernel_cpi
-
-    cycles = hierarchy.access_cycles() + flop_cycles + overhead_cycles
-    seconds = cycles / (machine.clock_mhz * 1e6)
-    flops = result.flops
-    mflops = (flops / 1e6) / seconds if seconds > 0 else 0.0
-    return Measurement(
-        variant=variant,
-        env=dict(env),
-        machine=machine.name,
-        stats=hierarchy.stats(),
-        flops=flops,
-        cycles=cycles,
-        seconds=seconds,
-        mflops=mflops,
+    memo_key = (fp, _machine_key(machine))
+    replayed = store.replay_memo.get(memo_key)
+    if replayed is None:
+        replayed = replay_trace(trace, machine)
+        store.replay_memo[memo_key] = replayed
+    replayed.record_metrics()
+    return _finish_measurement(
+        variant, env, machine, trace.counts, trace.flops_per_statement,
+        replayed, cpi_map, default_cpi, extra_flops, overhead_cycles,
     )
 
 
@@ -161,8 +241,11 @@ def _point_fingerprint(point: SweepPoint) -> str | None:
 
     Points whose options hold live objects (e.g. a ``check_fn``
     callable) have no stable canonical form and simply bypass the cache.
+    Options that cannot change the measurement (``replay``,
+    ``trace_store`` — the replay path is bit-identical) are excluded, so
+    results cached either way are shared.
     """
-    from repro.engine.jobs import canonical_json, fingerprint
+    from repro.engine.jobs import NONSEMANTIC_SIMULATE_OPTIONS, canonical_json, fingerprint
     from repro.ir import to_source
 
     init_name = f"{getattr(point.init, '__module__', '?')}.{getattr(point.init, '__qualname__', repr(point.init))}"
@@ -172,7 +255,10 @@ def _point_fingerprint(point: SweepPoint) -> str | None:
         "machine": point.machine.name,
         "variant": point.variant,
         "init": init_name,
-        "options": point.options,
+        "options": {
+            k: v for k, v in point.options.items()
+            if k not in NONSEMANTIC_SIMULATE_OPTIONS
+        },
     }
     try:
         canonical_json(payload)
@@ -181,18 +267,40 @@ def _point_fingerprint(point: SweepPoint) -> str | None:
     return fingerprint("simulate", payload)
 
 
+def _with_trace_store(point: SweepPoint, trace_store, jobs: int) -> SweepPoint:
+    """Inject the sweep-level trace store into a point's options.
+
+    A point that already names a store keeps it.  Under ``jobs > 1`` a
+    live :class:`TraceStore` cannot cross process boundaries: its on-disk
+    root is passed instead (workers then share traces through the
+    filesystem), and a memory-only store stays parent-side only.
+    """
+    if trace_store is None or "trace_store" in point.options:
+        return point
+    token = trace_store
+    if jobs > 1 and isinstance(token, TraceStore):
+        if token.root is None:
+            return point
+        token = str(token.root)
+    return replace(point, options={**point.options, "trace_store": token})
+
+
 def simulate_sweep(
     points: list[SweepPoint],
     *,
     jobs: int = 1,
     cache=None,
+    trace_store=None,
 ) -> list[Measurement]:
     """Simulate every sweep point, returning measurements in order.
 
     Independent points fan out across worker processes when ``jobs > 1``
     (results are identical to the serial order) and are served from the
     engine's content-addressed ``cache`` when provided — a warm re-run
-    of a sweep performs zero fresh simulations.
+    of a sweep performs zero fresh simulations.  ``trace_store`` routes
+    every point's capture/replay through one shared store, so a sweep
+    that varies only machine geometry executes its program once and
+    replays N times.
     """
     from repro.engine.metrics import METRICS
     from repro.engine.pool import WorkerPool
@@ -209,7 +317,8 @@ def simulate_sweep(
 
     if pending:
         pool = WorkerPool(jobs)
-        measurements = pool.map(_run_sweep_point, [point for _, point, _ in pending])
+        work = [_with_trace_store(point, trace_store, jobs) for _, point, _ in pending]
+        measurements = pool.map(_run_sweep_point, work)
         for (index, _, fp), measurement in zip(pending, measurements):
             METRICS.inc("engine.executed.simulate")
             if cache is not None and fp is not None:

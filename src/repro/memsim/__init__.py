@@ -8,6 +8,12 @@ next", fed with the exact memory trace of the (transformed) program.
 Array layouts map subscripts to addresses in a single flat arena —
 column-major by default (the paper assumes FORTRAN order), with banded
 storage available for the banded Cholesky experiment (Figure 15).
+
+Simulation runs in one of two modes: the per-access oracle
+(:class:`MemoryHierarchy`) or the capture/replay split — record the
+program's address trace once (:mod:`repro.memsim.trace`) and replay it,
+vectorized, against any number of machine geometries
+(:mod:`repro.memsim.replay`) with bit-identical counters.
 """
 
 from repro.memsim.cache import CacheLevel
@@ -20,6 +26,8 @@ from repro.memsim.layout import (
     ColumnMajorLayout,
     RowMajorLayout,
 )
+from repro.memsim.replay import ReplayResult, replay_encoded, replay_trace
+from repro.memsim.trace import Trace, TraceBuffer, TraceStore, trace_fingerprint
 
 __all__ = [
     "Arena",
@@ -30,8 +38,15 @@ __all__ = [
     "CostModel",
     "MachineSpec",
     "MemoryHierarchy",
+    "ReplayResult",
     "RowMajorLayout",
     "SP2_LIKE",
     "SP2_SCALED",
     "TINY",
+    "Trace",
+    "TraceBuffer",
+    "TraceStore",
+    "replay_encoded",
+    "replay_trace",
+    "trace_fingerprint",
 ]

@@ -1,0 +1,217 @@
+"""Optional compiled replay kernel.
+
+The pure-NumPy replay pipeline in :mod:`repro.memsim.replay` is portable
+but bounded by CPython loop speed on the collapsed event stream.  When a
+C toolchain is available this module builds a tiny shared library — a
+direct port of the :class:`~repro.memsim.hierarchy.MemoryHierarchy`
+per-access walk — and drives it through :mod:`ctypes`, replaying traces
+roughly two orders of magnitude faster than the reference simulator.
+
+The build is content-addressed: the library lands in a per-user cache
+directory keyed by a hash of the C source, so it compiles once per
+source revision and is reused by every later process.  Everything
+degrades gracefully — no compiler, a failed build, or
+``REPRO_MEMSIM_NATIVE=0`` just means :func:`load` returns ``None`` and
+callers stay on the NumPy path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Replay an encoded trace (addr * 2 + is_write) through a multi-level
+ * set-associative LRU write-back hierarchy.  The control flow mirrors
+ * MemoryHierarchy.access + _drain_victims statement for statement so the
+ * counters are bit-identical to the reference simulator:
+ *
+ *   - the access walks levels fastest-first and stops at the first hit;
+ *   - every level touched marks the line dirty on a write;
+ *   - a miss installs at the missing level, evicting the LRU way;
+ *   - after the walk, dirty victims drain in level order into the next
+ *     level that holds the line (dirty mark, no LRU reorder) or count a
+ *     memory write-back.
+ *
+ * geom holds (line_shift, num_sets, assoc) per level.  Returns 0, or -1
+ * if state allocation failed (caller falls back to the NumPy path).
+ */
+int64_t repro_replay(const int64_t *encoded, int64_t n,
+                     const int64_t *geom, int64_t nlevels,
+                     int64_t *hits, int64_t *misses, int64_t *out)
+{
+    int64_t total_ways = 0;
+    for (int64_t l = 0; l < nlevels; l++)
+        total_ways += geom[3 * l + 1] * geom[3 * l + 2];
+
+    int64_t *tags = malloc((size_t)total_ways * sizeof(int64_t));
+    unsigned char *dirty = calloc((size_t)total_ways, 1);
+    int64_t *base = malloc((size_t)(nlevels + 1) * sizeof(int64_t));
+    int64_t *victim = malloc((size_t)(nlevels + 1) * sizeof(int64_t));
+    if (!tags || !dirty || !base || !victim) {
+        free(tags); free(dirty); free(base); free(victim);
+        return -1;
+    }
+    for (int64_t w = 0; w < total_ways; w++)
+        tags[w] = -1;
+    int64_t off = 0;
+    for (int64_t l = 0; l < nlevels; l++) {
+        base[l] = off;
+        off += geom[3 * l + 1] * geom[3 * l + 2];
+    }
+
+    int64_t mem_accesses = 0, mem_writebacks = 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t addr = encoded[i] >> 1;
+        unsigned char write = (unsigned char)(encoded[i] & 1);
+        int64_t hit_level = nlevels;
+
+        for (int64_t l = 0; l < nlevels; l++) {
+            int64_t shift = geom[3 * l];
+            int64_t num_sets = geom[3 * l + 1];
+            int64_t assoc = geom[3 * l + 2];
+            int64_t line = addr >> shift;
+            int64_t *ways = tags + base[l] + (line % num_sets) * assoc;
+            unsigned char *dbits = dirty + base[l] + (line % num_sets) * assoc;
+            victim[l] = -1;
+
+            int64_t w = 0;
+            while (w < assoc && ways[w] != line && ways[w] != -1)
+                w++;
+            if (w < assoc && ways[w] == line) {
+                hits[l]++;
+                unsigned char d = dbits[w];
+                memmove(ways + 1, ways, (size_t)w * sizeof(int64_t));
+                memmove(dbits + 1, dbits, (size_t)w);
+                ways[0] = line;
+                dbits[0] = (unsigned char)(d | write);
+                hit_level = l;
+                break;
+            }
+            misses[l]++;
+            int64_t old_tag = ways[assoc - 1];
+            unsigned char old_dirty = dbits[assoc - 1];
+            memmove(ways + 1, ways, (size_t)(assoc - 1) * sizeof(int64_t));
+            memmove(dbits + 1, dbits, (size_t)(assoc - 1));
+            ways[0] = line;
+            dbits[0] = write;
+            if (old_tag != -1 && old_dirty)
+                victim[l] = old_tag << shift;
+        }
+        if (hit_level == nlevels)
+            mem_accesses++;
+
+        int64_t walked = hit_level < nlevels ? hit_level + 1 : nlevels;
+        for (int64_t l = 0; l < walked; l++) {
+            if (victim[l] < 0)
+                continue;
+            int placed = 0;
+            for (int64_t m = l + 1; m < nlevels; m++) {
+                int64_t line = victim[l] >> geom[3 * m];
+                int64_t assoc = geom[3 * m + 2];
+                int64_t slot = base[m] + (line % geom[3 * m + 1]) * assoc;
+                int64_t *ways = tags + slot;
+                for (int64_t w = 0; w < assoc && ways[w] != -1; w++) {
+                    if (ways[w] == line) {
+                        dirty[slot + w] = 1;
+                        placed = 1;
+                        break;
+                    }
+                }
+                if (placed)
+                    break;
+            }
+            if (!placed)
+                mem_writebacks++;
+        }
+    }
+
+    out[0] = mem_accesses;
+    out[1] = mem_writebacks;
+    free(tags); free(dirty); free(base); free(victim);
+    return 0;
+}
+"""
+
+_lib = None
+_loaded = False
+
+
+def cache_dir() -> Path:
+    """Per-user build cache directory for compiled kernels."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
+
+
+def _compile(so_path: Path) -> bool:
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return False
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        so_path.parent.chmod(0o700)
+    except OSError:
+        pass
+    src = so_path.with_suffix(f".{os.getpid()}.c")
+    tmp = so_path.with_suffix(f".{os.getpid()}.so")
+    try:
+        src.write_text(SOURCE)
+        proc = subprocess.run(
+            [compiler, "-O3", "-shared", "-fPIC", "-o", str(tmp), str(src)],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return False
+        os.replace(tmp, so_path)  # atomic under concurrent builders
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        for leftover in (src, tmp):
+            try:
+                leftover.unlink()
+            except OSError:
+                pass
+
+
+def load():
+    """The compiled kernel, building it on first use; None if unavailable."""
+    global _lib, _loaded
+    if _loaded:
+        return _lib
+    _loaded = True
+    if os.environ.get("REPRO_MEMSIM_NATIVE", "1") == "0":
+        return None
+    digest = hashlib.sha256(SOURCE.encode()).hexdigest()[:16]
+    so_path = cache_dir() / f"replay-{digest}.so"
+    if not so_path.is_file() and not _compile(so_path):
+        return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    lib.repro_replay.argtypes = [p64, ctypes.c_int64, p64, ctypes.c_int64, p64, p64, p64]
+    lib.repro_replay.restype = ctypes.c_int64
+    _lib = lib
+    return lib
+
+
+def reset() -> None:
+    """Forget the loaded kernel (tests use this to exercise fallback)."""
+    global _lib, _loaded
+    _lib = None
+    _loaded = False

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.engine.metrics import METRICS
 from repro.memsim.cache import CacheLevel
 
 
@@ -33,8 +34,6 @@ class MemoryHierarchy:
         Called once per simulated run (not per access) so the simulator
         hot path stays uninstrumented.
         """
-        from repro.engine.metrics import METRICS
-
         registry = metrics if metrics is not None else METRICS
         registry.inc("memsim.accesses", self.total_accesses)
         registry.inc("memsim.memory_accesses", self.memory_accesses)

@@ -1,0 +1,377 @@
+"""Vectorized replay of captured memory traces.
+
+Replays an encoded trace (:class:`repro.memsim.trace.Trace`) through a
+set-associative LRU write-back hierarchy and produces hit/miss/writeback
+counters *bit-identical* to feeding the same accesses one by one through
+:class:`repro.memsim.hierarchy.MemoryHierarchy` — which remains the
+differential-testing oracle.
+
+Per level, the pipeline is:
+
+1. decompose addresses into lines and sets (NumPy, whole-trace);
+2. stable-sort events by set id, which groups each set's accesses while
+   preserving program order within the set;
+3. *run-collapse*: consecutive accesses to the same line within a set are
+   one event ``(line, count, first-is-write, any-is-write)`` — under LRU
+   the first access decides hit/miss and the rest are guaranteed hits, so
+   a collapsed run costs one loop iteration instead of ``count``
+   (typically a 5-10x compression on real kernel traces);
+4. a tight Python loop over the collapsed events maintains per-set
+   MRU-first lists and the dirty set, emitting the miss stream and dirty
+   victims for the next level.
+
+Inter-level event ordering reproduces the oracle exactly: each original
+access carries its position as a timestamp, misses keep event kind 0 and
+victims evicted at level *i* get kind ``i + 1``, and the next level
+orders its merged stream by ``(set, time, kind)`` — at equal time the
+access walk precedes the victim drain, and victims drain fastest-level
+first, exactly like ``MemoryHierarchy.access`` followed by
+``_drain_victims``.  Write-back events never collapse (they only mark a
+resident line dirty or forward), so they break runs.
+
+When a C toolchain is present, :mod:`repro.memsim._native` compiles a
+per-access replay kernel (a direct port of the oracle's walk) that is
+used by default — it is another ~30x faster than the NumPy pipeline.
+Both engines produce bit-identical counters; ``engine="numpy"`` or
+``REPRO_MEMSIM_NATIVE=0`` force the portable path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.metrics import METRICS
+from repro.memsim import _native
+
+
+class ReplayResult:
+    """Counters from one trace replay.
+
+    API-compatible with the reporting surface of
+    :class:`~repro.memsim.hierarchy.MemoryHierarchy`: ``stats()``,
+    ``access_cycles()``, ``writeback_traffic()`` and ``record_metrics()``
+    produce identical values for identical inputs.
+    """
+
+    def __init__(
+        self,
+        level_stats: list[tuple[str, int, int, int]],
+        memory_latency: int,
+        total_accesses: int,
+        memory_accesses: int,
+        memory_writebacks: int,
+    ) -> None:
+        self.level_stats = list(level_stats)  # (name, latency, hits, misses)
+        self.memory_latency = memory_latency
+        self.total_accesses = total_accesses
+        self.memory_accesses = memory_accesses
+        self.memory_writebacks = memory_writebacks
+
+    def record_metrics(self, metrics=None) -> None:
+        """Flush access counters into the engine metrics registry."""
+        registry = metrics if metrics is not None else METRICS
+        registry.inc("memsim.accesses", self.total_accesses)
+        registry.inc("memsim.memory_accesses", self.memory_accesses)
+        registry.inc("memsim.memory_writebacks", self.memory_writebacks)
+
+    def access_cycles(self) -> int:
+        """Total data-access cycles, including write-back traffic."""
+        cycles = 0
+        remaining = self.total_accesses
+        for _, latency, hits, _ in self.level_stats:
+            cycles += remaining * latency
+            remaining -= hits
+        cycles += self.memory_accesses * self.memory_latency
+        cycles += self.writeback_traffic() * self.memory_latency
+        return cycles
+
+    def writeback_traffic(self) -> int:
+        return self.memory_writebacks
+
+    def stats(self) -> dict:
+        out = {"accesses": self.total_accesses, "memory_accesses": self.memory_accesses}
+        for name, _, hits, misses in self.level_stats:
+            out[f"{name}_hits"] = hits
+            out[f"{name}_misses"] = misses
+        out["writebacks"] = self.writeback_traffic()
+        return out
+
+
+def _sort_key(set_id: np.ndarray, num_sets: int) -> np.ndarray:
+    """Narrowest integer view of the set ids (radix sort runs fastest)."""
+    if num_sets <= 1 << 16:
+        return set_id.astype(np.uint16)
+    if num_sets <= 1 << 32:
+        return set_id.astype(np.uint32)
+    return set_id
+
+
+def _collapse(line_s: np.ndarray, acc_s: np.ndarray | None) -> np.ndarray:
+    """Start offsets of maximal same-line access runs (sorted order)."""
+    same = line_s[1:] == line_s[:-1]
+    if acc_s is not None:
+        same &= acc_s[1:] & acc_s[:-1]
+    return np.flatnonzero(np.concatenate(([True], ~same)))
+
+
+def _replay_first_level(addrs: np.ndarray, writes: np.ndarray, level):
+    """Replay the raw trace through the fastest level.
+
+    The trace is all access events in time order, so timestamps are the
+    array positions and no event-kind handling is needed — the hottest
+    loop in the replay stays minimal.
+    """
+    n = len(addrs)
+    line = addrs >> level.line_shift
+    num_sets = level.num_sets
+    if num_sets > 1:
+        set_id = line % num_sets
+        order = np.argsort(_sort_key(set_id, num_sets), kind="stable")
+        line_s = line[order]
+        w_s = writes[order]
+    else:
+        set_id = None
+        order = None
+        line_s = line
+        w_s = writes
+
+    starts = _collapse(line_s, None)
+    count = np.diff(starts, append=n)
+    w_any = np.bitwise_or.reduceat(w_s, starts)
+    packed = (count << 2) | (w_s[starts] << 1) | w_any
+    ostart = order[starts] if order is not None else starts
+
+    sets = (set_id[ostart] if order is not None else np.zeros(len(starts), np.int64)).tolist()
+    lines = line_s[starts].tolist()
+    packs = packed.tolist()
+    times = ostart.tolist()
+    addresses = addrs[ostart].tolist()
+
+    assoc = level.assoc
+    shift = level.line_shift
+    buckets: list[list[int]] = [[] for _ in range(num_sets)]
+    dirty: set[int] = set()
+    hits = 0
+    misses = 0
+    m_t: list[int] = []
+    m_a: list[int] = []
+    m_w: list[int] = []
+    wb_t: list[int] = []
+    wb_a: list[int] = []
+    cur = -1
+    bucket = buckets[0]
+    for s, ln, p, t, a in zip(sets, lines, packs, times, addresses):
+        if s != cur:
+            bucket = buckets[s]
+            cur = s
+        if ln in bucket:
+            hits += p >> 2
+            if bucket[0] != ln:
+                bucket.remove(ln)
+                bucket.insert(0, ln)
+            if p & 1:
+                dirty.add(ln)
+            continue
+        misses += 1
+        hits += (p >> 2) - 1
+        m_t.append(t)
+        m_a.append(a)
+        m_w.append((p >> 1) & 1)
+        bucket.insert(0, ln)
+        if p & 1:
+            dirty.add(ln)
+        if len(bucket) > assoc:
+            victim = bucket.pop()
+            if victim in dirty:
+                dirty.discard(victim)
+                wb_t.append(t)
+                wb_a.append(victim << shift)
+    wb_k = [1] * len(wb_t)
+    return hits, misses, (m_t, m_a, m_w), (wb_t, wb_a, wb_k)
+
+
+def _replay_level(times, addrs, kinds, writes, level, victim_kind: int):
+    """Replay a merged miss/write-back stream through one lower level."""
+    n = len(addrs)
+    if n == 0:
+        return 0, 0, ([], [], []), ([], [], [])
+    line = addrs >> level.line_shift
+    num_sets = level.num_sets
+    if num_sets > 1:
+        set_id = line % num_sets
+        order = np.lexsort((kinds, times, set_id))
+    else:
+        set_id = np.zeros(n, np.int64)
+        order = np.lexsort((kinds, times))
+    line_s = line[order]
+    k_s = kinds[order]
+    w_s = writes[order]
+
+    starts = _collapse(line_s, k_s == 0)
+    count = np.diff(starts, append=n)
+    w_any = np.bitwise_or.reduceat(w_s, starts)
+    packed = (count << 2) | (w_s[starts] << 1) | w_any
+    ostart = order[starts]
+
+    sets = set_id[ostart].tolist()
+    ks = k_s[starts].tolist()
+    lines = line_s[starts].tolist()
+    packs = packed.tolist()
+    ts = times[ostart].tolist()
+    addresses = addrs[ostart].tolist()
+
+    assoc = level.assoc
+    shift = level.line_shift
+    buckets: list[list[int]] = [[] for _ in range(num_sets)]
+    dirty: set[int] = set()
+    hits = 0
+    misses = 0
+    m_t: list[int] = []
+    m_a: list[int] = []
+    m_w: list[int] = []
+    wb_t: list[int] = []
+    wb_a: list[int] = []
+    wb_k: list[int] = []
+    cur = -1
+    bucket = buckets[0]
+    for s, k, ln, p, t, a in zip(sets, ks, lines, packs, ts, addresses):
+        if s != cur:
+            bucket = buckets[s]
+            cur = s
+        if k:  # a write-back from a faster level: absorb or forward
+            if ln in bucket:
+                dirty.add(ln)
+            else:
+                wb_t.append(t)
+                wb_a.append(a)
+                wb_k.append(k)
+            continue
+        if ln in bucket:
+            hits += p >> 2
+            if bucket[0] != ln:
+                bucket.remove(ln)
+                bucket.insert(0, ln)
+            if p & 1:
+                dirty.add(ln)
+            continue
+        misses += 1
+        hits += (p >> 2) - 1
+        m_t.append(t)
+        m_a.append(a)
+        m_w.append((p >> 1) & 1)
+        bucket.insert(0, ln)
+        if p & 1:
+            dirty.add(ln)
+        if len(bucket) > assoc:
+            victim = bucket.pop()
+            if victim in dirty:
+                dirty.discard(victim)
+                wb_t.append(t)
+                wb_a.append(victim << shift)
+                wb_k.append(victim_kind)
+    return hits, misses, (m_t, m_a, m_w), (wb_t, wb_a, wb_k)
+
+
+def _replay_numpy(encoded: np.ndarray, hierarchy) -> ReplayResult:
+    """The portable vectorized replay pipeline (sort + collapse + loop)."""
+    levels = hierarchy.levels
+    total = len(encoded)
+    level_stats: list[tuple[str, int, int, int]] = []
+    addrs = encoded >> 1
+    writes = encoded & 1
+    hits, misses, miss, wb = _replay_first_level(addrs, writes, levels[0])
+    level_stats.append((levels[0].name, levels[0].latency, hits, misses))
+    for index, level in enumerate(levels[1:], start=1):
+        m_t, m_a, m_w = miss
+        wb_t, wb_a, wb_k = wb
+        t = np.array(m_t + wb_t, dtype=np.int64)
+        a = np.array(m_a + wb_a, dtype=np.int64)
+        k = np.array([0] * len(m_t) + wb_k, dtype=np.int64)
+        w = np.array(m_w + [0] * len(wb_t), dtype=np.int64)
+        hits, misses, miss, wb = _replay_level(
+            t, a, k, w, level, victim_kind=index + 1
+        )
+        level_stats.append((level.name, level.latency, hits, misses))
+    return ReplayResult(
+        level_stats,
+        hierarchy.memory_latency,
+        total,
+        memory_accesses=len(miss[0]),
+        memory_writebacks=len(wb[0]),
+    )
+
+
+def _replay_native(encoded: np.ndarray, hierarchy, lib) -> ReplayResult:
+    """Drive the compiled per-access kernel (bit-identical to the oracle)."""
+    import ctypes
+
+    levels = hierarchy.levels
+    nlevels = len(levels)
+    geom = np.empty(3 * nlevels, dtype=np.int64)
+    for i, level in enumerate(levels):
+        geom[3 * i] = level.line_shift
+        geom[3 * i + 1] = level.num_sets
+        geom[3 * i + 2] = level.assoc
+    encoded = np.ascontiguousarray(encoded, dtype=np.int64)
+    hits = np.zeros(nlevels, dtype=np.int64)
+    misses = np.zeros(nlevels, dtype=np.int64)
+    out = np.zeros(2, dtype=np.int64)
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    rc = lib.repro_replay(
+        encoded.ctypes.data_as(p64),
+        len(encoded),
+        geom.ctypes.data_as(p64),
+        nlevels,
+        hits.ctypes.data_as(p64),
+        misses.ctypes.data_as(p64),
+        out.ctypes.data_as(p64),
+    )
+    if rc != 0:
+        return _replay_numpy(encoded, hierarchy)
+    level_stats = [
+        (level.name, level.latency, int(hits[i]), int(misses[i]))
+        for i, level in enumerate(levels)
+    ]
+    return ReplayResult(
+        level_stats,
+        hierarchy.memory_latency,
+        len(encoded),
+        memory_accesses=int(out[0]),
+        memory_writebacks=int(out[1]),
+    )
+
+
+def replay_encoded(
+    encoded: np.ndarray, hierarchy, engine: str | None = None
+) -> ReplayResult:
+    """Replay an encoded trace through (the geometry of) ``hierarchy``.
+
+    ``hierarchy`` is a fresh :class:`MemoryHierarchy` used only for its
+    level geometry and memory latency; it is not mutated.  ``engine``
+    picks the implementation: ``None`` (default) uses the compiled
+    kernel when available and the NumPy pipeline otherwise, ``"native"``
+    requires the kernel, ``"numpy"`` forces the portable path.
+    """
+    if engine not in (None, "native", "numpy"):
+        raise ValueError(f"unknown replay engine {engine!r}")
+    METRICS.inc("memsim.trace_replay")
+    with METRICS.timer("memsim.replay"):
+        if len(encoded) == 0:
+            level_stats = [
+                (level.name, level.latency, 0, 0) for level in hierarchy.levels
+            ]
+            return ReplayResult(level_stats, hierarchy.memory_latency, 0, 0, 0)
+        lib = _native.load() if engine != "numpy" else None
+        if engine == "native" and lib is None:
+            raise RuntimeError(
+                "native replay kernel requested but no C toolchain is available"
+            )
+        if lib is not None:
+            return _replay_native(encoded, hierarchy, lib)
+        return _replay_numpy(encoded, hierarchy)
+
+
+def replay_trace(trace, machine, engine: str | None = None) -> ReplayResult:
+    """Replay a captured :class:`Trace` on a :class:`MachineSpec`."""
+    encoded = getattr(trace, "encoded", trace)
+    return replay_encoded(encoded, machine.hierarchy(), engine=engine)

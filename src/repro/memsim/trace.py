@@ -1,0 +1,222 @@
+"""Memory-trace capture and the content-addressed trace store.
+
+The measurement pipeline is split in two (the tentpole of the trace-replay
+work): the compiled program *captures* its address trace once — appending
+``addr*2 + is_write`` words into preallocated NumPy int64 chunks, with no
+per-access Python callback — and the cache simulation then *replays* that
+trace (:mod:`repro.memsim.replay`) as many times as there are machine
+specs to evaluate.
+
+Traces are pure functions of ``(program, env, arena layout)``: the
+mini-language has affine-only control flow, so the address sequence never
+depends on the floating-point data.  That makes a trace reusable across
+machines, CPI maps, seeds and initializers, and gives it a stable content
+fingerprint (:func:`trace_fingerprint`) under which :class:`TraceStore`
+keeps it — an in-memory LRU over an optional on-disk store of compressed
+``.npz`` artifacts, mirroring the engine's result cache layout:
+
+    <root>/<fp[:2]>/<fp>.npz
+
+Counters: ``memsim.trace_capture`` (fresh captures), and
+``memsim.trace_cache_hit`` (traces served from the store).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.metrics import METRICS
+
+CHUNK = 1 << 16
+"""Default capture chunk size, in trace words."""
+
+
+class TraceBuffer:
+    """Preallocated int64 chunks that capture-mode generated code fills.
+
+    The generated code keeps ``chunk`` and a local fill index; before each
+    statement it checks the remaining headroom and calls :meth:`flush` to
+    seal the current chunk and start a fresh one.  No per-access Python
+    call is ever made.
+    """
+
+    def __init__(self, chunk_size: int = CHUNK) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk size must be at least 1")
+        self.chunk_size = chunk_size
+        self.chunk = np.empty(chunk_size, dtype=np.int64)
+        self._parts: list[np.ndarray] = []
+
+    def flush(self, fill: int) -> tuple[np.ndarray, int]:
+        """Seal the current chunk at ``fill``; returns (new chunk, 0)."""
+        self._parts.append(self.chunk[:fill])
+        self.chunk = np.empty(self.chunk_size, dtype=np.int64)
+        return self.chunk, 0
+
+    def finish(self, fill: int) -> np.ndarray:
+        """The full encoded trace, with the last chunk sealed at ``fill``."""
+        return np.concatenate([*self._parts, self.chunk[:fill]])
+
+
+@dataclass
+class Trace:
+    """A captured memory trace plus the run's statement accounting.
+
+    ``encoded`` packs each access as ``addr * 2 + is_write`` (int64);
+    ``counts`` and ``flops_per_statement`` carry everything the cost
+    model needs, so a stored trace replaces program execution entirely.
+    """
+
+    encoded: np.ndarray = field(repr=False)
+    counts: dict[str, int]
+    flops_per_statement: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.encoded)
+
+    @property
+    def addresses(self) -> np.ndarray:
+        return self.encoded >> 1
+
+    @property
+    def writes(self) -> np.ndarray:
+        return (self.encoded & 1).astype(bool)
+
+
+def trace_fingerprint(program, env, arena) -> str:
+    """Stable content fingerprint of the trace ``program`` produces.
+
+    Keyed by the program source, the integer environment, and the arena's
+    address map (each layout's canonical address expression plus the total
+    arena size).  Machine, seed, initializer and CPI parameters do not
+    participate: the trace is data-independent, so one capture serves
+    them all.
+    """
+    from repro.engine.jobs import fingerprint, program_source
+
+    signature = {
+        name: layout.addr_source([f"_i{k + 1}" for k in range(len(layout.extents))])
+        for name, layout in arena.layouts.items()
+    }
+    payload = {
+        "program": program_source(program),
+        "env": {k: int(v) for k, v in env.items()},
+        "arena": signature,
+        "total_size": arena.total_size,
+    }
+    return fingerprint("memsim.trace", payload)
+
+
+class TraceStore:
+    """In-memory LRU of traces over an optional on-disk ``.npz`` store.
+
+    Disk writes are atomic (write-temp-then-rename) and undecodable files
+    read as misses, matching :class:`repro.engine.cache.ResultCache`.
+    ``replay_memo`` additionally memoizes finished replay counters by
+    ``(trace fingerprint, machine description)``, so re-simulating the
+    same trace on the same machine costs a dictionary lookup.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        capacity: int = 16,
+        metrics=METRICS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("trace store capacity must be at least 1")
+        self.root = Path(root) if root is not None else None
+        self.capacity = capacity
+        self.metrics = metrics
+        self._memory: OrderedDict[str, Trace] = OrderedDict()
+        self.replay_memo: dict[tuple[str, str], object] = {}
+
+    def _path(self, fingerprint: str) -> Path:
+        assert self.root is not None
+        return self.root / fingerprint[:2] / f"{fingerprint}.npz"
+
+    def _remember(self, fingerprint: str, trace: Trace) -> None:
+        self._memory[fingerprint] = trace
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def get(self, fingerprint: str) -> Trace | None:
+        """The stored trace for ``fingerprint``, or None on miss.
+
+        Disk hits are promoted into the memory tier.
+        """
+        if fingerprint in self._memory:
+            self._memory.move_to_end(fingerprint)
+            self.metrics.inc("memsim.trace_cache_hit")
+            return self._memory[fingerprint]
+        if self.root is not None:
+            try:
+                with np.load(self._path(fingerprint), allow_pickle=False) as data:
+                    trace = Trace(
+                        encoded=data["encoded"],
+                        counts=dict(
+                            zip(data["labels"].tolist(), data["counts"].tolist())
+                        ),
+                        flops_per_statement=dict(
+                            zip(data["labels"].tolist(), data["flops"].tolist())
+                        ),
+                    )
+            except (OSError, ValueError, KeyError):
+                pass
+            else:
+                self.metrics.inc("memsim.trace_cache_hit")
+                self._remember(fingerprint, trace)
+                return trace
+        return None
+
+    def put(self, fingerprint: str, trace: Trace) -> None:
+        """Store a trace; with a disk tier, write a compressed ``.npz``."""
+        self._remember(fingerprint, trace)
+        if self.root is not None:
+            path = self._path(fingerprint)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Keep emission order: the cost model sums per-label float
+            # cycles in this order, and bit-identical results require the
+            # same summation order after a disk round-trip.
+            labels = list(trace.counts)
+            tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    encoded=trace.encoded,
+                    labels=np.array(labels),
+                    counts=np.array([trace.counts[l] for l in labels], dtype=np.int64),
+                    flops=np.array(
+                        [trace.flops_per_statement[l] for l in labels], dtype=np.int64
+                    ),
+                )
+            os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+DEFAULT_TRACE_STORE = TraceStore()
+"""Process-global memory-only store: repeated measurements of the same
+(program, env, layout) within one process share a single capture even
+when the caller never wires a store explicitly."""
+
+
+def resolve_trace_store(store) -> TraceStore:
+    """Normalize a ``trace_store`` argument.
+
+    ``None`` means the process-global default; a string or path opens (or
+    creates) an on-disk store rooted there; a :class:`TraceStore` passes
+    through.
+    """
+    if store is None:
+        return DEFAULT_TRACE_STORE
+    if isinstance(store, TraceStore):
+        return store
+    return TraceStore(root=store)

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.backends import compile_program
+from repro.backends.python_backend import _affine_src
 from repro.ir import parse_program
+from repro.ir.expr import Affine
 from repro.memsim import Arena, MemoryHierarchy, CacheLevel
 
 
@@ -115,6 +117,56 @@ def test_trace_requires_mem():
     cp = compile_program(p, arena, trace=True)
     with pytest.raises(ValueError, match="pass mem="):
         cp.run(arena.allocate())
+
+
+def test_capture_mode_matches_callback_order():
+    p = parse_program(
+        """
+program t(N)
+array A[N]
+array B[N]
+do I = 1, N
+  S1: A[I] = B[I] + A[I]
+"""
+    )
+    arena = Arena(p, {"N": 3})
+
+    class Recorder:
+        def __init__(self):
+            self.log = []
+
+        def access(self, addr, write=False):
+            self.log.append((addr, write))
+            return 0
+
+    rec = Recorder()
+    compile_program(p, arena, trace=True).run(arena.allocate(), mem=rec)
+    result = compile_program(p, arena, trace="capture").run(arena.allocate())
+    # Same accesses, same operand order, encoded as addr*2 + is_write.
+    assert result.trace.tolist() == [a * 2 + int(w) for a, w in rec.log]
+    assert result.counts == {"S1": 3}
+
+
+def test_unsupported_intrinsic_names_the_function():
+    p = parse_program(
+        """
+program f(N)
+array A[N]
+do I = 1, N
+  S1: A[I] = sqrt(A[I])
+"""
+    )
+    call = p.body[0].body[0].rhs
+    call.func = "tanh"  # an intrinsic the IR may grow before the backend does
+    with pytest.raises(ValueError, match="'tanh'"):
+        compile_program(p, Arena(p, {"N": 2}))
+
+
+def test_affine_src_unit_coefficients():
+    assert _affine_src(Affine({"I": 1, "J": -1}, 0)) == "(I-J)"
+    assert _affine_src(Affine({"I": -1}, 1)) == "(-I+1)"
+    assert _affine_src(Affine({"I": 2, "J": -3}, 0)) == "(2*I-3*J)"
+    assert _affine_src(Affine({}, 5)) == "(5)"
 
 
 def test_flop_accounting():

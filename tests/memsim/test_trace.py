@@ -1,0 +1,149 @@
+"""Trace capture, fingerprints and the content-addressed trace store."""
+
+import numpy as np
+import pytest
+
+from repro.backends import compile_program
+from repro.engine.metrics import METRICS
+from repro.ir import parse_program
+from repro.memsim import Arena, RowMajorLayout, Trace, TraceBuffer, TraceStore, trace_fingerprint
+
+STREAM = """
+program s(N)
+array A[N]
+array B[N]
+do I = 1, N
+  S1: A[I] = B[I] + A[I]
+"""
+
+
+class Recorder:
+    def __init__(self):
+        self.log = []
+
+    def access(self, addr, write=False):
+        self.log.append((addr, write))
+        return 0
+
+
+def _capture(program, env, chunk_size=None):
+    arena = Arena(program, env)
+    sink = TraceBuffer(chunk_size) if chunk_size else None
+    result = compile_program(program, arena, trace="capture").run(
+        arena.allocate(), sink=sink
+    )
+    return arena, result
+
+
+def test_capture_matches_callback_trace():
+    p = parse_program(STREAM)
+    arena = Arena(p, {"N": 7})
+    rec = Recorder()
+    compile_program(p, arena, trace=True).run(arena.allocate(), mem=rec)
+    _, result = _capture(p, {"N": 7})
+    assert result.trace.dtype == np.int64
+    assert result.trace.tolist() == [a * 2 + int(w) for a, w in rec.log]
+
+
+def test_capture_crosses_chunk_boundaries():
+    # 3 accesses per instance, 5-word chunks: every chunk seals partially
+    # full, so the flush path is exercised repeatedly.
+    p = parse_program(STREAM)
+    arena = Arena(p, {"N": 20})
+    rec = Recorder()
+    compile_program(p, arena, trace=True).run(arena.allocate(), mem=rec)
+    _, result = _capture(p, {"N": 20}, chunk_size=5)
+    assert result.trace.tolist() == [a * 2 + int(w) for a, w in rec.log]
+
+
+def test_capture_rejects_undersized_chunks():
+    p = parse_program(STREAM)
+    arena = Arena(p, {"N": 4})
+    compiled = compile_program(p, arena, trace="capture")
+    with pytest.raises(ValueError, match="chunks hold 2 words"):
+        compiled.run(arena.allocate(), sink=TraceBuffer(2))
+
+
+def test_unknown_trace_mode_rejected():
+    p = parse_program(STREAM)
+    with pytest.raises(ValueError, match="trace mode"):
+        compile_program(p, Arena(p, {"N": 2}), trace="record")
+
+
+def test_trace_decode_properties():
+    trace = Trace(np.array([8, 13], dtype=np.int64), {"S1": 1}, {"S1": 1})
+    assert len(trace) == 2
+    assert trace.addresses.tolist() == [4, 6]
+    assert trace.writes.tolist() == [False, True]
+
+
+def test_trace_fingerprint_keys_program_env_and_layout():
+    p = parse_program(
+        """
+program g(N)
+array A[N,N]
+do I = 1, N
+  S1: A[I,I] = A[I,I] + 1
+"""
+    )
+    arena = Arena(p, {"N": 8})
+    fp = trace_fingerprint(p, {"N": 8}, arena)
+    assert fp == trace_fingerprint(p, {"N": 8}, Arena(p, {"N": 8}))
+    assert fp != trace_fingerprint(p, {"N": 9}, Arena(p, {"N": 9}))
+    remapped = Arena(p, {"N": 8}, layout_overrides={"A": RowMajorLayout})
+    assert fp != trace_fingerprint(p, {"N": 8}, remapped)
+
+
+def test_store_memory_roundtrip_and_metrics():
+    store = TraceStore()
+    trace = Trace(np.arange(4, dtype=np.int64), {"S1": 2}, {"S1": 1})
+    assert store.get("ab" * 32) is None
+    store.put("ab" * 32, trace)
+    before = METRICS.get("memsim.trace_cache_hit")
+    assert store.get("ab" * 32) is trace
+    assert METRICS.get("memsim.trace_cache_hit") == before + 1
+
+
+def test_store_capacity_evicts_lru():
+    store = TraceStore(capacity=2)
+    traces = [
+        Trace(np.array([i], dtype=np.int64), {"S1": 1}, {"S1": 1}) for i in range(3)
+    ]
+    for i, trace in enumerate(traces):
+        store.put(f"{i:064d}", trace)
+    assert store.get(f"{0:064d}") is None  # evicted
+    assert store.get(f"{2:064d}") is traces[2]
+
+
+def test_store_disk_roundtrip(tmp_path):
+    root = tmp_path / "traces"
+    trace = Trace(
+        np.array([2, 5, 8], dtype=np.int64), {"S2": 3, "S1": 1}, {"S2": 2, "S1": 0}
+    )
+    fp = "cd" * 32
+    TraceStore(root=root).put(fp, trace)
+    assert (root / fp[:2] / f"{fp}.npz").is_file()
+
+    fresh = TraceStore(root=root)  # a separate process would see the same
+    loaded = fresh.get(fp)
+    assert loaded is not None
+    assert loaded.encoded.tolist() == [2, 5, 8]
+    assert loaded.counts == {"S2": 3, "S1": 1}
+    assert list(loaded.counts) == ["S2", "S1"]  # emission order preserved
+    assert loaded.flops_per_statement == {"S2": 2, "S1": 0}
+
+
+def test_store_corrupt_disk_entry_reads_as_miss(tmp_path):
+    root = tmp_path / "traces"
+    fp = "ef" * 32
+    path = root / fp[:2] / f"{fp}.npz"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not an npz archive")
+    assert TraceStore(root=root).get(fp) is None
+
+
+def test_store_validation():
+    with pytest.raises(ValueError):
+        TraceStore(capacity=0)
+    with pytest.raises(ValueError):
+        TraceBuffer(0)

@@ -213,6 +213,26 @@ def test_search_engine_flags(cholesky_file, tmp_path, capsys, monkeypatch):
     assert [line for line in warm.splitlines() if "unconstrained=" in line] == ranking
 
 
+def test_simulate_replay_matches_oracle_and_persists_traces(mm_file, tmp_path, capsys):
+    base = ["simulate", mm_file, "--array", "C", "--block", "8", "--size", "N=12"]
+    assert main([*base, "--no-replay"]) == 0
+    oracle = capsys.readouterr().out
+
+    trace_dir = tmp_path / "traces"
+    assert main([*base, "--trace-cache", str(trace_dir)]) == 0
+    replayed = capsys.readouterr().out
+    assert replayed == oracle  # bit-identical numbers either way
+    assert list(trace_dir.rglob("*.npz"))  # traces persisted on disk
+
+    # Warm re-run serves the trace from the store.
+    assert main([*base, "--trace-cache", str(trace_dir), "--metrics"]) == 0
+    warm = capsys.readouterr().out
+    assert "memsim.trace_cache_hit" in warm
+    assert [l for l in warm.splitlines() if "shackled" in l] == [
+        l for l in oracle.splitlines() if "shackled" in l
+    ]
+
+
 def test_simulate_engine_flags(mm_file, tmp_path, capsys):
     cache_dir = str(tmp_path / "cache")
     argv = [
