@@ -11,6 +11,7 @@ writing any Python:
     python -m repro legality kernel.loop --array A --block 25
     python -m repro search kernel.loop --array A --block 25 [--jobs 4 --cache --metrics]
     python -m repro simulate kernel.loop [--array A --block 25 ...] --size N=48
+    python -m repro fuzz --seed 0 --budget 200 [--check legality ...] [--jobs 4]
 
 ``search`` and ``simulate`` run on the execution engine
 (:mod:`repro.engine`): ``--jobs N`` fans independent work out across N
@@ -20,6 +21,11 @@ content-addressed result cache (default store: ``.repro_cache/``), and
 ``simulate`` additionally takes ``--replay/--no-replay`` (vectorized
 trace replay vs the per-access oracle; identical numbers) and
 ``--trace-cache [DIR]`` to persist captured memory traces on disk.
+
+``fuzz`` takes no program file: it generates random loop nests and
+shackles itself and checks the pipeline against brute-force oracles
+(see :mod:`repro.fuzz` and docs/FUZZ.md); exit status 1 means a real
+disagreement, with a minimized repro saved under ``--corpus``.
 """
 
 from __future__ import annotations
@@ -198,7 +204,49 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_engine_args(simulate_cmd)
 
+    fuzz_cmd = commands.add_parser(
+        "fuzz", help="differential-fuzz the pipeline against brute-force oracles"
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0, help="generator seed")
+    fuzz_cmd.add_argument("--budget", type=int, default=100, help="fresh cases to run")
+    fuzz_cmd.add_argument(
+        "--check",
+        action="append",
+        choices=("deps", "legality", "codegen", "semantics", "backend"),
+        help="oracle to run (repeatable; default: all)",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus",
+        default=".fuzz_corpus",
+        metavar="DIR",
+        help="minimized-failure corpus, replayed first (default: .fuzz_corpus)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-shrink", action="store_true", help="persist failures unminimized"
+    )
+    _add_engine_args(fuzz_cmd)
+
     args = parser.parse_args(argv)
+
+    if args.command == "fuzz":
+        from repro.fuzz import run_fuzz
+
+        report = run_fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            checks=tuple(args.check) if args.check else None,
+            corpus=args.corpus,
+            jobs=args.jobs,
+            cache=_engine_cache(args),
+            shrink=not args.no_shrink,
+        )
+        print(report.describe())
+        if args.metrics:
+            from repro.engine.metrics import METRICS
+
+            print(METRICS.report())
+        return 0 if report.ok else 1
+
     program = _load(args.file)
 
     if args.command == "show":

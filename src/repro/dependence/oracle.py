@@ -33,9 +33,15 @@ def enumerate_instances(
     return [(ctx, ivec) for _, ctx, ivec in instances]
 
 
-def _accesses(ctx: StatementContext, ivec: tuple[int, ...]):
-    """(ref, element, is_write) triples for one instance."""
-    point = dict(zip(ctx.loop_vars, ivec))
+def _accesses(ctx: StatementContext, ivec: tuple[int, ...], env: dict[str, int]):
+    """(ref, element, is_write) triples for one instance.
+
+    ``env`` supplies parameter values so subscripts like ``N - I + 1``
+    evaluate (loop variables shadow parameters, which the IR forbids
+    anyway).
+    """
+    point = dict(env)
+    point.update(zip(ctx.loop_vars, ivec))
     out = []
     write = ctx.statement.lhs
     out.append((write, _element(write, point), True))
@@ -57,7 +63,8 @@ def brute_force_dependences(
     """
     instances = enumerate_instances(program, env)
     accesses = [
-        (index, ctx, ivec, _accesses(ctx, ivec)) for index, (ctx, ivec) in enumerate(instances)
+        (index, ctx, ivec, _accesses(ctx, ivec, env))
+        for index, (ctx, ivec) in enumerate(instances)
     ]
     out: set[tuple] = set()
     for i, src_ctx, src_ivec, src_acc in accesses:

@@ -262,6 +262,13 @@ def _machine_by_name(name: str):
     raise ValueError(f"unknown machine {name!r}")
 
 
+def run_fuzz_job(payload: Mapping) -> dict:
+    # Lazy import: repro.fuzz imports this module for fingerprints.
+    from repro.fuzz.oracles import run_case_payload
+
+    return run_case_payload(payload)
+
+
 def run_simulate_job(payload: Mapping) -> dict:
     from repro.experiments.harness import measurement_payload, simulate
 
@@ -281,6 +288,7 @@ EXECUTORS = {
     "codegen": run_codegen_job,
     "search": run_search_job,
     "simulate": run_simulate_job,
+    "fuzz": run_fuzz_job,
 }
 
 

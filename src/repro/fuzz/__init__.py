@@ -1,0 +1,31 @@
+"""repro.fuzz — differential fuzzing of the shackling pipeline.
+
+Random affine loop nests and random shackles, checked against
+brute-force oracles (dependences, legality, codegen instance streams,
+backend execution), with delta-debug shrinking and a replayed corpus of
+minimized counterexamples.  See docs/FUZZ.md.
+"""
+
+from repro.fuzz.cases import ALL_CHECKS, DEFAULT_CHECKS, FactorSpec, FuzzCase
+from repro.fuzz.gen import GenConfig, generate_case, generate_program
+from repro.fuzz.oracles import brute_force_legal, run_case_payload
+from repro.fuzz.runner import FuzzFailure, FuzzReport, fuzz_job, run_fuzz
+from repro.fuzz.shrink import case_size, shrink_case
+
+__all__ = [
+    "ALL_CHECKS",
+    "DEFAULT_CHECKS",
+    "FactorSpec",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "GenConfig",
+    "brute_force_legal",
+    "case_size",
+    "fuzz_job",
+    "generate_case",
+    "generate_program",
+    "run_case_payload",
+    "run_fuzz",
+    "shrink_case",
+]

@@ -1,0 +1,141 @@
+"""Canonical fuzz-case specifications.
+
+A fuzz case is pure data: a program (canonical source text), one or more
+shackle *factor specs* (blocking + per-statement reference choice or
+dummy subscripts), a concrete parameter binding, and the list of
+differential checks to run.  Everything round-trips through JSON, so a
+case can be fingerprinted by the engine, executed in a worker process,
+shrunk by structural edits, and persisted in the corpus — all from the
+same representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.blocking import DataBlocking
+from repro.core.product import ShackleProduct
+from repro.core.shackle import DataShackle, _parse_ref
+from repro.engine.jobs import blocking_from_spec, blocking_spec, program_source
+from repro.ir import parse_program
+from repro.ir.expr import parse_affine
+from repro.ir.nodes import Program
+
+ALL_CHECKS = ("deps", "legality", "codegen", "semantics", "backend")
+"""Every differential oracle, in the order they run."""
+
+DEFAULT_CHECKS = ("deps", "legality", "codegen", "semantics")
+"""Checks that need no external toolchain (``backend`` needs a C compiler)."""
+
+
+@dataclass(frozen=True)
+class FactorSpec:
+    """One shackle factor as pure data."""
+
+    blocking: dict
+    choice: dict = field(default_factory=dict)  # label -> reference source text
+    dummies: dict = field(default_factory=dict)  # label -> list of affine texts
+
+    def to_payload(self) -> dict:
+        return {
+            "blocking": dict(self.blocking),
+            "choice": dict(self.choice),
+            "dummies": {k: list(v) for k, v in self.dummies.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "FactorSpec":
+        return cls(
+            blocking=dict(payload["blocking"]),
+            choice=dict(payload.get("choice", {})),
+            dummies={k: list(v) for k, v in payload.get("dummies", {}).items()},
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """A complete differential-testing unit: program + shackle + checks."""
+
+    program: str  # canonical source text
+    factors: tuple[FactorSpec, ...]
+    env: dict
+    checks: tuple[str, ...] = DEFAULT_CHECKS
+    seed: int = 0  # provenance: the (seed, index) pair that generated it
+    index: int = 0
+    mutation: str | None = None  # planted bug name (tests only)
+
+    def to_payload(self) -> dict:
+        payload = {
+            "program": self.program,
+            "factors": [f.to_payload() for f in self.factors],
+            "env": {k: int(v) for k, v in self.env.items()},
+            "checks": list(self.checks),
+            "seed": int(self.seed),
+            "index": int(self.index),
+        }
+        if self.mutation:
+            payload["mutation"] = self.mutation
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "FuzzCase":
+        return cls(
+            program=payload["program"],
+            factors=tuple(FactorSpec.from_payload(f) for f in payload["factors"]),
+            env=dict(payload["env"]),
+            checks=tuple(payload.get("checks", DEFAULT_CHECKS)),
+            seed=int(payload.get("seed", 0)),
+            index=int(payload.get("index", 0)),
+            mutation=payload.get("mutation"),
+        )
+
+    def parsed(self) -> Program:
+        return parse_program(self.program)
+
+    def describe(self) -> str:
+        arrays = ",".join(f.blocking["array"] for f in self.factors)
+        return f"case(seed={self.seed}, index={self.index}, shackle on {arrays})"
+
+
+def factor_spec(shackle: DataShackle) -> FactorSpec:
+    """Canonical spec of one in-memory :class:`DataShackle` factor."""
+    return FactorSpec(
+        blocking=blocking_spec(shackle.blocking),
+        choice={label: str(ref) for label, ref in shackle.ref_choice.items()},
+        dummies={
+            label: [str(a) for a in affines] for label, affines in shackle.dummies.items()
+        },
+    )
+
+
+def case_from_shackle(shackle, env: Mapping, checks: Sequence[str] = DEFAULT_CHECKS) -> FuzzCase:
+    """Wrap an existing shackle/product as a fuzz case (used by tests)."""
+    program = shackle.factors()[0].program
+    return FuzzCase(
+        program=program_source(program),
+        factors=tuple(factor_spec(f) for f in shackle.factors()),
+        env={k: int(v) for k, v in env.items()},
+        checks=tuple(checks),
+    )
+
+
+def build_shackle(case: FuzzCase, program: Program | None = None):
+    """Reconstruct the :class:`DataShackle` / :class:`ShackleProduct`.
+
+    Raises ``ValueError`` when the spec is inconsistent with the program
+    (shrinking candidates use this as their validity filter).
+    """
+    program = program if program is not None else case.parsed()
+    factors = []
+    for spec in case.factors:
+        blocking: DataBlocking = blocking_from_spec(spec.blocking)
+        choice = {label: _parse_ref(text) for label, text in spec.choice.items()}
+        dummies = {
+            label: tuple(parse_affine(text) for text in affines)
+            for label, affines in spec.dummies.items()
+        }
+        factors.append(DataShackle(program, blocking, choice, dummies=dummies))
+    if len(factors) == 1:
+        return factors[0]
+    return ShackleProduct(*factors)

@@ -1,0 +1,60 @@
+"""The minimized-failure corpus: ``.fuzz_corpus/``.
+
+Every failure the fuzzer finds is shrunk and persisted as one JSON file
+named by the failing oracle and the case's content fingerprint.  On
+every subsequent run the corpus is replayed *before* any fresh
+generation — a regression that once slipped through can never slip
+through silently again, and a fixed bug's entry starts passing (and is
+reported as such) without being deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.engine.jobs import canonical_json, fingerprint
+from repro.fuzz.cases import FuzzCase
+
+DEFAULT_CORPUS_DIR = ".fuzz_corpus"
+ENTRY_VERSION = 1
+
+
+def entry_path(root: Path, case: FuzzCase, check: str) -> Path:
+    fp = fingerprint("fuzz", case.to_payload())
+    return root / f"{check}-{fp[:16]}.json"
+
+
+def save_entry(
+    root: str | Path, case: FuzzCase, failures: list[dict], shrink_steps: int = 0
+) -> Path:
+    """Persist one minimized failure; returns the written path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    check = failures[0]["check"] if failures else "unknown"
+    path = entry_path(root, case, check)
+    entry = {
+        "version": ENTRY_VERSION,
+        "check": check,
+        "failures": failures,
+        "shrink_steps": shrink_steps,
+        "case": case.to_payload(),
+    }
+    path.write_text(canonical_json(entry) + "\n")
+    return path
+
+
+def load_entries(root: str | Path) -> list[tuple[Path, FuzzCase, dict]]:
+    """All corpus entries, deterministically ordered by filename."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    out: list[tuple[Path, FuzzCase, dict]] = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text())
+            case = FuzzCase.from_payload(entry["case"])
+        except (ValueError, KeyError, TypeError):
+            continue  # an unreadable entry must not block the whole run
+        out.append((path, case, entry))
+    return out

@@ -1,0 +1,234 @@
+"""Seeded, deterministic generation of random affine programs and shackles.
+
+Programs are small, dependence-rich loop nests in the exact shape the
+paper transforms: 1-3 nested ``do`` loops (rectangular or triangular,
+optionally guarded), over one or two shared arrays, with 1-3 statements
+whose subscripts are affine in the loop variables (shifts, reversals and
+diagonal ``i+j`` forms).  Shackles are sampled over the same space the
+search driver explores — axis-aligned and diagonal cutting planes,
+random spacings, offsets and traversal directions, per-statement
+reference choices or dummy references, and Cartesian products.
+
+Every case is a pure function of ``(seed, index)``: each case gets its
+own :class:`random.Random` stream, so a run is reproducible and
+individual cases can be regenerated in isolation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.engine.jobs import program_source
+from repro.fuzz.cases import DEFAULT_CHECKS, FactorSpec, FuzzCase
+from repro.ir.expr import Affine, BinOp, Const, Ref
+from repro.ir.nodes import Array, Guard, Loop, Program, Statement
+from repro.polyhedra.constraints import Constraint
+
+_LOOP_VARS = ("I", "J", "K")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of the generator grammar (documented in docs/FUZZ.md)."""
+
+    max_depth: int = 3
+    max_statements: int = 3
+    max_offset: int = 2
+    spacings: tuple[int, ...] = (2, 3, 4, 5)
+    n_shallow: int = 6  # concrete N for depth <= 2 (brute force is quadratic)
+    n_deep: int = 4  # concrete N for depth 3
+    second_array_prob: float = 0.4
+    guard_prob: float = 0.25
+    product_prob: float = 0.3
+    diagonal_prob: float = 0.25
+    checks: tuple[str, ...] = DEFAULT_CHECKS
+    backend_stride: int = 8
+    """Every ``backend_stride``-th case also runs the C-vs-Python check
+    (when selected): compiling C per case dominates runtime otherwise."""
+
+
+def case_rng(seed: int, index: int) -> random.Random:
+    """An independent, reproducible stream for one case."""
+    return random.Random((seed * 0x9E3779B1 + index) & 0xFFFFFFFF)
+
+
+# -- program generation ------------------------------------------------------------
+
+
+def _subscript(rng: random.Random, scope: list[str], cfg: GenConfig) -> Affine:
+    """An affine subscript guaranteed to stay in ``[1, 2N+3]`` for N >= 1."""
+    forms = ["shift", "const"]
+    if scope:
+        forms += ["shift", "shift", "reversal"]  # bias towards loop-var forms
+    if len(scope) >= 2:
+        forms.append("diagonal")
+    form = rng.choice(forms) if scope else "const"
+    if form == "shift":
+        return Affine.var(rng.choice(scope)) + rng.randint(0, cfg.max_offset)
+    if form == "reversal":
+        # N - v + 1: walks the array backwards, stays in [1, N].
+        return Affine({rng.choice(scope): -1, "N": 1}, 1)
+    if form == "diagonal":
+        a, b = rng.sample(scope, 2)
+        return Affine({a: 1, b: 1}, rng.randint(0, cfg.max_offset))
+    return Affine({}, rng.randint(1, 3))
+
+
+def _rhs(rng: random.Random, arrays: dict[str, int], lhs: Ref, scope: list[str], cfg: GenConfig):
+    """A small expression reading 1-2 references, biased to self-dependence."""
+    def read(array: str) -> Ref:
+        return Ref(array, *(_subscript(rng, scope, cfg) for _ in range(arrays[array])))
+
+    # First read usually hits the written array (dependence-rich by
+    # construction); sometimes it is the written element itself.
+    if rng.random() < 0.3:
+        first: Ref = Ref(lhs.array, *lhs.indices)
+    else:
+        first = read(lhs.array if rng.random() < 0.7 else rng.choice(sorted(arrays)))
+    expr = first
+    if rng.random() < 0.5:
+        second = read(rng.choice(sorted(arrays)))
+        expr = BinOp(rng.choice("+*"), expr, second)
+    return BinOp("+", expr, Const(rng.randint(1, 3)))
+
+
+def generate_program(rng: random.Random, cfg: GenConfig) -> Program:
+    """One random, validated loop nest."""
+    depth = rng.randint(1, cfg.max_depth)
+    arrays: dict[str, int] = {"A": 2}
+    if rng.random() < cfg.second_array_prob:
+        arrays["B"] = rng.choice((1, 2))
+
+    loop_vars = list(_LOOP_VARS[:depth])
+    n_statements = rng.randint(1, cfg.max_statements)
+    # Each statement lives at a loop level (1-based); at least one sits at
+    # full depth so every loop is exercised.
+    levels = [depth] + [rng.randint(1, depth) for _ in range(n_statements - 1)]
+    rng.shuffle(levels)
+
+    counter = iter(range(1, n_statements + 1))
+
+    def statement(level: int) -> Statement:
+        k = next(counter)
+        scope = loop_vars[:level]
+        array = "A" if ("B" not in arrays or rng.random() < 0.7) else "B"
+        lhs = Ref(array, *(_subscript(rng, scope, cfg) for _ in range(arrays[array])))
+        node = Statement(f"S{k}", lhs, _rhs(rng, arrays, lhs, scope, cfg))
+        if level >= 2 and rng.random() < cfg.guard_prob:
+            a, b = rng.sample(scope, 2)
+            return Guard([Constraint.ge({a: 1, b: -1}, 0)], [node])
+        return node
+
+    def nest(level: int) -> list:
+        """Body of loop ``level`` (0 = program top level)."""
+        body: list = []
+        mine = [lv for lv in levels if lv == level]
+        before = rng.randint(0, len(mine))
+        body.extend(statement(level) for _ in range(before))
+        if level < depth:
+            var = loop_vars[level]
+            lower: object = 1
+            if level > 0 and rng.random() < 0.3:
+                lower = loop_vars[rng.randrange(level)]  # triangular nest
+            body.append(Loop(var, lower, "N", nest(level + 1)))
+        body.extend(statement(level) for _ in range(len(mine) - before))
+        return body
+
+    # Build with statements assigned in document order so labels read
+    # top-to-bottom; levels list drives placement, `nest` consumes it.
+    body = nest(0)
+    program = Program(
+        "fuzz",
+        params=["N"],
+        arrays={name: ("2*N+4",) * ndim for name, ndim in sorted(arrays.items())},
+        body=body,
+        assumptions=[Constraint.ge({"N": 1}, -1)],
+    )
+    program.validate()
+    return program
+
+
+# -- shackle sampling --------------------------------------------------------------
+
+
+def _sample_blocking(rng: random.Random, array: str, ndim: int, cfg: GenConfig) -> dict:
+    """A random blocking spec (axis-aligned grid or diagonal planes)."""
+    planes: list[list] = []
+    if ndim >= 2 and rng.random() < cfg.diagonal_prob:
+        normal = [0] * ndim
+        normal[0], normal[1] = 1, rng.choice((1, -1))
+        spacing = rng.choice(cfg.spacings)
+        planes.append([normal, spacing, rng.randint(0, spacing - 1)])
+        if rng.random() < 0.5:
+            axis = [0] * ndim
+            axis[rng.randrange(ndim)] = 1
+            planes.append([axis, rng.choice(cfg.spacings), 0])
+    else:
+        dims = sorted(rng.sample(range(ndim), rng.randint(1, ndim)))
+        for d in dims:
+            normal = [0] * ndim
+            normal[d] = 1
+            spacing = rng.choice(cfg.spacings)
+            planes.append([normal, spacing, rng.randint(0, spacing - 1)])
+    directions = [rng.choice((1, -1)) for _ in planes]
+    return {"array": array, "planes": planes, "directions": directions}
+
+
+def _sample_factor(
+    rng: random.Random, program: Program, cfg: GenConfig, max_planes: int | None = None
+) -> FactorSpec:
+    """A random factor: blocking plus a choice/dummy for every statement."""
+    arrays = program.arrays
+    array = rng.choice(sorted(arrays))
+    blocking = _sample_blocking(rng, array, arrays[array].ndim, cfg)
+    if max_planes is not None and len(blocking["planes"]) > max_planes:
+        blocking["planes"] = blocking["planes"][:max_planes]
+        blocking["directions"] = blocking["directions"][:max_planes]
+    choice: dict[str, str] = {}
+    dummies: dict[str, list[str]] = {}
+    from repro.ir.analysis import statement_contexts
+
+    for ctx in statement_contexts(program):
+        refs = [r for r in ctx.statement.references() if r.array == array]
+        if refs:
+            choice[ctx.label] = str(rng.choice(refs))
+        else:
+            # The paper's "+ 0*B[I,J]" trick: any affine subscripts over
+            # the statement's scope decide when its instances run.
+            scope = ctx.loop_vars
+            dummies[ctx.label] = [
+                str(Affine.var(rng.choice(scope)) if scope else Affine({}, 1))
+                for _ in range(arrays[array].ndim)
+            ]
+    return FactorSpec(blocking=blocking, choice=choice, dummies=dummies)
+
+
+def generate_case(seed: int, index: int, cfg: GenConfig | None = None) -> FuzzCase:
+    """The complete fuzz case for ``(seed, index)``."""
+    cfg = cfg or GenConfig()
+    rng = case_rng(seed, index)
+    program = generate_program(rng, cfg)
+    factors = [_sample_factor(rng, program, cfg)]
+    if rng.random() < cfg.product_prob:
+        # The refining factor gets a single plane set: legality and block
+        # scanning cost grows steeply with total block dimensions.
+        factors.append(_sample_factor(rng, program, cfg, max_planes=1))
+    n = cfg.n_deep if _max_depth(program) >= 3 else cfg.n_shallow
+    checks = [c for c in cfg.checks if c != "backend"]
+    if "backend" in cfg.checks and index % cfg.backend_stride == 0:
+        checks.append("backend")
+    return FuzzCase(
+        program=program_source(program),
+        factors=tuple(factors),
+        env={"N": n},
+        checks=tuple(checks),
+        seed=seed,
+        index=index,
+    )
+
+
+def _max_depth(program: Program) -> int:
+    from repro.ir.analysis import statement_contexts
+
+    return max(ctx.depth for ctx in statement_contexts(program))

@@ -1,0 +1,154 @@
+"""Planted bugs for oracle validation.
+
+A differential fuzzer is only trustworthy if each of its oracles is
+known to fire when the component it guards is broken.  This module
+defines named *mutations* — deliberate, minimal bugs injected into one
+pipeline stage — that the mutation-injection tests run the fuzzer
+against: for every oracle there is a mutation that only that stage can
+expose, and the test asserts the oracle catches it and the shrinker
+reduces the witness to a minimized corpus entry.
+
+Mutations are addressed by name (a string in the case payload), so a
+mutated case crosses process boundaries exactly like a clean one.  The
+production pipeline never consults this module unless a mutation name is
+explicitly set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.expr import BinOp, Const
+from repro.ir.nodes import Guard, Loop, Program, Statement
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One planted bug: hooks that replace pipeline stages.
+
+    Unset hooks leave the corresponding stage untouched.  ``legality``
+    replaces the Theorem-1 verdict, ``deps`` the dependence analysis,
+    ``generated`` rewrites every generated (shackled) program, and
+    ``c_program`` rewrites the program handed to the C backend.
+    """
+
+    name: str
+    description: str
+    target_oracle: str  # the oracle that must catch this bug
+    legality: Callable | None = None
+    deps: Callable | None = None
+    generated: Callable | None = None
+    c_program: Callable | None = None
+
+
+class _AlwaysLegal:
+    """A lying legality verdict (accepts every shackle)."""
+
+    legal = True
+    violations: list = []
+
+
+def _perturb_first_statement(program: Program) -> Program:
+    """Add ``+ 1`` to the first statement's right-hand side."""
+    done = [False]
+
+    def walk(nodes):
+        out = []
+        for node in nodes:
+            if isinstance(node, Statement) and not done[0]:
+                done[0] = True
+                out.append(Statement(node.label, node.lhs, BinOp("+", node.rhs, Const(1))))
+            elif isinstance(node, Loop):
+                out.append(Loop(node.var, list(node.lowers), list(node.uppers), walk(node.body)))
+            elif isinstance(node, Guard):
+                out.append(Guard(list(node.conditions), walk(node.body)))
+            else:
+                out.append(node)
+        return out
+
+    return Program(
+        program.name,
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=walk(program.body),
+        assumptions=list(program.assumptions),
+    )
+
+
+def _drop_first_guard_condition(program: Program) -> Program:
+    """Remove one membership guard condition (widens an instance set)."""
+    done = [False]
+
+    def walk(nodes):
+        out = []
+        for node in nodes:
+            if isinstance(node, Guard) and node.conditions and not done[0]:
+                done[0] = True
+                out.append(Guard(list(node.conditions[1:]), walk(node.body)))
+            elif isinstance(node, Guard):
+                out.append(Guard(list(node.conditions), walk(node.body)))
+            elif isinstance(node, Loop):
+                out.append(Loop(node.var, list(node.lowers), list(node.uppers), walk(node.body)))
+            else:
+                out.append(node)
+        return out
+
+    return Program(
+        program.name,
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=walk(program.body),
+        assumptions=list(program.assumptions),
+    )
+
+
+def _drop_last_dependence(program: Program):
+    from repro.dependence.analysis import compute_dependences
+
+    return compute_dependences(program)[:-1]
+
+
+MUTATIONS: dict[str, Mutation] = {
+    m.name: m
+    for m in (
+        Mutation(
+            name="legality-accept-all",
+            description="legality checker claims every shackle is legal",
+            target_oracle="legality",
+            legality=lambda shackle, deps: _AlwaysLegal(),
+        ),
+        Mutation(
+            name="deps-drop-last",
+            description="dependence analysis silently loses one dependence level",
+            target_oracle="deps",
+            deps=_drop_last_dependence,
+        ),
+        Mutation(
+            name="codegen-drop-guard",
+            description="generated code loses one membership guard condition",
+            target_oracle="codegen",
+            generated=_drop_first_guard_condition,
+        ),
+        Mutation(
+            name="semantics-perturb-value",
+            description="generated code computes a slightly different value",
+            target_oracle="semantics",
+            generated=_perturb_first_statement,
+        ),
+        Mutation(
+            name="backend-perturb-value",
+            description="C emission computes a slightly different value",
+            target_oracle="backend",
+            c_program=_perturb_first_statement,
+        ),
+    )
+}
+
+
+def get(name: str | None) -> Mutation | None:
+    if name is None:
+        return None
+    if name not in MUTATIONS:
+        raise ValueError(f"unknown mutation {name!r} (known: {sorted(MUTATIONS)})")
+    return MUTATIONS[name]

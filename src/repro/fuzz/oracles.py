@@ -1,0 +1,314 @@
+"""The differential oracles: four independent ways to catch a wrong answer.
+
+Every oracle compares the polyhedral pipeline against a machinery-free
+ground truth evaluated at a small concrete size:
+
+* ``deps`` — instantiated polyhedral dependences must equal the
+  brute-force access-pattern dependences (``dependence.oracle``).
+* ``legality`` — a Theorem-1 "legal" verdict must be consistent with a
+  direct order check: sort instances by (traversal block of the chosen
+  reference, program order) by plain evaluation and verify every
+  brute-force dependence pair stays ordered.  The exact check quantifies
+  over all parameter values and brute force over one, so the oracle is
+  one-sided: *accept* must imply *order-preserving* at the tested size.
+* ``codegen`` — the block enumerator, the naive guarded code (paper
+  Fig. 5), the index-set split form and the polyhedrally simplified form
+  must all execute the identical instance sequence (compared as the
+  stream of written elements, robust to collapsed loops).
+* ``semantics`` / ``backend`` — executing accepted shackled code must
+  reproduce the original program's array state bit-for-bit through the
+  Python backend, and the C backend must agree with the Python backend
+  on both original and shackled programs.
+
+``run_case_payload`` is the engine executor: pure payload in, JSON
+verdict out, so fuzz cases parallelize and cache like any other job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.codegen import naive_code, simplified_code
+from repro.core.instances import instance_schedule
+from repro.core.legality import check_legality
+from repro.core.splitting import split_code
+from repro.dependence.analysis import compute_dependences
+from repro.dependence.oracle import (
+    brute_force_dependences,
+    enumerate_instances,
+    instantiate_dependences,
+)
+from repro.engine.metrics import METRICS
+from repro.fuzz import mutations as _mutations
+from repro.fuzz.cases import FuzzCase, build_shackle
+from repro.ir.nodes import Guard, Loop, Program
+from repro.memsim.layout import Arena
+
+CODEGENS = (("naive", naive_code), ("split", split_code), ("simplified", simplified_code))
+
+BACKEND_TOLERANCE = 1e-9
+"""Relative checksum tolerance for the C backend differential (gcc -O2
+keeps IEEE semantics, but libm/sqrt rounding may differ in the last ulp)."""
+
+
+# -- ground-truth order ------------------------------------------------------------
+
+
+def brute_shackled_order(program: Program, shackle, env: dict) -> list[tuple[str, tuple]]:
+    """Shackle execution order by direct evaluation — no polyhedra involved.
+
+    Each instance's key is the concatenated traversal coordinates of its
+    chosen (or dummy) reference under every factor, then original program
+    order; ties (same block) preserve program order, exactly Definition 1.
+    """
+    instances = enumerate_instances(program, env)
+
+    def key(ctx, ivec):
+        scope = dict(env)
+        scope.update(zip(ctx.loop_vars, ivec))
+        coords: list[int] = []
+        for factor in shackle.factors():
+            point = [int(a.evaluate(scope)) for a in factor.subscripts(ctx.label)]
+            coords.extend(factor.blocking.traversal_of(point))
+        return (tuple(coords), ctx.schedule_key(ivec))
+
+    ordered = sorted(instances, key=lambda t: key(*t))
+    return [(ctx.label, ivec) for ctx, ivec in ordered]
+
+
+def order_violations(order: list[tuple[str, tuple]], dep_pairs) -> list[tuple]:
+    """Brute-force dependence pairs executed in the wrong order."""
+    position = {inst: rank for rank, inst in enumerate(order)}
+    return [
+        pair
+        for pair in dep_pairs
+        if position[(pair[1], pair[2])] >= position[(pair[3], pair[4])]
+    ]
+
+
+def brute_force_legal(program: Program, shackle, env: dict) -> bool:
+    """Ground-truth legality at one concrete size (True = order preserved)."""
+    order = brute_shackled_order(program, shackle, env)
+    return not order_violations(order, brute_force_dependences(program, env))
+
+
+# -- instance-stream comparison ----------------------------------------------------
+
+
+def element_trace(program: Program, env: dict) -> list[tuple[str, tuple]]:
+    """(label, written element) stream by direct tree interpretation.
+
+    Independent of the compiled backends; loop bounds and guards are
+    evaluated with plain integer arithmetic.
+    """
+    trace: list[tuple[str, tuple]] = []
+
+    def run(nodes, scope):
+        for node in nodes:
+            if isinstance(node, Loop):
+                lo = max(b.evaluate_lower(scope) for b in node.lowers)
+                hi = min(b.evaluate_upper(scope) for b in node.uppers)
+                for value in range(lo, hi + 1):
+                    scope[node.var] = value
+                    run(node.body, scope)
+                scope.pop(node.var, None)
+            elif isinstance(node, Guard):
+                if all(c.evaluate(scope) for c in node.conditions):
+                    run(node.body, scope)
+            else:
+                trace.append(
+                    (node.label, tuple(int(i.evaluate(scope)) for i in node.lhs.indices))
+                )
+
+    run(program.body, dict(env))
+    return trace
+
+
+def expected_element_stream(
+    program: Program, order: list[tuple[str, tuple]], env: dict
+) -> list[tuple[str, tuple]]:
+    """The (label, written element) stream implied by an instance order."""
+    from repro.ir.analysis import statement_contexts
+
+    ctx_map = {c.label: c for c in statement_contexts(program)}
+    out: list[tuple[str, tuple]] = []
+    for label, ivec in order:
+        ctx = ctx_map[label]
+        scope = dict(env)
+        scope.update(zip(ctx.loop_vars, ivec))
+        out.append(
+            (label, tuple(int(i.evaluate(scope)) for i in ctx.statement.lhs.indices))
+        )
+    return out
+
+
+# -- execution helpers -------------------------------------------------------------
+
+_C_INIT_MULTIPLIER = 2654435761
+_C_INIT_MODULUS = 1000
+
+
+def c_default_init(arena: Arena, buf: np.ndarray) -> None:
+    """Replicate the C backend's default array initialization exactly."""
+    for name in arena.program.arrays:
+        layout = arena.layout(name)
+        idx = np.arange(layout.size, dtype=np.int64)
+        buf[layout.base : layout.base + layout.size] = 1e-6 * (
+            (idx * _C_INIT_MULTIPLIER) % _C_INIT_MODULUS
+        ).astype(np.float64)
+
+
+def _python_checksum(arena: Arena, buf: np.ndarray) -> float:
+    """Sum arrays in declaration order with sequential accumulation,
+    mirroring the C binary's checksum loop."""
+    total = 0.0
+    for name in arena.program.arrays:
+        layout = arena.layout(name)
+        for value in buf[layout.base : layout.base + layout.size]:
+            total += float(value)
+    return total
+
+
+def _run_python(program: Program, arena: Arena, initial: np.ndarray) -> np.ndarray:
+    from repro.backends.python_backend import compile_program
+
+    buf = initial.copy()
+    compile_program(program, arena).run(buf)
+    return buf
+
+
+# -- the case executor -------------------------------------------------------------
+
+
+def run_case_payload(payload: dict) -> dict:
+    """Run every selected oracle for one case; returns a JSON verdict.
+
+    ``{"failures": [{"check", "detail"}], "legal": bool, "instances": int,
+    "skipped": [check, ...]}`` — an empty ``failures`` list means every
+    oracle agreed.
+    """
+    case = FuzzCase.from_payload(payload)
+    mutation = _mutations.get(case.mutation)
+    program = case.parsed()
+    shackle = build_shackle(case, program)
+    env = {k: int(v) for k, v in case.env.items()}
+    checks = set(case.checks)
+    failures: list[dict] = []
+    skipped: list[str] = []
+
+    def fail(check: str, detail: str) -> None:
+        failures.append({"check": check, "detail": detail})
+
+    # Verdict counters (fuzz.cases / fuzz.legal / fuzz.failures) are
+    # incremented by the runner in the parent process, where they survive
+    # the worker pool; only the timer lives here.
+    with METRICS.timer("fuzz.case"):
+        deps_fn = (mutation and mutation.deps) or compute_dependences
+        deps = deps_fn(program)
+        dep_pairs = brute_force_dependences(program, env)
+
+        if "deps" in checks:
+            got = instantiate_dependences(deps, env)
+            if got != dep_pairs:
+                missing = len(dep_pairs - got)
+                extra = len(got - dep_pairs)
+                fail(
+                    "deps",
+                    f"instantiated dependences disagree with brute force "
+                    f"({missing} missing, {extra} spurious)",
+                )
+
+        legality_fn = (mutation and mutation.legality) or (
+            lambda s, d: check_legality(s, d, first_violation_only=True)
+        )
+        verdict = legality_fn(shackle, deps)
+        legal = bool(verdict.legal)
+        order = brute_shackled_order(program, shackle, env)
+
+        if "legality" in checks:
+            violated = order_violations(order, dep_pairs)
+            if legal and violated:
+                kind, sl, si, tl, ti = sorted(violated)[0]
+                fail(
+                    "legality",
+                    f"checker accepted but {kind} {sl}{si} -> {tl}{ti} is reordered "
+                    f"(+{len(violated) - 1} more)",
+                )
+
+        generated: list[tuple[str, Program]] = []
+        if "codegen" in checks or "semantics" in checks or "backend" in checks:
+            rewrite = (mutation and mutation.generated) or (lambda p: p)
+            for name, generate in CODEGENS:
+                if name == "split" and shackle.num_block_dims > 2:
+                    continue  # index-set splitting is exponential in block dims
+                generated.append((name, rewrite(generate(shackle))))
+
+        if "codegen" in checks:
+            enum_order = [
+                (ctx.label, ivec) for _, ctx, ivec in instance_schedule(shackle, env)
+            ]
+            if enum_order != order:
+                fail(
+                    "codegen",
+                    f"block enumerator order diverges from direct evaluation "
+                    f"({len(enum_order)} vs {len(order)} instances)",
+                )
+            else:
+                expected = expected_element_stream(program, order, env)
+                for name, gen_program in generated:
+                    trace = element_trace(gen_program, env)
+                    if trace != expected:
+                        fail(
+                            "codegen",
+                            f"{name} code enumerates a different instance stream "
+                            f"({len(trace)} vs {len(expected)} instances)",
+                        )
+
+        if "semantics" in checks and legal:
+            arena = Arena(program, env)
+            initial = arena.allocate()
+            rng = np.random.default_rng(case.seed * 1000003 + case.index)
+            initial[:] = rng.random(arena.total_size)
+            want = _run_python(program, arena, initial)
+            for name, gen_program in generated:
+                got_buf = _run_python(gen_program, arena, initial)
+                if not np.array_equal(got_buf, want):
+                    bad = int(np.sum(got_buf != want))
+                    fail(
+                        "semantics",
+                        f"{name} code changes {bad} array elements vs the original",
+                    )
+
+        if "backend" in checks:
+            from repro.backends.c_backend import c_compiler_available, compile_and_run
+
+            if not c_compiler_available():
+                skipped.append("backend")
+            else:
+                c_rewrite = (mutation and mutation.c_program) or (lambda p: p)
+                variants: list[tuple[str, Program]] = [("original", program)]
+                if legal:
+                    variants.extend(
+                        (name, prog) for name, prog in generated if name == "simplified"
+                    )
+                for name, prog in variants:
+                    arena = Arena(prog, env)
+                    initial = arena.allocate()
+                    c_default_init(arena, initial)
+                    py_buf = _run_python(prog, arena, initial)
+                    py_sum = _python_checksum(arena, py_buf)
+                    c_result = compile_and_run(c_rewrite(prog), env)
+                    scale = max(1.0, abs(py_sum))
+                    if abs(c_result.checksum - py_sum) > BACKEND_TOLERANCE * scale:
+                        fail(
+                            "backend",
+                            f"C vs Python checksum mismatch on {name}: "
+                            f"{c_result.checksum!r} != {py_sum!r}",
+                        )
+
+    return {
+        "failures": failures,
+        "legal": legal,
+        "instances": len(order),
+        "skipped": skipped,
+    }

@@ -1,0 +1,160 @@
+"""Fuzzing runs: corpus replay, engine-parallel case execution, shrinking.
+
+The runner turns every case into a fingerprinted ``fuzz`` job
+(:mod:`repro.engine.jobs`), so the worker pool parallelizes cases, the
+content-addressed cache makes warm reruns free, and the metrics registry
+counts verdicts.  Failures are shrunk in the parent process and
+persisted to the corpus, which is replayed first on every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.jobs import JobSpec
+from repro.engine.metrics import METRICS
+from repro.engine.pool import run_jobs
+from repro.fuzz import corpus as _corpus
+from repro.fuzz.cases import ALL_CHECKS, FuzzCase
+from repro.fuzz.gen import GenConfig, generate_case
+from repro.fuzz.shrink import shrink_case
+
+
+@dataclass
+class FuzzFailure:
+    """One disagreement between the pipeline and an oracle."""
+
+    case: FuzzCase
+    failures: list[dict]
+    minimized: FuzzCase | None = None
+    shrink_steps: int = 0
+    corpus_path: Path | None = None
+    from_corpus: bool = False
+
+    @property
+    def check(self) -> str:
+        return self.failures[0]["check"] if self.failures else "unknown"
+
+    def describe(self) -> str:
+        origin = "corpus" if self.from_corpus else self.case.describe()
+        details = "; ".join(f"{f['check']}: {f['detail']}" for f in self.failures)
+        return f"FAIL [{origin}] {details}"
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run; truthy iff everything agreed."""
+
+    seed: int
+    budget: int
+    cases: int = 0
+    legal: int = 0
+    backend_cases: int = 0
+    backend_skipped: int = 0
+    corpus_replayed: int = 0
+    corpus_still_failing: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        lines = [
+            f"fuzz: seed={self.seed} budget={self.budget} -> {self.cases} cases, "
+            f"{self.legal} legal shackles, {len(self.failures)} failures"
+        ]
+        if self.corpus_replayed:
+            lines.append(
+                f"corpus: {self.corpus_replayed} entries replayed, "
+                f"{self.corpus_still_failing} still failing"
+            )
+        if self.backend_cases or self.backend_skipped:
+            lines.append(
+                f"backend differential: {self.backend_cases} cases"
+                + (f", {self.backend_skipped} skipped (no C compiler)" if self.backend_skipped else "")
+            )
+        for failure in self.failures:
+            lines.append(failure.describe())
+            if failure.corpus_path is not None:
+                lines.append(f"  minimized repro: {failure.corpus_path}")
+        return "\n".join(lines)
+
+
+def fuzz_job(case: FuzzCase) -> JobSpec:
+    """One case as a fingerprinted, cacheable engine job."""
+    return JobSpec("fuzz", case.to_payload())
+
+
+def run_fuzz(
+    seed: int = 0,
+    budget: int = 100,
+    checks: tuple[str, ...] | None = None,
+    corpus: str | Path | None = _corpus.DEFAULT_CORPUS_DIR,
+    jobs: int = 1,
+    cache=None,
+    config: GenConfig | None = None,
+    shrink: bool = True,
+    mutation: str | None = None,
+) -> FuzzReport:
+    """Replay the corpus, then run ``budget`` fresh generated cases.
+
+    Deterministic for a fixed ``(seed, budget, checks, config)``:
+    generation is a pure function of ``(seed, index)`` and the engine
+    preserves submission order.  ``mutation`` plants a named bug in one
+    pipeline stage (see :mod:`repro.fuzz.mutations`) — used by the
+    oracle-validation tests, never in production runs.
+    """
+    cfg = config or GenConfig(checks=tuple(checks) if checks else ALL_CHECKS)
+    report = FuzzReport(seed=seed, budget=budget)
+
+    # -- 1. corpus replay: old counterexamples run first -------------------
+    entries = _corpus.load_entries(corpus) if corpus is not None else []
+    replay_cases = [case for _, case, _ in entries]
+    if mutation is not None:
+        replay_cases = [dataclasses.replace(c, mutation=mutation) for c in replay_cases]
+    # -- 2. fresh generation ----------------------------------------------
+    fresh_cases = [generate_case(seed, i, cfg) for i in range(budget)]
+    if mutation is not None:
+        fresh_cases = [dataclasses.replace(c, mutation=mutation) for c in fresh_cases]
+
+    all_cases = replay_cases + fresh_cases
+    specs = [fuzz_job(case) for case in all_cases]
+    results = run_jobs(specs, jobs=jobs, cache=cache)
+
+    report.corpus_replayed = len(replay_cases)
+    for index, (case, result) in enumerate(zip(all_cases, results)):
+        from_corpus = index < len(replay_cases)
+        METRICS.inc("fuzz.cases")
+        report.cases += 1
+        if result.get("legal"):
+            METRICS.inc("fuzz.legal")
+            report.legal += 1
+        if "backend" in case.checks:
+            if "backend" in result.get("skipped", ()):
+                METRICS.inc("fuzz.backend_skipped")
+                report.backend_skipped += 1
+            else:
+                report.backend_cases += 1
+        if not result["failures"]:
+            continue
+        METRICS.inc("fuzz.failures")
+        failure = FuzzFailure(case=case, failures=result["failures"], from_corpus=from_corpus)
+        if from_corpus:
+            report.corpus_still_failing += 1
+            # Already minimized when it was saved; don't shrink again.
+        elif shrink and corpus is not None:
+            with METRICS.timer("fuzz.shrink"):
+                minimized, steps = shrink_case(case, failure.check)
+            failure.minimized = minimized
+            failure.shrink_steps = steps
+            failure.corpus_path = _corpus.save_entry(
+                corpus, minimized, result["failures"], shrink_steps=steps
+            )
+        report.failures.append(failure)
+    return report

@@ -1,0 +1,316 @@
+"""Delta-debugging shrinker for failing fuzz cases.
+
+A raw counterexample from the generator typically has irrelevant
+statements, loops and shackle structure around the actual bug.  The
+shrinker greedily applies structure-removing transformations — drop a
+statement, drop a shackle factor or cutting-plane set, inline a loop at
+its lower bound, shrink the concrete size, neutralize directions /
+offsets / spacings — re-running the failing oracle after each edit and
+keeping only edits that preserve the failure.  Every transformation
+strictly reduces a well-founded size measure, so the greedy fixpoint
+terminates; the result is the minimized repro persisted in the corpus.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from repro.core.codegen import _substitute_var
+from repro.engine.jobs import program_source
+from repro.fuzz.cases import FactorSpec, FuzzCase, build_shackle
+from repro.ir import parse_program
+from repro.ir.expr import parse_affine
+from repro.ir.nodes import Guard, Loop, Program, Statement
+from repro.core.shackle import _parse_ref
+
+
+def case_size(case: FuzzCase) -> tuple:
+    """Well-founded measure; every accepted shrink step strictly lowers it."""
+    program = case.parsed()
+    statements = len(program.statements())
+    loops = _count_loops(program.body)
+    planes = sum(len(f.blocking["planes"]) for f in case.factors)
+    spacing = sum(p[1] for f in case.factors for p in f.blocking["planes"])
+    offsets = sum(p[2] for f in case.factors for p in f.blocking["planes"])
+    negdirs = sum(d == -1 for f in case.factors for d in f.blocking["directions"])
+    return (
+        statements,
+        loops,
+        len(case.factors),
+        planes,
+        sum(case.env.values()),
+        spacing,
+        offsets,
+        negdirs,
+        len(case.program),
+    )
+
+
+def _count_loops(nodes) -> int:
+    count = 0
+    for node in nodes:
+        if isinstance(node, Loop):
+            count += 1 + _count_loops(node.body)
+        elif isinstance(node, Guard):
+            count += _count_loops(node.body)
+    return count
+
+
+# -- program edits -----------------------------------------------------------------
+
+
+def _rebuild(program: Program, body) -> Program:
+    return Program(
+        program.name,
+        params=list(program.params),
+        arrays=list(program.arrays.values()),
+        body=body,
+        assumptions=list(program.assumptions),
+    )
+
+
+def _prune_empty(nodes) -> list:
+    out = []
+    for node in nodes:
+        if isinstance(node, Loop):
+            body = _prune_empty(node.body)
+            if body:
+                out.append(Loop(node.var, list(node.lowers), list(node.uppers), body))
+        elif isinstance(node, Guard):
+            body = _prune_empty(node.body)
+            if body:
+                out.append(Guard(list(node.conditions), body))
+        else:
+            out.append(node)
+    return out
+
+
+def _without_statement(program: Program, label: str) -> Program:
+    def walk(nodes):
+        out = []
+        for node in nodes:
+            if isinstance(node, Statement):
+                if node.label != label:
+                    out.append(node)
+            elif isinstance(node, Loop):
+                out.append(Loop(node.var, list(node.lowers), list(node.uppers), walk(node.body)))
+            else:
+                out.append(Guard(list(node.conditions), walk(node.body)))
+        return out
+
+    return _rebuild(program, _prune_empty(walk(program.body)))
+
+
+def _loop_vars(program: Program) -> list[str]:
+    out: list[str] = []
+
+    def walk(nodes):
+        for node in nodes:
+            if isinstance(node, Loop):
+                out.append(node.var)
+                walk(node.body)
+            elif isinstance(node, Guard):
+                walk(node.body)
+
+    walk(program.body)
+    return out
+
+
+def _inline_loop(program: Program, var: str) -> tuple[Program, object] | None:
+    """Replace loop ``var`` by its body pinned at the lower bound."""
+    value_box: list = []
+
+    def walk(nodes):
+        out = []
+        for node in nodes:
+            if isinstance(node, Loop) and node.var == var:
+                if len(node.lowers) != 1 or node.lowers[0].den != 1:
+                    return None
+                value = node.lowers[0].affine
+                value_box.append(value)
+                inner = walk(node.body)
+                if inner is None:
+                    return None
+                out.extend(_substitute_var(inner, var, value))
+            elif isinstance(node, Loop):
+                inner = walk(node.body)
+                if inner is None:
+                    return None
+                out.append(Loop(node.var, list(node.lowers), list(node.uppers), inner))
+            elif isinstance(node, Guard):
+                inner = walk(node.body)
+                if inner is None:
+                    return None
+                out.append(Guard(list(node.conditions), inner))
+            else:
+                out.append(node)
+        return out
+
+    body = walk(program.body)
+    if body is None or not value_box:
+        return None
+    return _rebuild(program, body), value_box[0]
+
+
+def _substitute_factor(spec: FactorSpec, var: str, value) -> FactorSpec:
+    """Apply a loop-inlining substitution to choice refs and dummies."""
+    choice = {}
+    for label, text in spec.choice.items():
+        ref = _parse_ref(text)
+        new = ref.__class__(ref.array, *(i.substitute({var: value}) for i in ref.indices))
+        choice[label] = str(new)
+    dummies = {
+        label: [str(parse_affine(t).substitute({var: value})) for t in texts]
+        for label, texts in spec.dummies.items()
+    }
+    return FactorSpec(blocking=spec.blocking, choice=choice, dummies=dummies)
+
+
+def _restrict_factor(spec: FactorSpec, labels: set[str]) -> FactorSpec:
+    return FactorSpec(
+        blocking=spec.blocking,
+        choice={k: v for k, v in spec.choice.items() if k in labels},
+        dummies={k: v for k, v in spec.dummies.items() if k in labels},
+    )
+
+
+# -- candidate enumeration ---------------------------------------------------------
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Strictly smaller variants, most aggressive first."""
+    program = case.parsed()
+    labels = [s.label for s in program.statements()]
+
+    # Drop a statement.
+    if len(labels) > 1:
+        for label in labels:
+            smaller = _without_statement(program, label)
+            kept = {s.label for s in smaller.statements()}
+            yield dataclasses.replace(
+                case,
+                program=program_source(smaller),
+                factors=tuple(_restrict_factor(f, kept) for f in case.factors),
+            )
+
+    # Drop a whole factor.
+    if len(case.factors) > 1:
+        for i in range(len(case.factors)):
+            yield dataclasses.replace(
+                case, factors=tuple(f for j, f in enumerate(case.factors) if j != i)
+            )
+
+    # Drop one cutting-plane set of a factor.
+    for i, factor in enumerate(case.factors):
+        planes = factor.blocking["planes"]
+        if len(planes) > 1:
+            for p in range(len(planes)):
+                blocking = dict(factor.blocking)
+                blocking["planes"] = [q for j, q in enumerate(planes) if j != p]
+                blocking["directions"] = [
+                    d for j, d in enumerate(factor.blocking["directions"]) if j != p
+                ]
+                new_factor = FactorSpec(blocking, factor.choice, factor.dummies)
+                yield dataclasses.replace(
+                    case,
+                    factors=tuple(
+                        new_factor if j == i else f for j, f in enumerate(case.factors)
+                    ),
+                )
+
+    # Inline a loop at its lower bound.
+    for var in _loop_vars(program):
+        inlined = _inline_loop(program, var)
+        if inlined is None:
+            continue
+        smaller, value = inlined
+        try:
+            smaller.validate()
+        except (ValueError, TypeError):
+            continue
+        yield dataclasses.replace(
+            case,
+            program=program_source(smaller),
+            factors=tuple(_substitute_factor(f, var, value) for f in case.factors),
+        )
+
+    # Shrink the concrete size.
+    for param, value in case.env.items():
+        if value > 2:
+            yield dataclasses.replace(case, env={**case.env, param: value - 1})
+
+    # Neutralize traversal directions, offsets and spacings.
+    for i, factor in enumerate(case.factors):
+        blocking = factor.blocking
+        for p, (normal, spacing, offset) in enumerate(blocking["planes"]):
+            edits = []
+            if blocking["directions"][p] == -1:
+                directions = list(blocking["directions"])
+                directions[p] = 1
+                edits.append({**blocking, "directions": directions})
+            if offset:
+                planes = [list(q) for q in blocking["planes"]]
+                planes[p] = [normal, spacing, 0]
+                edits.append({**blocking, "planes": planes})
+            if spacing > 2:
+                planes = [list(q) for q in blocking["planes"]]
+                planes[p] = [normal, 2, min(offset, 1)]
+                edits.append({**blocking, "planes": planes})
+            for edited in edits:
+                new_factor = FactorSpec(edited, factor.choice, factor.dummies)
+                yield dataclasses.replace(
+                    case,
+                    factors=tuple(
+                        new_factor if j == i else f for j, f in enumerate(case.factors)
+                    ),
+                )
+
+
+def _valid(case: FuzzCase) -> bool:
+    try:
+        program = case.parsed()
+        program.validate()
+        if not program.statements():
+            return False
+        build_shackle(case, program)
+    except (ValueError, TypeError, KeyError):
+        return False
+    return True
+
+
+def shrink_case(
+    case: FuzzCase,
+    target_check: str,
+    run: Callable[[dict], dict] | None = None,
+    max_steps: int = 200,
+) -> tuple[FuzzCase, int]:
+    """Greedy fixpoint shrink; returns (minimized case, accepted steps).
+
+    A candidate is kept iff the ``target_check`` oracle still fails on
+    it.  The measure :func:`case_size` strictly decreases on every
+    accepted step, so this terminates well before ``max_steps``.
+    """
+    from repro.fuzz.oracles import run_case_payload
+
+    run = run or run_case_payload
+    current = case
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _candidates(current):
+            if not _valid(candidate):
+                continue
+            if case_size(candidate) >= case_size(current):
+                continue
+            try:
+                result = run(candidate.to_payload())
+            except Exception:  # noqa: BLE001 - a crash also witnesses the bug
+                result = {"failures": [{"check": target_check, "detail": "crash"}]}
+            if any(f["check"] == target_check for f in result["failures"]):
+                current = candidate
+                steps += 1
+                improved = True
+                break
+    return current, steps

@@ -1,0 +1,108 @@
+"""Direct unit tests for the brute-force oracle itself.
+
+The oracle is ground truth for the whole differential test suite (and
+for the fuzzer), so it gets its own hand-computed checks: instance
+enumeration order, guard/triangular-bound handling, parameter binding in
+subscripts, and exact instantiated dependence sets.
+"""
+
+from repro.dependence import brute_force_dependences, compute_dependences
+from repro.dependence.oracle import enumerate_instances, instantiate_dependences
+from repro.ir import parse_program
+
+RECTANGULAR = """
+program rect(N)
+array A[N,N]
+assume N >= 1
+do I = 1, N
+  do J = 1, N
+    S1: A[I,J] = A[I,J] + 1
+"""
+
+TRIANGULAR_GUARDED = """
+program tri(N)
+array A[N,N]
+assume N >= 1
+do I = 1, N
+  S1: A[I,I] = A[I,I] + 1
+  do J = I, N
+    if J >= I+1
+      S2: A[I,J] = A[I,J-1] + 1
+"""
+
+REVERSAL = """
+program rev(N)
+array A[N]
+assume N >= 1
+do I = 1, N
+  S1: A[N-I+1] = A[I] + 1
+"""
+
+CHAIN = """
+program chain(N)
+array A[N]
+assume N >= 1
+do I = 1, N
+  S1: A[I] = A[I] + 1
+  S2: A[I] = A[I] * 2
+"""
+
+
+def test_enumerate_instances_rectangular_order():
+    instances = enumerate_instances(parse_program(RECTANGULAR), {"N": 3})
+    assert len(instances) == 9
+    # Original program order: I outer, J inner, both ascending.
+    assert [ivec for _, ivec in instances] == [
+        (i, j) for i in (1, 2, 3) for j in (1, 2, 3)
+    ]
+    assert {ctx.label for ctx, _ in instances} == {"S1"}
+
+
+def test_enumerate_instances_triangular_and_guard():
+    instances = enumerate_instances(parse_program(TRIANGULAR_GUARDED), {"N": 3})
+    got = [(ctx.label, ivec) for ctx, ivec in instances]
+    # S2 exists only where J >= I+1 (the guard tightens J >= I); the
+    # interleaving follows original program order at each I.
+    assert got == [
+        ("S1", (1,)),
+        ("S2", (1, 2)),
+        ("S2", (1, 3)),
+        ("S1", (2,)),
+        ("S2", (2, 3)),
+        ("S1", (3,)),
+    ]
+
+
+def test_brute_force_binds_parameters_in_subscripts():
+    # A[N-I+1] needs N's value while evaluating elements; a bare loop-var
+    # binding would crash.  At N=3: writes hit 3,2,1 and reads hit 1,2,3,
+    # so I=1 writes A[3] which I=3 reads, and I=2 touches A[2] twice.
+    deps = brute_force_dependences(parse_program(REVERSAL), {"N": 3})
+    assert ("flow", "S1", (1,), "S1", (3,)) in deps
+    # I=2 writes A[2] after reading it in the same instance — no pair —
+    # and nothing else collides except the symmetric anti dependence.
+    assert ("anti", "S1", (1,), "S1", (3,)) in deps
+
+
+def test_instantiate_matches_brute_force_on_chain():
+    program = parse_program(CHAIN)
+    deps = compute_dependences(program)
+    env = {"N": 4}
+    got = instantiate_dependences(deps, env)
+    want = brute_force_dependences(program, env)
+    assert got == want
+    # Hand check: per I, S1 -> S2 flow (write then read+write of A[I]).
+    for i in range(1, 5):
+        assert ("flow", "S1", (i,), "S2", (i,)) in got
+        assert ("output", "S1", (i,), "S2", (i,)) in got
+    # No cross-iteration pairs: distinct I touch distinct elements.
+    assert all(src == tgt for _, _, src, _, tgt in got)
+
+
+def test_instantiate_dependences_respects_env():
+    program = parse_program(CHAIN)
+    deps = compute_dependences(program)
+    small = instantiate_dependences(deps, {"N": 2})
+    large = instantiate_dependences(deps, {"N": 5})
+    assert len(small) < len(large)
+    assert small == {p for p in large if p[2][0] <= 2}

@@ -1,0 +1,73 @@
+"""The ``repro fuzz`` subcommand and the engine integration."""
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import EXECUTORS, execute
+from repro.engine.pool import run_jobs
+from repro.fuzz import fuzz_job, generate_case, run_case_payload, run_fuzz
+from repro.fuzz.cases import case_from_shackle
+from repro.fuzz.corpus import save_entry
+from repro.kernels import matmul
+
+
+def test_fuzz_is_a_registered_job_kind():
+    assert "fuzz" in EXECUTORS
+    spec = fuzz_job(generate_case(0, 1))
+    assert spec.kind == "fuzz"
+    assert execute(spec)["failures"] == []
+    # Same case -> same fingerprint: the cache can dedup fuzz work.
+    assert spec.fingerprint == fuzz_job(generate_case(0, 1)).fingerprint
+
+
+def test_fuzz_jobs_hit_the_result_cache(tmp_path):
+    cache = ResultCache(root=tmp_path / "cache")
+    specs = [fuzz_job(generate_case(0, i)) for i in range(3)]
+    cold = run_jobs(specs, cache=cache)
+    warm = run_jobs(specs, cache=cache)
+    assert cold == warm
+    assert cache.hits >= 3
+
+
+def test_run_fuzz_parallel_matches_serial(tmp_path):
+    serial = run_fuzz(seed=3, budget=6, corpus=tmp_path / "a", jobs=1)
+    parallel = run_fuzz(seed=3, budget=6, corpus=tmp_path / "b", jobs=2)
+    assert serial.cases == parallel.cases == 6
+    assert serial.legal == parallel.legal
+    assert len(serial.failures) == len(parallel.failures) == 0
+
+
+def test_cli_fuzz_green_run_exits_zero(tmp_path, capsys):
+    rc = main(
+        ["fuzz", "--seed", "1", "--budget", "3", "--corpus", str(tmp_path / "c"), "--metrics"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "3 cases" in out
+    assert "0 failures" in out
+    assert "fuzz.cases" in out  # --metrics report includes the verdict counters
+
+
+def test_cli_fuzz_replays_corpus_and_exits_one_on_failure(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    # Persist a known-failing minimized entry (a planted semantics bug).
+    program = matmul.program()
+    case = case_from_shackle(matmul.c_shackle(program, 2), {"N": 4}, checks=("semantics",))
+    case = dataclasses.replace(case, mutation="semantics-perturb-value")
+    failures = run_case_payload(case.to_payload())["failures"]
+    assert failures
+    save_entry(corpus, case, failures)
+
+    rc = main(["fuzz", "--seed", "1", "--budget", "2", "--corpus", str(corpus)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "1 entries replayed, 1 still failing" in out
+    assert "FAIL [corpus]" in out
+
+
+def test_cli_fuzz_rejects_unknown_check():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--check", "nonsense"])

@@ -1,0 +1,73 @@
+"""The case generator: determinism, validity, round-trips."""
+
+from repro.engine.jobs import fingerprint
+from repro.fuzz import FuzzCase, GenConfig, generate_case, generate_program
+from repro.fuzz.cases import build_shackle, case_from_shackle
+from repro.fuzz.gen import case_rng
+from repro.kernels import matmul
+
+
+def test_same_seed_and_index_is_bit_identical():
+    for index in range(10):
+        a = generate_case(7, index)
+        b = generate_case(7, index)
+        assert a == b
+        assert a.to_payload() == b.to_payload()
+        assert fingerprint("fuzz", a.to_payload()) == fingerprint("fuzz", b.to_payload())
+
+
+def test_different_indices_give_independent_streams():
+    cases = [generate_case(0, i) for i in range(20)]
+    assert len({fingerprint("fuzz", c.to_payload()) for c in cases}) == 20
+    # Programs vary too, not just the shackles.
+    assert len({c.program for c in cases}) > 5
+
+
+def test_different_seeds_differ():
+    assert generate_case(0, 3) != generate_case(1, 3)
+    assert case_rng(0, 1).random() != case_rng(1, 1).random()
+
+
+def test_generated_programs_validate_and_shackles_build():
+    for index in range(30):
+        case = generate_case(11, index)
+        program = case.parsed()
+        program.validate()
+        shackle = build_shackle(case, program)
+        assert shackle.factors()
+
+
+def test_case_payload_round_trip():
+    for index in range(10):
+        case = generate_case(3, index)
+        assert FuzzCase.from_payload(case.to_payload()) == case
+
+
+def test_backend_stride_controls_c_checks():
+    cfg = GenConfig(checks=("semantics", "backend"), backend_stride=4)
+    with_backend = [
+        i for i in range(12) if "backend" in generate_case(0, i, cfg).checks
+    ]
+    assert with_backend == [0, 4, 8]
+    # Stride only matters when backend is selected at all.
+    cfg = GenConfig(checks=("semantics",), backend_stride=4)
+    assert all("backend" not in generate_case(0, i, cfg).checks for i in range(8))
+
+
+def test_case_from_shackle_round_trips_a_paper_shackle():
+    program = matmul.program()
+    case = case_from_shackle(matmul.ca_product(program, 2), {"N": 4})
+    rebuilt = build_shackle(case)
+    assert len(rebuilt.factors()) == 2
+    assert [f.blocking.array for f in rebuilt.factors()] == ["C", "A"]
+
+
+def test_generator_covers_products_and_dummies():
+    cases = [generate_case(0, i) for i in range(60)]
+    assert any(len(c.factors) == 2 for c in cases), "products never sampled"
+    assert any(
+        f.dummies for c in cases for f in c.factors
+    ), "dummy references never sampled"
+    assert any(
+        d == -1 for c in cases for f in c.factors for d in f.blocking["directions"]
+    ), "reversed traversal never sampled"

@@ -1,0 +1,97 @@
+"""Mutation injection: every oracle must catch its planted bug.
+
+This is the validation of the fuzzer itself — a differential oracle that
+never fires when its stage is broken is dead weight.  For each named
+mutation the fuzzer runs with the bug planted, and must (a) fail, (b)
+fail in the targeted oracle, (c) shrink the witness, and (d) persist a
+minimized corpus entry that still reproduces the bug.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.backends.c_backend import c_compiler_available
+from repro.fuzz import GenConfig, run_case_payload, run_fuzz
+from repro.fuzz.cases import case_from_shackle
+from repro.fuzz.mutations import MUTATIONS, get
+from repro.fuzz.shrink import case_size
+from repro.kernels import matmul
+
+BUDGET = 12  # enough for every mutation to trip at seed 0
+
+
+def test_registry_covers_every_oracle():
+    targets = {m.target_oracle for m in MUTATIONS.values()}
+    assert targets == {"deps", "legality", "codegen", "semantics", "backend"}
+    with pytest.raises(ValueError):
+        get("no-such-mutation")
+    assert get(None) is None
+
+
+def test_planted_semantics_bug_is_caught_without_fuzzing():
+    # Fast tier-1 witness: the oracle fires on a single hand-built case.
+    program = matmul.program()
+    case = case_from_shackle(matmul.c_shackle(program, 2), {"N": 4}, checks=("semantics",))
+    case = dataclasses.replace(case, mutation="semantics-perturb-value")
+    result = run_case_payload(case.to_payload())
+    assert any(f["check"] == "semantics" for f in result["failures"])
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize(
+    "name", ["deps-drop-last", "legality-accept-all", "codegen-drop-guard", "semantics-perturb-value"]
+)
+def test_each_oracle_catches_and_shrinks_its_planted_bug(name, tmp_path):
+    mutation = MUTATIONS[name]
+    corpus = tmp_path / "corpus"
+    report = run_fuzz(seed=0, budget=BUDGET, corpus=corpus, mutation=name)
+    assert report.failures, f"{name} was never caught in {BUDGET} cases"
+    assert {f.check for f in report.failures} == {mutation.target_oracle}
+    for failure in report.failures:
+        assert failure.minimized is not None
+        assert case_size(failure.minimized) <= case_size(failure.case)
+        assert failure.corpus_path is not None and failure.corpus_path.exists()
+        # The persisted minimized entry still reproduces the bug.
+        entry = json.loads(failure.corpus_path.read_text())
+        assert entry["check"] == mutation.target_oracle
+        replayed = run_case_payload(entry["case"])
+        assert any(f["check"] == mutation.target_oracle for f in replayed["failures"])
+    # At least one witness actually got smaller.
+    assert any(
+        case_size(f.minimized) < case_size(f.case) for f in report.failures
+    ), "shrinker accepted no reduction on any witness"
+
+
+@pytest.mark.fuzz
+@pytest.mark.skipif(not c_compiler_available(), reason="needs a C compiler")
+def test_backend_oracle_catches_planted_c_bug(tmp_path):
+    cfg = GenConfig(checks=("backend",), backend_stride=1)
+    report = run_fuzz(
+        seed=0, budget=3, corpus=tmp_path / "corpus", config=cfg,
+        mutation="backend-perturb-value",
+    )
+    assert report.failures
+    assert {f.check for f in report.failures} == {"backend"}
+    assert all(f.corpus_path is not None for f in report.failures)
+
+
+@pytest.mark.fuzz
+def test_corpus_replay_keeps_reporting_until_fixed(tmp_path):
+    corpus = tmp_path / "corpus"
+    planted = run_fuzz(seed=0, budget=BUDGET, corpus=corpus, mutation="legality-accept-all")
+    assert planted.failures
+    # Replay with the bug still planted: every entry still fails, and the
+    # failures are attributed to the corpus, not re-shrunk.
+    replay = run_fuzz(seed=0, budget=0, corpus=corpus, mutation="legality-accept-all")
+    assert replay.corpus_replayed == len(planted.failures)
+    assert replay.corpus_still_failing == len(planted.failures)
+    # Simulate fixing the bug: with the mutation stripped from each
+    # stored case, the very same minimized entries pass clean.
+    from repro.fuzz.corpus import load_entries
+
+    for _, case, _ in load_entries(corpus):
+        payload = case.to_payload()
+        payload.pop("mutation", None)
+        assert run_case_payload(payload)["failures"] == []

@@ -1,0 +1,103 @@
+"""The differential oracles: hand-checked verdicts plus clean sweeps."""
+
+import pytest
+
+from repro.fuzz import generate_case, run_case_payload
+from repro.fuzz.cases import case_from_shackle
+from repro.fuzz.oracles import (
+    brute_force_legal,
+    brute_shackled_order,
+    element_trace,
+    expected_element_stream,
+)
+from repro.ir import parse_program
+from repro.kernels import matmul, trisolve
+
+
+def test_brute_force_legal_agrees_on_known_verdicts():
+    program = matmul.program()
+    assert brute_force_legal(program, matmul.c_shackle(program, 2), {"N": 4})
+    backward = trisolve.program("backward")
+    assert not brute_force_legal(
+        backward, trisolve.x_shackle(backward, 2, descending=False), {"N": 5}
+    )
+    assert brute_force_legal(
+        backward, trisolve.x_shackle(backward, 2, descending=True), {"N": 5}
+    )
+
+
+def test_brute_shackled_order_groups_by_block():
+    program = matmul.program()
+    shackle = matmul.c_shackle(program, 2)
+    order = brute_shackled_order(program, shackle, {"N": 4})
+    assert len(order) == 64
+    # C[I,J] blocks of spacing 2: the (I,J) pairs must appear block by
+    # block, with K (and program order) free inside each block.
+    blocks = [((i - 1) // 2, (j - 1) // 2) for _, (i, j, k) in order]
+    assert blocks == sorted(blocks)
+
+
+def test_element_trace_matches_expected_stream_on_original_order():
+    program = parse_program(
+        """
+program t(N)
+array A[N,N]
+assume N >= 1
+do I = 1, N
+  do J = I, N
+    S1: A[I,J] = A[I,J] + 1
+"""
+    )
+    from repro.dependence.oracle import enumerate_instances
+
+    env = {"N": 4}
+    order = [(ctx.label, ivec) for ctx, ivec in enumerate_instances(program, env)]
+    assert element_trace(program, env) == expected_element_stream(program, order, env)
+    assert len(order) == 10  # triangular count
+
+
+def test_clean_case_has_no_failures_and_reports_shape():
+    case = generate_case(0, 1)
+    result = run_case_payload(case.to_payload())
+    assert result["failures"] == []
+    assert isinstance(result["legal"], bool)
+    assert result["instances"] > 0
+    assert result["skipped"] == []
+
+
+def test_paper_shackle_as_case_passes_all_checks():
+    program = matmul.program()
+    case = case_from_shackle(
+        matmul.ca_product(program, 2), {"N": 4}, checks=("deps", "legality", "codegen", "semantics")
+    )
+    result = run_case_payload(case.to_payload())
+    assert result["failures"] == []
+    assert result["legal"] is True
+
+
+@pytest.mark.fuzz
+def test_thirty_random_cases_all_agree():
+    legal = 0
+    for index in range(30):
+        case = generate_case(0, index)
+        result = run_case_payload(case.to_payload())
+        assert result["failures"] == [], (
+            f"case (0, {index}) disagrees: {result['failures']}"
+        )
+        legal += bool(result["legal"])
+    # The sampler must exercise both verdicts or the legality oracle is idle.
+    assert 0 < legal < 30
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+def test_deep_sweep_with_backend_differential(tmp_path):
+    # The nightly-depth sweep: a different seed stream than CI's smoke
+    # run, with the C-vs-Python differential enabled.
+    from repro.fuzz import ALL_CHECKS, GenConfig, run_fuzz
+
+    cfg = GenConfig(checks=ALL_CHECKS, backend_stride=10)
+    report = run_fuzz(seed=1, budget=100, corpus=tmp_path / "corpus", config=cfg)
+    assert report.ok, report.describe()
+    assert report.cases == 100
+    assert 0 < report.legal < 100

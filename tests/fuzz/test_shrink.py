@@ -1,0 +1,88 @@
+"""The delta-debugging shrinker: termination, validity, minimization."""
+
+import dataclasses
+
+from repro.fuzz import generate_case
+from repro.fuzz.cases import build_shackle
+from repro.fuzz.shrink import _candidates, _valid, case_size, shrink_case
+
+
+def test_candidates_are_valid_and_strictly_smaller():
+    for index in range(15):
+        case = generate_case(5, index)
+        size = case_size(case)
+        for candidate in _candidates(case):
+            if not _valid(candidate):
+                continue
+            assert case_size(candidate) < size
+
+
+def test_shrink_terminates_and_minimizes_against_a_fake_oracle():
+    # The "bug" fires whenever any factor still blocks array A — an
+    # always-reproducible predicate, so the shrinker should strip the
+    # case down to something no candidate can reduce further.
+    case = generate_case(2, 7)
+    assert any(f.blocking["array"] == "A" for f in case.factors)
+
+    def fake_run(payload):
+        from repro.fuzz.cases import FuzzCase
+
+        c = FuzzCase.from_payload(payload)
+        bug = any(f.blocking["array"] == "A" for f in c.factors)
+        return {"failures": [{"check": "legality", "detail": "fake"}] if bug else []}
+
+    minimized, steps = shrink_case(case, "legality", run=fake_run)
+    assert steps > 0
+    assert case_size(minimized) < case_size(case)
+    # Still a valid, reproducing case...
+    assert _valid(minimized)
+    assert fake_run(minimized.to_payload())["failures"]
+    # ...and a local minimum: no valid smaller candidate reproduces.
+    for candidate in _candidates(minimized):
+        if _valid(candidate) and case_size(candidate) < case_size(minimized):
+            assert not fake_run(candidate.to_payload())["failures"]
+
+
+def test_shrink_keeps_shackle_buildable_after_statement_drops():
+    # Dropping a statement must also drop its choice/dummy bindings, or
+    # the shrunk shackle would bind labels that no longer exist.
+    for index in range(20):
+        case = generate_case(9, index)
+        if len(case.parsed().statements()) < 2:
+            continue
+        for candidate in _candidates(case):
+            if not _valid(candidate):
+                continue
+            shackle = build_shackle(candidate)
+            labels = {s.label for s in candidate.parsed().statements()}
+            for factor in shackle.factors():
+                assert set(factor.ref_choice) <= labels
+                assert set(factor.dummies) <= labels
+
+
+def test_crash_during_shrink_counts_as_reproduction():
+    case = generate_case(0, 2)
+
+    calls = []
+
+    def crashing_run(payload):
+        calls.append(payload)
+        raise RuntimeError("boom")
+
+    minimized, steps = shrink_case(case, "codegen", run=crashing_run, max_steps=5)
+    # Every candidate "reproduces" (crashes), so shrinking proceeds to
+    # the step cap instead of dying.
+    assert steps == 5
+    assert calls
+    assert case_size(minimized) < case_size(case)
+
+
+def test_mutation_field_survives_shrinking():
+    case = dataclasses.replace(generate_case(0, 4), mutation="semantics-perturb-value")
+
+    def fake_run(payload):
+        assert payload.get("mutation") == "semantics-perturb-value"
+        return {"failures": [{"check": "semantics", "detail": "fake"}]}
+
+    minimized, _ = shrink_case(case, "semantics", run=fake_run, max_steps=3)
+    assert minimized.mutation == "semantics-perturb-value"

@@ -1,0 +1,139 @@
+"""Legality checker vs brute-force oracle on every paper kernel.
+
+The Theorem-1 checker decides legality symbolically for all parameter
+values; :func:`repro.fuzz.oracles.brute_force_legal` sorts the concrete
+instances by their shackled execution order and checks every brute-force
+dependence pair directly.  The oracle relation is one-sided — *accept*
+must imply *order-preserving at the tested size* — and the known-legal
+paper shackles additionally pin the expected verdicts, so this suite
+cross-checks both analyses on every kernel in ``repro.kernels``.
+"""
+
+import pytest
+
+from repro.core import check_legality
+from repro.fuzz.oracles import brute_force_legal
+from repro.kernels import adi, cholesky, gmtry, matmul, qr, relaxation, syrk, trisolve, trsm
+
+# (id, program factory, shackle factory, concrete env, expected verdict)
+SHACKLES = [
+    ("matmul-c", matmul.program, lambda p: matmul.c_shackle(p, 2), {"N": 4}, True),
+    ("matmul-ca", matmul.program, lambda p: matmul.ca_product(p, 2), {"N": 4}, True),
+    (
+        "matmul-two-level",
+        matmul.program,
+        lambda p: matmul.two_level(p, 4, 2),
+        {"N": 4},
+        True,
+    ),
+    (
+        "cholesky-writes",
+        cholesky.program,
+        lambda p: cholesky.writes_shackle(p, 2),
+        {"N": 5},
+        True,
+    ),
+    (
+        "cholesky-reads",
+        cholesky.program,
+        lambda p: cholesky.reads_shackle(p, 2),
+        {"N": 5},
+        True,
+    ),
+    (
+        "cholesky-fully-blocked",
+        cholesky.program,
+        lambda p: cholesky.fully_blocked(p, 2),
+        {"N": 5},
+        True,
+    ),
+    ("syrk-c", syrk.program, lambda p: syrk.c_shackle(p, 2), {"N": 4}, True),
+    ("syrk-ca", syrk.program, lambda p: syrk.ca_product(p, 2), {"N": 4}, True),
+    (
+        "trsm-column",
+        trsm.program,
+        lambda p: trsm.column_shackle(p, 2),
+        {"N": 4, "M": 3},
+        True,
+    ),
+    (
+        "trsm-tile",
+        trsm.program,
+        lambda p: trsm.tile_product(p, 2),
+        {"N": 4, "M": 3},
+        True,
+    ),
+    (
+        "trisolve-forward",
+        trisolve.program,
+        lambda p: trisolve.x_shackle(p, 2),
+        {"N": 5},
+        True,
+    ),
+    (
+        "trisolve-backward-ascending",
+        lambda: trisolve.program("backward"),
+        lambda p: trisolve.x_shackle(p, 2, descending=False),
+        {"N": 5},
+        False,
+    ),
+    (
+        "trisolve-backward-descending",
+        lambda: trisolve.program("backward"),
+        lambda p: trisolve.x_shackle(p, 2, descending=True),
+        {"N": 5},
+        True,
+    ),
+    ("gmtry-writes", gmtry.program, lambda p: gmtry.writes_shackle(p, 2), {"N": 4}, True),
+    (
+        "gmtry-fully-blocked",
+        gmtry.program,
+        lambda p: gmtry.fully_blocked(p, 2),
+        {"N": 4},
+        True,
+    ),
+    ("qr-column", qr.program, lambda p: qr.column_shackle(p, 2), {"N": 4}, True),
+    ("adi-fusion", adi.program, lambda p: adi.fusion_shackle(p), {"n": 4}, True),
+    (
+        "relaxation-1d-time",
+        relaxation.program,
+        lambda p: relaxation.lhs_shackle_1d(p, 2),
+        {"N": 5, "T": 3},
+        None,  # verdict not pinned; only the one-sided oracle relation
+    ),
+    (
+        "relaxation-2d",
+        lambda: relaxation.program("2d"),
+        lambda p: relaxation.lhs_shackle_2d(p, 2),
+        {"N": 4},
+        None,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "make_program, make_shackle, env, expected",
+    [case[1:] for case in SHACKLES],
+    ids=[case[0] for case in SHACKLES],
+)
+def test_checker_agrees_with_brute_force(make_program, make_shackle, env, expected):
+    program = make_program()
+    shackle = make_shackle(program)
+    legal = check_legality(shackle, first_violation_only=True).legal
+    if expected is not None:
+        assert legal is expected
+    if legal:
+        # Theorem 1 quantifies over all parameter values, so acceptance
+        # must hold at this concrete size in particular.
+        assert brute_force_legal(program, shackle, env), (
+            "checker accepted a shackle the brute-force order check rejects"
+        )
+
+
+def test_brute_force_rejects_the_known_illegal_shackle():
+    # The one rejected paper shackle must also fail by direct evaluation,
+    # confirming the rejection is real and not checker conservatism.
+    program = trisolve.program("backward")
+    shackle = trisolve.x_shackle(program, 2, descending=False)
+    assert not check_legality(shackle, first_violation_only=True).legal
+    assert not brute_force_legal(program, shackle, {"N": 5})
