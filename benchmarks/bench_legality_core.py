@@ -1,0 +1,185 @@
+"""The fast legality core, measured: canonical memo + vectorized FM.
+
+Runs the Section-6.1 Cholesky legality census two ways at two product
+depths and prints a timing table:
+
+* ``seed_scalar``  — the seed formulation: one ILP per (dependence,
+  concatenated coordinate position), decided by the scalar Omega test,
+  no memoization — what every query cost before this optimization;
+* ``cold_scalar``  — the incremental product check through the canonical
+  memo, scalar engine, memo cleared first;
+* ``cold_vector``  — the same pipeline on the vectorized FM engine
+  (the production default), memo cleared first;
+* ``warm_vector``  — the identical census again on the warm memo; the
+  bench asserts this run performs **zero** fresh FM eliminations and
+  zero fresh solves — every verdict must come from the memo.
+
+Verdicts are asserted identical on all four paths, the cold vectorized
+pipeline is asserted >= 5x faster than the seed baseline (>= 3x in
+``BENCH_LEGALITY_QUICK=1`` mode, which shrinks the product census), and
+the numbers land in ``BENCH_legality.json`` as a perf-trajectory
+artifact.
+"""
+
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import DataBlocking, DataShackle, check_legality
+from repro.core.legality import (
+    _lex_decrease,
+    _memberships,
+    reset_failure_counts,
+)
+from repro.core.product import ShackleProduct, block_var_names
+from repro.core.shackle import _parse_ref
+from repro.dependence import compute_dependences
+from repro.engine.metrics import METRICS
+from repro.kernels import cholesky
+from repro.polyhedra import solver
+from repro.polyhedra.omega import integer_feasible_scalar
+
+QUICK = os.environ.get("BENCH_LEGALITY_QUICK") == "1"
+SPEEDUP_FLOOR = 3.0 if QUICK else 5.0
+
+REF_PAIRS = list(
+    itertools.product(["A[I,J]", "A[J,J]"], ["A[L,K]", "A[L,J]", "A[K,J]"])
+)
+
+
+def _candidates(program, blocking):
+    singles = [
+        DataShackle(
+            program,
+            blocking,
+            {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref(s2), "S3": _parse_ref(s3)},
+        )
+        for s2, s3 in REF_PAIRS
+    ]
+    bases = singles[:3] if QUICK else singles
+    products = [ShackleProduct(a, b) for a in bases for b in bases]
+    return singles + products
+
+
+def _seed_check(shackle, deps):
+    """The pre-optimization formulation: all memberships conjoined, one
+    scalar ILP per concatenated coordinate position, no memo."""
+    src = [n for group in block_var_names(shackle, "s") for n in group]
+    tgt = [n for group in block_var_names(shackle, "t") for n in group]
+    for dep in deps:
+        base = dep.system.conjoin(
+            _memberships(
+                shackle, dep.src.label, dep.src.loop_vars, "__s",
+                block_var_names(shackle, "s"),
+            ),
+            _memberships(
+                shackle, dep.tgt.label, dep.tgt.loop_vars, "__t",
+                block_var_names(shackle, "t"),
+            ),
+        )
+        for k in range(len(src)):
+            if integer_feasible_scalar(base.conjoin(_lex_decrease(src, tgt, k))):
+                return False
+    return True
+
+
+def test_legality_core_speedup(once):
+    program = cholesky.program("right")
+    blocking = DataBlocking.grid("A", 2, 25)
+    deps = compute_dependences(program)  # shared by every path
+    candidates = _candidates(program, blocking)
+
+    def fast_census():
+        verdicts: dict = {}
+        reset_failure_counts()
+        return [
+            check_legality(
+                sh, deps, first_violation_only=True, verdict_cache=verdicts
+            ).legal
+            for sh in candidates
+        ]
+
+    def run_all():
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        seed = [_seed_check(sh, deps) for sh in candidates]
+        timings["seed_scalar"] = time.perf_counter() - start
+
+        previous = solver.set_engine("scalar")
+        try:
+            solver.clear_memo()
+            start = time.perf_counter()
+            cold_scalar = fast_census()
+            timings["cold_scalar"] = time.perf_counter() - start
+        finally:
+            solver.set_engine(previous)
+
+        solver.set_engine("vector")
+        solver.clear_memo()
+        start = time.perf_counter()
+        cold_vector = fast_census()
+        timings["cold_vector"] = time.perf_counter() - start
+
+        eliminations_before = METRICS.get("fm.vector_eliminations") + METRICS.get(
+            "fm.eliminations"
+        )
+        solves_before = METRICS.get("solver.solves")
+        start = time.perf_counter()
+        warm_vector = fast_census()
+        timings["warm_vector"] = time.perf_counter() - start
+        fresh_eliminations = (
+            METRICS.get("fm.vector_eliminations")
+            + METRICS.get("fm.eliminations")
+            - eliminations_before
+        )
+        fresh_solves = METRICS.get("solver.solves") - solves_before
+
+        return seed, cold_scalar, cold_vector, warm_vector, timings, \
+            fresh_eliminations, fresh_solves
+
+    (seed, cold_scalar, cold_vector, warm_vector, timings,
+     fresh_eliminations, fresh_solves) = once(run_all)
+
+    # Identical verdicts on every path.
+    assert seed == cold_scalar == cold_vector == warm_vector
+
+    speedup = timings["seed_scalar"] / timings["cold_vector"]
+    print(f"\nCholesky census: {len(candidates)} candidates "
+          f"({len(REF_PAIRS)} singles + {len(candidates) - len(REF_PAIRS)} "
+          f"products), {sum(seed)} legal, quick={QUICK}")
+    print("path         seconds   vs seed")
+    for path in ("seed_scalar", "cold_scalar", "cold_vector", "warm_vector"):
+        print(f"{path:<12} {timings[path]:8.4f}   "
+              f"{timings['seed_scalar'] / timings[path]:6.1f}x")
+
+    # The warm memo serves every repeated query outright: re-running the
+    # census must trigger no fresh eliminations and no fresh solves.
+    assert fresh_eliminations == 0, (
+        f"warm-memo census re-ran {fresh_eliminations} FM eliminations"
+    )
+    assert fresh_solves == 0, (
+        f"warm-memo census performed {fresh_solves} fresh solves"
+    )
+
+    # The tentpole criterion: cold vectorized pipeline vs scalar baseline.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"cold vectorized census only {speedup:.1f}x faster than the seed "
+        f"scalar baseline (floor {SPEEDUP_FLOOR}x)"
+    )
+
+    Path("BENCH_legality.json").write_text(json.dumps({
+        "benchmark": "legality_core",
+        "quick": QUICK,
+        "candidates": len(candidates),
+        "legal": int(sum(seed)),
+        "timings_seconds": {k: round(v, 6) for k, v in timings.items()},
+        "cold_vector_speedup": round(speedup, 2),
+        "warm_vector_speedup": round(
+            timings["seed_scalar"] / timings["warm_vector"], 2
+        ),
+        "warm_fresh_eliminations": int(fresh_eliminations),
+        "warm_fresh_solves": int(fresh_solves),
+    }, indent=2) + "\n")

@@ -140,6 +140,16 @@ def _add_engine_args(sub):
     sub.add_argument(
         "--metrics", action="store_true", help="print the engine metrics report"
     )
+    _add_solver_arg(sub)
+
+
+def _add_solver_arg(sub):
+    sub.add_argument(
+        "--solver",
+        choices=("vector", "scalar"),
+        default=None,
+        help="feasibility engine (default: vector, or $REPRO_SOLVER)",
+    )
 
 
 def _engine_cache(args):
@@ -173,6 +183,10 @@ def main(argv: list[str] | None = None) -> int:
     legality = commands.add_parser("legality", help="check Theorem-1 legality")
     legality.add_argument("file")
     _add_shackle_args(legality)
+    _add_solver_arg(legality)
+    legality.add_argument(
+        "--metrics", action="store_true", help="print the engine metrics report"
+    )
 
     search = commands.add_parser("search", help="enumerate and rank legal shackles")
     search.add_argument("file")
@@ -212,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_cmd.add_argument(
         "--check",
         action="append",
-        choices=("deps", "legality", "codegen", "semantics", "backend"),
+        choices=("deps", "solver", "legality", "codegen", "semantics", "backend"),
         help="oracle to run (repeatable; default: all)",
     )
     fuzz_cmd.add_argument(
@@ -227,6 +241,11 @@ def main(argv: list[str] | None = None) -> int:
     _add_engine_args(fuzz_cmd)
 
     args = parser.parse_args(argv)
+
+    if getattr(args, "solver", None):
+        from repro.polyhedra import solver as _solver
+
+        _solver.set_engine(args.solver)
 
     if args.command == "fuzz":
         from repro.fuzz import run_fuzz
@@ -261,6 +280,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "legality":
         shackle = _build_shackle(program, args)
         print(check_legality(shackle).explain())
+        if args.metrics:
+            from repro.engine.metrics import METRICS
+
+            print(METRICS.report())
         return 0
 
     if args.command == "search":

@@ -13,11 +13,32 @@ dependence ``(S1, u) -> (S2, v)``, the conjunction of
 has no integer solution.  Instances mapped to the *same* block run in
 original program order, so equality of coordinates is never a violation —
 exactly as in the paper.
+
+The check exploits the lexicographic structure of products instead of
+solving one ILP per concatenated coordinate position:
+
+* a violation inside factor ``f``'s coordinates requires *all* earlier
+  factors' coordinates to be equal, and adding constraints never makes an
+  infeasible system feasible — so if factor ``f`` *alone* admits no
+  violation, the restricted query needs no ILP at all;
+* if factor ``f`` alone admits neither a violation nor a tie (no pair of
+  dependent instances lands in the same block), every dependent pair is
+  strictly ordered by ``f`` and **no later factor needs any ILP** — the
+  dependence is safe regardless of what follows;
+* factor-alone verdicts are position-independent (they are computed over
+  position-0 coordinate names), so they are shared across the greedy
+  product search through ``verdict_cache`` and, structurally, through
+  the solver's canonical-form memo.
+
+Dependences that caused rejections before are tried first
+(``first_violation_only`` callers exit on the first violation, so a
+failure-first order makes illegal candidates cheap to reject).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import MutableMapping
 
 from repro.core.product import block_var_names
 from repro.dependence.analysis import Dependence, compute_dependences
@@ -68,6 +89,53 @@ class LegalityResult:
         return "\n".join(lines)
 
 
+# -- failure-first dependence ordering ---------------------------------------------
+
+_failure_counts: dict[tuple, int] = {}
+"""Rejection counts per dependence identity, across all checks this process."""
+
+
+def _dep_key(dep: Dependence) -> tuple:
+    return (
+        dep.kind,
+        dep.src.label,
+        str(dep.src_ref),
+        dep.tgt.label,
+        str(dep.tgt_ref),
+        dep.level,
+    )
+
+
+def reset_failure_counts() -> None:
+    """Forget which dependences caused rejections (tests and benchmarks)."""
+    _failure_counts.clear()
+
+
+def _factor_key(factor) -> tuple:
+    """Structural identity of a factor — the scope of verdict reuse.
+
+    Two factors with equal keys build identical membership constraints,
+    so their factor-alone verdicts agree for any dependence *of the same
+    program* (``verdict_cache`` must not be shared across programs).
+    """
+    blocking = factor.blocking
+    return (
+        blocking.array,
+        tuple((p.normal, p.spacing, p.offset) for p in blocking.planes),
+        blocking.directions,
+        tuple(sorted((label, str(ref)) for label, ref in factor.ref_choice.items())),
+        tuple(
+            sorted(
+                (label, tuple(str(a) for a in affines))
+                for label, affines in factor.dummies.items()
+            )
+        ),
+    )
+
+
+# -- query construction ------------------------------------------------------------
+
+
 def _memberships(shackle, ctx_label, loop_vars, suffix, names) -> System:
     rename = {v: v + suffix for v in loop_vars}
     constraints: list[Constraint] = []
@@ -76,44 +144,182 @@ def _memberships(shackle, ctx_label, loop_vars, suffix, names) -> System:
     return System(constraints)
 
 
+def _lex_decrease(src_names, tgt_names, j) -> System:
+    """Tie on coordinates before ``j``, target strictly smaller at ``j``."""
+    constraints = [
+        Constraint.eq({tgt_names[i]: 1, src_names[i]: -1}, 0) for i in range(j)
+    ]
+    constraints.append(Constraint.ge({src_names[j]: 1, tgt_names[j]: -1}, -1))
+    return System(constraints)
+
+
+def candidate_violation_systems(shackle, dependences=None) -> list[System]:
+    """Every Theorem-1 query in the direct (non-incremental) formulation.
+
+    One system per (dependence, concatenated coordinate position): the
+    full dependence polyhedron, the memberships of *all* factors, the
+    prefix-equality constraints and the strict decrease.  This is the
+    seed formulation the incremental check replaced; the fuzz solver
+    oracle and the property tests feed these systems to both solver
+    engines and compare verdicts.
+    """
+    program = shackle.factors()[0].program
+    if dependences is None:
+        dependences = compute_dependences(program)
+    src_names = block_var_names(shackle, "s")
+    tgt_names = block_var_names(shackle, "t")
+    flat_src = [n for group in src_names for n in group]
+    flat_tgt = [n for group in tgt_names for n in group]
+    out: list[System] = []
+    for dep in dependences:
+        base = dep.system.conjoin(
+            _memberships(shackle, dep.src.label, dep.src.loop_vars, "__s", src_names),
+            _memberships(shackle, dep.tgt.label, dep.tgt.loop_vars, "__t", tgt_names),
+        )
+        for k in range(len(flat_src)):
+            out.append(base.conjoin(_lex_decrease(flat_src, flat_tgt, k)))
+    return out
+
+
+# -- the incremental check ---------------------------------------------------------
+
+
+def _factor_alone_verdicts(factor, dep: Dependence, verdicts: MutableMapping):
+    """``(first_violating_position | None, tie_possible)`` for one factor.
+
+    Computed with position-0 coordinate names regardless of where the
+    factor sits in a product, so the underlying solver queries (and this
+    cache) are shared across product positions and candidates.
+    """
+    key = (_dep_key(dep), _factor_key(factor))
+    hit = verdicts.get(key)
+    if hit is not None:
+        METRICS.inc("legality.factor_reuse")
+        return hit
+    dims = factor.num_block_dims
+    src_names = [f"_ws0_{j}" for j in range(dims)]
+    tgt_names = [f"_wt0_{j}" for j in range(dims)]
+    src_rename = {v: v + "__s" for v in dep.src.loop_vars}
+    tgt_rename = {v: v + "__t" for v in dep.tgt.loop_vars}
+    base = dep.system.conjoin(
+        System(
+            factor.membership(dep.src.label, src_names, src_rename)
+            + factor.membership(dep.tgt.label, tgt_names, tgt_rename)
+        )
+    )
+    viol_j = None
+    for j in range(dims):
+        if integer_feasible(base.conjoin(_lex_decrease(src_names, tgt_names, j))):
+            viol_j = j
+            break
+    tie = integer_feasible(
+        base.conjoin(
+            System(
+                Constraint.eq({t: 1, s: -1}, 0)
+                for s, t in zip(src_names, tgt_names)
+            )
+        )
+    )
+    result = (viol_j, tie)
+    verdicts[key] = result
+    return result
+
+
+def _first_dep_violation(
+    factors, dep: Dependence, src_names, tgt_names, verdicts, memberships
+) -> Violation | None:
+    """The first violating coordinate position for one dependence, or None."""
+
+    def membership(fi, role, ctx, names) -> System:
+        key = (fi, role)
+        cached = memberships.get(key)
+        if cached is None:
+            cached = {}
+            memberships[key] = cached
+        system = cached.get(ctx.label)
+        if system is None:
+            rename = {v: v + "__" + role for v in ctx.loop_vars}
+            system = System(factors[fi].membership(ctx.label, names, rename))
+            cached[ctx.label] = system
+        return system
+
+    single = len(factors) == 1
+    base = dep.system
+    ties: list[Constraint] = []
+    offset = 0
+    for fi, factor in enumerate(factors):
+        dims = factor.num_block_dims
+        sn, tn = src_names[fi], tgt_names[fi]
+        base = base.conjoin(
+            membership(fi, "s", dep.src, sn), membership(fi, "t", dep.tgt, tn)
+        )
+        if single:
+            viol_j, tie = 0, True  # the direct loop below is the whole check
+        else:
+            viol_j, tie = _factor_alone_verdicts(factor, dep, verdicts)
+        if viol_j is not None:
+            # A violation is possible in this factor's coordinates alone;
+            # decide it under the earlier-factors-tied restriction.
+            # Positions below viol_j are infeasible even unrestricted.
+            restricted = base.conjoin(System(ties)) if ties else base
+            for j in range(viol_j, dims):
+                candidate = restricted.conjoin(_lex_decrease(sn, tn, j))
+                if integer_feasible(candidate):
+                    return Violation(dep, offset + j, candidate)
+        if not tie:
+            # Every dependent pair is strictly ordered by this factor:
+            # later factors can never see tied prefixes.  No more ILPs.
+            METRICS.inc("legality.factor_ordered")
+            return None
+        if fi + 1 < len(factors):
+            ties.extend(
+                Constraint.eq({t: 1, s: -1}, 0) for s, t in zip(sn, tn)
+            )
+        offset += dims
+    return None
+
+
 def check_legality(
     shackle,
     dependences: list[Dependence] | None = None,
     first_violation_only: bool = False,
+    verdict_cache: MutableMapping | None = None,
 ) -> LegalityResult:
     """Decide Theorem-1 legality of a shackle or product.
 
     ``dependences`` may be precomputed (e.g. when checking many candidate
     shackles of the same program, as the search driver does).
+    ``verdict_cache`` shares factor-alone verdicts across calls; pass one
+    mutable mapping per program (never share it across programs).
     """
     METRICS.inc("legality.checks")
     with METRICS.timer("legality.check"):
         program = shackle.factors()[0].program
         if dependences is None:
             dependences = compute_dependences(program)
-
+        factors = shackle.factors()
         src_names = block_var_names(shackle, "s")
         tgt_names = block_var_names(shackle, "t")
-        flat_src = [n for group in src_names for n in group]
-        flat_tgt = [n for group in tgt_names for n in group]
+        if verdict_cache is None:
+            verdict_cache = {}
+        memberships: dict = {}
+
+        ordered = list(dependences)
+        if first_violation_only and len(ordered) > 1 and _failure_counts:
+            # Failure-first: dependences that rejected earlier candidates
+            # are most likely to reject this one too — check them first.
+            ordered.sort(key=lambda d: -_failure_counts.get(_dep_key(d), 0))
 
         violations: list[Violation] = []
-        for dep in dependences:
-            base = dep.system.conjoin(
-                _memberships(shackle, dep.src.label, dep.src.loop_vars, "__s", src_names),
-                _memberships(shackle, dep.tgt.label, dep.tgt.loop_vars, "__t", tgt_names),
+        for dep in ordered:
+            violation = _first_dep_violation(
+                factors, dep, src_names, tgt_names, verdict_cache, memberships
             )
-            # M(S2, v) < M(S1, u) lexicographically: disjunction over the
-            # position k of the first strictly smaller coordinate.
-            for k in range(len(flat_src)):
-                constraints: list[Constraint] = []
-                for i in range(k):
-                    constraints.append(Constraint.eq({flat_tgt[i]: 1, flat_src[i]: -1}, 0))
-                constraints.append(Constraint.ge({flat_src[k]: 1, flat_tgt[k]: -1}, -1))
-                candidate = base.conjoin(System(constraints))
-                if integer_feasible(candidate):
-                    violations.append(Violation(dep, k, candidate))
-                    if first_violation_only:
-                        return LegalityResult(shackle, violations, len(dependences))
-                    break  # one violating level per dependence is enough to report
+            if violation is not None:
+                _failure_counts[_dep_key(dep)] = (
+                    _failure_counts.get(_dep_key(dep), 0) + 1
+                )
+                violations.append(violation)
+                if first_violation_only:
+                    break
         return LegalityResult(shackle, violations, len(dependences))

@@ -33,11 +33,24 @@ def default_jobs() -> int:
 
 
 class WorkerPool:
-    """Map work over processes, preserving order; serial when jobs<=1."""
+    """Map work over processes, preserving order; serial when jobs<=1.
 
-    def __init__(self, jobs: int = 1, metrics=METRICS) -> None:
+    ``initializer``/``initargs`` run once per worker process (e.g. to
+    attach the solver's cross-process verdict cache); the serial fallback
+    does not run them — the parent's own state is already attached.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        metrics=METRICS,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> None:
         self.jobs = default_jobs() if jobs in (0, None) else max(1, int(jobs))
         self.metrics = metrics
+        self.initializer = initializer
+        self.initargs = initargs
 
     def map(self, fn: Callable, items: Iterable) -> list:
         """``[fn(x) for x in items]``, possibly computed in parallel.
@@ -53,7 +66,11 @@ class WorkerPool:
         chunksize = max(1, len(items) // (workers * 4))
         try:
             with self.metrics.timer("engine.pool.map"):
-                with ProcessPoolExecutor(max_workers=workers) as executor:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=self.initializer,
+                    initargs=self.initargs,
+                ) as executor:
                     return list(executor.map(fn, items, chunksize=chunksize))
         except (
             OSError,
@@ -75,6 +92,16 @@ def _execute_item(item: tuple[str, dict]):
     """Top-level (hence picklable) dispatcher run inside workers."""
     kind, payload = item
     return _jobs.EXECUTORS[kind](payload)
+
+
+def _init_worker_solver_cache(root: str) -> None:
+    """Worker initializer: point the solver memo's second tier at the
+    shared on-disk store, so feasibility verdicts solved in one worker
+    are visible to every other worker (and to later runs)."""
+    from repro.engine.cache import ResultCache
+    from repro.polyhedra import solver
+
+    solver.set_solver_cache(ResultCache(root=root))
 
 
 def run_jobs(
@@ -107,8 +134,27 @@ def run_jobs(
         unique.append((fp, spec))
 
     if unique:
-        pool = WorkerPool(jobs, metrics=metrics)
-        outputs = pool.map(_execute_item, [(s.kind, s.payload) for _, s in unique])
+        initializer, initargs = None, ()
+        previous_solver_cache = None
+        if cache is not None:
+            # Thread the batch's cache through the solver memo: the parent
+            # attaches it directly (covers the serial fallback too), and
+            # workers attach their own handle to the same on-disk store.
+            from repro.polyhedra import solver as _solver
+
+            previous_solver_cache = _solver.set_solver_cache(cache)
+            if cache.root is not None:
+                initializer, initargs = _init_worker_solver_cache, (str(cache.root),)
+        try:
+            pool = WorkerPool(
+                jobs, metrics=metrics, initializer=initializer, initargs=initargs
+            )
+            outputs = pool.map(
+                _execute_item, [(s.kind, s.payload) for _, s in unique]
+            )
+        finally:
+            if cache is not None:
+                _solver.set_solver_cache(previous_solver_cache)
         for (fp, spec), output in zip(unique, outputs):
             metrics.inc(f"engine.executed.{spec.kind}")
             if cache is not None:

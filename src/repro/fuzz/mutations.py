@@ -40,6 +40,7 @@ class Mutation:
     deps: Callable | None = None
     generated: Callable | None = None
     c_program: Callable | None = None
+    solver: Callable | None = None  # replaces the fast feasibility engine
 
 
 class _AlwaysLegal:
@@ -109,6 +110,19 @@ def _drop_last_dependence(program: Program):
     return compute_dependences(program)[:-1]
 
 
+def _bad_prune_feasible(system):
+    """A vectorized solve that unsoundly drops the last combined row of
+    every Fourier-Motzkin elimination — the exact class of bug an
+    over-aggressive redundancy prune would introduce."""
+    from repro.polyhedra.fm_vector import Fallback, feasible_vector
+    from repro.polyhedra.omega import integer_feasible_scalar
+
+    try:
+        return feasible_vector(system, recurse=_bad_prune_feasible, drop_last=True)
+    except Fallback:
+        return integer_feasible_scalar(system)
+
+
 MUTATIONS: dict[str, Mutation] = {
     m.name: m
     for m in (
@@ -141,6 +155,12 @@ MUTATIONS: dict[str, Mutation] = {
             description="C emission computes a slightly different value",
             target_oracle="backend",
             c_program=_perturb_first_statement,
+        ),
+        Mutation(
+            name="solver-bad-prune",
+            description="vectorized FM drops one combined row per elimination",
+            target_oracle="solver",
+            solver=_bad_prune_feasible,
         ),
     )
 }

@@ -1,10 +1,13 @@
-"""The differential oracles: four independent ways to catch a wrong answer.
+"""The differential oracles: independent ways to catch a wrong answer.
 
 Every oracle compares the polyhedral pipeline against a machinery-free
 ground truth evaluated at a small concrete size:
 
 * ``deps`` — instantiated polyhedral dependences must equal the
   brute-force access-pattern dependences (``dependence.oracle``).
+* ``solver`` — the fast feasibility engine (vectorized Fourier-Motzkin
+  plus the canonical-form memo) must agree with the scalar Omega oracle
+  on every Theorem-1 legality query system of the case's shackle.
 * ``legality`` — a Theorem-1 "legal" verdict must be consistent with a
   direct order check: sort instances by (traversal block of the chosen
   reference, program order) by plain evaluation and verify every
@@ -49,6 +52,12 @@ CODEGENS = (("naive", naive_code), ("split", split_code), ("simplified", simplif
 BACKEND_TOLERANCE = 1e-9
 """Relative checksum tolerance for the C backend differential (gcc -O2
 keeps IEEE semantics, but libm/sqrt rounding may differ in the last ulp)."""
+
+SOLVER_ORACLE_MAX_VARS = 10
+"""Variable cap for the solver differential: the scalar Omega oracle can
+splinter exponentially above this, so wider systems are skipped (counted
+under ``fuzz.solver_skipped``).  About two thirds of the generated query
+systems fall under the cap."""
 
 
 # -- ground-truth order ------------------------------------------------------------
@@ -216,6 +225,35 @@ def run_case_payload(payload: dict) -> dict:
                     "deps",
                     f"instantiated dependences disagree with brute force "
                     f"({missing} missing, {extra} spurious)",
+                )
+
+        if "solver" in checks:
+            # The legality-fast-vs-scalar differential: every Theorem-1
+            # query system (direct formulation) must get the same verdict
+            # from the fast engine (vectorized FM + canonical memo) and
+            # from the scalar Omega oracle.  The scalar oracle splinters
+            # exponentially on some wide multi-factor systems (minutes and
+            # gigabytes for a single query), so the differential is capped
+            # at SOLVER_ORACLE_MAX_VARS variables — a deterministic,
+            # structural bound; skips are counted, never silent.
+            from repro.core.legality import candidate_violation_systems
+            from repro.polyhedra import solver as _solver
+            from repro.polyhedra.omega import integer_feasible_scalar
+
+            fast_fn = (mutation and mutation.solver) or _solver.feasible
+            disagreements: list[int] = []
+            for query, system in enumerate(candidate_violation_systems(shackle, deps)):
+                if len(system.variables()) > SOLVER_ORACLE_MAX_VARS:
+                    METRICS.inc("fuzz.solver_skipped")
+                    continue
+                if bool(fast_fn(system)) != bool(integer_feasible_scalar(system)):
+                    disagreements.append(query)
+            if disagreements:
+                fail(
+                    "solver",
+                    f"fast solver disagrees with the scalar oracle on "
+                    f"{len(disagreements)} feasibility queries "
+                    f"(first at query {disagreements[0]})",
                 )
 
         legality_fn = (mutation and mutation.legality) or (

@@ -11,9 +11,10 @@ a legality question "is there any N and any pair of instances that violate
 the dependence?" is an existential query over parameters too.
 """
 
+from repro.polyhedra.canonical import canonical_fingerprint, canonical_key
 from repro.polyhedra.constraints import Constraint, System
 from repro.polyhedra.fourier_motzkin import eliminate_variable, project, rational_feasible
-from repro.polyhedra.omega import integer_feasible, integer_sample
+from repro.polyhedra.omega import integer_feasible, integer_feasible_scalar, integer_sample
 from repro.polyhedra.scan import LoopBounds, scan_bounds
 from repro.polyhedra.simplify import gist, implies
 
@@ -21,10 +22,13 @@ __all__ = [
     "Constraint",
     "System",
     "LoopBounds",
+    "canonical_fingerprint",
+    "canonical_key",
     "eliminate_variable",
     "project",
     "rational_feasible",
     "integer_feasible",
+    "integer_feasible_scalar",
     "integer_sample",
     "gist",
     "implies",

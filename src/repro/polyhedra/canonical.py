@@ -1,0 +1,143 @@
+"""Canonical forms of constraint systems, with a stable content hash.
+
+The legality/search pipeline solves thousands of integer-feasibility
+queries whose systems are *structurally* identical — the same dependence
+polyhedron conjoined with the same membership constraints, differing only
+in which traversal-coordinate names were generated for a factor's
+position inside a product (``_ws0_0`` vs ``_ws1_0``).  This module maps a
+:class:`~repro.polyhedra.constraints.System` to a canonical key that is
+
+* invariant under permutation of the constraints,
+* invariant under positive scaling and duplication of constraints
+  (guaranteed by :class:`Constraint`'s own normalization plus row dedup),
+* invariant under sign of equality rows (an equality and its negation
+  describe the same hyperplane), and
+* *name-blind*: variables are relabelled by a partition-refinement pass,
+  so systems that differ only by a renaming of variables canonicalize
+  identically whenever the refinement separates all variables (symmetric
+  systems may canonicalize differently per naming — a missed memo hit,
+  never a wrong answer).
+
+Soundness does not depend on the refinement converging: the key always
+*is* a concrete constraint system over indexed variables, and integer
+feasibility is invariant under variable bijections, so two systems with
+equal keys necessarily have equal feasibility.
+
+Everything in a key is an int or a tuple of ints (constants appear as
+``(numerator, denominator)`` pairs): keys hash and compare fast, and
+``repr(key)`` is a stable cross-process serialization to fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.polyhedra.constraints import System
+
+_REFINE_ROUNDS = 4
+"""Partition-refinement rounds; legality systems separate in 2-3."""
+
+
+def _normalized_rows(system: System) -> list[tuple[bool, tuple[int, int], dict[str, int]]]:
+    """(is_eq, (const_num, const_den), coeffs) rows, equality sign canonical.
+
+    An equality row and its negation are the same constraint; keep the
+    representative whose name-blind signature (sorted coefficient values,
+    then constant pair) is the larger of the two.
+    """
+    rows: list[tuple[bool, tuple[int, int], dict[str, int]]] = []
+    for c in system.constraints:
+        coeffs = c.coeffs
+        num, den = c.const.numerator, c.const.denominator
+        if c.is_eq and coeffs:
+            values = sorted(coeffs.values())
+            neg_values = sorted(-a for a in values)
+            if (neg_values, (-num, den)) > (values, (num, den)):
+                coeffs = {v: -a for v, a in coeffs.items()}
+                num = -num
+        rows.append((c.is_eq, (num, den), coeffs))
+    return rows
+
+
+def _compress(labels: list) -> list[int]:
+    """Map arbitrary orderable labels to dense integer ranks."""
+    rank = {label: i for i, label in enumerate(sorted(set(labels)))}
+    return [rank[label] for label in labels]
+
+
+def canonical_key(system: System) -> tuple:
+    """A hashable, name-blind canonical key for ``system``.
+
+    The key is ``(num_vars, rows)`` where each row is
+    ``(is_eq, (const_num, const_den), ((var_index, coeff), ...))`` over
+    refinement-ordered variable indices.
+    """
+    rows = _normalized_rows(system)
+    if not rows:
+        return (0, ())
+    occurrences: dict[str, list[tuple[int, int]]] = {}
+    for r, (_, _, coeffs) in enumerate(rows):
+        for v, a in coeffs.items():
+            occurrences.setdefault(v, []).append((r, a))
+    variables = sorted(occurrences)
+
+    # Partition refinement: rows and variables label each other until the
+    # partitions stabilize (or a small round bound is hit).
+    row_labels = _compress(
+        [
+            (is_eq, tuple(sorted(coeffs.values())), const)
+            for is_eq, const, coeffs in rows
+        ]
+    )
+    var_labels = dict.fromkeys(variables, 0)
+    num_vars = len(variables)
+    for _ in range(_REFINE_ROUNDS):
+        new_var = {
+            v: (
+                var_labels[v],
+                tuple(sorted((a, row_labels[r]) for r, a in occurrences[v])),
+            )
+            for v in variables
+        }
+        compressed = _compress([new_var[v] for v in variables])
+        next_var = dict(zip(variables, compressed))
+        if max(compressed, default=0) == num_vars - 1:
+            # All variables separated — the final order is determined, and
+            # row labels are not part of the output.  Stop refining.
+            var_labels = next_var
+            break
+        new_row = [
+            (
+                row_labels[r],
+                tuple(sorted((a, next_var[v]) for v, a in coeffs.items())),
+            )
+            for r, (_, _, coeffs) in enumerate(rows)
+        ]
+        next_row = _compress(new_row)
+        if next_var == var_labels and next_row == row_labels:
+            break
+        var_labels, row_labels = next_var, next_row
+
+    # Final variable order: refinement label, then name as the last-resort
+    # tiebreak (only reached between automorphic variables).
+    variables.sort(key=lambda v: (var_labels[v], v))
+    index = {v: i for i, v in enumerate(variables)}
+    out_rows = sorted(
+        (
+            is_eq,
+            const,
+            tuple(sorted((index[v], a) for v, a in coeffs.items())),
+        )
+        for is_eq, const, coeffs in rows
+    )
+    return (len(variables), tuple(out_rows))
+
+
+def key_fingerprint(key: tuple) -> str:
+    """SHA-256 hex digest of a canonical key (stable across processes)."""
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+def canonical_fingerprint(system: System) -> str:
+    """Stable content hash of a system's canonical form."""
+    return key_fingerprint(canonical_key(system))

@@ -27,7 +27,7 @@ class Constraint:
     * zero coefficients are dropped.
     """
 
-    __slots__ = ("coeffs", "const", "is_eq")
+    __slots__ = ("coeffs", "const", "is_eq", "_key_cache")
 
     def __init__(self, coeffs: Mapping[str, object], const: object, is_eq: bool = False) -> None:
         frac_coeffs = {v: Fraction(c) for v, c in coeffs.items() if Fraction(c) != 0}
@@ -49,6 +49,7 @@ class Constraint:
         self.coeffs: dict[str, int] = dict(sorted(int_coeffs.items()))
         self.const: Fraction = Fraction(int_const)
         self.is_eq: bool = is_eq
+        self._key_cache: tuple | None = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -125,7 +126,20 @@ class Constraint:
     # -- dunder ------------------------------------------------------------------
 
     def _key(self) -> tuple:
-        return (tuple(self.coeffs.items()), self.const, self.is_eq)
+        # The constant is keyed as an int pair: hashing Fractions costs a
+        # modular inverse per call, and _key is on every System dedup path.
+        # Constraints are immutable after construction, so the key is
+        # computed once and cached (conjoin chains reuse constraint
+        # objects, so the cache amortizes across derived systems).
+        key = self._key_cache
+        if key is None:
+            key = self._key_cache = (
+                tuple(self.coeffs.items()),
+                self.const.numerator,
+                self.const.denominator,
+                self.is_eq,
+            )
+        return key
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Constraint) and self._key() == other._key()

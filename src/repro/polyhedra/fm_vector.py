@@ -1,0 +1,330 @@
+"""Vectorized Fourier-Motzkin / Omega feasibility over NumPy integer matrices.
+
+The scalar solver in :mod:`repro.polyhedra.omega` builds a fresh
+``Constraint`` (dict + ``Fraction``) for every lower/upper bound pair of
+every elimination — the dominant cost of a legality census.  This module
+runs the identical algorithm on an ``int64`` matrix: one row per
+inequality (variable coefficients followed by the constant), so one
+elimination is a single broadcast multiply-add over all bound pairs,
+with GCD tightening, syntactic-dominance pruning and duplicate removal
+as vectorized passes between eliminations.
+
+The algorithm is Pugh's Omega test, unchanged: equalities are eliminated
+through the integer solution lattice, exact eliminations when every
+bound pair has a unit coefficient, dark/real shadows plus splintering
+otherwise.  Exactness is preserved; the scalar path remains available as
+a differential oracle (:func:`repro.polyhedra.omega.integer_feasible_scalar`)
+and is fuzzed against this one (``repro fuzz --check solver``).
+
+Coefficients stay small in practice (block spacings, subscript offsets);
+:class:`Fallback` is raised before any int64 computation could overflow,
+and the caller reruns the query on the arbitrary-precision scalar path.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.engine.metrics import METRICS
+from repro.polyhedra.constraints import Constraint, System
+
+_OVERFLOW_GUARD = 1 << 62
+"""Products beyond this risk int64 wraparound; fall back to scalar."""
+
+
+class Fallback(Exception):
+    """Raised when int64 headroom is insufficient for an exact answer."""
+
+
+# -- System <-> matrix -------------------------------------------------------------
+
+
+def _split_system(system: System):
+    """``(variables, eq_matrix, ineq_matrix)`` with the constant as the
+    last column, or ``None`` when the system is trivially infeasible
+    (an equality whose normalized constant is fractional, or a constant
+    contradiction)."""
+    variables = sorted(system.variables())
+    index = {v: i for i, v in enumerate(variables)}
+    width = len(variables) + 1
+    eq_rows: list[list[int]] = []
+    ineq_rows: list[list[int]] = []
+    for c in system.constraints:
+        if c.is_trivially_false():
+            return None
+        if c.is_eq and c.const.denominator != 1:
+            return None  # e.g. 2x+1 == 0 normalized to x + 1/2 == 0
+        row = [0] * width
+        for v, a in c.coeffs.items():
+            row[index[v]] = a
+        row[-1] = int(c.const)
+        (eq_rows if c.is_eq else ineq_rows).append(row)
+    eq = np.array(eq_rows, dtype=np.int64).reshape(len(eq_rows), width)
+    ineq = np.array(ineq_rows, dtype=np.int64).reshape(len(ineq_rows), width)
+    return variables, eq, ineq
+
+
+def _matrix_to_system(matrix: np.ndarray, variables: list[str]) -> System:
+    """Inequality rows back to a :class:`System` (splinter recursion)."""
+    out = []
+    for row in matrix:
+        coeffs = {v: int(a) for v, a in zip(variables, row[:-1]) if a}
+        out.append(Constraint.ge(coeffs, int(row[-1])))
+    return System(out)
+
+
+# -- equality elimination (integer lattice) ----------------------------------------
+
+
+def _eliminate_equalities(eq: np.ndarray, ineq: np.ndarray, variables: list[str]):
+    """Substitute the equality lattice into the inequalities.
+
+    Returns ``(ineq_matrix, variables)`` over the lattice's free
+    variables, or ``None`` when the equality subsystem has no integer
+    solution.  The Hermite-style column reduction runs on Python ints
+    (multipliers can exceed int64); the substitution of ``x = x0 + F t``
+    into the inequalities is a single integer matrix product.
+    """
+    n = len(variables)
+    k = len(eq)
+    matrix = [[int(a) for a in row[:-1]] for row in eq]
+    rhs = [-int(row[-1]) for row in eq]
+    unimodular = [[int(i == j) for j in range(n)] for i in range(n)]
+
+    def swap_cols(a: int, b: int) -> None:
+        for row in itertools.chain(matrix, unimodular):
+            row[a], row[b] = row[b], row[a]
+
+    def negate_col(a: int) -> None:
+        for row in itertools.chain(matrix, unimodular):
+            row[a] = -row[a]
+
+    def add_col(dst: int, src: int, factor: int) -> None:
+        for row in itertools.chain(matrix, unimodular):
+            row[dst] += factor * row[src]
+
+    pivot = 0
+    y_values: list[int | None] = [None] * n
+    for r in range(k):
+        while True:
+            nonzero = [j for j in range(pivot, n) if matrix[r][j] != 0]
+            if not nonzero:
+                break
+            best = min(nonzero, key=lambda j: abs(matrix[r][j]))
+            if best != pivot:
+                swap_cols(best, pivot)
+            if matrix[r][pivot] < 0:
+                negate_col(pivot)
+            reduced_all = True
+            for j in range(pivot + 1, n):
+                if matrix[r][j] != 0:
+                    add_col(j, pivot, -(matrix[r][j] // matrix[r][pivot]))
+                    if matrix[r][j] != 0:
+                        reduced_all = False
+            if reduced_all:
+                break
+        residual = rhs[r] - sum(
+            matrix[r][j] * y_values[j] for j in range(pivot) if y_values[j] is not None
+        )
+        if all(matrix[r][j] == 0 for j in range(pivot, n)):
+            if residual != 0:
+                return None
+            continue
+        if residual % matrix[r][pivot] != 0:
+            return None
+        y_values[pivot] = residual // matrix[r][pivot]
+        pivot += 1
+
+    # x = x0 + F t: particular solution plus the free lattice columns.
+    x0 = [
+        sum(unimodular[i][j] * y_values[j] for j in range(pivot)) for i in range(n)
+    ]
+    free = [[unimodular[i][j] for j in range(pivot, n)] for i in range(n)]
+    bound = max((abs(v) for row in unimodular for v in row), default=0)
+    bound = max(bound, max((abs(v) for v in x0), default=0))
+    coeff_bound = int(np.abs(ineq[:, :-1]).max()) if ineq.size else 0
+    if coeff_bound * bound * max(n, 1) >= _OVERFLOW_GUARD:
+        raise Fallback("equality substitution exceeds int64 headroom")
+
+    x0_vec = np.array(x0, dtype=np.int64)
+    free_mat = np.array(free, dtype=np.int64).reshape(n, n - pivot)
+    coeffs = ineq[:, :-1]
+    new_const = ineq[:, -1] + coeffs @ x0_vec
+    new_coeffs = coeffs @ free_mat
+    out = np.concatenate([new_coeffs, new_const[:, None]], axis=1)
+    fresh = [f"_t{j}" for j in range(n - pivot)]
+    return out, fresh
+
+
+# -- inequality elimination --------------------------------------------------------
+
+
+def _prune(matrix: np.ndarray, stats: dict):
+    """Drop trivially-true rows, duplicates, and dominated rows.
+
+    Two rows with the same coefficient vector express ``c.x >= -k``; the
+    smaller constant is the stronger bound, so only it is kept (the
+    syntactic-dominance prune).  Returns ``None`` on a constant
+    contradiction.
+    """
+    if not len(matrix):
+        return matrix
+    zero_coeffs = ~matrix[:, :-1].any(axis=1)
+    if zero_coeffs.any():
+        if (matrix[zero_coeffs, -1] < 0).any():
+            return None
+        matrix = matrix[~zero_coeffs]
+    if len(matrix) > 1:
+        # Dedup by coefficient vector, keeping the tightest constant.  A
+        # bytes-keyed dict beats np.unique(axis=0) by a wide margin at the
+        # few-dozen-row sizes legality systems have.
+        coeffs = np.ascontiguousarray(matrix[:, :-1])
+        blob = coeffs.tobytes()
+        width = coeffs.shape[1] * coeffs.itemsize
+        consts = matrix[:, -1].tolist()
+        strongest: dict[bytes, int] = {}
+        for i in range(len(matrix)):
+            key = blob[i * width : (i + 1) * width]
+            j = strongest.get(key)
+            if j is None or consts[i] < consts[j]:
+                strongest[key] = i
+        if len(strongest) < len(matrix):
+            stats["pruned"] += len(matrix) - len(strongest)
+            matrix = matrix[sorted(strongest.values())]
+    return matrix
+
+
+_INT64_MAX = np.iinfo(np.int64).max
+
+
+def _combine(
+    matrix: np.ndarray,
+    lower_mask: np.ndarray,
+    upper_mask: np.ndarray,
+    col: int,
+    dark: bool,
+    drop_last: bool = False,
+):
+    """One FM elimination of column ``col`` over all bound pairs.
+
+    ``lower_mask``/``upper_mask`` are the sign masks of the column (the
+    caller already computed them while choosing the column).  Returns the
+    new matrix (rest rows plus all pairwise combinations, GCD-tightened).
+    ``drop_last`` unsoundly discards the last combined row — it exists
+    only for the fuzzer's planted ``solver-bad-prune`` mutation, proving
+    the scalar differential oracle catches exactly this class of bug.
+    """
+    lowers = matrix[lower_mask]
+    uppers = matrix[upper_mask]
+    rest = matrix[~(lower_mask | upper_mask)]
+    b = lowers[:, col]
+    a = -uppers[:, col]
+    peak = int(np.abs(matrix).max(initial=1))
+    if (int(a.max(initial=1)) + int(b.max(initial=1))) * peak >= _OVERFLOW_GUARD:
+        raise Fallback("FM combination exceeds int64 headroom")
+    combined = (
+        a[None, :, None] * lowers[:, None, :] + b[:, None, None] * uppers[None, :, :]
+    ).reshape(-1, matrix.shape[1])
+    if dark:
+        combined[:, -1] -= ((b[:, None] - 1) * (a[None, :] - 1)).reshape(-1)
+    if drop_last and len(combined):
+        combined = combined[:-1]
+    if len(combined):
+        gcds = np.gcd.reduce(np.abs(combined[:, :-1]), axis=1)
+        tighten = gcds > 1
+        if tighten.any():
+            combined[tighten, :-1] //= gcds[tighten, None]
+            combined[tighten, -1] = np.floor_divide(
+                combined[tighten, -1], gcds[tighten]
+            )
+    return np.concatenate([rest, combined], axis=0)
+
+
+def _ineq_feasible_matrix(
+    matrix: np.ndarray, variables: list[str], recurse, drop_last: bool, stats: dict
+) -> bool:
+    """Exact integer feasibility of an inequality-only matrix."""
+    while True:
+        matrix = _prune(matrix, stats)
+        if matrix is None:
+            return False
+        # One fused pass computes the sign masks shared by the
+        # unbounded-variable drop, the column choice, and the combine.
+        while True:
+            if not len(matrix):
+                return True
+            coeffs = matrix[:, :-1]
+            pos = coeffs > 0
+            neg = coeffs < 0
+            n_lower = pos.sum(axis=0)
+            n_upper = neg.sum(axis=0)
+            one_sided = (n_lower > 0) ^ (n_upper > 0)
+            if not one_sided.any():
+                break
+            # Rows mentioning a variable bounded on one side only can
+            # always be satisfied; drop them and re-derive the masks.
+            matrix = matrix[~(coeffs[:, one_sided] != 0).any(axis=1)]
+        if not len(matrix):
+            return True
+        stats["eliminations"] += 1
+        eliminable = (n_lower > 0) & (n_upper > 0)
+        max_lower = np.where(pos, coeffs, 0).max(axis=0, initial=0)
+        max_upper = np.where(neg, -coeffs, 0).max(axis=0, initial=0)
+        exact_cols = eliminable & ((max_lower == 1) | (max_upper == 1))
+        pool = exact_cols if exact_cols.any() else eliminable
+        col = int(np.where(pool, n_lower * n_upper, _INT64_MAX).argmin())
+        lower_mask, upper_mask = pos[:, col], neg[:, col]
+        if exact_cols[col]:
+            matrix = _combine(matrix, lower_mask, upper_mask, col, dark=False, drop_last=drop_last)
+            continue
+
+        dark = _combine(matrix, lower_mask, upper_mask, col, dark=True, drop_last=drop_last)
+        if _ineq_feasible_matrix(dark, variables, recurse, drop_last, stats):
+            return True
+        real = _combine(matrix, lower_mask, upper_mask, col, dark=False, drop_last=drop_last)
+        if not _ineq_feasible_matrix(real, variables, recurse, drop_last, stats):
+            return False
+        # Gray region between the shadows: splinter on equality
+        # hyperplanes (Pugh), deciding each splinter with the full solver.
+        lowers = matrix[lower_mask]
+        a_max = int(-matrix[upper_mask, col].min())
+        current = _matrix_to_system(matrix, variables)
+        for lo in lowers:
+            b = int(lo[col])
+            limit = (a_max * b - a_max - b) // a_max
+            for i in range(limit + 1):
+                coeffs = {v: int(c) for v, c in zip(variables, lo[:-1]) if c}
+                hyperplane = Constraint(coeffs, int(lo[-1]) - i, is_eq=True)
+                if recurse(current.conjoin(hyperplane)):
+                    return True
+        return False
+
+
+def feasible_vector(system: System, recurse, drop_last: bool = False) -> bool:
+    """Exact integer feasibility of ``system`` on the vectorized core.
+
+    ``recurse`` decides the splintered subproblems (production passes the
+    memoized solver entry point so splinters share the canonical cache).
+    Raises :class:`Fallback` when int64 headroom is insufficient.
+    """
+    split = _split_system(system)
+    if split is None:
+        return False
+    variables, eq, ineq = split
+    # Counters are accumulated locally and flushed once: METRICS.inc takes a
+    # lock, and the elimination loop is the hottest code in the solver.
+    stats = {"eliminations": 0, "pruned": 0}
+    try:
+        if len(eq):
+            reduced = _eliminate_equalities(eq, ineq, variables)
+            if reduced is None:
+                return False
+            ineq, variables = reduced
+        return _ineq_feasible_matrix(ineq, variables, recurse, drop_last, stats)
+    finally:
+        if stats["eliminations"]:
+            METRICS.inc("fm.vector_eliminations", stats["eliminations"])
+        if stats["pruned"]:
+            METRICS.inc("solver.fm_rows_pruned", stats["pruned"])

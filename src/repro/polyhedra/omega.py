@@ -25,9 +25,6 @@ from repro.engine.metrics import METRICS
 from repro.polyhedra.constraints import Constraint, System
 from repro.polyhedra.fourier_motzkin import eliminate_variable
 
-_FEASIBILITY_CACHE: dict[tuple, bool] = {}
-_CACHE_LIMIT = 100_000
-
 
 class _Infeasible(Exception):
     """Raised internally when equality elimination proves infeasibility."""
@@ -168,8 +165,14 @@ def _drop_unbounded(system: System) -> System:
             return system
 
 
-def _ineq_feasible(system: System) -> bool:
-    """Exact integer feasibility for an inequality-only system."""
+def _ineq_feasible(system: System, recurse=None) -> bool:
+    """Exact integer feasibility for an inequality-only system.
+
+    ``recurse`` decides the splintered gray-region subproblems; the
+    default is the production (memoized) entry point, while the pure
+    scalar oracle passes itself so no memo or vector code is consulted.
+    """
+    decide = integer_feasible if recurse is None else recurse
     while True:
         if system.has_obvious_contradiction():
             return False
@@ -195,10 +198,10 @@ def _ineq_feasible(system: System) -> bool:
             continue
 
         dark = eliminate_variable(system, var, dark=True)
-        if _ineq_feasible(dark):
+        if _ineq_feasible(dark, recurse):
             return True
         real = eliminate_variable(system, var, dark=False)
-        if not _ineq_feasible(real):
+        if not _ineq_feasible(real, recurse):
             return False
         # Gray region: splinter on equality hyperplanes (Pugh).
         a_max = max(-hi.coeff(var) for hi in uppers)
@@ -208,27 +211,37 @@ def _ineq_feasible(system: System) -> bool:
             for i in range(limit + 1):
                 # b*var + e_l - i == 0, i.e. b*var == -e_l + i.
                 hyperplane = Constraint({**lo.coeffs}, lo.const - i, is_eq=True)
-                if integer_feasible(system.conjoin(hyperplane)):
+                if decide(system.conjoin(hyperplane)):
                     return True
         return False
 
 
-def integer_feasible(system: System) -> bool:
-    """True iff the system has an integer solution. Exact."""
-    METRICS.inc("omega.feasibility_calls")
-    key = tuple(sorted(c._key() for c in system.constraints))
-    cached = _FEASIBILITY_CACHE.get(key)
-    if cached is not None:
-        METRICS.inc("omega.memo_hits")
-        return cached
+def integer_feasible_scalar(system: System) -> bool:
+    """The pure scalar Omega test: no memo, no vector code, no cache.
+
+    This is the differential oracle the vectorized solver is checked
+    against (``repro fuzz --check solver`` and the property tests); it
+    must stay an independent computation path.
+    """
+    METRICS.inc("omega.scalar_calls")
     try:
         ineq_only = _solve_equalities(system)
-        result = _ineq_feasible(ineq_only)
     except _Infeasible:
-        result = False
-    if len(_FEASIBILITY_CACHE) < _CACHE_LIMIT:
-        _FEASIBILITY_CACHE[key] = result
-    return result
+        return False
+    return _ineq_feasible(ineq_only, recurse=integer_feasible_scalar)
+
+
+def integer_feasible(system: System) -> bool:
+    """True iff the system has an integer solution. Exact.
+
+    Delegates to the memoized solver front-end
+    (:func:`repro.polyhedra.solver.feasible`): canonical-form memo first,
+    then the configured engine (vectorized FM by default).
+    """
+    METRICS.inc("omega.feasibility_calls")
+    from repro.polyhedra import solver
+
+    return solver.feasible(system)
 
 
 def _rational_bounds(system: System, var: str) -> tuple[Fraction | None, Fraction | None]:

@@ -1,0 +1,165 @@
+"""The memoized integer-feasibility solver: canonical-form memo + engines.
+
+Every feasibility query in the pipeline (dependence analysis, Theorem-1
+legality, guard simplification) funnels through :func:`feasible`.  The
+query's system is canonicalized (:mod:`repro.polyhedra.canonical`) so
+structurally identical systems — the same dependence polyhedron built for
+a different candidate shackle, or the same factor at a different product
+position — are solved once per process, with an optional second tier in
+the engine's content-addressed :class:`~repro.engine.cache.ResultCache`
+that persists verdicts across processes and runs.
+
+Two engines decide fresh queries:
+
+* ``vector`` (default) — the NumPy matrix core in
+  :mod:`repro.polyhedra.fm_vector`; falls back per-query to scalar when
+  int64 headroom is insufficient.
+* ``scalar`` — the original Fraction/dict Omega test
+  (:func:`repro.polyhedra.omega.integer_feasible_scalar`), kept as the
+  differential oracle (``repro fuzz --check solver``).
+
+Select with ``REPRO_SOLVER=vector|scalar`` or :func:`set_engine`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro.engine.metrics import METRICS
+from repro.polyhedra.canonical import canonical_key, key_fingerprint
+from repro.polyhedra.constraints import System
+
+ENGINES = ("vector", "scalar")
+
+_CACHE_PREFIX = "solver-"
+"""Namespace for solver verdicts inside the shared engine ResultCache."""
+
+
+class SolverMemo:
+    """A bounded LRU map — the process-global canonical-verdict tier.
+
+    Unlike the unbounded dict it replaces, insertion past ``capacity``
+    evicts the least-recently-used entry, so week-long searches cannot
+    grow solver memory without bound.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("memo capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.evictions = 0
+
+    def get(self, key: str):
+        if key not in self._entries:
+            return None
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: str, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_MEMO = SolverMemo()
+_CACHE = None  # optional ResultCache-like second tier (get/put by string key)
+_ENGINE = os.environ.get("REPRO_SOLVER", "vector")
+
+
+def set_engine(name: str) -> str:
+    """Select the solving engine; returns the previous one."""
+    global _ENGINE
+    if name not in ENGINES:
+        raise ValueError(f"unknown solver engine {name!r} (known: {ENGINES})")
+    previous = _ENGINE
+    _ENGINE = name
+    return previous
+
+
+def get_engine() -> str:
+    return _ENGINE
+
+
+def set_solver_cache(cache) -> object:
+    """Attach a ResultCache-like second tier; returns the previous one.
+
+    The engine's job runner attaches its cache for the duration of a
+    batch (and worker processes attach one pointing at the same on-disk
+    store), so solver verdicts persist and are shared across processes.
+    """
+    global _CACHE
+    previous = _CACHE
+    _CACHE = cache
+    return previous
+
+
+def clear_memo() -> None:
+    """Drop the process-global memo (tests and benchmarks)."""
+    _MEMO.clear()
+
+
+def _solve(system: System) -> bool:
+    if _ENGINE == "vector":
+        from repro.polyhedra.fm_vector import Fallback, feasible_vector
+
+        try:
+            return feasible_vector(system, recurse=feasible)
+        except Fallback:
+            METRICS.inc("solver.vector_fallbacks")
+    from repro.polyhedra.omega import integer_feasible_scalar
+
+    return integer_feasible_scalar(system)
+
+
+def feasible(system: System) -> bool:
+    """True iff ``system`` has an integer solution.  Exact, memoized.
+
+    Lookup is three-tier: a cheap exact-key memo (identical constraint
+    sets, the common case within one search), the name-blind canonical
+    memo (same structure under renamed variables — e.g. a factor moved to
+    a different product position), then the cross-process engine cache.
+    """
+    METRICS.inc("solver.queries")
+    exact_key = tuple(sorted(c._key() for c in system.constraints))
+    verdict = _MEMO.get(exact_key)
+    if verdict is not None:
+        METRICS.inc("solver.exact_hits")
+        return verdict
+    # The canonical tier is keyed by the key tuple itself; the sha256
+    # fingerprint (a stable cross-process string) is only computed when an
+    # engine cache is attached.  Exact keys are tuples of per-constraint
+    # tuples and canonical keys start with an int arity, so the two key
+    # families cannot collide inside the shared memo.
+    key = canonical_key(system)
+    verdict = _MEMO.get(key)
+    if verdict is not None:
+        METRICS.inc("solver.canonical_hits")
+        _MEMO.put(exact_key, verdict)
+        return verdict
+    if _CACHE is not None:
+        fingerprint = key_fingerprint(key)
+        cached = _CACHE.get(_CACHE_PREFIX + fingerprint)
+        if cached is not None:
+            METRICS.inc("solver.cache_hits")
+            verdict = bool(cached)
+            _MEMO.put(key, verdict)
+            _MEMO.put(exact_key, verdict)
+            return verdict
+    METRICS.inc("solver.solves")
+    with METRICS.timer("solver.solve"):
+        verdict = _solve(system)
+    _MEMO.put(key, verdict)
+    _MEMO.put(exact_key, verdict)
+    if _CACHE is not None:
+        _CACHE.put(_CACHE_PREFIX + fingerprint, verdict)
+    return verdict

@@ -1,0 +1,157 @@
+"""The fast legality core must be invisible: memo, engine choice, verdict
+reuse, and dependence ordering may change speed, never answers.
+
+Every test here runs the paper's kernels (matmul, right-looking Cholesky,
+triangular solve — including the known-illegal descending-traversal
+shackle) through ``check_legality`` under different cache/engine states
+and asserts bit-identical verdicts, and that violation witnesses stay
+valid both cold and warm.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    DataBlocking,
+    DataShackle,
+    ShackleProduct,
+    check_legality,
+    shackle_refs,
+)
+from repro.core.legality import reset_failure_counts
+from repro.core.shackle import _parse_ref
+from repro.engine.metrics import METRICS
+from repro.polyhedra import solver
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    solver.clear_memo()
+    reset_failure_counts()
+    yield
+    solver.clear_memo()
+    reset_failure_counts()
+
+
+def _cholesky_candidates(program):
+    blocking = DataBlocking.grid("A", 2, 25)
+    return [
+        DataShackle(
+            program,
+            blocking,
+            {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref(s2), "S3": _parse_ref(s3)},
+        )
+        for s2, s3 in itertools.product(
+            ["A[I,J]", "A[J,J]"], ["A[L,K]", "A[L,J]", "A[K,J]"]
+        )
+    ]
+
+
+def _trisolve_candidates(program):
+    choice = {"S1": _parse_ref("x[I]"), "S2": _parse_ref("x[I]")}
+    return [
+        DataShackle(program, DataBlocking.grid("x", 1, 4), choice),
+        DataShackle(
+            program, DataBlocking.grid("x", 1, 4, directions=[-1]), choice
+        ),  # the paper's illegal descending traversal
+    ]
+
+
+def _paper_census(matmul_program, cholesky_program, trisolve_program):
+    candidates = [
+        shackle_refs(matmul_program, DataBlocking.grid(array, 2, 25), {"S1": ref})
+        for array, ref in [("C", "C[I,J]"), ("A", "A[I,K]"), ("B", "B[K,J]")]
+    ]
+    candidates += _cholesky_candidates(cholesky_program)
+    candidates += _trisolve_candidates(trisolve_program)
+    return candidates
+
+
+def _verdicts(candidates):
+    return [
+        check_legality(sh, first_violation_only=True).legal for sh in candidates
+    ]
+
+
+def test_memo_never_changes_verdicts_on_paper_kernels(
+    matmul_program, cholesky_program, trisolve_program
+):
+    candidates = _paper_census(matmul_program, cholesky_program, trisolve_program)
+    cold = _verdicts(candidates)
+    warm = _verdicts(candidates)  # every query now served by the memo
+    assert warm == cold
+    assert cold[:3] == [True, True, True]  # matmul: all single shackles legal
+    assert cold[-2:] == [True, False]  # trisolve: ascending legal, descending not
+
+
+def test_scalar_and_vector_engines_agree_on_paper_kernels(
+    matmul_program, cholesky_program, trisolve_program
+):
+    candidates = _paper_census(matmul_program, cholesky_program, trisolve_program)
+    vector = _verdicts(candidates)
+    previous = solver.set_engine("scalar")
+    try:
+        solver.clear_memo()
+        scalar = _verdicts(candidates)
+    finally:
+        solver.set_engine(previous)
+    assert scalar == vector
+
+
+def test_witness_stays_valid_cold_and_warm(cholesky_program, cholesky_dependences):
+    bad = DataShackle(
+        cholesky_program,
+        DataBlocking.grid("A", 2, 25),
+        {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref("A[J,J]"), "S3": _parse_ref("A[L,K]")},
+    )
+    for run in ("cold", "warm"):
+        result = check_legality(bad, cholesky_dependences, first_violation_only=True)
+        assert not result.legal, run
+        witness = result.violations[0].witness()
+        assert witness is not None, run
+        assert result.violations[0].system.evaluate(witness), run
+
+
+def test_verdict_cache_reuses_factor_verdicts_on_products(
+    cholesky_program, cholesky_dependences
+):
+    singles = _cholesky_candidates(cholesky_program)[:3]
+    products = [ShackleProduct(a, b) for a in singles for b in singles if a is not b]
+
+    def census(shared):
+        verdicts: dict = {}
+        return [
+            check_legality(
+                sh,
+                cholesky_dependences,
+                first_violation_only=True,
+                verdict_cache=verdicts if shared else None,
+            ).legal
+            for sh in singles + products
+        ]
+
+    without_cache = census(shared=False)
+    solver.clear_memo()
+    reuse_before = METRICS.get("legality.factor_reuse")
+    with_cache = census(shared=True)
+    assert with_cache == without_cache
+    assert METRICS.get("legality.factor_reuse") > reuse_before
+
+
+def test_failure_ordering_never_changes_verdicts(
+    cholesky_program, cholesky_dependences
+):
+    candidates = _cholesky_candidates(cholesky_program)
+    baseline = [
+        check_legality(sh, cholesky_dependences, first_violation_only=True).legal
+        for sh in candidates
+    ]
+    # Accumulated failure counts reorder the dependence list checked
+    # first; verdicts must not move.
+    for _ in range(3):
+        reordered = [
+            check_legality(sh, cholesky_dependences, first_violation_only=True).legal
+            for sh in candidates
+        ]
+        assert reordered == baseline

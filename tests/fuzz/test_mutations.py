@@ -24,7 +24,7 @@ BUDGET = 12  # enough for every mutation to trip at seed 0
 
 def test_registry_covers_every_oracle():
     targets = {m.target_oracle for m in MUTATIONS.values()}
-    assert targets == {"deps", "legality", "codegen", "semantics", "backend"}
+    assert targets == {"deps", "solver", "legality", "codegen", "semantics", "backend"}
     with pytest.raises(ValueError):
         get("no-such-mutation")
     assert get(None) is None
@@ -41,7 +41,14 @@ def test_planted_semantics_bug_is_caught_without_fuzzing():
 
 @pytest.mark.fuzz
 @pytest.mark.parametrize(
-    "name", ["deps-drop-last", "legality-accept-all", "codegen-drop-guard", "semantics-perturb-value"]
+    "name",
+    [
+        "deps-drop-last",
+        "solver-bad-prune",
+        "legality-accept-all",
+        "codegen-drop-guard",
+        "semantics-perturb-value",
+    ],
 )
 def test_each_oracle_catches_and_shrinks_its_planted_bug(name, tmp_path):
     mutation = MUTATIONS[name]

@@ -1,0 +1,120 @@
+"""Canonical-form properties: the memo key must be presentation-blind.
+
+The solver memoizes feasibility by canonical form, so the canonical key
+must be invariant under every transformation that cannot change a
+system's integer solutions-as-a-set up to variable renaming: constraint
+order, positive scaling, duplicated rows, equality sign, and variable
+names.  A key collision between genuinely different systems would make
+the memo *wrong*, so distinctness is tested too.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import Constraint, System, canonical_fingerprint, canonical_key
+from repro.polyhedra.canonical import key_fingerprint
+
+
+def _demo_system() -> System:
+    return System(
+        [
+            Constraint.ge({"i": 1}, -1),
+            Constraint.ge({"i": -1, "N": 1}, 0),
+            Constraint.ge({"j": 1, "i": -1}, -1),
+            Constraint.ge({"b": 25, "j": -1}, 24),
+            Constraint.eq({"j": 1, "k": -1}, 0),
+        ]
+    )
+
+
+def test_invariant_under_row_permutation():
+    system = _demo_system()
+    permuted = System(reversed(list(system.constraints)))
+    assert canonical_key(permuted) == canonical_key(system)
+
+
+def test_invariant_under_positive_row_scaling():
+    system = _demo_system()
+    scaled = System(
+        Constraint(
+            {v: 7 * a for v, a in c.coeffs.items()}, 7 * c.const, c.is_eq
+        )
+        for c in system.constraints
+    )
+    assert canonical_key(scaled) == canonical_key(system)
+    fractional = System(
+        Constraint(
+            {v: Fraction(a, 3) for v, a in c.coeffs.items()},
+            Fraction(c.const, 3),
+            c.is_eq,
+        )
+        for c in system.constraints
+    )
+    assert canonical_key(fractional) == canonical_key(system)
+
+
+def test_invariant_under_duplicated_constraints():
+    system = _demo_system()
+    doubled = System(list(system.constraints) * 2)
+    assert canonical_key(doubled) == canonical_key(system)
+
+
+def test_invariant_under_equality_sign():
+    a = System([Constraint.eq({"x": 1, "y": -1}, 3)])
+    b = System([Constraint.eq({"x": -1, "y": 1}, -3)])
+    assert canonical_key(a) == canonical_key(b)
+
+
+def test_invariant_under_variable_renaming():
+    system = _demo_system()
+    renamed = system.rename(
+        {"i": "_ws1_0", "j": "_wt1_0", "k": "_q", "b": "_blk", "N": "_param"}
+    )
+    assert canonical_key(renamed) == canonical_key(system)
+    assert canonical_fingerprint(renamed) == canonical_fingerprint(system)
+
+
+def test_distinct_systems_get_distinct_keys():
+    base = _demo_system()
+    tighter = base.conjoin(Constraint.ge({"i": -1}, 100))
+    shifted = System(
+        [Constraint.ge({"i": 1}, -2)]
+        + [c for c in base.constraints if c.coeffs != {"i": 1}]
+    )
+    keys = {canonical_key(base), canonical_key(tighter), canonical_key(shifted)}
+    assert len(keys) == 3
+
+
+def test_empty_system_key():
+    assert canonical_key(System()) == (0, ())
+
+
+def test_fingerprint_is_deterministic():
+    key = canonical_key(_demo_system())
+    assert key_fingerprint(key) == key_fingerprint(key)
+    assert key_fingerprint(key) != key_fingerprint(canonical_key(System()))
+
+
+@st.composite
+def small_systems(draw):
+    variables = ["x", "y", "z"]
+    n = draw(st.integers(min_value=1, max_value=5))
+    constraints = []
+    for _ in range(n):
+        coeffs = {
+            v: draw(st.integers(min_value=-4, max_value=4)) for v in variables
+        }
+        const = draw(st.integers(min_value=-6, max_value=6))
+        is_eq = draw(st.booleans())
+        constraints.append(Constraint(coeffs, const, is_eq=is_eq))
+    return System(constraints)
+
+
+@settings(deadline=None, max_examples=60)
+@given(small_systems(), st.permutations(["x", "y", "z"]))
+def test_random_systems_rename_and_permute(system, names):
+    mapping = dict(zip(["x", "y", "z"], names))
+    transformed = System(reversed(list(system.rename(mapping).constraints)))
+    assert canonical_key(transformed) == canonical_key(system)

@@ -1,0 +1,188 @@
+"""The memoized solver: engines agree, memo is bounded, tiers compose.
+
+The vectorized engine is differentially tested against the scalar Omega
+oracle on random bounded systems (the same class of systems the fuzz
+``solver`` check draws from real shackles), the process-global memo is
+held to its LRU bound, and the optional engine-cache tier is verified to
+serve verdicts across a memo clear — exactly the cross-process scenario
+worker pools rely on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import METRICS
+from repro.polyhedra import Constraint, System, integer_feasible_scalar
+from repro.polyhedra import solver
+from repro.polyhedra.fm_vector import Fallback, feasible_vector
+from repro.polyhedra.solver import SolverMemo
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    solver.clear_memo()
+    yield
+    solver.clear_memo()
+    solver.set_solver_cache(None)
+
+
+@st.composite
+def bounded_systems(draw):
+    variables = ["x", "y", "z"]
+    constraints = []
+    for v in variables:
+        lo = draw(st.integers(min_value=-4, max_value=4))
+        constraints.append(Constraint.ge({v: 1}, -lo))
+        constraints.append(Constraint.ge({v: -1}, lo + draw(st.integers(0, 6))))
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        coeffs = {
+            v: draw(st.integers(min_value=-5, max_value=5)) for v in variables
+        }
+        constraints.append(
+            Constraint(
+                coeffs,
+                draw(st.integers(min_value=-8, max_value=8)),
+                is_eq=draw(st.booleans()),
+            )
+        )
+    return System(constraints)
+
+
+@settings(deadline=None, max_examples=80)
+@given(bounded_systems())
+def test_vector_engine_agrees_with_scalar_oracle(system):
+    got = feasible_vector(system, recurse=solver.feasible)
+    want = integer_feasible_scalar(system)
+    assert got == want
+
+
+@settings(deadline=None, max_examples=40)
+@given(bounded_systems())
+def test_memoized_entrypoint_agrees_and_is_stable(system):
+    first = solver.feasible(system)
+    assert first == integer_feasible_scalar(system)
+    assert solver.feasible(system) == first  # memo hit, same verdict
+
+
+def test_engine_selection_round_trips():
+    previous = solver.set_engine("scalar")
+    try:
+        assert solver.get_engine() == "scalar"
+        assert solver.feasible(System([Constraint.ge({"x": 1}, -3)]))
+    finally:
+        solver.set_engine(previous)
+    with pytest.raises(ValueError):
+        solver.set_engine("quantum")
+
+
+def test_vector_overflow_falls_back_to_scalar():
+    # a*x == b*y with coprime ~2^31 coefficients forces Bezout
+    # multipliers beyond int64 headroom during equality elimination; the
+    # vectorized engine must refuse and the solver answer via the scalar
+    # path (both verdicts stay exact).
+    a, b = (1 << 31) + 1, (1 << 31) - 1
+    base = [
+        Constraint.eq({"x": a, "y": -b}, 0),  # x = b*t, y = a*t
+        Constraint.ge({"x": b, "y": 1}, 0),
+    ]
+    feasible = System(base)
+    infeasible = System(
+        base + [Constraint.ge({"x": -1}, -1), Constraint.ge({"y": 1}, -1)]
+    )
+    with pytest.raises(Fallback):
+        feasible_vector(feasible, recurse=solver.feasible)
+    before = METRICS.get("solver.vector_fallbacks")
+    previous = solver.set_engine("vector")
+    try:
+        assert solver.feasible(feasible) is True
+        assert solver.feasible(infeasible) is False
+    finally:
+        solver.set_engine(previous)
+    assert METRICS.get("solver.vector_fallbacks") == before + 2
+
+
+def test_memo_is_lru_bounded():
+    memo = SolverMemo(capacity=4)
+    for i in range(10):
+        memo.put(("key", i), i % 2 == 0)
+    assert len(memo) == 4
+    assert memo.evictions == 6
+    assert memo.get(("key", 9)) is not None
+    assert memo.get(("key", 0)) is None  # evicted long ago
+    # A get refreshes recency: key 6 survives the next insertion, 7 dies.
+    memo.get(("key", 6))
+    memo.put(("key", 10), True)
+    assert memo.get(("key", 6)) is not None
+    assert memo.get(("key", 7)) is None
+    with pytest.raises(ValueError):
+        SolverMemo(capacity=0)
+
+
+def test_result_cache_memory_tier_bounded_by_solver_entries():
+    # Regression: fine-grained solver verdicts must not grow the engine
+    # cache's memory tier past its capacity.
+    cache = ResultCache(capacity=8)
+    for i in range(100):
+        cache.put(f"solver-{i:03d}", bool(i % 2))
+    assert len(cache) == 8
+    assert cache.evictions == 92
+    assert cache.get("solver-099") is True
+    assert cache.get("solver-000") is None
+
+
+def test_cache_tier_serves_verdicts_across_memo_clear():
+    cache = ResultCache(capacity=64)
+    solver.set_solver_cache(cache)
+    system = System(
+        [Constraint.ge({"x": 1, "y": 2}, -7), Constraint.ge({"x": -3, "y": 1}, 0)]
+    )
+    verdict = solver.feasible(system)
+    stored = [k for k in cache._memory if k.startswith(solver._CACHE_PREFIX)]
+    assert len(stored) == 1
+
+    solver.clear_memo()  # simulate a different process sharing the cache
+    solves_before = METRICS.get("solver.solves")
+    hits_before = METRICS.get("solver.cache_hits")
+    assert solver.feasible(system) == verdict
+    assert METRICS.get("solver.solves") == solves_before  # no fresh solve
+    assert METRICS.get("solver.cache_hits") == hits_before + 1
+
+
+def test_renamed_system_hits_canonical_tier():
+    system = System(
+        [
+            Constraint.ge({"i": 1}, -1),
+            Constraint.ge({"i": -1, "N": 1}, 0),
+            Constraint.ge({"j": 2, "i": -3}, 5),
+        ]
+    )
+    verdict = solver.feasible(system)
+    hits_before = METRICS.get("solver.canonical_hits")
+    renamed = system.rename({"i": "_a", "j": "_b", "N": "_n"})
+    assert solver.feasible(renamed) == verdict
+    assert METRICS.get("solver.canonical_hits") == hits_before + 1
+
+
+def test_bad_prune_hook_is_detectably_unsound():
+    # The drop_last hook exists so the fuzzer can plant a bad prune; it
+    # must actually change answers (else the planted mutation tests prove
+    # nothing).  On this infeasible system the dropped combined row is
+    # the one carrying the contradiction, so the hooked engine wrongly
+    # answers feasible.
+    system = System(
+        [
+            Constraint.ge({"x": 1}, -2),
+            Constraint.ge({"x": -1, "y": 1}, 1),
+            Constraint.ge({"y": 1}, -1),
+            Constraint.ge({"y": -1}, 3),
+            Constraint.ge({"x": -2, "y": 1}, -4),
+            Constraint.ge({"x": -1, "y": -2}, 6),
+        ]
+    )
+    assert integer_feasible_scalar(system) is False
+    assert (
+        feasible_vector(system, recurse=integer_feasible_scalar, drop_last=True)
+        is True
+    )
