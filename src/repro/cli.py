@@ -26,6 +26,14 @@ trace replay vs the per-access oracle; identical numbers) and
 shackles itself and checks the pipeline against brute-force oracles
 (see :mod:`repro.fuzz` and docs/FUZZ.md); exit status 1 means a real
 disagreement, with a minimized repro saved under ``--corpus``.
+
+``--chaos SPEC`` (or ``REPRO_CHAOS=SPEC``) activates deterministic
+fault injection (docs/ROBUSTNESS.md): for ``search``/``simulate`` the
+whole run executes under injected worker kills, delays, cache
+corruption and forced solver budgets — and must still produce correct
+results; for ``fuzz`` the spec drives the ``chaos`` differential check,
+which asserts results under faults are bit-identical to a fault-free
+run.
 """
 
 from __future__ import annotations
@@ -140,6 +148,13 @@ def _add_engine_args(sub):
     sub.add_argument(
         "--metrics", action="store_true", help="print the engine metrics report"
     )
+    sub.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults, e.g. kill=0.1,delay=0.2:0.05,"
+        "corrupt=0.3,budget=0.1,seed=7 (fuzz: run the chaos differential)",
+    )
     _add_solver_arg(sub)
 
 
@@ -226,7 +241,7 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_cmd.add_argument(
         "--check",
         action="append",
-        choices=("deps", "solver", "legality", "codegen", "semantics", "backend"),
+        choices=("deps", "solver", "legality", "codegen", "semantics", "backend", "chaos"),
         help="oracle to run (repeatable; default: all)",
     )
     fuzz_cmd.add_argument(
@@ -247,6 +262,18 @@ def main(argv: list[str] | None = None) -> int:
 
         _solver.set_engine(args.solver)
 
+    if getattr(args, "chaos", None) and args.command != "fuzz":
+        # Whole-run fault injection: configure this process and export the
+        # spec so worker processes configure themselves identically.  For
+        # ``fuzz`` the spec instead drives the chaos differential below.
+        import os as _os
+
+        from repro.engine import chaos as _chaos_mod
+
+        spec = _chaos_mod.parse_spec(args.chaos)
+        _chaos_mod.configure(spec)
+        _os.environ[_chaos_mod.ENV_VAR] = spec.describe()
+
     if args.command == "fuzz":
         from repro.fuzz import run_fuzz
 
@@ -258,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             cache=_engine_cache(args),
             shrink=not args.no_shrink,
+            chaos_spec=args.chaos,
         )
         print(report.describe())
         if args.metrics:

@@ -43,8 +43,26 @@ from typing import MutableMapping
 from repro.core.product import block_var_names
 from repro.dependence.analysis import Dependence, compute_dependences
 from repro.engine.metrics import METRICS
+from repro.polyhedra.budget import SolverBudget
 from repro.polyhedra.constraints import Constraint, System
 from repro.polyhedra.omega import integer_feasible, integer_sample
+
+
+def _feasible_conservative(system: System) -> bool:
+    """:func:`integer_feasible`, degrading gracefully under solver budgets.
+
+    A :class:`SolverBudget` trip means the verdict is *unknown*; legality
+    must never accept a candidate on an unknown, so every budgeted query
+    maps "unknown" to "a violation (or tie) may exist" — feasible.  The
+    candidate is then conservatively rejected, counted under
+    ``legality.budget_exceeded``, and the census keeps moving instead of
+    hanging on one exponential splintering.
+    """
+    try:
+        return integer_feasible(system)
+    except SolverBudget:
+        METRICS.inc("legality.budget_exceeded")
+        return True
 
 
 @dataclass
@@ -209,10 +227,10 @@ def _factor_alone_verdicts(factor, dep: Dependence, verdicts: MutableMapping):
     )
     viol_j = None
     for j in range(dims):
-        if integer_feasible(base.conjoin(_lex_decrease(src_names, tgt_names, j))):
+        if _feasible_conservative(base.conjoin(_lex_decrease(src_names, tgt_names, j))):
             viol_j = j
             break
-    tie = integer_feasible(
+    tie = _feasible_conservative(
         base.conjoin(
             System(
                 Constraint.eq({t: 1, s: -1}, 0)
@@ -264,7 +282,7 @@ def _first_dep_violation(
             restricted = base.conjoin(System(ties)) if ties else base
             for j in range(viol_j, dims):
                 candidate = restricted.conjoin(_lex_decrease(sn, tn, j))
-                if integer_feasible(candidate):
+                if _feasible_conservative(candidate):
                     return Violation(dep, offset + j, candidate)
         if not tie:
             # Every dependent pair is strictly ordered by this factor:

@@ -11,6 +11,13 @@ Four pieces (see docs/ENGINE.md for the architecture):
 * :mod:`repro.engine.metrics` — process-global counters and timers
   instrumenting the polyhedral core and the cache simulator.
 
+Plus the fault-tolerance layer (see docs/ROBUSTNESS.md):
+
+* :mod:`repro.engine.supervise` — per-job retries, timeouts, deadlines,
+  dead-worker pool rebuilds, structured :class:`JobFailure` results;
+* :mod:`repro.engine.chaos` — deterministic, seeded fault injection
+  (``REPRO_CHAOS`` / ``--chaos``).
+
 Only the dependency-free modules (metrics, cache) are imported eagerly:
 ``repro.polyhedra`` and ``repro.memsim`` import them from *below* the
 rest of the package, so ``jobs`` and ``pool`` (which depend on
@@ -34,6 +41,11 @@ _LAZY = {
     "WorkerPool": "pool",
     "run_jobs": "pool",
     "default_jobs": "pool",
+    "RetryPolicy": "supervise",
+    "JobFailure": "supervise",
+    "supervised_map": "supervise",
+    "ChaosSpec": "chaos",
+    "parse_chaos_spec": "chaos",
 }
 
 __all__ = [

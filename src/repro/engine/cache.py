@@ -1,4 +1,4 @@
-"""Two-tier content-addressed result cache.
+"""Two-tier content-addressed result cache with integrity stamps.
 
 Results are keyed by job fingerprints (see :mod:`repro.engine.jobs`): a
 bounded in-memory LRU tier sits in front of an optional on-disk store,
@@ -9,26 +9,74 @@ Disk layout (human-inspectable, one JSON file per result):
 
     <root>/<fp[:2]>/<fp>.json
 
-Values must be JSON-serializable.  Writes to disk are atomic
-(write-temp-then-rename), so a crashed or concurrent writer never leaves
-a torn entry; readers treat undecodable files as misses.
+Each file is an *envelope* — ``{"schema": N, "check": sha256-prefix,
+"value": ...}`` — stamped with the cache schema version and a checksum
+of the canonical value JSON.  A file that fails to decode, carries the
+wrong schema, or fails its checksum is **quarantined**: moved to
+``<root>/quarantine/`` (counted under ``engine.cache.quarantined``) so
+it is inspectable after the fact and, crucially, never re-read and
+re-failed on every subsequent ``get``.  Values must be
+JSON-serializable.  Writes to disk are atomic (write-temp-then-rename),
+so a crashed or concurrent writer never leaves a torn entry behind the
+reader's back; ``clear(disk=True)`` sweeps up the orphaned
+``*.tmp.<pid>`` files such a crash leaves.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import OrderedDict
 from pathlib import Path
 
+from repro.engine import chaos as _chaos
 from repro.engine.metrics import METRICS
 
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+CACHE_SCHEMA_VERSION = 1
+"""Bump when the envelope format changes; mismatched entries quarantine."""
+
+QUARANTINE_DIR = "quarantine"
+"""Subdirectory (under the store root) where corrupt entries are moved."""
+
+_CHECK_BYTES = 16
+"""Hex chars of the sha256 payload checksum stored in the envelope."""
 
 
 def default_cache_root() -> Path:
     """The conventional on-disk store location (under the CWD)."""
     return Path(DEFAULT_CACHE_DIR)
+
+
+def payload_checksum(text: str) -> str:
+    """The envelope checksum of a canonical value-JSON string."""
+    return hashlib.sha256(text.encode()).hexdigest()[:_CHECK_BYTES]
+
+
+def quarantine_file(
+    path: Path, root: Path, metrics=METRICS, counter: str = "engine.cache.quarantined"
+) -> Path | None:
+    """Move a corrupt store file into ``<root>/quarantine/``.
+
+    Returns the quarantined path (suffixed on collision), or None when
+    the move itself failed (e.g. the file vanished under us) — in which
+    case nothing is counted.
+    """
+    qdir = root / QUARANTINE_DIR
+    target = qdir / path.name
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        n = 0
+        while target.exists():
+            n += 1
+            target = qdir / f"{path.name}.{n}"
+        os.replace(path, target)
+    except OSError:
+        return None
+    metrics.inc(counter)
+    return target
 
 
 class ResultCache:
@@ -51,6 +99,7 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.puts = 0
+        self.quarantined = 0
 
     # -- key layout --------------------------------------------------------------
 
@@ -68,10 +117,45 @@ class ResultCache:
             self.evictions += 1
             self.metrics.inc("engine.cache.evictions")
 
+    def _quarantine(self, path: Path) -> None:
+        self.quarantined += 1
+        quarantine_file(path, self.root, metrics=self.metrics)
+
+    def _read_disk(self, fingerprint: str, path: Path):
+        """Decode + verify one disk entry; quarantines damaged files.
+
+        Returns ``(value,)`` on an intact entry, None on a miss — so an
+        intact entry holding a ``None``/falsy value still counts as a hit.
+        """
+        try:
+            text = path.read_text()
+        except OSError:
+            return None  # genuinely absent: the common cold-cache miss
+        try:
+            envelope = json.loads(text)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("schema") != CACHE_SCHEMA_VERSION
+                or "value" not in envelope
+            ):
+                raise ValueError("bad envelope")
+            value = envelope["value"]
+            canonical = json.dumps(value, sort_keys=True, separators=(",", ":"))
+            if envelope.get("check") != payload_checksum(canonical):
+                raise ValueError("checksum mismatch")
+        except (ValueError, TypeError):
+            # Torn write, bit rot, injected corruption, or a pre-envelope
+            # legacy entry: quarantine it so it never fails twice.
+            self._quarantine(path)
+            return None
+        return (value,)
+
     def get(self, fingerprint: str):
         """The cached value for ``fingerprint``, or None on miss.
 
-        Disk hits are promoted into the memory tier.
+        Disk hits are promoted into the memory tier; disk entries that
+        fail decoding or integrity checks are quarantined and count as
+        misses (once — the file is gone afterwards).
         """
         if fingerprint in self._memory:
             self._memory.move_to_end(fingerprint)
@@ -79,12 +163,9 @@ class ResultCache:
             self.metrics.inc("engine.cache.hits")
             return self._memory[fingerprint]
         if self.root is not None:
-            path = self._path(fingerprint)
-            try:
-                value = json.loads(path.read_text())
-            except (OSError, ValueError):
-                pass
-            else:
+            loaded = self._read_disk(fingerprint, self._path(fingerprint))
+            if loaded is not None:
+                (value,) = loaded
                 self.disk_hits += 1
                 self.metrics.inc("engine.cache.hits")
                 self._remember(fingerprint, value)
@@ -99,26 +180,41 @@ class ResultCache:
         With a disk tier configured the write goes through to disk, so a
         later memory eviction loses nothing.
         """
-        text = json.dumps(value)  # validate serializability up front
+        canonical = json.dumps(
+            value, sort_keys=True, separators=(",", ":")
+        )  # validates serializability up front
         self.puts += 1
         self._remember(fingerprint, value)
         if self.root is not None:
+            envelope = {
+                "schema": CACHE_SCHEMA_VERSION,
+                "check": payload_checksum(canonical),
+                "value": value,
+            }
             path = self._path(fingerprint)
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(text)
+            tmp.write_text(json.dumps(envelope))
             os.replace(tmp, path)
+            _chaos.maybe_corrupt_file(path, fingerprint)
 
     # -- maintenance / reporting -------------------------------------------------
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory tier (and the disk store too when ``disk``)."""
+        """Drop the memory tier (and the disk store too when ``disk``).
+
+        The disk sweep also removes orphaned ``*.tmp.<pid>`` files left
+        behind by writers that crashed between write and rename.
+        Quarantined files are kept — they are the fault evidence.
+        """
         self._memory.clear()
         if disk and self.root is not None and self.root.exists():
             for bucket in self.root.iterdir():
-                if bucket.is_dir():
+                if bucket.is_dir() and bucket.name != QUARANTINE_DIR:
                     for entry in bucket.glob("*.json"):
                         entry.unlink()
+                    for orphan in bucket.glob("*.tmp.*"):
+                        orphan.unlink()
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -140,5 +236,6 @@ class ResultCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "puts": self.puts,
+            "quarantined": self.quarantined,
             "hit_rate": round(self.hit_rate, 4),
         }

@@ -1,0 +1,215 @@
+"""Deterministic, seeded fault injection for the execution engine.
+
+A fault-tolerant substrate is only trustworthy if its fault paths are
+exercised; this module injects the faults on demand, *deterministically*:
+every injection decision is a pure function of ``(chaos seed, fault
+name, job key, attempt number)`` through SHA-256, so a chaos run is
+exactly reproducible, across processes and machines, from its spec
+string alone.
+
+Faults (all rates are probabilities in ``[0, 1]``):
+
+* ``kill``    — the worker process exits hard (``os._exit(1)``) before
+  running the job, breaking the whole pool mid-batch; serial runs raise
+  :class:`WorkerKilled` instead so the parent process survives.
+* ``delay``   — an injected ``sleep`` before the job runs (the optional
+  second parameter is the delay in seconds, default ``0.05``), long
+  enough to trip tight per-job timeouts.
+* ``budget``  — the job raises a forced
+  :class:`~repro.polyhedra.budget.SolverBudget` before doing any work,
+  simulating a feasibility query that exhausted its budget.
+* ``corrupt`` — the result cache scrambles the on-disk entry it just
+  wrote, so a later read must detect and quarantine it.
+
+``kill``/``delay``/``budget`` fire on a job's *first* attempt only, so
+bounded retries always converge and results under chaos are bit-identical
+to a fault-free run — the property the fuzzer's ``chaos`` check and the
+CI chaos smoke step assert.  ``corrupt`` targets cache files, which are
+healed by quarantine-and-recompute, preserving the same property.
+
+Activation: the ``REPRO_CHAOS`` environment variable (inherited by
+worker processes) or the ``--chaos`` CLI flag, both taking a spec like::
+
+    kill=0.1,delay=0.2:0.05,corrupt=0.3,budget=0.1,seed=7
+
+Production code never injects anything unless a spec is active.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, replace
+
+from repro.engine.metrics import METRICS
+
+ENV_VAR = "REPRO_CHAOS"
+
+FAULTS = ("kill", "delay", "corrupt", "budget")
+
+DEFAULT_DELAY_SECONDS = 0.05
+
+
+class WorkerKilled(Exception):
+    """Stands in for ``os._exit`` when the job runs in the parent process."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parsed fault rates plus the decision seed."""
+
+    seed: int = 0
+    kill: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = DEFAULT_DELAY_SECONDS
+    corrupt: float = 0.0
+    budget: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return any(getattr(self, fault) > 0 for fault in FAULTS)
+
+    def describe(self) -> str:
+        """The spec back as its grammar text (round-trips through parse)."""
+        parts = [f"seed={self.seed}"]
+        for fault in FAULTS:
+            rate = getattr(self, fault)
+            if rate > 0:
+                token = f"{fault}={rate:g}"
+                if fault == "delay" and self.delay_seconds != DEFAULT_DELAY_SECONDS:
+                    token += f":{self.delay_seconds:g}"
+                parts.append(token)
+        return ",".join(parts)
+
+
+def parse_spec(text: str) -> ChaosSpec:
+    """Parse the chaos grammar: ``fault=rate[:param]`` tokens plus ``seed=N``.
+
+    Raises ``ValueError`` on unknown faults, malformed rates, or rates
+    outside ``[0, 1]``.
+    """
+    spec = ChaosSpec()
+    for token in filter(None, (t.strip() for t in text.split(","))):
+        name, eq, value = token.partition("=")
+        if not eq:
+            raise ValueError(
+                f"bad chaos token {token!r}: expected fault=rate[:param] or seed=N"
+            )
+        if name == "seed":
+            spec = replace(spec, seed=int(value))
+            continue
+        if name not in FAULTS:
+            raise ValueError(f"unknown chaos fault {name!r} (known: {FAULTS})")
+        value, _, param = value.partition(":")
+        rate = float(value)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"chaos rate for {name!r} must be in [0, 1], got {rate}")
+        spec = replace(spec, **{name: rate})
+        if param:
+            if name != "delay":
+                raise ValueError(f"chaos fault {name!r} takes no parameter")
+            spec = replace(spec, delay_seconds=float(param))
+    return spec
+
+
+parse_chaos_spec = parse_spec
+"""Package-level alias (``repro.engine.parse_chaos_spec``)."""
+
+
+def _spec_from_env() -> ChaosSpec | None:
+    text = os.environ.get(ENV_VAR)
+    return parse_spec(text) if text else None
+
+
+_ACTIVE: ChaosSpec | None = _spec_from_env()
+
+
+def configure(spec: ChaosSpec | str | None) -> ChaosSpec | None:
+    """Install a chaos spec (or None to disable); returns the previous one.
+
+    Affects this process only: worker processes configure themselves from
+    ``REPRO_CHAOS``, which the CLI sets alongside calling this.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = parse_spec(spec) if isinstance(spec, str) else spec
+    return previous
+
+
+def active() -> ChaosSpec | None:
+    return _ACTIVE
+
+
+def decide(spec: ChaosSpec, fault: str, key: str, attempt: int = 0) -> bool:
+    """The deterministic injection decision for one (fault, job, attempt).
+
+    A SHA-256 draw over ``seed:fault:key:attempt`` compared against the
+    fault's rate — stable across processes, platforms and Python hash
+    randomization.
+    """
+    rate = getattr(spec, fault)
+    if rate <= 0:
+        return False
+    digest = hashlib.sha256(f"{spec.seed}:{fault}:{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") < rate * (1 << 64)
+
+
+def should(fault: str, key: str, attempt: int = 0) -> bool:
+    """True iff the active spec injects ``fault`` for this job attempt.
+
+    Job-level faults (kill/delay/budget) fire on attempt 0 only, so a
+    retried job always completes; ``corrupt`` ignores the attempt.
+    """
+    spec = _ACTIVE
+    if spec is None:
+        return False
+    if fault != "corrupt" and attempt > 0:
+        return False
+    return decide(spec, fault, key, 0 if fault == "corrupt" else attempt)
+
+
+def apply_job_faults(key: str, attempt: int, in_worker: bool) -> None:
+    """Inject the job-level faults for one execution attempt.
+
+    Called by the supervised executor immediately before running a job —
+    inside the worker process on the parallel path (``in_worker=True``),
+    where ``kill`` is a real ``os._exit(1)``; in the parent on the serial
+    path, where it degrades to a raised :class:`WorkerKilled`.  Counters
+    incremented inside workers die with them; the supervisor's own
+    retry/rebuild counters are the parent-side record.
+    """
+    if _ACTIVE is None:
+        return
+    if should("delay", key, attempt):
+        METRICS.inc("chaos.injected.delay")
+        time.sleep(_ACTIVE.delay_seconds)
+    if should("budget", key, attempt):
+        METRICS.inc("chaos.injected.budget")
+        from repro.polyhedra.budget import SolverBudget
+
+        raise SolverBudget("chaos", 0)
+    if should("kill", key, attempt):
+        METRICS.inc("chaos.injected.kill")
+        if in_worker:
+            os._exit(1)
+        raise WorkerKilled(f"chaos kill for job {key}")
+
+
+def corrupt_bytes(original: bytes) -> bytes:
+    """What an injected corruption writes: a torn, undecodable prefix."""
+    return b'{"torn": ' + original[: max(1, len(original) // 2)]
+
+
+def maybe_corrupt_file(path, key: str) -> bool:
+    """Scramble a just-written cache entry when the spec says so.
+
+    Called by the disk caches after their atomic rename; returns True if
+    the file was corrupted (counted under ``chaos.injected.corrupt``).
+    """
+    if not should("corrupt", key):
+        return False
+    METRICS.inc("chaos.injected.corrupt")
+    data = path.read_bytes()
+    path.write_bytes(corrupt_bytes(data))
+    return True

@@ -105,6 +105,28 @@ class MetricsRegistry:
             if hits + misses:
                 rate = hits / (hits + misses)
                 lines.append(f"{'engine.cache.hit_rate':<{width}}  {rate:.1%}")
+            faults = {
+                label: counters[name]
+                for name, label in (
+                    ("engine.supervise.retries", "retries"),
+                    ("engine.supervise.timeouts", "timeouts"),
+                    ("engine.supervise.pool_rebuilds", "pool_rebuilds"),
+                    ("engine.supervise.failures", "failures"),
+                    ("engine.supervise.deadline_abandoned", "abandoned"),
+                    ("engine.cache.quarantined", "quarantined"),
+                    ("memsim.trace_quarantined", "traces_quarantined"),
+                    ("solver.budget_exceeded", "solver_budget"),
+                    ("legality.budget_exceeded", "legality_budget"),
+                )
+                if counters.get(name)
+            }
+            if faults:
+                # One-line triage summary of everything the robustness
+                # layer absorbed (see docs/ROBUSTNESS.md).
+                lines.append(
+                    "fault events: "
+                    + ", ".join(f"{k}={int(v)}" for k, v in faults.items())
+                )
         timers = snap["timers"]
         if timers:
             lines.append("")

@@ -5,13 +5,19 @@
 falling back to a deterministic in-process loop when parallelism is
 unavailable (restricted sandboxes, unpicklable work items) — results are
 returned in submission order either way, so parallel and serial runs
-are observationally identical.
+are observationally identical.  The fallback is reserved for pool
+*infrastructure* failures: an exception raised by the job function
+itself propagates to the caller instead of triggering a silent serial
+rerun that would double the work and hide the bug.
 
-:func:`run_jobs` layers the content-addressed cache on top: duplicate
-fingerprints within a batch collapse to one execution, cached
-fingerprints are served without any execution, and only genuine misses
-reach the pool.  All cache accounting happens in the parent process, so
-metrics are exact even when the work itself runs in children.
+:func:`run_jobs` layers the content-addressed cache on top and executes
+misses under supervision (:mod:`repro.engine.supervise`): per-item
+futures with retries, timeouts and dead-worker pool rebuilds, so one
+poisoned job cannot sink a whole batch.  Duplicate fingerprints within a
+batch collapse to one execution, cached fingerprints are served without
+any execution, and only genuine misses reach the pool.  All cache
+accounting happens in the parent process, so metrics are exact even
+when the work itself runs in children.
 """
 
 from __future__ import annotations
@@ -25,6 +31,12 @@ from typing import Callable, Iterable, Sequence
 from repro.engine import jobs as _jobs
 from repro.engine.cache import ResultCache
 from repro.engine.metrics import METRICS
+from repro.engine.supervise import (
+    DEFAULT_POLICY,
+    JobFailure,
+    RetryPolicy,
+    supervised_map,
+)
 
 
 def default_jobs() -> int:
@@ -52,16 +64,29 @@ class WorkerPool:
         self.initializer = initializer
         self.initargs = initargs
 
+    def _fallback(self, fn: Callable, items: list, exc: BaseException) -> list:
+        self.metrics.inc("engine.pool.fallbacks")
+        self.metrics.inc(f"engine.pool.fallback.{type(exc).__name__}", 1)
+        return [fn(item) for item in items]
+
     def map(self, fn: Callable, items: Iterable) -> list:
         """``[fn(x) for x in items]``, possibly computed in parallel.
 
-        Falls back to the serial loop if worker processes cannot be
-        created or the items cannot be pickled; the fallback recomputes
-        from scratch, so no partial parallel state leaks through.
+        Falls back to the serial loop only when the pool infrastructure
+        is at fault — worker processes cannot be created, or the function
+        / items cannot be pickled (checked up front, so a job-raised
+        ``TypeError`` is never mistaken for a pickling one).  Exceptions
+        raised by ``fn`` itself propagate unchanged: a genuine bug must
+        surface, not vanish into a doubled serial recompute.
         """
         items = list(items)
         if self.jobs == 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(items)
+        except Exception as exc:  # unpicklable closures, lambdas, live handles
+            return self._fallback(fn, items, exc)
         workers = min(self.jobs, len(items))
         chunksize = max(1, len(items) // (workers * 4))
         try:
@@ -72,20 +97,11 @@ class WorkerPool:
                     initargs=self.initargs,
                 ) as executor:
                     return list(executor.map(fn, items, chunksize=chunksize))
-        except (
-            OSError,
-            ValueError,
-            TypeError,
-            AttributeError,
-            BrokenProcessPool,
-            ImportError,
-            pickle.PicklingError,
-        ) as exc:
-            # Covers unavailable process pools (sandboxes) and unpicklable
-            # work items; the serial rerun surfaces any genuine job error.
-            self.metrics.inc("engine.pool.fallbacks")
-            self.metrics.inc(f"engine.pool.fallback.{type(exc).__name__}", 1)
-            return [fn(item) for item in items]
+        except (OSError, BrokenProcessPool) as exc:
+            # Pool infrastructure only: unavailable process pools
+            # (sandboxes) or workers dying before/while running.  The
+            # serial rerun surfaces any genuine job error as itself.
+            return self._fallback(fn, items, exc)
 
 
 def _execute_item(item: tuple[str, dict]):
@@ -109,13 +125,21 @@ def run_jobs(
     jobs: int = 1,
     cache: ResultCache | None = None,
     metrics=METRICS,
+    policy: RetryPolicy = DEFAULT_POLICY,
 ) -> list:
-    """Execute job specs, returning results in submission order.
+    """Execute job specs under supervision, in submission order.
 
     Identical fingerprints — whether already cached or merely duplicated
-    within the batch — are computed at most once.  Fresh executions are
+    within a batch — are computed at most once.  Fresh executions are
     counted per kind under ``engine.executed.<kind>``; a fully warm
     batch therefore executes nothing.
+
+    ``policy`` governs retries/timeouts/deadlines (see
+    :class:`~repro.engine.supervise.RetryPolicy`).  Under the default
+    ``failure_mode="raise"`` a job that still fails after its retries
+    re-raises its original exception; with ``failure_mode="return"`` the
+    slots of failed jobs hold :class:`~repro.engine.supervise.JobFailure`
+    values (never cached) while every other slot holds its real result.
     """
     results: list = [None] * len(specs)
     pending: dict[str, list[int]] = {}  # fingerprint -> result slots
@@ -146,16 +170,27 @@ def run_jobs(
             if cache.root is not None:
                 initializer, initargs = _init_worker_solver_cache, (str(cache.root),)
         try:
-            pool = WorkerPool(
-                jobs, metrics=metrics, initializer=initializer, initargs=initargs
-            )
-            outputs = pool.map(
-                _execute_item, [(s.kind, s.payload) for _, s in unique]
+            outputs = supervised_map(
+                _execute_item,
+                [(s.kind, s.payload) for _, s in unique],
+                keys=[fp for fp, _ in unique],
+                jobs=jobs,
+                policy=policy,
+                metrics=metrics,
+                initializer=initializer,
+                initargs=initargs,
             )
         finally:
             if cache is not None:
                 _solver.set_solver_cache(previous_solver_cache)
         for (fp, spec), output in zip(unique, outputs):
+            if isinstance(output, JobFailure):
+                # Structured failure: surfaced to the caller, never cached
+                # — the next run must re-attempt the work.
+                output.kind = spec.kind
+                for index in pending[fp]:
+                    results[index] = output
+                continue
             metrics.inc(f"engine.executed.{spec.kind}")
             if cache is not None:
                 cache.put(fp, output)

@@ -1,0 +1,496 @@
+"""Supervised execution: per-job futures, retries, timeouts, pool rebuilds.
+
+:func:`supervised_map` replaces the all-or-nothing semantics of
+``WorkerPool.map`` for batch execution: every item is its own future,
+so one poisoned job — a hung Fourier-Motzkin query, an OOM-killed
+worker, a transient crash — no longer forces a serial rerun of the
+whole batch.  The supervisor provides:
+
+* **per-job timeouts** — enforced inside the worker with ``SIGALRM``
+  (accurate, catches a sleeping job), plus a parent-side backstop that
+  force-rebuilds the pool when a worker ignores the alarm; in-flight
+  submissions are capped at the worker count so elapsed time measures
+  the job, not its queue wait;
+* **bounded retries** with exponential backoff and deterministic jitter
+  (``engine.supervise.retries``);
+* **dead-worker detection** — a worker that exits hard breaks the whole
+  ``ProcessPoolExecutor``; the supervisor rebuilds the pool
+  (``engine.supervise.pool_rebuilds``) and re-runs only the items that
+  had not finished;
+* **batch deadlines** — past the deadline, unfinished items resolve to
+  failures instead of hanging the caller;
+* **structured failures** — an item whose retries are exhausted yields a
+  :class:`JobFailure` carrying the error type, message and attempt
+  count.  With ``failure_mode="raise"`` (the default) the original
+  exception is re-raised after the rest of the batch completes, so a
+  genuine bug in the job function still surfaces as itself; with
+  ``failure_mode="return"`` the :class:`JobFailure` is returned in the
+  item's result slot and the caller triages.
+
+Fault injection (:mod:`repro.engine.chaos`) hooks in at exactly one
+point — immediately before each execution attempt — so chaos runs
+exercise the identical control flow as production faults.
+
+Serial execution (``jobs=1``) flows through the same retry/timeout/
+failure logic in-process, so supervised behavior is observationally
+identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.engine import chaos as _chaos
+from repro.engine.metrics import METRICS
+
+_POLL_SECONDS = 0.02
+"""Future-wait granularity of the supervision loop."""
+
+_MAX_REBUILDS = 8
+"""Pool rebuilds allowed per batch before degrading to serial execution
+(a backstop against an initializer or environment that kills every
+worker on arrival — rebuilding forever would spin)."""
+
+
+class JobTimeout(Exception):
+    """A job exceeded its per-attempt timeout."""
+
+
+class DeadlineExceeded(Exception):
+    """The batch deadline passed before this job finished."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor treats one batch.
+
+    ``timeout`` bounds a single execution attempt; ``deadline`` bounds
+    the whole batch; both are seconds and ``None`` disables them.
+    Backoff before attempt ``n`` is ``min(max_backoff, backoff *
+    2**(n-1))`` scaled by up to ``jitter`` of deterministic noise.
+    """
+
+    max_attempts: int = 3
+    timeout: float | None = None
+    deadline: float | None = None
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    jitter: float = 0.5
+    failure_mode: str = "raise"  # "raise" | "return"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.failure_mode not in ("raise", "return"):
+            raise ValueError(f"unknown failure_mode {self.failure_mode!r}")
+
+
+DEFAULT_POLICY = RetryPolicy()
+
+
+@dataclass
+class JobFailure:
+    """The structured result of a job whose retries were exhausted."""
+
+    key: str
+    error_type: str
+    message: str
+    attempts: int
+    timed_out: bool = False
+    kind: str | None = None  # filled in by run_jobs for engine jobs
+    exception: BaseException | None = field(default=None, repr=False, compare=False)
+
+    def to_payload(self) -> dict:
+        """JSON-able form (sans the live exception) for reports/logs."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+    def describe(self) -> str:
+        what = f"{self.kind or 'job'} {self.key[:12]}"
+        return (
+            f"{what} failed after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+# -- worker-side execution ---------------------------------------------------------
+
+
+def _call_with_timeout(fn: Callable, item, timeout: float | None):
+    """Run ``fn(item)``, raising :class:`JobTimeout` past ``timeout``.
+
+    Uses ``SIGALRM`` (worker processes run jobs on their main thread);
+    silently skips enforcement where alarms are unavailable — the
+    parent-side backstop still bounds the attempt.
+    """
+    use_alarm = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return fn(item)
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded {timeout}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return fn(item)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _guarded_call(packed):
+    """Top-level (picklable) wrapper run inside worker processes."""
+    fn, item, key, attempt, timeout = packed
+    _chaos.apply_job_faults(key, attempt, in_worker=True)
+    return _call_with_timeout(fn, item, timeout)
+
+
+# -- the supervisor ----------------------------------------------------------------
+
+
+@dataclass
+class _Slot:
+    """One item's supervision state."""
+
+    index: int
+    item: object
+    key: str
+    attempt: int = 0  # attempts already consumed
+    not_before: float = 0.0  # monotonic time the next attempt may start
+    started: float = 0.0  # monotonic submission time of the live attempt
+    done: bool = False
+    result: object = None
+    failure: JobFailure | None = None
+
+
+class _Supervisor:
+    def __init__(self, fn, slots, jobs, policy, metrics, initializer, initargs):
+        self.fn = fn
+        self.slots: list[_Slot] = slots
+        self.jobs = jobs
+        self.policy = policy
+        self.metrics = metrics
+        self.initializer = initializer
+        self.initargs = initargs
+        self.ready: deque[_Slot] = deque(slots)
+        self.unfinished = len(slots)
+        self.executor: ProcessPoolExecutor | None = None
+        self.inflight: dict = {}  # Future -> _Slot
+        self.rebuilds = 0
+        # Deterministic jitter: the retry schedule of a batch is a pure
+        # function of its size, so test runs are reproducible.
+        self.rng = random.Random(len(slots))
+        self.deadline = (
+            time.monotonic() + policy.deadline
+            if policy.deadline is not None
+            else None
+        )
+
+    # -- shared retry bookkeeping --------------------------------------------------
+
+    def settle_ok(self, slot: _Slot, result) -> None:
+        slot.result = result
+        slot.done = True
+        self.unfinished -= 1
+
+    def settle_failed(self, slot: _Slot, exc: BaseException) -> None:
+        slot.failure = JobFailure(
+            key=slot.key,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            attempts=slot.attempt,
+            timed_out=isinstance(exc, (JobTimeout, DeadlineExceeded)),
+            exception=exc,
+        )
+        slot.done = True
+        self.unfinished -= 1
+        self.metrics.inc("engine.supervise.failures")
+
+    def retry_or_fail(self, slot: _Slot, exc: BaseException) -> None:
+        slot.attempt += 1
+        if isinstance(exc, JobTimeout):
+            self.metrics.inc("engine.supervise.timeouts")
+        if slot.attempt >= self.policy.max_attempts:
+            self.settle_failed(slot, exc)
+            return
+        self.metrics.inc("engine.supervise.retries")
+        delay = min(
+            self.policy.max_backoff,
+            self.policy.backoff * (2 ** (slot.attempt - 1)),
+        )
+        delay *= 1 + self.policy.jitter * self.rng.random()
+        slot.not_before = time.monotonic() + delay
+        self.ready.append(slot)
+
+    def past_deadline(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def abandon_unfinished(self) -> None:
+        """Deadline hit: everything unfinished becomes a structured failure."""
+        self.metrics.inc("engine.supervise.deadline_abandoned", self.unfinished)
+        for slot in self.slots:
+            if not slot.done:
+                slot.attempt += 1
+                self.settle_failed(
+                    slot,
+                    DeadlineExceeded(
+                        f"batch deadline of {self.policy.deadline}s exceeded"
+                    ),
+                )
+
+    # -- serial path ---------------------------------------------------------------
+
+    def run_serial(self) -> None:
+        while self.ready:
+            slot = self.ready.popleft()
+            if slot.done:
+                continue
+            if self.past_deadline():
+                self.ready.appendleft(slot)
+                self.abandon_unfinished()
+                return
+            now = time.monotonic()
+            if slot.not_before > now:
+                time.sleep(slot.not_before - now)
+            try:
+                _chaos.apply_job_faults(slot.key, slot.attempt, in_worker=False)
+                self.settle_ok(
+                    slot, _call_with_timeout(self.fn, slot.item, self.policy.timeout)
+                )
+            except Exception as exc:  # noqa: BLE001 — every job error is triaged
+                self.retry_or_fail(slot, exc)
+
+    # -- parallel path -------------------------------------------------------------
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(self.jobs, max(1, len(self.slots))),
+            initializer=self.initializer,
+            initargs=self.initargs,
+        )
+
+    def _teardown_executor(self) -> None:
+        executor = self.executor
+        self.executor = None
+        if executor is None:
+            return
+        # Kill lingering workers outright: a hung job would otherwise keep
+        # shutdown (and the interpreter) waiting on it forever.
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _requeue_inflight(self, exc: BaseException) -> None:
+        """Drain in-flight futures after a pool break or hang.
+
+        Futures that finished before the break keep their results; the
+        rest are charged one attempt (their execution died with the pool).
+        """
+        for future, slot in list(self.inflight.items()):
+            if future.done() and not future.cancelled():
+                error = future.exception()
+                if error is None:
+                    self.settle_ok(slot, future.result())
+                    continue
+                if not isinstance(error, BrokenProcessPool):
+                    self.retry_or_fail(slot, error)
+                    continue
+            self.retry_or_fail(slot, exc)
+        self.inflight.clear()
+
+    def _rebuild_pool(self, exc: BaseException) -> None:
+        self.rebuilds += 1
+        self.metrics.inc("engine.supervise.pool_rebuilds")
+        self._teardown_executor()
+        self._requeue_inflight(exc)
+
+    def _hung_futures(self) -> list:
+        """In-flight attempts past the parent-side timeout backstop.
+
+        The in-worker alarm normally fires first; this catches workers
+        the alarm cannot interrupt.  Submissions are capped at the worker
+        count, so elapsed time approximates execution time.
+        """
+        timeout = self.policy.timeout
+        if timeout is None:
+            return []
+        limit = 2 * timeout + 1.0
+        now = time.monotonic()
+        return [
+            future
+            for future, slot in self.inflight.items()
+            if not future.done() and now - slot.started > limit
+        ]
+
+    def run_parallel(self) -> None:
+        try:
+            while self.unfinished:
+                if self.past_deadline():
+                    self.abandon_unfinished()
+                    return
+                if self.rebuilds > _MAX_REBUILDS:
+                    # The environment is eating workers faster than we can
+                    # rebuild; finish the batch serially rather than spin.
+                    self.metrics.inc("engine.pool.fallbacks")
+                    self._teardown_executor()
+                    self._requeue_inflight(BrokenProcessPool("pool kept breaking"))
+                    self.run_serial()
+                    return
+                self._submit_ready()
+                if not self.inflight:
+                    # Everything unfinished is backing off; nap until the
+                    # earliest retry becomes submittable.
+                    wake = min(
+                        (s.not_before for s in self.ready if not s.done),
+                        default=time.monotonic(),
+                    )
+                    time.sleep(max(0.0, min(wake - time.monotonic(), _POLL_SECONDS)))
+                    continue
+                done, _ = wait(
+                    self.inflight, timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+                )
+                broken: BaseException | None = None
+                for future in done:
+                    slot = self.inflight.pop(future)
+                    try:
+                        self.settle_ok(slot, future.result())
+                    except BrokenProcessPool as exc:
+                        self.retry_or_fail(slot, exc)
+                        broken = exc
+                    except Exception as exc:  # noqa: BLE001
+                        self.retry_or_fail(slot, exc)
+                if broken is not None:
+                    self._rebuild_pool(broken)
+                    continue
+                hung = self._hung_futures()
+                if hung:
+                    self.metrics.inc("engine.supervise.timeouts", len(hung))
+                    self._rebuild_pool(JobTimeout("parent-side timeout backstop"))
+        finally:
+            self._teardown_executor()
+
+    def _submit_ready(self) -> None:
+        now = time.monotonic()
+        workers = min(self.jobs, max(1, len(self.slots)))
+        rotated = 0
+        while self.ready and len(self.inflight) < workers:
+            slot = self.ready.popleft()
+            if slot.done:
+                continue
+            if slot.not_before > now:
+                # Not yet due: rotate to the back at most once per slot
+                # per pass so the loop terminates.
+                self.ready.append(slot)
+                rotated += 1
+                if rotated > len(self.ready):
+                    break
+                continue
+            if self.executor is None:
+                self.executor = self._new_executor()
+            packed = (self.fn, slot.item, slot.key, slot.attempt, self.policy.timeout)
+            try:
+                future = self.executor.submit(_guarded_call, packed)
+            except BrokenProcessPool as exc:
+                self.ready.appendleft(slot)
+                self._rebuild_pool(exc)
+                return
+            slot.started = time.monotonic()
+            self.inflight[future] = slot
+
+
+def _picklable(*objects) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:  # pickle raises a menagerie: PicklingError, TypeError, ...
+        return False
+    return True
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this host (leave one core free)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def supervised_map(
+    fn: Callable,
+    items: Sequence,
+    *,
+    keys: Sequence[str] | None = None,
+    jobs: int = 1,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    metrics=METRICS,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> list:
+    """``[fn(x) for x in items]`` under supervision.
+
+    ``keys`` are stable per-item labels (the engine passes job
+    fingerprints) used for chaos decisions and failure reports; they
+    default to the item's position.  Returns results in submission
+    order.  Items whose retries are exhausted either contribute a
+    :class:`JobFailure` in their slot (``failure_mode="return"``) or
+    cause the first underlying exception to be re-raised once the rest
+    of the batch has settled (``failure_mode="raise"``, the default —
+    a genuine bug in ``fn`` surfaces as itself, exactly once, instead
+    of as a per-item wrapper).
+    """
+    items = list(items)
+    if keys is None:
+        keys = [f"item-{i}" for i in range(len(items))]
+    if len(keys) != len(items):
+        raise ValueError("keys must match items one-to-one")
+    jobs = default_jobs() if jobs in (0, None) else max(1, int(jobs))
+    slots = [_Slot(index=i, item=item, key=key) for i, (item, key) in enumerate(zip(items, keys))]
+    supervisor = _Supervisor(fn, slots, jobs, policy, metrics, initializer, initargs)
+
+    if jobs == 1 or len(items) <= 1:
+        supervisor.run_serial()
+    elif not _picklable(fn, items):
+        # Process pools cannot carry this work; same serial fallback (and
+        # counter) the unsupervised pool uses for unpicklable items.
+        metrics.inc("engine.pool.fallbacks")
+        supervisor.run_serial()
+    else:
+        try:
+            with metrics.timer("engine.pool.map"):
+                supervisor.run_parallel()
+        except OSError:
+            # Process pools unavailable (restricted sandboxes): the serial
+            # path reruns only what has not already settled.
+            metrics.inc("engine.pool.fallbacks")
+            supervisor.ready = deque(s for s in slots if not s.done)
+            supervisor.run_serial()
+
+    if policy.failure_mode == "raise":
+        for slot in slots:
+            if slot.failure is not None:
+                if slot.failure.exception is not None:
+                    raise slot.failure.exception
+                raise RuntimeError(slot.failure.describe())
+    return [slot.failure if slot.failure is not None else slot.result for slot in slots]

@@ -28,6 +28,13 @@ ALL_CHECKS = ("deps", "solver", "legality", "codegen", "semantics", "backend")
 DEFAULT_CHECKS = ("deps", "solver", "legality", "codegen", "semantics")
 """Checks that need no external toolchain (``backend`` needs a C compiler)."""
 
+CHAOS_CHECK = "chaos"
+"""The runner-level fault-injection differential (docs/ROBUSTNESS.md).
+
+Not a per-case oracle: the runner strips it from the checks handed to
+workers and instead re-runs the whole batch under an active chaos spec,
+asserting bit-identical results."""
+
 
 @dataclass(frozen=True)
 class FactorSpec:

@@ -110,6 +110,23 @@ def _drop_last_dependence(program: Program):
     return compute_dependences(program)[:-1]
 
 
+def _chaos_flaky_legality(shackle, deps):
+    """A legality verdict that lies only while a chaos spec is active.
+
+    The honest pipeline is bit-identical under injected faults, so the
+    ``chaos`` differential stays silent on every other mutation; this is
+    the one bug class only it can see — behavior that *depends on* the
+    fault environment (e.g. a fallback path computing something
+    different from the primary path it replaces).
+    """
+    from repro.core.legality import check_legality
+    from repro.engine import chaos
+
+    if chaos.active() is not None:
+        return _AlwaysLegal()
+    return check_legality(shackle, deps, first_violation_only=True)
+
+
 def _bad_prune_feasible(system):
     """A vectorized solve that unsoundly drops the last combined row of
     every Fourier-Motzkin elimination — the exact class of bug an
@@ -155,6 +172,12 @@ MUTATIONS: dict[str, Mutation] = {
             description="C emission computes a slightly different value",
             target_oracle="backend",
             c_program=_perturb_first_statement,
+        ),
+        Mutation(
+            name="chaos-flaky-legality",
+            description="legality verdict flips whenever fault injection is active",
+            target_oracle="chaos",
+            legality=_chaos_flaky_legality,
         ),
         Mutation(
             name="solver-bad-prune",

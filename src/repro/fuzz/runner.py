@@ -5,21 +5,37 @@ The runner turns every case into a fingerprinted ``fuzz`` job
 content-addressed cache makes warm reruns free, and the metrics registry
 counts verdicts.  Failures are shrunk in the parent process and
 persisted to the corpus, which is replayed first on every run.
+
+The ``chaos`` check is a runner-level differential (see
+docs/ROBUSTNESS.md): the same batch of cases runs twice — fault-free,
+then under a deterministic fault-injection spec
+(:mod:`repro.engine.chaos`) with worker kills, delays, cache corruption
+and forced solver-budget trips — and every per-case result must come
+back bit-identical.  Any divergence or surviving
+:class:`~repro.engine.supervise.JobFailure` is a fuzz failure: the
+supervision layer failed to mask a fault it is designed to absorb.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.engine import chaos as _chaos
 from repro.engine.jobs import JobSpec
 from repro.engine.metrics import METRICS
 from repro.engine.pool import run_jobs
 from repro.fuzz import corpus as _corpus
-from repro.fuzz.cases import ALL_CHECKS, FuzzCase
+from repro.fuzz.cases import ALL_CHECKS, CHAOS_CHECK, FuzzCase
 from repro.fuzz.gen import GenConfig, generate_case
 from repro.fuzz.shrink import shrink_case
+
+DEFAULT_CHAOS_SPEC = "kill=0.15,delay=0.1:0.01,corrupt=0.3,budget=0.15"
+"""Fault rates used when ``chaos`` is requested without an explicit spec
+(the run's generator seed becomes the chaos seed)."""
 
 
 @dataclass
@@ -55,6 +71,8 @@ class FuzzReport:
     backend_skipped: int = 0
     corpus_replayed: int = 0
     corpus_still_failing: int = 0
+    chaos_cases: int = 0
+    chaos_spec: str | None = None
     failures: list[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -79,6 +97,12 @@ class FuzzReport:
                 f"backend differential: {self.backend_cases} cases"
                 + (f", {self.backend_skipped} skipped (no C compiler)" if self.backend_skipped else "")
             )
+        if self.chaos_spec is not None:
+            divergences = sum(1 for f in self.failures if f.check == CHAOS_CHECK)
+            lines.append(
+                f"chaos differential: {self.chaos_cases} cases under "
+                f"'{self.chaos_spec}', {divergences} divergences"
+            )
         for failure in self.failures:
             lines.append(failure.describe())
             if failure.corpus_path is not None:
@@ -91,6 +115,70 @@ def fuzz_job(case: FuzzCase) -> JobSpec:
     return JobSpec("fuzz", case.to_payload())
 
 
+def _run_chaos_pass(
+    specs: list[JobSpec],
+    clean_results: list,
+    cases: list[FuzzCase],
+    spec: "_chaos.ChaosSpec",
+    jobs: int,
+    report: FuzzReport,
+) -> None:
+    """Re-run ``specs`` under ``spec`` and diff against ``clean_results``.
+
+    The chaos pass gets its own throwaway disk cache (so ``corrupt``
+    faults have real files to scramble and the solver memo's shared tier
+    is exercised) and runs with ``failure_mode="return"`` so one
+    unmasked fault shows up as a divergence on its own case instead of
+    aborting the differential.  Set ``REPRO_CHAOS_STORE=<dir>`` to pin
+    the store to a persistent directory instead — CI does, so the
+    quarantine evidence survives the run and can be uploaded as an
+    artifact when the differential fails.
+    """
+    from contextlib import nullcontext
+
+    from repro.engine.cache import ResultCache
+    from repro.engine.supervise import JobFailure, RetryPolicy
+
+    report.chaos_spec = spec.describe()
+    policy = RetryPolicy(failure_mode="return")
+    pinned = os.environ.get("REPRO_CHAOS_STORE")
+    store = (
+        nullcontext(pinned)
+        if pinned
+        else tempfile.TemporaryDirectory(prefix="repro-chaos-")
+    )
+    previous_env = os.environ.get(_chaos.ENV_VAR)
+    previous = _chaos.configure(spec)
+    os.environ[_chaos.ENV_VAR] = spec.describe()  # workers inherit it
+    try:
+        with store as root:
+            with METRICS.timer("fuzz.chaos_pass"):
+                chaos_results = run_jobs(
+                    specs, jobs=jobs, cache=ResultCache(root=root), policy=policy
+                )
+    finally:
+        _chaos.configure(previous)
+        if previous_env is None:
+            os.environ.pop(_chaos.ENV_VAR, None)
+        else:
+            os.environ[_chaos.ENV_VAR] = previous_env
+    for case, clean, chaotic in zip(cases, clean_results, chaos_results):
+        report.chaos_cases += 1
+        if isinstance(chaotic, JobFailure):
+            detail = f"unmasked fault: {chaotic.describe()}"
+        elif chaotic != clean:
+            detail = (
+                "fault-free and chaos runs disagree: "
+                f"{clean!r} != {chaotic!r}"
+            )
+        else:
+            continue
+        METRICS.inc("fuzz.chaos_divergence")
+        report.failures.append(
+            FuzzFailure(case=case, failures=[{"check": CHAOS_CHECK, "detail": detail}])
+        )
+
+
 def run_fuzz(
     seed: int = 0,
     budget: int = 100,
@@ -101,6 +189,7 @@ def run_fuzz(
     config: GenConfig | None = None,
     shrink: bool = True,
     mutation: str | None = None,
+    chaos_spec: "str | _chaos.ChaosSpec | None" = None,
 ) -> FuzzReport:
     """Replay the corpus, then run ``budget`` fresh generated cases.
 
@@ -109,8 +198,17 @@ def run_fuzz(
     preserves submission order.  ``mutation`` plants a named bug in one
     pipeline stage (see :mod:`repro.fuzz.mutations`) — used by the
     oracle-validation tests, never in production runs.
+
+    Passing ``chaos_spec`` (or listing ``"chaos"`` among ``checks``)
+    adds the fault-injection differential: after the fault-free pass the
+    same jobs run again under the spec (default
+    :data:`DEFAULT_CHAOS_SPEC` seeded with ``seed``) and any per-case
+    result that is not bit-identical becomes a ``chaos`` failure.
     """
-    cfg = config or GenConfig(checks=tuple(checks) if checks else ALL_CHECKS)
+    requested = tuple(checks) if checks else ALL_CHECKS
+    want_chaos = chaos_spec is not None or CHAOS_CHECK in requested
+    worker_checks = tuple(c for c in requested if c != CHAOS_CHECK) or ("legality",)
+    cfg = config or GenConfig(checks=worker_checks)
     report = FuzzReport(seed=seed, budget=budget)
 
     # -- 1. corpus replay: old counterexamples run first -------------------
@@ -125,7 +223,19 @@ def run_fuzz(
 
     all_cases = replay_cases + fresh_cases
     specs = [fuzz_job(case) for case in all_cases]
-    results = run_jobs(specs, jobs=jobs, cache=cache)
+    if want_chaos:
+        # The reference pass must be genuinely fault-free even when a
+        # chaos spec is ambient (REPRO_CHAOS in the environment).
+        ambient_env = os.environ.pop(_chaos.ENV_VAR, None)
+        ambient = _chaos.configure(None)
+        try:
+            results = run_jobs(specs, jobs=jobs, cache=cache)
+        finally:
+            _chaos.configure(ambient)
+            if ambient_env is not None:
+                os.environ[_chaos.ENV_VAR] = ambient_env
+    else:
+        results = run_jobs(specs, jobs=jobs, cache=cache)
 
     report.corpus_replayed = len(replay_cases)
     for index, (case, result) in enumerate(zip(all_cases, results)):
@@ -157,4 +267,11 @@ def run_fuzz(
                 corpus, minimized, result["failures"], shrink_steps=steps
             )
         report.failures.append(failure)
+
+    # -- 3. chaos differential: same jobs, injected faults, same bits ------
+    if want_chaos:
+        spec = _chaos.parse_spec(chaos_spec) if isinstance(chaos_spec, str) else chaos_spec
+        if spec is None:
+            spec = _chaos.parse_spec(f"{DEFAULT_CHAOS_SPEC},seed={seed}")
+        _run_chaos_pass(specs, results, all_cases, spec, jobs, report)
     return report

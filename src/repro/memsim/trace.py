@@ -28,12 +28,19 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import hashlib
+
 import numpy as np
 
+from repro.engine import chaos as _chaos
+from repro.engine.cache import quarantine_file
 from repro.engine.metrics import METRICS
 
 CHUNK = 1 << 16
 """Default capture chunk size, in trace words."""
+
+TRACE_SCHEMA_VERSION = 1
+"""Stamped into every stored ``.npz``; mismatched entries quarantine."""
 
 
 class TraceBuffer:
@@ -112,14 +119,28 @@ def trace_fingerprint(program, env, arena) -> str:
     return fingerprint("memsim.trace", payload)
 
 
+def _trace_checksum(encoded: np.ndarray, labels, counts, flops) -> str:
+    """Integrity checksum over everything a stored trace round-trips."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(encoded, dtype=np.int64).tobytes())
+    digest.update("\x00".join(str(l) for l in labels).encode())
+    digest.update(np.asarray(counts, dtype=np.int64).tobytes())
+    digest.update(np.asarray(flops, dtype=np.int64).tobytes())
+    return digest.hexdigest()[:16]
+
+
 class TraceStore:
     """In-memory LRU of traces over an optional on-disk ``.npz`` store.
 
-    Disk writes are atomic (write-temp-then-rename) and undecodable files
-    read as misses, matching :class:`repro.engine.cache.ResultCache`.
-    ``replay_memo`` additionally memoizes finished replay counters by
-    ``(trace fingerprint, machine description)``, so re-simulating the
-    same trace on the same machine costs a dictionary lookup.
+    Disk writes are atomic (write-temp-then-rename), matching
+    :class:`repro.engine.cache.ResultCache`, and every entry carries a
+    schema-version + checksum stamp: a file that fails to decode or
+    verify is moved to ``<root>/quarantine/`` (counted under
+    ``memsim.trace_quarantined``) instead of being re-read and re-failed
+    on every later ``get``.  ``replay_memo`` additionally memoizes
+    finished replay counters by ``(trace fingerprint, machine
+    description)``, so re-simulating the same trace on the same machine
+    costs a dictionary lookup.
     """
 
     def __init__(
@@ -156,19 +177,33 @@ class TraceStore:
             self.metrics.inc("memsim.trace_cache_hit")
             return self._memory[fingerprint]
         if self.root is not None:
+            path = self._path(fingerprint)
+            if not path.exists():
+                return None  # genuinely absent: a plain cold miss
             try:
-                with np.load(self._path(fingerprint), allow_pickle=False) as data:
+                with np.load(path, allow_pickle=False) as data:
+                    schema = int(data["schema"])
+                    check = str(data["check"])
+                    labels = data["labels"].tolist()
+                    counts = data["counts"]
+                    flops = data["flops"]
+                    encoded = data["encoded"]
+                    if schema != TRACE_SCHEMA_VERSION:
+                        raise ValueError(f"trace schema {schema}")
+                    if check != _trace_checksum(encoded, labels, counts, flops):
+                        raise ValueError("trace checksum mismatch")
                     trace = Trace(
-                        encoded=data["encoded"],
-                        counts=dict(
-                            zip(data["labels"].tolist(), data["counts"].tolist())
-                        ),
-                        flops_per_statement=dict(
-                            zip(data["labels"].tolist(), data["flops"].tolist())
-                        ),
+                        encoded=encoded,
+                        counts=dict(zip(labels, counts.tolist())),
+                        flops_per_statement=dict(zip(labels, flops.tolist())),
                     )
             except (OSError, ValueError, KeyError):
-                pass
+                # Torn, corrupted, or pre-stamp legacy entry: move it out
+                # of the store so the next get is a clean miss.
+                quarantine_file(
+                    path, self.root, metrics=self.metrics,
+                    counter="memsim.trace_quarantined",
+                )
             else:
                 self.metrics.inc("memsim.trace_cache_hit")
                 self._remember(fingerprint, trace)
@@ -185,18 +220,25 @@ class TraceStore:
             # cycles in this order, and bit-identical results require the
             # same summation order after a disk round-trip.
             labels = list(trace.counts)
+            counts = np.array([trace.counts[l] for l in labels], dtype=np.int64)
+            flops = np.array(
+                [trace.flops_per_statement[l] for l in labels], dtype=np.int64
+            )
             tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
             with open(tmp, "wb") as fh:
                 np.savez_compressed(
                     fh,
                     encoded=trace.encoded,
                     labels=np.array(labels),
-                    counts=np.array([trace.counts[l] for l in labels], dtype=np.int64),
-                    flops=np.array(
-                        [trace.flops_per_statement[l] for l in labels], dtype=np.int64
+                    counts=counts,
+                    flops=flops,
+                    schema=np.int64(TRACE_SCHEMA_VERSION),
+                    check=np.str_(
+                        _trace_checksum(trace.encoded, labels, counts, flops)
                     ),
                 )
             os.replace(tmp, path)
+            _chaos.maybe_corrupt_file(path, fingerprint)
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -1,0 +1,144 @@
+"""Solver budgets: bounded Fourier-Motzkin work per feasibility query.
+
+FM splintering is exponential in the worst case (the fuzzer's solver
+differential caps systems at 10 variables for exactly this reason), so a
+single pathological query can hang an hours-long census.  This module
+gives every top-level :func:`repro.polyhedra.solver.feasible` call an
+optional budget — a maximum number of elimination *steps* and/or a
+wall-clock limit — charged from the hot loops of both engines
+(:mod:`repro.polyhedra.fm_vector` and :mod:`repro.polyhedra.omega`).
+Exhausting the budget raises :class:`SolverBudget`, a *typed* signal the
+caller maps to a conservative verdict (legality treats "unknown" as
+"reject the candidate") instead of hanging.
+
+The module sits below :mod:`repro.polyhedra.solver` in the import order
+so both engines can charge it without cycles.  Budgets are off by
+default; enable them with :func:`set_policy` or the environment
+variables ``REPRO_SOLVER_STEPS`` / ``REPRO_SOLVER_SECONDS``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.engine.metrics import METRICS
+
+
+class SolverBudget(Exception):
+    """A feasibility query exhausted its step or time budget.
+
+    ``reason`` is ``"steps"``, ``"seconds"`` or ``"chaos"`` (the fault
+    injector forces trips without any real work being over budget);
+    ``limit`` is the exhausted bound.
+    """
+
+    def __init__(self, reason: str, limit: float) -> None:
+        super().__init__(f"solver budget exhausted: {reason} > {limit}")
+        self.reason = reason
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Per-query bounds; ``None`` disables the corresponding check."""
+
+    max_steps: int | None = None
+    max_seconds: float | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_steps is not None or self.max_seconds is not None
+
+
+def _policy_from_env() -> BudgetPolicy:
+    steps = os.environ.get("REPRO_SOLVER_STEPS")
+    seconds = os.environ.get("REPRO_SOLVER_SECONDS")
+    return BudgetPolicy(
+        max_steps=int(steps) if steps else None,
+        max_seconds=float(seconds) if seconds else None,
+    )
+
+
+_POLICY = _policy_from_env()
+
+
+class _BudgetState:
+    """Mutable accounting for one top-level query (splinters share it)."""
+
+    __slots__ = ("policy", "steps", "deadline")
+
+    def __init__(self, policy: BudgetPolicy) -> None:
+        self.policy = policy
+        self.steps = 0
+        self.deadline = (
+            time.monotonic() + policy.max_seconds
+            if policy.max_seconds is not None
+            else None
+        )
+
+
+_STATE: _BudgetState | None = None
+
+
+def set_policy(
+    max_steps: int | None = None, max_seconds: float | None = None
+) -> BudgetPolicy:
+    """Install a new budget policy; returns the previous one.
+
+    Pass ``policy=set_policy(...)`` results back to restore (tests do).
+    """
+    global _POLICY
+    previous = _POLICY
+    _POLICY = BudgetPolicy(max_steps=max_steps, max_seconds=max_seconds)
+    return previous
+
+
+def restore_policy(policy: BudgetPolicy) -> None:
+    """Reinstall a policy previously returned by :func:`set_policy`."""
+    global _POLICY
+    _POLICY = policy
+
+
+def get_policy() -> BudgetPolicy:
+    return _POLICY
+
+
+@contextmanager
+def query_scope():
+    """Open the accounting scope for one top-level feasibility query.
+
+    The solver's memoized entry point re-enters itself while deciding
+    splinters; only the outermost entry opens a scope, so the budget
+    bounds the *whole* query including its recursive subproblems.
+    """
+    global _STATE
+    if _STATE is not None or not _POLICY.enabled:
+        yield
+        return
+    _STATE = _BudgetState(_POLICY)
+    try:
+        yield
+    finally:
+        _STATE = None
+
+
+def charge(steps: int = 1) -> None:
+    """Charge elimination work against the active query's budget.
+
+    No-op outside a budgeted :func:`query_scope`.  Raises
+    :class:`SolverBudget` the moment either bound is exceeded.
+    """
+    state = _STATE
+    if state is None:
+        return
+    policy = state.policy
+    state.steps += steps
+    if policy.max_steps is not None and state.steps > policy.max_steps:
+        METRICS.inc("solver.budget_exceeded")
+        raise SolverBudget("steps", policy.max_steps)
+    if state.deadline is not None and time.monotonic() > state.deadline:
+        METRICS.inc("solver.budget_exceeded")
+        raise SolverBudget("seconds", policy.max_seconds)

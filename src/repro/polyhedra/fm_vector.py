@@ -28,6 +28,7 @@ import itertools
 import numpy as np
 
 from repro.engine.metrics import METRICS
+from repro.polyhedra import budget as _budget
 from repro.polyhedra.constraints import Constraint, System
 
 _OVERFLOW_GUARD = 1 << 62
@@ -269,6 +270,7 @@ def _ineq_feasible_matrix(
         if not len(matrix):
             return True
         stats["eliminations"] += 1
+        _budget.charge()
         eliminable = (n_lower > 0) & (n_upper > 0)
         max_lower = np.where(pos, coeffs, 0).max(axis=0, initial=0)
         max_upper = np.where(neg, -coeffs, 0).max(axis=0, initial=0)

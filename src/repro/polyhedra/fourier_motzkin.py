@@ -10,6 +10,7 @@ from __future__ import annotations
 from fractions import Fraction
 
 from repro.engine.metrics import METRICS
+from repro.polyhedra import budget as _budget
 from repro.polyhedra.constraints import Constraint, System
 
 
@@ -48,6 +49,7 @@ def eliminate_variable(system: System, var: str, dark: bool = False) -> System:
     Equalities involving ``var`` must have been eliminated beforehand.
     """
     METRICS.inc("fm.eliminations")
+    _budget.charge()
     lowers: list[Constraint] = []
     uppers: list[Constraint] = []
     rest: list[Constraint] = []

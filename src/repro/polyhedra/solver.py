@@ -19,6 +19,12 @@ Two engines decide fresh queries:
   differential oracle (``repro fuzz --check solver``).
 
 Select with ``REPRO_SOLVER=vector|scalar`` or :func:`set_engine`.
+
+Queries may be *budgeted* (:mod:`repro.polyhedra.budget`): a step/time
+bound charged per FM elimination that raises the typed
+:class:`~repro.polyhedra.budget.SolverBudget` signal instead of letting
+one exponential splintering hang a census; legality maps a trip to a
+conservative "unknown => reject candidate" verdict (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import os
 from collections import OrderedDict
 
 from repro.engine.metrics import METRICS
+from repro.polyhedra import budget as _budget
 from repro.polyhedra.canonical import canonical_key, key_fingerprint
 from repro.polyhedra.constraints import System
 
@@ -156,7 +163,12 @@ def feasible(system: System) -> bool:
             _MEMO.put(exact_key, verdict)
             return verdict
     METRICS.inc("solver.solves")
-    with METRICS.timer("solver.solve"):
+    # The budget scope opens only at the outermost query: splinter
+    # recursion re-enters feasible(), and the whole recursion tree shares
+    # one step/time budget.  A SolverBudget trip propagates to the caller
+    # without memoizing anything — "unknown" must never be cached as a
+    # verdict (completed subqueries memoized on the way are still exact).
+    with METRICS.timer("solver.solve"), _budget.query_scope():
         verdict = _solve(system)
     _MEMO.put(key, verdict)
     _MEMO.put(exact_key, verdict)

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.engine.cache import ResultCache
+from repro.engine.cache import CACHE_SCHEMA_VERSION, ResultCache, payload_checksum
 from repro.engine.metrics import MetricsRegistry
 
 
@@ -58,7 +58,10 @@ def test_disk_layout_is_sharded_json(tmp_path):
     cache.put(fingerprint, {"x": 1})
     path = tmp_path / "store" / "cd" / f"{fingerprint}.json"
     assert path.exists()
-    assert json.loads(path.read_text()) == {"x": 1}
+    envelope = json.loads(path.read_text())
+    assert envelope["value"] == {"x": 1}
+    assert envelope["schema"] == CACHE_SCHEMA_VERSION
+    assert envelope["check"] == payload_checksum('{"x":1}')
 
 
 def test_corrupt_disk_entry_is_a_miss(tmp_path):
@@ -108,3 +111,94 @@ def test_stats_shape():
     assert stats["misses"] == 1
     assert stats["puts"] == 1
     assert stats["hit_rate"] == 0.5
+
+
+# -- integrity: quarantine, schema stamps, orphan sweep ----------------------------
+
+
+def test_corrupt_entry_is_quarantined_not_refailed(tmp_path, metrics):
+    root = tmp_path / "store"
+    fingerprint = "ab" * 32
+    ResultCache(root=root, metrics=metrics).put(fingerprint, {"x": 1})
+    path = root / "ab" / f"{fingerprint}.json"
+    path.write_text('{"torn": ')  # simulated torn write / bit rot
+
+    cold = ResultCache(root=root, metrics=metrics)
+    assert cold.get(fingerprint) is None
+    assert cold.quarantined == 1
+    assert metrics.get("engine.cache.quarantined") == 1
+    # The damaged file moved aside as evidence; the slot is clean again.
+    assert not path.exists()
+    assert (root / "quarantine" / path.name).exists()
+    # Recompute-and-store works over the now-empty slot.
+    cold.put(fingerprint, {"x": 2})
+    assert ResultCache(root=root, metrics=metrics).get(fingerprint) == {"x": 2}
+
+
+def test_schema_mismatch_quarantines(tmp_path):
+    root = tmp_path / "store"
+    fingerprint = "cd" * 32
+    cache = ResultCache(root=root)
+    cache.put(fingerprint, {"x": 1})
+    path = root / "cd" / f"{fingerprint}.json"
+    envelope = json.loads(path.read_text())
+    envelope["schema"] = CACHE_SCHEMA_VERSION + 1
+    path.write_text(json.dumps(envelope))
+
+    cold = ResultCache(root=root)
+    assert cold.get(fingerprint) is None
+    assert cold.quarantined == 1
+
+
+def test_checksum_mismatch_quarantines(tmp_path):
+    root = tmp_path / "store"
+    fingerprint = "ef" * 32
+    ResultCache(root=root).put(fingerprint, {"x": 1})
+    path = root / "ef" / f"{fingerprint}.json"
+    envelope = json.loads(path.read_text())
+    envelope["value"] = {"x": 999}  # payload flipped, checksum stale
+    path.write_text(json.dumps(envelope))
+
+    cold = ResultCache(root=root)
+    assert cold.get(fingerprint) is None
+    assert cold.quarantined == 1
+
+
+def test_quarantine_collision_gets_suffixed(tmp_path):
+    root = tmp_path / "store"
+    fingerprint = "aa" * 32
+    cache = ResultCache(root=root)
+    for _ in range(2):
+        cache.put(fingerprint, {"x": 1})
+        path = root / "aa" / f"{fingerprint}.json"
+        path.write_text("garbage")
+        cache._memory.clear()
+        assert cache.get(fingerprint) is None
+    names = sorted(p.name for p in (root / "quarantine").iterdir())
+    assert names == [f"{fingerprint}.json", f"{fingerprint}.json.1"]
+
+
+def test_clear_disk_sweeps_tmp_orphans_keeps_quarantine(tmp_path):
+    root = tmp_path / "store"
+    cache = ResultCache(root=root)
+    fingerprint = "bb" * 32
+    cache.put(fingerprint, {"x": 1})
+    # A writer that crashed between write and rename leaves an orphan.
+    orphan = root / "bb" / f"{fingerprint}.tmp.9999"
+    orphan.write_text("half-written")
+    # And a previously quarantined file is evidence, not cache state.
+    (root / "quarantine").mkdir()
+    evidence = root / "quarantine" / "old-corrupt.json"
+    evidence.write_text("garbage")
+
+    cache.clear(disk=True)
+    assert not orphan.exists()
+    assert not (root / "bb" / f"{fingerprint}.json").exists()
+    assert evidence.exists()
+
+
+def test_missing_file_is_plain_miss_not_quarantine(tmp_path):
+    cache = ResultCache(root=tmp_path / "store")
+    assert cache.get("99" * 32) is None
+    assert cache.quarantined == 0
+    assert not (tmp_path / "store" / "quarantine").exists()

@@ -1,0 +1,223 @@
+"""Chaos harness tests: spec grammar, determinism, and the acceptance
+property — a full Cholesky census (6 singles + 36 pairwise products)
+run under injected worker kills, cache corruption and forced solver
+budgets completes bit-identical to the fault-free run, with only the
+faulted jobs re-executed.
+"""
+
+import pytest
+
+from repro.core import DataBlocking, DataShackle
+from repro.core.product import ShackleProduct
+from repro.core.shackle import _parse_ref
+from repro.engine import chaos
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import JobSpec
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.pool import run_jobs
+from repro.engine.supervise import JobFailure, RetryPolicy
+from repro.fuzz.cases import case_from_shackle
+from repro.kernels import cholesky
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_chaos(monkeypatch):
+    """Each test starts fault-free regardless of the environment."""
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    previous = chaos.configure(None)
+    yield
+    chaos.configure(previous)
+
+
+# -- spec grammar ------------------------------------------------------------------
+
+
+def test_parse_spec_full_grammar():
+    spec = chaos.parse_spec("kill=0.25,delay=0.5:0.2,corrupt=0.1,budget=0.05,seed=9")
+    assert spec.kill == 0.25
+    assert spec.delay == 0.5 and spec.delay_seconds == 0.2
+    assert spec.corrupt == 0.1 and spec.budget == 0.05
+    assert spec.seed == 9
+    assert spec.enabled
+
+
+def test_spec_describe_round_trips():
+    for text in (
+        "kill=0.25,delay=0.5:0.2,corrupt=0.1,budget=0.05,seed=9",
+        "seed=3,kill=1",
+        "corrupt=0.5",
+    ):
+        spec = chaos.parse_spec(text)
+        assert chaos.parse_spec(spec.describe()) == spec
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "explode=0.5",  # unknown fault
+        "kill=1.5",  # rate out of range
+        "kill=-0.1",
+        "kill=0.5:3",  # parameter on a non-delay fault
+        "kill0.5",  # missing '='
+        "kill=lots",  # malformed rate
+    ],
+)
+def test_parse_spec_rejects(bad):
+    with pytest.raises(ValueError):
+        chaos.parse_spec(bad)
+
+
+def test_inactive_spec_is_disabled():
+    assert not chaos.ChaosSpec(seed=5).enabled
+    assert chaos.active() is None
+    assert not chaos.should("kill", "any-key")
+
+
+# -- decision determinism ----------------------------------------------------------
+
+
+def test_decisions_are_deterministic_and_rate_shaped():
+    spec = chaos.ChaosSpec(seed=1, kill=0.3)
+    draws = [chaos.decide(spec, "kill", f"job-{i}") for i in range(2000)]
+    again = [chaos.decide(spec, "kill", f"job-{i}") for i in range(2000)]
+    assert draws == again  # pure function of (seed, fault, key, attempt)
+    rate = sum(draws) / len(draws)
+    assert 0.25 < rate < 0.35  # sha256 draws track the configured rate
+    other_seed = chaos.ChaosSpec(seed=2, kill=0.3)
+    assert draws != [chaos.decide(other_seed, "kill", f"job-{i}") for i in range(2000)]
+
+
+def test_job_faults_fire_on_first_attempt_only():
+    chaos.configure(chaos.ChaosSpec(seed=0, kill=1.0, corrupt=1.0))
+    assert chaos.should("kill", "some-job", attempt=0)
+    assert not chaos.should("kill", "some-job", attempt=1)  # retries converge
+    # Corruption targets files, not attempts: it stays on.
+    assert chaos.should("corrupt", "some-job", attempt=3)
+
+
+def test_serial_kill_degrades_to_exception():
+    chaos.configure(chaos.ChaosSpec(seed=0, kill=1.0))
+    with pytest.raises(chaos.WorkerKilled):
+        chaos.apply_job_faults("victim", attempt=0, in_worker=False)
+
+
+def test_chaos_budget_raises_solver_budget():
+    from repro.polyhedra.budget import SolverBudget
+
+    chaos.configure(chaos.ChaosSpec(seed=0, budget=1.0))
+    with pytest.raises(SolverBudget):
+        chaos.apply_job_faults("victim", attempt=0, in_worker=False)
+
+
+def test_corrupt_bytes_do_not_decode():
+    import json
+
+    torn = chaos.corrupt_bytes(b'{"schema": 1, "value": 42}')
+    with pytest.raises(ValueError):
+        json.loads(torn)
+
+
+# -- the acceptance property: census under chaos -----------------------------------
+
+REF_PAIRS = [
+    (s2, s3)
+    for s2 in ("A[I,J]", "A[J,J]")
+    for s3 in ("A[L,K]", "A[L,J]", "A[K,J]")
+]
+
+
+def _census_specs():
+    """The Cholesky census as fuzz jobs: 6 singles + 36 products."""
+    prog = cholesky.program("right")
+    blocking = DataBlocking.grid("A", 2, 3)
+    singles = [
+        DataShackle(
+            prog,
+            blocking,
+            {"S1": _parse_ref("A[J,J]"), "S2": _parse_ref(s2), "S3": _parse_ref(s3)},
+        )
+        for s2, s3 in REF_PAIRS
+    ]
+    products = [ShackleProduct(a, b) for a in singles for b in singles]
+    cases = [
+        case_from_shackle(sh, {"N": 6}, checks=("legality",))
+        for sh in singles + products
+    ]
+    return [JobSpec("fuzz", case.to_payload()) for case in cases]
+
+
+def test_census_under_chaos_is_bit_identical(tmp_path):
+    specs = _census_specs()
+    assert len(specs) == 42
+    fingerprints = [spec.fingerprint for spec in specs]
+    unique = len(set(fingerprints))
+
+    clean_metrics = MetricsRegistry()
+    clean = run_jobs(specs, jobs=1, metrics=clean_metrics)
+    assert clean_metrics.get("engine.executed.fuzz") == unique
+
+    spec = chaos.parse_spec("kill=0.2,corrupt=0.3,budget=0.2,seed=11")
+    faulted = {
+        fp
+        for fp in set(fingerprints)
+        if chaos.decide(spec, "kill", fp) or chaos.decide(spec, "budget", fp)
+    }
+    corrupted = {fp for fp in set(fingerprints) if chaos.decide(spec, "corrupt", fp)}
+    assert faulted and corrupted, "chosen seed must actually inject faults"
+
+    cache = ResultCache(root=tmp_path / "store")
+    chaos_metrics = MetricsRegistry()
+    chaos.configure(spec)
+    try:
+        chaotic = run_jobs(
+            specs,
+            jobs=1,
+            cache=cache,
+            metrics=chaos_metrics,
+            policy=RetryPolicy(failure_mode="return", backoff=0.01, jitter=0.0),
+        )
+    finally:
+        chaos.configure(None)
+
+    # The acceptance criterion: every job completes, no failure leaks,
+    # and the results are bit-identical to the fault-free run.
+    assert not any(isinstance(out, JobFailure) for out in chaotic)
+    assert chaotic == clean
+    # Every unique job executed exactly once to completion...
+    assert chaos_metrics.get("engine.executed.fuzz") == unique
+    # ...and exactly the faulted jobs consumed a retry (serial execution:
+    # no innocent in-flight work gets charged when a sibling dies).
+    assert chaos_metrics.get("engine.supervise.retries") == len(faulted)
+    assert chaos_metrics.get("engine.supervise.failures") == 0
+
+    # Corrupted cache entries are detected, quarantined, and recomputed.
+    cold = ResultCache(root=tmp_path / "store", metrics=MetricsRegistry())
+    for fp, result in zip(fingerprints, clean):
+        got = cold.get(fp)
+        if fp in corrupted:
+            assert got is None  # scrambled on write, quarantined on read
+        else:
+            assert got == result  # intact entries survive verification
+    assert cold.quarantined == len(corrupted)
+    quarantine = tmp_path / "store" / "quarantine"
+    assert quarantine.is_dir()
+    assert len(list(quarantine.iterdir())) >= len(corrupted)
+
+
+def test_census_under_chaos_parallel_matches_serial(tmp_path):
+    """Worker kills are real os._exit deaths on the parallel path."""
+    specs = _census_specs()[:12]  # singles + first products: keep it quick
+    clean = run_jobs(specs, jobs=1)
+    chaos.configure(chaos.parse_spec("kill=0.25,budget=0.2,seed=11"))
+    try:
+        chaotic = run_jobs(
+            specs,
+            jobs=2,
+            metrics=MetricsRegistry(),
+            policy=RetryPolicy(
+                max_attempts=5, failure_mode="return", backoff=0.01, jitter=0.0
+            ),
+        )
+    finally:
+        chaos.configure(None)
+    assert chaotic == clean

@@ -1,0 +1,182 @@
+"""Tests for supervised execution: retries, timeouts, crashes, deadlines.
+
+Worker functions live at module top level so they pickle across the
+process boundary; crash/flake behavior is keyed on marker files under
+``tmp_path`` so a retried attempt observably differs from the first.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.supervise import (
+    JobFailure,
+    RetryPolicy,
+    supervised_map,
+)
+
+FAST_RETRY = dict(backoff=0.01, max_backoff=0.05, jitter=0.0)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("bad job 3")
+    return x * x
+
+
+def _kill_once(arg):
+    """Hard-exit the worker on the first attempt at item 2."""
+    x, marker = arg
+    if x == 2 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return x * x
+
+
+def _sleep_on_one(arg):
+    x, seconds = arg
+    if x == 1:
+        time.sleep(seconds)
+    return x * x
+
+
+def _flaky_until_marked(arg):
+    """Fail transiently: the first attempt plants the marker and raises."""
+    x, marker = arg
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("transient infrastructure hiccup")
+    return x + 1
+
+
+def _slow(x):
+    time.sleep(0.1)
+    return x
+
+
+def test_serial_map_preserves_order_and_results():
+    assert supervised_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+
+def test_keys_must_match_items():
+    with pytest.raises(ValueError):
+        supervised_map(_square, [1, 2], keys=["only-one"])
+
+
+def test_worker_crash_mid_batch_completes_with_rebuild(tmp_path):
+    """os._exit in a worker breaks the pool; the batch still finishes."""
+    metrics = MetricsRegistry()
+    marker = str(tmp_path / "killed-once")
+    items = [(x, marker) for x in range(6)]
+    results = supervised_map(
+        _kill_once,
+        items,
+        jobs=2,
+        metrics=metrics,
+        policy=RetryPolicy(max_attempts=4, **FAST_RETRY),
+    )
+    assert results == [x * x for x in range(6)]
+    assert metrics.get("engine.supervise.pool_rebuilds") >= 1
+    assert metrics.get("engine.supervise.retries") >= 1
+    assert metrics.get("engine.supervise.failures") == 0
+
+
+def test_job_past_timeout_fails_structured_others_survive():
+    """A sleeping job trips its per-attempt timeout; siblings complete."""
+    metrics = MetricsRegistry()
+    policy = RetryPolicy(
+        max_attempts=2, timeout=0.3, failure_mode="return", **FAST_RETRY
+    )
+    items = [(x, 5.0) for x in range(4)]
+    results = supervised_map(
+        _sleep_on_one, items, jobs=2, metrics=metrics, policy=policy
+    )
+    failure = results[1]
+    assert isinstance(failure, JobFailure)
+    assert failure.timed_out
+    assert failure.error_type == "JobTimeout"
+    assert failure.attempts == 2
+    assert [results[i] for i in (0, 2, 3)] == [0, 4, 9]
+    assert metrics.get("engine.supervise.timeouts") >= 1
+    assert metrics.get("engine.supervise.failures") == 1
+    # Structured failures serialize without the live exception.
+    payload = failure.to_payload()
+    assert payload["error_type"] == "JobTimeout" and payload["timed_out"]
+
+
+def test_transient_failure_is_retried_to_success(tmp_path):
+    metrics = MetricsRegistry()
+    marker = str(tmp_path / "flaked-once")
+    results = supervised_map(
+        _flaky_until_marked,
+        [(7, marker)],
+        metrics=metrics,
+        policy=RetryPolicy(max_attempts=3, **FAST_RETRY),
+    )
+    assert results == [8]
+    assert metrics.get("engine.supervise.retries") == 1
+    assert metrics.get("engine.supervise.failures") == 0
+
+
+def test_failure_mode_raise_surfaces_original_exception():
+    with pytest.raises(ValueError, match="bad job 3"):
+        supervised_map(
+            _boom, [1, 2, 3], policy=RetryPolicy(max_attempts=2, **FAST_RETRY)
+        )
+
+
+def test_failure_mode_return_isolates_the_bad_item():
+    metrics = MetricsRegistry()
+    results = supervised_map(
+        _boom,
+        [1, 2, 3, 4],
+        metrics=metrics,
+        policy=RetryPolicy(max_attempts=2, failure_mode="return", **FAST_RETRY),
+    )
+    assert results[0] == 1 and results[1] == 4 and results[3] == 16
+    failure = results[2]
+    assert isinstance(failure, JobFailure)
+    assert failure.error_type == "ValueError"
+    assert failure.attempts == 2
+    assert not failure.timed_out
+    assert metrics.get("engine.supervise.failures") == 1
+
+
+def test_batch_deadline_abandons_unfinished_items():
+    metrics = MetricsRegistry()
+    policy = RetryPolicy(
+        deadline=0.15, failure_mode="return", max_attempts=1, **FAST_RETRY
+    )
+    results = supervised_map(
+        _slow, list(range(6)), metrics=metrics, policy=policy
+    )
+    abandoned = [r for r in results if isinstance(r, JobFailure)]
+    assert abandoned, "deadline never fired"
+    assert all(f.error_type == "DeadlineExceeded" for f in abandoned)
+    assert all(f.timed_out for f in abandoned)
+    assert metrics.get("engine.supervise.deadline_abandoned") == len(abandoned)
+
+
+def test_unpicklable_work_degrades_to_supervised_serial():
+    metrics = MetricsRegistry()
+    seen = []
+
+    def closure(x):  # not picklable: falls back, still supervised
+        seen.append(x)
+        return x + 1
+
+    assert supervised_map(closure, [1, 2, 3], jobs=4, metrics=metrics) == [2, 3, 4]
+    assert metrics.get("engine.pool.fallbacks") == 1
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(failure_mode="explode")

@@ -1,0 +1,82 @@
+"""The runner-level ``chaos`` differential check.
+
+The honest pipeline must be *silent* under injected faults — supervision
+masks every kill/delay/budget trip and quarantine heals every corrupted
+cache entry, so the chaos pass returns bit-identical results.  The check
+must be *loud* for the one bug class only it can see: behavior that
+depends on the fault environment (the ``chaos-flaky-legality`` planted
+mutation).
+"""
+
+import os
+
+import pytest
+
+from repro.engine import chaos
+from repro.fuzz import run_fuzz
+from repro.fuzz.runner import DEFAULT_CHAOS_SPEC
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_chaos(monkeypatch):
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    previous = chaos.configure(None)
+    yield
+    chaos.configure(previous)
+
+
+def test_chaos_check_is_silent_on_the_honest_pipeline():
+    report = run_fuzz(seed=1, budget=4, checks=("legality", "chaos"), corpus=None)
+    assert report.ok
+    assert report.chaos_cases == 4
+    assert report.chaos_spec == chaos.parse_spec(
+        f"{DEFAULT_CHAOS_SPEC},seed=1"
+    ).describe()
+    assert "chaos differential" in report.describe()
+    # The run restores a chaos-free environment behind itself.
+    assert chaos.active() is None
+    assert chaos.ENV_VAR not in os.environ
+
+
+def test_chaos_check_catches_fault_dependent_behavior():
+    report = run_fuzz(
+        seed=3,
+        budget=8,
+        checks=("legality", "chaos"),
+        corpus=None,
+        mutation="chaos-flaky-legality",
+        shrink=False,
+    )
+    assert not report.ok
+    assert {f.check for f in report.failures} == {"chaos"}
+    assert all("chaos" == f.failures[0]["check"] for f in report.failures)
+
+
+def test_explicit_spec_enables_the_check_without_listing_it():
+    report = run_fuzz(
+        seed=1, budget=3, checks=("legality",), corpus=None,
+        chaos_spec="corrupt=0.5,seed=2",
+    )
+    assert report.ok
+    assert report.chaos_cases == 3
+    assert report.chaos_spec == "seed=2,corrupt=0.5"
+
+
+def test_chaos_alone_falls_back_to_legality_worker_checks():
+    # "chaos" is runner-level: workers need at least one real oracle to
+    # produce comparable results.
+    report = run_fuzz(seed=1, budget=2, checks=("chaos",), corpus=None)
+    assert report.ok
+    assert report.chaos_cases == 2
+
+
+def test_clean_pass_ignores_ambient_chaos(monkeypatch):
+    # With REPRO_CHAOS exported, the reference pass must still run
+    # fault-free or the differential would compare chaos against chaos.
+    monkeypatch.setenv(chaos.ENV_VAR, "kill=1,seed=0")
+    chaos.configure(chaos.parse_spec("kill=1,seed=0"))
+    report = run_fuzz(seed=1, budget=2, checks=("legality", "chaos"), corpus=None)
+    assert report.ok
+    # The ambient spec is restored afterwards.
+    assert os.environ[chaos.ENV_VAR] == "kill=1,seed=0"
+    assert chaos.active() == chaos.parse_spec("kill=1,seed=0")

@@ -71,3 +71,28 @@ def test_cli_fuzz_replays_corpus_and_exits_one_on_failure(tmp_path, capsys):
 def test_cli_fuzz_rejects_unknown_check():
     with pytest.raises(SystemExit):
         main(["fuzz", "--check", "nonsense"])
+
+
+def test_cli_fuzz_chaos_differential_exits_zero(tmp_path, capsys):
+    rc = main(
+        [
+            "fuzz", "--seed", "1", "--budget", "3",
+            "--corpus", str(tmp_path / "c"),
+            "--check", "legality", "--check", "chaos",
+            "--chaos", "kill=0.3,corrupt=0.3,budget=0.2,seed=5",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "chaos differential: 3 cases" in out
+    assert "0 divergences" in out
+
+
+def test_cli_chaos_flag_rejects_bad_spec(tmp_path, capsys):
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        main(
+            ["fuzz", "--seed", "1", "--budget", "1",
+             "--corpus", str(tmp_path / "c"), "--chaos", "explode=2"]
+        )

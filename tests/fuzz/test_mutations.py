@@ -24,7 +24,9 @@ BUDGET = 12  # enough for every mutation to trip at seed 0
 
 def test_registry_covers_every_oracle():
     targets = {m.target_oracle for m in MUTATIONS.values()}
-    assert targets == {"deps", "solver", "legality", "codegen", "semantics", "backend"}
+    assert targets == {
+        "deps", "solver", "legality", "codegen", "semantics", "backend", "chaos",
+    }
     with pytest.raises(ValueError):
         get("no-such-mutation")
     assert get(None) is None

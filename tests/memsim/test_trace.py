@@ -147,3 +147,45 @@ def test_store_validation():
         TraceStore(capacity=0)
     with pytest.raises(ValueError):
         TraceBuffer(0)
+
+
+def test_store_corrupt_entry_is_quarantined(tmp_path):
+    from repro.engine.metrics import MetricsRegistry
+
+    root = tmp_path / "traces"
+    fp = "ab" * 32
+    metrics = MetricsRegistry()
+    store = TraceStore(root=root, metrics=metrics)
+    store.put(fp, Trace(np.array([4, 7], dtype=np.int64), {"S1": 2}, {"S1": 1}))
+    path = root / fp[:2] / f"{fp}.npz"
+    path.write_bytes(b"scrambled")
+
+    cold = TraceStore(root=root, metrics=metrics)
+    assert cold.get(fp) is None
+    assert metrics.get("memsim.trace_quarantined") == 1
+    # Evidence moved aside; the slot reads as a clean miss afterwards.
+    assert not path.exists()
+    assert (root / "quarantine" / path.name).exists()
+    assert cold.get(fp) is None
+    assert metrics.get("memsim.trace_quarantined") == 1  # not re-quarantined
+
+
+def test_store_checksum_tamper_is_quarantined(tmp_path):
+    from repro.engine.metrics import MetricsRegistry
+
+    root = tmp_path / "traces"
+    fp = "cd" * 32
+    metrics = MetricsRegistry()
+    TraceStore(root=root, metrics=metrics).put(
+        fp, Trace(np.array([4, 7], dtype=np.int64), {"S1": 2}, {"S1": 1})
+    )
+    path = root / fp[:2] / f"{fp}.npz"
+    with np.load(path, allow_pickle=False) as data:
+        payload = {name: data[name] for name in data.files}
+    payload["counts"] = payload["counts"] + 1  # stale checksum now
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+
+    cold = TraceStore(root=root, metrics=metrics)
+    assert cold.get(fp) is None
+    assert metrics.get("memsim.trace_quarantined") == 1

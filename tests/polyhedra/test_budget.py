@@ -1,0 +1,114 @@
+"""Solver budgets: typed trips, no poisoned memo, conservative legality."""
+
+import pytest
+
+from repro.core import DataBlocking, DataShackle, check_legality
+from repro.core.shackle import _parse_ref
+from repro.engine.metrics import METRICS
+from repro.kernels import cholesky
+from repro.polyhedra import Constraint, System, solver
+from repro.polyhedra import budget
+from repro.polyhedra.budget import BudgetPolicy, SolverBudget
+
+
+@pytest.fixture(autouse=True)
+def _unbudgeted():
+    """Tests install their own policy; everything restores afterwards."""
+    previous = budget.set_policy()  # no limits
+    solver.clear_memo()
+    yield
+    budget.restore_policy(previous)
+    solver.clear_memo()
+
+
+def _nontrivial_system() -> System:
+    """Small but not empty: feasibility needs at least one elimination."""
+    return System(
+        [
+            Constraint.ge({"x": 1}, 0),  # x >= 0
+            Constraint.ge({"x": -1}, 10),  # x <= 10
+            Constraint.ge({"y": 1, "x": -1}, 0),  # y >= x
+            Constraint.ge({"y": -1}, 10),  # y <= 10
+            Constraint.ge({"x": 1, "y": 1}, -3),  # x + y >= 3
+        ]
+    )
+
+
+def test_policy_defaults_to_disabled():
+    assert not BudgetPolicy().enabled
+    assert BudgetPolicy(max_steps=5).enabled
+    assert BudgetPolicy(max_seconds=0.5).enabled
+
+
+def test_step_budget_trips_with_typed_reason():
+    budget.set_policy(max_steps=0)
+    before = METRICS.get("solver.budget_exceeded")
+    with pytest.raises(SolverBudget) as excinfo:
+        solver.feasible(_nontrivial_system())
+    assert excinfo.value.reason == "steps"
+    assert excinfo.value.limit == 0
+    assert METRICS.get("solver.budget_exceeded") == before + 1
+
+
+def test_time_budget_trips_with_typed_reason():
+    budget.set_policy(max_seconds=0.0)
+    with pytest.raises(SolverBudget) as excinfo:
+        solver.feasible(_nontrivial_system())
+    assert excinfo.value.reason == "seconds"
+
+
+def test_budget_trip_never_poisons_the_memo():
+    system = _nontrivial_system()
+    budget.set_policy(max_steps=0)
+    with pytest.raises(SolverBudget):
+        solver.feasible(system)
+    # With the budget lifted the same query must be *solved*, not served
+    # from a memo entry recorded by the aborted attempt.
+    budget.set_policy()
+    assert solver.feasible(system) is True
+
+
+def test_unbudgeted_queries_are_unaffected():
+    assert solver.feasible(_nontrivial_system()) is True
+
+
+def test_charge_is_noop_outside_query_scope():
+    budget.set_policy(max_steps=0)
+    budget.charge(100)  # no active scope: must not raise
+
+
+def test_env_policy_parsing(monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER_STEPS", "123")
+    monkeypatch.setenv("REPRO_SOLVER_SECONDS", "4.5")
+    policy = budget._policy_from_env()
+    assert policy == BudgetPolicy(max_steps=123, max_seconds=4.5)
+    monkeypatch.delenv("REPRO_SOLVER_STEPS")
+    monkeypatch.delenv("REPRO_SOLVER_SECONDS")
+    assert not budget._policy_from_env().enabled
+
+
+def test_legality_maps_budget_to_conservative_reject():
+    """Unknown feasibility must reject the candidate, never accept it."""
+    prog = cholesky.program("right")
+    shackle = DataShackle(
+        prog,
+        DataBlocking.grid("A", 2, 25),
+        {
+            "S1": _parse_ref("A[J,J]"),
+            "S2": _parse_ref("A[I,J]"),
+            "S3": _parse_ref("A[L,K]"),
+        },
+    )
+    # Dependence analysis runs unbudgeted: the conservative mapping under
+    # test lives in the legality checker's feasibility queries.
+    from repro.dependence import compute_dependences
+
+    deps = compute_dependences(prog)
+    assert check_legality(shackle, deps, verdict_cache={}).legal  # honest verdict
+
+    solver.clear_memo()
+    budget.set_policy(max_steps=0)
+    before = METRICS.get("legality.budget_exceeded")
+    verdict = check_legality(shackle, deps, verdict_cache={})
+    assert not verdict.legal  # every query unknown => candidate rejected
+    assert METRICS.get("legality.budget_exceeded") > before
