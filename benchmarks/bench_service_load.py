@@ -1,0 +1,146 @@
+"""Shackle-as-a-service under load: cold-start vs the warm daemon.
+
+The serving claim, measured: a repeated legality census that pays full
+process cold-start per request (interpreter boot + NumPy import + empty
+solver memo — exactly what every CLI invocation costs today) against
+the same census served by one warm :class:`ShackleServer` from ≥ 32
+concurrent clients with ≥ 1000 total requests.
+
+Assertions (the acceptance bar, not just reporting):
+
+* every load-generated response verified bit-identical to a direct
+  in-process ``execute`` of the same spec — zero dropped, failed or
+  mismatched responses;
+* warm-server p50 at least **10x** below the per-request cold-start
+  p50 (in practice it is orders of magnitude: a cache-hit response is
+  one socket round trip);
+* the numbers land in ``BENCH_service.json`` as a perf-trajectory
+  artifact, alongside a mixed-workload (legality/codegen/search/
+  simulate) profile.
+"""
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.kernels import cholesky
+from repro.service.loadgen import LoadConfig, paper_tasks, run_load
+from repro.service.server import ServerConfig, ServerThread
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_service.json"
+
+USERS = 32
+REQUESTS = 1024
+COLD_SAMPLES = 3
+SPEEDUP_FLOOR = 10.0
+
+
+def _cold_start_p50(tmp_path: Path) -> tuple[float, list[float]]:
+    """Median wall time of one full-cold-start CLI legality request."""
+    kernel = tmp_path / "cholesky.loop"
+    kernel.write_text(cholesky.RIGHT_LOOKING)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    times = []
+    for _ in range(COLD_SAMPLES):
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "legality",
+                str(kernel), "--array", "A", "--block", "25",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        times.append(time.perf_counter() - started)
+        assert proc.returncode == 0, proc.stderr
+    return statistics.median(times), times
+
+
+def _load_phase(tmp_path: Path, name: str, kinds, users, requests):
+    tasks = paper_tasks(kinds=kinds, verify=True)
+    with ServerThread(
+        ServerConfig(), path=str(tmp_path / f"{name}.sock")
+    ) as handle:
+        report = run_load(
+            handle.address,
+            tasks,
+            LoadConfig(users=users, requests=requests, seed=0),
+        )
+    payload = report.to_payload()
+    assert payload["failures"] == 0, report.failures[:5]
+    assert payload["mismatches"] == 0, report.mismatches[:5]
+    assert payload["requests"] == requests
+    return payload
+
+
+def test_service_load_cold_vs_warm(tmp_path):
+    cold_p50, cold_times = _cold_start_p50(tmp_path)
+
+    # The headline phase: a repeated legality census, ≥ 32 concurrent
+    # clients, ≥ 1000 requests, every answer verified.
+    census = _load_phase(
+        tmp_path, "census", kinds=("legality",), users=USERS, requests=REQUESTS
+    )
+    warm_p50 = census["latency"]["p50"]
+    warm_p99 = census["latency"]["p99"]
+    speedup_p50 = cold_p50 / warm_p50 if warm_p50 else float("inf")
+
+    # A mixed profile for the artifact (codegen/search/simulate ride
+    # along); correctness asserted, the speedup bar applies to census.
+    mixed = _load_phase(
+        tmp_path,
+        "mixed",
+        kinds=("legality", "codegen", "search", "simulate"),
+        users=16,
+        requests=256,
+    )
+
+    rows = [
+        ("cold_cli_p50", cold_p50, "full process cold-start per request"),
+        ("warm_p50", warm_p50, f"{USERS} clients, {REQUESTS} requests"),
+        ("warm_p99", warm_p99, ""),
+        ("speedup_p50", speedup_p50, f"floor {SPEEDUP_FLOOR}x"),
+    ]
+    print("\nservice load: cold-start vs warm daemon (legality census)")
+    for name, value, note in rows:
+        shown = f"{value:.6f}s" if name != "speedup_p50" else f"{value:.1f}x"
+        print(f"  {name:<14} {shown:>12}  {note}")
+    print(
+        f"  throughput     {census['throughput_rps']:>10} req/s  "
+        f"cache_hit_rate={census['server']['cache_hit_rate']}"
+    )
+
+    assert census["users"] >= 32 and census["requests"] >= 1000
+    assert speedup_p50 >= SPEEDUP_FLOOR, (
+        f"warm p50 {warm_p50:.6f}s not {SPEEDUP_FLOOR}x better than "
+        f"cold-start p50 {cold_p50:.6f}s"
+    )
+
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {
+                "bench": "service_load",
+                "cold_start": {
+                    "p50": cold_p50,
+                    "samples": cold_times,
+                    "what": "python -m repro legality per request (subprocess)",
+                },
+                "census": census,
+                "mixed": mixed,
+                "speedup_p50": round(speedup_p50, 1),
+                "floor": SPEEDUP_FLOOR,
+            },
+            indent=2,
+        )
+    )
+    print(f"  results -> {RESULTS_PATH.name}")

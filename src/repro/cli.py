@@ -12,6 +12,8 @@ writing any Python:
     python -m repro search kernel.loop --array A --block 25 [--jobs 4 --cache --metrics]
     python -m repro simulate kernel.loop [--array A --block 25 ...] --size N=48
     python -m repro fuzz --seed 0 --budget 200 [--check legality ...] [--jobs 4]
+    python -m repro serve --socket /tmp/repro.sock [--cache DIR --jobs 4]
+    python -m repro bench-serve [--socket /tmp/repro.sock] --users 32 --requests 1000
 
 ``search`` and ``simulate`` run on the execution engine
 (:mod:`repro.engine`): ``--jobs N`` fans independent work out across N
@@ -26,6 +28,14 @@ trace replay vs the per-access oracle; identical numbers) and
 shackles itself and checks the pipeline against brute-force oracles
 (see :mod:`repro.fuzz` and docs/FUZZ.md); exit status 1 means a real
 disagreement, with a minimized repro saved under ``--corpus``.
+
+``serve`` runs the compilation daemon (:mod:`repro.service`, see
+docs/SERVICE.md): one warm engine behind a JSON-over-socket protocol,
+drained cleanly on SIGTERM/SIGINT.  ``bench-serve`` drives a daemon with
+the Locust-style load generator — against ``--socket`` / ``--tcp`` when
+given, else against a fresh in-process server — verifying every answer
+against direct execution and printing latency percentiles; exit status
+1 means dropped, failed or mismatched responses.
 
 ``--chaos SPEC`` (or ``REPRO_CHAOS=SPEC``) activates deterministic
 fault injection (docs/ROBUSTNESS.md): for ``search``/``simulate`` the
@@ -175,6 +185,108 @@ def _engine_cache(args):
     return ResultCache(root=args.cache)
 
 
+def _add_serve_args(sub):
+    sub.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="Unix domain socket path (serve: bind here; "
+        "bench-serve: target an already-running daemon)",
+    )
+    sub.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="TCP endpoint instead of a Unix socket",
+    )
+    sub.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per batch (1 = serial)"
+    )
+    sub.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro_cache",
+        default=None,
+        metavar="DIR",
+        help="back the daemon's warm cache with an on-disk store "
+        "(default dir: .repro_cache)",
+    )
+    sub.add_argument(
+        "--metrics", action="store_true", help="print the engine metrics report"
+    )
+
+
+def _parse_tcp(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import ServerConfig, serve_forever
+
+    if (args.socket is None) == (args.tcp is None):
+        print("serve: give exactly one of --socket PATH or --tcp HOST:PORT",
+              file=sys.stderr)
+        return 2
+    config = ServerConfig(
+        jobs=args.jobs,
+        cache=args.cache,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        batch_window=args.batch_window,
+        dispatchers=args.dispatchers,
+        default_timeout=args.timeout,
+    )
+    host, port = _parse_tcp(args.tcp) if args.tcp else (None, 0)
+
+    def ready(server):
+        print(f"repro.service: serving on {server.address}", flush=True)
+
+    serve_forever(config, path=args.socket, host=host, port=port, ready=ready)
+    if args.metrics:
+        from repro.engine.metrics import METRICS
+
+        print(METRICS.report())
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.service.loadgen import LoadConfig, paper_tasks, run_load
+
+    kinds = tuple(k for k in args.kinds.split(",") if k)
+    tasks = paper_tasks(kinds=kinds, verify=not args.no_verify)
+    config = LoadConfig(
+        users=args.users,
+        requests=args.requests,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    if args.socket or args.tcp:
+        address = args.socket if args.socket else _parse_tcp(args.tcp)
+        report = run_load(address, tasks, config)
+    else:
+        # No target: stand a daemon up in-process and drain it after.
+        import tempfile
+        from pathlib import Path as _Path
+
+        from repro.service.server import ServerConfig, ServerThread
+
+        server_config = ServerConfig(jobs=args.jobs, cache=args.cache)
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            with ServerThread(server_config, path=str(_Path(tmp) / "repro.sock")) as handle:
+                report = run_load(handle.address, tasks, config)
+    print(report.describe())
+    if args.json:
+        import json as _json
+
+        Path(args.json).write_text(_json.dumps(report.to_payload(), indent=2))
+    if args.metrics:
+        from repro.engine.metrics import METRICS
+
+        print(METRICS.report())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument(
@@ -255,6 +367,53 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_engine_args(fuzz_cmd)
 
+    serve_cmd = commands.add_parser(
+        "serve", help="run the compilation daemon (shackle-as-a-service)"
+    )
+    _add_serve_args(serve_cmd)
+    serve_cmd.add_argument(
+        "--queue-limit", type=int, default=1024,
+        help="pending-job bound before `overloaded` responses (default: 1024)",
+    )
+    serve_cmd.add_argument(
+        "--batch-max", type=int, default=64,
+        help="max jobs per engine dispatch (default: 64)",
+    )
+    serve_cmd.add_argument(
+        "--batch-window", type=float, default=0.002,
+        help="seconds a drain tick lingers to batch requests (default: 0.002)",
+    )
+    serve_cmd.add_argument(
+        "--dispatchers", type=int, default=1,
+        help="concurrent engine dispatches (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request deadline in seconds (default: none)",
+    )
+
+    bench_serve = commands.add_parser(
+        "bench-serve", help="drive a daemon with the mixed-workload load generator"
+    )
+    _add_serve_args(bench_serve)
+    bench_serve.add_argument("--users", type=int, default=32, help="concurrent clients")
+    bench_serve.add_argument("--requests", type=int, default=1000, help="total requests")
+    bench_serve.add_argument("--seed", type=int, default=0, help="workload seed")
+    bench_serve.add_argument(
+        "--kinds", default="legality,codegen,search,simulate",
+        help="comma list of request kinds in the mix",
+    )
+    bench_serve.add_argument(
+        "--timeout", type=float, default=None, help="per-request deadline (seconds)"
+    )
+    bench_serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip comparing served answers against direct execution",
+    )
+    bench_serve.add_argument(
+        "--json", default=None, metavar="FILE", help="write the report as JSON"
+    )
+
     args = parser.parse_args(argv)
 
     if getattr(args, "solver", None):
@@ -293,6 +452,12 @@ def main(argv: list[str] | None = None) -> int:
 
             print(METRICS.report())
         return 0 if report.ok else 1
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
 
     program = _load(args.file)
 

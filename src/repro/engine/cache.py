@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
@@ -80,7 +81,15 @@ def quarantine_file(
 
 
 class ResultCache:
-    """In-memory LRU over an optional on-disk content-addressed store."""
+    """In-memory LRU over an optional on-disk content-addressed store.
+
+    Safe to share between threads: the memory tier's ``OrderedDict``
+    (whose ``move_to_end``/``popitem`` pairs would corrupt under
+    interleaving) and the hit/miss counters sit behind one reentrant
+    lock — the compilation daemon's handlers and dispatchers all touch
+    one shared cache concurrently.  Disk I/O stays outside the lock;
+    atomic rename already makes concurrent writers safe.
+    """
 
     def __init__(
         self,
@@ -93,6 +102,7 @@ class ResultCache:
         self.capacity = capacity
         self.root = Path(root) if root is not None else None
         self.metrics = metrics
+        self._lock = threading.RLock()
         self._memory: OrderedDict[str, object] = OrderedDict()
         self.memory_hits = 0
         self.disk_hits = 0
@@ -110,15 +120,17 @@ class ResultCache:
     # -- tier plumbing -----------------------------------------------------------
 
     def _remember(self, fingerprint: str, value: object) -> None:
-        self._memory[fingerprint] = value
-        self._memory.move_to_end(fingerprint)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
-            self.evictions += 1
-            self.metrics.inc("engine.cache.evictions")
+        with self._lock:
+            self._memory[fingerprint] = value
+            self._memory.move_to_end(fingerprint)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
+                self.evictions += 1
+                self.metrics.inc("engine.cache.evictions")
 
     def _quarantine(self, path: Path) -> None:
-        self.quarantined += 1
+        with self._lock:
+            self.quarantined += 1
         quarantine_file(path, self.root, metrics=self.metrics)
 
     def _read_disk(self, fingerprint: str, path: Path):
@@ -157,20 +169,23 @@ class ResultCache:
         fail decoding or integrity checks are quarantined and count as
         misses (once — the file is gone afterwards).
         """
-        if fingerprint in self._memory:
-            self._memory.move_to_end(fingerprint)
-            self.memory_hits += 1
-            self.metrics.inc("engine.cache.hits")
-            return self._memory[fingerprint]
+        with self._lock:
+            if fingerprint in self._memory:
+                self._memory.move_to_end(fingerprint)
+                self.memory_hits += 1
+                self.metrics.inc("engine.cache.hits")
+                return self._memory[fingerprint]
         if self.root is not None:
             loaded = self._read_disk(fingerprint, self._path(fingerprint))
             if loaded is not None:
                 (value,) = loaded
-                self.disk_hits += 1
+                with self._lock:
+                    self.disk_hits += 1
                 self.metrics.inc("engine.cache.hits")
                 self._remember(fingerprint, value)
                 return value
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         self.metrics.inc("engine.cache.misses")
         return None
 
@@ -183,7 +198,8 @@ class ResultCache:
         canonical = json.dumps(
             value, sort_keys=True, separators=(",", ":")
         )  # validates serializability up front
-        self.puts += 1
+        with self._lock:
+            self.puts += 1
         self._remember(fingerprint, value)
         if self.root is not None:
             envelope = {
@@ -207,7 +223,8 @@ class ResultCache:
         behind by writers that crashed between write and rename.
         Quarantined files are kept — they are the fault evidence.
         """
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if disk and self.root is not None and self.root.exists():
             for bucket in self.root.iterdir():
                 if bucket.is_dir() and bucket.name != QUARANTINE_DIR:
@@ -217,7 +234,8 @@ class ResultCache:
                         orphan.unlink()
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     @property
     def hits(self) -> int:
@@ -229,13 +247,14 @@ class ResultCache:
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        return {
-            "memory_entries": len(self._memory),
-            "memory_hits": self.memory_hits,
-            "disk_hits": self.disk_hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "puts": self.puts,
-            "quarantined": self.quarantined,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+        with self._lock:
+            return {
+                "memory_entries": len(self._memory),
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "puts": self.puts,
+                "quarantined": self.quarantined,
+                "hit_rate": round(self.hit_rate, 4),
+            }

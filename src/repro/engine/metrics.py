@@ -1,12 +1,20 @@
-"""Engine metrics: counters and timers for the compilation pipeline.
+"""Engine metrics: counters, timers, gauges and latency series.
 
 One process-global :data:`METRICS` registry accumulates named counters
 (legality checks run, Omega feasibility calls, Fourier-Motzkin
 eliminations, cache-simulator accesses, trace capture/replay events —
 ``memsim.trace_capture``, ``memsim.trace_replay``,
 ``memsim.trace_cache_hit`` — and result-cache hits/misses) plus
-wall-clock timers.  Instrumented modules pay one dict update per event,
-so the hooks are cheap enough to leave on permanently.
+wall-clock timers, last-value **gauges** (queue depth, in-flight
+requests) and bounded-reservoir **series** from which percentiles
+(p50/p90/p99) are computed at snapshot time — the compilation daemon
+(:mod:`repro.service`) records per-request-kind latencies here.
+Instrumented modules pay one dict update per event, so the hooks are
+cheap enough to leave on permanently.
+
+Every mutator and reader takes the registry lock, so the registry is
+safe to share between the daemon's handler threads, the supervisor, and
+the event loop.
 
 This module must stay free of ``repro`` imports: it is imported from
 ``repro.polyhedra`` and ``repro.memsim``, which sit below the engine in
@@ -15,18 +23,63 @@ the dependency order.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
+
+SERIES_RESERVOIR = 8192
+"""Samples kept per series: enough for stable tail percentiles while
+bounding memory for week-long daemons (older samples age out FIFO)."""
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted ``samples`` (q in [0, 100])."""
+    if not samples:
+        return 0.0
+    rank = max(1, -(-len(samples) * q // 100))  # ceil without float error
+    return samples[int(rank) - 1]
+
+
+class _Series:
+    """One bounded sample reservoir with lifetime count/total."""
+
+    __slots__ = ("count", "total", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.samples: deque[float] = deque(maxlen=SERIES_RESERVOIR)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.samples.append(value)
+
+    def summary(self) -> dict:
+        ordered = sorted(self.samples)
+        out = {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "max": ordered[-1] if ordered else 0.0,
+        }
+        for q in _PERCENTILES:
+            out[f"p{q:g}"] = percentile(ordered, q)
+        return out
 
 
 class MetricsRegistry:
-    """Named counters plus named (count, total-seconds) timers."""
+    """Named counters, (count, total-seconds) timers, gauges and series."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.counters: dict[str, float] = {}
         self.timers: dict[str, list[float]] = {}  # name -> [count, seconds]
+        self.gauges: dict[str, float] = {}
+        self.series: dict[str, _Series] = {}
 
     # -- counters ----------------------------------------------------------------
 
@@ -37,7 +90,29 @@ class MetricsRegistry:
 
     def get(self, name: str, default: float = 0) -> float:
         """Current value of counter ``name``."""
-        return self.counters.get(name, default)
+        with self._lock:
+            return self.counters.get(name, default)
+
+    # -- gauges ------------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set last-value gauge ``name`` (queue depth, in-flight, ...)."""
+        with self._lock:
+            self.gauges[name] = value
+
+    def get_gauge(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self.gauges.get(name, default)
+
+    # -- series ------------------------------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        """Add one sample to series ``name`` (latencies, batch sizes)."""
+        with self._lock:
+            series = self.series.get(name)
+            if series is None:
+                series = self.series[name] = _Series()
+            series.add(value)
 
     # -- timers ------------------------------------------------------------------
 
@@ -63,23 +138,35 @@ class MetricsRegistry:
         with self._lock:
             self.counters.clear()
             self.timers.clear()
+            self.gauges.clear()
+            self.series.clear()
 
     def snapshot(self) -> dict:
-        """A plain-dict copy (counters, timers) safe to serialize."""
+        """A plain-dict copy (counters, timers, gauges, series summaries)
+        safe to serialize; series percentiles are computed here."""
         with self._lock:
-            return {
+            snap = {
                 "counters": dict(self.counters),
                 "timers": {
                     name: {"count": entry[0], "seconds": entry[1]}
                     for name, entry in self.timers.items()
                 },
             }
+            if self.gauges:
+                snap["gauges"] = dict(self.gauges)
+            if self.series:
+                snap["series"] = {
+                    name: series.summary() for name, series in self.series.items()
+                }
+            return snap
 
     def merge(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
         Used to surface metrics gathered inside worker processes, which
-        do not share the parent's registry.
+        do not share the parent's registry.  Gauges take the incoming
+        value (last write wins); series summaries cannot be merged
+        sample-by-sample, so only their counts fold in, as counters.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.inc(name, value)
@@ -88,9 +175,23 @@ class MetricsRegistry:
                 slot = self.timers.setdefault(name, [0, 0.0])
                 slot[0] += entry["count"]
                 slot[1] += entry["seconds"]
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, entry in snapshot.get("series", {}).items():
+            self.inc(f"{name}.merged", entry.get("count", 0))
 
-    def report(self) -> str:
-        """Aligned text report of all counters and timers."""
+    def report(self, fmt: str = "text") -> str:
+        """Report of all counters/timers/gauges/series.
+
+        ``fmt="text"`` (default) is the aligned human-readable report;
+        ``fmt="json"`` is the canonical machine-readable snapshot — one
+        serialization shared by ``--metrics``, the daemon's ``stats``
+        RPC and the load generator (parse it back with ``json.loads``).
+        """
+        if fmt == "json":
+            return json.dumps(self.snapshot(), sort_keys=True)
+        if fmt != "text":
+            raise ValueError(f"unknown metrics report format {fmt!r}")
         snap = self.snapshot()
         lines = ["engine metrics", "--------------"]
         counters = snap["counters"]
@@ -136,7 +237,23 @@ class MetricsRegistry:
                 lines.append(
                     f"{name:<{width}}  {entry['count']} calls  {entry['seconds']:.4f}s"
                 )
-        if not counters and not timers:
+        gauges = snap.get("gauges", {})
+        if gauges:
+            lines.append("")
+            width = max(len(n) for n in gauges)
+            for name in sorted(gauges):
+                lines.append(f"{name:<{width}}  {gauges[name]:g}")
+        series = snap.get("series", {})
+        if series:
+            lines.append("")
+            width = max(len(n) for n in series)
+            for name in sorted(series):
+                s = series[name]
+                lines.append(
+                    f"{name:<{width}}  n={s['count']}  p50={s['p50']:.6g}  "
+                    f"p90={s['p90']:.6g}  p99={s['p99']:.6g}  max={s['max']:.6g}"
+                )
+        if not counters and not timers and not gauges and not series:
             lines.append("(no events recorded)")
         return "\n".join(lines)
 

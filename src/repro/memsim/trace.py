@@ -24,6 +24,7 @@ Counters: ``memsim.trace_capture`` (fresh captures), and
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -154,6 +155,7 @@ class TraceStore:
         self.root = Path(root) if root is not None else None
         self.capacity = capacity
         self.metrics = metrics
+        self._lock = threading.RLock()
         self._memory: OrderedDict[str, Trace] = OrderedDict()
         self.replay_memo: dict[tuple[str, str], object] = {}
 
@@ -162,20 +164,22 @@ class TraceStore:
         return self.root / fingerprint[:2] / f"{fingerprint}.npz"
 
     def _remember(self, fingerprint: str, trace: Trace) -> None:
-        self._memory[fingerprint] = trace
-        self._memory.move_to_end(fingerprint)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
+        with self._lock:
+            self._memory[fingerprint] = trace
+            self._memory.move_to_end(fingerprint)
+            while len(self._memory) > self.capacity:
+                self._memory.popitem(last=False)
 
     def get(self, fingerprint: str) -> Trace | None:
         """The stored trace for ``fingerprint``, or None on miss.
 
         Disk hits are promoted into the memory tier.
         """
-        if fingerprint in self._memory:
-            self._memory.move_to_end(fingerprint)
-            self.metrics.inc("memsim.trace_cache_hit")
-            return self._memory[fingerprint]
+        with self._lock:
+            if fingerprint in self._memory:
+                self._memory.move_to_end(fingerprint)
+                self.metrics.inc("memsim.trace_cache_hit")
+                return self._memory[fingerprint]
         if self.root is not None:
             path = self._path(fingerprint)
             if not path.exists():
@@ -241,7 +245,8 @@ class TraceStore:
             _chaos.maybe_corrupt_file(path, fingerprint)
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
 
 DEFAULT_TRACE_STORE = TraceStore()

@@ -30,6 +30,7 @@ conservative "unknown => reject candidate" verdict (docs/ROBUSTNESS.md).
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 
 from repro.engine.metrics import METRICS
@@ -48,34 +49,42 @@ class SolverMemo:
 
     Unlike the unbounded dict it replaces, insertion past ``capacity``
     evicts the least-recently-used entry, so week-long searches cannot
-    grow solver memory without bound.
+    grow solver memory without bound.  Access is lock-protected: the
+    compilation daemon (:mod:`repro.service`) shares one warm memo
+    between concurrent dispatcher threads, and an interleaved
+    ``move_to_end``/``popitem`` would corrupt the ``OrderedDict``.
     """
 
     def __init__(self, capacity: int = 65536) -> None:
         if capacity < 1:
             raise ValueError("memo capacity must be at least 1")
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._entries: OrderedDict[str, object] = OrderedDict()
         self.evictions = 0
 
     def get(self, key: str):
-        if key not in self._entries:
-            return None
-        self._entries.move_to_end(key)
-        return self._entries[key]
+        with self._lock:
+            if key not in self._entries:
+                return None
+            self._entries.move_to_end(key)
+            return self._entries[key]
 
     def put(self, key: str, value: object) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 _MEMO = SolverMemo()

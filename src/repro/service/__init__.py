@@ -1,0 +1,55 @@
+"""repro.service — shackle-as-a-service (see docs/SERVICE.md).
+
+The serving layer over :mod:`repro.engine`: an asyncio daemon that
+multiplexes many concurrent clients onto one warm engine (shared result
+cache, solver memo, trace store), with single-flight dedup by job
+fingerprint, batched dispatch, backpressure, per-request deadlines and
+graceful drain — plus the sync client library and a Locust-style load
+generator.
+
+* :mod:`repro.service.protocol` — length-prefixed, versioned JSON frames;
+* :mod:`repro.service.server`  — :class:`ShackleServer`, ``serve_forever``,
+  :class:`ServerThread` (in-process daemon for tests/benchmarks);
+* :mod:`repro.service.client`  — :class:`ServiceClient` and typed errors;
+* :mod:`repro.service.loadgen` — weighted mixed-workload load generator
+  over the paper kernels, reporting client-side percentiles.
+
+Heavy modules load lazily: importing :mod:`repro.service` must not pull
+in the whole compiler (the client only needs ``protocol`` + ``jobs``).
+"""
+
+from __future__ import annotations
+
+from repro.service.protocol import PROTOCOL_VERSION
+
+_LAZY = {
+    "ShackleServer": "server",
+    "ServerConfig": "server",
+    "ServerThread": "server",
+    "ServiceEngine": "server",
+    "serve_forever": "server",
+    "ServiceClient": "client",
+    "ServiceError": "client",
+    "ServerOverloaded": "client",
+    "ServerShuttingDown": "client",
+    "RequestDeadline": "client",
+    "RemoteJobFailure": "client",
+    "LoadConfig": "loadgen",
+    "LoadTask": "loadgen",
+    "LoadReport": "loadgen",
+    "paper_tasks": "loadgen",
+    "run_load": "loadgen",
+}
+
+__all__ = ["PROTOCOL_VERSION", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f"repro.service.{_LAZY[name]}")
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,230 @@
+"""``ServiceClient`` — a synchronous client for the shackle daemon.
+
+A thin blocking wrapper over the socket protocol
+(:mod:`repro.service.protocol`): one connection, one outstanding request
+at a time, typed exceptions for the daemon's non-``ok`` statuses so
+callers can triage backpressure (:class:`ServerOverloaded` — retry with
+backoff), lifecycle (:class:`ServerShuttingDown` — find another server)
+and deadlines (:class:`RequestDeadline`) without parsing envelopes.
+
+The convenience methods (``legality``/``codegen``/``search``/
+``simulate``) build the same :class:`~repro.engine.jobs.JobSpec`
+payloads the in-process engine uses, so a served answer is bit-identical
+to a direct :func:`repro.engine.jobs.execute` call on the same spec —
+the property the concurrency tests assert.
+
+Thread use: a client instance is *not* thread-safe; give each thread its
+own (connections are cheap — one Unix-socket connect).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.engine import jobs as _jobs
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """Base for daemon-reported failures; carries the raw response."""
+
+    status = protocol.STATUS_FAILED
+
+    def __init__(self, message: str, response: dict | None = None) -> None:
+        super().__init__(message)
+        self.response = response or {}
+
+
+class ServerOverloaded(ServiceError):
+    """Backpressure: the daemon's pending-job bound is full; back off."""
+
+    status = protocol.STATUS_OVERLOADED
+
+
+class ServerShuttingDown(ServiceError):
+    """The daemon is draining and takes no new work."""
+
+    status = protocol.STATUS_SHUTTING_DOWN
+
+
+class RequestDeadline(ServiceError):
+    """The per-request deadline passed; the job may still complete and
+    be served from cache on a retry."""
+
+    status = protocol.STATUS_DEADLINE
+
+
+class BadRequest(ServiceError):
+    status = protocol.STATUS_BAD_REQUEST
+
+
+class RemoteJobFailure(ServiceError):
+    """The job itself failed after the engine's retries were exhausted."""
+
+    status = protocol.STATUS_FAILED
+
+
+_ERRORS_BY_STATUS = {
+    cls.status: cls
+    for cls in (ServerOverloaded, ServerShuttingDown, RequestDeadline, BadRequest)
+}
+
+
+class ServiceClient:
+    """One blocking connection to a shackle daemon.
+
+    ``path`` targets a Unix socket, ``host``/``port`` a TCP server.
+    ``connect_retry`` keeps retrying the initial connect for that many
+    seconds — handy when racing a daemon that is still binding its
+    socket (the CI smoke test starts both at once).
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        host: str | None = None,
+        port: int = 0,
+        *,
+        io_timeout: float | None = 60.0,
+        connect_retry: float = 0.0,
+    ) -> None:
+        if (path is None) == (host is None):
+            raise ValueError("give exactly one of path= (unix) or host= (tcp)")
+        self._target = path if path is not None else (host, port)
+        self._unix = path is not None
+        self._io_timeout = io_timeout
+        self._connect_retry = connect_retry
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+
+    # -- connection --------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        deadline = time.monotonic() + self._connect_retry
+        while True:
+            try:
+                if self._unix:
+                    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                    sock.settimeout(self._io_timeout)
+                    sock.connect(self._target)
+                else:
+                    sock = socket.create_connection(
+                        self._target, timeout=self._io_timeout
+                    )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw request/response ----------------------------------------------------
+
+    def request(
+        self,
+        op: str,
+        *,
+        kind: str | None = None,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Send one request and return the raw response message."""
+        self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        message = protocol.request(
+            op, request_id, kind=kind, payload=payload, timeout=timeout
+        )
+        protocol.send_message(self._sock, message)
+        while True:
+            response = protocol.recv_message(self._sock)
+            if response is None:
+                self.close()
+                raise ServiceError("server closed the connection mid-request")
+            if response.get("id") == request_id:
+                return response
+
+    def call(
+        self,
+        op: str,
+        *,
+        kind: str | None = None,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ):
+        """``request`` plus triage: returns ``value`` or raises typed errors."""
+        response = self.request(op, kind=kind, payload=payload, timeout=timeout)
+        if response.get("ok"):
+            return response.get("value")
+        status = response.get("status", protocol.STATUS_FAILED)
+        error = response.get("error") or {}
+        text = f"{error.get('type', 'Error')}: {error.get('message', status)}"
+        raise _ERRORS_BY_STATUS.get(status, RemoteJobFailure)(text, response)
+
+    # -- job submission ----------------------------------------------------------
+
+    def submit(self, spec: _jobs.JobSpec, timeout: float | None = None):
+        """Run one prebuilt :class:`JobSpec` on the daemon."""
+        return self.call("job", kind=spec.kind, payload=spec.payload, timeout=timeout)
+
+    def legality(self, program, blocking, choice, timeout: float | None = None) -> dict:
+        return self.submit(_jobs.legality_job(program, blocking, choice), timeout)
+
+    def codegen(
+        self,
+        program,
+        blocking,
+        choice="lhs",
+        mode: str = "simplified",
+        timeout: float | None = None,
+    ) -> dict:
+        return self.submit(_jobs.codegen_job(program, blocking, choice, mode), timeout)
+
+    def search(
+        self, program, blocking, max_product: int = 2, timeout: float | None = None
+    ) -> dict:
+        return self.submit(_jobs.search_job(program, blocking, max_product), timeout)
+
+    def simulate(
+        self,
+        program,
+        env,
+        machine,
+        variant: str = "variant",
+        timeout: float | None = None,
+        **options,
+    ) -> dict:
+        return self.submit(
+            _jobs.simulate_job(program, env, machine, variant, options=options),
+            timeout,
+        )
+
+    # -- service ops -------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        """The daemon's machine-readable snapshot (server + metrics + cache)."""
+        return self.call("stats")
+
+    def shutdown_server(self) -> dict:
+        """Ask the daemon to drain and exit (same path as SIGTERM)."""
+        return self.call("shutdown")

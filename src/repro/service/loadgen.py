@@ -1,0 +1,356 @@
+"""A Locust-style load generator for the shackle daemon.
+
+Simulated *users* are threads, each with its own
+:class:`~repro.service.client.ServiceClient` connection and a seeded
+RNG; every user repeatedly draws a weighted task from a mix (think-time
+optional), fires it at the daemon, and records latency and outcome.
+The run is bounded by a shared request budget, so ``users=32,
+requests=1000`` means exactly 1000 requests spread over 32 concurrent
+connections, reproducibly for a fixed seed.
+
+:func:`paper_tasks` builds the standard mixed workload from the paper
+kernels — a Cholesky legality census (the hot, highly-coalescible
+query), simplified codegen, a matmul shackle search, and small
+cache-simulation points — optionally annotated with expected values
+computed by direct in-process :func:`~repro.engine.jobs.execute` calls
+so the report can prove every served answer bit-identical.
+
+The resulting :class:`LoadReport` carries client-side percentiles per
+request kind, failure/mismatch lists, and the daemon's own ``stats``
+snapshot (the same ``METRICS.report(fmt="json")`` serialization the
+``--metrics`` flag prints), and serializes with ``to_payload`` for
+``BENCH_service.json`` and the CI artifact.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.engine import jobs as _jobs
+from repro.engine.metrics import percentile
+from repro.service.client import ServiceClient, ServiceError
+
+
+@dataclass(frozen=True)
+class LoadTask:
+    """One weighted entry of the workload mix."""
+
+    name: str
+    weight: int
+    spec: _jobs.JobSpec
+    expect: object = None  # expected value; None disables verification
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+
+@dataclass
+class LoadConfig:
+    users: int = 32
+    requests: int = 1000
+    seed: int = 0
+    timeout: float | None = None  # per-request deadline sent to the server
+    think_time: float = 0.0  # max per-user pause between requests (uniform)
+    connect_retry: float = 10.0
+
+
+@dataclass
+class Sample:
+    task: str
+    kind: str
+    seconds: float
+    status: str  # "ok" | the ServiceError status | "error"
+    flight: str | None = None
+
+
+@dataclass
+class LoadReport:
+    config: LoadConfig
+    tasks: list[LoadTask]
+    samples: list[Sample] = field(default_factory=list)
+    mismatches: list[dict] = field(default_factory=list)
+    server_stats: dict | None = None
+    wall_seconds: float = 0.0
+
+    @property
+    def failures(self) -> list[Sample]:
+        return [s for s in self.samples if s.status != "ok"]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.samples) and not self.failures and not self.mismatches
+
+    def _latency_summary(self, samples: list[Sample]) -> dict:
+        ordered = sorted(s.seconds for s in samples)
+        return {
+            "count": len(ordered),
+            "p50": percentile(ordered, 50),
+            "p90": percentile(ordered, 90),
+            "p99": percentile(ordered, 99),
+            "max": ordered[-1] if ordered else 0.0,
+            "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+        }
+
+    def to_payload(self) -> dict:
+        by_kind: dict[str, list[Sample]] = {}
+        for sample in self.samples:
+            by_kind.setdefault(sample.kind, []).append(sample)
+        flights: dict[str, int] = {}
+        for sample in self.samples:
+            if sample.flight:
+                flights[sample.flight] = flights.get(sample.flight, 0) + 1
+        payload = {
+            "users": self.config.users,
+            "requests": len(self.samples),
+            "seed": self.config.seed,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_rps": (
+                round(len(self.samples) / self.wall_seconds, 2)
+                if self.wall_seconds
+                else 0.0
+            ),
+            "failures": len(self.failures),
+            "mismatches": len(self.mismatches),
+            "flights": flights,
+            "latency": self._latency_summary(self.samples),
+            "kinds": {
+                kind: self._latency_summary(samples)
+                for kind, samples in sorted(by_kind.items())
+            },
+        }
+        if self.server_stats is not None:
+            server = self.server_stats.get("server", {})
+            cache = self.server_stats.get("cache", {})
+            payload["server"] = {
+                "requests": server.get("requests"),
+                "uptime": server.get("uptime"),
+                "cache_hit_rate": cache.get("hit_rate"),
+                "cache_entries": cache.get("memory_entries"),
+            }
+        return payload
+
+    def describe(self) -> str:
+        p = self.to_payload()
+        lines = [
+            f"load: {p['requests']} requests, {p['users']} users, "
+            f"{p['wall_seconds']}s wall ({p['throughput_rps']} req/s)",
+            f"failures={p['failures']} mismatches={p['mismatches']} "
+            f"flights={p['flights']}",
+        ]
+        for kind, summary in p["kinds"].items():
+            lines.append(
+                f"  {kind:<10} n={summary['count']:<5} "
+                f"p50={summary['p50'] * 1e3:.2f}ms p90={summary['p90'] * 1e3:.2f}ms "
+                f"p99={summary['p99'] * 1e3:.2f}ms max={summary['max'] * 1e3:.2f}ms"
+            )
+        if p.get("server"):
+            lines.append(
+                f"  server: cache_hit_rate={p['server']['cache_hit_rate']} "
+                f"requests={p['server']['requests']}"
+            )
+        return "\n".join(lines)
+
+
+# -- the standard paper-kernel mix -------------------------------------------------
+
+_CHOLESKY_REF_PAIRS = (
+    ("A[I,J]", "A[L,K]"),
+    ("A[I,J]", "A[L,J]"),
+    ("A[I,J]", "A[K,J]"),
+    ("A[J,J]", "A[L,K]"),
+    ("A[J,J]", "A[L,J]"),
+    ("A[J,J]", "A[K,J]"),
+)
+
+
+def paper_tasks(
+    kinds: tuple[str, ...] = ("legality", "codegen", "search", "simulate"),
+    verify: bool = False,
+) -> list[LoadTask]:
+    """The standard mixed workload over the paper kernels.
+
+    ``verify=True`` precomputes each task's expected value with a direct
+    in-process ``execute`` call, so the load run can assert the daemon's
+    answers are bit-identical to the library's.
+    """
+    from repro.core import DataBlocking
+    from repro.core.shackle import _parse_ref
+    from repro.kernels import cholesky, matmul
+
+    chol = cholesky.program("right")
+    mm = matmul.program()
+    blocking_a = DataBlocking.grid("A", 2, 25)
+    blocking_c = DataBlocking.grid("C", 2, 25)
+    tasks: list[LoadTask] = []
+    if "legality" in kinds:
+        for s2, s3 in _CHOLESKY_REF_PAIRS:
+            choice = {
+                "S1": _parse_ref("A[J,J]"),
+                "S2": _parse_ref(s2),
+                "S3": _parse_ref(s3),
+            }
+            tasks.append(
+                LoadTask(
+                    name=f"legality:chol:{s2}:{s3}",
+                    weight=8,
+                    spec=_jobs.legality_job(chol, blocking_a, choice),
+                )
+            )
+    if "codegen" in kinds:
+        tasks.append(
+            LoadTask(
+                name="codegen:matmul",
+                weight=4,
+                spec=_jobs.codegen_job(mm, blocking_c, "lhs", "simplified"),
+            )
+        )
+        tasks.append(
+            LoadTask(
+                name="codegen:chol-naive",
+                weight=2,
+                spec=_jobs.codegen_job(
+                    chol,
+                    blocking_a,
+                    {"S1": "A[J,J]", "S2": "A[I,J]", "S3": "A[L,K]"},
+                    "naive",
+                ),
+            )
+        )
+    if "search" in kinds:
+        tasks.append(
+            LoadTask(
+                name="search:matmul",
+                weight=1,
+                spec=_jobs.search_job(mm, blocking_c, max_product=1),
+            )
+        )
+    if "simulate" in kinds:
+        from repro.memsim.cost import SP2_SCALED
+
+        for n in (12, 16):
+            tasks.append(
+                LoadTask(
+                    name=f"simulate:matmul:N={n}",
+                    weight=1,
+                    spec=_jobs.simulate_job(
+                        mm, {"N": n}, SP2_SCALED, variant="loadgen",
+                        options={"seed": 0},
+                    ),
+                )
+            )
+    if verify:
+        tasks = [
+            LoadTask(
+                name=task.name,
+                weight=task.weight,
+                spec=task.spec,
+                expect=_jobs.execute(task.spec),
+            )
+            for task in tasks
+        ]
+    return tasks
+
+
+# -- the generator -----------------------------------------------------------------
+
+
+def _make_client(address, config: LoadConfig) -> ServiceClient:
+    if isinstance(address, (tuple, list)):
+        host, port = address
+        return ServiceClient(
+            host=host, port=int(port), connect_retry=config.connect_retry
+        )
+    return ServiceClient(path=str(address), connect_retry=config.connect_retry)
+
+
+def run_load(
+    address,
+    tasks: list[LoadTask] | None = None,
+    config: LoadConfig | None = None,
+) -> LoadReport:
+    """Drive ``config.requests`` requests at a daemon from
+    ``config.users`` concurrent connections; returns the report.
+
+    ``address`` is a Unix-socket path or a ``(host, port)`` pair.
+    """
+    config = config or LoadConfig()
+    tasks = tasks if tasks is not None else paper_tasks()
+    if not tasks:
+        raise ValueError("empty task mix")
+    report = LoadReport(config=config, tasks=tasks)
+    weights = [task.weight for task in tasks]
+    budget = {"left": config.requests}
+    lock = threading.Lock()
+
+    def take_ticket() -> bool:
+        with lock:
+            if budget["left"] <= 0:
+                return False
+            budget["left"] -= 1
+            return True
+
+    def user(uid: int) -> None:
+        rng = random.Random((config.seed << 16) ^ uid)
+        samples: list[Sample] = []
+        mismatches: list[dict] = []
+        try:
+            with _make_client(address, config) as client:
+                while take_ticket():
+                    task = rng.choices(tasks, weights=weights)[0]
+                    started = time.perf_counter()
+                    status, flight, value = "ok", None, None
+                    try:
+                        response = client.request(
+                            "job",
+                            kind=task.spec.kind,
+                            payload=task.spec.payload,
+                            timeout=config.timeout,
+                        )
+                        flight = response.get("flight")
+                        if response.get("ok"):
+                            value = response.get("value")
+                        else:
+                            status = response.get("status", "failed")
+                    except (ServiceError, OSError) as exc:
+                        status = getattr(exc, "status", "error")
+                    elapsed = time.perf_counter() - started
+                    samples.append(
+                        Sample(task.name, task.kind, elapsed, status, flight)
+                    )
+                    if status == "ok" and task.expect is not None and value != task.expect:
+                        mismatches.append(
+                            {"task": task.name, "got": value, "want": task.expect}
+                        )
+                    if config.think_time > 0:
+                        time.sleep(rng.uniform(0.0, config.think_time))
+        except (OSError, ServiceError) as exc:
+            # A user that cannot connect (or loses its connection outside
+            # a request) is a failed sample, not a crashed thread.
+            samples.append(
+                Sample(f"user-{uid}", "connect", 0.0, f"error:{exc!r}", None)
+            )
+        finally:
+            with lock:
+                report.samples.extend(samples)
+                report.mismatches.extend(mismatches)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=user, args=(uid,), name=f"load-user-{uid}")
+        for uid in range(config.users)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    try:
+        with _make_client(address, config) as client:
+            report.server_stats = client.stats()
+    except (ServiceError, OSError):
+        report.server_stats = None  # e.g. the daemon already drained
+    return report

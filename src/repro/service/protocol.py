@@ -1,0 +1,208 @@
+"""The shackle-service wire protocol: length-prefixed, versioned JSON.
+
+One frame = a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  Every message carries ``"v": PROTOCOL_VERSION``; a server
+rejects frames from a different major version with a ``bad-request``
+response instead of guessing.  Length prefixes make the stream
+self-delimiting (no sentinel scanning, binary-safe payloads) and let
+both sides enforce :data:`MAX_FRAME_BYTES` before allocating.
+
+Requests::
+
+    {"v": 1, "id": 7, "op": "job", "kind": "legality",
+     "payload": {...}, "timeout": 2.5}
+
+``op`` is one of :data:`OPS`; ``kind`` (for ``op="job"``) names an
+engine executor (legality / codegen / search / simulate / fuzz);
+``payload`` is the :class:`~repro.engine.jobs.JobSpec` payload — the
+fingerprint is recomputed server-side, so a client can never poison the
+cache with a mislabelled result.  ``timeout`` (seconds, optional) is
+the per-request deadline.
+
+Responses::
+
+    {"v": 1, "id": 7, "ok": true, "status": "ok", "value": {...},
+     "flight": "cached"}
+
+``status`` is one of :data:`STATUSES`; non-``ok`` responses carry
+``error: {"type": ..., "message": ...}`` instead of ``value``.
+``flight`` annotates how a job was served — ``"cached"`` (memory/disk
+hit on the fast path), ``"coalesced"`` (attached to an identical
+in-flight request), or ``"fresh"`` (dispatched to the engine) — which
+is how the load generator observes single-flight dedup and cache hit
+rates without scraping counters.
+
+This module has no asyncio or repro dependencies beyond the stdlib, so
+clients can stay lightweight; sync helpers work on plain sockets and
+async helpers on asyncio streams.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+PROTOCOL_VERSION = 1
+"""Bump on any incompatible change to the frame or message schema."""
+
+MAX_FRAME_BYTES = 32 << 20
+"""Upper bound on one frame; a peer announcing more is protocol abuse
+(or corruption) and the connection is dropped."""
+
+_HEADER = struct.Struct(">I")
+
+OPS = ("job", "stats", "ping", "shutdown")
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_OVERLOADED = "overloaded"
+STATUS_SHUTTING_DOWN = "shutting-down"
+STATUS_DEADLINE = "deadline-exceeded"
+STATUS_BAD_REQUEST = "bad-request"
+
+STATUSES = (
+    STATUS_OK,
+    STATUS_FAILED,
+    STATUS_OVERLOADED,
+    STATUS_SHUTTING_DOWN,
+    STATUS_DEADLINE,
+    STATUS_BAD_REQUEST,
+)
+
+FLIGHT_CACHED = "cached"
+FLIGHT_COALESCED = "coalesced"
+FLIGHT_FRESH = "fresh"
+
+
+class ProtocolError(Exception):
+    """A malformed or oversized frame; the connection cannot continue."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: length prefix + canonical JSON body."""
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body must be an object, got {type(message).__name__}")
+    return message
+
+
+def request(
+    op: str,
+    request_id: int,
+    *,
+    kind: str | None = None,
+    payload: dict | None = None,
+    timeout: float | None = None,
+) -> dict:
+    """Build a request message (client side)."""
+    message = {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
+    if kind is not None:
+        message["kind"] = kind
+    if payload is not None:
+        message["payload"] = payload
+    if timeout is not None:
+        message["timeout"] = timeout
+    return message
+
+
+def response(
+    request_id,
+    *,
+    status: str = STATUS_OK,
+    value=None,
+    error: dict | None = None,
+    flight: str | None = None,
+) -> dict:
+    """Build a response message (server side)."""
+    message = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": status == STATUS_OK,
+        "status": status,
+    }
+    if status == STATUS_OK:
+        message["value"] = value
+    if error is not None:
+        message["error"] = error
+    if flight is not None:
+        message["flight"] = flight
+    return message
+
+
+def error_payload(error_type: str, message: str) -> dict:
+    return {"type": error_type, "message": message}
+
+
+# -- sync (blocking-socket) framing ------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or None on a clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one message, or None when the peer closed cleanly."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced {length}-byte frame")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    return decode_body(body)
+
+
+# -- async (asyncio-stream) framing ------------------------------------------------
+
+
+async def read_message(reader) -> dict | None:
+    """Read one message from an asyncio reader, None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced {length}-byte frame")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-body") from exc
+    return decode_body(body)
+
+
+async def write_message(writer, message: dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()

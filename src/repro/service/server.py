@@ -1,0 +1,631 @@
+"""The shackle-as-a-service daemon: one warm engine, many clients.
+
+:class:`ShackleServer` is an asyncio server speaking the length-prefixed
+JSON protocol of :mod:`repro.service.protocol`.  Every CLI invocation of
+the pipeline pays a cold start — interpreter boot, NumPy import, an
+empty solver memo, an empty result cache — before the first feasibility
+query runs; the daemon pays it once and amortizes it across every
+request from every client:
+
+* **one warm engine** — a single shared
+  :class:`~repro.engine.cache.ResultCache`, the process-global
+  :class:`~repro.polyhedra.solver.SolverMemo` and
+  :data:`~repro.memsim.trace.DEFAULT_TRACE_STORE`, all thread-safe, so
+  a legality verdict solved for one client is a dictionary lookup for
+  the next;
+* **single-flight dedup** — requests are keyed by their
+  :class:`~repro.engine.jobs.JobSpec` content fingerprint; N clients
+  asking the same question while it is in flight attach to one future
+  and cost one execution (``service.coalesced``);
+* **batching** — queued requests are drained in ticks and submitted as
+  one :func:`~repro.engine.pool.run_jobs` batch (up to ``batch_max``
+  specs per dispatch), so the engine's own dedup/cache/supervision
+  machinery sees real batches instead of single jobs;
+* **backpressure** — the pending-request set is bounded
+  (``queue_limit``); past it, new work is refused *immediately* with a
+  typed ``overloaded`` response instead of growing an unbounded queue;
+* **deadlines** — a request's ``timeout`` bounds how long the client
+  waits; on expiry it gets a typed ``deadline-exceeded`` response while
+  the job itself runs to completion and lands in the cache (the next
+  asker gets it instantly);
+* **graceful shutdown** — SIGTERM/SIGINT (or the ``shutdown`` op) stops
+  accepting work, answers ``shutting-down`` to new requests, drains
+  in-flight jobs, and closes the dispatcher pool exactly once.
+
+Observability: per-kind latency series (``service.latency.<kind>``,
+p50/p90/p99 via :meth:`~repro.engine.metrics.MetricsRegistry.record`),
+queue-depth and in-flight gauges, flight counters
+(cached/coalesced/fresh) — all in the process-global :data:`METRICS`
+registry and exposed machine-readably through the ``stats`` RPC.
+
+See docs/SERVICE.md for the protocol, lifecycle and tuning knobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import EXECUTORS, JobSpec
+from repro.engine.metrics import METRICS
+from repro.engine.pool import run_jobs
+from repro.engine.supervise import JobFailure, RetryPolicy
+
+from repro.service import protocol
+
+SERVICE_POLICY = RetryPolicy(failure_mode="return", max_attempts=3)
+"""Default supervision policy for daemon batches: a failed job must come
+back as a typed error response, never tear down the drain loop."""
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs for one daemon (see docs/SERVICE.md)."""
+
+    jobs: int = 1
+    """Worker processes per engine batch (1 = in-thread serial)."""
+
+    cache: ResultCache | str | None = None
+    """Shared result cache: a live cache, an on-disk root, or None for a
+    memory-only cache (the daemon always has at least the memory tier —
+    a warm server without a cache would be pointless)."""
+
+    queue_limit: int = 1024
+    """Max pending unique jobs before new work is refused ``overloaded``."""
+
+    batch_max: int = 64
+    """Max specs handed to one ``run_jobs`` dispatch."""
+
+    batch_window: float = 0.002
+    """Seconds a drain tick lingers to let a batch accumulate."""
+
+    dispatchers: int = 1
+    """Concurrent engine dispatches (threads).  1 keeps batches strictly
+    ordered; >1 overlaps a long simulate batch with short legality ones."""
+
+    default_timeout: float | None = None
+    """Per-request deadline applied when the client sends none."""
+
+    drain_timeout: float = 30.0
+    """Seconds shutdown waits for in-flight jobs before abandoning them."""
+
+    policy: RetryPolicy = field(default_factory=lambda: SERVICE_POLICY)
+
+
+def _resolve_cache(cache: ResultCache | str | None) -> ResultCache:
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(root=cache)  # str/PathLike root, or memory-only
+
+
+class ServiceEngine:
+    """The warm engine shared by every request: cache + dispatcher pool.
+
+    ``run_batch`` is called from dispatcher threads; everything it
+    touches (ResultCache, SolverMemo, TraceStore, METRICS) is
+    lock-protected.  ``close`` shuts the pool down exactly once — the
+    signal path and the ``shutdown`` RPC can race to it safely.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.cache = _resolve_cache(config.cache)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, config.dispatchers),
+            thread_name_prefix="repro-dispatch",
+        )
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    def run_batch(self, specs: list[JobSpec]) -> list:
+        return run_jobs(
+            specs,
+            jobs=self.config.jobs,
+            cache=self.cache,
+            policy=self.config.policy,
+        )
+
+    def submit(self, loop: asyncio.AbstractEventLoop, specs: list[JobSpec]):
+        """Schedule one batch on a dispatcher thread; returns an awaitable."""
+        return loop.run_in_executor(self._executor, self.run_batch, specs)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> bool:
+        """Shut the dispatcher pool down; True only for the closing call."""
+        with self._close_lock:
+            if self._closed:
+                return False
+            self._closed = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        return True
+
+
+@dataclass
+class _Flight:
+    """One in-flight unique job: the shared future all askers await."""
+
+    spec: JobSpec
+    future: asyncio.Future
+    waiters: int = 1
+    enqueued: float = field(default_factory=time.monotonic)
+
+
+class ShackleServer:
+    """The asyncio daemon; see the module docstring for semantics."""
+
+    def __init__(self, config: ServerConfig | None = None, metrics=METRICS) -> None:
+        self.config = config or ServerConfig()
+        self.metrics = metrics
+        self.engine = ServiceEngine(self.config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._flights: dict[str, _Flight] = {}  # fingerprint -> flight
+        self._queue: list[str] = []  # fingerprints awaiting dispatch
+        self._work = None  # asyncio.Event, created on start
+        self._drain_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._state = "idle"  # idle -> running -> draining -> stopped
+        self._stopped = None  # asyncio.Event, created on start
+        self._started_at = 0.0
+        self.requests_served = 0
+        self.address: str | tuple[str, int] | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(
+        self,
+        path: str | None = None,
+        host: str | None = None,
+        port: int = 0,
+    ):
+        """Bind and start serving; returns the bound address.
+
+        Exactly one of ``path`` (Unix domain socket) or ``host`` (TCP)
+        must be given.
+        """
+        if self._state != "idle":
+            raise RuntimeError(f"server already {self._state}")
+        if (path is None) == (host is None):
+            raise ValueError("give exactly one of path= (unix) or host= (tcp)")
+        self._loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._started_at = time.monotonic()
+        if path is not None:
+            self._server = await asyncio.start_unix_server(self._on_connection, path=path)
+            self.address = path
+        else:
+            self._server = await asyncio.start_server(self._on_connection, host=host, port=port)
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+        self._state = "running"
+        self._drain_task = asyncio.ensure_future(self._drain_loop())
+        return self.address
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT trigger one graceful drain (CLI entry point)."""
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                self._loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.shutdown())
+                )
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish in-flight, close once.
+
+        Idempotent — concurrent SIGTERM + ``shutdown`` RPC coalesce on
+        the draining state; the dispatcher pool is closed exactly once
+        (guarded inside :meth:`ServiceEngine.close`).
+        """
+        if self._state in ("draining", "stopped"):
+            return
+        self._state = "draining"
+        self.metrics.inc("service.shutdowns")
+        # Finish what is already accepted: every live flight settles (the
+        # drain loop keeps dispatching the queue) or the drain deadline
+        # passes and the stragglers are abandoned with typed errors.
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self._flights and time.monotonic() < deadline:
+            pending = [f.future for f in self._flights.values() if not f.future.done()]
+            if not pending:
+                break
+            await asyncio.wait(pending, timeout=min(1.0, deadline - time.monotonic()))
+        for flight in list(self._flights.values()):
+            if not flight.future.done():
+                flight.future.set_exception(
+                    asyncio.TimeoutError("server shut down before the job finished")
+                )
+        self._work.set()  # wake the drain loop so it can observe "draining"
+        if self._drain_task is not None:
+            await self._drain_task
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.engine.close()
+        self._state = "stopped"
+        self._stopped.set()
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        request_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    message = await protocol.read_message(reader)
+                except protocol.ProtocolError:
+                    self.metrics.inc("service.protocol_errors")
+                    break
+                if message is None:
+                    break  # clean EOF
+                # One task per request: a slow search must not block a
+                # ping pipelined on the same connection.
+                rtask = asyncio.ensure_future(
+                    self._serve_request(message, writer, write_lock)
+                )
+                request_tasks.add(rtask)
+                rtask.add_done_callback(request_tasks.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            for rtask in list(request_tasks):
+                rtask.cancel()
+            # The task may itself be mid-cancellation (server shutdown);
+            # finish teardown without ending in the "cancelled" state,
+            # which asyncio's stream wrapper would log as an error.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                if request_tasks:
+                    await asyncio.gather(*request_tasks, return_exceptions=True)
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+            self._conn_tasks.discard(task)
+
+    async def _serve_request(self, message: dict, writer, write_lock) -> None:
+        response = await self._handle(message)
+        try:
+            async with write_lock:
+                await protocol.write_message(writer, response)
+        except (ConnectionError, RuntimeError):
+            self.metrics.inc("service.dropped_responses")
+
+    async def _handle(self, message: dict) -> dict:
+        request_id = message.get("id")
+        if message.get("v") != protocol.PROTOCOL_VERSION:
+            return protocol.response(
+                request_id,
+                status=protocol.STATUS_BAD_REQUEST,
+                error=protocol.error_payload(
+                    "VersionMismatch",
+                    f"server speaks protocol v{protocol.PROTOCOL_VERSION}, "
+                    f"got v{message.get('v')!r}",
+                ),
+            )
+        op = message.get("op")
+        self.requests_served += 1
+        self.metrics.inc("service.requests")
+        if op == "ping":
+            return protocol.response(request_id, value={"state": self._state})
+        if op == "stats":
+            return protocol.response(request_id, value=self.stats())
+        if op == "shutdown":
+            # Let this response flush before the drain starts tearing
+            # down connections.
+            self._loop.call_later(
+                0.05, lambda: asyncio.ensure_future(self.shutdown())
+            )
+            return protocol.response(request_id, value={"state": "draining"})
+        if op != "job":
+            return protocol.response(
+                request_id,
+                status=protocol.STATUS_BAD_REQUEST,
+                error=protocol.error_payload("UnknownOp", f"unknown op {op!r}"),
+            )
+        return await self._handle_job(message, request_id)
+
+    # -- the job path ------------------------------------------------------------
+
+    async def _handle_job(self, message: dict, request_id) -> dict:
+        kind = message.get("kind")
+        payload = message.get("payload")
+        if kind not in EXECUTORS or not isinstance(payload, dict):
+            return protocol.response(
+                request_id,
+                status=protocol.STATUS_BAD_REQUEST,
+                error=protocol.error_payload(
+                    "BadJob", f"unknown kind {kind!r} or non-object payload"
+                ),
+            )
+        if self._state != "running":
+            self.metrics.inc("service.rejected_shutting_down")
+            return protocol.response(
+                request_id,
+                status=protocol.STATUS_SHUTTING_DOWN,
+                error=protocol.error_payload("ShuttingDown", "server is draining"),
+            )
+        self.metrics.inc(f"service.requests.{kind}")
+        started = time.monotonic()
+        status, value, error, flight = await self._submit(kind, payload, message.get("timeout"))
+        elapsed = time.monotonic() - started
+        self.metrics.record(f"service.latency.{kind}", elapsed)
+        self.metrics.record("service.latency.all", elapsed)
+        if status != protocol.STATUS_OK:
+            self.metrics.inc(f"service.responses.{status}")
+            return protocol.response(request_id, status=status, error=error, flight=flight)
+        return protocol.response(request_id, value=value, flight=flight)
+
+    async def _submit(self, kind: str, payload: dict, timeout: float | None):
+        """Resolve one job: fast cache path, single-flight, or enqueue.
+
+        Returns ``(status, value, error, flight)``.
+        """
+        spec = JobSpec(kind, payload)
+        fp = spec.fingerprint
+        flight = self._flights.get(fp)
+        if flight is None:
+            cached = self.engine.cache.get(fp)
+            if cached is not None:
+                self.metrics.inc("service.flight.cached")
+                return protocol.STATUS_OK, cached, None, protocol.FLIGHT_CACHED
+            if len(self._flights) >= self.config.queue_limit:
+                self.metrics.inc("service.flight.overloaded")
+                return (
+                    protocol.STATUS_OVERLOADED,
+                    None,
+                    protocol.error_payload(
+                        "Overloaded",
+                        f"{len(self._flights)} jobs pending (limit "
+                        f"{self.config.queue_limit}); retry with backoff",
+                    ),
+                    None,
+                )
+            flight = _Flight(spec=spec, future=self._loop.create_future())
+            self._flights[fp] = flight
+            self._queue.append(fp)
+            self.metrics.inc("service.flight.fresh")
+            self._gauges()
+            self._work.set()
+            label = protocol.FLIGHT_FRESH
+        else:
+            flight.waiters += 1
+            self.metrics.inc("service.flight.coalesced")
+            label = protocol.FLIGHT_COALESCED
+
+        timeout = timeout if timeout is not None else self.config.default_timeout
+        try:
+            # Shield: expiry must cancel this *wait*, never the shared
+            # future other waiters (and the cache) depend on.
+            value = await asyncio.wait_for(asyncio.shield(flight.future), timeout)
+        except asyncio.TimeoutError:
+            return (
+                protocol.STATUS_DEADLINE,
+                None,
+                protocol.error_payload(
+                    "DeadlineExceeded",
+                    f"request deadline of {timeout}s passed; the job keeps "
+                    "running and will be served from cache",
+                ),
+                label,
+            )
+        if isinstance(value, JobFailure):
+            return (
+                protocol.STATUS_FAILED,
+                None,
+                {**protocol.error_payload(value.error_type, value.message),
+                 "attempts": value.attempts, "timed_out": value.timed_out},
+                label,
+            )
+        return protocol.STATUS_OK, value, None, label
+
+    async def _drain_loop(self) -> None:
+        """Pull queued fingerprints into batched engine dispatches.
+
+        One tick: wait for work, linger ``batch_window`` so concurrent
+        clients pile into the same batch, then dispatch up to
+        ``batch_max`` specs.  With ``dispatchers > 1`` the next tick
+        starts while previous batches still run.
+        """
+        live: set[asyncio.Task] = set()
+        try:
+            while True:
+                if not self._queue:
+                    if self._state != "running":
+                        if not live:
+                            return  # drained while draining: exit
+                        done, live = await asyncio.wait(
+                            live, return_when=asyncio.FIRST_COMPLETED
+                        )
+                        continue
+                    self._work.clear()
+                    if self._queue or self._state != "running":
+                        continue  # raced with an enqueue or a shutdown
+                    await self._work.wait()
+                    continue
+                if self.config.batch_window > 0 and self._state == "running":
+                    await asyncio.sleep(self.config.batch_window)
+                while len(live) >= max(1, self.config.dispatchers):
+                    done, live = await asyncio.wait(
+                        live, return_when=asyncio.FIRST_COMPLETED
+                    )
+                batch, self._queue = (
+                    self._queue[: self.config.batch_max],
+                    self._queue[self.config.batch_max:],
+                )
+                specs = [self._flights[fp].spec for fp in batch]
+                self.metrics.inc("service.batches")
+                self.metrics.record("service.batch_size", len(specs))
+                self._gauges()
+                task = asyncio.ensure_future(self._dispatch(batch, specs))
+                live.add(task)
+                task.add_done_callback(live.discard)
+        finally:
+            if live:
+                await asyncio.gather(*live, return_exceptions=True)
+
+    async def _dispatch(self, batch: list[str], specs: list[JobSpec]) -> None:
+        try:
+            results = await self.engine.submit(self._loop, specs)
+        except Exception as exc:  # noqa: BLE001 — engine infrastructure died
+            self.metrics.inc("service.dispatch_errors")
+            results = [
+                JobFailure(
+                    key=fp, error_type=type(exc).__name__,
+                    message=str(exc), attempts=0, kind=spec.kind,
+                )
+                for fp, spec in zip(batch, specs)
+            ]
+        for fp, result in zip(batch, results):
+            flight = self._flights.pop(fp, None)
+            if flight is not None and not flight.future.done():
+                flight.future.set_result(result)
+        self._gauges()
+
+    # -- observability -----------------------------------------------------------
+
+    def _gauges(self) -> None:
+        self.metrics.set_gauge("service.queue_depth", len(self._queue))
+        self.metrics.set_gauge("service.inflight", len(self._flights))
+
+    def stats(self) -> dict:
+        """The machine-readable server snapshot behind the ``stats`` RPC.
+
+        Engine metrics come through ``METRICS.report(fmt="json")`` — the
+        same serialization ``--metrics`` and the load generator use."""
+        return {
+            "server": {
+                "state": self._state,
+                "uptime": round(time.monotonic() - self._started_at, 3),
+                "requests": self.requests_served,
+                "queue_depth": len(self._queue),
+                "inflight": len(self._flights),
+                "connections": len(self._conn_tasks),
+                "config": {
+                    "jobs": self.config.jobs,
+                    "queue_limit": self.config.queue_limit,
+                    "batch_max": self.config.batch_max,
+                    "batch_window": self.config.batch_window,
+                    "dispatchers": self.config.dispatchers,
+                },
+            },
+            "metrics": json.loads(self.metrics.report(fmt="json")),
+            "cache": self.engine.cache.stats(),
+        }
+
+
+# -- entry points ------------------------------------------------------------------
+
+
+async def _serve(config: ServerConfig, path, host, port, ready=None):
+    server = ShackleServer(config)
+    await server.start(path=path, host=host, port=port)
+    server.install_signal_handlers()
+    if ready is not None:
+        ready(server)
+    await server.wait_stopped()
+
+
+def serve_forever(
+    config: ServerConfig | None = None,
+    *,
+    path: str | None = None,
+    host: str | None = None,
+    port: int = 0,
+    ready=None,
+) -> None:
+    """Run a daemon until SIGTERM/SIGINT (the ``repro serve`` command)."""
+    asyncio.run(_serve(config or ServerConfig(), path, host, port, ready))
+
+
+class ServerThread:
+    """An in-process daemon on a background thread (tests, bench-serve).
+
+    Use as a context manager::
+
+        with ServerThread(config, path=sock) as handle:
+            client = ServiceClient(path=handle.address)
+
+    ``stop()`` performs the same graceful drain as SIGTERM and joins the
+    thread; it is idempotent.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        path: str | None = None,
+        host: str | None = None,
+        port: int = 0,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self._path, self._host, self._port = path, host, port
+        self.server: ShackleServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    @property
+    def address(self):
+        return self.server.address
+
+    def start(self) -> "ServerThread":
+        def run():
+            async def main():
+                self.server = ShackleServer(self.config)
+                self._loop = asyncio.get_running_loop()
+                try:
+                    await self.server.start(
+                        path=self._path, host=self._host, port=self._port
+                    )
+                except BaseException as exc:  # bind errors surface in start()
+                    self._failure = exc
+                    raise
+                finally:
+                    self._ready.set()
+                await self.server.wait_stopped()
+
+            with contextlib.suppress(BaseException):
+                asyncio.run(main())
+
+        self._thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self._loop is not None and self.server is not None:
+            # The loop may already be closing if a shutdown RPC raced us.
+            with contextlib.suppress(RuntimeError):
+                asyncio.run_coroutine_threadsafe(self.server.shutdown(), self._loop)
+        self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

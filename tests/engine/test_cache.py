@@ -202,3 +202,35 @@ def test_missing_file_is_plain_miss_not_quarantine(tmp_path):
     assert cache.get("99" * 32) is None
     assert cache.quarantined == 0
     assert not (tmp_path / "store" / "quarantine").exists()
+
+
+def test_memory_tier_is_thread_safe_under_contention():
+    # The daemon's handlers and dispatchers share one cache; hammer the
+    # LRU (capacity < working set forces constant eviction churn) from
+    # many threads and check nothing corrupts and accounting balances.
+    import threading
+
+    metrics = MetricsRegistry()
+    cache = ResultCache(capacity=32, metrics=metrics)
+    errors = []
+
+    def worker(uid):
+        try:
+            for i in range(500):
+                key = f"{uid:02d}{i % 64:02d}" * 16
+                value = cache.get(key)
+                if value is not None:
+                    assert value == {"uid": uid, "i": i % 64}
+                cache.put(key, {"uid": uid, "i": i % 64})
+        except Exception as exc:  # noqa: BLE001 — surfaced by the assert below
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, args=(uid,)) for uid in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(cache) <= 32
+    assert cache.puts == 8 * 500
+    assert cache.hits + cache.misses == 8 * 500

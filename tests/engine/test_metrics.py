@@ -67,6 +67,104 @@ def test_report_includes_hit_rate():
     assert "75.0%" in report
 
 
+def test_gauges_and_series_snapshot():
+    m = MetricsRegistry()
+    m.set_gauge("queue_depth", 7)
+    m.set_gauge("queue_depth", 3)  # last write wins
+    for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0):
+        m.record("latency", value)
+    snap = m.snapshot()
+    assert snap["gauges"] == {"queue_depth": 3}
+    series = snap["series"]["latency"]
+    assert series["count"] == 10
+    assert series["p50"] == 5.0
+    assert series["p90"] == 9.0
+    assert series["p99"] == 10.0
+    assert series["max"] == 10.0
+
+
+def test_percentile_nearest_rank():
+    from repro.engine.metrics import percentile
+
+    assert percentile([], 50) == 0.0
+    assert percentile([42.0], 99) == 42.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 99) == 4.0
+
+
+def test_series_reservoir_is_bounded():
+    from repro.engine.metrics import SERIES_RESERVOIR
+
+    m = MetricsRegistry()
+    for i in range(SERIES_RESERVOIR + 100):
+        m.record("s", float(i))
+    series = m.snapshot()["series"]["s"]
+    assert series["count"] == SERIES_RESERVOIR + 100  # lifetime count kept
+    # Percentiles come from the freshest SERIES_RESERVOIR samples.
+    assert series["max"] == float(SERIES_RESERVOIR + 99)
+
+
+def test_json_report_is_machine_readable_snapshot():
+    import json
+
+    m = MetricsRegistry()
+    m.inc("engine.cache.hits", 3)
+    m.set_gauge("service.inflight", 2)
+    m.record("service.latency.legality", 0.25)
+    decoded = json.loads(m.report(fmt="json"))
+    assert decoded == m.snapshot()
+    assert decoded["counters"]["engine.cache.hits"] == 3
+    assert decoded["gauges"]["service.inflight"] == 2
+    assert decoded["series"]["service.latency.legality"]["p50"] == 0.25
+
+
+def test_report_rejects_unknown_format():
+    import pytest
+
+    with pytest.raises(ValueError):
+        MetricsRegistry().report(fmt="xml")
+
+
+def test_text_report_shows_gauges_and_series():
+    m = MetricsRegistry()
+    m.set_gauge("service.queue_depth", 4)
+    m.record("service.latency.all", 0.5)
+    report = m.report()
+    assert "service.queue_depth" in report
+    assert "p50=0.5" in report
+
+
+def test_merge_folds_gauges_and_series_counts():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    b.set_gauge("g", 9)
+    b.record("lat", 1.0)
+    b.record("lat", 2.0)
+    a.merge(b.snapshot())
+    assert a.get_gauge("g") == 9
+    assert a.get("lat.merged") == 2
+
+
+def test_registry_is_thread_safe_under_contention():
+    import threading
+
+    m = MetricsRegistry()
+
+    def worker():
+        for i in range(2000):
+            m.inc("n")
+            m.record("s", float(i))
+            m.set_gauge("g", i)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert m.get("n") == 8 * 2000
+    assert m.snapshot()["series"]["s"]["count"] == 8 * 2000
+
+
 def test_global_registry_is_instrumented_by_legality():
     from repro.core import DataBlocking, check_legality, shackle_refs
     from repro.ir import parse_program

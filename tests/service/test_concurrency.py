@@ -1,0 +1,154 @@
+"""Concurrency correctness: many clients, one warm engine.
+
+The contract under test: N concurrent clients issuing an interleaved
+mix of legality / codegen / search / simulate requests get answers
+bit-identical to direct in-process :func:`repro.engine.jobs.execute`
+calls on the same specs — whether a response was computed fresh, served
+from the shared cache, or coalesced onto another client's in-flight
+request — and a chaos-enabled server (injected kills and forced solver
+budgets) still converges to the same answers through its retries.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import DataBlocking
+from repro.core.shackle import _parse_ref
+from repro.engine import chaos
+from repro.engine import jobs as engine_jobs
+from repro.engine.metrics import METRICS
+from repro.engine.supervise import RetryPolicy
+from repro.kernels import cholesky, matmul
+from repro.service.client import ServiceClient
+from repro.service.server import ServerConfig, ServerThread
+
+
+def _mixed_specs():
+    chol = cholesky.program("right")
+    mm = matmul.program()
+    blocking_a = DataBlocking.grid("A", 2, 25)
+    blocking_c = DataBlocking.grid("C", 2, 25)
+    specs = []
+    for s2 in ("A[I,J]", "A[J,J]"):
+        for s3 in ("A[L,K]", "A[L,J]", "A[K,J]"):
+            choice = {
+                "S1": _parse_ref("A[J,J]"),
+                "S2": _parse_ref(s2),
+                "S3": _parse_ref(s3),
+            }
+            specs.append(engine_jobs.legality_job(chol, blocking_a, choice))
+    specs.append(engine_jobs.codegen_job(mm, blocking_c, "lhs", "simplified"))
+    specs.append(engine_jobs.search_job(mm, blocking_c, max_product=1))
+    from repro.memsim.cost import SP2_SCALED
+
+    specs.append(
+        engine_jobs.simulate_job(
+            mm, {"N": 12}, SP2_SCALED, variant="conc", options={"seed": 0}
+        )
+    )
+    return specs
+
+
+def _hammer(address, specs, expected, clients, rounds=2, seed=99):
+    """Each client thread replays every spec ``rounds`` times in its own
+    shuffled order; returns {(client, index): (fingerprint, value)}."""
+    failures = []
+    lock = threading.Lock()
+
+    def client_thread(uid):
+        rng = random.Random(seed + uid)
+        order = list(range(len(specs))) * rounds
+        rng.shuffle(order)
+        try:
+            with ServiceClient(path=address) as client:
+                for i in order:
+                    value = client.submit(specs[i])
+                    if value != expected[i]:
+                        with lock:
+                            failures.append((uid, i, value))
+        except Exception as exc:  # noqa: BLE001 — collected for the assert
+            with lock:
+                failures.append((uid, "error", repr(exc)))
+
+    threads = [
+        threading.Thread(target=client_thread, args=(uid,)) for uid in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return failures
+
+
+def test_interleaved_mixed_workload_is_bit_identical(tmp_path):
+    specs = _mixed_specs()
+    expected = [engine_jobs.execute(spec) for spec in specs]
+    coalesced_before = METRICS.get("service.flight.coalesced")
+    cached_before = METRICS.get("service.flight.cached")
+    with ServerThread(
+        ServerConfig(batch_window=0.005), path=str(tmp_path / "repro.sock")
+    ) as handle:
+        failures = _hammer(handle.address, specs, expected, clients=8)
+    assert failures == []
+    # The sharing machinery must be observable, not incidental: repeated
+    # identical work was served by coalescing and/or the warm cache.
+    coalesced = METRICS.get("service.flight.coalesced") - coalesced_before
+    cached = METRICS.get("service.flight.cached") - cached_before
+    assert cached > 0
+    assert coalesced + cached > len(specs)
+
+
+def test_dispatchers_gt_one_same_answers(tmp_path):
+    specs = _mixed_specs()
+    expected = [engine_jobs.execute(spec) for spec in specs]
+    with ServerThread(
+        ServerConfig(dispatchers=3, batch_max=4, batch_window=0.005),
+        path=str(tmp_path / "repro.sock"),
+    ) as handle:
+        failures = _hammer(handle.address, specs, expected, clients=6, seed=7)
+    assert failures == []
+
+
+def test_chaos_enabled_server_still_converges(tmp_path):
+    specs = _mixed_specs()[:8]  # legality census + codegen
+    expected = [engine_jobs.execute(spec) for spec in specs]  # fault-free
+    spec_text = "kill=0.3,budget=0.2,seed=7"
+    previous = chaos.configure(spec_text)
+    try:
+        killed_before = METRICS.get("chaos.injected.kill")
+        budget_before = METRICS.get("chaos.injected.budget")
+        with ServerThread(
+            ServerConfig(
+                policy=RetryPolicy(failure_mode="return", max_attempts=4),
+                batch_window=0.005,
+            ),
+            path=str(tmp_path / "repro.sock"),
+        ) as handle:
+            failures = _hammer(handle.address, specs, expected, clients=4, seed=3)
+        assert failures == []
+        # The chaos layer genuinely fired: with this seed at least one
+        # job was killed or budget-tripped on its first attempt.
+        injected = (
+            METRICS.get("chaos.injected.kill")
+            - killed_before
+            + METRICS.get("chaos.injected.budget")
+            - budget_before
+        )
+        assert injected > 0
+    finally:
+        chaos.configure(previous)
+
+
+@pytest.mark.slow
+def test_many_clients_large_interleaving(tmp_path):
+    specs = _mixed_specs()
+    expected = [engine_jobs.execute(spec) for spec in specs]
+    with ServerThread(
+        ServerConfig(batch_window=0.002), path=str(tmp_path / "repro.sock")
+    ) as handle:
+        failures = _hammer(
+            handle.address, specs, expected, clients=32, rounds=4, seed=11
+        )
+    assert failures == []

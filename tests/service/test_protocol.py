@@ -1,0 +1,72 @@
+"""Wire-protocol tests: framing, versioning, sync socket helpers."""
+
+import socket
+
+import pytest
+
+from repro.service import protocol
+
+
+def test_frame_round_trip():
+    message = {"v": 1, "id": 3, "op": "job", "payload": {"x": [1, 2, {"y": "z"}]}}
+    frame = protocol.encode_frame(message)
+    assert frame[:4] == len(frame[4:]).to_bytes(4, "big")
+    assert protocol.decode_body(frame[4:]) == message
+
+
+def test_oversized_frame_refused():
+    big = {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)}
+    with pytest.raises(protocol.ProtocolError):
+        protocol.encode_frame(big)
+
+
+def test_garbage_body_refused():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_body(b"{torn json")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_body(b'"a bare string, not an object"')
+
+
+def test_request_and_response_builders():
+    req = protocol.request("job", 7, kind="legality", payload={"a": 1}, timeout=2.5)
+    assert req == {
+        "v": protocol.PROTOCOL_VERSION,
+        "id": 7,
+        "op": "job",
+        "kind": "legality",
+        "payload": {"a": 1},
+        "timeout": 2.5,
+    }
+    ok = protocol.response(7, value={"legal": True}, flight=protocol.FLIGHT_FRESH)
+    assert ok["ok"] and ok["status"] == protocol.STATUS_OK
+    assert ok["value"] == {"legal": True}
+    err = protocol.response(
+        7,
+        status=protocol.STATUS_OVERLOADED,
+        error=protocol.error_payload("Overloaded", "full"),
+    )
+    assert not err["ok"] and "value" not in err
+    assert err["error"]["type"] == "Overloaded"
+
+
+def test_sync_socket_round_trip_and_clean_eof():
+    a, b = socket.socketpair()
+    try:
+        protocol.send_message(a, {"v": 1, "id": 1, "op": "ping"})
+        assert protocol.recv_message(b) == {"v": 1, "id": 1, "op": "ping"}
+        a.close()
+        assert protocol.recv_message(b) is None  # EOF at a frame boundary
+    finally:
+        b.close()
+
+
+def test_sync_socket_mid_frame_eof_raises():
+    a, b = socket.socketpair()
+    try:
+        frame = protocol.encode_frame({"v": 1, "id": 1, "op": "ping"})
+        a.sendall(frame[:6])  # header + 2 body bytes, then hang up
+        a.close()
+        with pytest.raises(protocol.ProtocolError):
+            protocol.recv_message(b)
+    finally:
+        b.close()

@@ -1,0 +1,236 @@
+"""Daemon lifecycle tests: fast path, single-flight, backpressure,
+deadlines, graceful shutdown, transports, typed errors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import DataBlocking
+from repro.core.shackle import _parse_ref
+from repro.engine import jobs as engine_jobs
+from repro.engine.metrics import METRICS
+from repro.kernels import cholesky
+from repro.service.client import (
+    BadRequest,
+    RequestDeadline,
+    ServerOverloaded,
+    ServerShuttingDown,
+    ServiceClient,
+)
+from repro.service.server import ServerConfig, ServerThread
+
+
+def _legality_spec(s2="A[I,J]", s3="A[L,K]"):
+    prog = cholesky.program("right")
+    blocking = DataBlocking.grid("A", 2, 25)
+    choice = {
+        "S1": _parse_ref("A[J,J]"),
+        "S2": _parse_ref(s2),
+        "S3": _parse_ref(s3),
+    }
+    return engine_jobs.legality_job(prog, blocking, choice)
+
+
+@pytest.fixture
+def sleep_kind(monkeypatch):
+    """A controllable slow executor: payload {"seconds": s, "tag": t}."""
+
+    def run_sleep(payload):
+        time.sleep(payload["seconds"])
+        return {"slept": payload["seconds"], "tag": payload.get("tag")}
+
+    monkeypatch.setitem(engine_jobs.EXECUTORS, "sleep", run_sleep)
+    return "sleep"
+
+
+def _serve(tmp_path, **config_kwargs):
+    return ServerThread(
+        ServerConfig(**config_kwargs), path=str(tmp_path / "repro.sock")
+    )
+
+
+def test_job_round_trip_matches_direct_execute(tmp_path):
+    spec = _legality_spec()
+    expected = engine_jobs.execute(spec)
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            assert client.submit(spec) == expected
+
+
+def test_second_request_served_from_cache_with_flight_annotation(tmp_path):
+    spec = _legality_spec()
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            first = client.request("job", kind=spec.kind, payload=spec.payload)
+            second = client.request("job", kind=spec.kind, payload=spec.payload)
+            assert first["ok"] and second["ok"]
+            assert first["value"] == second["value"]
+            assert second["flight"] == "cached"
+            stats = client.stats()
+    assert stats["cache"]["hit_rate"] > 0
+    assert "service.latency.legality" in stats["metrics"]["series"]
+    assert stats["server"]["state"] == "running"
+
+
+def test_single_flight_coalesces_concurrent_identical_requests(tmp_path, sleep_kind):
+    coalesced_before = METRICS.get("service.flight.coalesced")
+    executed = {"n": 0}
+    results = []
+
+    with _serve(tmp_path) as handle:
+
+        def ask():
+            with ServiceClient(path=handle.address) as client:
+                results.append(
+                    client.call(
+                        "job", kind=sleep_kind, payload={"seconds": 0.3, "tag": "sf"}
+                    )
+                )
+
+        threads = [threading.Thread(target=ask) for _ in range(4)]
+        started = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.monotonic() - started
+
+    assert results == [{"slept": 0.3, "tag": "sf"}] * 4
+    # Four identical requests cost ~one sleep, not four serialized ones.
+    assert elapsed < 4 * 0.3
+    assert METRICS.get("service.flight.coalesced") - coalesced_before >= 3
+
+
+def test_backpressure_returns_typed_overloaded(tmp_path, sleep_kind):
+    with _serve(tmp_path, queue_limit=1) as handle:
+        blocker_done = []
+
+        def blocker():
+            with ServiceClient(path=handle.address) as client:
+                blocker_done.append(
+                    client.call("job", kind=sleep_kind, payload={"seconds": 0.6})
+                )
+
+        t = threading.Thread(target=blocker)
+        t.start()
+        time.sleep(0.2)  # let the blocker occupy the single pending slot
+        with ServiceClient(path=handle.address) as client:
+            with pytest.raises(ServerOverloaded):
+                client.call("job", kind=sleep_kind, payload={"seconds": 0.0, "tag": "x"})
+        t.join()
+        assert blocker_done == [{"slept": 0.6, "tag": None}]
+
+
+def test_request_deadline_then_cached_completion(tmp_path, sleep_kind):
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            with pytest.raises(RequestDeadline):
+                client.call(
+                    "job",
+                    kind=sleep_kind,
+                    payload={"seconds": 0.5, "tag": "d"},
+                    timeout=0.1,
+                )
+            # The job kept running; once finished it is served from cache.
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                response = client.request(
+                    "job", kind=sleep_kind, payload={"seconds": 0.5, "tag": "d"}
+                )
+                if response.get("flight") == "cached":
+                    assert response["value"] == {"slept": 0.5, "tag": "d"}
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("deadline-expired job never landed in the cache")
+
+
+def test_graceful_shutdown_drains_inflight_and_rejects_new_work(
+    tmp_path, sleep_kind
+):
+    handle = _serve(tmp_path)
+    handle.start()
+    inflight_result = []
+
+    def inflight():
+        with ServiceClient(path=handle.address) as client:
+            inflight_result.append(
+                client.call("job", kind=sleep_kind, payload={"seconds": 0.8})
+            )
+
+    t = threading.Thread(target=inflight)
+    t.start()
+    time.sleep(0.2)
+    with ServiceClient(path=handle.address) as admin:
+        assert admin.shutdown_server() == {"state": "draining"}
+    time.sleep(0.15)  # let the drain begin
+    # A request racing the drain gets the typed shutting-down response
+    # (or, once the listener is closed, a connection error).
+    try:
+        with ServiceClient(path=handle.address) as late:
+            with pytest.raises(ServerShuttingDown):
+                late.call("job", kind=sleep_kind, payload={"seconds": 0.0})
+    except OSError:
+        pass
+    t.join(timeout=30)
+    # The in-flight job was drained, not dropped.
+    assert inflight_result == [{"slept": 0.8, "tag": None}]
+    handle.stop()
+    assert handle.server.engine.closed
+    # The pool closes exactly once: the second close is a no-op.
+    assert handle.server.engine.close() is False
+    with pytest.raises(OSError):
+        ServiceClient(path=handle.address).connect()
+
+
+def test_unknown_kind_and_bad_version_are_typed_bad_requests(tmp_path):
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            with pytest.raises(BadRequest):
+                client.call("job", kind="no-such-kind", payload={})
+            with pytest.raises(BadRequest):
+                client.call("no-such-op")
+            response = client.request("ping")
+            raw = {"v": 999, "id": 1, "op": "ping"}
+            import repro.service.protocol as protocol
+
+            protocol.send_message(client._sock, raw)
+            mismatch = protocol.recv_message(client._sock)
+            assert response["ok"]
+            assert mismatch["status"] == "bad-request"
+            assert mismatch["error"]["type"] == "VersionMismatch"
+
+
+def test_tcp_transport(tmp_path):
+    spec = _legality_spec("A[J,J]", "A[K,J]")
+    expected = engine_jobs.execute(spec)
+    with ServerThread(ServerConfig(), host="127.0.0.1", port=0) as handle:
+        host, port = handle.address
+        with ServiceClient(host=host, port=port) as client:
+            assert client.submit(spec) == expected
+
+
+def test_batched_dispatch_groups_queued_requests(tmp_path):
+    batches_before = METRICS.get("service.batches")
+    specs = [_legality_spec(s2, s3) for s2 in ("A[I,J]", "A[J,J]")
+             for s3 in ("A[L,K]", "A[L,J]", "A[K,J]")]
+    expected = [engine_jobs.execute(spec) for spec in specs]
+    with _serve(tmp_path, batch_window=0.05) as handle:
+
+        results = [None] * len(specs)
+
+        def ask(i):
+            with ServiceClient(path=handle.address) as client:
+                results[i] = client.submit(specs[i])
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(len(specs))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert results == expected
+    batches = METRICS.get("service.batches") - batches_before
+    # Six distinct concurrent requests inside one 50ms window must not
+    # cost six dispatches.
+    assert 1 <= batches < len(specs)
