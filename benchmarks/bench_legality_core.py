@@ -32,6 +32,7 @@ from repro.core.legality import (
     _lex_decrease,
     _memberships,
     reset_failure_counts,
+    reset_witnesses,
 )
 from repro.core.product import ShackleProduct, block_var_names
 from repro.core.shackle import _parse_ref
@@ -43,6 +44,12 @@ from repro.polyhedra.omega import integer_feasible_scalar
 
 QUICK = os.environ.get("BENCH_LEGALITY_QUICK") == "1"
 SPEEDUP_FLOOR = 3.0 if QUICK else 5.0
+
+# Scalar punts from the vectorized engine during the cold census.  The
+# census's systems are all int64-friendly (the int128 combine path keeps
+# them vectorized), so any fallback at all is a regression in the
+# family-solve pipeline; CI runs the quick census and fails on this pin.
+VECTOR_FALLBACKS_PIN = 0
 
 REF_PAIRS = list(
     itertools.product(["A[I,J]", "A[J,J]"], ["A[L,K]", "A[L,J]", "A[K,J]"])
@@ -94,6 +101,10 @@ def test_legality_core_speedup(once):
     def fast_census():
         verdicts: dict = {}
         reset_failure_counts()
+        # Witnesses reset too, so every census (cold or warm) replays the
+        # identical extraction flow: on the warm memo the probes are all
+        # hits, keeping the zero-fresh-solves assertion meaningful.
+        reset_witnesses()
         return [
             check_legality(
                 sh, deps, first_violation_only=True, verdict_cache=verdicts
@@ -119,9 +130,24 @@ def test_legality_core_speedup(once):
 
         solver.set_engine("vector")
         solver.clear_memo()
+        batch_before = {
+            name: METRICS.get(f"solver.{name}")
+            for name in (
+                "batch_families", "batch_members", "batch_prefix_reuse",
+                "int128_combines", "vector_fallbacks",
+            )
+        }
+        transfers_before = METRICS.get("legality.witness_transfer")
         start = time.perf_counter()
         cold_vector = fast_census()
         timings["cold_vector"] = time.perf_counter() - start
+        batched = {
+            name: int(METRICS.get(f"solver.{name}") - before)
+            for name, before in batch_before.items()
+        }
+        batched["witness_transfers"] = int(
+            METRICS.get("legality.witness_transfer") - transfers_before
+        )
 
         eliminations_before = METRICS.get("fm.vector_eliminations") + METRICS.get(
             "fm.eliminations"
@@ -138,10 +164,10 @@ def test_legality_core_speedup(once):
         fresh_solves = METRICS.get("solver.solves") - solves_before
 
         return seed, cold_scalar, cold_vector, warm_vector, timings, \
-            fresh_eliminations, fresh_solves
+            fresh_eliminations, fresh_solves, batched
 
     (seed, cold_scalar, cold_vector, warm_vector, timings,
-     fresh_eliminations, fresh_solves) = once(run_all)
+     fresh_eliminations, fresh_solves, batched) = once(run_all)
 
     # Identical verdicts on every path.
     assert seed == cold_scalar == cold_vector == warm_vector
@@ -170,6 +196,19 @@ def test_legality_core_speedup(once):
         f"scalar baseline (floor {SPEEDUP_FLOOR}x)"
     )
 
+    print(f"batched: {batched['batch_families']} families / "
+          f"{batched['batch_members']} members, "
+          f"prefix_reuse={batched['batch_prefix_reuse']}, "
+          f"int128={batched['int128_combines']}, "
+          f"fallbacks={batched['vector_fallbacks']}, "
+          f"witness_transfers={batched['witness_transfers']}")
+
+    # Every census query must stay on the vectorized path.
+    assert batched["vector_fallbacks"] <= VECTOR_FALLBACKS_PIN, (
+        f"cold census punted {batched['vector_fallbacks']} queries to the "
+        f"scalar engine (pin {VECTOR_FALLBACKS_PIN})"
+    )
+
     Path("BENCH_legality.json").write_text(json.dumps({
         "benchmark": "legality_core",
         "quick": QUICK,
@@ -182,4 +221,6 @@ def test_legality_core_speedup(once):
         ),
         "warm_fresh_eliminations": int(fresh_eliminations),
         "warm_fresh_solves": int(fresh_solves),
+        "cold_batched": batched,
+        "vector_fallbacks_pin": VECTOR_FALLBACKS_PIN,
     }, indent=2) + "\n")

@@ -43,6 +43,7 @@ from typing import MutableMapping
 from repro.core.product import block_var_names
 from repro.dependence.analysis import Dependence, compute_dependences
 from repro.engine.metrics import METRICS
+from repro.polyhedra import solver as _solver
 from repro.polyhedra.budget import SolverBudget
 from repro.polyhedra.constraints import Constraint, System
 from repro.polyhedra.omega import integer_feasible, integer_sample
@@ -63,6 +64,20 @@ def _feasible_conservative(system: System) -> bool:
     except SolverBudget:
         METRICS.inc("legality.budget_exceeded")
         return True
+
+
+def _feasible_many_conservative(base: System, deltas: list[System]) -> list[bool]:
+    """Batched :func:`_feasible_conservative` over one candidate family.
+
+    The whole family shares one budget scope (charged once per family);
+    a trip maps *every* undecided member to "feasible" — the same
+    conservative rejection as the single-query path.
+    """
+    try:
+        return _solver.feasible_many(base, deltas)
+    except SolverBudget:
+        METRICS.inc("legality.budget_exceeded")
+        return [True] * len(deltas)
 
 
 @dataclass
@@ -114,19 +129,300 @@ _failure_counts: dict[tuple, int] = {}
 
 
 def _dep_key(dep: Dependence) -> tuple:
-    return (
-        dep.kind,
-        dep.src.label,
-        str(dep.src_ref),
-        dep.tgt.label,
-        str(dep.tgt_ref),
-        dep.level,
-    )
+    key = getattr(dep, "_legality_key", None)
+    if key is None:
+        key = (
+            dep.kind,
+            dep.src.label,
+            str(dep.src_ref),
+            dep.tgt.label,
+            str(dep.tgt_ref),
+            dep.level,
+        )
+        dep._legality_key = key  # str(ref) is hot; deps live across candidates
+    return key
 
 
 def reset_failure_counts() -> None:
     """Forget which dependences caused rejections (tests and benchmarks)."""
     _failure_counts.clear()
+
+
+# -- witness transfer --------------------------------------------------------------
+
+_WITNESS_CAP = 4
+"""Stored witnesses per dependence; sampling stops once a dependence has
+this many (diverse geometries rarely need more to cover the family)."""
+
+_WITNESS_MAX_VARS = 20
+_WITNESS_RADIUS = 16
+_WITNESS_ATTEMPTS = 3
+_WITNESS_QUERY_CAP = 250
+
+_witness_attempts: dict[tuple, int] = {}
+"""Failed extraction attempts per dependence — a dependence whose
+violations resist sampling is abandoned after ``_WITNESS_ATTEMPTS`` so it
+stops costing anything (successful extractions refund the attempt)."""
+
+_witness_store: dict[tuple, list[dict[str, int]]] = {}
+"""Concrete violating instance pairs per dependence identity.
+
+A violation witness found for one candidate usually transfers to sibling
+candidates sharing the dependence: evaluating the sibling's system at
+the cached point is O(constraints), so a transferred witness rejects a
+relative with zero solver calls (``legality.witness_transfer``).
+Transfers are sound by construction — a witness is only accepted for a
+member whose *entire* system it satisfies; a stale or foreign witness
+simply fails the point check and the member falls through to the solver.
+"""
+
+
+def reset_witnesses() -> None:
+    """Forget cached violation witnesses (tests and benchmarks)."""
+    _witness_store.clear()
+    _witness_attempts.clear()
+
+
+def _satisfies(system: System, env: dict[str, int]) -> bool:
+    try:
+        return system.evaluate(env)
+    except KeyError:
+        return False  # witness does not cover this system's variables
+
+
+def _complete(system: System, env: dict[str, int]) -> dict[str, int] | None:
+    """Extend a loop-variable witness with the system's block coordinates.
+
+    Stored witnesses hold only loop and parameter values — block
+    coordinates are candidate-specific (the same name means a different
+    factor's coordinate in a different product), so they are re-derived
+    here per candidate.  Missing variables are fixed one at a time from
+    constraints whose other variables are already valued: membership rows
+    pin a block coordinate to the floor of its referenced expression, so
+    the interval collapses to a point.  Pure affine propagation — no
+    solver calls — and the final full-system evaluation validates the
+    result; a failed propagation just means "no transfer".
+    """
+    remaining = system.variables() - env.keys()
+    if not remaining:
+        return env if system.evaluate(env) else None
+    env = dict(env)
+    progress = True
+    while remaining and progress:
+        progress = False
+        for var in sorted(remaining):
+            lo = hi = None
+            for c in system.constraints:
+                a = c.coeffs.get(var)
+                if a is None:
+                    continue
+                if any(v != var and v not in env for v in c.coeffs):
+                    continue
+                value = c.const + sum(
+                    co * env[v] for v, co in c.coeffs.items() if v != var
+                )
+                # a*var + value  (>= or ==)  0
+                if c.is_eq:
+                    if value.denominator != 1:
+                        return None
+                    q, r = divmod(-int(value), a)
+                    if r:
+                        return None
+                    lo = q if lo is None else max(lo, q)
+                    hi = q if hi is None else min(hi, q)
+                elif a > 0:
+                    q = -(int(value) // a)  # ceil(-value / a)
+                    lo = q if lo is None else max(lo, q)
+                else:
+                    q = int(value) // (-a)  # floor(value / -a)
+                    hi = q if hi is None else min(hi, q)
+            if lo is None and hi is None:
+                continue
+            if lo is not None and hi is not None and lo > hi:
+                return None
+            env[var] = lo if lo is not None else hi
+            remaining.discard(var)
+            progress = True
+            break
+    if remaining:
+        return None
+    return env if system.evaluate(env) else None
+
+
+def _witness_hits(dep_key: tuple, base: System, deltas: list[System]) -> list[bool]:
+    """Which members a cached witness proves feasible (True = violation).
+
+    Each stored witness is completed against the base once (deriving this
+    candidate's block coordinates); only members whose delta rows the
+    completed point also satisfies are marked.  ``False`` means
+    "unknown", never "infeasible" — callers still solve those members.
+    """
+    hits = [False] * len(deltas)
+    envs = _witness_store.get(dep_key)
+    if not envs:
+        return hits
+    for env in envs:
+        full = _complete(base, env)
+        if full is None:
+            continue
+        for i, delta in enumerate(deltas):
+            if not hits[i] and _satisfies(delta, full):
+                hits[i] = True
+                METRICS.inc("legality.witness_transfer")
+        if all(hits):
+            break
+    return hits
+
+
+def _single_var_bounds(system: System, var: str):
+    """``(lo, hi)`` integer bounds from constraints mentioning only ``var``.
+
+    Either side may be ``None`` (unbounded); an infeasible single-variable
+    subsystem comes back as an empty interval (``lo > hi``).
+    """
+    lo = hi = None
+    for c in system.constraints:
+        if set(c.coeffs) != {var}:
+            continue
+        a = c.coeffs[var]
+        k = c.const  # a*var + k  (>= or ==)  0
+        if c.is_eq:
+            if k.denominator != 1:
+                return 1, 0
+            q, r = divmod(-int(k), a)
+            if r:
+                return 1, 0
+            lo = q if lo is None else max(lo, q)
+            hi = q if hi is None else min(hi, q)
+        elif a > 0:
+            q = -(int(k) // a)  # ceil(-k / a)
+            lo = q if lo is None else max(lo, q)
+        else:
+            q = int(k) // (-a)  # floor(k / -a)
+            hi = q if hi is None else min(hi, q)
+    return lo, hi
+
+
+def _scan_window(lo, hi):
+    """The candidate values tried for one variable, tightest-first."""
+    if lo is not None and hi is not None:
+        return range(lo, min(hi, lo + 2 * _WITNESS_RADIUS) + 1)
+    if lo is not None:
+        return range(lo, lo + _WITNESS_RADIUS + 1)
+    if hi is not None:
+        return range(hi, hi - _WITNESS_RADIUS - 1, -1)
+    return [
+        v for k in range(_WITNESS_RADIUS + 1) for v in ((0,) if k == 0 else (k, -k))
+    ]
+
+
+def _extract_witness(system: System) -> dict[str, int] | None:
+    """A violating point, found with *memoized* solver probes only.
+
+    Variables are fixed greedily.  Block coordinates (``_w*``) go first —
+    any violation keeps them small, and fixing them turns the membership
+    rows into constant windows for the loop variables.  The rest are
+    picked dynamically, tightest window first, so equality chains
+    propagate: a variable forced to a single value (``lo == hi``) is
+    substituted without a probe, since every solution of a feasible
+    system takes that value.  Every probe goes through
+    :func:`repro.polyhedra.solver.feasible`, so a warm process answers
+    the whole extraction from the memo (unlike ``omega.integer_sample``,
+    whose rational bound computations re-run scalar FM on every call); a
+    hard probe cap bounds the cold cost.  Greedy fixing needs no
+    backtracking — each accepted value keeps the remaining system
+    feasible — so the only incompleteness is the finite scan window.
+    """
+    env: dict[str, int] = {}
+    current = system
+    queries = 0
+
+    def fix(var: str, values) -> bool:
+        nonlocal current, queries
+        for value in values:
+            candidate = System(
+                c.substitute(var, {}, value) for c in current.constraints
+            )
+            if candidate.has_obvious_contradiction():
+                continue
+            queries += 1
+            if queries > _WITNESS_QUERY_CAP:
+                return False
+            try:
+                ok = _solver.feasible(candidate)
+            except SolverBudget:
+                return False
+            if ok:
+                env[var] = value
+                current = candidate
+                return True
+        return False
+
+    for var in sorted(v for v in system.variables() if v.startswith("_w")):
+        if var not in current.variables():
+            env[var] = 0  # unconstrained: any value works
+            continue
+        lo, hi = _single_var_bounds(current, var)
+        if lo is not None and hi is not None and lo > hi:
+            return None
+        if not fix(var, _scan_window(lo, hi)):
+            return None
+
+    remaining = sorted(v for v in system.variables() if not v.startswith("_w"))
+    while remaining:
+        choice = None  # (rank, var, lo, hi); lower rank = tighter window
+        for var in remaining:
+            if var not in current.variables():
+                choice = ((-1, 0), var, None, None)
+                break
+            lo, hi = _single_var_bounds(current, var)
+            if lo is not None and hi is not None:
+                if lo > hi:
+                    return None
+                rank = (0, hi - lo)
+            elif lo is not None or hi is not None:
+                rank = (1, 0)
+            else:
+                rank = (2, 0)
+            if choice is None or rank < choice[0]:
+                choice = (rank, var, lo, hi)
+        rank, var, lo, hi = choice
+        remaining.remove(var)
+        if rank[0] == -1:
+            env[var] = 0
+            continue
+        if lo is not None and lo == hi:
+            # Forced value: substitution preserves feasibility, no probe.
+            env[var] = lo
+            current = System(c.substitute(var, {}, lo) for c in current.constraints)
+            continue
+        if not fix(var, _scan_window(lo, hi)):
+            return None
+    return env
+
+
+def _record_witness(dep_key: tuple, system: System) -> None:
+    """Extract and cache a violating point from a freshly found violation.
+
+    Extraction is best-effort and strictly bounded: a capped number of
+    memoized feasibility probes per attempt, and a per-dependence attempt
+    budget so repeated failures go quiet.  A failed extraction changes no
+    verdict — witnesses only ever *add* point-check short-cuts.
+    """
+    envs = _witness_store.setdefault(dep_key, [])
+    if len(envs) >= _WITNESS_CAP or len(system.variables()) > _WITNESS_MAX_VARS:
+        return
+    attempts = _witness_attempts.get(dep_key, 0)
+    if attempts >= _WITNESS_ATTEMPTS:
+        return
+    _witness_attempts[dep_key] = attempts + 1
+    env = _extract_witness(system)
+    if env is not None and system.evaluate(env):
+        # Store only loop and parameter values: block coordinates are
+        # candidate-specific and re-derived at transfer time (_complete).
+        envs.append({v: x for v, x in env.items() if not v.startswith("_w")})
+        METRICS.inc("legality.witness_recorded")
+        _witness_attempts[dep_key] = attempts  # success refunds the attempt
 
 
 def _factor_key(factor) -> tuple:
@@ -136,22 +432,79 @@ def _factor_key(factor) -> tuple:
     so their factor-alone verdicts agree for any dependence *of the same
     program* (``verdict_cache`` must not be shared across programs).
     """
-    blocking = factor.blocking
-    return (
-        blocking.array,
-        tuple((p.normal, p.spacing, p.offset) for p in blocking.planes),
-        blocking.directions,
-        tuple(sorted((label, str(ref)) for label, ref in factor.ref_choice.items())),
-        tuple(
-            sorted(
-                (label, tuple(str(a) for a in affines))
-                for label, affines in factor.dummies.items()
-            )
-        ),
-    )
+    key = getattr(factor, "_legality_key", None)
+    if key is None:
+        blocking = factor.blocking
+        key = (
+            blocking.array,
+            tuple((p.normal, p.spacing, p.offset) for p in blocking.planes),
+            blocking.directions,
+            tuple(
+                sorted((label, str(ref)) for label, ref in factor.ref_choice.items())
+            ),
+            tuple(
+                sorted(
+                    (label, tuple(str(a) for a in affines))
+                    for label, affines in factor.dummies.items()
+                )
+            ),
+        )
+        factor._legality_key = key  # str(ref) is hot; factors recur in products
+    return key
+
+
+def _factor_ctx_key(factor, label: str) -> tuple:
+    """Identity of a factor's membership *for one statement*.
+
+    The membership constraints for statement ``label`` depend only on the
+    blocking and the factor's chosen (or dummy) subscripts for that
+    statement, so membership systems and factor-alone verdicts are shared
+    across factors that differ only in how they shackle *other*
+    statements — a much wider reuse scope than :func:`_factor_key`.
+    """
+    cache = getattr(factor, "_legality_ctx_keys", None)
+    if cache is None:
+        cache = factor._legality_ctx_keys = {}
+    key = cache.get(label)
+    if key is None:
+        blocking = factor.blocking
+        key = cache[label] = (
+            blocking.array,
+            tuple((p.normal, p.spacing, p.offset) for p in blocking.planes),
+            blocking.directions,
+            tuple(str(a) for a in factor.subscripts(label)),
+        )
+    return key
 
 
 # -- query construction ------------------------------------------------------------
+
+
+def _shared_membership(factor, ctx, role, names, verdicts) -> System:
+    """One factor's membership system, cached across candidates.
+
+    Membership systems depend only on the blocking, the factor's
+    subscripts for this statement, and the coordinate names
+    (:func:`_factor_ctx_key`), so they are shared across the candidates
+    of one search through ``verdicts`` (the per-program verdict cache) —
+    including factors that differ only in other statements' refs.
+    """
+    ctx_key = _factor_ctx_key(factor, ctx.label)
+    shared_key = ("membership", ctx_key, ctx.label, role, tuple(names))
+    system = verdicts.get(shared_key)
+    if system is None:
+        base_names = [f"_w{role}0_{j}" for j in range(len(names))]
+        if list(names) == base_names:
+            rename = {v: v + "__" + role for v in ctx.loop_vars}
+            system = System(factor.membership(ctx.label, base_names, rename))
+        else:
+            # Same factor at a later product position: only the block
+            # coordinate names differ, so rename the position-0 template
+            # instead of rebuilding the membership constraints.
+            template = _shared_membership(factor, ctx, role, base_names, verdicts)
+            system = template.rename(dict(zip(base_names, names)))
+        verdicts[shared_key] = system
+    return system
 
 
 def _memberships(shackle, ctx_label, loop_vars, suffix, names) -> System:
@@ -162,24 +515,40 @@ def _memberships(shackle, ctx_label, loop_vars, suffix, names) -> System:
     return System(constraints)
 
 
+_lex_cache: dict[tuple, System] = {}
+
+
 def _lex_decrease(src_names, tgt_names, j) -> System:
-    """Tie on coordinates before ``j``, target strictly smaller at ``j``."""
-    constraints = [
-        Constraint.eq({tgt_names[i]: 1, src_names[i]: -1}, 0) for i in range(j)
-    ]
-    constraints.append(Constraint.ge({src_names[j]: 1, tgt_names[j]: -1}, -1))
-    return System(constraints)
+    """Tie on coordinates before ``j``, target strictly smaller at ``j``.
+
+    Cached by name tuples: the census rebuilds the same few systems for
+    every candidate (block coordinate names only vary with product
+    position), and System construction is on the per-candidate hot path.
+    """
+    key = (tuple(src_names[: j + 1]), tuple(tgt_names[: j + 1]), j)
+    system = _lex_cache.get(key)
+    if system is None:
+        constraints = [
+            Constraint.eq({tgt_names[i]: 1, src_names[i]: -1}, 0) for i in range(j)
+        ]
+        constraints.append(
+            Constraint.ge({src_names[j]: 1, tgt_names[j]: -1}, -1)
+        )
+        system = _lex_cache[key] = System(constraints)
+    return system
 
 
-def candidate_violation_systems(shackle, dependences=None) -> list[System]:
-    """Every Theorem-1 query in the direct (non-incremental) formulation.
+def candidate_violation_families(
+    shackle, dependences=None
+) -> list[tuple[System, list[System]]]:
+    """Theorem-1 queries as family descriptors: ``(base, deltas)`` pairs.
 
-    One system per (dependence, concatenated coordinate position): the
-    full dependence polyhedron, the memberships of *all* factors, the
-    prefix-equality constraints and the strict decrease.  This is the
-    seed formulation the incremental check replaced; the fuzz solver
-    oracle and the property tests feed these systems to both solver
-    engines and compare verdicts.
+    One family per dependence — the base is the full dependence
+    polyhedron plus the memberships of *all* factors (shared by every
+    member), and each delta holds the per-position rows (prefix
+    equalities and the strict decrease).  Member ``k`` of a family is
+    ``base ∧ deltas[k]``; the batched solver decides the family with a
+    shared elimination prefix (:func:`repro.polyhedra.solver.feasible_many`).
     """
     program = shackle.factors()[0].program
     if dependences is None:
@@ -188,15 +557,33 @@ def candidate_violation_systems(shackle, dependences=None) -> list[System]:
     tgt_names = block_var_names(shackle, "t")
     flat_src = [n for group in src_names for n in group]
     flat_tgt = [n for group in tgt_names for n in group]
-    out: list[System] = []
+    out: list[tuple[System, list[System]]] = []
     for dep in dependences:
         base = dep.system.conjoin(
             _memberships(shackle, dep.src.label, dep.src.loop_vars, "__s", src_names),
             _memberships(shackle, dep.tgt.label, dep.tgt.loop_vars, "__t", tgt_names),
         )
-        for k in range(len(flat_src)):
-            out.append(base.conjoin(_lex_decrease(flat_src, flat_tgt, k)))
+        deltas = [
+            _lex_decrease(flat_src, flat_tgt, k) for k in range(len(flat_src))
+        ]
+        out.append((base, deltas))
     return out
+
+
+def candidate_violation_systems(shackle, dependences=None) -> list[System]:
+    """Every Theorem-1 query in the direct (non-incremental) formulation.
+
+    The flattened view of :func:`candidate_violation_families` — one
+    system per (dependence, concatenated coordinate position).  This is
+    the seed formulation the incremental check replaced; the fuzz solver
+    oracle and the property tests feed these systems to both solver
+    engines and compare verdicts.
+    """
+    return [
+        base.conjoin(delta)
+        for base, deltas in candidate_violation_families(shackle, dependences)
+        for delta in deltas
+    ]
 
 
 # -- the incremental check ---------------------------------------------------------
@@ -209,7 +596,12 @@ def _factor_alone_verdicts(factor, dep: Dependence, verdicts: MutableMapping):
     factor sits in a product, so the underlying solver queries (and this
     cache) are shared across product positions and candidates.
     """
-    key = (_dep_key(dep), _factor_key(factor))
+    dep_key = _dep_key(dep)
+    key = (
+        dep_key,
+        _factor_ctx_key(factor, dep.src.label),
+        _factor_ctx_key(factor, dep.tgt.label),
+    )
     hit = verdicts.get(key)
     if hit is not None:
         METRICS.inc("legality.factor_reuse")
@@ -217,27 +609,34 @@ def _factor_alone_verdicts(factor, dep: Dependence, verdicts: MutableMapping):
     dims = factor.num_block_dims
     src_names = [f"_ws0_{j}" for j in range(dims)]
     tgt_names = [f"_wt0_{j}" for j in range(dims)]
-    src_rename = {v: v + "__s" for v in dep.src.loop_vars}
-    tgt_rename = {v: v + "__t" for v in dep.tgt.loop_vars}
     base = dep.system.conjoin(
-        System(
-            factor.membership(dep.src.label, src_names, src_rename)
-            + factor.membership(dep.tgt.label, tgt_names, tgt_rename)
-        )
+        _shared_membership(factor, dep.src, "s", src_names, verdicts),
+        _shared_membership(factor, dep.tgt, "t", tgt_names, verdicts),
     )
-    viol_j = None
-    for j in range(dims):
-        if _feasible_conservative(base.conjoin(_lex_decrease(src_names, tgt_names, j))):
-            viol_j = j
-            break
-    tie = _feasible_conservative(
-        base.conjoin(
-            System(
-                Constraint.eq({t: 1, s: -1}, 0)
-                for s, t in zip(src_names, tgt_names)
-            )
-        )
+    lex_deltas = [_lex_decrease(src_names, tgt_names, j) for j in range(dims)]
+    tie_delta = System(
+        Constraint.eq({t: 1, s: -1}, 0) for s, t in zip(src_names, tgt_names)
     )
+    # Cached witnesses decide members for free, but only *later* positions
+    # than every exactly-decided one: viol_j must stay the first violating
+    # position, so everything before the first witness hit is still solved.
+    hits = _witness_hits(dep_key, base, lex_deltas)
+    first_hit = next((j for j, h in enumerate(hits) if h), None)
+    upto = dims if first_hit is None else first_hit
+    # Position 0 decides most factors, so it is solved together with the
+    # tie; later positions only matter when position 0 is infeasible and
+    # are deferred to a second (usually skipped) family.
+    head = min(upto, 1)
+    solved = _feasible_many_conservative(base, lex_deltas[:head] + [tie_delta])
+    tie = solved[-1]
+    viol_j = 0 if head and solved[0] else None
+    if viol_j is None and upto > 1:
+        tail = _feasible_many_conservative(base, lex_deltas[1:upto])
+        viol_j = next((j for j in range(1, upto) if tail[j - 1]), None)
+    if viol_j is not None:
+        _record_witness(dep_key, base.conjoin(lex_deltas[viol_j]))
+    elif first_hit is not None:
+        viol_j = first_hit
     result = (viol_j, tie)
     verdicts[key] = result
     return result
@@ -249,21 +648,19 @@ def _first_dep_violation(
     """The first violating coordinate position for one dependence, or None."""
 
     def membership(fi, role, ctx, names) -> System:
-        key = (fi, role)
-        cached = memberships.get(key)
-        if cached is None:
-            cached = {}
-            memberships[key] = cached
-        system = cached.get(ctx.label)
+        key = (fi, role, ctx.label)
+        system = memberships.get(key)
         if system is None:
-            rename = {v: v + "__" + role for v in ctx.loop_vars}
-            system = System(factors[fi].membership(ctx.label, names, rename))
-            cached[ctx.label] = system
+            # Second tier: the cross-candidate cache in ``verdicts``.
+            system = _shared_membership(factors[fi], ctx, role, names, verdicts)
+            memberships[key] = system
         return system
 
     single = len(factors) == 1
     base = dep.system
+    dep_key = _dep_key(dep)
     ties: list[Constraint] = []
+    tied_keys: set[tuple] = set()
     offset = 0
     for fi, factor in enumerate(factors):
         dims = factor.num_block_dims
@@ -271,8 +668,21 @@ def _first_dep_violation(
         base = base.conjoin(
             membership(fi, "s", dep.src, sn), membership(fi, "t", dep.tgt, tn)
         )
+        pair_key = (
+            _factor_ctx_key(factor, dep.src.label),
+            _factor_ctx_key(factor, dep.tgt.label),
+        )
+        if pair_key in tied_keys:
+            # An earlier tied factor has the same membership functions on
+            # both of this dependence's statements, so this factor's
+            # coordinates (the same function of the instances) are forced
+            # equal: no strict decrease is possible here, and the tie
+            # holds trivially.  No solver call needed.
+            METRICS.inc("legality.factor_duplicate")
+            offset += dims
+            continue
         if single:
-            viol_j, tie = 0, True  # the direct loop below is the whole check
+            viol_j, tie = 0, True  # the family below is the whole check
         else:
             viol_j, tie = _factor_alone_verdicts(factor, dep, verdicts)
         if viol_j is not None:
@@ -280,10 +690,23 @@ def _first_dep_violation(
             # decide it under the earlier-factors-tied restriction.
             # Positions below viol_j are infeasible even unrestricted.
             restricted = base.conjoin(System(ties)) if ties else base
-            for j in range(viol_j, dims):
-                candidate = restricted.conjoin(_lex_decrease(sn, tn, j))
-                if _feasible_conservative(candidate):
-                    return Violation(dep, offset + j, candidate)
+            positions = list(range(viol_j, dims))
+            deltas = [_lex_decrease(sn, tn, j) for j in positions]
+            # A cached witness settles its member for free, but the first
+            # violating position must stay exact: positions before the
+            # first witness hit are still solved (as one family).
+            hits = _witness_hits(dep_key, restricted, deltas)
+            first_hit = next((k for k, h in enumerate(hits) if h), None)
+            upto = len(positions) if first_hit is None else first_hit
+            solved = _feasible_many_conservative(restricted, deltas[:upto])
+            found = next((k for k in range(upto) if solved[k]), None)
+            if found is not None:
+                candidate = restricted.conjoin(deltas[found])
+                _record_witness(dep_key, candidate)
+                return Violation(dep, offset + positions[found], candidate)
+            if first_hit is not None:
+                candidate = restricted.conjoin(deltas[first_hit])
+                return Violation(dep, offset + positions[first_hit], candidate)
         if not tie:
             # Every dependent pair is strictly ordered by this factor:
             # later factors can never see tied prefixes.  No more ILPs.
@@ -293,6 +716,7 @@ def _first_dep_violation(
             ties.extend(
                 Constraint.eq({t: 1, s: -1}, 0) for s, t in zip(sn, tn)
             )
+            tied_keys.add(pair_key)
         offset += dims
     return None
 

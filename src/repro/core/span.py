@@ -6,15 +6,28 @@ by the block-size parameters iff every row of ``F`` is spanned by the
 rows of ``F1..Fn``.  This drives the paper's product-sizing heuristic:
 extend the Cartesian product while some statement still has an
 unconstrained reference; stop when none remains.
+
+Span membership is decided through the memoized feasibility solver
+(:func:`repro.polyhedra.solver.feasible`): ``r`` lies in the row space
+of ``S`` iff the polyhedron ``{x : Sx = 0, r·x >= 1}`` has no solution —
+the cone is scale-invariant, so rational and integer feasibility agree,
+and repeated queries (the search re-examines the same factors at every
+product depth) hit the same canonical memo as the legality census.  The
+original Gaussian-elimination path is kept as
+:func:`reference_statuses_direct`, the differential oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.metrics import METRICS
 from repro.ir.analysis import statement_contexts
 from repro.ir.expr import Ref
 from repro.linalg import FracMatrix
+from repro.polyhedra import solver
+from repro.polyhedra.budget import SolverBudget
+from repro.polyhedra.constraints import Constraint, System
 
 
 @dataclass
@@ -34,8 +47,50 @@ def _shackled_rows(shackle, ctx) -> list[list]:
     return rows
 
 
+def _row_space_contains(span_rows, row, loop_vars) -> bool:
+    """``row in rowspace(span_rows)``, as one feasibility query.
+
+    ``r`` is in the row space iff no ``x`` satisfies ``Sx = 0`` and
+    ``r·x >= 1``: a vector outside the row space has a witness in the
+    null space of ``S`` with positive inner product (scalable to an
+    integer point), while for a spanned ``r``, ``Sx = 0`` forces
+    ``r·x = 0``.  A tripped solver budget conservatively reports *not*
+    spanned — the reference is treated as unconstrained, which only ever
+    extends the product further (never a wrong legality verdict).
+    """
+    METRICS.inc("span.queries")
+    constraints = [Constraint.eq(dict(zip(loop_vars, s)), 0) for s in span_rows]
+    constraints.append(Constraint.ge(dict(zip(loop_vars, row)), -1))
+    try:
+        return not solver.feasible(System(constraints))
+    except SolverBudget:
+        METRICS.inc("span.budget_exceeded")
+        return False
+
+
 def reference_statuses(shackle) -> list[ReferenceStatus]:
     """Theorem-2 status of every reference of every statement."""
+    program = shackle.factors()[0].program
+    out: list[ReferenceStatus] = []
+    for ctx in statement_contexts(program):
+        span = _shackled_rows(shackle, ctx)
+        for ref in ctx.statement.references():
+            rows = [[idx.coeff(v) for v in ctx.loop_vars] for idx in ref.indices]
+            bounded = all(
+                _row_space_contains(span, row, ctx.loop_vars) for row in rows
+            )
+            out.append(ReferenceStatus(ctx.label, ref, bounded))
+    return out
+
+
+def reference_statuses_direct(shackle) -> list[ReferenceStatus]:
+    """The original Gaussian-elimination formulation (differential oracle).
+
+    Decides span membership by row reduction over exact rationals
+    (:class:`~repro.linalg.FracMatrix`), with no solver or memo in the
+    path; ``repro fuzz --check span`` and the property tests compare it
+    against :func:`reference_statuses`.
+    """
     program = shackle.factors()[0].program
     out: list[ReferenceStatus] = []
     for ctx in statement_contexts(program):

@@ -228,6 +228,24 @@ class MetricsRegistry:
                     "fault events: "
                     + ", ".join(f"{k}={int(v)}" for k, v in faults.items())
                 )
+            batched = {
+                label: counters[name]
+                for name, label in (
+                    ("solver.batch_families", "families"),
+                    ("solver.batch_members", "members"),
+                    ("solver.batch_prefix_reuse", "prefix_reuse"),
+                    ("solver.int128_combines", "int128"),
+                    ("legality.witness_transfer", "witness_transfers"),
+                )
+                if counters.get(name)
+            }
+            if batched:
+                # One-line summary of the family-solve path: how much
+                # work the batched solver amortized (docs/SOLVER.md).
+                lines.append(
+                    "batched solves: "
+                    + ", ".join(f"{k}={int(v)}" for k, v in batched.items())
+                )
         timers = snap["timers"]
         if timers:
             lines.append("")

@@ -41,6 +41,7 @@ class Mutation:
     generated: Callable | None = None
     c_program: Callable | None = None
     solver: Callable | None = None  # replaces the fast feasibility engine
+    solver_many: Callable | None = None  # replaces the batched family solve
 
 
 class _AlwaysLegal:
@@ -140,6 +141,29 @@ def _bad_prune_feasible(system):
         return integer_feasible_scalar(system)
 
 
+def _bad_prefix_feasible_many(base, deltas):
+    """A batched family solve whose shared-prefix reduction unsoundly
+    discards one shared row — the class of bug a wrong
+    member-independence argument in the prefix elimination would
+    introduce.  Bypasses the solver memo so the broken engine actually
+    runs (cached verdicts from the per-system differential are correct
+    and would mask the bug)."""
+    from repro.polyhedra.constraints import System
+    from repro.polyhedra.fm_vector import Fallback, feasible_family
+    from repro.polyhedra.omega import integer_feasible_scalar
+    from repro.polyhedra.solver import feasible
+
+    deltas = [d if isinstance(d, System) else System(d) for d in deltas]
+    try:
+        raw = feasible_family(base, deltas, recurse=feasible, drop_shared=True)
+    except Fallback:
+        raw = [None] * len(deltas)
+    return [
+        integer_feasible_scalar(base.conjoin(delta)) if verdict is None else verdict
+        for verdict, delta in zip(raw, deltas)
+    ]
+
+
 MUTATIONS: dict[str, Mutation] = {
     m.name: m
     for m in (
@@ -184,6 +208,12 @@ MUTATIONS: dict[str, Mutation] = {
             description="vectorized FM drops one combined row per elimination",
             target_oracle="solver",
             solver=_bad_prune_feasible,
+        ),
+        Mutation(
+            name="batch-bad-prefix",
+            description="family solve drops one shared row after the prefix reduction",
+            target_oracle="solver",
+            solver_many=_bad_prefix_feasible_many,
         ),
     )
 }

@@ -229,25 +229,42 @@ def run_case_payload(payload: dict) -> dict:
 
         if "solver" in checks:
             # The legality-fast-vs-scalar differential: every Theorem-1
-            # query system (direct formulation) must get the same verdict
-            # from the fast engine (vectorized FM + canonical memo) and
-            # from the scalar Omega oracle.  The scalar oracle splinters
+            # query must get the same verdict from the fast engine
+            # (vectorized FM + canonical memo), from the batched family
+            # solve (shared-prefix elimination, feasible_many), and from
+            # the scalar Omega oracle.  The scalar oracle splinters
             # exponentially on some wide multi-factor systems (minutes and
             # gigabytes for a single query), so the differential is capped
             # at SOLVER_ORACLE_MAX_VARS variables — a deterministic,
             # structural bound; skips are counted, never silent.
-            from repro.core.legality import candidate_violation_systems
+            from repro.core.legality import candidate_violation_families
             from repro.polyhedra import solver as _solver
             from repro.polyhedra.omega import integer_feasible_scalar
 
             fast_fn = (mutation and mutation.solver) or _solver.feasible
+            many_fn = (mutation and mutation.solver_many) or _solver.feasible_many
             disagreements: list[int] = []
-            for query, system in enumerate(candidate_violation_systems(shackle, deps)):
-                if len(system.variables()) > SOLVER_ORACLE_MAX_VARS:
-                    METRICS.inc("fuzz.solver_skipped")
-                    continue
-                if bool(fast_fn(system)) != bool(integer_feasible_scalar(system)):
-                    disagreements.append(query)
+            query = 0
+            for base, family_deltas in candidate_violation_families(shackle, deps):
+                systems = [base.conjoin(d) for d in family_deltas]
+                oversized = [
+                    len(s.variables()) > SOLVER_ORACLE_MAX_VARS for s in systems
+                ]
+                batched: list = [None] * len(systems)
+                if not any(oversized):
+                    batched = many_fn(base, family_deltas)
+                for member, system in enumerate(systems):
+                    if oversized[member]:
+                        METRICS.inc("fuzz.solver_skipped")
+                        query += 1
+                        continue
+                    oracle = bool(integer_feasible_scalar(system))
+                    if bool(fast_fn(system)) != oracle or (
+                        batched[member] is not None
+                        and bool(batched[member]) != oracle
+                    ):
+                        disagreements.append(query)
+                    query += 1
             if disagreements:
                 fail(
                     "solver",

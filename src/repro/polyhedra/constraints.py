@@ -30,6 +30,25 @@ class Constraint:
     __slots__ = ("coeffs", "const", "is_eq", "_key_cache")
 
     def __init__(self, coeffs: Mapping[str, object], const: object, is_eq: bool = False) -> None:
+        # All-int fast path: the hot constructors (memberships, lex rows,
+        # matrix round-trips in the vector solver) pass plain ints, and
+        # profiling shows Fraction churn here rivals actual solve time.
+        # ``const`` stays an int (ints expose .numerator/.denominator, so
+        # every downstream consumer of the Fraction protocol still works).
+        if type(const) is int and all(type(c) is int for c in coeffs.values()):
+            int_coeffs = {v: c for v, c in coeffs.items() if c}
+            g = gcd_list(int_coeffs.values())
+            if g > 1:
+                int_coeffs = {v: c // g for v, c in int_coeffs.items()}
+                if is_eq:
+                    const = const // g if const % g == 0 else Fraction(const, g)
+                else:
+                    const = const // g  # Python // floors: sound tightening
+            self.coeffs = dict(sorted(int_coeffs.items()))
+            self.const = const
+            self.is_eq = is_eq
+            self._key_cache = None
+            return
         frac_coeffs = {v: Fraction(c) for v, c in coeffs.items() if Fraction(c) != 0}
         frac_const = Fraction(const)
         denominators = [c.denominator for c in frac_coeffs.values()] + [frac_const.denominator]
@@ -115,6 +134,14 @@ class Constraint:
         if var not in self.coeffs:
             return self
         factor = self.coeffs[var]
+        if not coeffs and type(const) is int and type(factor) is int:
+            # Fixing a variable to an integer value — the witness
+            # extraction hot path; skip the Fraction churn.
+            return Constraint(
+                {v: c for v, c in self.coeffs.items() if v != var},
+                self.const + factor * const,
+                self.is_eq,
+            )
         new_coeffs: dict[str, Fraction] = {
             v: Fraction(c) for v, c in self.coeffs.items() if v != var
         }
@@ -156,7 +183,7 @@ class Constraint:
 class System:
     """A conjunction of constraints (a polyhedron's integer points)."""
 
-    __slots__ = ("constraints",)
+    __slots__ = ("constraints", "_keyset")
 
     def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
         # Deduplicate while preserving order; drop trivially-true constraints.
@@ -170,6 +197,13 @@ class System:
                 seen.add(key)
                 kept.append(c)
         self.constraints: tuple[Constraint, ...] = tuple(kept)
+        self._keyset: frozenset | None = frozenset(seen)
+
+    def _keys(self) -> frozenset:
+        keys = self._keyset
+        if keys is None:
+            keys = self._keyset = frozenset(c._key() for c in self.constraints)
+        return keys
 
     def variables(self) -> set[str]:
         out: set[str] = set()
@@ -178,13 +212,30 @@ class System:
         return out
 
     def conjoin(self, *others: "System | Constraint") -> "System":
+        # ``self`` is already deduplicated, so only the extras need
+        # checking — against self's cached key set.  Long-lived bases
+        # (dependence polyhedra, memberships) are conjoined hundreds of
+        # times per census, making re-deduplication the hot part.
         extra: list[Constraint] = []
         for item in others:
             if isinstance(item, Constraint):
                 extra.append(item)
             else:
                 extra.extend(item.constraints)
-        return System(list(self.constraints) + extra)
+        base_keys = self._keys()
+        new_keys: set[tuple] = set()
+        kept = list(self.constraints)
+        for c in extra:
+            if c.is_trivially_true():
+                continue
+            key = c._key()
+            if key not in base_keys and key not in new_keys:
+                new_keys.add(key)
+                kept.append(c)
+        out = System.__new__(System)
+        out.constraints = tuple(kept)
+        out._keyset = base_keys | new_keys if new_keys else base_keys
+        return out
 
     def rename(self, mapping: Mapping[str, str]) -> "System":
         return System(c.rename(mapping) for c in self.constraints)

@@ -28,6 +28,7 @@ import itertools
 import numpy as np
 
 from repro.engine.metrics import METRICS
+from repro.linalg.intmath import gcd_list
 from repro.polyhedra import budget as _budget
 from repro.polyhedra.constraints import Constraint, System
 
@@ -42,17 +43,14 @@ class Fallback(Exception):
 # -- System <-> matrix -------------------------------------------------------------
 
 
-def _split_system(system: System):
-    """``(variables, eq_matrix, ineq_matrix)`` with the constant as the
-    last column, or ``None`` when the system is trivially infeasible
-    (an equality whose normalized constant is fractional, or a constant
+def _constraints_to_rows(constraints, index: dict, width: int):
+    """``(eq_matrix, ineq_matrix)`` with the constant as the last column,
+    or ``None`` when the constraint set is trivially infeasible (an
+    equality whose normalized constant is fractional, or a constant
     contradiction)."""
-    variables = sorted(system.variables())
-    index = {v: i for i, v in enumerate(variables)}
-    width = len(variables) + 1
     eq_rows: list[list[int]] = []
     ineq_rows: list[list[int]] = []
-    for c in system.constraints:
+    for c in constraints:
         if c.is_trivially_false():
             return None
         if c.is_eq and c.const.denominator != 1:
@@ -62,9 +60,23 @@ def _split_system(system: System):
             row[index[v]] = a
         row[-1] = int(c.const)
         (eq_rows if c.is_eq else ineq_rows).append(row)
-    eq = np.array(eq_rows, dtype=np.int64).reshape(len(eq_rows), width)
-    ineq = np.array(ineq_rows, dtype=np.int64).reshape(len(ineq_rows), width)
-    return variables, eq, ineq
+    try:
+        eq = np.array(eq_rows, dtype=np.int64).reshape(len(eq_rows), width)
+        ineq = np.array(ineq_rows, dtype=np.int64).reshape(len(ineq_rows), width)
+    except OverflowError:
+        raise Fallback("constraint coefficients exceed int64") from None
+    return eq, ineq
+
+
+def _split_system(system: System):
+    """``(variables, eq_matrix, ineq_matrix)`` or ``None`` when trivially
+    infeasible (see :func:`_constraints_to_rows`)."""
+    variables = sorted(system.variables())
+    index = {v: i for i, v in enumerate(variables)}
+    rows = _constraints_to_rows(system.constraints, index, len(variables) + 1)
+    if rows is None:
+        return None
+    return variables, rows[0], rows[1]
 
 
 def _matrix_to_system(matrix: np.ndarray, variables: list[str]) -> System:
@@ -78,17 +90,129 @@ def _matrix_to_system(matrix: np.ndarray, variables: list[str]) -> System:
 
 # -- equality elimination (integer lattice) ----------------------------------------
 
+_HERMITE_GUARD = 1 << 30
+"""Once any Hermite working value reaches this, the next column update
+could overflow int64 (products stay below 2^60, sums below 2^61); the
+reduction restarts on the arbitrary-precision path."""
 
-def _eliminate_equalities(eq: np.ndarray, ineq: np.ndarray, variables: list[str]):
-    """Substitute the equality lattice into the inequalities.
 
-    Returns ``(ineq_matrix, variables)`` over the lattice's free
-    variables, or ``None`` when the equality subsystem has no integer
-    solution.  The Hermite-style column reduction runs on Python ints
-    (multipliers can exceed int64); the substitution of ``x = x0 + F t``
-    into the inequalities is a single integer matrix product.
+class _HermiteOverflow(Exception):
+    """Internal: vectorized Hermite needs the Python-int path."""
+
+
+class _NoUnitPivot(Exception):
+    """Internal: the unit-substitution fast path needs full Hermite."""
+
+
+def _solve_lattice_unit(eq: np.ndarray, n: int):
+    """Equality elimination by unit-pivot substitution.
+
+    Legality systems are dominated by equalities with a ±1 coefficient
+    (subscript equality, lexicographic ties); each such row is solved for
+    its unit variable and substituted — a handful of small matrix ops,
+    no unimodular column reduction.  The unit pivot makes the remaining
+    free integers a bijection onto the solution set, so the
+    ``x = x0 + F t`` parameterization is exact.  Raises
+    :class:`_NoUnitPivot` when a row has no ±1 coefficient (or values
+    grow past the guard) — the caller falls back to Hermite.
     """
-    n = len(variables)
+    F = np.eye(n, dtype=np.int64)
+    x0 = np.zeros(n, dtype=np.int64)
+    nfree = n
+    for row in eq:
+        r = row[:-1] @ F
+        c = int(row[-1]) + int(row[:-1] @ x0)
+        nz = np.nonzero(r)[0]
+        if nz.size == 0:
+            if c != 0:
+                return None
+            continue
+        unit = nz[np.abs(r[nz]) == 1]
+        if unit.size == 0:
+            raise _NoUnitPivot
+        j = int(unit[0])
+        a = int(r[j])  # ±1, so 1/a == a
+        # a*t_j + rest·t + c == 0  =>  t_j = -a*(rest·t + c)
+        s = (-a) * r
+        s[j] = 0
+        x0 = x0 + F[:, j] * (-a * c)
+        F = F + np.outer(F[:, j], s)
+        F = np.delete(F, j, axis=1)
+        nfree -= 1
+        peak = max(int(np.abs(F).max(initial=0)), int(np.abs(x0).max(initial=0)))
+        if peak >= _HERMITE_GUARD:
+            raise _NoUnitPivot
+    return (
+        [int(v) for v in x0],
+        [[int(v) for v in row] for row in F],
+        n - nfree,
+    )
+
+
+def _solve_lattice_int64(eq: np.ndarray, n: int):
+    """Vectorized Hermite column reduction of the equality subsystem.
+
+    Raises :class:`_HermiteOverflow` whenever a working value approaches
+    int64 limits — the caller reruns on Python ints.  ``y`` values (and
+    everything derived from them) stay Python ints throughout: they are
+    quotients of right-hand sides and can be arbitrarily large without
+    endangering the int64 matrices.
+    """
+    k = len(eq)
+    matrix = eq[:, :-1].astype(np.int64, copy=True)
+    rhs = [-int(v) for v in eq[:, -1]]
+    unimodular = np.eye(n, dtype=np.int64)
+    if matrix.size and int(np.abs(matrix).max()) >= _HERMITE_GUARD:
+        raise _HermiteOverflow
+    pivot = 0
+    y_values: list[int] = []
+    for r in range(k):
+        while True:
+            tail = matrix[r, pivot:]
+            nz = np.nonzero(tail)[0]
+            if nz.size == 0:
+                break
+            best = pivot + int(nz[int(np.abs(tail[nz]).argmin())])
+            if best != pivot:
+                matrix[:, [pivot, best]] = matrix[:, [best, pivot]]
+                unimodular[:, [pivot, best]] = unimodular[:, [best, pivot]]
+            if matrix[r, pivot] < 0:
+                matrix[:, pivot] = -matrix[:, pivot]
+                unimodular[:, pivot] = -unimodular[:, pivot]
+            quots = matrix[r, pivot + 1 :] // matrix[r, pivot]
+            if not quots.any():
+                break
+            matrix[:, pivot + 1 :] -= quots[None, :] * matrix[:, pivot : pivot + 1]
+            unimodular[:, pivot + 1 :] -= (
+                quots[None, :] * unimodular[:, pivot : pivot + 1]
+            )
+            peak = max(int(np.abs(matrix).max()), int(np.abs(unimodular).max()))
+            if peak >= _HERMITE_GUARD:
+                raise _HermiteOverflow
+            if not matrix[r, pivot + 1 :].any():
+                break
+        residual = rhs[r] - sum(
+            int(matrix[r, j]) * y_values[j] for j in range(pivot)
+        )
+        if not matrix[r, pivot:].any():
+            if residual != 0:
+                return None
+            continue
+        p = int(matrix[r, pivot])
+        if residual % p != 0:
+            return None
+        y_values.append(residual // p)
+        pivot += 1
+    x0 = [
+        sum(int(unimodular[i, j]) * y_values[j] for j in range(pivot))
+        for i in range(n)
+    ]
+    free = [[int(unimodular[i, j]) for j in range(pivot, n)] for i in range(n)]
+    return x0, free, pivot
+
+
+def _solve_lattice_bigint(eq: np.ndarray, n: int):
+    """Hermite reduction on Python-int lists — exact for any magnitude."""
     k = len(eq)
     matrix = [[int(a) for a in row[:-1]] for row in eq]
     rhs = [-int(row[-1]) for row in eq]
@@ -137,24 +261,67 @@ def _eliminate_equalities(eq: np.ndarray, ineq: np.ndarray, variables: list[str]
             return None
         y_values[pivot] = residual // matrix[r][pivot]
         pivot += 1
-
-    # x = x0 + F t: particular solution plus the free lattice columns.
     x0 = [
         sum(unimodular[i][j] * y_values[j] for j in range(pivot)) for i in range(n)
     ]
     free = [[unimodular[i][j] for j in range(pivot, n)] for i in range(n)]
-    bound = max((abs(v) for row in unimodular for v in row), default=0)
+    return x0, free, pivot
+
+
+def _solve_lattice(eq: np.ndarray, n: int):
+    """``(x0, free, pivot)`` describing all integer solutions of the
+    equality subsystem as ``x = x0 + F t``, or ``None`` when there are
+    none.  ``x0``/``free`` are Python ints (the unimodular multipliers
+    can exceed int64; :func:`_substitute_lattice` guards the conversion).
+    """
+    try:
+        return _solve_lattice_unit(eq, n)
+    except _NoUnitPivot:
+        pass
+    try:
+        return _solve_lattice_int64(eq, n)
+    except _HermiteOverflow:
+        return _solve_lattice_bigint(eq, n)
+
+
+def _substitute_lattice(
+    rows: np.ndarray, x0: list, free: list, n: int
+) -> np.ndarray:
+    """Substitute ``x = x0 + F t`` into constraint rows (eq or ineq).
+
+    One integer matrix product; raises :class:`Fallback` when the result
+    could exceed int64 headroom (huge lattice multipliers, so the caller
+    must rerun on the scalar engine).
+    """
+    nfree = len(free[0]) if free else 0
+    if not len(rows):
+        return rows.reshape(0, nfree + 1)
+    bound = max((abs(v) for row in free for v in row), default=0)
     bound = max(bound, max((abs(v) for v in x0), default=0))
-    coeff_bound = int(np.abs(ineq[:, :-1]).max()) if ineq.size else 0
+    coeff_bound = int(np.abs(rows[:, :-1]).max()) if rows[:, :-1].size else 0
     if coeff_bound * bound * max(n, 1) >= _OVERFLOW_GUARD:
         raise Fallback("equality substitution exceeds int64 headroom")
-
     x0_vec = np.array(x0, dtype=np.int64)
-    free_mat = np.array(free, dtype=np.int64).reshape(n, n - pivot)
-    coeffs = ineq[:, :-1]
-    new_const = ineq[:, -1] + coeffs @ x0_vec
+    free_mat = np.array(free, dtype=np.int64).reshape(n, nfree)
+    coeffs = rows[:, :-1]
+    new_const = rows[:, -1] + coeffs @ x0_vec
     new_coeffs = coeffs @ free_mat
-    out = np.concatenate([new_coeffs, new_const[:, None]], axis=1)
+    return np.concatenate([new_coeffs, new_const[:, None]], axis=1)
+
+
+def _eliminate_equalities(eq: np.ndarray, ineq: np.ndarray, variables: list[str]):
+    """Substitute the equality lattice into the inequalities.
+
+    Returns ``(ineq_matrix, variables)`` over the lattice's free
+    variables, or ``None`` when the equality subsystem has no integer
+    solution.
+    """
+    n = len(variables)
+    lattice = _solve_lattice(eq, n)
+    if lattice is None:
+        return None
+    x0, free, pivot = lattice
+    out = _substitute_lattice(ineq, x0, free, n)
     fresh = [f"_t{j}" for j in range(n - pivot)]
     return out, fresh
 
@@ -199,6 +366,68 @@ def _prune(matrix: np.ndarray, stats: dict):
 
 _INT64_MAX = np.iinfo(np.int64).max
 
+_INT128_MULT_LIMIT = 1 << 30
+"""Two-limb products are exact only while both FM multipliers fit in 30
+bits: ``|a*hi_limb| < 2^30 * 2^31`` keeps every limb sum below 2^62."""
+
+_LIMB_MASK = (1 << 32) - 1
+
+
+def _combine_int128(
+    lowers: np.ndarray, uppers: np.ndarray, a: np.ndarray, b: np.ndarray, dark: bool
+) -> np.ndarray:
+    """FM bound-pair combination in two-limb int128 arithmetic.
+
+    Each int64 value splits as ``v = hi * 2^32 + lo`` with ``hi`` the
+    arithmetic shift (so ``hi`` carries the sign, ``lo`` in [0, 2^32)).
+    ``a*L + b*U`` is computed per limb, the low-limb carry folded into
+    the high limb, and any entry whose exact value fits int64 is packed
+    back.  Rows with oversized entries are GCD-reduced on Python ints;
+    only a row that stays oversized *after* tightening (and is not a
+    constant-only tautology/contradiction) raises :class:`Fallback`.
+    """
+    width = lowers.shape[1]
+    if (
+        int(a.max(initial=0)) >= _INT128_MULT_LIMIT
+        or int(b.max(initial=0)) >= _INT128_MULT_LIMIT
+    ):
+        raise Fallback("FM multipliers exceed two-limb headroom")
+    lhi, llo = lowers >> 32, lowers & _LIMB_MASK
+    uhi, ulo = uppers >> 32, uppers & _LIMB_MASK
+    hi = (
+        a[None, :, None] * lhi[:, None, :] + b[:, None, None] * uhi[None, :, :]
+    ).reshape(-1, width)
+    lo = (
+        a[None, :, None] * llo[:, None, :] + b[:, None, None] * ulo[None, :, :]
+    ).reshape(-1, width)
+    if dark:
+        lo[:, -1] -= ((b[:, None] - 1) * (a[None, :] - 1)).reshape(-1)
+    carry = lo >> 32  # arithmetic shift == floor division: exact for negatives
+    hi += carry
+    lo &= _LIMB_MASK
+    fits = (hi >= -(1 << 31)) & (hi < (1 << 31))
+    safe_hi = np.where(fits, hi, 0)
+    out = (safe_hi << 32) | np.where(fits, lo, 0)
+    for r in np.nonzero(~fits.all(axis=1))[0]:
+        values = [int(h) * (1 << 32) + int(l) for h, l in zip(hi[r], lo[r])]
+        coeffs, const = values[:-1], values[-1]
+        if not any(coeffs):
+            # Constant-only row: decided here, no headroom needed.
+            out[r, :-1] = 0
+            out[r, -1] = 0 if const >= 0 else -1
+            continue
+        g = gcd_list(coeffs)
+        if g > 1:
+            coeffs = [c // g for c in coeffs]
+            const //= g  # floor: sound integer tightening
+        if any(abs(c) >= _OVERFLOW_GUARD for c in coeffs) or abs(const) >= (
+            _OVERFLOW_GUARD
+        ):
+            raise Fallback("combined row exceeds int64 after GCD tightening")
+        out[r, :-1] = coeffs
+        out[r, -1] = const
+    return out
+
 
 def _combine(
     matrix: np.ndarray,
@@ -207,12 +436,16 @@ def _combine(
     col: int,
     dark: bool,
     drop_last: bool = False,
+    stats: dict | None = None,
 ):
     """One FM elimination of column ``col`` over all bound pairs.
 
     ``lower_mask``/``upper_mask`` are the sign masks of the column (the
     caller already computed them while choosing the column).  Returns the
     new matrix (rest rows plus all pairwise combinations, GCD-tightened).
+    When the conservative int64 guard trips, the combination reruns on
+    the two-limb int128 path (counted under ``solver.int128_combines``)
+    instead of punting the whole system to the scalar engine.
     ``drop_last`` unsoundly discards the last combined row — it exists
     only for the fuzzer's planted ``solver-bad-prune`` mutation, proving
     the scalar differential oracle catches exactly this class of bug.
@@ -224,12 +457,16 @@ def _combine(
     a = -uppers[:, col]
     peak = int(np.abs(matrix).max(initial=1))
     if (int(a.max(initial=1)) + int(b.max(initial=1))) * peak >= _OVERFLOW_GUARD:
-        raise Fallback("FM combination exceeds int64 headroom")
-    combined = (
-        a[None, :, None] * lowers[:, None, :] + b[:, None, None] * uppers[None, :, :]
-    ).reshape(-1, matrix.shape[1])
-    if dark:
-        combined[:, -1] -= ((b[:, None] - 1) * (a[None, :] - 1)).reshape(-1)
+        if stats is not None:
+            stats["int128"] += 1
+        combined = _combine_int128(lowers, uppers, a, b, dark)
+    else:
+        combined = (
+            a[None, :, None] * lowers[:, None, :]
+            + b[:, None, None] * uppers[None, :, :]
+        ).reshape(-1, matrix.shape[1])
+        if dark:
+            combined[:, -1] -= ((b[:, None] - 1) * (a[None, :] - 1)).reshape(-1)
     if drop_last and len(combined):
         combined = combined[:-1]
     if len(combined):
@@ -279,13 +516,22 @@ def _ineq_feasible_matrix(
         col = int(np.where(pool, n_lower * n_upper, _INT64_MAX).argmin())
         lower_mask, upper_mask = pos[:, col], neg[:, col]
         if exact_cols[col]:
-            matrix = _combine(matrix, lower_mask, upper_mask, col, dark=False, drop_last=drop_last)
+            matrix = _combine(
+                matrix, lower_mask, upper_mask, col, dark=False,
+                drop_last=drop_last, stats=stats,
+            )
             continue
 
-        dark = _combine(matrix, lower_mask, upper_mask, col, dark=True, drop_last=drop_last)
+        dark = _combine(
+            matrix, lower_mask, upper_mask, col, dark=True,
+            drop_last=drop_last, stats=stats,
+        )
         if _ineq_feasible_matrix(dark, variables, recurse, drop_last, stats):
             return True
-        real = _combine(matrix, lower_mask, upper_mask, col, dark=False, drop_last=drop_last)
+        real = _combine(
+            matrix, lower_mask, upper_mask, col, dark=False,
+            drop_last=drop_last, stats=stats,
+        )
         if not _ineq_feasible_matrix(real, variables, recurse, drop_last, stats):
             return False
         # Gray region between the shadows: splinter on equality
@@ -317,7 +563,7 @@ def feasible_vector(system: System, recurse, drop_last: bool = False) -> bool:
     variables, eq, ineq = split
     # Counters are accumulated locally and flushed once: METRICS.inc takes a
     # lock, and the elimination loop is the hottest code in the solver.
-    stats = {"eliminations": 0, "pruned": 0}
+    stats = _fresh_stats()
     try:
         if len(eq):
             reduced = _eliminate_equalities(eq, ineq, variables)
@@ -326,7 +572,173 @@ def feasible_vector(system: System, recurse, drop_last: bool = False) -> bool:
             ineq, variables = reduced
         return _ineq_feasible_matrix(ineq, variables, recurse, drop_last, stats)
     finally:
-        if stats["eliminations"]:
-            METRICS.inc("fm.vector_eliminations", stats["eliminations"])
-        if stats["pruned"]:
-            METRICS.inc("solver.fm_rows_pruned", stats["pruned"])
+        _flush_stats(stats)
+
+
+def _fresh_stats() -> dict:
+    return {"eliminations": 0, "pruned": 0, "int128": 0, "prefix": 0}
+
+
+def _flush_stats(stats: dict) -> None:
+    if stats["eliminations"]:
+        METRICS.inc("fm.vector_eliminations", stats["eliminations"])
+    if stats["pruned"]:
+        METRICS.inc("solver.fm_rows_pruned", stats["pruned"])
+    if stats["int128"]:
+        METRICS.inc("solver.int128_combines", stats["int128"])
+    if stats["prefix"]:
+        METRICS.inc("fm.prefix_eliminations", stats["prefix"])
+
+
+# -- family solves (shared-prefix batching) ----------------------------------------
+
+
+def _shared_prefix_reduce(matrix: np.ndarray, locked: np.ndarray, stats: dict):
+    """Reduce the family's shared inequality rows as far as is provably
+    member-independent.
+
+    ``locked`` marks columns mentioned by at least one member's delta
+    rows.  An *unlocked* column appears only in shared rows, so the full
+    member system sees exactly the same bounds for it as the shared
+    matrix does; one-sided drops and exact (unit-coefficient)
+    eliminations of unlocked columns therefore commute with conjoining
+    any member's delta rows and are performed once per family.  Lossy
+    steps (dark shadow, splintering) are never shared.  Returns ``None``
+    on a constant contradiction (the whole family is infeasible).
+    """
+    while True:
+        matrix = _prune(matrix, stats)
+        if matrix is None:
+            return None
+        while True:
+            if not len(matrix):
+                return matrix
+            coeffs = matrix[:, :-1]
+            pos = coeffs > 0
+            neg = coeffs < 0
+            n_lower = pos.sum(axis=0)
+            n_upper = neg.sum(axis=0)
+            one_sided = ((n_lower > 0) ^ (n_upper > 0)) & ~locked
+            if not one_sided.any():
+                break
+            matrix = matrix[~(coeffs[:, one_sided] != 0).any(axis=1)]
+        eliminable = (n_lower > 0) & (n_upper > 0) & ~locked
+        if not eliminable.any():
+            return matrix
+        max_lower = np.where(pos, coeffs, 0).max(axis=0, initial=0)
+        max_upper = np.where(neg, -coeffs, 0).max(axis=0, initial=0)
+        exact_cols = eliminable & ((max_lower == 1) | (max_upper == 1))
+        if not exact_cols.any():
+            return matrix
+        col = int(np.where(exact_cols, n_lower * n_upper, _INT64_MAX).argmin())
+        stats["eliminations"] += 1
+        stats["prefix"] += 1
+        _budget.charge()
+        matrix = _combine(
+            matrix, pos[:, col], neg[:, col], col, dark=False, stats=stats
+        )
+
+
+_MEMBER_FALLBACK = object()
+"""Sentinel: this member needs the scalar engine (int64 headroom)."""
+
+
+def feasible_family(
+    base: System, deltas: list, recurse, drop_shared: bool = False
+) -> list:
+    """Decide every member ``base ∧ deltas[i]`` of a candidate family.
+
+    The base matrices are built once; the base equality lattice is solved
+    once and substituted into the shared rows *and* every member's delta
+    rows with one guard; the shared inequalities are then reduced by
+    :func:`_shared_prefix_reduce` before the per-member finishes run.
+
+    Returns one entry per member: ``True``/``False``, or ``None`` for a
+    member whose finish exceeded int64 headroom (the caller reruns just
+    that member on the scalar engine).  Raises :class:`Fallback` only
+    when the shared prefix itself cannot be built in int64.
+
+    ``drop_shared`` unsoundly discards the last shared row after the
+    prefix reduction — it exists only for the fuzzer's planted
+    ``batch-bad-prefix`` mutation, proving the scalar differential
+    oracle catches a broken shared-prefix elimination.
+    """
+    if not deltas:
+        return []
+    variables = sorted(set(base.variables()).union(*(d.variables() for d in deltas)))
+    index = {v: i for i, v in enumerate(variables)}
+    n = len(variables)
+    width = n + 1
+    stats = _fresh_stats()
+    try:
+        base_rows = _constraints_to_rows(base.constraints, index, width)
+        if base_rows is None:
+            return [False] * len(deltas)
+        base_eq, shared = base_rows
+        members: list = []
+        for delta in deltas:
+            members.append(_constraints_to_rows(delta.constraints, index, width))
+        nfree = n
+        if len(base_eq):
+            lattice = _solve_lattice(base_eq, n)
+            if lattice is None:
+                return [False] * len(deltas)
+            x0, free, pivot = lattice
+            nfree = n - pivot
+            shared = _substitute_lattice(shared, x0, free, n)
+            transformed: list = []
+            for rows in members:
+                if rows is None:
+                    transformed.append(None)
+                    continue
+                try:
+                    transformed.append(
+                        (
+                            _substitute_lattice(rows[0], x0, free, n),
+                            _substitute_lattice(rows[1], x0, free, n),
+                        )
+                    )
+                except Fallback:
+                    transformed.append(_MEMBER_FALLBACK)
+            members = transformed
+        locked = np.zeros(nfree, dtype=bool)
+        for rows in members:
+            if rows is None or rows is _MEMBER_FALLBACK:
+                continue
+            for part in rows:
+                if len(part):
+                    locked |= (part[:, :-1] != 0).any(axis=0)
+        shared = _shared_prefix_reduce(shared, locked, stats)
+        if shared is None:
+            return [False] * len(deltas)
+        if drop_shared and len(shared):
+            shared = shared[:-1]
+        names = [f"_t{j}" for j in range(nfree)]
+        out: list = []
+        for rows in members:
+            if rows is None:
+                out.append(False)
+                continue
+            if rows is _MEMBER_FALLBACK:
+                out.append(None)
+                continue
+            member_eq, member_ineq = rows
+            try:
+                matrix = np.concatenate([shared, member_ineq], axis=0)
+                member_names = names
+                if len(member_eq):
+                    member_lattice = _solve_lattice(member_eq, nfree)
+                    if member_lattice is None:
+                        out.append(False)
+                        continue
+                    mx0, mfree, mpivot = member_lattice
+                    matrix = _substitute_lattice(matrix, mx0, mfree, nfree)
+                    member_names = [f"_t{j}" for j in range(nfree - mpivot)]
+                out.append(
+                    _ineq_feasible_matrix(matrix, member_names, recurse, False, stats)
+                )
+            except Fallback:
+                out.append(None)
+        return out
+    finally:
+        _flush_stats(stats)

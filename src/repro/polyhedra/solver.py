@@ -91,6 +91,25 @@ _MEMO = SolverMemo()
 _CACHE = None  # optional ResultCache-like second tier (get/put by string key)
 _ENGINE = os.environ.get("REPRO_SOLVER", "vector")
 
+_CANON_CAP = 16384
+_CANON: dict = {}
+"""exact-keyset -> canonical key.  A *derivation* cache, not a verdict
+cache: ``canonical_key`` is a pure function of the constraint set (the
+exact keyset determines the constraint contents), so entries stay valid
+for the life of the process and deliberately survive :func:`clear_memo`
+— re-censusing the same systems (engine switches, repeated batches in
+the service daemon) skips the partition-refinement pass even when all
+verdicts have been dropped."""
+
+
+def _canonical_for(system: System, exact_key) -> tuple:
+    key = _CANON.get(exact_key)
+    if key is None:
+        if len(_CANON) >= _CANON_CAP:
+            _CANON.clear()
+        key = _CANON[exact_key] = canonical_key(system)
+    return key
+
 
 def set_engine(name: str) -> str:
     """Select the solving engine; returns the previous one."""
@@ -137,6 +156,50 @@ def _solve(system: System) -> bool:
     return integer_feasible_scalar(system)
 
 
+def _tier_lookup(system: System):
+    """``(verdict | None, exact_key, canonical_key, fingerprint | None)``.
+
+    The three memo tiers of :func:`feasible`, shared with
+    :func:`feasible_many`.  The canonical tier is keyed by the key tuple
+    itself; the sha256 fingerprint (a stable cross-process string) is
+    only computed when an engine cache is attached.  Exact keys are
+    frozensets of per-constraint key tuples (cached on the System at
+    construction) and canonical keys are tuples starting with an int
+    arity, so the two key families cannot collide inside the shared memo.
+    """
+    exact_key = system._keys()  # cached frozenset of constraint keys
+    verdict = _MEMO.get(exact_key)
+    if verdict is not None:
+        METRICS.inc("solver.exact_hits")
+        return verdict, exact_key, None, None
+    key = _canonical_for(system, exact_key)
+    verdict = _MEMO.get(key)
+    if verdict is not None:
+        METRICS.inc("solver.canonical_hits")
+        _MEMO.put(exact_key, verdict)
+        return verdict, exact_key, key, None
+    fingerprint = None
+    if _CACHE is not None:
+        fingerprint = key_fingerprint(key)
+        cached = _CACHE.get(_CACHE_PREFIX + fingerprint)
+        if cached is not None:
+            METRICS.inc("solver.cache_hits")
+            verdict = bool(cached)
+            _MEMO.put(key, verdict)
+            _MEMO.put(exact_key, verdict)
+            return verdict, exact_key, key, fingerprint
+    return None, exact_key, key, fingerprint
+
+
+def _tier_store(verdict: bool, exact_key, key, fingerprint) -> None:
+    _MEMO.put(key, verdict)
+    _MEMO.put(exact_key, verdict)
+    if _CACHE is not None:
+        if fingerprint is None:
+            fingerprint = key_fingerprint(key)
+        _CACHE.put(_CACHE_PREFIX + fingerprint, verdict)
+
+
 def feasible(system: System) -> bool:
     """True iff ``system`` has an integer solution.  Exact, memoized.
 
@@ -146,31 +209,9 @@ def feasible(system: System) -> bool:
     a different product position), then the cross-process engine cache.
     """
     METRICS.inc("solver.queries")
-    exact_key = tuple(sorted(c._key() for c in system.constraints))
-    verdict = _MEMO.get(exact_key)
+    verdict, exact_key, key, fingerprint = _tier_lookup(system)
     if verdict is not None:
-        METRICS.inc("solver.exact_hits")
         return verdict
-    # The canonical tier is keyed by the key tuple itself; the sha256
-    # fingerprint (a stable cross-process string) is only computed when an
-    # engine cache is attached.  Exact keys are tuples of per-constraint
-    # tuples and canonical keys start with an int arity, so the two key
-    # families cannot collide inside the shared memo.
-    key = canonical_key(system)
-    verdict = _MEMO.get(key)
-    if verdict is not None:
-        METRICS.inc("solver.canonical_hits")
-        _MEMO.put(exact_key, verdict)
-        return verdict
-    if _CACHE is not None:
-        fingerprint = key_fingerprint(key)
-        cached = _CACHE.get(_CACHE_PREFIX + fingerprint)
-        if cached is not None:
-            METRICS.inc("solver.cache_hits")
-            verdict = bool(cached)
-            _MEMO.put(key, verdict)
-            _MEMO.put(exact_key, verdict)
-            return verdict
     METRICS.inc("solver.solves")
     # The budget scope opens only at the outermost query: splinter
     # recursion re-enters feasible(), and the whole recursion tree shares
@@ -179,8 +220,111 @@ def feasible(system: System) -> bool:
     # verdict (completed subqueries memoized on the way are still exact).
     with METRICS.timer("solver.solve"), _budget.query_scope():
         verdict = _solve(system)
-    _MEMO.put(key, verdict)
-    _MEMO.put(exact_key, verdict)
-    if _CACHE is not None:
-        _CACHE.put(_CACHE_PREFIX + fingerprint, verdict)
+    _tier_store(verdict, exact_key, key, fingerprint)
     return verdict
+
+
+def feasible_many(base: System, deltas) -> list[bool]:
+    """Batched :func:`feasible` over the family ``base ∧ deltas[i]``.
+
+    The members of a candidate family (one dependence, sibling
+    lex-position / membership rows) share almost all of their
+    constraints; this entry point decides the whole family in a few
+    vectorized passes — base matrices are built once, the base equality
+    lattice is solved once, and the first FM rounds over columns no
+    delta mentions run once (:func:`repro.polyhedra.fm_vector.feasible_family`).
+
+    Semantics are identical to ``[feasible(base.conjoin(d)) for d in
+    deltas]``: each member goes through the same three memo tiers before
+    and after solving, so warm paths are unchanged; only fresh members
+    reach the batched engine.  The whole family shares **one** budget
+    scope — a :class:`~repro.polyhedra.budget.SolverBudget` trip
+    abandons the remaining members and propagates to the caller.
+    """
+    deltas = [d if isinstance(d, System) else System(d) for d in deltas]
+    results: list = [None] * len(deltas)
+    pending: list[tuple] = []
+    first_index: dict = {}
+    duplicates: list[tuple[int, int]] = []
+    for i, delta in enumerate(deltas):
+        system = base.conjoin(delta)
+        METRICS.inc("solver.queries")
+        verdict, exact_key, key, fingerprint = _tier_lookup(system)
+        if verdict is not None:
+            results[i] = verdict
+            continue
+        # Dedup within the family: identical members (same exact key)
+        # are solved once and fanned back out.
+        prior = first_index.get(exact_key)
+        if prior is not None:
+            duplicates.append((i, prior))
+            continue
+        first_index[exact_key] = i
+        pending.append((i, system, delta, exact_key, key, fingerprint))
+    if pending:
+        METRICS.inc("solver.batch_families")
+        METRICS.inc("solver.batch_members", len(pending))
+        if len(pending) > 1:
+            METRICS.inc("solver.batch_prefix_reuse", len(pending) - 1)
+        METRICS.inc("solver.solves", len(pending))
+        with METRICS.timer("solver.solve"), _budget.query_scope():
+            verdicts = _solve_family(base, pending)
+        for (i, _, _, exact_key, key, fingerprint), verdict in zip(
+            pending, verdicts
+        ):
+            _tier_store(verdict, exact_key, key, fingerprint)
+            results[i] = verdict
+    for i, prior in duplicates:
+        results[i] = results[prior]
+    return results
+
+
+def _solve_family(base: System, pending: list) -> list[bool]:
+    """Fresh verdicts for the family's pending members, engine-dispatched."""
+    raw: list = [None] * len(pending)
+    if _ENGINE == "vector":
+        from repro.polyhedra.fm_vector import (
+            Fallback,
+            feasible_family,
+            feasible_vector,
+        )
+
+        if len(pending) == 1:
+            # A family collapsed to one fresh member (memo hits and
+            # duplicates absorbed the rest): the shared-prefix machinery
+            # has nothing to share, so solve the conjoined system direct.
+            try:
+                raw = [feasible_vector(pending[0][1], recurse=feasible)]
+            except Fallback:
+                METRICS.inc("solver.vector_fallbacks")
+                raw = [None]
+            return _finish_family(pending, raw)
+        try:
+            raw = feasible_family(
+                base, [delta for _, _, delta, _, _, _ in pending], recurse=feasible
+            )
+        except Fallback:
+            # The shared prefix itself could not be built: every member
+            # reruns on the scalar engine, counted individually.
+            METRICS.inc("solver.vector_fallbacks", len(pending))
+            raw = [None] * len(pending)
+        else:
+            fallbacks = sum(1 for v in raw if v is None)
+            if fallbacks:
+                METRICS.inc("solver.vector_fallbacks", fallbacks)
+    return _finish_family(pending, raw)
+
+
+def _finish_family(pending: list, raw: list) -> list[bool]:
+    """Resolve vector-engine fallbacks (None) on the scalar engine."""
+    out: list[bool] = []
+    scalar = None
+    for (_, system, _, _, _, _), verdict in zip(pending, raw):
+        if verdict is None:
+            if scalar is None:
+                from repro.polyhedra.omega import integer_feasible_scalar
+
+                scalar = integer_feasible_scalar
+            verdict = scalar(system)
+        out.append(verdict)
+    return out

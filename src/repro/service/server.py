@@ -529,6 +529,20 @@ class ShackleServer:
                 },
             },
             "metrics": json.loads(self.metrics.report(fmt="json")),
+            "solver": {
+                # The family-solve path at a glance (docs/SOLVER.md):
+                # how much legality work the batched solver amortized.
+                "batch_families": int(self.metrics.get("solver.batch_families")),
+                "batch_members": int(self.metrics.get("solver.batch_members")),
+                "batch_prefix_reuse": int(
+                    self.metrics.get("solver.batch_prefix_reuse")
+                ),
+                "int128_combines": int(self.metrics.get("solver.int128_combines")),
+                "vector_fallbacks": int(self.metrics.get("solver.vector_fallbacks")),
+                "witness_transfers": int(
+                    self.metrics.get("legality.witness_transfer")
+                ),
+            },
             "cache": self.engine.cache.stats(),
         }
 

@@ -19,7 +19,14 @@ from repro.core import (
     check_legality,
     shackle_refs,
 )
-from repro.core.legality import reset_failure_counts
+from repro.core import legality as legality_mod
+from repro.core.legality import (
+    _complete,
+    _witness_store,
+    reset_failure_counts,
+    reset_witnesses,
+)
+from repro.polyhedra import Constraint, System
 from repro.core.shackle import _parse_ref
 from repro.engine.metrics import METRICS
 from repro.polyhedra import solver
@@ -137,6 +144,61 @@ def test_verdict_cache_reuses_factor_verdicts_on_products(
     with_cache = census(shared=True)
     assert with_cache == without_cache
     assert METRICS.get("legality.factor_reuse") > reuse_before
+
+
+def test_witness_transfer_never_changes_verdicts(
+    matmul_program, cholesky_program, trisolve_program, monkeypatch
+):
+    # The witness cache is a pure short-cut: disabling every transfer
+    # (all members "unknown" -> solved) must reproduce the same census.
+    candidates = _paper_census(matmul_program, cholesky_program, trisolve_program)
+    reset_witnesses()
+    with_witnesses = _verdicts(candidates)
+    solver.clear_memo()
+    reset_witnesses()
+    monkeypatch.setattr(
+        legality_mod,
+        "_witness_hits",
+        lambda dep_key, base, deltas: [False] * len(deltas),
+    )
+    without = _verdicts(candidates)
+    assert without == with_witnesses
+
+
+def test_stored_witnesses_hold_loop_values_only(
+    cholesky_program, cholesky_dependences
+):
+    # Block coordinates are candidate-specific (the same ``_w`` name is a
+    # different factor's coordinate in a different product), so storing
+    # them would poison transfers; ``_complete`` re-derives them instead.
+    reset_witnesses()
+    for shackle in _cholesky_candidates(cholesky_program):
+        check_legality(shackle, cholesky_dependences, first_violation_only=True)
+    assert _witness_store, "census recorded no witnesses to inspect"
+    for envs in _witness_store.values():
+        for env in envs:
+            assert not any(name.startswith("_w") for name in env)
+    reset_witnesses()
+
+
+def test_complete_derives_block_coords_or_rejects():
+    # Membership-style rows pin the block coordinate to the floor of its
+    # referenced expression: b <= i/4 < b + 1.
+    system = System(
+        [
+            Constraint.ge({"i": 1, "_wc0_0": -4}, 0),
+            Constraint.ge({"i": -1, "_wc0_0": 4}, 3),
+            Constraint.ge({"i": 1}, -9),
+        ]
+    )
+    full = _complete(system, {"i": 9})
+    assert full is not None and full["_wc0_0"] == 2
+    assert system.evaluate(full)
+    # A point outside the system is rejected, never "completed" wrongly.
+    assert _complete(system, {"i": -1}) is None
+    # Coordinates that can't be derived one-at-a-time (two unknowns in
+    # every row mentioning them) refuse to transfer.
+    assert _complete(System([Constraint.ge({"b": 1, "c": 1}, 0)]), {"i": 0}) is None
 
 
 def test_failure_ordering_never_changes_verdicts(

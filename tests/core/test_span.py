@@ -1,7 +1,12 @@
 """Theorem-2 tests: bounded vs unconstrained references under shackles."""
 
 from repro.core import DataBlocking, ShackleProduct, shackle_refs
-from repro.core.span import fully_constrained, reference_statuses, unconstrained_references
+from repro.core.span import (
+    fully_constrained,
+    reference_statuses,
+    reference_statuses_direct,
+    unconstrained_references,
+)
 
 
 def test_matmul_single_shackle_leaves_a_and_b_unconstrained(matmul_program):
@@ -34,6 +39,37 @@ def test_triple_product_adds_nothing(matmul_program):
     b = shackle_refs(matmul_program, DataBlocking.grid("B", 2, 25), {"S1": "B[K,J]"})
     assert fully_constrained(ShackleProduct(c, a))
     assert fully_constrained(ShackleProduct(c, a, b))
+
+
+def test_solver_span_agrees_with_direct_row_space(
+    matmul_program, cholesky_program, trisolve_program
+):
+    """The solver-backed rowspace test (r in rowspace(S) iff {Sx=0, r.x>=1}
+    is infeasible) must match the exact fraction-elimination oracle on
+    every shackle the paper's kernels produce."""
+    shackles = [
+        shackle_refs(matmul_program, DataBlocking.grid(arr, 2, 25), {"S1": ref})
+        for arr, ref in [("C", "C[I,J]"), ("A", "A[I,K]"), ("B", "B[K,J]")]
+    ]
+    shackles.append(shackle_refs(cholesky_program, DataBlocking.grid("A", 2, 64), "lhs"))
+    shackles.append(
+        shackle_refs(
+            trisolve_program,
+            DataBlocking.grid("x", 1, 4),
+            {"S1": "x[I]", "S2": "x[I]"},
+        )
+    )
+    c = shackles[0]
+    shackles.append(ShackleProduct(c, shackles[1]))
+    for shackle in shackles:
+        via_solver = [
+            (s.label, str(s.ref), s.bounded) for s in reference_statuses(shackle)
+        ]
+        direct = [
+            (s.label, str(s.ref), s.bounded)
+            for s in reference_statuses_direct(shackle)
+        ]
+        assert via_solver == direct
 
 
 def test_cholesky_writes_shackle_statuses(cholesky_program):

@@ -47,6 +47,7 @@ def test_planted_semantics_bug_is_caught_without_fuzzing():
     [
         "deps-drop-last",
         "solver-bad-prune",
+        "batch-bad-prefix",
         "legality-accept-all",
         "codegen-drop-guard",
         "semantics-perturb-value",

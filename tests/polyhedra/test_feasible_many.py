@@ -1,0 +1,240 @@
+"""The batched family solve: one vectorized solve per dependence family.
+
+``feasible_many`` must be observationally identical to mapping
+``feasible`` over the conjoined members (same verdicts, same memo
+behavior), the two-limb int128 combine path must agree with the scalar
+oracle at the int64 boundary instead of punting, and the whole family
+must share a single budget scope.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.metrics import METRICS
+from repro.polyhedra import Constraint, System, integer_feasible_scalar
+from repro.polyhedra import budget, solver
+from repro.polyhedra.budget import SolverBudget
+from repro.polyhedra.fm_vector import feasible_family
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    solver.clear_memo()
+    yield
+    solver.clear_memo()
+    solver.set_solver_cache(None)
+
+
+@st.composite
+def families(draw):
+    """A base system plus sibling deltas, legality-family shaped: the
+    base bounds every variable and carries optional equalities; each
+    delta adds prefix-equality and strict-decrease style rows."""
+    variables = ["x", "y", "z"]
+    constraints = []
+    for v in variables:
+        lo = draw(st.integers(min_value=-4, max_value=4))
+        constraints.append(Constraint.ge({v: 1}, -lo))
+        constraints.append(Constraint.ge({v: -1}, lo + draw(st.integers(0, 6))))
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        coeffs = {
+            v: draw(st.integers(min_value=-5, max_value=5)) for v in variables
+        }
+        constraints.append(
+            Constraint(
+                coeffs,
+                draw(st.integers(min_value=-8, max_value=8)),
+                is_eq=draw(st.booleans()),
+            )
+        )
+    base = System(constraints)
+    deltas = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        rows = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            coeffs = {
+                v: draw(st.integers(min_value=-3, max_value=3)) for v in variables
+            }
+            rows.append(
+                Constraint(
+                    coeffs,
+                    draw(st.integers(min_value=-6, max_value=6)),
+                    is_eq=draw(st.booleans()),
+                )
+            )
+        deltas.append(System(rows))
+    return base, deltas
+
+
+@settings(deadline=None, max_examples=60)
+@given(families())
+def test_feasible_many_agrees_with_feasible_and_scalar(family):
+    base, deltas = family
+    solver.clear_memo()
+    batched = solver.feasible_many(base, deltas)
+    solver.clear_memo()
+    single = [solver.feasible(base.conjoin(d)) for d in deltas]
+    oracle = [integer_feasible_scalar(base.conjoin(d)) for d in deltas]
+    assert batched == single == oracle
+
+
+@settings(deadline=None, max_examples=30)
+@given(families())
+def test_feasible_many_warm_path_serves_from_memo(family):
+    base, deltas = family
+    solver.clear_memo()
+    first = solver.feasible_many(base, deltas)
+    solves_before = METRICS.get("solver.solves")
+    assert solver.feasible_many(base, deltas) == first
+    assert [solver.feasible(base.conjoin(d)) for d in deltas] == first
+    assert METRICS.get("solver.solves") == solves_before
+
+
+def test_family_engine_agrees_on_shared_equality_prefix():
+    # The shared Hermite solve and prefix elimination run once; every
+    # member verdict must still match the scalar oracle exactly.
+    base = System(
+        [
+            Constraint.eq({"x": 1, "y": -1}, 0),
+            Constraint.ge({"x": 1}, 0),
+            Constraint.ge({"x": -1}, 10),
+            Constraint.ge({"z": 1}, 0),
+            Constraint.ge({"z": -1}, 5),
+        ]
+    )
+    deltas = [
+        System([Constraint.ge({"y": 1, "z": -1}, -k)]) for k in range(-2, 3)
+    ] + [System([Constraint.eq({"y": 1, "z": 1}, -30)])]
+    got = feasible_family(base, deltas, recurse=solver.feasible)
+    want = [integer_feasible_scalar(base.conjoin(d)) for d in deltas]
+    assert got == want
+
+
+def _int128_system(infeasible: bool) -> System:
+    # Every row entangles x and y with coprime non-unit coefficients, so
+    # per-row GCD tightening cannot normalize anything to a unit and no
+    # column is exact: eliminating x pairs the two big-coefficient rows
+    # with multipliers ~2^20 against 2^42 constants, tripping the
+    # combine's conservative int64 guard ((a+b) * peak >= 2^62) while
+    # staying under the two-limb multiplier limit — the int128 path must
+    # decide it, in both verdict directions.  (big is odd on purpose:
+    # gcd(big, 2) = 1 keeps the rows un-tightenable.)
+    big, huge = (1 << 20) + 1, 1 << 42
+    return System(
+        [
+            Constraint.ge({"x": big, "y": 2}, huge),
+            Constraint.ge({"x": -big, "y": 3}, huge),
+            Constraint.ge({"x": 2, "y": -5}, -2 * huge if infeasible else 0),
+        ]
+    )
+
+
+@pytest.mark.parametrize("infeasible", [False, True])
+def test_int128_combine_boundary_agrees_with_scalar(infeasible):
+    system = _int128_system(infeasible)
+    before = METRICS.get("solver.int128_combines")
+    fallbacks = METRICS.get("solver.vector_fallbacks")
+    assert solver.feasible(system) == integer_feasible_scalar(system)
+    assert METRICS.get("solver.int128_combines") > before
+    assert METRICS.get("solver.vector_fallbacks") == fallbacks
+
+
+def test_multiplier_overflow_still_falls_back_to_scalar():
+    # Same shape as _int128_system but with multipliers at 2^31 — past
+    # the two-limb mult limit: the int128 path must refuse (Fallback ->
+    # the scalar engine), never answer wrongly.
+    big, huge = (1 << 31) + 1, 1 << 42
+    system = System(
+        [
+            Constraint.ge({"x": big, "y": 2}, huge),
+            Constraint.ge({"x": -big, "y": 3}, huge),
+            Constraint.ge({"x": 2, "y": -5}, 0),
+        ]
+    )
+    fallbacks = METRICS.get("solver.vector_fallbacks")
+    assert solver.feasible(system) == integer_feasible_scalar(system)
+    assert METRICS.get("solver.vector_fallbacks") > fallbacks
+
+
+def _budget_family():
+    base = System(
+        [
+            Constraint.ge({"x": 1}, 0),
+            Constraint.ge({"y": 1}, 0),
+            Constraint.ge({"x": -1, "y": -1}, 40),
+            Constraint.ge({"x": 1, "y": -2}, 7),
+            Constraint.ge({"x": -2, "y": 1}, 9),
+        ]
+    )
+    deltas = [
+        System([Constraint.ge({"x": 1, "y": 1}, -3 * k - 2)]) for k in range(4)
+    ]
+    return base, deltas
+
+
+def test_budget_is_shared_across_the_family():
+    base, deltas = _budget_family()
+    # Calibrate: the eliminations one lone member needs, unbudgeted.
+    before = METRICS.get("fm.vector_eliminations")
+    assert solver.feasible(base.conjoin(deltas[0])) is True
+    single_cost = int(METRICS.get("fm.vector_eliminations") - before)
+    assert single_cost >= 1
+
+    # Each member fits the per-query budget on its own...
+    policy = budget.set_policy(max_steps=single_cost)
+    try:
+        for delta in deltas:
+            solver.clear_memo()
+            assert solver.feasible(base.conjoin(delta)) is True
+        # ...but the family shares ONE scope, so the cumulative charge
+        # trips: feasible_many opens a single budget window per family.
+        solver.clear_memo()
+        exceeded = METRICS.get("solver.budget_exceeded")
+        with pytest.raises(SolverBudget):
+            solver.feasible_many(base, deltas)
+        assert METRICS.get("solver.budget_exceeded") == exceeded + 1
+    finally:
+        budget.restore_policy(policy)
+
+    # A budget trip never poisons the memo: rerunning unbudgeted gives
+    # the exact verdicts.
+    solver.clear_memo()
+    assert solver.feasible_many(base, deltas) == [
+        integer_feasible_scalar(base.conjoin(d)) for d in deltas
+    ]
+
+
+def test_batch_counters_track_families_and_members():
+    base, deltas = _budget_family()
+    families_before = METRICS.get("solver.batch_families")
+    members_before = METRICS.get("solver.batch_members")
+    reuse_before = METRICS.get("solver.batch_prefix_reuse")
+    solver.feasible_many(base, deltas)
+    assert METRICS.get("solver.batch_families") == families_before + 1
+    assert METRICS.get("solver.batch_members") == members_before + len(deltas)
+    assert (
+        METRICS.get("solver.batch_prefix_reuse") == reuse_before + len(deltas) - 1
+    )
+    # Warm: everything from the memo, no new family.
+    solver.feasible_many(base, deltas)
+    assert METRICS.get("solver.batch_families") == families_before + 1
+
+
+def test_drop_shared_hook_is_detectably_unsound():
+    # The batch-bad-prefix mutation must actually change answers, or the
+    # planted-bug test proves nothing.  After the shared prefix reduces,
+    # the dropped row carries the contradiction for every member.
+    base = System(
+        [
+            Constraint.ge({"x": 1}, 0),
+            Constraint.ge({"x": -1}, -5),  # x <= -5 contradicts x >= 0
+        ]
+    )
+    deltas = [System([Constraint.ge({"y": 1, "x": 1}, -k)]) for k in range(2)]
+    honest = feasible_family(base, deltas, recurse=solver.feasible)
+    assert honest == [False, False]
+    broken = feasible_family(
+        base, deltas, recurse=solver.feasible, drop_shared=True
+    )
+    assert broken != honest

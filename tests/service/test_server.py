@@ -71,6 +71,13 @@ def test_second_request_served_from_cache_with_flight_annotation(tmp_path):
     assert stats["cache"]["hit_rate"] > 0
     assert "service.latency.legality" in stats["metrics"]["series"]
     assert stats["server"]["state"] == "running"
+    # The batched-solver block: a legality job exercises the family path.
+    solver_stats = stats["solver"]
+    assert solver_stats["batch_families"] >= 1
+    assert solver_stats["batch_members"] >= solver_stats["batch_families"]
+    for field in ("batch_prefix_reuse", "int128_combines", "vector_fallbacks",
+                  "witness_transfers"):
+        assert isinstance(solver_stats[field], int)
 
 
 def test_single_flight_coalesces_concurrent_identical_requests(tmp_path, sleep_kind):
