@@ -20,9 +20,14 @@ writing any Python:
 worker processes, ``--cache [DIR]`` serves repeated work from the
 content-addressed result cache (default store: ``.repro_cache/``), and
 ``--metrics`` prints the engine's counter/timer report afterwards.
-``simulate`` additionally takes ``--replay/--no-replay`` (vectorized
-trace replay vs the per-access oracle; identical numbers) and
-``--trace-cache [DIR]`` to persist captured memory traces on disk.
+``simulate`` additionally takes ``--fidelity replay|analytic|oracle``
+(``replay``: capture the trace once, replay it per geometry; ``analytic``:
+predict every geometry from reuse-distance histograms, zero replays;
+``oracle``: per-access simulation), ``--replay/--no-replay`` (legacy
+spelling of replay-vs-oracle) and ``--trace-cache [DIR]`` to persist
+captured traces and histograms on disk.  ``search --score N=48`` prices
+the ranked candidates by simulated cycles on the scaled machines
+(``--score-top`` bounds how many, ``--fidelity`` picks the tier).
 
 ``fuzz`` takes no program file: it generates random loop nests and
 shackles itself and checks the pipeline against brute-force oracles
@@ -320,6 +325,31 @@ def main(argv: list[str] | None = None) -> int:
     search.add_argument("--array", required=True)
     search.add_argument("--block", type=int, default=25)
     search.add_argument("--max-product", type=int, default=2)
+    search.add_argument(
+        "--score",
+        action="append",
+        metavar="N=48",
+        help="param binding; when given, price ranked candidates by "
+        "simulated cycles on the scaled machines (repeatable)",
+    )
+    search.add_argument(
+        "--score-top", type=int, default=4,
+        help="how many ranked candidates to score (default: 4)",
+    )
+    search.add_argument(
+        "--fidelity",
+        choices=("analytic", "replay", "oracle"),
+        default="analytic",
+        help="memsim tier used for scoring (default: analytic)",
+    )
+    search.add_argument(
+        "--trace-cache",
+        nargs="?",
+        const=".repro_cache/traces",
+        default=None,
+        metavar="DIR",
+        help="persist captured traces/histograms used for scoring",
+    )
     _add_engine_args(search)
 
     simulate_cmd = commands.add_parser("simulate", help="simulate on the scaled machine")
@@ -333,6 +363,14 @@ def main(argv: list[str] | None = None) -> int:
         default=True,
         help="capture the trace once and replay it vectorized "
         "(--no-replay: per-access oracle simulation)",
+    )
+    simulate_cmd.add_argument(
+        "--fidelity",
+        choices=("replay", "analytic", "oracle"),
+        default=None,
+        help="memsim tier: replay (capture once, replay vectorized), "
+        "analytic (predict from reuse histograms, zero replays), or "
+        "oracle (per-access simulation); overrides --replay",
     )
     simulate_cmd.add_argument(
         "--trace-cache",
@@ -353,7 +391,7 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_cmd.add_argument(
         "--check",
         action="append",
-        choices=("deps", "solver", "legality", "codegen", "semantics", "backend", "chaos"),
+        choices=("deps", "solver", "legality", "codegen", "semantics", "backend", "memsim", "chaos"),
         help="oracle to run (repeatable; default: all)",
     )
     fuzz_cmd.add_argument(
@@ -490,8 +528,30 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             cache=_engine_cache(args),
         )
-        for result in results:
-            print(result.describe())
+        if args.score:
+            from repro.core.search import score_candidates
+            from repro.memsim.cost import SP2_SCALED, TINY
+
+            env = {}
+            for binding in args.score:
+                name, value = binding.split("=", 1)
+                env[name] = int(value)
+            scored = score_candidates(
+                program,
+                results,
+                env,
+                [SP2_SCALED, TINY],
+                fidelity=args.fidelity,
+                top=args.score_top,
+                trace_store=args.trace_cache,
+                jobs=args.jobs,
+                cache=_engine_cache(args),
+            )
+            for entry in scored:
+                print(entry.describe())
+        else:
+            for result in results:
+                print(result.describe())
         if args.metrics:
             from repro.engine.metrics import METRICS
 
@@ -538,7 +598,9 @@ def main(argv: list[str] | None = None) -> int:
                 SP2_SCALED,
                 random_init,
                 name,
-                options={"seed": 0, "replay": args.replay},
+                options={"seed": 0, "replay": args.replay, **(
+                    {"fidelity": args.fidelity} if args.fidelity else {}
+                )},
             )
             for name, prog in variants.items()
         ]

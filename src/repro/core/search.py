@@ -11,6 +11,13 @@ Products are explored greedily: starting from the best single shackle,
 extend the product with further legal shackles while some reference
 remains unconstrained ("if there is no statement left which has an
 unconstrained reference, there is no benefit to extending the product").
+
+Beyond the static Theorem-2 ranking, :func:`score_candidates` prices
+ranked candidates on simulated machines.  With ``fidelity="analytic"``
+(the default) each candidate's generated code executes once to capture
+its trace and every machine geometry is then predicted from reuse
+histograms (:mod:`repro.memsim.reuse`) — so scoring N candidates on M
+geometries costs N executions, not N*M.
 """
 
 from __future__ import annotations
@@ -204,3 +211,72 @@ def search_shackles(
 
     results.sort(key=lambda r: (r.unconstrained, len(r.shackle.factors())))
     return results
+
+
+@dataclass
+class ScoredCandidate:
+    """One search candidate priced on simulated machines."""
+
+    result: SearchResult
+    cycles: float  # summed over the scored machines
+    measurements: list  # one Measurement per machine, in machine order
+
+    def describe(self) -> str:
+        return f"{self.result.describe()} cycles={round(self.cycles)}"
+
+
+def score_candidates(
+    program: Program,
+    results: list[SearchResult],
+    env: dict[str, int],
+    machines: list,
+    *,
+    init=None,
+    fidelity: str = "analytic",
+    top: int | None = None,
+    trace_store=None,
+    jobs: int = 1,
+    cache=None,
+) -> list[ScoredCandidate]:
+    """Price the ``top`` search candidates by simulated cycles.
+
+    Generates each candidate's shackled code and simulates it at ``env``
+    on every machine in ``machines``, returning candidates sorted by
+    total cycles (cheapest first).  ``fidelity`` selects the memsim tier
+    (``"analytic"`` predicts every geometry from one captured trace per
+    candidate); ``init`` defaults to
+    :func:`repro.experiments.harness.random_init`.
+    """
+    from repro.core.codegen import simplified_code
+    from repro.experiments.harness import (
+        SweepPoint,
+        random_init,
+        simulate_sweep,
+    )
+
+    ranked = results[:top] if top is not None else list(results)
+    points = []
+    for index, result in enumerate(ranked):
+        generated = simplified_code(result.shackle)
+        for machine in machines:
+            points.append(
+                SweepPoint(
+                    generated,
+                    env,
+                    machine,
+                    init or random_init,
+                    f"cand{index}",
+                    options={"seed": 0, "fidelity": fidelity},
+                )
+            )
+    measurements = simulate_sweep(
+        points, jobs=jobs, cache=cache, trace_store=trace_store
+    )
+    scored = []
+    for index, result in enumerate(ranked):
+        mine = measurements[index * len(machines) : (index + 1) * len(machines)]
+        scored.append(
+            ScoredCandidate(result, sum(m.cycles for m in mine), mine)
+        )
+    scored.sort(key=lambda s: s.cycles)
+    return scored

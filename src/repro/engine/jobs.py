@@ -38,7 +38,15 @@ ENGINE_SCHEMA_VERSION = 1
 NONSEMANTIC_SIMULATE_OPTIONS = frozenset({"replay", "trace_store"})
 """Simulate options that cannot change the measurement (the trace-replay
 path is bit-identical to the per-access oracle), excluded from simulate
-fingerprints so results cached either way are shared."""
+fingerprints so results cached either way are shared.
+
+``fidelity`` is deliberately NOT here: analytic predictions differ from
+replay on set-associative geometries (within a declared tolerance, but
+differ), so analytic and replay measurements must never share a cache
+entry.  Reuse histograms themselves are content-addressed separately,
+keyed by trace fingerprint + line size
+(:func:`repro.memsim.trace.histogram_fingerprint`), exactly like
+traces."""
 
 
 def canonical_json(payload) -> str:

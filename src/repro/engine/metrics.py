@@ -216,6 +216,7 @@ class MetricsRegistry:
                     ("engine.supervise.deadline_abandoned", "abandoned"),
                     ("engine.cache.quarantined", "quarantined"),
                     ("memsim.trace_quarantined", "traces_quarantined"),
+                    ("memsim.histogram_quarantined", "histograms_quarantined"),
                     ("solver.budget_exceeded", "solver_budget"),
                     ("legality.budget_exceeded", "legality_budget"),
                 )
@@ -245,6 +246,25 @@ class MetricsRegistry:
                 lines.append(
                     "batched solves: "
                     + ", ".join(f"{k}={int(v)}" for k, v in batched.items())
+                )
+            analytic = {
+                label: counters[name]
+                for name, label in (
+                    ("memsim.histogram_pass", "histograms"),
+                    ("memsim.histogram_cache_hit", "hist_cache_hits"),
+                    ("memsim.analytic_predict", "predictions"),
+                    ("memsim.analytic_exact", "exact"),
+                    ("memsim.trace_replay", "replays"),
+                )
+                if counters.get(name)
+            }
+            if analytic.get("histograms") or analytic.get("predictions"):
+                # One-line summary of the trace-free tier: geometry
+                # questions answered from reuse histograms instead of
+                # replays (docs/MEMSIM.md).
+                lines.append(
+                    "analytic memsim: "
+                    + ", ".join(f"{k}={int(v)}" for k, v in analytic.items())
                 )
         timers = snap["timers"]
         if timers:

@@ -12,6 +12,12 @@ sweeps over cache geometry — replay without re-executing the program at
 all.  ``replay=False`` selects the original per-access simulation, which
 is bit-identical and kept as the differential oracle.
 
+``fidelity`` picks the tier explicitly: ``"oracle"`` (per-access
+simulation), ``"replay"`` (capture once, replay per geometry), or
+``"analytic"`` (capture once, one reuse-distance histogram pass per
+line size, then predict any LRU geometry from the histogram — zero
+replays; see :mod:`repro.memsim.reuse` for the exactness contract).
+
 Per-statement CPI overrides model the paper's "Matrix Multiply replaced
 by DGEMM" experiments: the same generated code, with the matrix-multiply
 statements costed at hand-tuned-kernel CPI instead of scalar-backend CPI.
@@ -69,6 +75,10 @@ def measurement_payload(measurement: Measurement) -> dict:
 def measurement_from_payload(payload: dict) -> Measurement:
     """Inverse of :func:`measurement_payload`."""
     return Measurement(**payload)
+
+
+FIDELITIES = frozenset({"oracle", "replay", "analytic"})
+"""Valid ``fidelity`` arguments to :func:`simulate`."""
 
 
 def random_init(arena: Arena, buf, rng) -> None:
@@ -138,6 +148,7 @@ def simulate(
     check_fn=None,
     seed: int = 1234,
     replay: bool = True,
+    fidelity: str | None = None,
     trace_store: TraceStore | str | None = None,
 ) -> Measurement:
     """Simulate ``program`` at ``env`` on ``machine``.
@@ -153,8 +164,18 @@ def simulate(
     process-global store, a string/path = an on-disk ``.npz`` store), so
     a warm store measures without executing the program.  Counters and
     cycles are bit-identical to ``replay=False``, the per-access oracle.
+
+    ``fidelity`` (``"oracle"`` | ``"replay"`` | ``"analytic"``) selects
+    the tier explicitly and overrides ``replay``; ``"analytic"`` predicts
+    counters from stored reuse-distance histograms without replaying —
+    bit-exact for fully-associative single-level geometries, within
+    :data:`~repro.memsim.reuse.ASSOC_TOLERANCE` otherwise.
     """
-    if not replay:
+    if fidelity is None:
+        fidelity = "replay" if replay else "oracle"
+    if fidelity not in FIDELITIES:
+        raise ValueError(f"unknown fidelity {fidelity!r} (expected one of {sorted(FIDELITIES)})")
+    if fidelity == "oracle":
         arena = Arena(program, env, layout_overrides=layout_overrides)
         hierarchy = machine.hierarchy()
         buf = arena.allocate()
@@ -193,6 +214,29 @@ def simulate(
         )
         if not check_fn(arena, initial, buf):
             raise AssertionError(f"variant {variant!r} produced wrong results at {env}")
+
+    if fidelity == "analytic":
+        from repro.memsim.reuse import predict
+
+        memo_key = (fp, "analytic", _machine_key(machine))
+        predicted = store.replay_memo.get(memo_key)
+        if predicted is None:
+            ranges = [
+                (name, layout.base, layout.base + layout.size)
+                for name, layout in arena.layouts.items()
+            ]
+            shifts = {level.line_shift for level in machine.hierarchy().levels}
+            profiles = {
+                shift: store.profile_for(fp, trace.encoded, shift, array_ranges=ranges)
+                for shift in sorted(shifts)
+            }
+            predicted = predict(profiles, machine.hierarchy())
+            store.replay_memo[memo_key] = predicted
+        predicted.record_metrics()
+        return _finish_measurement(
+            variant, env, machine, trace.counts, trace.flops_per_statement,
+            predicted, cpi_map, default_cpi, extra_flops, overhead_cycles,
+        )
 
     memo_key = (fp, _machine_key(machine))
     replayed = store.replay_memo.get(memo_key)

@@ -22,10 +22,10 @@ from repro.ir import parse_program
 from repro.ir.expr import parse_affine
 from repro.ir.nodes import Program
 
-ALL_CHECKS = ("deps", "solver", "legality", "codegen", "semantics", "backend")
+ALL_CHECKS = ("deps", "solver", "legality", "codegen", "semantics", "memsim", "backend")
 """Every differential oracle, in the order they run."""
 
-DEFAULT_CHECKS = ("deps", "solver", "legality", "codegen", "semantics")
+DEFAULT_CHECKS = ("deps", "solver", "legality", "codegen", "semantics", "memsim")
 """Checks that need no external toolchain (``backend`` needs a C compiler)."""
 
 CHAOS_CHECK = "chaos"

@@ -42,6 +42,7 @@ class Mutation:
     c_program: Callable | None = None
     solver: Callable | None = None  # replaces the fast feasibility engine
     solver_many: Callable | None = None  # replaces the batched family solve
+    reuse: Callable | None = None  # replaces the stack-distance computation
 
 
 class _AlwaysLegal:
@@ -164,6 +165,20 @@ def _bad_prefix_feasible_many(base, deltas):
     ]
 
 
+def _off_by_one_distances(lines):
+    """Stack distances skewed by +1 — the classic reuse-interval
+    off-by-one (counting the endpoints of the interval inclusively).
+    Every access whose true distance equals a cache's capacity minus one
+    flips from hit to miss, so the memsim oracle's bit-exact
+    fully-associative differential catches it immediately."""
+    import numpy as np
+
+    from repro.memsim.reuse import stack_distances
+
+    dist = stack_distances(np.asarray(lines, dtype=np.int64))
+    return dist + (dist >= 0)
+
+
 MUTATIONS: dict[str, Mutation] = {
     m.name: m
     for m in (
@@ -202,6 +217,12 @@ MUTATIONS: dict[str, Mutation] = {
             description="legality verdict flips whenever fault injection is active",
             target_oracle="chaos",
             legality=_chaos_flaky_legality,
+        ),
+        Mutation(
+            name="reuse-off-by-one",
+            description="stack distances skewed by one (inclusive interval count)",
+            target_oracle="memsim",
+            reuse=_off_by_one_distances,
         ),
         Mutation(
             name="solver-bad-prune",

@@ -22,6 +22,11 @@ ground truth evaluated at a small concrete size:
   reproduce the original program's array state bit-for-bit through the
   Python backend, and the C backend must agree with the Python backend
   on both original and shackled programs.
+* ``memsim`` — the trace-free analytic cache model
+  (:mod:`repro.memsim.reuse`) must be bit-exact against the replay
+  simulator on fully-associative LRU geometries (all counters,
+  write-backs included) and within its declared tolerance on
+  set-associative ones, for the case program's captured trace.
 
 ``run_case_payload`` is the engine executor: pure payload in, JSON
 verdict out, so fuzz cases parallelize and cache like any other job.
@@ -333,6 +338,59 @@ def run_case_payload(payload: dict) -> dict:
                         "semantics",
                         f"{name} code changes {bad} array elements vs the original",
                     )
+
+        if "memsim" in checks:
+            from repro.backends import compile_program
+            from repro.memsim.cost import MachineSpec
+            from repro.memsim.replay import replay_encoded
+            from repro.memsim.reuse import compute_profile, predict, prediction_tolerance
+
+            arena = Arena(program, env)
+            buf = arena.allocate()
+            trace = compile_program(program, arena, trace="capture").run(buf).trace
+            distance_fn = mutation.reuse if mutation else None
+            machines = [
+                # Fully-associative single levels: the analytic contract
+                # is bit-exactness on every counter, write-backs included.
+                # Two capacities so a distance skew anywhere in the
+                # histogram flips at least one hit/miss verdict.
+                MachineSpec("fuzz-fa2", levels=[("L1", 4, 2, 2, 1)], memory_latency=10),
+                MachineSpec("fuzz-fa8", levels=[("L1", 16, 2, 8, 1)], memory_latency=10),
+                # Set-associative: the Smith/Hill correction must stay
+                # within the declared tolerance.
+                MachineSpec("fuzz-sa", levels=[("L1", 128, 4, 4, 1)], memory_latency=10),
+            ]
+            for machine in machines:
+                hierarchy = machine.hierarchy()
+                shifts = {level.line_shift for level in hierarchy.levels}
+                profiles = {
+                    shift: compute_profile(trace, shift, distance_fn=distance_fn)
+                    for shift in shifts
+                }
+                predicted = predict(profiles, machine.hierarchy())
+                exact = replay_encoded(trace, hierarchy, engine="numpy")
+                want, got = exact.stats(), predicted.stats()
+                if predicted.exact:
+                    if want != got:
+                        fail(
+                            "memsim",
+                            f"analytic prediction diverges from replay on "
+                            f"{machine.name} (exact mode): {got} != {want}",
+                        )
+                else:
+                    min_assoc = min(
+                        (lvl.assoc for lvl in hierarchy.levels if lvl.num_sets > 1),
+                        default=4,
+                    )
+                    tol = prediction_tolerance(len(trace), min_assoc)
+                    for lvl in hierarchy.levels:
+                        gap = abs(want[f"{lvl.name}_misses"] - got[f"{lvl.name}_misses"])
+                        if gap > tol:
+                            fail(
+                                "memsim",
+                                f"analytic miss prediction off by {gap} "
+                                f"(tolerance {tol}) on {machine.name}/{lvl.name}",
+                            )
 
         if "backend" in checks:
             from repro.backends.c_backend import c_compiler_available, compile_and_run

@@ -141,6 +141,47 @@ int64_t repro_replay(const int64_t *encoded, int64_t n,
     free(tags); free(dirty); free(base); free(victim);
     return 0;
 }
+
+/* LRU stack distances from a prev-occurrence array via a Fenwick tree
+ * over positions: dist[t] counts the positions strictly inside
+ * (prev[t], t) that are still "live" — i.e. the most recent occurrence
+ * of their line so far — which is exactly the number of distinct lines
+ * touched since the previous access.  Cold accesses get -1.  Returns 0,
+ * or -1 if state allocation failed (caller falls back to NumPy).
+ */
+static inline void bit_add(int64_t *bit, int64_t n, int64_t i, int64_t v)
+{
+    for (i += 1; i <= n; i += i & (-i))
+        bit[i] += v;
+}
+
+static inline int64_t bit_sum(const int64_t *bit, int64_t i)
+{
+    int64_t s = 0;
+    for (; i > 0; i -= i & (-i))
+        s += bit[i];
+    return s;
+}
+
+int64_t repro_stack_distances(const int64_t *prev, int64_t n, int64_t *dist)
+{
+    int64_t *bit = calloc((size_t)(n + 1), sizeof(int64_t));
+    if (!bit && n > 0)
+        return -1;
+    for (int64_t t = 0; t < n; t++) {
+        int64_t p = prev[t];
+        if (p < 0) {
+            dist[t] = -1;
+        } else {
+            /* live marks in (p, t) exclusive: prefix(t) - prefix(p + 1) */
+            dist[t] = bit_sum(bit, t) - bit_sum(bit, p + 1);
+            bit_add(bit, n, p, -1);  /* p is no longer the latest occurrence */
+        }
+        bit_add(bit, n, t, 1);
+    }
+    free(bit);
+    return 0;
+}
 """
 
 _lib = None
@@ -206,6 +247,8 @@ def load():
     p64 = ctypes.POINTER(ctypes.c_int64)
     lib.repro_replay.argtypes = [p64, ctypes.c_int64, p64, ctypes.c_int64, p64, p64, p64]
     lib.repro_replay.restype = ctypes.c_int64
+    lib.repro_stack_distances.argtypes = [p64, ctypes.c_int64, p64]
+    lib.repro_stack_distances.restype = ctypes.c_int64
     _lib = lib
     return lib
 

@@ -1,0 +1,613 @@
+"""Trace-free analytic cache model: reuse-distance histograms.
+
+One vectorized pass over a captured trace produces a
+:class:`LineProfile` — the LRU *stack-distance* histogram of the line
+stream at one line size, plus everything needed to price write-back
+traffic and attribute misses to arrays.  From that single histogram,
+:func:`predict` answers *any* LRU geometry question without replaying
+the trace: a 24-point capacity ablation costs one histogram pass and 24
+histogram lookups instead of 24 replays, and the cost becomes
+independent of how many geometries are swept.
+
+The classical stack property does the heavy lifting: under
+fully-associative LRU, an access whose stack distance (number of
+*distinct* lines touched since the previous access to the same line,
+exclusive) is ``d`` hits a cache of capacity ``C`` lines iff ``d < C``.
+So ``misses(C) = cold + sum(hist[d] for d >= C)`` — exact, for every
+``C`` at once.
+
+Distances are computed without a per-access Python loop:
+
+1. *run-collapse* — consecutive same-line accesses are distance-0 hits
+   and fold into ``hist[0]`` (typically 5-10x compression);
+2. ``prev[t]`` (previous occurrence of line ``t``) via one stable sort;
+3. the identity ``d_t = (t - prev[t] - 1) - #{s < t : prev[s] >
+   prev[t]}`` turns the distance pass into 2-D dominance counting,
+   solved either by a compiled Fenwick-tree kernel
+   (:mod:`repro.memsim._native`, the default when a C toolchain exists)
+   or by a bottom-up mergesort counting pass (``O(n log^2 n)`` in NumPy
+   primitives, no Python loop).
+
+Write-backs are priced exactly for fully-associative LRU, again for all
+capacities at once: a dirty generation writes back at the eviction that
+ends it, so each potential eviction event (a reuse gap of distance
+``V``, or the ``E`` distinct lines after a line's last access)
+contributes one write-back exactly for capacities ``M < C <= V``, where
+``M`` is the largest gap since the generation's last write.  These
+``(M, V]`` intervals accumulate into a difference array over ``C``.
+
+Set-associative geometries use the Smith/Hill binomial correction —
+``P(hit | d) = P[Binomial(d, 1/S) <= A-1]`` for ``S`` sets of ``A``
+ways — and deeper levels of a multi-level hierarchy use the standalone
+stack-inclusion approximation (level ``i`` misses ≈ misses of a
+standalone cache of level ``i``'s geometry over the full trace).  Both
+are approximations with a declared tolerance
+(:data:`ASSOC_TOLERANCE`); fully-associative L1 hit/miss counts are
+bit-exact in any hierarchy, and *all* counters (including write-backs)
+are bit-exact for single-level fully-associative geometries — the
+differential suite (``tests/memsim/test_reuse_differential.py``)
+enforces exactly that contract against the replay engine.
+
+Counters: ``memsim.histogram_pass`` (fresh profile computations),
+``memsim.analytic_predict`` / ``memsim.analytic_exact`` (predictions
+served, and how many carried the bit-exactness guarantee), and
+``memsim.analytic_hits`` / ``memsim.analytic_misses`` (predicted L1
+traffic, mirroring ``memsim.accesses`` for the replay tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.metrics import METRICS
+from repro.memsim import _native
+from repro.memsim.replay import ReplayResult
+
+ASSOC_TOLERANCE = 0.10
+"""Declared tolerance of the non-exact predictions (set-associative
+binomial correction, multi-level standalone approximation): predicted
+per-level miss counts stay within ``max(floor, frac * accesses)`` of
+replay for geometries with associativity >= 4.  Enforced by the
+differential suite and the fuzz oracle."""
+
+ASSOC_TOLERANCE_LOW = 0.25
+"""Tolerance for direct-mapped and 2-way geometries, where the
+Smith/Hill uniform-mapping assumption is weakest against the strided
+affine access patterns these kernels generate."""
+
+ASSOC_TOLERANCE_FLOOR = 16
+"""Absolute slack under the fractional tolerances for tiny traces."""
+
+
+def prediction_tolerance(accesses: int, min_assoc: int = 4) -> int:
+    """Allowed |predicted - exact| miss-count gap for non-exact modes.
+
+    ``min_assoc`` is the smallest associativity among the geometry's
+    set-associative (``num_sets > 1``) levels; fully-associative levels
+    are exact and don't participate.
+    """
+    frac = ASSOC_TOLERANCE if min_assoc >= 4 else ASSOC_TOLERANCE_LOW
+    return max(ASSOC_TOLERANCE_FLOOR, int(frac * accesses))
+
+
+# -- stack distances ---------------------------------------------------------------
+
+
+def _prev_and_order(lines: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``prev`` plus the stable line-grouping sort it was derived from.
+
+    The same stable argsort serves double duty in the histogram pass
+    (write-back accounting groups accesses by line in time order), so it
+    is computed once and returned alongside.
+    """
+    n = len(lines)
+    prev = np.full(n, -1, dtype=np.int64)
+    order = np.argsort(lines, kind="stable")
+    if n == 0:
+        return prev, order
+    sorted_lines = lines[order]
+    same = sorted_lines[1:] == sorted_lines[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev, order
+
+
+def _prev_indices(lines: np.ndarray) -> np.ndarray:
+    """``prev[t]`` = index of the previous access to ``lines[t]`` (-1 if none)."""
+    return _prev_and_order(lines)[0]
+
+
+def _distances_numpy(prev: np.ndarray) -> np.ndarray:
+    """Stack distances from ``prev`` by mergesort dominance counting.
+
+    ``d_t = (t - prev[t] - 1) - #{s < t : prev[s] > prev[t]}``: the
+    subtrahend is counted level by level as in a bottom-up mergesort —
+    every ``(s, t)`` pair is split by exactly one merge level, and one
+    composite-key sort plus two ``searchsorted`` calls per level count
+    all of that level's cross-block pairs at once.
+    """
+    n = len(prev)
+    dist = np.where(prev < 0, np.int64(-1), np.arange(n, dtype=np.int64) - prev - 1)
+    if n < 2:
+        return dist
+    crossing = np.zeros(n, dtype=np.int64)
+    stride = np.int64(n + 2)  # > any prev value; keys never collide across pairs
+    pv = prev + 1  # shift to [0, n] so cold entries sort first
+    idx = np.arange(n, dtype=np.int64)
+    level = 0
+    while (1 << level) < n:
+        half = np.int64(1 << level)
+        in_left = (idx >> level) & 1 == 0
+        lefts = idx[in_left]
+        rights = idx[~in_left]
+        if len(lefts) and len(rights):
+            keys = np.sort((lefts >> (level + 1)) * stride + pv[lefts])
+            queries = (rights >> (level + 1)) * stride + pv[rights]
+            below = np.searchsorted(keys, queries, side="right")
+            ends = np.searchsorted(keys, ((rights >> (level + 1)) + 1) * stride)
+            crossing[rights] += ends - below
+        level += 1
+    covered = prev >= 0
+    dist[covered] -= crossing[covered]
+    return dist
+
+
+def _distances_native(prev: np.ndarray, lib) -> np.ndarray | None:
+    import ctypes
+
+    n = len(prev)
+    prev = np.ascontiguousarray(prev, dtype=np.int64)
+    dist = np.empty(n, dtype=np.int64)
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    rc = lib.repro_stack_distances(
+        prev.ctypes.data_as(p64), n, dist.ctypes.data_as(p64)
+    )
+    return None if rc != 0 else dist
+
+
+def distances_from_prev(prev: np.ndarray, engine: str | None = None) -> np.ndarray:
+    """Per-access stack distance (-1 for cold) from a ``prev`` array."""
+    if engine not in (None, "native", "numpy"):
+        raise ValueError(f"unknown distance engine {engine!r}")
+    lib = _native.load() if engine != "numpy" else None
+    if engine == "native" and (lib is None or not hasattr(lib, "repro_stack_distances")):
+        raise RuntimeError(
+            "native stack-distance kernel requested but no C toolchain is available"
+        )
+    if lib is not None and hasattr(lib, "repro_stack_distances"):
+        dist = _distances_native(prev, lib)
+        if dist is not None:
+            return dist
+    return _distances_numpy(prev)
+
+
+def stack_distances(lines: np.ndarray, engine: str | None = None) -> np.ndarray:
+    """LRU stack distance of every access in a line stream.
+
+    ``dist[t]`` is the number of *distinct* lines accessed strictly
+    between ``lines[t]`` and its previous occurrence (exclusive), or -1
+    for the first (cold) access: a fully-associative LRU cache of ``C``
+    lines hits access ``t`` iff ``0 <= dist[t] < C``.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    return distances_from_prev(_prev_indices(lines), engine=engine)
+
+
+# -- the per-line-size profile -----------------------------------------------------
+
+
+@dataclass
+class LineProfile:
+    """Reuse histogram of one trace at one line size.
+
+    Everything the analytic predictor needs, in sparse arrays small
+    enough to cache on disk next to the trace: the finite stack-distance
+    histogram (``dist_vals``/``dist_counts``), cold-miss and total
+    counts, the write-back difference array over capacity
+    (``wb_pos``/``wb_delta``), a log2-bucketed reuse-*interval*
+    histogram, and the per-array (per-reference) attribution.
+    """
+
+    line_shift: int
+    total: int
+    cold: int
+    dist_vals: np.ndarray = field(repr=False)
+    dist_counts: np.ndarray = field(repr=False)
+    wb_pos: np.ndarray = field(repr=False)
+    wb_delta: np.ndarray = field(repr=False)
+    interval_log2: np.ndarray = field(repr=False)
+    array_names: tuple[str, ...] = ()
+    array_total: np.ndarray = field(default=None, repr=False)
+    array_cold: np.ndarray = field(default=None, repr=False)
+    array_dist: np.ndarray = field(default=None, repr=False)  # (aid, dist, count) rows
+
+    def misses_at(self, capacity_lines: int) -> int:
+        """Exact fully-associative LRU misses at ``capacity_lines``."""
+        cut = np.searchsorted(self.dist_vals, capacity_lines)
+        return int(self.cold + self.dist_counts[cut:].sum())
+
+    def writebacks_at(self, capacity_lines: int) -> int:
+        """Exact fully-associative LRU write-backs at ``capacity_lines``."""
+        cut = np.searchsorted(self.wb_pos, capacity_lines, side="right")
+        return int(self.wb_delta[:cut].sum())
+
+    def per_array_misses(self, capacity_lines: int) -> dict[str, int]:
+        """Exact per-array fully-associative miss attribution."""
+        out: dict[str, int] = {}
+        if not self.array_names:
+            return out
+        rows = self.array_dist
+        hot = rows[rows[:, 1] >= capacity_lines] if len(rows) else rows
+        extra = np.bincount(
+            hot[:, 0], weights=hot[:, 2], minlength=len(self.array_names)
+        ) if len(hot) else np.zeros(len(self.array_names))
+        for aid, name in enumerate(self.array_names):
+            out[name] = int(self.array_cold[aid]) + int(extra[aid])
+        return out
+
+    def histogram(self) -> dict[int, int]:
+        """The finite stack-distance histogram as a plain dict."""
+        return dict(zip(self.dist_vals.tolist(), self.dist_counts.tolist()))
+
+
+def _segmented_cummax(values: np.ndarray, seg: np.ndarray) -> np.ndarray:
+    """Running max of non-negative ``values`` restarting wherever the
+    nondecreasing ``seg`` changes.
+
+    One ``np.maximum.accumulate`` pass: lifting each segment by ``seg *
+    K`` (for ``K`` above the value range) makes later segments dominate
+    earlier ones, so the global running max never carries a value across
+    a segment boundary.
+    """
+    if len(values) == 0:
+        return values.copy()
+    lift = np.int64(int(values.max()) + 1)
+    lifted = values + seg * lift
+    return np.maximum.accumulate(lifted) - seg * lift
+
+
+def _writeback_diff(
+    grouped_dist, grouped_writes, line_start, line_end, suffix_distinct, distinct
+):
+    """Sparse difference array of FA write-backs over capacity.
+
+    For every eviction opportunity — a reuse gap of distance ``V``, or
+    trace end with ``E`` distinct lines after the last access — the
+    evicted generation is dirty iff the largest gap since its last write
+    ``M`` is below capacity, contributing one write-back for ``M < C <=
+    V``.
+    """
+    sentinel = np.int64(distinct + 2)  # "no write yet": larger than any V
+    base = np.where(
+        grouped_writes, np.int64(0), np.where(line_start, sentinel, grouped_dist)
+    )
+    seg = np.cumsum(grouped_writes | line_start)
+    since_write = _segmented_cummax(base, seg)
+
+    gap = ~line_start
+    gap_floor = np.concatenate(([np.int64(0)], since_write[:-1]))[gap]
+    gap_value = grouped_dist[gap]
+    end_floor = since_write[line_end]
+    end_value = suffix_distinct[line_end]
+    floors = np.concatenate([gap_floor, end_floor])
+    values = np.concatenate([gap_value, end_value])
+    live = values > floors
+
+    diff = np.zeros(distinct + 3, dtype=np.int64)
+    np.add.at(diff, floors[live] + 1, 1)
+    np.add.at(diff, values[live] + 1, -1)
+    pos = np.flatnonzero(diff)
+    return pos.astype(np.int64), diff[pos]
+
+
+def _empty_profile(line_shift: int, names: tuple[str, ...]) -> LineProfile:
+    zero = np.zeros(0, dtype=np.int64)
+    return LineProfile(
+        line_shift=line_shift,
+        total=0,
+        cold=0,
+        dist_vals=zero,
+        dist_counts=zero.copy(),
+        wb_pos=zero.copy(),
+        wb_delta=zero.copy(),
+        interval_log2=np.zeros(64, dtype=np.int64),
+        array_names=names,
+        array_total=np.zeros(len(names), dtype=np.int64),
+        array_cold=np.zeros(len(names), dtype=np.int64),
+        array_dist=np.zeros((0, 3), dtype=np.int64),
+    )
+
+
+def compute_profile(
+    encoded: np.ndarray,
+    line_shift: int,
+    array_ranges=None,
+    distance_fn=None,
+    engine: str | None = None,
+) -> LineProfile:
+    """One histogram pass over an encoded trace at one line size.
+
+    ``array_ranges`` is an optional list of ``(name, base, end)`` arena
+    address ranges for per-array attribution (a line straddling a
+    boundary attributes to the array holding its first address).
+    ``distance_fn`` substitutes the stack-distance computation — only
+    the planted-bug mutations use it.
+    """
+    METRICS.inc("memsim.histogram_pass")
+    with METRICS.timer("memsim.histogram"):
+        names = tuple(name for name, _, _ in (array_ranges or ()))
+        n = len(encoded)
+        if n == 0:
+            return _empty_profile(line_shift, names)
+        addrs = encoded >> 1
+        writes = (encoded & 1).astype(bool)
+        lines = addrs >> line_shift
+
+        # Run-collapse: consecutive same-line accesses are distance-0 hits.
+        keep = np.concatenate(([True], lines[1:] != lines[:-1]))
+        starts = np.flatnonzero(keep)
+        run_len = np.diff(starts, append=n)
+        collapsed = lines[starts]
+        collapsed_writes = np.logical_or.reduceat(writes, starts)
+        run_hits = int(n - len(starts))
+
+        prev, grouped = _prev_and_order(collapsed)
+        if distance_fn is not None:
+            dist = np.asarray(distance_fn(collapsed), dtype=np.int64)
+        else:
+            dist = distances_from_prev(prev, engine=engine)
+        finite = dist >= 0
+        distinct = int(len(collapsed) - np.count_nonzero(finite))
+
+        dist_vals, dist_counts = np.unique(dist[finite], return_counts=True)
+        dist_vals = dist_vals.astype(np.int64)
+        dist_counts = dist_counts.astype(np.int64)
+        if run_hits:
+            if len(dist_vals) and dist_vals[0] == 0:
+                dist_counts[0] += run_hits
+            else:
+                dist_vals = np.concatenate(([np.int64(0)], dist_vals))
+                dist_counts = np.concatenate(([np.int64(run_hits)], dist_counts))
+
+        # Reuse intervals (original-time gaps), log2-bucketed.
+        interval_log2 = np.zeros(64, dtype=np.int64)
+        if np.any(finite):
+            gaps = starts[finite] - starts[prev[finite]]
+            buckets = np.floor(np.log2(gaps)).astype(np.int64)
+            np.add.at(interval_log2, np.clip(buckets, 0, 63), 1)
+
+        # Write-back difference array (grouped by line, time order kept;
+        # `grouped` is the stable sort already computed for `prev`).
+        grouped_lines = collapsed[grouped]
+        boundary = grouped_lines[1:] != grouped_lines[:-1]
+        line_start = np.concatenate(([True], boundary))
+        line_end = np.concatenate((boundary, [True]))
+        is_last = np.ones(len(collapsed), dtype=bool)
+        is_last[prev[finite]] = False
+        suffix_distinct_all = distinct - np.cumsum(is_last)
+        wb_pos, wb_delta = _writeback_diff(
+            dist[grouped],
+            collapsed_writes[grouped],
+            line_start,
+            line_end,
+            suffix_distinct_all[grouped],
+            distinct,
+        )
+
+        array_total = np.zeros(len(names), dtype=np.int64)
+        array_cold = np.zeros(len(names), dtype=np.int64)
+        array_dist = np.zeros((0, 3), dtype=np.int64)
+        if names:
+            bases = np.array([base for _, base, _ in array_ranges], dtype=np.int64)
+            aid_all = np.clip(
+                np.searchsorted(bases, addrs, side="right") - 1, 0, len(names) - 1
+            )
+            array_total = np.bincount(aid_all, minlength=len(names)).astype(np.int64)
+            aid = aid_all[starts]
+            array_cold = np.bincount(
+                aid[~finite], minlength=len(names)
+            ).astype(np.int64)
+            stride = np.int64(len(collapsed) + 1)
+            keys = aid[finite] * stride + dist[finite]
+            weights = np.ones(np.count_nonzero(finite), dtype=np.int64)
+            zero_extra = np.bincount(
+                aid, weights=run_len - 1, minlength=len(names)
+            ).astype(np.int64)
+            hot = np.flatnonzero(zero_extra)
+            keys = np.concatenate([keys, hot * stride])
+            weights = np.concatenate([weights, zero_extra[hot]])
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            counts = np.bincount(inverse, weights=weights).astype(np.int64)
+            array_dist = np.column_stack([uniq // stride, uniq % stride, counts])
+
+        return LineProfile(
+            line_shift=line_shift,
+            total=n,
+            cold=distinct,
+            dist_vals=dist_vals,
+            dist_counts=dist_counts,
+            wb_pos=wb_pos,
+            wb_delta=wb_delta,
+            interval_log2=interval_log2,
+            array_names=names,
+            array_total=array_total,
+            array_cold=array_cold,
+            array_dist=array_dist,
+        )
+
+
+# -- geometry prediction -----------------------------------------------------------
+
+
+def _assoc_hit_probability(dists: np.ndarray, num_sets: int, assoc: int) -> np.ndarray:
+    """Smith/Hill set-associativity correction.
+
+    A line at fully-associative stack depth ``d`` maps to one of ``S``
+    sets uniformly; it survives in an ``A``-way set iff fewer than ``A``
+    of the ``d`` intervening lines landed in its set: ``P(hit | d) =
+    P[Binomial(d, 1/S) <= A-1]``.
+    """
+    d = dists.astype(np.float64)
+    p = 1.0 / num_sets
+    q = 1.0 - p
+    term = np.power(q, d)
+    prob = term.copy()
+    for j in range(1, assoc):
+        term = term * (d - (j - 1)) / j * (p / q)
+        term = np.maximum(term, 0.0)
+        prob += term
+    return np.clip(prob, 0.0, 1.0)
+
+
+def standalone_misses(profile: LineProfile, num_sets: int, assoc: int) -> int:
+    """Predicted misses of one standalone cache level over the full trace.
+
+    Exact for ``num_sets == 1`` (fully associative); the binomial
+    correction otherwise.
+    """
+    if num_sets == 1:
+        return profile.misses_at(assoc)
+    hit_p = _assoc_hit_probability(profile.dist_vals, num_sets, assoc)
+    expected_hits = float(np.dot(hit_p, profile.dist_counts.astype(np.float64)))
+    return int(round(profile.total - expected_hits))
+
+
+class AnalyticResult(ReplayResult):
+    """Predicted counters, API-compatible with :class:`ReplayResult`.
+
+    ``exact`` marks predictions carrying the bit-exactness guarantee
+    (single-level fully-associative geometry); ``per_reference`` maps
+    array names to predicted L1 miss counts.
+    """
+
+    def __init__(
+        self,
+        level_stats,
+        memory_latency,
+        total_accesses,
+        memory_accesses,
+        memory_writebacks,
+        exact: bool,
+        per_reference: dict | None = None,
+    ) -> None:
+        super().__init__(
+            level_stats, memory_latency, total_accesses,
+            memory_accesses, memory_writebacks,
+        )
+        self.exact = exact
+        self.per_reference = dict(per_reference or {})
+
+    def record_metrics(self, metrics=None) -> None:
+        registry = metrics if metrics is not None else METRICS
+        super().record_metrics(registry)
+        if self.level_stats:
+            registry.inc("memsim.analytic_hits", self.level_stats[0][2])
+            registry.inc("memsim.analytic_misses", self.level_stats[0][3])
+        if self.exact:
+            registry.inc("memsim.analytic_exact")
+
+
+def predict(profiles: dict[int, LineProfile], hierarchy) -> AnalyticResult:
+    """Predict hierarchy counters from per-line-size profiles.
+
+    ``profiles`` maps ``line_shift`` to the :class:`LineProfile` of the
+    full trace at that line size — one per distinct line size in the
+    hierarchy.  Level 1 sees the full trace, so its fully-associative
+    prediction is exact; deeper levels use the standalone approximation
+    (their filtered stream is approximated by the full-trace histogram
+    at their own geometry), clamped so hit counts stay non-negative.
+    """
+    METRICS.inc("memsim.analytic_predict")
+    levels = hierarchy.levels
+    first = profiles[levels[0].line_shift]
+    total = first.total
+    exact = len(levels) == 1 and levels[0].num_sets == 1
+
+    level_stats: list[tuple[str, int, int, int]] = []
+    upstream = total
+    for level in levels:
+        profile = profiles[level.line_shift]
+        misses = min(standalone_misses(profile, level.num_sets, level.assoc), upstream)
+        level_stats.append((level.name, level.latency, upstream - misses, misses))
+        upstream = misses
+
+    last = levels[-1]
+    writebacks = profiles[last.line_shift].writebacks_at(last.num_sets * last.assoc)
+    per_reference = first.per_array_misses(levels[0].num_sets * levels[0].assoc)
+    return AnalyticResult(
+        level_stats,
+        hierarchy.memory_latency,
+        total,
+        memory_accesses=upstream,
+        memory_writebacks=writebacks,
+        exact=exact,
+        per_reference=per_reference,
+    )
+
+
+def predict_machine(
+    profiles: dict[int, LineProfile], machine
+) -> AnalyticResult:
+    """Predict counters for a :class:`~repro.memsim.cost.MachineSpec`."""
+    return predict(profiles, machine.hierarchy())
+
+
+# -- profile (de)serialization -----------------------------------------------------
+
+
+def profile_to_arrays(profile: LineProfile) -> dict:
+    """Flat ``np.savez``-ready form of a profile."""
+    return {
+        "line_shift": np.int64(profile.line_shift),
+        "total": np.int64(profile.total),
+        "cold": np.int64(profile.cold),
+        "dist_vals": profile.dist_vals,
+        "dist_counts": profile.dist_counts,
+        "wb_pos": profile.wb_pos,
+        "wb_delta": profile.wb_delta,
+        "interval_log2": profile.interval_log2,
+        "array_names": np.array(list(profile.array_names)),
+        "array_total": profile.array_total,
+        "array_cold": profile.array_cold,
+        "array_dist": profile.array_dist,
+    }
+
+
+def profile_from_arrays(data) -> LineProfile:
+    """Inverse of :func:`profile_to_arrays` (raises ``KeyError`` on gaps)."""
+    names = tuple(str(s) for s in data["array_names"].tolist())
+    return LineProfile(
+        line_shift=int(data["line_shift"]),
+        total=int(data["total"]),
+        cold=int(data["cold"]),
+        dist_vals=np.asarray(data["dist_vals"], dtype=np.int64),
+        dist_counts=np.asarray(data["dist_counts"], dtype=np.int64),
+        wb_pos=np.asarray(data["wb_pos"], dtype=np.int64),
+        wb_delta=np.asarray(data["wb_delta"], dtype=np.int64),
+        interval_log2=np.asarray(data["interval_log2"], dtype=np.int64),
+        array_names=names,
+        array_total=np.asarray(data["array_total"], dtype=np.int64),
+        array_cold=np.asarray(data["array_cold"], dtype=np.int64),
+        array_dist=np.asarray(data["array_dist"], dtype=np.int64).reshape(-1, 3),
+    )
+
+
+def profile_checksum(profile: LineProfile) -> str:
+    """Integrity checksum over everything a stored profile round-trips."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(
+        np.array(
+            [profile.line_shift, profile.total, profile.cold], dtype=np.int64
+        ).tobytes()
+    )
+    for arr in (
+        profile.dist_vals, profile.dist_counts, profile.wb_pos,
+        profile.wb_delta, profile.interval_log2, profile.array_total,
+        profile.array_cold, profile.array_dist,
+    ):
+        digest.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+    digest.update("\x00".join(profile.array_names).encode())
+    return digest.hexdigest()[:16]

@@ -17,8 +17,17 @@ keeps it — an in-memory LRU over an optional on-disk store of compressed
 
     <root>/<fp[:2]>/<fp>.npz
 
-Counters: ``memsim.trace_capture`` (fresh captures), and
-``memsim.trace_cache_hit`` (traces served from the store).
+The analytic tier (:mod:`repro.memsim.reuse`) stores its reuse-distance
+histograms here too, content-addressed like traces: a profile's
+fingerprint (:func:`histogram_fingerprint`) derives from the trace
+fingerprint plus the line size, so any cache geometry question about a
+known trace resolves to a stored histogram without touching the trace
+itself.
+
+Counters: ``memsim.trace_capture`` (fresh captures),
+``memsim.trace_cache_hit`` (traces served from the store), and
+``memsim.histogram_cache_hit`` / ``memsim.histogram_quarantined`` for
+the histogram tier.
 """
 
 from __future__ import annotations
@@ -42,6 +51,28 @@ CHUNK = 1 << 16
 
 TRACE_SCHEMA_VERSION = 1
 """Stamped into every stored ``.npz``; mismatched entries quarantine."""
+
+HISTOGRAM_SCHEMA_VERSION = 1
+"""Schema stamp for stored reuse-distance histograms."""
+
+
+def histogram_fingerprint(trace_fp: str, line_shift: int) -> str:
+    """Content address of one trace's reuse histogram at one line size.
+
+    Derived from the trace fingerprint — the histogram is a pure
+    function of the trace — plus the line size and histogram schema, so
+    a schema bump invalidates stored profiles without touching traces.
+    """
+    from repro.engine.jobs import fingerprint
+
+    return fingerprint(
+        "memsim.histogram",
+        {
+            "trace": trace_fp,
+            "line_shift": int(line_shift),
+            "schema": HISTOGRAM_SCHEMA_VERSION,
+        },
+    )
 
 
 class TraceBuffer:
@@ -157,7 +188,8 @@ class TraceStore:
         self.metrics = metrics
         self._lock = threading.RLock()
         self._memory: OrderedDict[str, Trace] = OrderedDict()
-        self.replay_memo: dict[tuple[str, str], object] = {}
+        self._profiles: OrderedDict[str, object] = OrderedDict()
+        self.replay_memo: dict[tuple, object] = {}
 
     def _path(self, fingerprint: str) -> Path:
         assert self.root is not None
@@ -243,6 +275,87 @@ class TraceStore:
                 )
             os.replace(tmp, path)
             _chaos.maybe_corrupt_file(path, fingerprint)
+
+    def get_profile(self, hist_fp: str):
+        """The stored reuse histogram for ``hist_fp``, or None on miss.
+
+        Same discipline as :meth:`get`: memory LRU over an optional disk
+        tier, with schema/checksum validation and quarantine (counted
+        under ``memsim.histogram_quarantined``) on any decode failure.
+        """
+        from repro.memsim.reuse import profile_checksum, profile_from_arrays
+
+        with self._lock:
+            if hist_fp in self._profiles:
+                self._profiles.move_to_end(hist_fp)
+                self.metrics.inc("memsim.histogram_cache_hit")
+                return self._profiles[hist_fp]
+        if self.root is not None:
+            path = self._path(hist_fp)
+            if not path.exists():
+                return None
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    schema = int(data["schema"])
+                    if schema != HISTOGRAM_SCHEMA_VERSION:
+                        raise ValueError(f"histogram schema {schema}")
+                    profile = profile_from_arrays(data)
+                    if str(data["check"]) != profile_checksum(profile):
+                        raise ValueError("histogram checksum mismatch")
+            except (OSError, ValueError, KeyError):
+                quarantine_file(
+                    path, self.root, metrics=self.metrics,
+                    counter="memsim.histogram_quarantined",
+                )
+            else:
+                self.metrics.inc("memsim.histogram_cache_hit")
+                self._remember_profile(hist_fp, profile)
+                return profile
+        return None
+
+    def _remember_profile(self, hist_fp: str, profile) -> None:
+        with self._lock:
+            self._profiles[hist_fp] = profile
+            self._profiles.move_to_end(hist_fp)
+            while len(self._profiles) > 4 * self.capacity:
+                self._profiles.popitem(last=False)
+
+    def put_profile(self, hist_fp: str, profile) -> None:
+        """Store a reuse histogram; with a disk tier, a compressed ``.npz``."""
+        from repro.memsim.reuse import profile_checksum, profile_to_arrays
+
+        self._remember_profile(hist_fp, profile)
+        if self.root is not None:
+            path = self._path(hist_fp)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    **profile_to_arrays(profile),
+                    schema=np.int64(HISTOGRAM_SCHEMA_VERSION),
+                    check=np.str_(profile_checksum(profile)),
+                )
+            os.replace(tmp, path)
+            _chaos.maybe_corrupt_file(path, hist_fp)
+
+    def profile_for(self, trace_fp: str, encoded, line_shift: int, array_ranges=None):
+        """The reuse histogram of a known trace at one line size.
+
+        Served from the store when possible; computed (one vectorized
+        histogram pass) and stored on miss.  ``encoded`` may be a
+        callable returning the encoded trace, so cache hits never load
+        the trace at all.
+        """
+        from repro.memsim.reuse import compute_profile
+
+        hist_fp = histogram_fingerprint(trace_fp, line_shift)
+        profile = self.get_profile(hist_fp)
+        if profile is None:
+            data = encoded() if callable(encoded) else encoded
+            profile = compute_profile(data, line_shift, array_ranges=array_ranges)
+            self.put_profile(hist_fp, profile)
+        return profile
 
     def __len__(self) -> int:
         with self._lock:

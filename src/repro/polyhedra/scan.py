@@ -136,3 +136,83 @@ def scan_bounds(
                     bounds.uppers.append(bound)
         per_var[var] = bounds
     return [per_var[v] for v in order], residual
+
+
+def _eval_bound_columns(bound: Bound, columns: dict, rows: int):
+    """``ceil``/``floor`` numerator and denominator of one bound, columnwise.
+
+    Returns ``(num, den)`` int64 arrays/scalars with ``bound`` equal to
+    ``num / den`` at every row: the caller takes ``-((-num) // den)`` for
+    a ceiling or ``num // den`` for a floor (NumPy ``//`` floors, which
+    is exactly the rounding both need).
+    """
+    import numpy as np
+
+    frac = Fraction(bound.const)
+    den = bound.den * frac.denominator
+    num = np.full(rows, frac.numerator, dtype=np.int64)
+    for var, coeff in bound.coeffs.items():
+        num = num + (coeff * frac.denominator) * columns[var]
+    return num, den
+
+
+def scan_points(system: System, order: list[str]) -> list[tuple[int, ...]]:
+    """All integer points of ``system``, in lexicographic ``order``.
+
+    A vectorized drop-in for
+    :func:`repro.polyhedra.omega.enumerate_points` — same results, same
+    order, same ``ValueError`` contract on unbounded variables — built on
+    :func:`scan_bounds` instead of a per-point interpreter walk: each
+    loop level evaluates its Fourier-Motzkin bounds over *all* partial
+    points at once and expands them with one ``repeat``/``arange`` pass,
+    and a final vectorized filter applies the original constraints (the
+    rational FM shadow over-approximates the integer projection, exactly
+    as the scalar enumerator's per-branch rational bounds do).
+
+    Pruning is deliberately off: redundant bounds cost one extra
+    vectorized ``max``/``min``, while :func:`_prune_level` costs solver
+    calls — the wrong trade everywhere this is used (fuzz oracles,
+    dependence instantiation).
+    """
+    import numpy as np
+
+    extra = system.variables() - set(order)
+    if extra:
+        raise ValueError(f"order is missing variables: {sorted(extra)}")
+    bounds, _residual = scan_bounds(system, order, prune=False)
+
+    points = np.zeros((1, 0), dtype=np.int64)
+    for depth, level in enumerate(bounds):
+        if len(points) == 0:
+            return []
+        if not level.lowers or not level.uppers:
+            raise ValueError(f"variable {level.var!r} is unbounded; cannot enumerate")
+        columns = {var: points[:, j] for j, var in enumerate(order[:depth])}
+        lo = None
+        for bound in level.lowers:
+            num, den = _eval_bound_columns(bound, columns, len(points))
+            ceil = -((-num) // den)
+            lo = ceil if lo is None else np.maximum(lo, ceil)
+        hi = None
+        for bound in level.uppers:
+            num, den = _eval_bound_columns(bound, columns, len(points))
+            floor = num // den
+            hi = floor if hi is None else np.minimum(hi, floor)
+        counts = np.maximum(hi - lo + 1, 0)
+        total = int(counts.sum())
+        parent = np.repeat(np.arange(len(points)), counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        column = (lo[parent] + offsets).reshape(-1, 1)
+        points = np.concatenate([points[parent], column], axis=1)
+
+    keep = np.ones(len(points), dtype=bool)
+    columns = {var: points[:, j] for j, var in enumerate(order)}
+    for c in system:
+        frac = Fraction(c.const)
+        value = np.full(len(points), frac.numerator, dtype=np.int64)
+        for var, coeff in c.coeffs.items():
+            value = value + (coeff * frac.denominator) * columns[var]
+        keep &= (value == 0) if c.is_eq else (value >= 0)
+    return [tuple(int(x) for x in row) for row in points[keep]]

@@ -543,6 +543,24 @@ class ShackleServer:
                     self.metrics.get("legality.witness_transfer")
                 ),
             },
+            "memsim": {
+                # The trace-free analytic tier at a glance
+                # (docs/MEMSIM.md): geometry questions answered from
+                # reuse histograms vs trace replays vs fresh captures.
+                "trace_captures": int(self.metrics.get("memsim.trace_capture")),
+                "trace_replays": int(self.metrics.get("memsim.trace_replay")),
+                "trace_cache_hits": int(self.metrics.get("memsim.trace_cache_hit")),
+                "histogram_passes": int(self.metrics.get("memsim.histogram_pass")),
+                "histogram_cache_hits": int(
+                    self.metrics.get("memsim.histogram_cache_hit")
+                ),
+                "analytic_predictions": int(
+                    self.metrics.get("memsim.analytic_predict")
+                ),
+                "analytic_exact": int(self.metrics.get("memsim.analytic_exact")),
+                "analytic_hits": int(self.metrics.get("memsim.analytic_hits")),
+                "analytic_misses": int(self.metrics.get("memsim.analytic_misses")),
+            },
             "cache": self.engine.cache.stats(),
         }
 

@@ -25,7 +25,8 @@ BUDGET = 12  # enough for every mutation to trip at seed 0
 def test_registry_covers_every_oracle():
     targets = {m.target_oracle for m in MUTATIONS.values()}
     assert targets == {
-        "deps", "solver", "legality", "codegen", "semantics", "backend", "chaos",
+        "deps", "solver", "legality", "codegen", "semantics", "backend",
+        "memsim", "chaos",
     }
     with pytest.raises(ValueError):
         get("no-such-mutation")
@@ -51,6 +52,7 @@ def test_planted_semantics_bug_is_caught_without_fuzzing():
         "legality-accept-all",
         "codegen-drop-guard",
         "semantics-perturb-value",
+        "reuse-off-by-one",
     ],
 )
 def test_each_oracle_catches_and_shrinks_its_planted_bug(name, tmp_path):

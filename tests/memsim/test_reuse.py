@@ -1,0 +1,254 @@
+"""Unit tests for the analytic cache model (reuse-distance histograms).
+
+The heavyweight differential against the replay engine lives in
+``test_reuse_differential.py``; this file pins the model's building
+blocks: stack distances (both engines), the histogram pass, the exact
+write-back accounting, per-array attribution, and serialization.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim import _native
+from repro.memsim.cache import CacheLevel
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.replay import replay_encoded
+from repro.memsim.reuse import (
+    LineProfile,
+    _distances_numpy,
+    _prev_indices,
+    compute_profile,
+    predict,
+    prediction_tolerance,
+    profile_checksum,
+    profile_from_arrays,
+    profile_to_arrays,
+    stack_distances,
+)
+
+lines64 = lambda *xs: np.array(xs, dtype=np.int64)  # noqa: E731
+
+
+def fa_hierarchy(capacity_lines: int, line: int = 2, latency: int = 1):
+    """A single fully-associative level of ``capacity_lines`` lines."""
+    return MemoryHierarchy(
+        [CacheLevel("L1", line * capacity_lines, line, capacity_lines, latency)], 10
+    )
+
+
+# -- stack distances ---------------------------------------------------------------
+
+
+def test_hand_checked_distances():
+    # A B A: one distinct line between the As.
+    assert stack_distances(lines64(0, 1, 0)).tolist() == [-1, -1, 1]
+    # A B C A: two distinct lines.
+    assert stack_distances(lines64(0, 1, 2, 0)).tolist() == [-1, -1, -1, 2]
+    # A B C B A: the inner B reuse shields nothing — A still saw {B, C}.
+    assert stack_distances(lines64(0, 1, 2, 1, 0)).tolist() == [-1, -1, -1, 1, 2]
+    # Repeated same line: distance 0 (no distinct lines between).
+    assert stack_distances(lines64(7, 7, 7)).tolist() == [-1, 0, 0]
+
+
+def test_empty_and_singleton():
+    assert stack_distances(lines64()).tolist() == []
+    assert stack_distances(lines64(42)).tolist() == [-1]
+
+
+def test_numpy_engine_matches_native():
+    if _native.load() is None or not hasattr(_native.load(), "repro_stack_distances"):
+        pytest.skip("no native kernel available")
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        lines = rng.integers(0, 50, size=int(rng.integers(0, 400))).astype(np.int64)
+        assert np.array_equal(
+            stack_distances(lines, engine="numpy"),
+            stack_distances(lines, engine="native"),
+        )
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="engine"):
+        stack_distances(lines64(1, 2), engine="quantum")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 30), max_size=200))
+def test_distances_match_reference_lru_stack(seq):
+    """Distances agree with a direct LRU-stack reference simulation."""
+    lines = np.array(seq, dtype=np.int64)
+    got = stack_distances(lines, engine="numpy").tolist()
+    stack: list[int] = []
+    want = []
+    for line in seq:
+        if line in stack:
+            depth = stack.index(line)
+            want.append(depth)
+            stack.pop(depth)
+        else:
+            want.append(-1)
+        stack.insert(0, line)
+    assert got == want
+
+
+def test_prev_indices():
+    prev = _prev_indices(lines64(5, 3, 5, 5, 3))
+    assert prev.tolist() == [-1, -1, 0, 2, 1]
+    assert _distances_numpy(prev).tolist() == [-1, -1, 1, 0, 1]
+
+
+# -- the histogram pass ------------------------------------------------------------
+
+
+def test_misses_at_matches_stack_property():
+    # Trace (element addrs, line=1): A B A B C A.
+    encoded = lines64(0, 1, 0, 1, 2, 0) * 2
+    profile = compute_profile(encoded, 0)
+    assert profile.total == 6 and profile.cold == 3
+    # distances: -1 -1 1 1 -1 2
+    assert profile.histogram() == {1: 2, 2: 1}
+    assert profile.misses_at(1) == 6  # capacity 1: everything misses
+    assert profile.misses_at(2) == 4  # d=1 hits
+    assert profile.misses_at(3) == 3  # only cold misses remain
+    assert profile.misses_at(100) == 3
+
+
+def test_run_collapse_folds_zero_distances():
+    # A A A B B: runs collapse; 3 run-hits at distance 0.
+    encoded = lines64(0, 0, 0, 1, 1) * 2
+    profile = compute_profile(encoded, 0)
+    assert profile.total == 5 and profile.cold == 2
+    assert profile.histogram() == {0: 3}
+    assert profile.misses_at(1) == 2  # runs hit even at capacity 1
+
+
+def test_writebacks_match_simulator_across_capacities():
+    rng = np.random.default_rng(3)
+    for _ in range(40):
+        n = int(rng.integers(1, 300))
+        addrs = rng.integers(0, 60, size=n).astype(np.int64)
+        writes = rng.integers(0, 2, size=n).astype(np.int64)
+        encoded = addrs * 2 + writes
+        profile = compute_profile(encoded, 1)
+        for capacity in (1, 2, 3, 5, 8, 16, 64):
+            hierarchy = fa_hierarchy(capacity)
+            result = replay_encoded(encoded, hierarchy, engine="numpy")
+            assert profile.writebacks_at(capacity) == result.stats()["writebacks"]
+            assert profile.misses_at(capacity) == result.stats()["L1_misses"]
+
+
+def test_dirty_at_end_never_writes_back():
+    # One write, never evicted: the simulator does no final flush.
+    encoded = lines64(0 * 2 + 1)
+    profile = compute_profile(encoded, 0)
+    assert profile.writebacks_at(1) == 0
+
+
+def test_per_array_attribution_sums_to_total():
+    rng = np.random.default_rng(4)
+    ranges = [("A", 0, 40), ("B", 40, 100), ("C", 100, 160)]
+    addrs = rng.integers(0, 160, size=500).astype(np.int64)
+    encoded = addrs * 2
+    profile = compute_profile(encoded, 1, array_ranges=ranges)
+    assert profile.array_names == ("A", "B", "C")
+    assert int(profile.array_total.sum()) == 500
+    for capacity in (1, 4, 16, 64):
+        per = profile.per_array_misses(capacity)
+        assert sum(per.values()) == profile.misses_at(capacity)
+
+
+def test_reuse_intervals_bucketed():
+    # A x7 B A: the A reuse gap is 8 collapsed... in original time 9-0=9.
+    encoded = lines64(0, 1, 2, 3, 4, 5, 6, 7, 8, 0) * 2
+    profile = compute_profile(encoded, 0)
+    assert int(profile.interval_log2.sum()) == 1
+    assert profile.interval_log2[3] == 1  # log2(9) -> bucket 3
+
+
+def test_empty_trace_profile():
+    profile = compute_profile(lines64(), 2)
+    assert profile.total == 0 and profile.cold == 0
+    assert profile.misses_at(4) == 0 and profile.writebacks_at(4) == 0
+
+
+# -- prediction --------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 80), st.booleans()), max_size=250),
+    st.sampled_from([1, 2, 4]),
+    st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_fa_prediction_bit_exact(events, line, capacity):
+    """Single-level fully-associative LRU: every counter bit-exact."""
+    encoded = np.array([a * 2 + w for a, w in events], dtype=np.int64)
+    shift = line.bit_length() - 1
+    hierarchy = fa_hierarchy(capacity, line=line)
+    exact = replay_encoded(encoded, hierarchy, engine="numpy")
+    predicted = predict(
+        {shift: compute_profile(encoded, shift)}, fa_hierarchy(capacity, line=line)
+    )
+    assert predicted.exact
+    assert predicted.stats() == exact.stats()
+    assert predicted.access_cycles() == exact.access_cycles()
+
+
+def test_multi_level_l1_exact_l2_within_tolerance():
+    rng = np.random.default_rng(5)
+    encoded = (rng.integers(0, 200, size=600) * 2 + rng.integers(0, 2, size=600)).astype(
+        np.int64
+    )
+
+    def mk():
+        return MemoryHierarchy(
+            [CacheLevel("L1", 32, 2, 16, 1), CacheLevel("L2", 256, 4, 8, 10)], 100
+        )
+
+    exact = replay_encoded(encoded, mk(), engine="numpy")
+    profiles = {shift: compute_profile(encoded, shift) for shift in (1, 2)}
+    predicted = predict(profiles, mk())
+    assert not predicted.exact
+    want, got = exact.stats(), predicted.stats()
+    # L1 is fully associative and sees the whole trace: bit-exact.
+    assert got["L1_hits"] == want["L1_hits"] and got["L1_misses"] == want["L1_misses"]
+    # L2 uses the standalone approximation: declared tolerance.
+    tol = prediction_tolerance(len(encoded), 8)
+    assert abs(got["L2_misses"] - want["L2_misses"]) <= tol
+
+
+def test_analytic_result_metrics():
+    from repro.engine.metrics import MetricsRegistry
+
+    encoded = lines64(0, 1, 0) * 2
+    predicted = predict({0: compute_profile(encoded, 0)}, fa_hierarchy(2, line=1))
+    registry = MetricsRegistry()
+    predicted.record_metrics(registry)
+    assert registry.get("memsim.analytic_hits") == 1
+    assert registry.get("memsim.analytic_misses") == 2
+    assert registry.get("memsim.analytic_exact") == 1
+
+
+# -- serialization -----------------------------------------------------------------
+
+
+def test_profile_round_trip_and_checksum():
+    rng = np.random.default_rng(6)
+    encoded = (rng.integers(0, 90, size=400) * 2 + rng.integers(0, 2, size=400)).astype(
+        np.int64
+    )
+    profile = compute_profile(encoded, 1, array_ranges=[("A", 0, 50), ("B", 50, 90)])
+    restored = profile_from_arrays(profile_to_arrays(profile))
+    assert isinstance(restored, LineProfile)
+    assert profile_checksum(restored) == profile_checksum(profile)
+    for capacity in (1, 3, 9, 33):
+        assert restored.misses_at(capacity) == profile.misses_at(capacity)
+        assert restored.writebacks_at(capacity) == profile.writebacks_at(capacity)
+        assert restored.per_array_misses(capacity) == profile.per_array_misses(capacity)
+    # The checksum is content-sensitive.
+    restored.dist_counts = restored.dist_counts.copy()
+    if len(restored.dist_counts):
+        restored.dist_counts[0] += 1
+        assert profile_checksum(restored) != profile_checksum(profile)

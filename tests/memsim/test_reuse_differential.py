@@ -1,0 +1,189 @@
+"""Differential tests: the analytic cache model vs the replay engine.
+
+The replay engine (itself differentially tested against the per-access
+:class:`MemoryHierarchy` oracle) is the ground truth here.  For every
+kernel in :mod:`repro.kernels` the analytic predictor must be bit-exact
+on fully-associative LRU geometries — every counter, including
+write-backs — and within the declared tolerance on set-associative
+ones, with both stack-distance engines (NumPy and the native Fenwick
+kernel).  A planted off-by-one mutation proves the differential
+actually bites, and a sweep test pins the headline property: sweeping
+many geometries analytically costs one capture and zero replays.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.backends import compile_program
+from repro.engine.metrics import METRICS
+from repro.experiments.harness import SweepPoint, simulate, simulate_sweep
+from repro.kernels import (
+    adi,
+    blocked_library,
+    cholesky,
+    gmtry,
+    matmul,
+    qr,
+    relaxation,
+    syrk,
+    trisolve,
+    trsm,
+)
+from repro.memsim import Arena, CacheLevel, MemoryHierarchy, _native
+from repro.memsim.cost import SP2_SCALED, TINY, MachineSpec
+from repro.memsim.replay import replay_encoded
+from repro.memsim.reuse import compute_profile, predict, prediction_tolerance
+from repro.memsim.trace import TraceStore
+
+ENGINES = ["numpy"] + (["native"] if _native.load() is not None else [])
+
+# One representative program per kernel module, at sizes small enough
+# that the whole matrix (kernels x engines x geometries) stays fast.
+KERNELS = [
+    ("adi", adi.program(), {"n": 10}, adi.init),
+    ("blocked-cholesky", blocked_library.blocked_cholesky(4), {"N": 11},
+     cholesky.init),
+    ("cholesky-right", cholesky.program("right"), {"N": 12}, cholesky.init),
+    ("cholesky-left", cholesky.program("left"), {"N": 12}, cholesky.init),
+    ("gmtry", gmtry.program(), {"N": 8}, gmtry.init),
+    ("matmul", matmul.program(), {"N": 9}, matmul.init),
+    ("qr", qr.program(), {"N": 8}, qr.init),
+    ("relaxation-1d", relaxation.program("1d-time"), {"N": 24, "T": 6},
+     relaxation.init_1d),
+    ("syrk", syrk.program(), {"N": 9}, syrk.init),
+    ("trisolve-forward", trisolve.program("forward"), {"N": 14},
+     trisolve.init_forward),
+    ("trsm", trsm.program(), {"N": 8, "M": 6}, trsm.init),
+]
+IDS = [k[0] for k in KERNELS]
+
+# Fully-associative single-level geometries: (capacity lines, line bytes).
+FA_GEOMETRIES = [(4, 2), (16, 2), (8, 4), (64, 4)]
+
+
+def _capture(program, env, init):
+    """Raw encoded trace (addr << 1 | write) of one execution."""
+    arena = Arena(program, env)
+    buf = arena.allocate()
+    init(arena, buf, np.random.default_rng(0))
+    return compile_program(program, arena, trace="capture").run(buf).trace
+
+
+def _fa_hierarchy(capacity, line):
+    return MemoryHierarchy(
+        [CacheLevel("L1", capacity * line, line, capacity, 1)], memory_latency=50
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name,program,env,init", KERNELS, ids=IDS)
+def test_kernel_analytic_fa_bit_exact(name, program, env, init, engine):
+    """Every counter bit-exact on fully-associative LRU, both engines."""
+    encoded = _capture(program, env, init)
+    for capacity, line in FA_GEOMETRIES:
+        shift = line.bit_length() - 1
+        profile = compute_profile(encoded, shift, engine=engine)
+        predicted = predict({shift: profile}, _fa_hierarchy(capacity, line))
+        exact = replay_encoded(encoded, _fa_hierarchy(capacity, line),
+                               engine="numpy")
+        assert predicted.exact
+        assert predicted.stats() == exact.stats(), (name, capacity, line)
+        assert predicted.access_cycles() == exact.access_cycles()
+        assert predicted.writeback_traffic() == exact.writeback_traffic()
+
+
+@pytest.mark.parametrize(
+    "machine,min_assoc", [(SP2_SCALED, 4), (TINY, 2)], ids=lambda m: getattr(m, "name", m)
+)
+@pytest.mark.parametrize("name,program,env,init", KERNELS, ids=IDS)
+def test_kernel_analytic_set_assoc_within_tolerance(
+    name, program, env, init, machine, min_assoc
+):
+    """Set-associative predictions stay within the declared tolerance."""
+    encoded = _capture(program, env, init)
+    hierarchy = machine.hierarchy()
+    shifts = sorted({level.line_shift for level in hierarchy.levels})
+    profiles = {s: compute_profile(encoded, s) for s in shifts}
+    predicted = predict(profiles, machine.hierarchy())
+    exact = replay_encoded(encoded, machine.hierarchy(), engine="numpy")
+    assert not predicted.exact
+    tol = prediction_tolerance(len(encoded), min_assoc)
+    want, got = exact.stats(), predicted.stats()
+    for level in hierarchy.levels:
+        gap = abs(got[f"{level.name}_misses"] - want[f"{level.name}_misses"])
+        assert gap <= tol, (name, level.name, gap, tol)
+
+
+FA_MACHINE = MachineSpec(
+    "fa-l1", levels=[("L1", 64, 4, 16, 1)], memory_latency=60
+)
+
+
+@pytest.mark.parametrize(
+    "name,program,env,init", KERNELS[:4], ids=IDS[:4]
+)
+def test_simulate_fidelity_analytic_matches_replay_on_fa(name, program, env, init):
+    """End to end through simulate(): fidelity="analytic" reproduces the
+    replay measurement bit-for-bit on a fully-associative machine —
+    stats, cycles, seconds, mflops."""
+    store = TraceStore()
+    replayed = simulate(
+        program, env, FA_MACHINE, init, variant=name, fidelity="replay",
+        trace_store=store, seed=1,
+    )
+    analytic = simulate(
+        program, env, FA_MACHINE, init, variant=name, fidelity="analytic",
+        trace_store=store, seed=1,
+    )
+    assert analytic == replayed
+
+
+def test_analytic_sweep_one_capture_zero_replays(tmp_path):
+    """The headline economics: a geometry ablation in analytic mode costs
+    exactly one trace capture and zero replays, however many geometries
+    are swept (the acceptance criterion for this tier)."""
+    program = cholesky.program("right")
+    machines = [
+        MachineSpec(f"abl-c{capacity}", [("L1", capacity * 4, 4, capacity, 1)],
+                    memory_latency=50)
+        for capacity in (2, 4, 8, 16, 32, 64, 128)
+    ]
+    points = [
+        SweepPoint(program, {"N": 16}, machine, cholesky.init, machine.name,
+                   options={"seed": 0, "fidelity": "analytic"})
+        for machine in machines
+    ]
+    captures = METRICS.get("memsim.trace_capture")
+    replays = METRICS.get("memsim.trace_replay")
+    predictions = METRICS.get("memsim.analytic_predict")
+    results = simulate_sweep(points, trace_store=TraceStore(root=tmp_path / "traces"))
+    assert METRICS.get("memsim.trace_capture") == captures + 1
+    assert METRICS.get("memsim.trace_replay") == replays
+    assert METRICS.get("memsim.analytic_predict") == predictions + len(machines)
+    # The sweep is real: geometries disagree, and misses shrink with size.
+    misses = [m.stats["L1_misses"] for m in results]
+    assert len(set(misses)) > 1
+    assert misses == sorted(misses, reverse=True)
+    # Every prediction here is fully associative: covered by the
+    # bit-exactness guarantee.
+    assert all(m.stats["accesses"] == results[0].stats["accesses"] for m in results)
+
+
+def test_planted_off_by_one_is_caught_without_fuzzing():
+    """The memsim oracle bites: an off-by-one in the reuse interval
+    (inclusive endpoint count) flips hit/miss verdicts and the
+    differential reports it, attributed to the memsim check."""
+    from repro.fuzz import run_case_payload
+    from repro.fuzz.cases import case_from_shackle
+
+    program = matmul.program()
+    case = case_from_shackle(matmul.c_shackle(program, 2), {"N": 4},
+                             checks=("memsim",))
+    clean = run_case_payload(case.to_payload())
+    assert clean["failures"] == []
+    mutated = dataclasses.replace(case, mutation="reuse-off-by-one")
+    result = run_case_payload(mutated.to_payload())
+    assert result["failures"], "off-by-one reuse distances went undetected"
+    assert {f["check"] for f in result["failures"]} == {"memsim"}

@@ -189,3 +189,156 @@ def test_store_checksum_tamper_is_quarantined(tmp_path):
     cold = TraceStore(root=root, metrics=metrics)
     assert cold.get(fp) is None
     assert metrics.get("memsim.trace_quarantined") == 1
+
+
+# -- the histogram tier ------------------------------------------------------------
+
+
+def _profile(seed=0, size=300):
+    from repro.memsim.reuse import compute_profile
+
+    rng = np.random.default_rng(seed)
+    encoded = (rng.integers(0, 64, size=size) * 2 + rng.integers(0, 2, size=size))
+    return compute_profile(encoded.astype(np.int64), 1)
+
+
+def test_histogram_fingerprint_keys_trace_and_line_size():
+    from repro.memsim.trace import histogram_fingerprint
+
+    fp = histogram_fingerprint("ab" * 32, 2)
+    assert fp == histogram_fingerprint("ab" * 32, 2)  # stable
+    assert fp != histogram_fingerprint("ab" * 32, 3)  # line size participates
+    assert fp != histogram_fingerprint("cd" * 32, 2)  # trace participates
+
+
+def test_trace_fingerprint_stable_across_chunked_flushes():
+    """Chunking is a capture implementation detail: any chunk size yields
+    the identical encoded trace, and therefore the identical
+    content-addressed histogram."""
+    from repro.memsim.reuse import profile_checksum
+    from repro.memsim.trace import _trace_checksum
+
+    p = parse_program(STREAM)
+    _, whole = _capture(p, {"N": 20})
+    _, chunked = _capture(p, {"N": 20}, chunk_size=5)
+    assert chunked.trace.tolist() == whole.trace.tolist()
+    args = (["S1"], np.array([20]), np.array([1]))
+    assert _trace_checksum(chunked.trace, *args) == _trace_checksum(whole.trace, *args)
+
+    from repro.memsim.reuse import compute_profile
+
+    assert profile_checksum(compute_profile(chunked.trace, 1)) == profile_checksum(
+        compute_profile(whole.trace, 1)
+    )
+
+
+def test_histogram_disk_roundtrip(tmp_path):
+    from repro.engine.metrics import MetricsRegistry
+    from repro.memsim.reuse import profile_checksum
+    from repro.memsim.trace import histogram_fingerprint
+
+    root = tmp_path / "traces"
+    profile = _profile()
+    hist_fp = histogram_fingerprint("ef" * 32, profile.line_shift)
+    metrics = MetricsRegistry()
+    TraceStore(root=root, metrics=metrics).put_profile(hist_fp, profile)
+    assert (root / hist_fp[:2] / f"{hist_fp}.npz").is_file()
+
+    fresh = TraceStore(root=root, metrics=metrics)
+    loaded = fresh.get_profile(hist_fp)
+    assert loaded is not None
+    assert metrics.get("memsim.histogram_cache_hit") == 1
+    assert profile_checksum(loaded) == profile_checksum(profile)
+    for capacity in (1, 4, 16):
+        assert loaded.misses_at(capacity) == profile.misses_at(capacity)
+        assert loaded.writebacks_at(capacity) == profile.writebacks_at(capacity)
+    # Second get serves from the memory LRU.
+    assert fresh.get_profile(hist_fp) is loaded
+    assert metrics.get("memsim.histogram_cache_hit") == 2
+
+
+def test_histogram_tamper_is_quarantined(tmp_path):
+    from repro.engine.metrics import MetricsRegistry
+    from repro.memsim.trace import histogram_fingerprint
+
+    root = tmp_path / "traces"
+    profile = _profile()
+    hist_fp = histogram_fingerprint("ab" * 32, profile.line_shift)
+    metrics = MetricsRegistry()
+    TraceStore(root=root, metrics=metrics).put_profile(hist_fp, profile)
+    path = root / hist_fp[:2] / f"{hist_fp}.npz"
+    with np.load(path, allow_pickle=False) as data:
+        payload = {name: data[name] for name in data.files}
+    payload["dist_counts"] = payload["dist_counts"] + 1  # stale checksum now
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+
+    cold = TraceStore(root=root, metrics=metrics)
+    assert cold.get_profile(hist_fp) is None
+    assert metrics.get("memsim.histogram_quarantined") == 1
+    # Evidence moved aside; the slot reads as a clean miss afterwards.
+    assert not path.exists()
+    assert (root / "quarantine" / path.name).exists()
+    assert cold.get_profile(hist_fp) is None
+    assert metrics.get("memsim.histogram_quarantined") == 1
+
+
+def test_histogram_garbage_file_is_quarantined(tmp_path):
+    from repro.engine.metrics import MetricsRegistry
+    from repro.memsim.trace import histogram_fingerprint
+
+    root = tmp_path / "traces"
+    hist_fp = histogram_fingerprint("ab" * 32, 1)
+    path = root / hist_fp[:2] / f"{hist_fp}.npz"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not an npz archive")
+    metrics = MetricsRegistry()
+    assert TraceStore(root=root, metrics=metrics).get_profile(hist_fp) is None
+    assert metrics.get("memsim.histogram_quarantined") == 1
+
+
+def test_profile_for_computes_once_then_serves_from_store(tmp_path):
+    from repro.engine.metrics import METRICS as global_metrics
+
+    root = tmp_path / "traces"
+    rng = np.random.default_rng(7)
+    encoded = (rng.integers(0, 64, size=400) * 2).astype(np.int64)
+    loads = []
+
+    def loader():
+        loads.append(1)
+        return encoded
+
+    store = TraceStore(root=root)
+    passes = global_metrics.get("memsim.histogram_pass")
+    first = store.profile_for("ab" * 32, loader, 1)
+    assert loads == [1]
+    assert global_metrics.get("memsim.histogram_pass") == passes + 1
+
+    # Warm in-memory: no recompute, no trace load.
+    again = store.profile_for("ab" * 32, loader, 1)
+    assert again is first and loads == [1]
+    assert global_metrics.get("memsim.histogram_pass") == passes + 1
+
+    # A fresh store over the same disk root (a new process, effectively)
+    # serves the histogram without ever touching the trace.
+    def explode():
+        raise AssertionError("trace was loaded on the warm histogram path")
+
+    cold = TraceStore(root=root).profile_for("ab" * 32, explode, 1)
+    assert global_metrics.get("memsim.histogram_pass") == passes + 1
+    from repro.memsim.reuse import profile_checksum
+
+    assert profile_checksum(cold) == profile_checksum(first)
+
+
+def test_profile_memory_lru_bounded():
+    from repro.memsim.trace import histogram_fingerprint
+
+    store = TraceStore(capacity=1)  # profile LRU holds 4 * capacity
+    profile = _profile()
+    fps = [histogram_fingerprint(f"{i:064d}", 1) for i in range(6)]
+    for fp in fps:
+        store.put_profile(fp, profile)
+    held = [fp for fp in fps if store.get_profile(fp) is not None]
+    assert held == fps[-4:]

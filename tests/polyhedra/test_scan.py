@@ -1,10 +1,12 @@
 """Tests for loop-bound extraction (polyhedron scanning)."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.polyhedra import Constraint, System, scan_bounds
 from repro.polyhedra.omega import enumerate_points
+from repro.polyhedra.scan import scan_points
 
 
 def box(var, lo, hi):
@@ -105,3 +107,100 @@ def test_scan_matches_enumeration(cs, prune):
     got = enumerate_via_bounds(bounds, residual, ["x", "y"])
     want = enumerate_points(s, ["x", "y"])
     assert sorted(got) == sorted(want)
+
+
+# -- the vectorized enumerator (scan_points) ---------------------------------------
+
+
+def test_scan_points_triangle_order_and_set():
+    # 0 <= j <= i <= 4: the classic triangle, lexicographic in (i, j).
+    s = System(
+        [
+            Constraint.ge({"i": 1}, 0),
+            Constraint.ge({"i": -1}, 4),
+            Constraint.ge({"j": 1}, 0),
+            Constraint.ge({"i": 1, "j": -1}, 0),
+        ]
+    )
+    got = scan_points(s, ["i", "j"])
+    assert got == enumerate_points(s, ["i", "j"])
+    assert got == [(i, j) for i in range(5) for j in range(i + 1)]
+
+
+def test_scan_points_empty_domain():
+    s = System(box("x", 0, 5) + [Constraint.ge({"x": 1}, -10)])  # x >= 10, x <= 5
+    assert scan_points(s, ["x"]) == []
+    assert enumerate_points(s, ["x"]) == []
+
+
+def test_scan_points_single_point_equality_pinned():
+    # x == 3 and y == x - 1: a degenerate one-point domain.
+    s = System(
+        box("x", -5, 5)
+        + box("y", -5, 5)
+        + [Constraint.eq({"x": 1}, -3), Constraint.eq({"y": 1, "x": -1}, 1)]
+    )
+    assert scan_points(s, ["x", "y"]) == [(3, 2)]
+    assert enumerate_points(s, ["x", "y"]) == [(3, 2)]
+
+
+def test_scan_points_unbounded_raises_like_scalar():
+    s = System([Constraint.ge({"x": 1}, 0)])
+    with pytest.raises(ValueError, match="unbounded"):
+        enumerate_points(s, ["x"])
+    with pytest.raises(ValueError, match="unbounded"):
+        scan_points(s, ["x"])
+
+
+def test_scan_points_missing_order_raises_like_scalar():
+    s = System(box("x", 0, 2) + box("y", 0, 2))
+    with pytest.raises(ValueError, match="missing"):
+        enumerate_points(s, ["x"])
+    with pytest.raises(ValueError, match="missing"):
+        scan_points(s, ["x"])
+
+
+def test_scan_points_parameters_pinned_by_equalities():
+    # The dependence-oracle usage pattern: params first in the order,
+    # pinned to their values by equality constraints.
+    s = System(
+        [Constraint.eq({"N": 1}, -4)]
+        + [
+            Constraint.ge({"i": 1}, -1),
+            Constraint.ge({"i": -1, "N": 1}, 0),
+            Constraint.ge({"j": 1}, -1),
+            Constraint.ge({"j": -1, "i": 1}, 0),
+        ]
+    )
+    got = scan_points(s, ["N", "i", "j"])
+    assert got == enumerate_points(s, ["N", "i", "j"])
+    assert got[0] == (4, 1, 1) and all(p[0] == 4 for p in got)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            lambda cx, cy, cz, const, eq: (
+                Constraint.eq({"x": cx, "y": cy, "z": cz}, const)
+                if eq
+                else Constraint.ge({"x": cx, "y": cy, "z": cz}, const)
+            ),
+            st.integers(-2, 2),
+            st.integers(-2, 2),
+            st.integers(-2, 2),
+            st.integers(-4, 4),
+            st.booleans(),
+        ),
+        max_size=4,
+    )
+)
+def test_scan_points_matches_scalar_set_and_order(cs):
+    """The vectorized enumerator is a drop-in for the scalar one:
+    identical points in identical (lexicographic) order, including on
+    empty and degenerate domains."""
+    s = System(
+        box("x", -3, 3) + box("y", -3, 3) + box("z", -2, 2) + cs
+    )
+    order = ["x", "y", "z"]
+    assert scan_points(s, order) == enumerate_points(s, order)

@@ -233,6 +233,59 @@ def test_simulate_replay_matches_oracle_and_persists_traces(mm_file, tmp_path, c
     ]
 
 
+def test_simulate_fidelity_analytic(mm_file, tmp_path, capsys):
+    base = [
+        "simulate", mm_file, "--array", "C", "--block", "8", "--size", "N=12",
+        "--trace-cache", str(tmp_path / "traces"),
+    ]
+    assert main([*base, "--fidelity", "analytic", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "mflops" in out and "shackled" in out
+    # The analytic tier ran: histogram passes and predictions reported.
+    assert "analytic memsim:" in out
+    assert "memsim.analytic_predict" in out
+
+    # Histograms are persisted next to the trace; a warm analytic re-run
+    # serves them from disk without recomputing.
+    assert main([*base, "--fidelity", "analytic", "--metrics"]) == 0
+    warm = capsys.readouterr().out
+    assert "memsim.histogram_cache_hit" in warm
+    assert [l for l in warm.splitlines() if "shackled" in l] == [
+        l for l in out.splitlines() if "shackled" in l
+    ]
+
+
+def test_simulate_fidelity_overrides_replay(mm_file, capsys):
+    # --fidelity oracle forces the per-access oracle even though replay
+    # is the default; the numbers must agree either way.
+    base = ["simulate", mm_file, "--array", "C", "--block", "8", "--size", "N=12"]
+    assert main([*base, "--fidelity", "oracle"]) == 0
+    oracle = capsys.readouterr().out
+    assert main(base) == 0
+    replayed = capsys.readouterr().out
+    assert [l for l in oracle.splitlines() if "shackled" in l] == [
+        l for l in replayed.splitlines() if "shackled" in l
+    ]
+
+
+def test_search_score_ranks_by_analytic_cycles(mm_file, capsys):
+    assert (
+        main(
+            [
+                "search", mm_file, "--array", "C", "--block", "8",
+                "--score", "N=12", "--score-top", "2",
+                "--fidelity", "analytic",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    rows = [l for l in out.splitlines() if "cycles=" in l]
+    assert len(rows) == 2
+    cycles = [int(row.rsplit("cycles=", 1)[1]) for row in rows]
+    assert cycles == sorted(cycles)  # cheapest candidate first
+
+
 def test_simulate_engine_flags(mm_file, tmp_path, capsys):
     cache_dir = str(tmp_path / "cache")
     argv = [
