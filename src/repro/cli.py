@@ -11,6 +11,9 @@ writing any Python:
     python -m repro legality kernel.loop --array A --block 25
     python -m repro search kernel.loop --array A --block 25 [--jobs 4 --cache --metrics]
     python -m repro simulate kernel.loop [--array A --block 25 ...] --size N=48
+    python -m repro tune kernel.loop --array A --sizes N=9:40 [--block 4 --block 8]
+        [--anchors N=8,11,17,25,34] [--lines 4,8 --sets 1,16,32 --assocs 1,2,4]
+        [--top 10 --json BENCH_autotune.json --check-captures]
     python -m repro fuzz --seed 0 --budget 200 [--check legality ...] [--jobs 4]
     python -m repro serve --socket /tmp/repro.sock [--cache DIR --jobs 4]
     python -m repro bench-serve [--socket /tmp/repro.sock] --users 32 --requests 1000
@@ -28,6 +31,18 @@ spelling of replay-vs-oracle) and ``--trace-cache [DIR]`` to persist
 captured traces and histograms on disk.  ``search --score N=48`` prices
 the ranked candidates by simulated cycles on the scaled machines
 (``--score-top`` bounds how many, ``--fidelity`` picks the tier).
+
+``tune`` autotunes over grids of (blocking, size, geometry): shackle
+candidates per ``--block`` spacing, scored sizes from ``--sizes N=lo:hi[:step]``
+ranges (crossed over parameters), and single-level machine geometries
+from the ``--lines`` x ``--sets`` x ``--assocs`` x ``--latencies`` x
+``--mem-latencies`` cross product.  Traces are captured only at the
+``--anchors`` sizes (default: log-spaced over the size range, nudged
+off cache-line multiples); every scored point is then priced from
+fitted parametric histogram families (:mod:`repro.memsim.parametric`)
+with zero captures — ``--check-captures`` turns that claim into a hard
+failure for CI.  ``--top`` bounds the printed ranking, ``--json FILE``
+writes the full report (the ``BENCH_autotune.json`` artifact).
 
 ``fuzz`` takes no program file: it generates random loop nests and
 shackles itself and checks the pipeline against brute-force oracles
@@ -383,6 +398,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_engine_args(simulate_cmd)
 
+    tune_cmd = commands.add_parser(
+        "tune", help="autotune blockings over size and cache-geometry grids"
+    )
+    tune_cmd.add_argument("file")
+    tune_cmd.add_argument("--array", required=True, help="array to block")
+    tune_cmd.add_argument(
+        "--block", action="append", type=int, metavar="B",
+        help="blocking spacing to search (repeatable; default: 8)",
+    )
+    tune_cmd.add_argument(
+        "--sizes", action="append", required=True, metavar="N=lo:hi[:step]",
+        help="scored size range per parameter (repeatable; ranges are crossed)",
+    )
+    tune_cmd.add_argument(
+        "--anchors", action="append", metavar="N=v1,v2,...",
+        help="anchor sizes whose traces are captured (default: log-spaced "
+        "over --sizes, nudged off cache-line multiples)",
+    )
+    tune_cmd.add_argument("--lines", default="4,8", help="line sizes in elements (comma list)")
+    tune_cmd.add_argument("--sets", default="1,16,32", help="set counts (comma list)")
+    tune_cmd.add_argument("--assocs", default="1,2,4", help="associativities (comma list)")
+    tune_cmd.add_argument("--latencies", default="1", help="L1 latencies (comma list)")
+    tune_cmd.add_argument(
+        "--mem-latencies", default="100", help="memory latencies (comma list)"
+    )
+    tune_cmd.add_argument("--max-product", type=int, default=1)
+    tune_cmd.add_argument(
+        "--candidates", type=int, default=2,
+        help="ranked shackle candidates scored per block size (default: 2)",
+    )
+    tune_cmd.add_argument("--top", type=int, default=10, help="rows in the printed ranking")
+    tune_cmd.add_argument(
+        "--json", default=None, metavar="FILE", help="write the full report as JSON"
+    )
+    tune_cmd.add_argument(
+        "--check-captures", action="store_true",
+        help="fail if the scoring phase captured any trace (CI zero-capture proof)",
+    )
+    tune_cmd.add_argument(
+        "--trace-cache",
+        nargs="?",
+        const=".repro_cache/traces",
+        default=None,
+        metavar="DIR",
+        help="persist anchor traces and fitted families on disk",
+    )
+    _add_engine_args(tune_cmd)
+
     fuzz_cmd = commands.add_parser(
         "fuzz", help="differential-fuzz the pipeline against brute-force oracles"
     )
@@ -552,6 +615,97 @@ def main(argv: list[str] | None = None) -> int:
         else:
             for result in results:
                 print(result.describe())
+        if args.metrics:
+            from repro.engine.metrics import METRICS
+
+            print(METRICS.report())
+        return 0
+
+    if args.command == "tune":
+        import itertools as _itertools
+
+        from repro.core.autotune import geometry_grid, tune
+
+        def _axis_values(binding: str, parse) -> tuple[str, list[int]]:
+            name, _, spec = binding.partition("=")
+            if not spec:
+                raise SystemExit(f"tune: bad binding {binding!r} (expected NAME=SPEC)")
+            return name, parse(spec)
+
+        def _range_values(spec: str) -> list[int]:
+            parts = [int(x) for x in spec.split(":")]
+            lo = parts[0]
+            hi = parts[1] if len(parts) > 1 else lo
+            step = parts[2] if len(parts) > 2 else 1
+            return list(range(lo, hi + 1, step))
+
+        size_axes = dict(_axis_values(b, _range_values) for b in args.sizes)
+        names = sorted(size_axes)
+        sizes = [
+            dict(zip(names, combo))
+            for combo in _itertools.product(*(size_axes[n] for n in names))
+        ]
+        anchors = None
+        if args.anchors:
+            anchor_axes = dict(
+                _axis_values(b, lambda s: [int(x) for x in s.split(",")])
+                for b in args.anchors
+            )
+            if sorted(anchor_axes) != names:
+                raise SystemExit(
+                    f"tune: --anchors parameters {sorted(anchor_axes)} "
+                    f"do not match --sizes parameters {names}"
+                )
+            anchors = [
+                dict(zip(names, combo))
+                for combo in _itertools.product(*(anchor_axes[n] for n in names))
+            ]
+
+        def _ints(text: str) -> list[int]:
+            return [int(x) for x in text.split(",") if x]
+
+        machines = geometry_grid(
+            lines=_ints(args.lines),
+            set_counts=_ints(args.sets),
+            assocs=_ints(args.assocs),
+            l1_latencies=_ints(args.latencies),
+            memory_latencies=_ints(args.mem_latencies),
+        )
+        report = tune(
+            program,
+            args.array,
+            sizes=sizes,
+            machines=machines,
+            anchors=anchors,
+            blocks=tuple(args.block or [8]),
+            max_product=args.max_product,
+            candidates_per_block=args.candidates,
+            top=args.top,
+            trace_store=args.trace_cache,
+            jobs=args.jobs,
+            cache=_engine_cache(args),
+            check_captures=args.check_captures,
+        )
+        captures = report["captures"]
+        print(
+            f"tune: {len(report['candidates'])} candidates x {report['sizes']} sizes "
+            f"x {report['machines']} machines = {report['points']} points "
+            f"({report['points_per_sec']}/s, {report['geometry_classes']} geometry classes)"
+        )
+        print(
+            f"captures: {captures['anchor']} at anchors, {captures['scoring']} "
+            f"during scoring, {captures['avoided']} avoided"
+        )
+        for row in report["top"]:
+            env = ",".join(f"{k}={v}" for k, v in sorted(row["env"].items()))
+            print(
+                f"#{row['rank']} {row['candidate']} {env} {row['machine']} "
+                f"cycles={round(row['cycles'])} mflops={row['mflops']}"
+            )
+        if args.json:
+            import json as _json
+
+            Path(args.json).write_text(_json.dumps(report, indent=2))
         if args.metrics:
             from repro.engine.metrics import METRICS
 

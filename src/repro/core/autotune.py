@@ -1,0 +1,381 @@
+"""Autotuning over (blocking, size, geometry) grids — the parametric payoff.
+
+:func:`tune` drives the whole stack end to end: enumerate legal shackle
+candidates per block size (:mod:`repro.core.search`), sweep each
+candidate over a handful of **anchor** sizes through the engine tier
+(content-addressed cache, worker fan-out), fit one parametric histogram
+family per candidate (:mod:`repro.memsim.parametric`), then price every
+(candidate, size, machine) point from the fitted families — **zero trace
+captures at non-anchor sizes**, by construction: the scoring loop has no
+capture path at all.
+
+Two prunes keep the scoring loop honest at scale, both exact (results
+are bit-identical with pruning disabled):
+
+* **Counter-class collapse** — machines sharing per-level
+  ``(line_shift, num_sets, assoc)`` geometry share one predicted
+  counter set; latency/CPI variants re-price cycles from the shared
+  counters (``autotune.pruned_latency``).
+* **Saturation dominance** — once a geometry's per-level thresholds all
+  exceed the re-assembled histogram maxima, its counters are pure cold
+  misses plus full write-back mass; every other saturated geometry with
+  the same line-size signature is dominated and reuses the counters
+  without another histogram query (``autotune.pruned_dominated``).
+
+The report records ``points``, ``points_per_sec``, per-phase timings,
+capture counts (``captures_avoided`` is what a capture-per-size tier
+would have executed), prune counts, and a deterministic ``top`` list:
+rows sort by cycles with ties broken by (candidate, size, machine)
+enumeration order, so the ranking is identical across ``jobs`` settings
+and store warmth.
+
+Counters: ``autotune.points``, ``autotune.candidates``,
+``autotune.pruned_latency``, ``autotune.pruned_dominated``,
+``autotune.scoring_captures`` (asserted zero by the CI smoke); timer
+``autotune.score``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.metrics import METRICS
+
+
+def geometry_grid(
+    lines=(4, 8),
+    set_counts=(1, 16, 32),
+    assocs=(1, 2, 4, 8),
+    *,
+    l1_latencies=(1,),
+    memory_latencies=(100,),
+    scalar_cpi: float = 4.0,
+    kernel_cpi: float = 1.0,
+):
+    """Single-level L1 machine grid for geometry sweeps.
+
+    Crosses ``lines`` x ``set_counts`` x ``assocs`` x ``l1_latencies`` x
+    ``memory_latencies`` into :class:`~repro.memsim.cost.MachineSpec`
+    instances (``size = line * sets * assoc``, so the derived set count
+    is exactly ``sets``).  Latency axes multiply the machine count
+    without multiplying predicted-counter work — :func:`tune` collapses
+    them onto shared counter classes.
+    """
+    from repro.memsim.cost import MachineSpec
+
+    machines = []
+    for line in sorted(lines):
+        for sets in sorted(set_counts):
+            for assoc in sorted(assocs):
+                for lat in sorted(l1_latencies):
+                    for mem in sorted(memory_latencies):
+                        machines.append(
+                            MachineSpec(
+                                name=f"L{line}s{sets}a{assoc}t{lat}m{mem}",
+                                levels=[("L1", line * sets * assoc, line, assoc, lat)],
+                                memory_latency=mem,
+                                scalar_cpi=scalar_cpi,
+                                kernel_cpi=kernel_cpi,
+                            )
+                        )
+    return machines
+
+
+def _counter_class(machine) -> tuple:
+    """Geometry-only identity of a machine's predicted counters.
+
+    Machines that differ only in latencies, CPIs, clock or level names
+    map to the same class and share one counter prediction.
+    """
+    return tuple(
+        (level.line_shift, level.num_sets, level.assoc)
+        for level in machine.hierarchy().levels
+    )
+
+
+def _saturation_signature(key: tuple, curves: dict):
+    """Dominance signature of a saturated geometry, or ``None``.
+
+    A level is saturated when its miss threshold exceeds the maximum of
+    the quantile curve it reads (every reuse fits), and the write-back
+    query is saturated when the last level's capacity clears both
+    write-back position curves.  A fully saturated geometry's counters
+    depend only on the per-level line shifts — its misses are pure cold
+    misses and its write-backs the full fitted mass — so all such
+    geometries share one counter set.
+    """
+    for shift, num_sets, assoc in key:
+        c = curves[shift]
+        if num_sets == 1:
+            curve, threshold = c["dist"], assoc
+        elif num_sets in c["sets"]:
+            curve, threshold = c["sets"][num_sets], assoc
+        else:
+            curve, threshold = c["dist"], num_sets * assoc
+        if len(curve) and threshold <= curve[-1]:
+            return None
+    last_shift, last_sets, last_assoc = key[-1]
+    c = curves[last_shift]
+    capacity = last_sets * last_assoc
+    for wb_curve in (c["wbup"], c["wbdn"]):
+        if len(wb_curve) and capacity + 1 <= wb_curve[-1]:
+            return None
+    return tuple(shift for shift, _, _ in key)
+
+
+def _machine_cycles(counters, machine, flop_cycles: float) -> float:
+    """Cycles for ``machine`` from a shared counter set.
+
+    Mirrors :meth:`~repro.memsim.replay.ReplayResult.access_cycles` but
+    takes latencies from ``machine`` instead of the counter set's
+    representative, which is what lets latency variants share one
+    prediction.
+    """
+    cycles = 0.0
+    remaining = counters.total_accesses
+    for spec, (_, _, hits, _) in zip(machine.levels, counters.level_stats):
+        cycles += remaining * spec[4]
+        remaining -= hits
+    cycles += counters.memory_accesses * machine.memory_latency
+    cycles += counters.memory_writebacks * machine.memory_latency
+    return cycles + flop_cycles
+
+
+def _candidate_programs(
+    program, array, blocks, *, max_product, per_block, include_original, jobs, cache
+):
+    """Labelled candidate programs: the original plus the best ranked
+    shackles per block size (generated code, ready to simulate)."""
+    from repro.core.blocking import DataBlocking
+    from repro.core.codegen import simplified_code
+    from repro.core.search import search_shackles
+
+    candidates = []
+    if include_original:
+        candidates.append(("orig", program))
+    spec = program.arrays[array]
+    for block in blocks:
+        blocking = DataBlocking.grid(array, spec.ndim, block)
+        ranked = search_shackles(
+            program, blocking, max_product=max_product, jobs=jobs, cache=cache
+        )
+        for rank, result in enumerate(ranked[:per_block]):
+            candidates.append((f"b{block}.{rank}", simplified_code(result.shackle)))
+    return candidates
+
+
+def tune(
+    program,
+    array: str,
+    *,
+    sizes: list[dict],
+    machines: list,
+    anchors: list[dict] | None = None,
+    blocks=(8,),
+    init=None,
+    max_product: int = 1,
+    candidates_per_block: int = 2,
+    include_original: bool = True,
+    top: int = 10,
+    trace_store=None,
+    jobs: int = 1,
+    cache=None,
+    degree: int | None = None,
+    seed: int = 0,
+    check_captures: bool = False,
+) -> dict:
+    """Autotune ``program`` over (blocking, size, geometry) and report.
+
+    ``sizes`` are the environments to score (typically *unseen* — no
+    trace exists for them and none is captured); ``anchors`` default to
+    :func:`~repro.memsim.parametric.anchor_envs` over each parameter's
+    observed range in ``sizes``.  ``machines`` is the geometry grid
+    (see :func:`geometry_grid`).  Blocking candidates come from the
+    shackle search at each spacing in ``blocks``.
+
+    Anchor traces flow through the engine tier (``simulate_sweep`` with
+    ``jobs`` workers and the content-addressed ``cache``), so a warm
+    store or cache re-tunes without executing anything.  Note that with
+    ``jobs > 1`` a memory-only trace store cannot receive worker
+    captures — pass a disk-rooted store to share them (the family fit
+    falls back to serial captures otherwise).
+
+    ``check_captures=True`` raises if the scoring phase captured any
+    trace — the CI proof that non-anchor sizes are priced capture-free.
+
+    Returns the report dict (also summarized by ``repro tune``): grid
+    shape, per-phase seconds, ``points`` / ``points_per_sec``, capture
+    and prune accounting, per-family fit descriptions, and the
+    deterministic ``top`` rows.
+    """
+    from repro.experiments.harness import SweepPoint, random_init, simulate_sweep
+    from repro.memsim.parametric import DEFAULT_DEGREE, anchor_envs, fit_family
+    from repro.memsim.reuse import ladder_requirements
+    from repro.memsim.trace import resolve_trace_store
+
+    if not sizes:
+        raise ValueError("tune needs at least one size environment")
+    if not machines:
+        raise ValueError("tune needs at least one machine")
+    params = tuple(sorted(sizes[0]))
+    for env in sizes:
+        if tuple(sorted(env)) != params:
+            raise ValueError(f"size {env} does not match parameters {params}")
+    degree = DEFAULT_DEGREE if degree is None else degree
+    if anchors is None:
+        ranges = {
+            p: (min(int(e[p]) for e in sizes), max(int(e[p]) for e in sizes))
+            for p in params
+        }
+        anchors = anchor_envs(ranges, degree=degree)
+    store = resolve_trace_store(trace_store)
+
+    t0 = time.perf_counter()
+    candidates = _candidate_programs(
+        program, array, blocks,
+        max_product=max_product, per_block=candidates_per_block,
+        include_original=include_original, jobs=jobs, cache=cache,
+    )
+    METRICS.inc("autotune.candidates", len(candidates))
+    t_candidates = time.perf_counter() - t0
+
+    # Anchor sweep: warm the store through the engine tier.  Any machine
+    # works as the probe — the capture is geometry-independent.
+    captures_start = METRICS.get("memsim.trace_capture")
+    t0 = time.perf_counter()
+    anchor_points = [
+        SweepPoint(
+            prog, env, machines[0], init or random_init,
+            f"tune:{label}", options={"seed": seed, "fidelity": "analytic"},
+        )
+        for label, prog in candidates
+        for env in anchors
+    ]
+    simulate_sweep(anchor_points, jobs=jobs, cache=cache, trace_store=store)
+    t_anchors = time.perf_counter() - t0
+
+    wanted = ladder_requirements([m.hierarchy() for m in machines])
+    line_shifts = sorted(wanted)
+    set_counts = sorted({s for counts in wanted.values() for s in counts})
+    t0 = time.perf_counter()
+    families = [
+        (
+            label,
+            fit_family(
+                prog, anchors, init=init, line_shifts=line_shifts,
+                set_counts=set_counts, trace_store=store, degree=degree, seed=seed,
+            ),
+        )
+        for label, prog in candidates
+    ]
+    t_fit = time.perf_counter() - t0
+    captures_anchor = METRICS.get("memsim.trace_capture") - captures_start
+
+    # Scoring: every (candidate, size, machine) point from the fitted
+    # families.  One curve re-assembly per (candidate, size); one
+    # histogram query per counter class; one cycle formula per machine.
+    classes: dict[tuple, list[int]] = {}
+    for index, machine in enumerate(machines):
+        classes.setdefault(_counter_class(machine), []).append(index)
+    class_keys = sorted(classes)
+
+    captures_mid = METRICS.get("memsim.trace_capture")
+    rows = []
+    pruned_latency = 0
+    pruned_dominated = 0
+    with METRICS.timer("autotune.score"):
+        t0 = time.perf_counter()
+        for label, family in families:
+            flops_map = family.flops_per_statement()
+            for env in sizes:
+                total, curves = family.curves_at(env)
+                counts = family.counts_at(env)
+                flops = sum(counts[l] * flops_map[l] for l in counts)
+                saturated: dict[tuple, object] = {}
+                for key in class_keys:
+                    members = classes[key]
+                    signature = _saturation_signature(key, curves)
+                    counters = saturated.get(signature) if signature else None
+                    if counters is None:
+                        counters = family.predict_from_curves(
+                            total, curves, machines[members[0]]
+                        )
+                        if signature is not None:
+                            saturated[signature] = counters
+                    else:
+                        pruned_dominated += 1
+                    pruned_latency += len(members) - 1
+                    for index in members:
+                        machine = machines[index]
+                        cycles = _machine_cycles(
+                            counters, machine, flops * machine.scalar_cpi
+                        )
+                        seconds = cycles / (machine.clock_mhz * 1e6)
+                        rows.append(
+                            {
+                                "candidate": label,
+                                "env": {p: int(env[p]) for p in params},
+                                "machine": machine.name,
+                                "cycles": float(cycles),
+                                "mflops": round(
+                                    (flops / 1e6) / seconds if seconds > 0 else 0.0, 3
+                                ),
+                                "memory_accesses": counters.memory_accesses,
+                                "writebacks": counters.memory_writebacks,
+                            }
+                        )
+        t_score = time.perf_counter() - t0
+    captures_scoring = METRICS.get("memsim.trace_capture") - captures_mid
+    if check_captures and captures_scoring:
+        raise RuntimeError(
+            f"scoring phase captured {captures_scoring} traces; expected zero"
+        )
+
+    points = len(rows)
+    METRICS.inc("autotune.points", points)
+    METRICS.inc("autotune.pruned_latency", pruned_latency)
+    METRICS.inc("autotune.pruned_dominated", pruned_dominated)
+    METRICS.inc("autotune.scoring_captures", captures_scoring)
+
+    order = {id(row): index for index, row in enumerate(rows)}
+    ranked = sorted(rows, key=lambda row: (row["cycles"], order[id(row)]))
+    best = [dict(row, rank=rank) for rank, row in enumerate(ranked[:top])]
+
+    hull = {
+        p: (min(int(e[p]) for e in anchors), max(int(e[p]) for e in anchors))
+        for p in params
+    }
+    out_of_hull = sum(
+        1
+        for env in sizes
+        if any(not hull[p][0] <= int(env[p]) <= hull[p][1] for p in params)
+    )
+    return {
+        "array": array,
+        "params": list(params),
+        "candidates": [label for label, _ in candidates],
+        "families": {label: family.describe() for label, family in families},
+        "anchors": [{p: int(e[p]) for p in params} for e in anchors],
+        "sizes": len(sizes),
+        "sizes_outside_anchor_hull": out_of_hull,
+        "machines": len(machines),
+        "geometry_classes": len(class_keys),
+        "points": points,
+        "points_per_sec": round(points / t_score, 1) if t_score > 0 else 0.0,
+        "seconds": {
+            "candidates": round(t_candidates, 4),
+            "anchors": round(t_anchors, 4),
+            "fit": round(t_fit, 4),
+            "score": round(t_score, 4),
+        },
+        "captures": {
+            "anchor": int(captures_anchor),
+            "scoring": int(captures_scoring),
+            "avoided": max(0, len(candidates) * len(sizes) - int(captures_anchor)),
+        },
+        "pruned": {
+            "latency_variants": pruned_latency,
+            "dominated": pruned_dominated,
+        },
+        "top": best,
+    }

@@ -242,9 +242,12 @@ def score_candidates(
 
     Generates each candidate's shackled code and simulates it at ``env``
     on every machine in ``machines``, returning candidates sorted by
-    total cycles (cheapest first).  ``fidelity`` selects the memsim tier
-    (``"analytic"`` predicts every geometry from one captured trace per
-    candidate); ``init`` defaults to
+    total cycles (cheapest first).  Ties on predicted cycles break by
+    the candidate's position in ``results`` (the search ranking), so
+    the scored order — and any ``top`` prefix of it — is deterministic
+    and identical across ``jobs`` settings.  ``fidelity`` selects the
+    memsim tier (``"analytic"`` predicts every geometry from one
+    captured trace per candidate); ``init`` defaults to
     :func:`repro.experiments.harness.random_init`.
     """
     from repro.core.codegen import simplified_code
@@ -278,5 +281,6 @@ def score_candidates(
         scored.append(
             ScoredCandidate(result, sum(m.cycles for m in mine), mine)
         )
-    scored.sort(key=lambda s: s.cycles)
+    order = {id(s): index for index, s in enumerate(scored)}
+    scored.sort(key=lambda s: (s.cycles, order[id(s)]))
     return scored

@@ -252,8 +252,12 @@ class MetricsRegistry:
                 for name, label in (
                     ("memsim.histogram_pass", "histograms"),
                     ("memsim.histogram_cache_hit", "hist_cache_hits"),
+                    ("memsim.histogram_cache_miss", "hist_cache_misses"),
+                    ("memsim.ladder_pass", "ladders"),
                     ("memsim.analytic_predict", "predictions"),
                     ("memsim.analytic_exact", "exact"),
+                    ("memsim.conflict_exact", "conflict_exact"),
+                    ("memsim.conflict_fallback", "conflict_fallback"),
                     ("memsim.trace_replay", "replays"),
                 )
                 if counters.get(name)
@@ -265,6 +269,42 @@ class MetricsRegistry:
                 lines.append(
                     "analytic memsim: "
                     + ", ".join(f"{k}={int(v)}" for k, v in analytic.items())
+                )
+            parametric = {
+                label: counters[name]
+                for name, label in (
+                    ("memsim.family_fit", "fits"),
+                    ("memsim.family_cache_hit", "family_cache_hits"),
+                    ("memsim.parametric_predict", "predictions"),
+                    ("memsim.parametric_fallback", "fallbacks"),
+                )
+                if counters.get(name)
+            }
+            if parametric.get("fits") or parametric.get("predictions"):
+                # One-line summary of the size-free tier: geometry
+                # questions at unseen sizes answered from fitted
+                # histogram families (docs/MEMSIM.md).
+                lines.append(
+                    "parametric memsim: "
+                    + ", ".join(f"{k}={int(v)}" for k, v in parametric.items())
+                )
+            autotune = {
+                label: counters[name]
+                for name, label in (
+                    ("autotune.candidates", "candidates"),
+                    ("autotune.points", "points"),
+                    ("autotune.pruned_latency", "pruned_latency"),
+                    ("autotune.pruned_dominated", "pruned_dominated"),
+                    ("autotune.scoring_captures", "scoring_captures"),
+                )
+                if name in counters
+            }
+            if autotune.get("points"):
+                # One-line summary of the autotuner: grid points priced
+                # and how much work the prunes collapsed.
+                lines.append(
+                    "autotune: "
+                    + ", ".join(f"{k}={int(v)}" for k, v in autotune.items())
                 )
         timers = snap["timers"]
         if timers:

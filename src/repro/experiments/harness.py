@@ -216,7 +216,7 @@ def simulate(
             raise AssertionError(f"variant {variant!r} produced wrong results at {env}")
 
     if fidelity == "analytic":
-        from repro.memsim.reuse import predict
+        from repro.memsim.reuse import ladder_requirements, predict
 
         memo_key = (fp, "analytic", _machine_key(machine))
         predicted = store.replay_memo.get(memo_key)
@@ -225,10 +225,13 @@ def simulate(
                 (name, layout.base, layout.base + layout.size)
                 for name, layout in arena.layouts.items()
             ]
-            shifts = {level.line_shift for level in machine.hierarchy().levels}
+            wanted = ladder_requirements([machine.hierarchy()])
             profiles = {
-                shift: store.profile_for(fp, trace.encoded, shift, array_ranges=ranges)
-                for shift in sorted(shifts)
+                shift: store.profile_for(
+                    fp, trace.encoded, shift,
+                    array_ranges=ranges, set_counts=sorted(counts),
+                )
+                for shift, counts in sorted(wanted.items())
             }
             predicted = predict(profiles, machine.hierarchy())
             store.replay_memo[memo_key] = predicted
@@ -247,6 +250,34 @@ def simulate(
     return _finish_measurement(
         variant, env, machine, trace.counts, trace.flops_per_statement,
         replayed, cpi_map, default_cpi, extra_flops, overhead_cycles,
+    )
+
+
+def parametric_measurement(
+    family,
+    env: dict[str, int],
+    machine: MachineSpec,
+    *,
+    variant: str,
+    cpi_map: dict[str, str] | None = None,
+    default_cpi: str = "scalar",
+    extra_flops: float = 0.0,
+    overhead_cycles: float = 0.0,
+) -> Measurement:
+    """A :class:`Measurement` from a fitted parametric family — no trace.
+
+    The fourth fidelity tier: counters come from
+    :meth:`~repro.memsim.parametric.ParametricFamily.predict` and
+    statement counts from the family's fitted count polynomials, so
+    pricing a (size, machine) point is a handful of polynomial
+    evaluations.  Accuracy follows the family's declared tolerance, not
+    the replay exactness contract.
+    """
+    predicted = family.predict(env, machine)
+    predicted.record_metrics()
+    return _finish_measurement(
+        variant, env, machine, family.counts_at(env), family.flops_per_statement(),
+        predicted, cpi_map, default_cpi, extra_flops, overhead_cycles,
     )
 
 

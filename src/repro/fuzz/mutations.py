@@ -43,6 +43,7 @@ class Mutation:
     solver: Callable | None = None  # replaces the fast feasibility engine
     solver_many: Callable | None = None  # replaces the batched family solve
     reuse: Callable | None = None  # replaces the stack-distance computation
+    set_index: Callable | None = None  # replaces the conflict set-index map
 
 
 class _AlwaysLegal:
@@ -179,6 +180,17 @@ def _off_by_one_distances(lines):
     return dist + (dist >= 0)
 
 
+def _bad_set_index(lines, num_sets):
+    """A skewed set-index map: ``(line >> 1) % S`` instead of
+    ``line % S``.  Adjacent lines collapse into the same set, so the
+    set-distance ladder sees a different conflict distribution than the
+    replay engine's real indexing — the exact bug class a wrong
+    address-to-set decomposition would introduce.  Only the memsim
+    oracle's conflict-aware differential can see it: fully-associative
+    counters are untouched."""
+    return (lines >> 1) % num_sets
+
+
 MUTATIONS: dict[str, Mutation] = {
     m.name: m
     for m in (
@@ -223,6 +235,12 @@ MUTATIONS: dict[str, Mutation] = {
             description="stack distances skewed by one (inclusive interval count)",
             target_oracle="memsim",
             reuse=_off_by_one_distances,
+        ),
+        Mutation(
+            name="conflict-bad-set-index",
+            description="set-distance ladder indexes sets by line>>1 instead of line",
+            target_oracle="memsim",
+            set_index=_bad_set_index,
         ),
         Mutation(
             name="solver-bad-prune",

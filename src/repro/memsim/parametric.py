@@ -1,0 +1,679 @@
+"""Parametric histogram families: the size axis made analytic.
+
+The per-trace analytic tier (:mod:`repro.memsim.reuse`) prices any LRU
+geometry from one histogram pass, but every new *problem size* still
+costs a trace capture.  This module removes that axis too: profile a
+small set of **anchor sizes** per (program, blocking, line-size)
+family, fit the histograms as low-degree polynomials in the
+problem-size parameters, and answer geometry questions at *unseen*
+sizes with zero captures.
+
+The representation matters.  Fitting ``misses(C)`` at fixed capacities
+``C`` fails exactly where block-size selection lives: miss counts at a
+fixed capacity have a *knee* where the footprint crosses ``C``, and no
+low-degree polynomial in the size parameters tracks a moving knee.
+What IS polynomial in the size parameters of an affine nest is the
+histogram itself: each reuse family's *distance* (a row is ``~N``
+lines away, the previous matrix sweep ``~N^2``) and each family's
+*mass*.  So a family stores, per line size, the reuse-distance
+histogram collapsed to ``Q`` equal-mass **quantiles**, and fits every
+quantile's distance as a polynomial of the size parameters — plus the
+exactly-polynomial scalars (access total, cold misses, histogram mass,
+write-back mass, per-statement counts).  A prediction re-assembles the
+histogram at the queried size and reads any capacity off it:
+
+    ``misses(C) = cold + mass * #{q : d_q >= C} / Q``
+
+The knee falls out for free — it is where the fitted distance
+polynomials cross ``C``.  Quantization error is bounded by a few
+``mass / Q`` (Q defaults to 512, i.e. ~0.2% of accesses per crossed
+boundary).  The same treatment covers write-back positions and, per
+fitted set count ``S``, the conflict-aware **set-distance ladder**
+(:func:`repro.memsim.reuse.set_distance_histogram`), so parametric
+predictions stay conflict-aware at unseen sizes, not just
+fully-associative.
+
+A fitted :class:`ParametricFamily` is content-addressed in the
+:class:`~repro.memsim.trace.TraceStore` (kind ``memsim.family``)
+beside the per-trace histograms, and :func:`predict_parametric` prices
+any machine at any size from it — no trace, no histogram pass, a few
+polynomial evaluations and one ``searchsorted`` per cache level.
+
+The **tolerance contract**: predictions at held-out sizes *inside the
+anchor hull* are validated against exact replay by
+``tests/memsim/test_parametric.py`` for every kernel module;
+per-level predicted miss counts must stay within
+``family.tolerance(accesses) = max(floor, frac * accesses)`` of
+replay.  Polynomial extrapolation beyond the anchor range is
+explicitly out of contract.  Anchors come from :func:`anchor_envs`
+(log-spaced per parameter, crossed); fit quality is recorded per curve
+in ``family.residuals`` (max absolute residual at the anchors), so a
+family that failed to fit is visible before it is ever trusted.
+
+Counters: ``memsim.family_fit`` (fresh fits), ``memsim.family_cache_hit``
+(families served from the store), ``memsim.parametric_predict``
+(predictions served) and ``memsim.parametric_fallback`` (set-associative
+queries answered from the fully-associative histogram because no ladder
+entry was fitted for that set count).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.metrics import METRICS
+from repro.memsim.reuse import AnalyticResult
+from repro.memsim.trace import (
+    Trace,
+    resolve_trace_store,
+    trace_fingerprint,
+)
+
+DEFAULT_DEGREE = 3
+"""Maximum total degree of the size-parameter fit (triangular nests of
+depth three give cubic counts; deeper growth is rare at paper scales)."""
+
+DEFAULT_QUANTILES = 512
+"""Equal-mass quantiles per histogram curve: quantization error of a
+prediction is a few ``mass / Q`` per capacity crossing (~0.2%)."""
+
+PARAMETRIC_TOLERANCE = 0.08
+"""Declared fractional tolerance of parametric predictions at held-out
+sizes inside the anchor hull: per-level predicted miss counts within
+``max(floor, frac * accesses)`` of exact replay.  Enforced by the
+parametric differential suite for every kernel module."""
+
+PARAMETRIC_TOLERANCE_FLOOR = 64
+"""Absolute slack under the fractional tolerance for tiny traces."""
+
+
+def _monomial_exponents(num_params: int, degree: int) -> np.ndarray:
+    """All exponent tuples of total degree <= ``degree``, sorted."""
+    combos = [
+        exps
+        for exps in itertools.product(range(degree + 1), repeat=num_params)
+        if sum(exps) <= degree
+    ]
+    return np.array(sorted(combos), dtype=np.int64).reshape(-1, max(num_params, 1))
+
+
+def _design_matrix(points: np.ndarray, exponents: np.ndarray, scales: np.ndarray):
+    """Vandermonde-style design matrix of scaled monomials."""
+    scaled = points.astype(np.float64) / scales
+    return np.prod(scaled[:, None, :] ** exponents[None, :, :], axis=2)
+
+
+def _quantile_values(vals: np.ndarray, counts: np.ndarray, quantiles: int) -> np.ndarray:
+    """``quantiles`` equal-mass representative values of a histogram.
+
+    Quantile ``i`` is the histogram value at cumulative mass
+    ``(i + 0.5) / Q`` — the midpoint rule, so a value owning a fraction
+    ``f`` of the mass owns ``~f * Q`` quantiles.  Empty histograms
+    yield zeros (the fitted mass polynomial is ~0 there too).
+    """
+    total = int(np.sum(counts))
+    if total == 0 or len(vals) == 0:
+        return np.zeros(quantiles, dtype=np.float64)
+    cum = np.cumsum(counts)
+    targets = (np.arange(quantiles, dtype=np.float64) + 0.5) / quantiles * total
+    idx = np.searchsorted(cum, targets, side="left")
+    return np.asarray(vals, dtype=np.float64)[np.minimum(idx, len(vals) - 1)]
+
+
+def _count_at_least(sorted_values: np.ndarray, mass: float, threshold: int) -> float:
+    """``mass * #{q : value_q >= threshold} / Q`` of a quantile curve."""
+    if mass <= 0:
+        return 0.0
+    below = int(np.searchsorted(sorted_values, threshold, side="left"))
+    return mass * (len(sorted_values) - below) / len(sorted_values)
+
+
+@dataclass
+class ParametricFamily:
+    """Fitted per-family curves: any geometry at any size, zero captures.
+
+    One instance covers one (program, layout) family at a fixed set of
+    line sizes.  Scalars (access total, per-statement counts, and per
+    line shift the cold-miss, histogram-mass and write-back-mass
+    counts) are plain polynomial coefficient vectors over the scaled
+    size-parameter monomials; histogram shapes (reuse distances,
+    write-back positions, and one set-distance ladder per fitted set
+    count) are ``Q``-quantile curves with one coefficient vector per
+    quantile.
+    """
+
+    params: tuple[str, ...]
+    degree: int
+    quantiles: int
+    exponents: np.ndarray = field(repr=False)   # (M, P)
+    scales: np.ndarray = field(repr=False)      # (P,)
+    anchors: np.ndarray = field(repr=False)     # (A, P) int64
+    line_shifts: tuple[int, ...] = ()
+    total_coef: np.ndarray = field(default=None, repr=False)       # (M,)
+    cold_coef: dict = field(default_factory=dict, repr=False)      # shift -> (M,)
+    mass_coef: dict = field(default_factory=dict, repr=False)      # shift -> (M,)
+    dist_coef: dict = field(default_factory=dict, repr=False)      # shift -> (Q, M)
+    wbup_mass_coef: dict = field(default_factory=dict, repr=False)  # shift -> (M,)
+    wbup_coef: dict = field(default_factory=dict, repr=False)       # shift -> (Q, M)
+    wbdn_mass_coef: dict = field(default_factory=dict, repr=False)  # shift -> (M,)
+    wbdn_coef: dict = field(default_factory=dict, repr=False)       # shift -> (Q, M)
+    set_coef: dict = field(default_factory=dict, repr=False)       # shift -> {S: (Q, M)}
+    labels: tuple[str, ...] = ()
+    counts_coef: np.ndarray = field(default=None, repr=False)      # (L, M)
+    flops: np.ndarray = field(default=None, repr=False)            # (L,)
+    residuals: dict = field(default_factory=dict)
+    tolerance_frac: float = PARAMETRIC_TOLERANCE
+    tolerance_floor: int = PARAMETRIC_TOLERANCE_FLOOR
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _phi(self, env: dict) -> np.ndarray:
+        """Scaled monomial vector of one size environment."""
+        point = np.array([[int(env[p]) for p in self.params]], dtype=np.int64)
+        return _design_matrix(point, self.exponents, self.scales)[0]
+
+    def tolerance(self, accesses: int) -> int:
+        """Declared |predicted - exact| miss slack at ``accesses``."""
+        return max(self.tolerance_floor, int(self.tolerance_frac * accesses))
+
+    def accesses_at(self, env: dict) -> int:
+        """Predicted total trace length at ``env``."""
+        return max(0, int(round(float(self.total_coef @ self._phi(env)))))
+
+    def counts_at(self, env: dict) -> dict[str, int]:
+        """Predicted per-statement execution counts at ``env``."""
+        values = self.counts_coef @ self._phi(env)
+        return {
+            label: max(0, int(round(float(value))))
+            for label, value in zip(self.labels, values)
+        }
+
+    def flops_per_statement(self) -> dict[str, int]:
+        return {label: int(f) for label, f in zip(self.labels, self.flops)}
+
+    def set_counts(self) -> tuple[int, ...]:
+        """Set counts with fitted conflict-aware ladder curves."""
+        return tuple(sorted({s for by in self.set_coef.values() for s in by}))
+
+    def curves_at(self, env: dict) -> tuple[int, dict]:
+        """Re-assemble every histogram once at ``env``.
+
+        Returns ``(total, {shift: curve dict})`` — the warm form
+        :meth:`predict_from_curves` prices whole geometry batches from,
+        so an autotuner evaluating thousands of machines at one size
+        pays for the polynomial evaluations exactly once.  Quantile
+        curves are rounded to integer distances and sorted (fits are
+        near-monotone already; sorting restores the histogram
+        invariant).
+        """
+        phi = self._phi(env)
+        total = max(0, int(round(float(self.total_coef @ phi))))
+
+        def shape(coef: np.ndarray) -> np.ndarray:
+            return np.sort(np.maximum(np.round(coef @ phi), 0.0))
+
+        curves = {}
+        for shift in self.line_shifts:
+            curves[shift] = {
+                "cold": max(0.0, float(self.cold_coef[shift] @ phi)),
+                "mass": max(0.0, float(self.mass_coef[shift] @ phi)),
+                "dist": shape(self.dist_coef[shift]),
+                "wbup_mass": max(0.0, float(self.wbup_mass_coef[shift] @ phi)),
+                "wbup": shape(self.wbup_coef[shift]),
+                "wbdn_mass": max(0.0, float(self.wbdn_mass_coef[shift] @ phi)),
+                "wbdn": shape(self.wbdn_coef[shift]),
+                "sets": {
+                    num_sets: shape(coef)
+                    for num_sets, coef in self.set_coef.get(shift, {}).items()
+                },
+            }
+        return total, curves
+
+    def predict_from_curves(self, total: int, curves: dict, machine) -> AnalyticResult:
+        """Price one machine from pre-evaluated curves (see :meth:`curves_at`)."""
+        METRICS.inc("memsim.parametric_predict")
+        hierarchy = machine.hierarchy() if hasattr(machine, "hierarchy") else machine
+        level_stats: list[tuple[str, int, int, int]] = []
+        upstream = total
+        for level in hierarchy.levels:
+            c = curves[level.line_shift]
+            if level.num_sets == 1:
+                beyond = _count_at_least(c["dist"], c["mass"], level.assoc)
+            elif level.num_sets in c["sets"]:
+                beyond = _count_at_least(
+                    c["sets"][level.num_sets], c["mass"], level.assoc
+                )
+            else:
+                # No ladder curve for this set count: price as a
+                # fully-associative cache of equal capacity (counted, so
+                # sweeps can see how often they leave the fitted grid).
+                METRICS.inc("memsim.parametric_fallback")
+                beyond = _count_at_least(
+                    c["dist"], c["mass"], level.num_sets * level.assoc
+                )
+            misses = min(max(int(round(c["cold"] + beyond)), 0), upstream)
+            level_stats.append((level.name, level.latency, upstream - misses, misses))
+            upstream = misses
+        last = hierarchy.levels[-1]
+        c = curves[last.line_shift]
+        capacity = last.num_sets * last.assoc
+        # The write-back profile is a *signed* difference array over
+        # capacity (+1 where an evicted generation becomes dirty, -1 where
+        # its reuse gap closes); writebacks(C) is its prefix sum, so the
+        # family fits the positive and negative event positions as two
+        # separate quantile curves and subtracts their cumulative counts.
+        up = c["wbup_mass"] - _count_at_least(c["wbup"], c["wbup_mass"], capacity + 1)
+        down = c["wbdn_mass"] - _count_at_least(c["wbdn"], c["wbdn_mass"], capacity + 1)
+        writebacks = min(max(int(round(up - down)), 0), total)
+        return AnalyticResult(
+            level_stats,
+            hierarchy.memory_latency,
+            total,
+            memory_accesses=upstream,
+            memory_writebacks=writebacks,
+            exact=False,
+            per_reference={},
+        )
+
+    def predict(self, env: dict, machine) -> AnalyticResult:
+        """Predicted counters for ``machine`` at (possibly unseen) ``env``."""
+        total, curves = self.curves_at(env)
+        return self.predict_from_curves(total, curves, machine)
+
+    def predict_many(self, env: dict, machines) -> list[AnalyticResult]:
+        """Price a whole batch of machines at one size: one set of
+        polynomial evaluations, then one ``searchsorted`` per level."""
+        total, curves = self.curves_at(env)
+        return [self.predict_from_curves(total, curves, m) for m in machines]
+
+    def describe(self) -> str:
+        worst = max(self.residuals.values()) if self.residuals else 0.0
+        return (
+            f"family({'x'.join(self.params)}, degree={self.degree}, "
+            f"anchors={len(self.anchors)}, shifts={list(self.line_shifts)}, "
+            f"set_counts={list(self.set_counts())}, quantiles={self.quantiles}, "
+            f"max_fit_residual={worst:.3g})"
+        )
+
+
+def predict_parametric(family: ParametricFamily, env: dict, machine) -> AnalyticResult:
+    """Module-level alias of :meth:`ParametricFamily.predict`."""
+    return family.predict(env, machine)
+
+
+# -- anchor selection --------------------------------------------------------------
+
+
+def anchor_envs(
+    ranges: dict[str, tuple[int, int]],
+    *,
+    per_param: int | None = None,
+    degree: int = DEFAULT_DEGREE,
+    dodge: int = 8,
+) -> list[dict]:
+    """Log-spaced anchor sizes over per-parameter ranges, crossed.
+
+    Each parameter gets ``per_param`` (default ``degree + 2``: one more
+    anchor than a degree-``degree`` fit strictly needs, so the extra
+    point exposes a bad fit as a residual instead of vanishing into
+    interpolation) distinct integer values log-spaced across its
+    ``(lo, hi)`` range; anchors are the cross product.
+
+    ``dodge`` nudges anchors off multiples of that stride (default 8,
+    i.e. one cache line of doubles): at stride-aligned sizes, array
+    columns alias into a few cache sets and the set-distance histogram
+    *resonates* — conflict misses jump by an arithmetic (``N mod S``)
+    effect that no smooth fit over sizes can represent.  One resonant
+    anchor poisons the least-squares fit everywhere, so anchors stay off
+    the resonance lattice; predictions AT resonant sizes are likewise
+    outside the smooth model class (use the exact per-trace ladder
+    there).  ``dodge=0`` disables the adjustment.
+    """
+    per = per_param if per_param is not None else degree + 2
+    axes: dict[str, list[int]] = {}
+    for name in sorted(ranges):
+        lo, hi = ranges[name]
+        if lo < 1 or hi < lo:
+            raise ValueError(f"bad anchor range for {name}: ({lo}, {hi})")
+        raw = np.exp(np.linspace(np.log(lo), np.log(hi), per))
+        vals = set()
+        for v in (int(round(x)) for x in raw):
+            if dodge > 1 and v % dodge == 0 and v > dodge:
+                v = v + 1 if v + 1 <= hi else v - 1
+            vals.add(v)
+        axes[name] = sorted(vals)
+    names = list(axes)
+    return [dict(zip(names, combo)) for combo in itertools.product(*axes.values())]
+
+
+# -- fitting -----------------------------------------------------------------------
+
+
+def family_fingerprint(
+    program, params, anchors, line_shifts, set_counts, degree,
+    quantiles: int = DEFAULT_QUANTILES,
+) -> str:
+    """Content address of one fitted family in the trace store."""
+    from repro.engine.jobs import fingerprint, program_source
+    from repro.memsim.trace import PARAMETRIC_SCHEMA_VERSION
+
+    payload = {
+        "program": program_source(program),
+        "params": list(params),
+        "anchors": sorted(tuple(int(env[p]) for p in params) for env in anchors),
+        "line_shifts": sorted(int(s) for s in line_shifts),
+        "set_counts": sorted(int(s) for s in set_counts),
+        "degree": int(degree),
+        "quantiles": int(quantiles),
+        "schema": PARAMETRIC_SCHEMA_VERSION,
+    }
+    return fingerprint("memsim.family", payload)
+
+
+def _capture_anchor(program, env, init_fn, seed, store, fp, arena):
+    """Capture one anchor trace into the store (the only capture path
+    the parametric tier has — everything after fitting is capture-free)."""
+    from repro.backends import compile_program
+
+    buf = arena.allocate()
+    rng = np.random.default_rng(seed)
+    if init_fn is not None:
+        init_fn(arena, buf, rng)
+    else:
+        buf[:] = rng.random(arena.total_size)
+    with METRICS.timer("memsim.run"):
+        result = compile_program(program, arena, trace="capture").run(buf)
+    trace = Trace(result.trace, dict(result.counts), dict(result.flops_per_statement))
+    store.put(fp, trace)
+    METRICS.inc("memsim.trace_capture")
+    return trace
+
+
+def _effective_degree(anchors: np.ndarray, requested: int) -> int:
+    """Largest usable total degree for the given anchor grid.
+
+    Bounded by the requested degree, by the number of distinct values
+    each parameter takes (a parameter seen at ``k`` values supports
+    degree ``k - 1``), and by the anchor count (at least as many
+    anchors as monomials, so the fit is determined).
+    """
+    degree = max(0, int(requested))
+    distinct = min(len(set(col.tolist())) for col in anchors.T)
+    degree = min(degree, distinct - 1)
+    while degree > 0 and len(_monomial_exponents(anchors.shape[1], degree)) > len(anchors):
+        degree -= 1
+    return degree
+
+
+def fit_family(
+    program,
+    anchors: list[dict],
+    *,
+    init=None,
+    line_shifts=(2, 3),
+    set_counts=(),
+    trace_store=None,
+    degree: int = DEFAULT_DEGREE,
+    quantiles: int = DEFAULT_QUANTILES,
+    seed: int = 0,
+    tolerance_frac: float = PARAMETRIC_TOLERANCE,
+    tolerance_floor: int = PARAMETRIC_TOLERANCE_FLOOR,
+    capture: bool = True,
+) -> ParametricFamily:
+    """Fit (or load) the parametric family of ``program`` over ``anchors``.
+
+    Anchor traces are served from ``trace_store`` when warm (e.g. after
+    an engine-tier anchor sweep) and captured otherwise; ``capture=False``
+    turns a cold anchor into an error instead, for callers that must
+    prove zero captures.  The fitted family is content-addressed in the
+    same store, so re-fitting the same family is a cache hit.
+    """
+    from repro.memsim.layout import Arena
+
+    if not anchors:
+        raise ValueError("fit_family needs at least one anchor environment")
+    store = resolve_trace_store(trace_store)
+    params = tuple(sorted(anchors[0]))
+    anchor_mat = np.array(
+        sorted(tuple(int(env[p]) for p in params) for env in anchors),
+        dtype=np.int64,
+    )
+    if len({tuple(row) for row in anchor_mat.tolist()}) != len(anchor_mat):
+        raise ValueError("duplicate anchor environments")
+    line_shifts = tuple(sorted({int(s) for s in line_shifts}))
+    set_counts = tuple(sorted({int(s) for s in set_counts if int(s) > 1}))
+
+    family_fp = family_fingerprint(
+        program, params, anchors, line_shifts, set_counts, degree, quantiles
+    )
+    cached = store.get_family(family_fp)
+    if cached is not None:
+        return cached
+
+    degree = _effective_degree(anchor_mat, degree)
+    exponents = _monomial_exponents(len(params), degree)
+    scales = np.maximum(anchor_mat.max(axis=0).astype(np.float64), 1.0)
+    design = _design_matrix(anchor_mat, exponents, scales)
+
+    with METRICS.timer("memsim.family_fit"):
+        # Gather every curve's value at every anchor.
+        num_anchors = len(anchor_mat)
+        totals = np.zeros(num_anchors)
+        colds = {s: np.zeros(num_anchors) for s in line_shifts}
+        masses = {s: np.zeros(num_anchors) for s in line_shifts}
+        dists = {s: np.zeros((num_anchors, quantiles)) for s in line_shifts}
+        wbup_masses = {s: np.zeros(num_anchors) for s in line_shifts}
+        wbups = {s: np.zeros((num_anchors, quantiles)) for s in line_shifts}
+        wbdn_masses = {s: np.zeros(num_anchors) for s in line_shifts}
+        wbdns = {s: np.zeros((num_anchors, quantiles)) for s in line_shifts}
+        setdists = {
+            s: {S: np.zeros((num_anchors, quantiles)) for S in set_counts}
+            for s in line_shifts
+        }
+        labels: tuple[str, ...] | None = None
+        flops: np.ndarray | None = None
+        counts_rows = []
+        for a, row in enumerate(anchor_mat):
+            env = dict(zip(params, (int(v) for v in row)))
+            arena = Arena(program, env)
+            fp = trace_fingerprint(program, env, arena)
+            trace = store.get(fp)
+            if trace is None:
+                if not capture:
+                    raise RuntimeError(
+                        f"anchor {env} has no stored trace and capture is disabled"
+                    )
+                trace = _capture_anchor(program, env, init, seed, store, fp, arena)
+            if labels is None:
+                labels = tuple(trace.counts)
+                flops = np.array(
+                    [trace.flops_per_statement[l] for l in labels], dtype=np.int64
+                )
+            counts_rows.append([trace.counts.get(l, 0) for l in labels])
+            ranges = [
+                (name, layout.base, layout.base + layout.size)
+                for name, layout in arena.layouts.items()
+            ]
+            totals[a] = len(trace.encoded)
+            for shift in line_shifts:
+                profile = store.profile_for(
+                    fp, lambda t=trace: t.encoded, shift,
+                    array_ranges=ranges, set_counts=set_counts,
+                )
+                colds[shift][a] = profile.cold
+                masses[shift][a] = int(np.sum(profile.dist_counts))
+                dists[shift][a] = _quantile_values(
+                    profile.dist_vals, profile.dist_counts, quantiles
+                )
+                rising = profile.wb_delta > 0
+                wbup_masses[shift][a] = int(np.sum(profile.wb_delta[rising]))
+                wbups[shift][a] = _quantile_values(
+                    profile.wb_pos[rising], profile.wb_delta[rising], quantiles
+                )
+                wbdn_masses[shift][a] = int(-np.sum(profile.wb_delta[~rising]))
+                wbdns[shift][a] = _quantile_values(
+                    profile.wb_pos[~rising], -profile.wb_delta[~rising], quantiles
+                )
+                for S in set_counts:
+                    vals, counts = profile.set_dist[S]
+                    setdists[shift][S][a] = _quantile_values(vals, counts, quantiles)
+
+        residuals: dict[str, float] = {}
+
+        def fit(name: str, values: np.ndarray) -> np.ndarray:
+            """Least-squares coefficients (curve-major) + residual record."""
+            target = values.reshape(num_anchors, -1)
+            coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+            residuals[name] = float(np.abs(design @ coef - target).max())
+            return np.ascontiguousarray(coef.T)  # (n_curves, M)
+
+        total_coef = fit("total", totals)[0]
+        counts_coef = fit("counts", np.array(counts_rows, dtype=np.float64))
+        cold_coef = {s: fit(f"cold@{s}", colds[s])[0] for s in line_shifts}
+        mass_coef = {s: fit(f"mass@{s}", masses[s])[0] for s in line_shifts}
+        dist_coef = {s: fit(f"dist@{s}", dists[s]) for s in line_shifts}
+        wbup_mass_coef = {s: fit(f"wbup_mass@{s}", wbup_masses[s])[0] for s in line_shifts}
+        wbup_coef = {s: fit(f"wbup@{s}", wbups[s]) for s in line_shifts}
+        wbdn_mass_coef = {s: fit(f"wbdn_mass@{s}", wbdn_masses[s])[0] for s in line_shifts}
+        wbdn_coef = {s: fit(f"wbdn@{s}", wbdns[s]) for s in line_shifts}
+        set_coef = {
+            s: {S: fit(f"set{S}@{s}", setdists[s][S]) for S in set_counts}
+            for s in line_shifts
+        }
+
+    family = ParametricFamily(
+        params=params,
+        degree=degree,
+        quantiles=quantiles,
+        exponents=exponents,
+        scales=scales,
+        anchors=anchor_mat,
+        line_shifts=line_shifts,
+        total_coef=total_coef,
+        cold_coef=cold_coef,
+        mass_coef=mass_coef,
+        dist_coef=dist_coef,
+        wbup_mass_coef=wbup_mass_coef,
+        wbup_coef=wbup_coef,
+        wbdn_mass_coef=wbdn_mass_coef,
+        wbdn_coef=wbdn_coef,
+        set_coef=set_coef,
+        labels=labels or (),
+        counts_coef=counts_coef,
+        flops=flops if flops is not None else np.zeros(0, dtype=np.int64),
+        residuals=residuals,
+        tolerance_frac=tolerance_frac,
+        tolerance_floor=tolerance_floor,
+    )
+    METRICS.inc("memsim.family_fit")
+    store.put_family(family_fp, family)
+    return family
+
+
+# -- (de)serialization -------------------------------------------------------------
+
+
+def family_to_arrays(family: ParametricFamily) -> dict:
+    """Flat ``np.savez``-ready form of a fitted family."""
+    out = {
+        "params": np.array(list(family.params)),
+        "degree": np.int64(family.degree),
+        "quantiles": np.int64(family.quantiles),
+        "exponents": family.exponents,
+        "scales": family.scales,
+        "anchors": family.anchors,
+        "line_shifts": np.array(list(family.line_shifts), dtype=np.int64),
+        "total_coef": family.total_coef,
+        "labels": np.array(list(family.labels)),
+        "counts_coef": family.counts_coef,
+        "flops": family.flops,
+        "resid_names": np.array(sorted(family.residuals)),
+        "resid_vals": np.array(
+            [family.residuals[k] for k in sorted(family.residuals)], dtype=np.float64
+        ),
+        "tol_frac": np.float64(family.tolerance_frac),
+        "tol_floor": np.int64(family.tolerance_floor),
+    }
+    for shift in family.line_shifts:
+        out[f"s{shift}_cold"] = family.cold_coef[shift]
+        out[f"s{shift}_mass"] = family.mass_coef[shift]
+        out[f"s{shift}_dist"] = family.dist_coef[shift]
+        out[f"s{shift}_wbup_mass"] = family.wbup_mass_coef[shift]
+        out[f"s{shift}_wbup"] = family.wbup_coef[shift]
+        out[f"s{shift}_wbdn_mass"] = family.wbdn_mass_coef[shift]
+        out[f"s{shift}_wbdn"] = family.wbdn_coef[shift]
+        sets = sorted(family.set_coef.get(shift, {}))
+        out[f"s{shift}_sets"] = np.array(sets, dtype=np.int64)
+        for num_sets in sets:
+            out[f"s{shift}_set{num_sets}"] = family.set_coef[shift][num_sets]
+    return out
+
+
+def family_from_arrays(data) -> ParametricFamily:
+    """Inverse of :func:`family_to_arrays` (raises ``KeyError`` on gaps)."""
+    line_shifts = tuple(
+        int(s) for s in np.asarray(data["line_shifts"], dtype=np.int64).tolist()
+    )
+    cold_coef, mass_coef, dist_coef, set_coef = {}, {}, {}, {}
+    wbup_mass_coef, wbup_coef, wbdn_mass_coef, wbdn_coef = {}, {}, {}, {}
+    for shift in line_shifts:
+        cold_coef[shift] = np.asarray(data[f"s{shift}_cold"], dtype=np.float64)
+        mass_coef[shift] = np.asarray(data[f"s{shift}_mass"], dtype=np.float64)
+        dist_coef[shift] = np.asarray(data[f"s{shift}_dist"], dtype=np.float64)
+        wbup_mass_coef[shift] = np.asarray(data[f"s{shift}_wbup_mass"], dtype=np.float64)
+        wbup_coef[shift] = np.asarray(data[f"s{shift}_wbup"], dtype=np.float64)
+        wbdn_mass_coef[shift] = np.asarray(data[f"s{shift}_wbdn_mass"], dtype=np.float64)
+        wbdn_coef[shift] = np.asarray(data[f"s{shift}_wbdn"], dtype=np.float64)
+        set_coef[shift] = {
+            int(S): np.asarray(data[f"s{shift}_set{int(S)}"], dtype=np.float64)
+            for S in np.asarray(data[f"s{shift}_sets"], dtype=np.int64).tolist()
+        }
+    residuals = dict(
+        zip(
+            [str(s) for s in data["resid_names"].tolist()],
+            np.asarray(data["resid_vals"], dtype=np.float64).tolist(),
+        )
+    )
+    return ParametricFamily(
+        params=tuple(str(s) for s in data["params"].tolist()),
+        degree=int(data["degree"]),
+        quantiles=int(data["quantiles"]),
+        exponents=np.asarray(data["exponents"], dtype=np.int64),
+        scales=np.asarray(data["scales"], dtype=np.float64),
+        anchors=np.asarray(data["anchors"], dtype=np.int64),
+        line_shifts=line_shifts,
+        total_coef=np.asarray(data["total_coef"], dtype=np.float64),
+        cold_coef=cold_coef,
+        mass_coef=mass_coef,
+        dist_coef=dist_coef,
+        wbup_mass_coef=wbup_mass_coef,
+        wbup_coef=wbup_coef,
+        wbdn_mass_coef=wbdn_mass_coef,
+        wbdn_coef=wbdn_coef,
+        set_coef=set_coef,
+        labels=tuple(str(s) for s in data["labels"].tolist()),
+        counts_coef=np.asarray(data["counts_coef"], dtype=np.float64),
+        flops=np.asarray(data["flops"], dtype=np.int64),
+        residuals=residuals,
+        tolerance_frac=float(data["tol_frac"]),
+        tolerance_floor=int(data["tol_floor"]),
+    )
+
+
+def family_checksum(family: ParametricFamily) -> str:
+    """Integrity checksum over everything a stored family round-trips."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    arrays = family_to_arrays(family)
+    for key in sorted(arrays):
+        value = np.asarray(arrays[key])
+        digest.update(key.encode())
+        if value.dtype.kind in ("U", "S"):
+            digest.update("\x00".join(str(v) for v in value.reshape(-1).tolist()).encode())
+        else:
+            digest.update(np.ascontiguousarray(value, dtype=np.float64).tobytes())
+    return digest.hexdigest()[:16]

@@ -36,23 +36,37 @@ contributes one write-back exactly for capacities ``M < C <= V``, where
 ``M`` is the largest gap since the generation's last write.  These
 ``(M, V]`` intervals accumulate into a difference array over ``C``.
 
-Set-associative geometries use the Smith/Hill binomial correction —
-``P(hit | d) = P[Binomial(d, 1/S) <= A-1]`` for ``S`` sets of ``A``
-ways — and deeper levels of a multi-level hierarchy use the standalone
-stack-inclusion approximation (level ``i`` misses ≈ misses of a
-standalone cache of level ``i``'s geometry over the full trace).  Both
-are approximations with a declared tolerance
-(:data:`ASSOC_TOLERANCE`); fully-associative L1 hit/miss counts are
-bit-exact in any hierarchy, and *all* counters (including write-backs)
-are bit-exact for single-level fully-associative geometries — the
-differential suite (``tests/memsim/test_reuse_differential.py``)
-enforces exactly that contract against the replay engine.
+Set-associative geometries use the *conflict-aware set-distance
+ladder*: an LRU cache of ``S`` sets decomposes exactly into ``S``
+independent fully-associative caches of ``A`` lines, one per residue
+class of the set-index function, so the *set-local* stack distance
+(distinct same-set lines since the previous access to the line) decides
+each access — ``misses(S, A) = cold + sum(set_hist[S][d] for d >= A)``,
+exact for any ``S``, from one extra distance pass per requested set
+count (see :func:`set_distance_histogram`).  When a profile lacks the
+ladder entry for a geometry's set count the Smith/Hill binomial
+correction — ``P(hit | d) = P[Binomial(d, 1/S) <= A-1]`` — remains as
+the fallback, and deeper levels of a multi-level hierarchy use the
+standalone stack-inclusion approximation (level ``i`` misses ≈ misses
+of a standalone cache of level ``i``'s geometry over the full trace).
+The fallback and multi-level paths are approximations with a declared
+tolerance (:data:`ASSOC_TOLERANCE`); fully-associative L1 hit/miss
+counts are bit-exact in any hierarchy, single-level set-associative
+miss counts are bit-exact whenever the ladder entry is present, and
+*all* counters (including write-backs) are bit-exact for single-level
+fully-associative geometries — the differential suite
+(``tests/memsim/test_reuse_differential.py``) enforces exactly that
+contract against the replay engine.
 
 Counters: ``memsim.histogram_pass`` (fresh profile computations),
-``memsim.analytic_predict`` / ``memsim.analytic_exact`` (predictions
-served, and how many carried the bit-exactness guarantee), and
-``memsim.analytic_hits`` / ``memsim.analytic_misses`` (predicted L1
-traffic, mirroring ``memsim.accesses`` for the replay tier).
+``memsim.ladder_pass`` (fresh set-distance ladder levels),
+``memsim.conflict_exact`` / ``memsim.conflict_fallback``
+(set-associative predictions answered from the ladder vs the binomial
+fallback), ``memsim.analytic_predict`` / ``memsim.analytic_exact``
+(predictions served, and how many carried the bit-exactness
+guarantee), and ``memsim.analytic_hits`` / ``memsim.analytic_misses``
+(predicted L1 traffic, mirroring ``memsim.accesses`` for the replay
+tier).
 """
 
 from __future__ import annotations
@@ -194,6 +208,77 @@ def stack_distances(lines: np.ndarray, engine: str | None = None) -> np.ndarray:
     return distances_from_prev(_prev_indices(lines), engine=engine)
 
 
+def default_set_index(lines: np.ndarray, num_sets: int) -> np.ndarray:
+    """The replay engine's set-index function: ``line mod num_sets``."""
+    return lines % np.int64(num_sets)
+
+
+def set_distance_histogram(
+    collapsed: np.ndarray,
+    prev: np.ndarray,
+    run_hits: int,
+    num_sets: int,
+    *,
+    engine: str | None = None,
+    set_index_fn=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of *set-local* stack distances at one set count.
+
+    A set-associative LRU cache of ``S`` sets is exactly ``S``
+    independent fully-associative caches over the residue classes of the
+    set-index function, so access ``t`` hits an ``A``-way cache iff
+    fewer than ``A`` distinct *same-set* lines were touched since the
+    previous access to its line.  Grouping the collapsed line stream
+    stably by set residue makes every residue class a contiguous block
+    whose ``prev`` pointers stay inside the block; the standard
+    dominance-counting distance kernel then computes all set-local
+    distances in one pass, because cross-block pairs can never satisfy
+    ``prev[s] > prev[t]``.
+
+    Returns the sparse ``(vals, counts)`` histogram of finite set-local
+    distances (cold accesses are cold at every set count and are not
+    duplicated here).  ``set_index_fn`` substitutes the set-index
+    computation — only the planted-bug mutations use it.
+    """
+    METRICS.inc("memsim.ladder_pass")
+    index_fn = set_index_fn or default_set_index
+    residues = np.asarray(index_fn(collapsed, num_sets), dtype=np.int64)
+    order = np.argsort(residues, kind="stable")
+    inverse = np.empty(len(collapsed), dtype=np.int64)
+    inverse[order] = np.arange(len(collapsed), dtype=np.int64)
+    prev_sorted = prev[order]
+    prev_local = np.where(
+        prev_sorted >= 0, inverse[np.clip(prev_sorted, 0, None)], np.int64(-1)
+    )
+    dist = distances_from_prev(prev_local, engine=engine)
+    finite = dist >= 0
+    vals, counts = np.unique(dist[finite], return_counts=True)
+    vals = vals.astype(np.int64)
+    counts = counts.astype(np.int64)
+    if run_hits:
+        if len(vals) and vals[0] == 0:
+            counts[0] += run_hits
+        else:
+            vals = np.concatenate(([np.int64(0)], vals))
+            counts = np.concatenate(([np.int64(run_hits)], counts))
+    return vals, counts
+
+
+def _collapse_lines(encoded: np.ndarray, line_shift: int):
+    """Run-collapsed line stream of an encoded trace plus its ``prev``.
+
+    Shared by the main histogram pass and by on-demand ladder extension
+    (:meth:`LineProfile.ensure_set_counts`).
+    """
+    lines = (encoded >> 1) >> line_shift
+    keep = np.concatenate(([True], lines[1:] != lines[:-1]))
+    starts = np.flatnonzero(keep)
+    collapsed = lines[starts]
+    run_hits = int(len(lines) - len(starts))
+    prev, grouped = _prev_and_order(collapsed)
+    return starts, collapsed, run_hits, prev, grouped
+
+
 # -- the per-line-size profile -----------------------------------------------------
 
 
@@ -206,7 +291,10 @@ class LineProfile:
     histogram (``dist_vals``/``dist_counts``), cold-miss and total
     counts, the write-back difference array over capacity
     (``wb_pos``/``wb_delta``), a log2-bucketed reuse-*interval*
-    histogram, and the per-array (per-reference) attribution.
+    histogram, the per-array (per-reference) attribution, and the
+    conflict-aware *set-distance ladder* (``set_dist``): set-local
+    stack-distance histograms keyed by set count, each making
+    set-associative predictions at that set count exact.
     """
 
     line_shift: int
@@ -221,11 +309,46 @@ class LineProfile:
     array_total: np.ndarray = field(default=None, repr=False)
     array_cold: np.ndarray = field(default=None, repr=False)
     array_dist: np.ndarray = field(default=None, repr=False)  # (aid, dist, count) rows
+    set_dist: dict = field(default_factory=dict, repr=False)  # num_sets -> (vals, counts)
 
     def misses_at(self, capacity_lines: int) -> int:
         """Exact fully-associative LRU misses at ``capacity_lines``."""
         cut = np.searchsorted(self.dist_vals, capacity_lines)
         return int(self.cold + self.dist_counts[cut:].sum())
+
+    def set_misses_at(self, num_sets: int, assoc: int) -> int:
+        """Exact set-associative LRU misses from the ladder entry.
+
+        Raises ``KeyError`` when ``num_sets`` has no ladder entry — use
+        :func:`standalone_misses` for the fallback-capable path.
+        """
+        vals, counts = self.set_dist[num_sets]
+        cut = np.searchsorted(vals, assoc)
+        return int(self.cold + counts[cut:].sum())
+
+    def ensure_set_counts(
+        self, encoded, set_counts, *, engine: str | None = None, set_index_fn=None
+    ) -> tuple[int, ...]:
+        """Extend the ladder with any missing set counts, in place.
+
+        ``encoded`` may be a callable returning the encoded trace so a
+        fully-stocked profile never loads it.  Returns the set counts
+        actually computed (empty when the ladder already covered them).
+        """
+        missing = sorted(
+            int(s) for s in set_counts if int(s) > 1 and int(s) not in self.set_dist
+        )
+        if not missing:
+            return ()
+        data = encoded() if callable(encoded) else encoded
+        with METRICS.timer("memsim.histogram"):
+            _, collapsed, run_hits, prev, _ = _collapse_lines(data, self.line_shift)
+            for num_sets in missing:
+                self.set_dist[num_sets] = set_distance_histogram(
+                    collapsed, prev, run_hits, num_sets,
+                    engine=engine, set_index_fn=set_index_fn,
+                )
+        return tuple(missing)
 
     def writebacks_at(self, capacity_lines: int) -> int:
         """Exact fully-associative LRU write-backs at ``capacity_lines``."""
@@ -325,14 +448,18 @@ def compute_profile(
     array_ranges=None,
     distance_fn=None,
     engine: str | None = None,
+    set_counts=(),
+    set_index_fn=None,
 ) -> LineProfile:
     """One histogram pass over an encoded trace at one line size.
 
     ``array_ranges`` is an optional list of ``(name, base, end)`` arena
     address ranges for per-array attribution (a line straddling a
     boundary attributes to the array holding its first address).
-    ``distance_fn`` substitutes the stack-distance computation — only
-    the planted-bug mutations use it.
+    ``set_counts`` requests conflict-aware set-distance ladder entries
+    (one extra distance pass each).  ``distance_fn`` and
+    ``set_index_fn`` substitute the stack-distance / set-index
+    computations — only the planted-bug mutations use them.
     """
     METRICS.inc("memsim.histogram_pass")
     with METRICS.timer("memsim.histogram"):
@@ -353,6 +480,13 @@ def compute_profile(
         run_hits = int(n - len(starts))
 
         prev, grouped = _prev_and_order(collapsed)
+        set_dist = {
+            int(s): set_distance_histogram(
+                collapsed, prev, run_hits, int(s),
+                engine=engine, set_index_fn=set_index_fn,
+            )
+            for s in sorted({int(s) for s in set_counts if int(s) > 1})
+        }
         if distance_fn is not None:
             dist = np.asarray(distance_fn(collapsed), dtype=np.int64)
         else:
@@ -434,6 +568,7 @@ def compute_profile(
             array_total=array_total,
             array_cold=array_cold,
             array_dist=array_dist,
+            set_dist=set_dist,
         )
 
 
@@ -463,11 +598,16 @@ def _assoc_hit_probability(dists: np.ndarray, num_sets: int, assoc: int) -> np.n
 def standalone_misses(profile: LineProfile, num_sets: int, assoc: int) -> int:
     """Predicted misses of one standalone cache level over the full trace.
 
-    Exact for ``num_sets == 1`` (fully associative); the binomial
+    Exact for ``num_sets == 1`` (fully associative) and for any set
+    count with a ladder entry in the profile; the Smith/Hill binomial
     correction otherwise.
     """
     if num_sets == 1:
         return profile.misses_at(assoc)
+    if num_sets in profile.set_dist:
+        METRICS.inc("memsim.conflict_exact")
+        return profile.set_misses_at(num_sets, assoc)
+    METRICS.inc("memsim.conflict_fallback")
     hit_p = _assoc_hit_probability(profile.dist_vals, num_sets, assoc)
     expected_hits = float(np.dot(hit_p, profile.dist_counts.astype(np.float64)))
     return int(round(profile.total - expected_hits))
@@ -553,12 +693,143 @@ def predict_machine(
     return predict(profiles, machine.hierarchy())
 
 
+def ladder_requirements(hierarchies) -> dict[int, set[int]]:
+    """``line_shift -> set counts`` the conflict-aware model needs.
+
+    Collects every set-associative (``num_sets > 1``) level across the
+    given hierarchies, so callers can request exactly the ladder entries
+    their geometry sweep will query.
+    """
+    needs: dict[int, set[int]] = {}
+    for hierarchy in hierarchies:
+        for level in hierarchy.levels:
+            needs.setdefault(level.line_shift, set())
+            if level.num_sets > 1:
+                needs[level.line_shift].add(level.num_sets)
+    return needs
+
+
+def predict_many(
+    profiles: dict[int, LineProfile], machines
+) -> list[AnalyticResult]:
+    """Price a whole batch of machine geometries in one NumPy pass.
+
+    Equivalent to ``[predict_machine(profiles, m) for m in machines]``
+    (numerically identical results) but batched: all fully-associative
+    and ladder lookups of a line size resolve through a handful of
+    vectorized ``searchsorted`` calls, and each distinct Smith/Hill
+    fallback geometry is evaluated once no matter how many machines
+    share it.  This is what makes autotuner sweeps over thousands of
+    geometries cheap.  ``machines`` may mix :class:`MachineSpec`-like
+    objects and bare :class:`~repro.memsim.hierarchy.MemoryHierarchy`
+    instances.
+    """
+    hierarchies = [
+        machine.hierarchy() if hasattr(machine, "hierarchy") else machine
+        for machine in machines
+    ]
+
+    # Batch the level-miss queries by kind.
+    fa_queries: dict[int, list[int]] = {}        # shift -> capacities
+    ladder_queries: dict[tuple[int, int], list[int]] = {}  # (shift, S) -> assocs
+    fallback: dict[tuple[int, int, int], int] = {}  # (shift, S, A) -> misses
+    wb_queries: dict[int, list[int]] = {}        # shift -> last-level capacities
+    for hierarchy in hierarchies:
+        for level in hierarchy.levels:
+            profile = profiles[level.line_shift]
+            if level.num_sets == 1:
+                fa_queries.setdefault(level.line_shift, []).append(level.assoc)
+            elif level.num_sets in profile.set_dist:
+                ladder_queries.setdefault(
+                    (level.line_shift, level.num_sets), []
+                ).append(level.assoc)
+            else:
+                fallback[(level.line_shift, level.num_sets, level.assoc)] = 0
+        last = hierarchy.levels[-1]
+        wb_queries.setdefault(last.line_shift, []).append(last.num_sets * last.assoc)
+
+    fa_answers: dict[tuple[int, int], int] = {}
+    for shift, caps in fa_queries.items():
+        profile = profiles[shift]
+        suffix = np.concatenate(
+            (np.cumsum(profile.dist_counts[::-1])[::-1], [np.int64(0)])
+        )
+        cuts = np.searchsorted(profile.dist_vals, np.asarray(caps, dtype=np.int64))
+        for cap, cut in zip(caps, cuts):
+            fa_answers[(shift, cap)] = int(profile.cold + suffix[cut])
+
+    ladder_answers: dict[tuple[int, int, int], int] = {}
+    for (shift, num_sets), assocs in ladder_queries.items():
+        profile = profiles[shift]
+        vals, counts = profile.set_dist[num_sets]
+        suffix = np.concatenate((np.cumsum(counts[::-1])[::-1], [np.int64(0)]))
+        cuts = np.searchsorted(vals, np.asarray(assocs, dtype=np.int64))
+        for assoc, cut in zip(assocs, cuts):
+            ladder_answers[(shift, num_sets, assoc)] = int(profile.cold + suffix[cut])
+            METRICS.inc("memsim.conflict_exact")
+
+    for (shift, num_sets, assoc) in fallback:
+        profile = profiles[shift]
+        hit_p = _assoc_hit_probability(profile.dist_vals, num_sets, assoc)
+        expected = float(np.dot(hit_p, profile.dist_counts.astype(np.float64)))
+        fallback[(shift, num_sets, assoc)] = int(round(profile.total - expected))
+        METRICS.inc("memsim.conflict_fallback")
+
+    wb_answers: dict[tuple[int, int], int] = {}
+    for shift, caps in wb_queries.items():
+        profile = profiles[shift]
+        prefix = np.concatenate(([np.int64(0)], np.cumsum(profile.wb_delta)))
+        cuts = np.searchsorted(
+            profile.wb_pos, np.asarray(caps, dtype=np.int64), side="right"
+        )
+        for cap, cut in zip(caps, cuts):
+            wb_answers[(shift, cap)] = int(prefix[cut])
+
+    results = []
+    for hierarchy in hierarchies:
+        METRICS.inc("memsim.analytic_predict")
+        levels = hierarchy.levels
+        first = profiles[levels[0].line_shift]
+        total = first.total
+        exact = len(levels) == 1 and levels[0].num_sets == 1
+        level_stats: list[tuple[str, int, int, int]] = []
+        upstream = total
+        for level in levels:
+            key = (level.line_shift, level.num_sets, level.assoc)
+            if level.num_sets == 1:
+                misses = fa_answers[(level.line_shift, level.assoc)]
+            elif key in ladder_answers:
+                misses = ladder_answers[key]
+            else:
+                misses = fallback[key]
+            misses = min(misses, upstream)
+            level_stats.append((level.name, level.latency, upstream - misses, misses))
+            upstream = misses
+        last = levels[-1]
+        writebacks = wb_answers[(last.line_shift, last.num_sets * last.assoc)]
+        per_reference = first.per_array_misses(
+            levels[0].num_sets * levels[0].assoc
+        )
+        results.append(
+            AnalyticResult(
+                level_stats,
+                hierarchy.memory_latency,
+                total,
+                memory_accesses=upstream,
+                memory_writebacks=writebacks,
+                exact=exact,
+                per_reference=per_reference,
+            )
+        )
+    return results
+
+
 # -- profile (de)serialization -----------------------------------------------------
 
 
 def profile_to_arrays(profile: LineProfile) -> dict:
     """Flat ``np.savez``-ready form of a profile."""
-    return {
+    out = {
         "line_shift": np.int64(profile.line_shift),
         "total": np.int64(profile.total),
         "cold": np.int64(profile.cold),
@@ -571,12 +842,25 @@ def profile_to_arrays(profile: LineProfile) -> dict:
         "array_total": profile.array_total,
         "array_cold": profile.array_cold,
         "array_dist": profile.array_dist,
+        "set_counts": np.array(sorted(profile.set_dist), dtype=np.int64),
     }
+    for num_sets in sorted(profile.set_dist):
+        vals, counts = profile.set_dist[num_sets]
+        out[f"sd{num_sets}_vals"] = vals
+        out[f"sd{num_sets}_counts"] = counts
+    return out
 
 
 def profile_from_arrays(data) -> LineProfile:
     """Inverse of :func:`profile_to_arrays` (raises ``KeyError`` on gaps)."""
     names = tuple(str(s) for s in data["array_names"].tolist())
+    set_dist = {
+        int(num_sets): (
+            np.asarray(data[f"sd{int(num_sets)}_vals"], dtype=np.int64),
+            np.asarray(data[f"sd{int(num_sets)}_counts"], dtype=np.int64),
+        )
+        for num_sets in np.asarray(data["set_counts"], dtype=np.int64).tolist()
+    }
     return LineProfile(
         line_shift=int(data["line_shift"]),
         total=int(data["total"]),
@@ -590,6 +874,7 @@ def profile_from_arrays(data) -> LineProfile:
         array_total=np.asarray(data["array_total"], dtype=np.int64),
         array_cold=np.asarray(data["array_cold"], dtype=np.int64),
         array_dist=np.asarray(data["array_dist"], dtype=np.int64).reshape(-1, 3),
+        set_dist=set_dist,
     )
 
 
@@ -610,4 +895,9 @@ def profile_checksum(profile: LineProfile) -> str:
     ):
         digest.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
     digest.update("\x00".join(profile.array_names).encode())
+    for num_sets in sorted(profile.set_dist):
+        vals, counts = profile.set_dist[num_sets]
+        digest.update(np.int64(num_sets).tobytes())
+        digest.update(np.ascontiguousarray(vals, dtype=np.int64).tobytes())
+        digest.update(np.ascontiguousarray(counts, dtype=np.int64).tobytes())
     return digest.hexdigest()[:16]

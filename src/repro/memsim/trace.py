@@ -24,10 +24,20 @@ fingerprint plus the line size, so any cache geometry question about a
 known trace resolves to a stored histogram without touching the trace
 itself.
 
+The parametric tier (:mod:`repro.memsim.parametric`) stores its fitted
+histogram *families* here as well — one ``.npz`` per (program family,
+line sizes, anchor set), fingerprinted by
+:func:`repro.memsim.parametric.family_fingerprint` — so a warm family
+prices unseen problem sizes with zero captures.
+
 Counters: ``memsim.trace_capture`` (fresh captures),
-``memsim.trace_cache_hit`` (traces served from the store), and
-``memsim.histogram_cache_hit`` / ``memsim.histogram_quarantined`` for
-the histogram tier.
+``memsim.trace_cache_hit`` (traces served from the store),
+``memsim.histogram_cache_hit`` / ``memsim.histogram_cache_miss`` /
+``memsim.histogram_quarantined`` for the histogram tier, and
+``memsim.family_cache_hit`` / ``memsim.family_quarantined`` for stored
+parametric families.  :meth:`TraceStore.histogram_stats` summarizes the
+histogram tier (entries, bytes, hit ratio) and publishes it as
+``memsim.histogram_store.*`` gauges for the service ``stats`` RPC.
 """
 
 from __future__ import annotations
@@ -52,8 +62,13 @@ CHUNK = 1 << 16
 TRACE_SCHEMA_VERSION = 1
 """Stamped into every stored ``.npz``; mismatched entries quarantine."""
 
-HISTOGRAM_SCHEMA_VERSION = 1
-"""Schema stamp for stored reuse-distance histograms."""
+HISTOGRAM_SCHEMA_VERSION = 2
+"""Schema stamp for stored reuse-distance histograms.  Version 2 adds
+the conflict-aware set-distance ladder (``set_counts`` + per-set-count
+histograms); version-1 entries read as misses and recompute."""
+
+PARAMETRIC_SCHEMA_VERSION = 1
+"""Schema stamp for stored parametric histogram families."""
 
 
 def histogram_fingerprint(trace_fp: str, line_shift: int) -> str:
@@ -189,6 +204,9 @@ class TraceStore:
         self._lock = threading.RLock()
         self._memory: OrderedDict[str, Trace] = OrderedDict()
         self._profiles: OrderedDict[str, object] = OrderedDict()
+        self._families: OrderedDict[str, object] = OrderedDict()
+        self._profile_hits = 0
+        self._profile_misses = 0
         self.replay_memo: dict[tuple, object] = {}
 
     def _path(self, fingerprint: str) -> Path:
@@ -288,11 +306,13 @@ class TraceStore:
         with self._lock:
             if hist_fp in self._profiles:
                 self._profiles.move_to_end(hist_fp)
+                self._profile_hits += 1
                 self.metrics.inc("memsim.histogram_cache_hit")
                 return self._profiles[hist_fp]
         if self.root is not None:
             path = self._path(hist_fp)
             if not path.exists():
+                self._note_profile_miss()
                 return None
             try:
                 with np.load(path, allow_pickle=False) as data:
@@ -308,10 +328,18 @@ class TraceStore:
                     counter="memsim.histogram_quarantined",
                 )
             else:
+                with self._lock:
+                    self._profile_hits += 1
                 self.metrics.inc("memsim.histogram_cache_hit")
                 self._remember_profile(hist_fp, profile)
                 return profile
+        self._note_profile_miss()
         return None
+
+    def _note_profile_miss(self) -> None:
+        with self._lock:
+            self._profile_misses += 1
+        self.metrics.inc("memsim.histogram_cache_miss")
 
     def _remember_profile(self, hist_fp: str, profile) -> None:
         with self._lock:
@@ -339,13 +367,23 @@ class TraceStore:
             os.replace(tmp, path)
             _chaos.maybe_corrupt_file(path, hist_fp)
 
-    def profile_for(self, trace_fp: str, encoded, line_shift: int, array_ranges=None):
+    def profile_for(
+        self,
+        trace_fp: str,
+        encoded,
+        line_shift: int,
+        array_ranges=None,
+        set_counts=(),
+    ):
         """The reuse histogram of a known trace at one line size.
 
         Served from the store when possible; computed (one vectorized
         histogram pass) and stored on miss.  ``encoded`` may be a
         callable returning the encoded trace, so cache hits never load
-        the trace at all.
+        the trace at all.  ``set_counts`` requests conflict-aware
+        ladder entries; a stored profile missing some of them is
+        extended in place (one distance pass per missing set count) and
+        re-persisted, so the next hit is fully stocked.
         """
         from repro.memsim.reuse import compute_profile
 
@@ -353,9 +391,116 @@ class TraceStore:
         profile = self.get_profile(hist_fp)
         if profile is None:
             data = encoded() if callable(encoded) else encoded
-            profile = compute_profile(data, line_shift, array_ranges=array_ranges)
+            profile = compute_profile(
+                data, line_shift, array_ranges=array_ranges, set_counts=set_counts
+            )
+            self.put_profile(hist_fp, profile)
+        elif profile.ensure_set_counts(encoded, set_counts):
             self.put_profile(hist_fp, profile)
         return profile
+
+    def histogram_stats(self) -> dict:
+        """Gauge block for the histogram tier of this store.
+
+        ``entries``/``bytes`` describe the in-memory LRU (the disk tier
+        is unbounded and content-addressed); ``hits``/``misses`` count
+        this store's lookups and ``hit_ratio`` is their ratio.  The
+        numbers are also published as ``memsim.histogram_store.*``
+        gauges so ``METRICS.report()`` and the service ``stats`` RPC can
+        surface them.
+        """
+        with self._lock:
+            profiles = list(self._profiles.values())
+            hits, misses = self._profile_hits, self._profile_misses
+        entries = len(profiles)
+        total_bytes = 0
+        for profile in profiles:
+            total_bytes += sum(
+                np.asarray(value).nbytes
+                for value in (
+                    profile.dist_vals, profile.dist_counts, profile.wb_pos,
+                    profile.wb_delta, profile.interval_log2,
+                    profile.array_total, profile.array_cold, profile.array_dist,
+                )
+            )
+            total_bytes += sum(
+                vals.nbytes + counts.nbytes
+                for vals, counts in profile.set_dist.values()
+            )
+        lookups = hits + misses
+        stats = {
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": (hits / lookups) if lookups else 0.0,
+        }
+        for key in ("entries", "bytes", "hits", "misses"):
+            self.metrics.set_gauge(f"memsim.histogram_store.{key}", stats[key])
+        return stats
+
+    def get_family(self, family_fp: str):
+        """The stored parametric family for ``family_fp``, or None.
+
+        Same discipline as histograms: memory LRU over the optional disk
+        tier, schema/checksum validation, quarantine on decode failure
+        (counted under ``memsim.family_quarantined``).
+        """
+        from repro.memsim.parametric import family_checksum, family_from_arrays
+
+        with self._lock:
+            if family_fp in self._families:
+                self._families.move_to_end(family_fp)
+                self.metrics.inc("memsim.family_cache_hit")
+                return self._families[family_fp]
+        if self.root is not None:
+            path = self._path(family_fp)
+            if not path.exists():
+                return None
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    schema = int(data["schema"])
+                    if schema != PARAMETRIC_SCHEMA_VERSION:
+                        raise ValueError(f"parametric schema {schema}")
+                    family = family_from_arrays(data)
+                    if str(data["check"]) != family_checksum(family):
+                        raise ValueError("parametric checksum mismatch")
+            except (OSError, ValueError, KeyError):
+                quarantine_file(
+                    path, self.root, metrics=self.metrics,
+                    counter="memsim.family_quarantined",
+                )
+            else:
+                self.metrics.inc("memsim.family_cache_hit")
+                self._remember_family(family_fp, family)
+                return family
+        return None
+
+    def _remember_family(self, family_fp: str, family) -> None:
+        with self._lock:
+            self._families[family_fp] = family
+            self._families.move_to_end(family_fp)
+            while len(self._families) > 4 * self.capacity:
+                self._families.popitem(last=False)
+
+    def put_family(self, family_fp: str, family) -> None:
+        """Store a parametric family; with a disk tier, a compressed ``.npz``."""
+        from repro.memsim.parametric import family_checksum, family_to_arrays
+
+        self._remember_family(family_fp, family)
+        if self.root is not None:
+            path = self._path(family_fp)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    **family_to_arrays(family),
+                    schema=np.int64(PARAMETRIC_SCHEMA_VERSION),
+                    check=np.str_(family_checksum(family)),
+                )
+            os.replace(tmp, path)
+            _chaos.maybe_corrupt_file(path, family_fp)
 
     def __len__(self) -> int:
         with self._lock:

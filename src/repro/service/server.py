@@ -560,9 +560,23 @@ class ShackleServer:
                 "analytic_exact": int(self.metrics.get("memsim.analytic_exact")),
                 "analytic_hits": int(self.metrics.get("memsim.analytic_hits")),
                 "analytic_misses": int(self.metrics.get("memsim.analytic_misses")),
+                "family_fits": int(self.metrics.get("memsim.family_fit")),
+                "family_cache_hits": int(self.metrics.get("memsim.family_cache_hit")),
+                "parametric_predictions": int(
+                    self.metrics.get("memsim.parametric_predict")
+                ),
             },
+            "histogram_store": self._histogram_store_stats(),
             "cache": self.engine.cache.stats(),
         }
+
+    @staticmethod
+    def _histogram_store_stats() -> dict:
+        """Occupancy of the process-global histogram store (entries,
+        resident bytes, hit ratio) — the simulate path's memory-LRU tier."""
+        from repro.memsim.trace import resolve_trace_store
+
+        return resolve_trace_store(None).histogram_stats()
 
 
 # -- entry points ------------------------------------------------------------------

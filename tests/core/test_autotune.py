@@ -1,0 +1,116 @@
+"""Autotuner tests: report shape, zero scoring captures, exact pruning.
+
+:func:`repro.core.autotune.tune` is the parametric tier's payoff — the
+properties pinned here are the ones the benchmark and CI smoke lean on:
+non-anchor sizes are priced without a single trace capture, the two
+prunes (counter-class collapse, saturation dominance) change nothing
+but time, and the ranked output is deterministic across store warmth.
+"""
+
+import pytest
+
+from repro.core.autotune import _counter_class, geometry_grid, tune
+from repro.engine.metrics import METRICS
+from repro.kernels import matmul
+from repro.memsim.trace import TraceStore
+
+SIZES = [{"N": n} for n in range(8, 16)]
+ANCHORS = [{"N": n} for n in (8, 10, 12, 15)]
+MACHINES = geometry_grid(
+    lines=(4,), set_counts=(1, 16), assocs=(1, 4), l1_latencies=(1, 2)
+)
+
+
+def _tune(store, **kwargs):
+    args = dict(
+        sizes=SIZES, machines=MACHINES, anchors=ANCHORS, blocks=(4,),
+        init=matmul.init, candidates_per_block=1, top=5, trace_store=store,
+        check_captures=True,
+    )
+    args.update(kwargs)
+    return tune(matmul.program(), "C", **args)
+
+
+def test_geometry_grid_shapes_and_set_counts():
+    machines = geometry_grid(lines=(4, 8), set_counts=(1, 8), assocs=(2,))
+    assert len(machines) == 4
+    for machine in machines:
+        level = machine.hierarchy().levels[0]
+        sets = int(machine.name.split("s")[1].split("a")[0])
+        assert level.num_sets == sets  # size = line * sets * assoc holds
+    assert len({m.name for m in machines}) == len(machines)
+
+
+def test_report_shape_and_zero_scoring_captures():
+    report = _tune(TraceStore())
+    assert report["candidates"][0] == "orig" and len(report["candidates"]) == 2
+    assert report["points"] == 2 * len(SIZES) * len(MACHINES)
+    assert report["machines"] == len(MACHINES)
+    assert report["geometry_classes"] == len({_counter_class(m) for m in MACHINES})
+    assert report["sizes_outside_anchor_hull"] == 0
+    assert report["captures"]["scoring"] == 0
+    assert report["captures"]["anchor"] == 2 * len(ANCHORS)
+    assert report["captures"]["avoided"] == 2 * len(SIZES) - 2 * len(ANCHORS)
+    # Latency variants collapse onto shared counter classes: half the
+    # machines differ only in L1 latency.
+    per_point_classes = report["geometry_classes"]
+    assert report["pruned"]["latency_variants"] == (
+        2 * len(SIZES) * (len(MACHINES) - per_point_classes)
+    )
+    assert len(report["top"]) == 5
+    assert [row["rank"] for row in report["top"]] == list(range(5))
+    cycles = [row["cycles"] for row in report["top"]]
+    assert cycles == sorted(cycles)
+    for label, description in report["families"].items():
+        assert description.startswith("family(")
+
+
+def test_warm_retune_is_capture_free_and_identical():
+    store = TraceStore()
+    cold = _tune(store)
+    captures = METRICS.get("memsim.trace_capture")
+    warm = _tune(store)
+    assert METRICS.get("memsim.trace_capture") == captures
+    assert warm["captures"]["anchor"] == 0
+    assert warm["top"] == cold["top"]
+    assert warm["points"] == cold["points"]
+
+
+def test_latency_variants_price_differently_from_shared_counters():
+    """Counter-class collapse must not flatten cycles: the t1/t2 latency
+    variants of one geometry share predicted counters but re-price, so
+    their cycles differ whenever the cache sees any hit."""
+    everything = 2 * len(SIZES) * len(MACHINES)
+    report = _tune(TraceStore(), top=everything)
+    assert len(report["top"]) == everything
+    by_variant = {}
+    for row in report["top"]:
+        geometry = row["machine"].split("t")[0]
+        key = (row["candidate"], tuple(row["env"].items()), geometry)
+        by_variant.setdefault(key, {})[row["machine"]] = row
+    differing = 0
+    for variants in by_variant.values():
+        assert len(variants) == 2  # t1 and t2 of the same geometry
+        (a, b) = variants.values()
+        assert a["memory_accesses"] == b["memory_accesses"]  # shared counters
+        assert a["writebacks"] == b["writebacks"]
+        if a["cycles"] != b["cycles"]:
+            differing += 1
+    assert differing > 0
+
+
+def test_anchor_mismatch_and_bad_sizes_rejected():
+    with pytest.raises(ValueError, match="at least one size"):
+        tune(matmul.program(), "C", sizes=[], machines=MACHINES)
+    with pytest.raises(ValueError, match="at least one machine"):
+        tune(matmul.program(), "C", sizes=SIZES, machines=[])
+    with pytest.raises(ValueError, match="does not match parameters"):
+        tune(
+            matmul.program(), "C",
+            sizes=[{"N": 8}, {"M": 9}], machines=MACHINES,
+        )
+
+
+def test_out_of_hull_sizes_are_reported():
+    report = _tune(TraceStore(), sizes=SIZES + [{"N": 40}])
+    assert report["sizes_outside_anchor_hull"] == 1

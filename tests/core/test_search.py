@@ -52,3 +52,62 @@ def test_search_results_are_ranked(cholesky_program):
     costs = [r.unconstrained for r in results]
     assert costs == sorted(costs)
     assert all("unconstrained" in r.describe() for r in results[:1])
+
+
+def _scoring_machines():
+    from repro.memsim.cost import MachineSpec
+
+    return [
+        MachineSpec("sc-fa", [("L1", 64, 4, 16, 1)], memory_latency=50),
+        MachineSpec("sc-sa", [("L1", 128, 4, 2, 1)], memory_latency=50),
+    ]
+
+
+def test_score_candidates_ties_break_by_search_rank(cholesky_program):
+    """Candidates with equal predicted cycles keep their search order —
+    the scored ranking is a total order, not solver-luck."""
+    from repro.core.search import score_candidates
+
+    results = search_shackles(
+        cholesky_program, DataBlocking.grid("A", 2, 25), max_product=1
+    )
+    # Duplicating a result guarantees a genuine cycles tie: identical
+    # generated code scores identically on every machine.
+    duplicated = [results[0], results[0], results[1]]
+    from repro.kernels import cholesky
+
+    scored = score_candidates(
+        cholesky_program, duplicated, {"N": 10}, _scoring_machines(),
+        init=cholesky.init,
+    )
+    twins = [s for s in scored if s.result is duplicated[0] or s.result is duplicated[1]]
+    assert twins[0].cycles == twins[1].cycles
+    assert twins[0].result is duplicated[0]
+    assert twins[1].result is duplicated[1]
+
+
+def test_score_candidates_top_prefix_stable_across_jobs(cholesky_program, tmp_path):
+    """--score-top output is identical under jobs=1 and jobs=4: same
+    candidate order, same cycles, same per-machine counters."""
+    from repro.core.search import score_candidates
+    from repro.kernels import cholesky
+    from repro.memsim.trace import TraceStore
+
+    results = search_shackles(
+        cholesky_program, DataBlocking.grid("A", 2, 25), max_product=2
+    )
+    machines = _scoring_machines()
+
+    def run(jobs, root):
+        return score_candidates(
+            cholesky_program, results, {"N": 10}, machines, top=4,
+            init=cholesky.init, jobs=jobs, trace_store=TraceStore(root=root),
+        )
+
+    seq = run(1, tmp_path / "seq")
+    par = run(4, tmp_path / "par")
+    assert [s.result.choices for s in seq] == [s.result.choices for s in par]
+    assert [s.cycles for s in seq] == [s.cycles for s in par]
+    assert [
+        [m.stats for m in s.measurements] for s in seq
+    ] == [[m.stats for m in s.measurements] for s in par]

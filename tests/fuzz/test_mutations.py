@@ -53,6 +53,7 @@ def test_planted_semantics_bug_is_caught_without_fuzzing():
         "codegen-drop-guard",
         "semantics-perturb-value",
         "reuse-off-by-one",
+        "conflict-bad-set-index",
     ],
 )
 def test_each_oracle_catches_and_shrinks_its_planted_bug(name, tmp_path):

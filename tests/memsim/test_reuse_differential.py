@@ -171,6 +171,64 @@ def test_analytic_sweep_one_capture_zero_replays(tmp_path):
     assert all(m.stats["accesses"] == results[0].stats["accesses"] for m in results)
 
 
+@pytest.mark.parametrize("name,program,env,init", KERNELS[:6], ids=IDS[:6])
+@pytest.mark.parametrize("num_sets,assoc", [(4, 2), (16, 2), (32, 4)])
+def test_ladder_level_one_misses_are_exact(name, program, env, init, num_sets, assoc):
+    """The conflict-aware set-distance ladder is *exact* at level 1 — a
+    set-associative LRU cache with S sets is S independent FA caches
+    over line residue classes, so the set-local stack distance gives
+    bit-exact miss counts, not a Smith/Hill estimate."""
+    encoded = _capture(program, env, init)
+    line = 4
+    shift = line.bit_length() - 1
+    hierarchy = MemoryHierarchy(
+        [CacheLevel("L1", num_sets * assoc * line, line, assoc, 1)],
+        memory_latency=50,
+    )
+    assert hierarchy.levels[0].num_sets == num_sets
+    exact_ladders = METRICS.get("memsim.conflict_exact")
+    profile = compute_profile(encoded, shift, set_counts=[num_sets])
+    predicted = predict({shift: profile}, hierarchy)
+    exact = replay_encoded(encoded, hierarchy, engine="numpy")
+    assert METRICS.get("memsim.conflict_exact") == exact_ladders + 1
+    assert (
+        predicted.stats()["L1_misses"] == exact.stats()["L1_misses"]
+    ), (name, num_sets, assoc)
+
+
+def test_ladder_without_entry_falls_back_to_binomial():
+    """A set count with no fitted ladder entry goes through the
+    Smith/Hill binomial estimate, and the fallback counter says so."""
+    encoded = _capture(matmul.program(), {"N": 9}, matmul.init)
+    profile = compute_profile(encoded, 2)  # no set_counts requested
+    hierarchy = MemoryHierarchy(
+        [CacheLevel("L1", 128, 4, 2, 1)], memory_latency=50
+    )
+    fallbacks = METRICS.get("memsim.conflict_fallback")
+    predict({2: profile}, hierarchy)
+    assert METRICS.get("memsim.conflict_fallback") == fallbacks + 1
+
+
+def test_planted_bad_set_index_is_caught_without_fuzzing():
+    """The conflict-aware differential bites: a skewed set-index map
+    (line>>1 instead of line) shifts the set-distance ladder's conflict
+    distribution and the memsim oracle's exact level-1 gating reports
+    it.  Fully-associative counters are untouched by this mutation, so
+    only the ladder can see it."""
+    from repro.fuzz import run_case_payload
+    from repro.fuzz.cases import case_from_shackle
+
+    program = matmul.program()
+    case = case_from_shackle(matmul.c_shackle(program, 2), {"N": 4},
+                             checks=("memsim",))
+    clean = run_case_payload(case.to_payload())
+    assert clean["failures"] == []
+    mutated = dataclasses.replace(case, mutation="conflict-bad-set-index")
+    result = run_case_payload(mutated.to_payload())
+    assert result["failures"], "skewed set indexing went undetected"
+    assert {f["check"] for f in result["failures"]} == {"memsim"}
+
+
 def test_planted_off_by_one_is_caught_without_fuzzing():
     """The memsim oracle bites: an off-by-one in the reuse interval
     (inclusive endpoint count) flips hit/miss verdicts and the

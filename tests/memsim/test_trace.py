@@ -342,3 +342,66 @@ def test_profile_memory_lru_bounded():
         store.put_profile(fp, profile)
     held = [fp for fp in fps if store.get_profile(fp) is not None]
     assert held == fps[-4:]
+
+
+def test_histogram_stats_gauges_and_hit_ratio():
+    store = TraceStore()
+    baseline = store.histogram_stats()
+    assert baseline["entries"] == 0 and baseline["bytes"] == 0
+    assert baseline["hit_ratio"] == 0.0
+
+    from repro.memsim.trace import histogram_fingerprint
+
+    fp = histogram_fingerprint("cd" * 32, 1)
+    assert store.get_profile(fp) is None  # miss
+    store.put_profile(fp, _profile())
+    assert store.get_profile(fp) is not None  # hit
+
+    stats = store.histogram_stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert stats["hits"] >= 1 and stats["misses"] >= 1
+    assert stats["hit_ratio"] == stats["hits"] / (stats["hits"] + stats["misses"])
+    # The same numbers are published as gauges for METRICS.report().
+    assert METRICS.gauges["memsim.histogram_store.entries"] == 1
+    assert METRICS.gauges["memsim.histogram_store.bytes"] == stats["bytes"]
+
+
+def test_family_store_roundtrip_and_tamper(tmp_path):
+    from repro.kernels import matmul
+    from repro.memsim.parametric import (
+        anchor_envs,
+        family_checksum,
+        family_fingerprint,
+        fit_family,
+    )
+
+    root = tmp_path / "traces"
+    program = matmul.program()
+    anchors = anchor_envs({"N": (6, 14)}, degree=2)
+    family = fit_family(
+        program, anchors, init=matmul.init, line_shifts=(2,),
+        trace_store=TraceStore(root=root), degree=2,
+    )
+    # A fresh store over the same root (new process) loads the family
+    # from disk, bit-identical.
+    hits = METRICS.get("memsim.family_cache_hit")
+    reloaded = fit_family(
+        program, anchors, init=matmul.init, line_shifts=(2,),
+        trace_store=TraceStore(root=root), degree=2, capture=False,
+    )
+    assert METRICS.get("memsim.family_cache_hit") == hits + 1
+    assert family_checksum(reloaded) == family_checksum(family)
+
+    # Corrupting the stored payload quarantines it instead of serving it.
+    fp = family_fingerprint(
+        program, ("N",), anchors, (2,), (), 2
+    )
+    payload = TraceStore(root=root)._path(fp)
+    assert payload.exists()
+    payload.write_bytes(b"garbage")
+    refit = fit_family(
+        program, anchors, init=matmul.init, line_shifts=(2,),
+        trace_store=TraceStore(root=root), degree=2,
+    )
+    assert family_checksum(refit) == family_checksum(family)

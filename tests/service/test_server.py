@@ -78,6 +78,11 @@ def test_second_request_served_from_cache_with_flight_annotation(tmp_path):
     for field in ("batch_prefix_reuse", "int128_combines", "vector_fallbacks",
                   "witness_transfers"):
         assert isinstance(solver_stats[field], int)
+    # The histogram-store gauge block is always present and well-formed.
+    hist = stats["histogram_store"]
+    assert set(hist) == {"entries", "bytes", "hits", "misses", "hit_ratio"}
+    assert hist["entries"] >= 0 and hist["bytes"] >= 0
+    assert 0.0 <= hist["hit_ratio"] <= 1.0
 
 
 def test_single_flight_coalesces_concurrent_identical_requests(tmp_path, sleep_kind):
