@@ -69,6 +69,7 @@ run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -208,10 +209,12 @@ def _engine_cache(args):
 def _add_serve_args(sub):
     sub.add_argument(
         "--socket",
+        action="append",
         default=None,
         metavar="PATH",
         help="Unix domain socket path (serve: bind here; "
-        "bench-serve: target an already-running daemon)",
+        "bench-serve: target an already-running daemon — repeat for a "
+        "replica list driven through the failover client)",
     )
     sub.add_argument(
         "--tcp",
@@ -241,13 +244,82 @@ def _parse_tcp(text: str) -> tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
+def _write_pidfile(path: str | None) -> None:
+    if path:
+        Path(path).write_text(f"{os.getpid()}\n")
+
+
+def _remove_pidfile(path: str | None) -> None:
+    if path:
+        try:
+            Path(path).unlink()
+        except OSError:
+            pass
+
+
+def _cmd_serve_fabric(args, socket_path: str) -> int:
+    """``serve --replicas K``: supervise K daemons over one store."""
+    import signal
+    import threading
+    import time as _time
+
+    from repro.service.fabric import EXIT_ABNORMAL, FabricConfig, FabricSupervisor
+
+    prefix = Path(socket_path)
+    config = FabricConfig(
+        replicas=args.replicas,
+        cache=args.cache,
+        socket_dir=str(prefix.parent) if str(prefix.parent) else ".",
+        socket_prefix=prefix.name.removesuffix(".sock"),
+        jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        dispatchers=args.dispatchers,
+        timeout=args.timeout,
+        log_path=args.fabric_log,
+    )
+    supervisor = FabricSupervisor(config)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    _write_pidfile(args.pidfile)
+    try:
+        supervisor.start()
+    except Exception as exc:
+        print(f"repro.service: fabric failed to start: {exc}", file=sys.stderr)
+        _remove_pidfile(args.pidfile)
+        return EXIT_ABNORMAL
+    try:
+        for address in supervisor.addresses:
+            print(f"repro.service: replica serving on {address}", flush=True)
+        while not stop.is_set():
+            if not any(row["alive"] for row in supervisor.status()):
+                break
+            _time.sleep(config.poll_interval)
+    finally:
+        supervisor.stop()
+        _remove_pidfile(args.pidfile)
+    return 0
+
+
 def _cmd_serve(args) -> int:
+    from repro.service.fabric import EXIT_ABNORMAL
     from repro.service.server import ServerConfig, serve_forever
 
-    if (args.socket is None) == (args.tcp is None):
+    sockets = args.socket or []
+    if bool(sockets) == (args.tcp is not None):
         print("serve: give exactly one of --socket PATH or --tcp HOST:PORT",
               file=sys.stderr)
         return 2
+    if len(sockets) > 1:
+        print("serve: --socket may be given once (it is the fabric prefix "
+              "under --replicas)", file=sys.stderr)
+        return 2
+    if args.replicas > 1:
+        if not sockets:
+            print("serve: --replicas needs --socket PATH as the socket prefix",
+                  file=sys.stderr)
+            return 2
+        return _cmd_serve_fabric(args, sockets[0])
     config = ServerConfig(
         jobs=args.jobs,
         cache=args.cache,
@@ -260,9 +332,21 @@ def _cmd_serve(args) -> int:
     host, port = _parse_tcp(args.tcp) if args.tcp else (None, 0)
 
     def ready(server):
+        _write_pidfile(args.pidfile)
         print(f"repro.service: serving on {server.address}", flush=True)
 
-    serve_forever(config, path=args.socket, host=host, port=port, ready=ready)
+    try:
+        serve_forever(
+            config, path=sockets[0] if sockets else None,
+            host=host, port=port, ready=ready,
+        )
+    except Exception as exc:
+        # A crash, not a drain: the fabric supervisor (and CI) key off
+        # this exit code to tell "fell over" from "asked to stop".
+        print(f"repro.service: abnormal termination: {exc!r}", file=sys.stderr)
+        return EXIT_ABNORMAL
+    finally:
+        _remove_pidfile(args.pidfile)
     if args.metrics:
         from repro.engine.metrics import METRICS
 
@@ -280,9 +364,16 @@ def _cmd_bench_serve(args) -> int:
         requests=args.requests,
         seed=args.seed,
         timeout=args.timeout,
+        retries=args.retries,
+        hedge_after=args.hedge_after,
     )
     if args.socket or args.tcp:
-        address = args.socket if args.socket else _parse_tcp(args.tcp)
+        if args.socket:
+            # One --socket targets a daemon directly; several form the
+            # replica ring driven through the failover client.
+            address = args.socket[0] if len(args.socket) == 1 else list(args.socket)
+        else:
+            address = _parse_tcp(args.tcp)
         report = run_load(address, tasks, config)
     else:
         # No target: stand a daemon up in-process and drain it after.
@@ -365,6 +456,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="persist captured traces/histograms used for scoring",
     )
+    search.add_argument(
+        "--journal",
+        nargs="?",
+        const=".repro_cache",
+        default=None,
+        metavar="DIR",
+        help="checkpoint legality verdicts so a killed search resumes "
+        "without re-checking (default dir: .repro_cache)",
+    )
     _add_engine_args(search)
 
     simulate_cmd = commands.add_parser("simulate", help="simulate on the scaled machine")
@@ -444,6 +544,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="persist anchor traces and fitted families on disk",
     )
+    tune_cmd.add_argument(
+        "--journal",
+        nargs="?",
+        const=".repro_cache",
+        default=None,
+        metavar="DIR",
+        help="checkpoint each scored (candidate, size) block so a killed "
+        "tune resumes without re-scoring (default dir: .repro_cache)",
+    )
     _add_engine_args(tune_cmd)
 
     fuzz_cmd = commands.add_parser(
@@ -454,8 +563,16 @@ def main(argv: list[str] | None = None) -> int:
     fuzz_cmd.add_argument(
         "--check",
         action="append",
-        choices=("deps", "solver", "legality", "codegen", "semantics", "backend", "memsim", "chaos"),
+        choices=("deps", "solver", "legality", "codegen", "semantics", "backend", "memsim", "chaos", "fabric"),
         help="oracle to run (repeatable; default: all)",
+    )
+    fuzz_cmd.add_argument(
+        "--fabric",
+        default=None,
+        metavar="SPEC",
+        help="transport-fault spec for the fabric differential, e.g. "
+        "reset=0.25,truncate=0.15,dup=0.2,lag=0.15:0.002,seed=7 "
+        "(implied default when `--check fabric` is given)",
     )
     fuzz_cmd.add_argument(
         "--corpus",
@@ -492,6 +609,21 @@ def main(argv: list[str] | None = None) -> int:
         "--timeout", type=float, default=None,
         help="default per-request deadline in seconds (default: none)",
     )
+    serve_cmd.add_argument(
+        "--replicas", type=int, default=1,
+        help="run K supervised daemon replicas over one store; --socket "
+        "becomes the per-replica socket prefix (default: 1, no fabric)",
+    )
+    serve_cmd.add_argument(
+        "--pidfile", default=None, metavar="PATH",
+        help="write the daemon (or fabric supervisor) pid here after bind; "
+        "removed on exit",
+    )
+    serve_cmd.add_argument(
+        "--fabric-log", default=None, metavar="PATH",
+        help="append fabric lifecycle events (spawn/ready/crash/respawn) "
+        "to this file (default: stderr)",
+    )
 
     bench_serve = commands.add_parser(
         "bench-serve", help="drive a daemon with the mixed-workload load generator"
@@ -506,6 +638,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     bench_serve.add_argument(
         "--timeout", type=float, default=None, help="per-request deadline (seconds)"
+    )
+    bench_serve.add_argument(
+        "--retries", type=int, default=0,
+        help="transparent client retries after transport failures "
+        "(failover cycles when multiple --socket replicas are given)",
+    )
+    bench_serve.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="arm tail hedging: duplicate a job to the next replica if the "
+        "sharded one has not answered within this delay",
     )
     bench_serve.add_argument(
         "--no-verify", action="store_true",
@@ -546,6 +688,7 @@ def main(argv: list[str] | None = None) -> int:
             cache=_engine_cache(args),
             shrink=not args.no_shrink,
             chaos_spec=args.chaos,
+            fabric_spec=args.fabric,
         )
         print(report.describe())
         if args.metrics:
@@ -590,6 +733,7 @@ def main(argv: list[str] | None = None) -> int:
             max_product=args.max_product,
             jobs=args.jobs,
             cache=_engine_cache(args),
+            journal=args.journal,
         )
         if args.score:
             from repro.core.search import score_candidates
@@ -685,6 +829,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             cache=_engine_cache(args),
             check_captures=args.check_captures,
+            journal=args.journal,
         )
         captures = report["captures"]
         print(
@@ -696,6 +841,11 @@ def main(argv: list[str] | None = None) -> int:
             f"captures: {captures['anchor']} at anchors, {captures['scoring']} "
             f"during scoring, {captures['avoided']} avoided"
         )
+        if report["journal"]:
+            print(
+                f"journal: {report['journal']['resumed_blocks']} blocks resumed, "
+                f"{report['journal']['scored_blocks']} scored fresh"
+            )
         for row in report["top"]:
             env = ",".join(f"{k}={v}" for k, v in sorted(row["env"].items()))
             print(

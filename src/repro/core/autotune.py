@@ -183,6 +183,7 @@ def tune(
     degree: int | None = None,
     seed: int = 0,
     check_captures: bool = False,
+    journal=None,
 ) -> dict:
     """Autotune ``program`` over (blocking, size, geometry) and report.
 
@@ -202,6 +203,13 @@ def tune(
 
     ``check_captures=True`` raises if the scoring phase captured any
     trace — the CI proof that non-anchor sizes are priced capture-free.
+
+    ``journal`` (a directory or :class:`repro.engine.journal.Journal`)
+    makes the scoring sweep resumable: each scored (candidate, size)
+    block is checkpointed as it completes, keyed by the content
+    fingerprint of this exact invocation, and a re-run after a crash
+    replays the durable blocks instead of re-scoring them.  The report
+    is bit-identical either way.
 
     Returns the report dict (also summarized by ``repro tune``): grid
     shape, per-phase seconds, ``points`` / ``points_per_sec``, capture
@@ -229,6 +237,34 @@ def tune(
         }
         anchors = anchor_envs(ranges, degree=degree)
     store = resolve_trace_store(trace_store)
+
+    if journal is not None:
+        from repro.engine.jobs import fingerprint, program_source
+        from repro.engine.journal import resolve_journal
+
+        journal = resolve_journal(
+            journal,
+            fingerprint(
+                "tune-scoring",
+                {
+                    "program": program_source(program),
+                    "array": array,
+                    "sizes": [{p: int(e[p]) for p in params} for e in sizes],
+                    "anchors": [{p: int(e[p]) for p in params} for e in anchors],
+                    "machines": [
+                        [m.name, [list(lv) for lv in m.levels], m.memory_latency,
+                         m.clock_mhz, m.scalar_cpi, m.kernel_cpi]
+                        for m in machines
+                    ],
+                    "blocks": [int(b) for b in blocks],
+                    "max_product": max_product,
+                    "candidates_per_block": candidates_per_block,
+                    "include_original": include_original,
+                    "degree": degree,
+                    "seed": seed,
+                },
+            ),
+        )
 
     t0 = time.perf_counter()
     candidates = _candidate_programs(
@@ -280,6 +316,9 @@ def tune(
     class_keys = sorted(classes)
 
     captures_mid = METRICS.get("memsim.trace_capture")
+    journaled = journal.replay() if journal is not None else {}
+    resumed_blocks = 0
+    scored_blocks = 0
     rows = []
     pruned_latency = 0
     pruned_dominated = 0
@@ -288,6 +327,21 @@ def tune(
         for label, family in families:
             flops_map = family.flops_per_statement()
             for env in sizes:
+                block_key = label + "|" + ",".join(
+                    f"{p}={int(env[p])}" for p in params
+                )
+                saved = journaled.get(block_key)
+                if saved is not None:
+                    # This (candidate, size) block survived the crash:
+                    # replay its rows verbatim instead of re-scoring.
+                    rows.extend(saved["rows"])
+                    pruned_latency += saved["pruned_latency"]
+                    pruned_dominated += saved["pruned_dominated"]
+                    resumed_blocks += 1
+                    continue
+                block_rows = []
+                block_latency = 0
+                block_dominated = 0
                 total, curves = family.curves_at(env)
                 counts = family.counts_at(env)
                 flops = sum(counts[l] * flops_map[l] for l in counts)
@@ -303,15 +357,15 @@ def tune(
                         if signature is not None:
                             saturated[signature] = counters
                     else:
-                        pruned_dominated += 1
-                    pruned_latency += len(members) - 1
+                        block_dominated += 1
+                    block_latency += len(members) - 1
                     for index in members:
                         machine = machines[index]
                         cycles = _machine_cycles(
                             counters, machine, flops * machine.scalar_cpi
                         )
                         seconds = cycles / (machine.clock_mhz * 1e6)
-                        rows.append(
+                        block_rows.append(
                             {
                                 "candidate": label,
                                 "env": {p: int(env[p]) for p in params},
@@ -320,11 +374,26 @@ def tune(
                                 "mflops": round(
                                     (flops / 1e6) / seconds if seconds > 0 else 0.0, 3
                                 ),
-                                "memory_accesses": counters.memory_accesses,
-                                "writebacks": counters.memory_writebacks,
+                                "memory_accesses": int(counters.memory_accesses),
+                                "writebacks": int(counters.memory_writebacks),
                             }
                         )
+                rows.extend(block_rows)
+                pruned_latency += block_latency
+                pruned_dominated += block_dominated
+                scored_blocks += 1
+                if journal is not None:
+                    journal.append(
+                        block_key,
+                        {
+                            "rows": block_rows,
+                            "pruned_latency": block_latency,
+                            "pruned_dominated": block_dominated,
+                        },
+                    )
         t_score = time.perf_counter() - t0
+    if journal is not None:
+        journal.close()
     captures_scoring = METRICS.get("memsim.trace_capture") - captures_mid
     if check_captures and captures_scoring:
         raise RuntimeError(
@@ -349,6 +418,15 @@ def tune(
         1
         for env in sizes
         if any(not hull[p][0] <= int(env[p]) <= hull[p][1] for p in params)
+    )
+    journal_info = (
+        {
+            "key": journal.key,
+            "resumed_blocks": resumed_blocks,
+            "scored_blocks": scored_blocks,
+        }
+        if journal is not None
+        else None
     )
     return {
         "array": array,
@@ -377,5 +455,6 @@ def tune(
             "latency_variants": pruned_latency,
             "dominated": pruned_dominated,
         },
+        "journal": journal_info,
         "top": best,
     }

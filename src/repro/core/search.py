@@ -90,15 +90,19 @@ def _legal_flags(
     candidates: list[tuple[DataBlocking, dict]],
     jobs: int,
     cache,
+    journal=None,
 ) -> list[bool]:
     """Theorem-1 verdict per candidate, in candidate order.
 
-    With ``jobs == 1`` and no cache this is the direct in-process loop;
-    otherwise candidates become engine legality jobs so verdicts can be
-    served from the content-addressed cache and fresh checks can fan out
-    across worker processes (order is preserved either way).
+    With ``jobs == 1``, no cache and no journal this is the direct
+    in-process loop; otherwise candidates become engine legality jobs so
+    verdicts can be served from the content-addressed cache and fresh
+    checks can fan out across worker processes (order is preserved
+    either way).  ``journal`` checkpoints each verdict by job
+    fingerprint — a killed census resumes from the last durable flag
+    instead of re-checking from scratch.
     """
-    if jobs == 1 and cache is None:
+    if jobs == 1 and cache is None and journal is None:
         dependences = compute_dependences(program)
         return [
             bool(
@@ -114,7 +118,26 @@ def _legal_flags(
     from repro.engine.pool import run_jobs
 
     specs = [legality_job(program, blocking, choice) for blocking, choice in candidates]
-    return [out["legal"] for out in run_jobs(specs, jobs=jobs, cache=cache)]
+    if journal is None:
+        return [out["legal"] for out in run_jobs(specs, jobs=jobs, cache=cache)]
+
+    saved = journal.replay()
+    flags: dict[int, bool] = {
+        index: bool(saved[spec.fingerprint]["legal"])
+        for index, spec in enumerate(specs)
+        if spec.fingerprint in saved
+    }
+    missing = [index for index in range(len(specs)) if index not in flags]
+    # Chunked fan-out: a crash loses at most one chunk of verdicts, and
+    # each completed chunk becomes durable before the next dispatch.
+    chunk_size = max(1, jobs) * 4
+    for at in range(0, len(missing), chunk_size):
+        chunk = missing[at : at + chunk_size]
+        outs = run_jobs([specs[i] for i in chunk], jobs=jobs, cache=cache)
+        for index, out in zip(chunk, outs):
+            flags[index] = bool(out["legal"])
+            journal.append(specs[index].fingerprint, {"legal": bool(out["legal"])})
+    return [flags[index] for index in range(len(specs))]
 
 
 def search_shackles(
@@ -125,6 +148,7 @@ def search_shackles(
     jobs: int = 1,
     cache=None,
     max_frontier: int = 64,
+    journal=None,
 ) -> list[SearchResult]:
     """Enumerate and rank legal shackles of ``program``.
 
@@ -144,6 +168,11 @@ def search_shackles(
     processes (1 = serial; rankings are identical either way), and
     ``cache`` is an optional :class:`repro.engine.cache.ResultCache`
     serving previously computed verdicts by content fingerprint.
+
+    ``journal`` (a directory or :class:`repro.engine.journal.Journal`)
+    checkpoints legality verdicts as they complete, keyed by the content
+    fingerprint of this census — a killed search resumes without
+    re-checking the candidates it already settled.
     """
     if isinstance(blocking, DataBlocking):
         spacing = blocking.planes[0].spacing
@@ -159,7 +188,24 @@ def search_shackles(
         for candidate_blocking in blockings
         for choice in candidate_choices(program, candidate_blocking.array)
     ]
-    flags = _legal_flags(program, candidates, jobs, cache)
+    if journal is not None:
+        from repro.engine.jobs import blocking_spec, fingerprint, program_source
+        from repro.engine.journal import resolve_journal
+
+        journal = resolve_journal(
+            journal,
+            fingerprint(
+                "search-legality",
+                {
+                    "program": program_source(program),
+                    "blockings": [blocking_spec(b) for b in blockings],
+                    "max_product": max_product,
+                },
+            ),
+        )
+    flags = _legal_flags(program, candidates, jobs, cache, journal)
+    if journal is not None:
+        journal.close()
     singles = [
         (DataShackle(program, candidate_blocking, choice), choice)
         for (candidate_blocking, choice), legal in zip(candidates, flags)

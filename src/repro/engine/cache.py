@@ -16,10 +16,17 @@ wrong schema, or fails its checksum is **quarantined**: moved to
 ``<root>/quarantine/`` (counted under ``engine.cache.quarantined``) so
 it is inspectable after the fact and, crucially, never re-read and
 re-failed on every subsequent ``get``.  Values must be
-JSON-serializable.  Writes to disk are atomic (write-temp-then-rename),
-so a crashed or concurrent writer never leaves a torn entry behind the
-reader's back; ``clear(disk=True)`` sweeps up the orphaned
-``*.tmp.<pid>`` files such a crash leaves.
+JSON-serializable.
+
+Disk publishes go through :mod:`repro.engine.store`: write to a unique
+temp file (pid + thread + sequence), atomic rename, and a per-fingerprint
+single-writer election — when several daemon processes finish the same
+job against one shared store, exactly one publishes in the common case,
+and a writer killed mid-publish never leaves a torn entry, only a temp
+file for the orphan sweep.  :meth:`ResultCache.sweep_orphans` (and the
+sweep inside ``clear(disk=True)``) removes those temps and stale lease
+locks, but only past an age threshold, so a live writer mid-publish in
+another process can never be raced.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from collections import OrderedDict
 from pathlib import Path
 
 from repro.engine import chaos as _chaos
+from repro.engine import store as _store
 from repro.engine.metrics import METRICS
 
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -110,6 +118,9 @@ class ResultCache:
         self.evictions = 0
         self.puts = 0
         self.quarantined = 0
+        self.publishes = 0
+        self.publish_dedups = 0
+        self.publish_rescues = 0
 
     # -- key layout --------------------------------------------------------------
 
@@ -192,9 +203,12 @@ class ResultCache:
     def put(self, fingerprint: str, value: object) -> None:
         """Store ``value`` (JSON-serializable) under ``fingerprint``.
 
-        With a disk tier configured the write goes through to disk, so a
-        later memory eviction loses nothing.
+        With a disk tier configured the write goes through to disk —
+        via the single-writer election in :mod:`repro.engine.store`, so
+        N processes finishing the same job publish once in the common
+        case, and a publisher killed at any point never tears the entry.
         """
+        value = _chaos.mutate_store_value(value)
         canonical = json.dumps(
             value, sort_keys=True, separators=(",", ":")
         )  # validates serializability up front
@@ -208,10 +222,24 @@ class ResultCache:
                 "value": value,
             }
             path = self._path(fingerprint)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(envelope))
-            os.replace(tmp, path)
+            if _chaos.store_mutation() == "fabric-republish":
+                # Planted bug: skip the election and republish blindly.
+                _store.atomic_publish(path, json.dumps(envelope).encode())
+                outcome = "published"
+            else:
+                outcome = _store.elected_publish(
+                    path,
+                    json.dumps(envelope).encode(),
+                    metrics=self.metrics,
+                    counter_prefix="engine.cache",
+                )
+            with self._lock:
+                if outcome == "published":
+                    self.publishes += 1
+                elif outcome == "rescue":
+                    self.publish_rescues += 1
+                else:
+                    self.publish_dedups += 1
             _chaos.maybe_corrupt_file(path, fingerprint)
 
     # -- maintenance / reporting -------------------------------------------------
@@ -219,9 +247,12 @@ class ResultCache:
     def clear(self, disk: bool = False) -> None:
         """Drop the memory tier (and the disk store too when ``disk``).
 
-        The disk sweep also removes orphaned ``*.tmp.<pid>`` files left
-        behind by writers that crashed between write and rename.
-        Quarantined files are kept — they are the fault evidence.
+        The disk sweep removes entries, then runs the orphan sweep for
+        temp and lock files left by crashed writers — but only files
+        past the age threshold go: a *young* ``*.tmp.*`` belongs to a
+        live writer mid-publish in another process, and unlinking it
+        would tear that publish out from under its rename.  Quarantined
+        files are kept — they are the fault evidence.
         """
         with self._lock:
             self._memory.clear()
@@ -230,8 +261,28 @@ class ResultCache:
                 if bucket.is_dir() and bucket.name != QUARANTINE_DIR:
                     for entry in bucket.glob("*.json"):
                         entry.unlink()
-                    for orphan in bucket.glob("*.tmp.*"):
-                        orphan.unlink()
+            self.sweep_orphans()
+
+    def sweep_orphans(
+        self,
+        max_age: float = _store.ORPHAN_AGE_SECONDS,
+        lock_stale: float = _store.LOCK_STALE_SECONDS,
+    ) -> dict:
+        """Remove aged-out temp files and stale publish locks.
+
+        Returns ``{"tmp": ..., "locks": ..., "kept": ...}`` counts; see
+        :func:`repro.engine.store.sweep_orphans` for the age-threshold
+        safety argument.
+        """
+        if self.root is None:
+            return {"tmp": 0, "locks": 0, "kept": 0}
+        return _store.sweep_orphans(
+            self.root,
+            max_age=max_age,
+            lock_stale=lock_stale,
+            skip_dirs=(QUARANTINE_DIR,),
+            metrics=self.metrics,
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -256,5 +307,8 @@ class ResultCache:
                 "evictions": self.evictions,
                 "puts": self.puts,
                 "quarantined": self.quarantined,
+                "publishes": self.publishes,
+                "publish_dedups": self.publish_dedups,
+                "publish_rescues": self.publish_rescues,
                 "hit_rate": round(self.hit_rate, 4),
             }

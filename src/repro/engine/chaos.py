@@ -27,6 +27,13 @@ to a fault-free run — the property the fuzzer's ``chaos`` check and the
 CI chaos smoke step assert.  ``corrupt`` targets cache files, which are
 healed by quarantine-and-recompute, preserving the same property.
 
+The service daemon injects a second family of *transport* faults on its
+responses — ``reset``/``truncate``/``dup``/``lag``, see
+:data:`TRANSPORT_FAULTS` and :func:`transport_plan` — keyed by job
+fingerprint and per-daemon serve count with the same first-attempt-only
+discipline, so the resilient client's retries and failover mask every
+one of them (the fuzzer's ``fabric`` differential asserts this).
+
 Activation: the ``REPRO_CHAOS`` environment variable (inherited by
 worker processes) or the ``--chaos`` CLI flag, both taking a spec like::
 
@@ -46,9 +53,29 @@ from repro.engine.metrics import METRICS
 
 ENV_VAR = "REPRO_CHAOS"
 
-FAULTS = ("kill", "delay", "corrupt", "budget")
+JOB_FAULTS = ("kill", "delay", "corrupt", "budget")
+
+TRANSPORT_FAULTS = ("reset", "truncate", "dup", "lag")
+"""Service-transport faults, injected by the daemon on *responses*:
+
+* ``reset``    — close the connection without answering (a connection
+  reset from the client's point of view).
+* ``truncate`` — write a partial frame, then close (torn response).
+* ``dup``      — write the complete response frame twice (a duplicate
+  delivery; the client's request-id matching must tolerate it).
+* ``lag``      — sleep before writing (tail-latency injection; the
+  optional second parameter is the delay in seconds, default ``0.01``).
+
+Decisions are keyed by ``(job fingerprint, per-daemon serve count)`` and
+fire only on a daemon's *first* serve of a fingerprint — so a client
+retry (or a failover to a replica that has already served the job) always
+converges, keeping chaos runs bit-identical to clean ones."""
+
+FAULTS = JOB_FAULTS + TRANSPORT_FAULTS
 
 DEFAULT_DELAY_SECONDS = 0.05
+
+DEFAULT_LAG_SECONDS = 0.01
 
 
 class WorkerKilled(Exception):
@@ -65,6 +92,11 @@ class ChaosSpec:
     delay_seconds: float = DEFAULT_DELAY_SECONDS
     corrupt: float = 0.0
     budget: float = 0.0
+    reset: float = 0.0
+    truncate: float = 0.0
+    dup: float = 0.0
+    lag: float = 0.0
+    lag_seconds: float = DEFAULT_LAG_SECONDS
 
     @property
     def enabled(self) -> bool:
@@ -79,6 +111,8 @@ class ChaosSpec:
                 token = f"{fault}={rate:g}"
                 if fault == "delay" and self.delay_seconds != DEFAULT_DELAY_SECONDS:
                     token += f":{self.delay_seconds:g}"
+                if fault == "lag" and self.lag_seconds != DEFAULT_LAG_SECONDS:
+                    token += f":{self.lag_seconds:g}"
                 parts.append(token)
         return ",".join(parts)
 
@@ -107,9 +141,12 @@ def parse_spec(text: str) -> ChaosSpec:
             raise ValueError(f"chaos rate for {name!r} must be in [0, 1], got {rate}")
         spec = replace(spec, **{name: rate})
         if param:
-            if name != "delay":
+            if name == "delay":
+                spec = replace(spec, delay_seconds=float(param))
+            elif name == "lag":
+                spec = replace(spec, lag_seconds=float(param))
+            else:
                 raise ValueError(f"chaos fault {name!r} takes no parameter")
-            spec = replace(spec, delay_seconds=float(param))
     return spec
 
 
@@ -213,3 +250,55 @@ def maybe_corrupt_file(path, key: str) -> bool:
     data = path.read_bytes()
     path.write_bytes(corrupt_bytes(data))
     return True
+
+
+def transport_plan(key: str, attempt: int = 0) -> tuple[str, ...]:
+    """The transport faults to inject for one response.
+
+    ``key`` is the job fingerprint; ``attempt`` is the serving daemon's
+    serve count for that fingerprint.  Faults fire only on a daemon's
+    first serve (``attempt == 0``), so bounded client retries and
+    failover always converge — the same discipline as the job faults.
+    Returns the subset of :data:`TRANSPORT_FAULTS` to apply, in a fixed
+    order (``lag`` first, then ``dup``; ``reset`` and ``truncate`` are
+    terminal — the server applies at most one of those, ``reset``
+    winning).
+    """
+    spec = _ACTIVE
+    if spec is None or attempt > 0:
+        return ()
+    return tuple(f for f in TRANSPORT_FAULTS if decide(spec, f, key, 0))
+
+
+STORE_MUTATION_ENV = "REPRO_STORE_MUTATION"
+"""Activates a planted *store-layer* bug by name (see
+:mod:`repro.fuzz.mutations`): unlike job-payload mutations, these live
+below the executors — in the publish path itself — so they are switched
+through the environment, which daemons inherit from the fuzz harness."""
+
+_republish_seq = 0
+
+
+def store_mutation() -> str | None:
+    """The active planted store mutation name, or None."""
+    return os.environ.get(STORE_MUTATION_ENV) or None
+
+
+def mutate_store_value(value):
+    """Apply the active store mutation to a value about to be cached.
+
+    ``fabric-republish`` models a retry that double-publishes a
+    *non-idempotent* entry: every publish stamps a per-process sequence
+    number into the stored value, so what a daemon later reads back from
+    the shared cache differs from what was computed — exactly the bug
+    class only the fabric differential (cache-tier reads compared
+    against a clean baseline) can see.
+    """
+    global _republish_seq
+    if store_mutation() != "fabric-republish":
+        return value
+    _republish_seq += 1
+    METRICS.inc("chaos.mutated.store_publish")
+    if isinstance(value, dict):
+        return {**value, "__republish__": _republish_seq}
+    return {"__republish__": _republish_seq, "value": value}

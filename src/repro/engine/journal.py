@@ -1,0 +1,168 @@
+"""Resumable progress journals: crash-safe checkpoints for long work.
+
+A :class:`Journal` is an append-only JSONL file recording the completed
+units of one long-running invocation (a ``tune`` scoring sweep, a
+``search`` legality census).  Each record is one line::
+
+    {"k": <record key>, "check": <sha256 prefix>, "payload": {...}}
+
+where ``check`` covers the canonical JSON of ``(k, payload)`` — a
+record either round-trips bit-exact or is ignored.  The journal lives
+at ``<root>/journal/<key[:2]>/<key>.jsonl``: ``key`` is the content
+fingerprint of the *whole invocation* (program, grids, seed, ...), so
+a resumed run finds exactly its own progress and a changed invocation
+starts a fresh file — stale checkpoints can never leak across runs.
+
+Crash model: the writer may die at ANY byte.  Appends go through one
+``write + flush + fsync`` per record, so the only possible damage is a
+torn final line; :meth:`Journal.replay` tolerates that (and any
+corrupted line) by skipping records that fail to parse or checksum —
+a bad checkpoint merely re-runs its unit of work, never poisons it.
+Records are idempotent by construction (content-addressed work), so a
+record appended twice — the duplicate-on-retry case — is harmless:
+the last valid occurrence of a key wins and all occurrences agree.
+
+Kill injection (tests): ``REPRO_JOURNAL_KILL_AFTER=N`` hard-exits the
+process (``os._exit(1)``) immediately after the ``N``-th append in this
+process; ``N:torn`` instead writes half of record ``N`` and dies
+mid-line, exercising the torn-tail path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.engine.metrics import METRICS
+
+KILL_ENV = "REPRO_JOURNAL_KILL_AFTER"
+
+_appends = 0  # process-wide append count, for kill injection
+
+
+def _canonical(key: str, payload) -> bytes:
+    return json.dumps(
+        {"k": key, "payload": payload}, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def _checksum(key: str, payload) -> str:
+    return hashlib.sha256(_canonical(key, payload)).hexdigest()[:16]
+
+
+def _kill_plan() -> tuple[int, bool] | None:
+    """``(after_n, torn)`` from :data:`KILL_ENV`, or None."""
+    raw = os.environ.get(KILL_ENV)
+    if not raw:
+        return None
+    count, _, mode = raw.partition(":")
+    try:
+        return int(count), mode == "torn"
+    except ValueError:
+        return None
+
+
+class Journal:
+    """One invocation's append-only checkpoint log."""
+
+    def __init__(self, root, key: str, *, metrics=METRICS) -> None:
+        self.root = Path(root)
+        self.key = key
+        self.metrics = metrics
+        self.path = self.root / "journal" / key[:2] / f"{key}.jsonl"
+        self._fh = None
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(self) -> dict:
+        """All intact records, keyed by record key (last valid wins).
+
+        Torn tails, corrupt lines, and checksum mismatches are skipped
+        (counted under ``engine.journal.skipped``) — a damaged record
+        costs a re-run of one unit, nothing else.
+        """
+        records: dict[str, object] = {}
+        if not self.path.exists():
+            return records
+        with open(self.path, "rb") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line.decode())
+                    key, payload = record["k"], record["payload"]
+                    intact = record.get("check") == _checksum(key, payload)
+                except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                    intact = False
+                if not intact:
+                    self.metrics.inc("engine.journal.skipped")
+                    continue
+                records[key] = payload
+        if records:
+            self.metrics.inc("engine.journal.resumed", len(records))
+        return records
+
+    # -- append ------------------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def append(self, key: str, payload) -> None:
+        """Durably record one completed unit of work."""
+        global _appends
+        record = {"k": key, "check": _checksum(key, payload), "payload": payload}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        fh = self._handle()
+        _appends += 1
+        plan = _kill_plan()
+        dying = plan is not None and _appends >= plan[0]
+        if dying and plan[1]:
+            # Torn mode: die mid-line — record N must NOT survive replay.
+            fh.write(line[: max(1, len(line) // 2)])
+            fh.flush()
+            os.fsync(fh.fileno())
+            os._exit(1)
+        fh.write(line + b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+        self.metrics.inc("engine.journal.appends")
+        if dying:
+            # Clean mode: die right after record N became durable.
+            os._exit(1)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def resolve_journal(journal, key: str):
+    """``None`` | path-like | :class:`Journal` -> a Journal or None.
+
+    The convenience spelling for entry points: callers pass a root
+    directory (``--journal DIR``) and the invocation fingerprint; an
+    existing Journal instance passes through (its key must match).
+    """
+    if journal is None:
+        return None
+    if isinstance(journal, Journal):
+        if journal.key != key:
+            raise ValueError(
+                f"journal keyed for {journal.key[:12]}... reused for {key[:12]}..."
+            )
+        return journal
+    return Journal(journal, key)

@@ -1,0 +1,326 @@
+"""Crash-safe publish primitives shared by the on-disk stores.
+
+Several daemon processes (see :mod:`repro.service.fabric`) publish into
+one content-addressed store concurrently, and any of them can be killed
+at any instruction.  The stores (:class:`~repro.engine.cache.ResultCache`,
+:class:`~repro.memsim.trace.TraceStore`) get their crash safety from
+three primitives here:
+
+* :func:`atomic_publish` — write to a *unique* temp file (pid + thread +
+  sequence number, so two threads of one daemon can never collide on the
+  same temp path), then ``os.replace`` into place.  A reader therefore
+  only ever observes a complete entry or no entry; a writer killed
+  mid-write leaves a temp file, never a torn entry.
+* :class:`PublishLease` — single-writer election per fingerprint, built
+  on ``O_CREAT|O_EXCL`` lock files.  When N daemons finish computing the
+  same job, one wins the lease and publishes; the losers wait briefly
+  for the winner's entry to appear and only publish themselves if it
+  does not (the winner was killed mid-publish) — so the common case is
+  exactly one disk write per fingerprint, and the crash case still
+  *never loses the value*.  Entries are content-addressed, so a rare
+  double publish replaces an entry with identical bytes and is harmless.
+* :func:`sweep_orphans` — remove temp files and stale lock files, but
+  only past an **age threshold** (:data:`ORPHAN_AGE_SECONDS` /
+  :data:`LOCK_STALE_SECONDS`): a young temp file may be a live writer
+  mid-publish in another process, and deleting it would tear that
+  publish.  A lock whose owner pid is provably dead is reclaimed
+  regardless of age.
+
+Rename is the backbone (it is atomic on POSIX); the lease only exists
+where rename is insufficient — electing *which* process renames, and
+letting a crashed winner's lock be detected (dead pid or stale age) and
+broken by a successor.
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.engine.metrics import METRICS
+
+ORPHAN_AGE_SECONDS = 60.0
+"""Temp files younger than this are presumed to belong to a live writer
+mid-publish and are never swept — sweeping them would race the writer's
+``os.replace`` and tear its publish."""
+
+LOCK_STALE_SECONDS = 30.0
+"""A publish lease older than this is presumed abandoned (publishes take
+milliseconds); it may be broken by the next contender.  A lease whose
+recorded pid is dead is broken immediately, whatever its age."""
+
+LEASE_WAIT_SECONDS = 0.25
+"""How long an election loser waits for the winner's entry to appear
+before concluding the winner died mid-publish and publishing itself."""
+
+_TMP_MARKER = ".tmp."
+_LOCK_SUFFIX = ".lock"
+
+_seq = itertools.count()
+_seq_lock = threading.Lock()
+
+
+def _next_seq() -> int:
+    with _seq_lock:
+        return next(_seq)
+
+
+def unique_tmp(path: Path) -> Path:
+    """A temp path unique across processes *and* threads.
+
+    ``<name>.tmp.<pid>.<tid>.<seq>`` — matched by the ``*.tmp.*`` orphan
+    glob, never reused within a process, and never colliding between
+    processes (pid) or threads (tid + sequence).
+    """
+    return path.with_name(
+        f"{path.name}{_TMP_MARKER}{os.getpid()}.{threading.get_native_id()}.{_next_seq()}"
+    )
+
+
+def is_tmp(path: Path) -> bool:
+    return _TMP_MARKER in path.name
+
+
+def atomic_publish(path: Path, data: bytes | None = None, writer=None) -> None:
+    """Publish a complete file at ``path`` atomically.
+
+    Either ``data`` (bytes written directly) or ``writer`` (a callable
+    receiving an open binary file handle) supplies the content.  The
+    content lands in a unique temp file first and is renamed into place,
+    so concurrent publishers and killed writers can never expose a torn
+    entry; at worst they leave a temp file for :func:`sweep_orphans`.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = unique_tmp(path)
+    try:
+        with open(tmp, "wb") as fh:
+            if writer is not None:
+                writer(fh)
+            else:
+                fh.write(data or b"")
+        os.replace(tmp, path)
+    except BaseException:
+        # Never leave the temp behind on an orderly failure; a killed
+        # process obviously skips this and relies on the sweep.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lock owner's pid."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    except OSError:
+        return True  # unknown: presume alive, fall back to age staleness
+    return True
+
+
+class PublishLease:
+    """Single-writer election for one store entry.
+
+    ``acquire()`` attempts to create ``<path>.lock`` with
+    ``O_CREAT|O_EXCL`` (atomic on POSIX).  The file body records
+    ``pid:monotonic-free timestamp`` for diagnostics; staleness is judged
+    by the lock file's mtime and the recorded pid's liveness, so a
+    contender can break the lock of a writer that died between election
+    and publish.
+    """
+
+    def __init__(self, path: Path, stale_after: float = LOCK_STALE_SECONDS) -> None:
+        self.path = Path(path)
+        self.lock_path = self.path.with_name(self.path.name + _LOCK_SUFFIX)
+        self.stale_after = stale_after
+        self._held = False
+
+    def _owner_pid(self) -> int:
+        try:
+            text = self.lock_path.read_text()
+            return int(text.split(":", 1)[0])
+        except (OSError, ValueError):
+            return -1
+
+    def _is_stale(self) -> bool:
+        try:
+            age = time.time() - self.lock_path.stat().st_mtime
+        except OSError:
+            return False  # vanished: the owner released it; not stale
+        if age > self.stale_after:
+            return True
+        owner = self._owner_pid()
+        return owner > 0 and not pid_alive(owner)
+
+    def break_stale(self) -> bool:
+        """Remove the lock if its owner is dead or it has aged out."""
+        if not self._is_stale():
+            return False
+        try:
+            os.unlink(self.lock_path)
+        except OSError:
+            return False  # someone else broke or released it first
+        METRICS.inc("engine.store.locks_broken")
+        return True
+
+    def acquire(self) -> bool:
+        """Try to win the election; True iff this caller may publish."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        for _ in range(2):  # second try only after breaking a stale lock
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if not self.break_stale():
+                    return False
+                continue
+            except OSError as exc:
+                if exc.errno == errno.ENOENT:  # parent raced a clear()
+                    return False
+                raise
+            try:
+                os.write(fd, f"{os.getpid()}:{time.time():.3f}".encode())
+            finally:
+                os.close(fd)
+            self._held = True
+            return True
+        return False
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.lock_path)
+        except OSError:
+            pass  # broken by a contender that judged us stale
+
+    def wait_for_entry(self, timeout: float = LEASE_WAIT_SECONDS) -> bool:
+        """Wait for the election winner's entry to appear at ``path``.
+
+        Returns True once the entry exists; False after ``timeout`` —
+        the winner presumably died mid-publish and the caller should
+        publish the value itself (losing it would be worse than a
+        harmless duplicate publish of identical content).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if self.path.exists():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def elected_publish(
+    path: Path,
+    data: bytes | None = None,
+    writer=None,
+    *,
+    overwrite: bool = False,
+    metrics=METRICS,
+    counter_prefix: str = "engine.store",
+) -> str:
+    """Publish ``path`` at most once across concurrent writers.
+
+    The single-writer election for content-addressed stores: if the
+    entry already exists, nothing is written (``"dedup"``); if another
+    *live* writer holds the lease, this caller waits briefly for that
+    writer's entry (``"yield"``) and only publishes itself when the
+    entry never appears (``"rescue"`` — the winner was killed between
+    election and rename).  ``overwrite=True`` skips the exists fast
+    path for entries whose content can legitimately grow under one
+    fingerprint (extended histogram profiles); last complete write wins.
+    Returns the outcome: ``"published"``, ``"dedup"``, ``"yield"``, or
+    ``"rescue"`` — the caller wrote the entry in all but the middle two.
+    """
+    if not overwrite and path.exists():
+        metrics.inc(f"{counter_prefix}.publish_dedup")
+        return "dedup"
+    lease = PublishLease(path)
+    if lease.acquire():
+        try:
+            atomic_publish(path, data, writer)
+        finally:
+            lease.release()
+        metrics.inc(f"{counter_prefix}.publishes")
+        return "published"
+    if not overwrite and lease.wait_for_entry():
+        metrics.inc(f"{counter_prefix}.publish_yield")
+        return "yield"
+    # The elected writer vanished without publishing (or this is an
+    # overwrite, where yielding could lose the extension): write it
+    # ourselves.  Entries are complete-on-rename, so even if the winner
+    # was merely slow and both renames land, nothing tears.
+    atomic_publish(path, data, writer)
+    metrics.inc(f"{counter_prefix}.publish_rescue")
+    return "rescue"
+
+
+def sweep_orphans(
+    root: Path,
+    *,
+    max_age: float = ORPHAN_AGE_SECONDS,
+    lock_stale: float = LOCK_STALE_SECONDS,
+    skip_dirs: tuple[str, ...] = ("quarantine",),
+    metrics=METRICS,
+) -> dict:
+    """Remove aged-out temp files and stale locks under ``root``.
+
+    Only files older than the thresholds go — a young ``*.tmp.*`` is a
+    live publish in flight in some other process, and removing it would
+    tear that publish (the bug the satellite fix closes).  Locks held by
+    dead pids are reclaimed regardless of age.  Returns counts:
+    ``{"tmp": removed temps, "locks": removed locks, "kept": skipped
+    young files}``.
+    """
+    root = Path(root)
+    removed_tmp = removed_locks = kept = 0
+    if not root.exists():
+        return {"tmp": 0, "locks": 0, "kept": 0}
+    now = time.time()
+    for bucket in root.iterdir():
+        if not bucket.is_dir() or bucket.name in skip_dirs:
+            continue
+        for entry in bucket.iterdir():
+            name = entry.name
+            if _TMP_MARKER in name:
+                try:
+                    age = now - entry.stat().st_mtime
+                except OSError:
+                    continue  # finished (renamed away) under us
+                if age < max_age:
+                    kept += 1
+                    continue
+                try:
+                    entry.unlink()
+                    removed_tmp += 1
+                except OSError:
+                    pass
+            elif name.endswith(_LOCK_SUFFIX):
+                lease = PublishLease(
+                    entry.with_name(name[: -len(_LOCK_SUFFIX)]),
+                    stale_after=lock_stale,
+                )
+                if lease.break_stale():
+                    removed_locks += 1
+    if removed_tmp:
+        metrics.inc("engine.store.orphans_swept", removed_tmp)
+    return {"tmp": removed_tmp, "locks": removed_locks, "kept": kept}

@@ -35,6 +35,16 @@ Not a per-case oracle: the runner strips it from the checks handed to
 workers and instead re-runs the whole batch under an active chaos spec,
 asserting bit-identical results."""
 
+FABRIC_CHECK = "fabric"
+"""The runner-level multi-daemon differential (docs/FABRIC.md).
+
+Also not a per-case oracle: the runner re-serves the whole batch
+through a fabric of in-process daemon replicas sharing one on-disk
+store, with transport chaos active and one replica killed mid-pass —
+each case submitted twice so the second answer is forced through the
+cache tiers — and every served value must be bit-identical to the
+clean single-process run."""
+
 
 @dataclass(frozen=True)
 class FactorSpec:

@@ -44,6 +44,7 @@ class Mutation:
     solver_many: Callable | None = None  # replaces the batched family solve
     reuse: Callable | None = None  # replaces the stack-distance computation
     set_index: Callable | None = None  # replaces the conflict set-index map
+    store: str | None = None  # REPRO_STORE_MUTATION value for the fabric pass
 
 
 class _AlwaysLegal:
@@ -229,6 +230,14 @@ MUTATIONS: dict[str, Mutation] = {
             description="legality verdict flips whenever fault injection is active",
             target_oracle="chaos",
             legality=_chaos_flaky_legality,
+        ),
+        Mutation(
+            name="fabric-republish",
+            description="cache publishes are non-idempotent: every put "
+            "stamps a fresh sequence number into the stored value and "
+            "bypasses the single-writer election",
+            target_oracle="fabric",
+            store="fabric-republish",
         ),
         Mutation(
             name="reuse-off-by-one",

@@ -29,13 +29,21 @@ from repro.engine.jobs import JobSpec
 from repro.engine.metrics import METRICS
 from repro.engine.pool import run_jobs
 from repro.fuzz import corpus as _corpus
-from repro.fuzz.cases import ALL_CHECKS, CHAOS_CHECK, FuzzCase
+from repro.fuzz import mutations as _mutations
+from repro.fuzz.cases import ALL_CHECKS, CHAOS_CHECK, FABRIC_CHECK, FuzzCase
 from repro.fuzz.gen import GenConfig, generate_case
 from repro.fuzz.shrink import shrink_case
 
 DEFAULT_CHAOS_SPEC = "kill=0.15,delay=0.1:0.01,corrupt=0.3,budget=0.15"
 """Fault rates used when ``chaos`` is requested without an explicit spec
 (the run's generator seed becomes the chaos seed)."""
+
+DEFAULT_FABRIC_SPEC = "reset=0.25,truncate=0.15,dup=0.2,lag=0.15:0.002"
+"""Transport-fault rates for the fabric differential (first serve of
+each job per daemon only, so bounded retries always converge)."""
+
+FABRIC_REPLICAS = 3
+"""Daemon replicas stood up for the fabric differential pass."""
 
 
 @dataclass
@@ -73,6 +81,8 @@ class FuzzReport:
     corpus_still_failing: int = 0
     chaos_cases: int = 0
     chaos_spec: str | None = None
+    fabric_cases: int = 0
+    fabric_spec: str | None = None
     failures: list[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -102,6 +112,13 @@ class FuzzReport:
             lines.append(
                 f"chaos differential: {self.chaos_cases} cases under "
                 f"'{self.chaos_spec}', {divergences} divergences"
+            )
+        if self.fabric_spec is not None:
+            divergences = sum(1 for f in self.failures if f.check == FABRIC_CHECK)
+            lines.append(
+                f"fabric differential: {self.fabric_cases} cases over "
+                f"{FABRIC_REPLICAS} replicas under '{self.fabric_spec}', "
+                f"{divergences} divergences"
             )
         for failure in self.failures:
             lines.append(failure.describe())
@@ -179,6 +196,96 @@ def _run_chaos_pass(
         )
 
 
+def _run_fabric_pass(
+    specs: list[JobSpec],
+    clean_results: list,
+    cases: list[FuzzCase],
+    spec: "_chaos.ChaosSpec",
+    report: FuzzReport,
+    mutation: str | None = None,
+) -> None:
+    """Re-serve ``specs`` through a chaos-ridden multi-daemon fabric.
+
+    Three in-process daemon replicas share one on-disk result store;
+    transport faults (reset, truncation, duplication, lag) are injected
+    on the first serve of every job, one replica is killed dead halfway
+    through, and each case is submitted twice so the second answer is
+    forced through the shared cache tiers.  Every value the failover
+    client hands back must be bit-identical to the clean single-process
+    results — the fabric's retries, elections and failover are allowed
+    to cost time, never bits.
+
+    A mutation with a ``store`` hook (``fabric-republish``) activates
+    :data:`repro.engine.chaos.STORE_MUTATION_ENV` for the duration: the
+    non-idempotent publishes it plants are invisible to every per-case
+    oracle and to the first serve — only this pass's cache-tier
+    re-serve can (and must) catch them.
+    """
+    from repro.service.client import FailoverClient, ServiceError, TRANSPORT_ERRORS
+    from repro.service.server import ServerConfig, ServerThread
+
+    report.fabric_spec = spec.describe()
+    planted = _mutations.get(mutation)
+    store_mutation = planted.store if planted is not None else None
+    kill_at = max(1, len(specs) // 2)
+    served: list[tuple[object, object] | Exception] = []
+
+    previous = _chaos.configure(spec)
+    if store_mutation is not None:
+        os.environ[_chaos.STORE_MUTATION_ENV] = store_mutation
+    servers: list[ServerThread] = []
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fabric-") as root:
+            store_root = str(Path(root) / "store")
+            for index in range(FABRIC_REPLICAS):
+                servers.append(
+                    ServerThread(
+                        ServerConfig(cache=store_root),
+                        path=str(Path(root) / f"replica.{index}.sock"),
+                    ).start()
+                )
+            with METRICS.timer("fuzz.fabric_pass"):
+                with FailoverClient(
+                    [s.address for s in servers], cycles=5, backoff=0.01
+                ) as client:
+                    for index, job in enumerate(specs):
+                        if index == kill_at:
+                            servers[1].kill()  # a replica dies mid-pass
+                            METRICS.inc("fuzz.fabric_kills")
+                        try:
+                            first = client.submit(job)
+                            second = client.submit(job)  # cache-tier re-serve
+                            served.append((first, second))
+                        except (ServiceError, *TRANSPORT_ERRORS) as exc:
+                            served.append(exc)
+    finally:
+        _chaos.configure(previous)
+        if store_mutation is not None:
+            os.environ.pop(_chaos.STORE_MUTATION_ENV, None)
+        for server in servers:
+            server.kill()
+
+    for case, clean, outcome in zip(cases, clean_results, served):
+        report.fabric_cases += 1
+        if isinstance(outcome, Exception):
+            detail = f"fabric failed to serve the case: {outcome!r}"
+        else:
+            first, second = outcome
+            if first != clean:
+                detail = f"fresh serve diverged: {clean!r} != {first!r}"
+            elif second != clean:
+                detail = (
+                    "cache-tier re-serve diverged from the clean run: "
+                    f"{clean!r} != {second!r}"
+                )
+            else:
+                continue
+        METRICS.inc("fuzz.fabric_divergence")
+        report.failures.append(
+            FuzzFailure(case=case, failures=[{"check": FABRIC_CHECK, "detail": detail}])
+        )
+
+
 def run_fuzz(
     seed: int = 0,
     budget: int = 100,
@@ -190,6 +297,7 @@ def run_fuzz(
     shrink: bool = True,
     mutation: str | None = None,
     chaos_spec: "str | _chaos.ChaosSpec | None" = None,
+    fabric_spec: "str | _chaos.ChaosSpec | None" = None,
 ) -> FuzzReport:
     """Replay the corpus, then run ``budget`` fresh generated cases.
 
@@ -204,10 +312,20 @@ def run_fuzz(
     same jobs run again under the spec (default
     :data:`DEFAULT_CHAOS_SPEC` seeded with ``seed``) and any per-case
     result that is not bit-identical becomes a ``chaos`` failure.
+
+    ``fabric_spec`` (or listing ``"fabric"`` among ``checks``) adds the
+    multi-daemon differential: the same jobs are re-served — twice each
+    — through :data:`FABRIC_REPLICAS` in-process daemons over one shared
+    store, with transport faults (default :data:`DEFAULT_FABRIC_SPEC`
+    seeded with ``seed``) and one replica killed mid-pass; any served
+    value that is not bit-identical becomes a ``fabric`` failure.
     """
     requested = tuple(checks) if checks else ALL_CHECKS
     want_chaos = chaos_spec is not None or CHAOS_CHECK in requested
-    worker_checks = tuple(c for c in requested if c != CHAOS_CHECK) or ("legality",)
+    want_fabric = fabric_spec is not None or FABRIC_CHECK in requested
+    worker_checks = tuple(
+        c for c in requested if c not in (CHAOS_CHECK, FABRIC_CHECK)
+    ) or ("legality",)
     cfg = config or GenConfig(checks=worker_checks)
     report = FuzzReport(seed=seed, budget=budget)
 
@@ -223,7 +341,7 @@ def run_fuzz(
 
     all_cases = replay_cases + fresh_cases
     specs = [fuzz_job(case) for case in all_cases]
-    if want_chaos:
+    if want_chaos or want_fabric:
         # The reference pass must be genuinely fault-free even when a
         # chaos spec is ambient (REPRO_CHAOS in the environment).
         ambient_env = os.environ.pop(_chaos.ENV_VAR, None)
@@ -274,4 +392,16 @@ def run_fuzz(
         if spec is None:
             spec = _chaos.parse_spec(f"{DEFAULT_CHAOS_SPEC},seed={seed}")
         _run_chaos_pass(specs, results, all_cases, spec, jobs, report)
+
+    # -- 4. fabric differential: same jobs through a lossy multi-daemon
+    #       fabric over one shared store, same bits ------------------------
+    if want_fabric:
+        spec = (
+            _chaos.parse_spec(fabric_spec)
+            if isinstance(fabric_spec, str)
+            else fabric_spec
+        )
+        if spec is None:
+            spec = _chaos.parse_spec(f"{DEFAULT_FABRIC_SPEC},seed={seed}")
+        _run_fabric_pass(specs, results, all_cases, spec, report, mutation=mutation)
     return report

@@ -53,6 +53,7 @@ import hashlib
 import numpy as np
 
 from repro.engine import chaos as _chaos
+from repro.engine import store as _store
 from repro.engine.cache import quarantine_file
 from repro.engine.metrics import METRICS
 
@@ -278,9 +279,9 @@ class TraceStore:
             flops = np.array(
                 [trace.flops_per_statement[l] for l in labels], dtype=np.int64
             )
-            tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
-            with open(tmp, "wb") as fh:
-                np.savez_compressed(
+            _store.elected_publish(
+                path,
+                writer=lambda fh: np.savez_compressed(
                     fh,
                     encoded=trace.encoded,
                     labels=np.array(labels),
@@ -290,8 +291,10 @@ class TraceStore:
                     check=np.str_(
                         _trace_checksum(trace.encoded, labels, counts, flops)
                     ),
-                )
-            os.replace(tmp, path)
+                ),
+                metrics=self.metrics,
+                counter_prefix="memsim.store",
+            )
             _chaos.maybe_corrupt_file(path, fingerprint)
 
     def get_profile(self, hist_fp: str):
@@ -355,16 +358,21 @@ class TraceStore:
         self._remember_profile(hist_fp, profile)
         if self.root is not None:
             path = self._path(hist_fp)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
-            with open(tmp, "wb") as fh:
-                np.savez_compressed(
+            # overwrite: a stored profile can legitimately be *extended*
+            # (new set counts) under the same fingerprint, so the exists
+            # fast path would lose the extension.
+            _store.elected_publish(
+                path,
+                writer=lambda fh: np.savez_compressed(
                     fh,
                     **profile_to_arrays(profile),
                     schema=np.int64(HISTOGRAM_SCHEMA_VERSION),
                     check=np.str_(profile_checksum(profile)),
-                )
-            os.replace(tmp, path)
+                ),
+                overwrite=True,
+                metrics=self.metrics,
+                counter_prefix="memsim.store",
+            )
             _chaos.maybe_corrupt_file(path, hist_fp)
 
     def profile_for(
@@ -490,16 +498,17 @@ class TraceStore:
         self._remember_family(family_fp, family)
         if self.root is not None:
             path = self._path(family_fp)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
-            with open(tmp, "wb") as fh:
-                np.savez_compressed(
+            _store.elected_publish(
+                path,
+                writer=lambda fh: np.savez_compressed(
                     fh,
                     **family_to_arrays(family),
                     schema=np.int64(PARAMETRIC_SCHEMA_VERSION),
                     check=np.str_(family_checksum(family)),
-                )
-            os.replace(tmp, path)
+                ),
+                metrics=self.metrics,
+                counter_prefix="memsim.store",
+            )
             _chaos.maybe_corrupt_file(path, family_fp)
 
     def __len__(self) -> int:

@@ -29,11 +29,17 @@ _LAZY = {
     "ServiceEngine": "server",
     "serve_forever": "server",
     "ServiceClient": "client",
+    "FailoverClient": "client",
     "ServiceError": "client",
     "ServerOverloaded": "client",
     "ServerShuttingDown": "client",
     "RequestDeadline": "client",
     "RemoteJobFailure": "client",
+    "ConnectionLost": "client",
+    "ServiceUnavailable": "client",
+    "classify_error": "client",
+    "FabricSupervisor": "fabric",
+    "FabricConfig": "fabric",
     "LoadConfig": "loadgen",
     "LoadTask": "loadgen",
     "LoadReport": "loadgen",

@@ -7,6 +7,17 @@ callers can triage backpressure (:class:`ServerOverloaded` — retry with
 backoff), lifecycle (:class:`ServerShuttingDown` — find another server)
 and deadlines (:class:`RequestDeadline`) without parsing envelopes.
 
+Resilience (docs/FABRIC.md): jobs are *idempotent* — a spec's content
+fingerprint names its answer, and the shared store publishes are
+single-writer elected — so a transport failure (connection reset, torn
+frame, daemon death mid-flight) is safely healed by reconnecting and
+resending.  ``retries=N`` turns that on: each retry reconnects with
+exponential backoff before resending.  :class:`FailoverClient` layers a
+replica list on top — requests shard across replicas by job fingerprint,
+transport failures fail over to the next replica, and an optional hedge
+duplicates a slow request to a second replica and takes the first
+answer (safe, again, because jobs are idempotent).
+
 The convenience methods (``legality``/``codegen``/``search``/
 ``simulate``) build the same :class:`~repro.engine.jobs.JobSpec`
 payloads the in-process engine uses, so a served answer is bit-identical
@@ -34,6 +45,21 @@ class ServiceError(Exception):
     def __init__(self, message: str, response: dict | None = None) -> None:
         super().__init__(message)
         self.response = response or {}
+
+
+class ConnectionLost(ServiceError):
+    """The transport died mid-request (reset, torn frame, daemon kill).
+
+    Jobs are idempotent, so resending after a reconnect is always safe;
+    ``retries``/:class:`FailoverClient` do exactly that."""
+
+    status = "transport"
+
+
+class ServiceUnavailable(ServiceError):
+    """Every replica (and every retry) failed at the transport level."""
+
+    status = "transport"
 
 
 class ServerOverloaded(ServiceError):
@@ -70,6 +96,27 @@ _ERRORS_BY_STATUS = {
     for cls in (ServerOverloaded, ServerShuttingDown, RequestDeadline, BadRequest)
 }
 
+TRANSPORT_ERRORS = (OSError, protocol.ProtocolError, ConnectionLost)
+"""Failures below the protocol: safe to heal by reconnect-and-resend."""
+
+RETRYABLE_OPS = frozenset({"job", "ping", "health", "stats"})
+"""Ops a client may transparently resend after a transport failure.
+``shutdown`` is excluded — not because it is unsafe (draining is
+idempotent), but so a flaky network can never *hide* that a shutdown
+request went unacknowledged."""
+
+
+def classify_error(exc: BaseException) -> str:
+    """The error class of a request failure, for report breakdowns.
+
+    Daemon-reported statuses pass through (``overloaded``,
+    ``shutting-down``, ``deadline-exceeded``, ...); anything below the
+    protocol — socket errors, torn frames, connection loss — is one
+    ``transport`` class."""
+    if isinstance(exc, TRANSPORT_ERRORS):
+        return "transport"
+    return getattr(exc, "status", "error")
+
 
 class ServiceClient:
     """One blocking connection to a shackle daemon.
@@ -78,6 +125,12 @@ class ServiceClient:
     ``connect_retry`` keeps retrying the initial connect for that many
     seconds — handy when racing a daemon that is still binding its
     socket (the CI smoke test starts both at once).
+
+    ``retries`` bounds how many times a *retryable* request (see
+    :data:`RETRYABLE_OPS`) is transparently resent after a transport
+    failure; each retry reconnects first, backing off exponentially
+    from ``backoff`` seconds.  ``retries=0`` (the default) keeps the
+    historical fail-fast behavior.
     """
 
     def __init__(
@@ -88,6 +141,8 @@ class ServiceClient:
         *,
         io_timeout: float | None = 60.0,
         connect_retry: float = 0.0,
+        retries: int = 0,
+        backoff: float = 0.05,
     ) -> None:
         if (path is None) == (host is None):
             raise ValueError("give exactly one of path= (unix) or host= (tcp)")
@@ -95,6 +150,8 @@ class ServiceClient:
         self._unix = path is not None
         self._io_timeout = io_timeout
         self._connect_retry = connect_retry
+        self._retries = max(0, int(retries))
+        self._backoff = backoff
         self._sock: socket.socket | None = None
         self._next_id = 0
 
@@ -137,6 +194,37 @@ class ServiceClient:
 
     # -- raw request/response ----------------------------------------------------
 
+    def _request_once(
+        self,
+        op: str,
+        *,
+        kind: str | None = None,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        message = protocol.request(
+            op, request_id, kind=kind, payload=payload, timeout=timeout
+        )
+        try:
+            protocol.send_message(self._sock, message)
+            while True:
+                response = protocol.recv_message(self._sock)
+                if response is None:
+                    raise ConnectionLost(
+                        "server closed the connection mid-request"
+                    )
+                if response.get("id") == request_id:
+                    return response
+                # A stale or duplicated frame (an id we already answered,
+                # or chaos `dup`): skip it and keep reading.
+        except (OSError, protocol.ProtocolError, ConnectionLost):
+            # Whatever was in flight is unrecoverable on this socket.
+            self.close()
+            raise
+
     def request(
         self,
         op: str,
@@ -145,21 +233,26 @@ class ServiceClient:
         payload: dict | None = None,
         timeout: float | None = None,
     ) -> dict:
-        """Send one request and return the raw response message."""
-        self.connect()
-        self._next_id += 1
-        request_id = self._next_id
-        message = protocol.request(
-            op, request_id, kind=kind, payload=payload, timeout=timeout
-        )
-        protocol.send_message(self._sock, message)
+        """Send one request and return the raw response message.
+
+        Transport failures on retryable ops are healed by up to
+        ``retries`` reconnect-and-resend rounds with exponential
+        backoff; jobs are idempotent (content-fingerprinted, elected
+        single-writer publishes), so a resend can never double-apply.
+        """
+        attempts = 1 + (self._retries if op in RETRYABLE_OPS else 0)
+        delay = self._backoff
         while True:
-            response = protocol.recv_message(self._sock)
-            if response is None:
-                self.close()
-                raise ServiceError("server closed the connection mid-request")
-            if response.get("id") == request_id:
-                return response
+            attempts -= 1
+            try:
+                return self._request_once(
+                    op, kind=kind, payload=payload, timeout=timeout
+                )
+            except TRANSPORT_ERRORS:
+                if attempts <= 0:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
 
     def call(
         self,
@@ -221,6 +314,10 @@ class ServiceClient:
     def ping(self) -> dict:
         return self.call("ping")
 
+    def health(self) -> dict:
+        """The daemon's readiness snapshot (state, pid, queue depth)."""
+        return self.call("health")
+
     def stats(self) -> dict:
         """The daemon's machine-readable snapshot (server + metrics + cache)."""
         return self.call("stats")
@@ -228,3 +325,249 @@ class ServiceClient:
     def shutdown_server(self) -> dict:
         """Ask the daemon to drain and exit (same path as SIGTERM)."""
         return self.call("shutdown")
+
+
+# -- replica failover --------------------------------------------------------------
+
+
+def _make_client(address, **kwargs) -> ServiceClient:
+    """A client for one replica address: a path, or ``(host, port)``."""
+    if isinstance(address, (tuple, list)):
+        host, port = address
+        return ServiceClient(host=host, port=int(port), **kwargs)
+    return ServiceClient(path=str(address), **kwargs)
+
+
+def shard_index(fingerprint: str | None, replicas: int) -> int:
+    """The preferred replica for a job fingerprint.
+
+    Stable sharding concentrates each fingerprint's traffic on one
+    replica, so its memory tier and single-flight dedup see every
+    repeat; the shared disk store makes any *other* replica a warm
+    fallback.  Non-job requests (no fingerprint) go to replica 0.
+    """
+    if not fingerprint:
+        return 0
+    return int(fingerprint[:8], 16) % max(1, replicas)
+
+
+class FailoverClient:
+    """Fingerprint-sharded failover across a replica list.
+
+    Each request walks the replica ring starting at its shard — on a
+    transport failure or a draining replica it advances to the next,
+    and after a full circle it backs off and circles again, up to
+    ``cycles`` rounds.  ``hedge_after`` (seconds, optional) arms tail
+    hedging for jobs: if the sharded replica has not answered within
+    the hedge delay, the same request is fired at the next replica and
+    the first answer wins (idempotency makes the duplicate harmless).
+
+    Not thread-safe, like :class:`ServiceClient`: one instance per
+    thread.  Hedge requests use short-lived dedicated connections so
+    the main per-replica connections never see interleaved frames.
+    """
+
+    def __init__(
+        self,
+        addresses,
+        *,
+        io_timeout: float | None = 60.0,
+        connect_retry: float = 0.0,
+        cycles: int = 3,
+        backoff: float = 0.05,
+        hedge_after: float | None = None,
+    ) -> None:
+        self.addresses = list(addresses)
+        if not self.addresses:
+            raise ValueError("need at least one replica address")
+        self._kwargs = {"io_timeout": io_timeout, "connect_retry": connect_retry}
+        self._cycles = max(1, int(cycles))
+        self._backoff = backoff
+        self._hedge_after = hedge_after
+        self._clients: dict[int, ServiceClient] = {}
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _client(self, index: int) -> ServiceClient:
+        client = self._clients.get(index)
+        if client is None:
+            client = _make_client(self.addresses[index], **self._kwargs)
+            self._clients[index] = client
+        return client
+
+    def _drop(self, index: int) -> None:
+        client = self._clients.pop(index, None)
+        if client is not None:
+            client.close()
+
+    def close(self) -> None:
+        for index in list(self._clients):
+            self._drop(index)
+
+    def __enter__(self) -> "FailoverClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the failover walk -------------------------------------------------------
+
+    def request(
+        self,
+        op: str,
+        *,
+        kind: str | None = None,
+        payload: dict | None = None,
+        timeout: float | None = None,
+        shard_key: str | None = None,
+    ) -> dict:
+        """One request with failover; returns the raw response message."""
+        start = shard_index(shard_key, len(self.addresses))
+        ring = [
+            (start + offset) % len(self.addresses)
+            for offset in range(len(self.addresses))
+        ]
+        delay = self._backoff
+        last: BaseException | None = None
+        for cycle in range(self._cycles):
+            for index in ring:
+                try:
+                    if (
+                        self._hedge_after is not None
+                        and op == "job"
+                        and len(ring) > 1
+                    ):
+                        return self._hedged_request(
+                            index, op, kind=kind, payload=payload, timeout=timeout
+                        )
+                    return self._client(index).request(
+                        op, kind=kind, payload=payload, timeout=timeout
+                    )
+                except TRANSPORT_ERRORS as exc:
+                    # This replica is gone (killed, reset, torn frame):
+                    # drop its connection and try the next one.
+                    last = exc
+                    self._drop(index)
+                except ServerShuttingDown as exc:
+                    last = exc
+            if cycle + 1 < self._cycles:
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+        raise ServiceUnavailable(
+            f"no replica answered after {self._cycles} cycles over "
+            f"{len(self.addresses)} addresses: {last!r}"
+        ) from last
+
+    def _hedged_request(
+        self,
+        index: int,
+        op: str,
+        *,
+        kind: str | None = None,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Fire at the shard; hedge to the next replica if it is slow.
+
+        Both attempts run on dedicated connections in worker threads;
+        the first completed response wins and stragglers are abandoned
+        (their connections close with them).
+        """
+        import concurrent.futures
+
+        def attempt(target_index: int) -> dict:
+            with _make_client(
+                self.addresses[target_index], **self._kwargs
+            ) as client:
+                return client.request(
+                    op, kind=kind, payload=payload, timeout=timeout
+                )
+
+        backup = (index + 1) % len(self.addresses)
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=2)
+        try:
+            primary = pool.submit(attempt, index)
+            try:
+                return primary.result(timeout=self._hedge_after)
+            except concurrent.futures.TimeoutError:
+                pass  # slow: arm the hedge
+            except TRANSPORT_ERRORS:
+                return attempt(backup)
+            pending = {primary, pool.submit(attempt, backup)}
+            errors: list[BaseException] = []
+            while pending:
+                done, pending = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    try:
+                        return future.result()
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+            raise errors[-1]
+        finally:
+            # wait=False abandons a straggler — its dedicated connection
+            # closes when its thread finishes, touching no shared state.
+            pool.shutdown(wait=False)
+
+    def call(
+        self,
+        op: str,
+        *,
+        kind: str | None = None,
+        payload: dict | None = None,
+        timeout: float | None = None,
+        shard_key: str | None = None,
+    ):
+        """``request`` plus the same typed-error triage as ServiceClient."""
+        response = self.request(
+            op, kind=kind, payload=payload, timeout=timeout, shard_key=shard_key
+        )
+        if response.get("ok"):
+            return response.get("value")
+        status = response.get("status", protocol.STATUS_FAILED)
+        error = response.get("error") or {}
+        text = f"{error.get('type', 'Error')}: {error.get('message', status)}"
+        raise _ERRORS_BY_STATUS.get(status, RemoteJobFailure)(text, response)
+
+    # -- job + service surface (mirrors ServiceClient) ---------------------------
+
+    def submit(self, spec: _jobs.JobSpec, timeout: float | None = None):
+        return self.call(
+            "job",
+            kind=spec.kind,
+            payload=spec.payload,
+            timeout=timeout,
+            shard_key=spec.fingerprint,
+        )
+
+    def legality(self, program, blocking, choice, timeout: float | None = None) -> dict:
+        return self.submit(_jobs.legality_job(program, blocking, choice), timeout)
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def health_all(self) -> list[dict | None]:
+        """Per-replica health snapshots; None for unreachable replicas.
+
+        A transport failure gets one retry on a fresh connection: a
+        cached socket to a since-respawned replica fails exactly once,
+        and a second probe tells "stale connection" from "really down".
+        """
+        snapshots: list[dict | None] = []
+        for index in range(len(self.addresses)):
+            snapshot = None
+            for _ in range(2):
+                try:
+                    snapshot = self._client(index).health()
+                    break
+                except (ServiceError, *TRANSPORT_ERRORS):
+                    self._drop(index)
+            snapshots.append(snapshot)
+        return snapshots
+
+    def stats(self) -> dict:
+        return self.call("stats")

@@ -1,0 +1,306 @@
+"""The service fabric: K daemon replicas supervised over one shared store.
+
+A :class:`FabricSupervisor` launches ``replicas`` copies of the
+compilation daemon (``python -m repro serve``) as real OS processes,
+each bound to its own Unix socket but all backed by the *same* on-disk
+:class:`~repro.engine.cache.ResultCache` root — crash-safe concurrent
+publishes are the store's job (see :mod:`repro.engine.store`), so
+replicas share warm results without coordination.
+
+The supervisor's contract:
+
+* **launch** — spawn each replica with ``--pidfile`` and wait until its
+  health RPC answers ``ready`` (or a startup deadline passes);
+* **watch** — a poll loop reaps exited replicas and distinguishes a
+  clean drain (exit 0: deliberate, no respawn) from a crash (any other
+  exit code or a death by signal: respawn, up to ``max_respawns`` per
+  slot).  The daemon exits :data:`EXIT_ABNORMAL` when it terminates
+  abnormally, so post-mortem triage can tell "supervisor killed it"
+  from "it fell over on its own";
+* **log** — every lifecycle event (spawn, ready, exit, respawn,
+  give-up, stop) is appended as a timestamped line to ``log_path``,
+  which CI uploads as the fabric artifact.
+
+``kill_replica`` SIGKILLs one slot — the chaos tests and the failover
+benchmark use it to prove a :class:`~repro.service.client.FailoverClient`
+masks a replica death with zero wrong answers.
+
+The supervisor is deliberately dumb: no leader election, no shared
+state beyond the store, no health-based eviction.  Replicas are
+interchangeable because jobs are idempotent and the store is
+content-addressed; everything hard lives below this layer.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+EXIT_ABNORMAL = 70
+"""Exit code for an abnormal daemon termination (BSD's EX_SOFTWARE).
+
+``repro serve`` exits with this when the serve loop raises instead of
+draining; the supervisor treats it — and any other nonzero exit or
+death by signal — as a crash worth respawning."""
+
+_STARTUP_TIMEOUT = 30.0
+
+
+@dataclass
+class FabricConfig:
+    """Shape of one fabric: how many replicas, over which store."""
+
+    replicas: int = 3
+    cache: str | None = None
+    socket_dir: str = "."
+    socket_prefix: str = "repro"
+    jobs: int = 1
+    queue_limit: int = 1024
+    dispatchers: int = 1
+    timeout: float | None = None
+    respawn: bool = True
+    max_respawns: int = 3
+    poll_interval: float = 0.1
+    startup_timeout: float = _STARTUP_TIMEOUT
+    log_path: str | None = None
+    extra_args: tuple[str, ...] = field(default_factory=tuple)
+
+    def socket_path(self, index: int) -> str:
+        return str(Path(self.socket_dir) / f"{self.socket_prefix}.{index}.sock")
+
+    def pidfile_path(self, index: int) -> str:
+        return str(Path(self.socket_dir) / f"{self.socket_prefix}.{index}.pid")
+
+
+@dataclass
+class _Replica:
+    index: int
+    process: subprocess.Popen | None = None
+    respawns: int = 0
+    gave_up: bool = False
+
+
+class FabricSupervisor:
+    """Launch, watch, and respawn K daemon replicas over one store."""
+
+    def __init__(self, config: FabricConfig) -> None:
+        if config.replicas < 1:
+            raise ValueError("a fabric needs at least one replica")
+        self.config = config
+        self._replicas = [_Replica(i) for i in range(config.replicas)]
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._monitor: threading.Thread | None = None
+
+    # -- addressing --------------------------------------------------------------
+
+    @property
+    def addresses(self) -> list[str]:
+        """Replica socket paths, in slot order (the failover ring)."""
+        return [self.config.socket_path(i) for i in range(self.config.replicas)]
+
+    # -- logging -----------------------------------------------------------------
+
+    def _log(self, line: str) -> None:
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        text = f"{stamp} fabric: {line}"
+        if self.config.log_path:
+            with open(self.config.log_path, "a") as fh:
+                fh.write(text + "\n")
+        else:
+            print(text, file=sys.stderr, flush=True)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn(self, replica: _Replica) -> None:
+        cfg = self.config
+        sock = cfg.socket_path(replica.index)
+        for stale in (Path(sock), Path(cfg.pidfile_path(replica.index))):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", sock,
+            "--pidfile", cfg.pidfile_path(replica.index),
+            "--jobs", str(cfg.jobs),
+            "--queue-limit", str(cfg.queue_limit),
+            "--dispatchers", str(cfg.dispatchers),
+        ]
+        if cfg.cache is not None:
+            argv += ["--cache", cfg.cache]
+        if cfg.timeout is not None:
+            argv += ["--timeout", str(cfg.timeout)]
+        argv += list(cfg.extra_args)
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        replica.process = subprocess.Popen(argv, env=env)
+        self._log(f"replica {replica.index} spawned pid={replica.process.pid} socket={sock}")
+
+    def _wait_ready(self, replica: _Replica) -> bool:
+        """Block until the replica's health RPC answers ready."""
+        from repro.service.client import ServiceClient, TRANSPORT_ERRORS, ServiceError
+
+        deadline = time.monotonic() + self.config.startup_timeout
+        sock = self.config.socket_path(replica.index)
+        while time.monotonic() < deadline:
+            process = replica.process
+            if process is not None and process.poll() is not None:
+                return False
+            try:
+                with ServiceClient(path=sock, io_timeout=5.0) as client:
+                    health = client.health()
+                if health.get("ready"):
+                    self._log(f"replica {replica.index} ready pid={health.get('pid')}")
+                    return True
+            except (ServiceError, *TRANSPORT_ERRORS):
+                pass
+            time.sleep(0.02)
+        return False
+
+    def start(self) -> "FabricSupervisor":
+        """Spawn every replica, wait for readiness, start the watch loop."""
+        self._log(
+            f"starting {self.config.replicas} replicas over "
+            f"cache={self.config.cache or '(memory-only)'}"
+        )
+        for replica in self._replicas:
+            self._spawn(replica)
+        for replica in self._replicas:
+            if not self._wait_ready(replica):
+                self._log(f"replica {replica.index} failed to become ready")
+                self.stop()
+                raise RuntimeError(
+                    f"fabric replica {replica.index} did not become ready within "
+                    f"{self.config.startup_timeout:.0f}s"
+                )
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-fabric", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def _watch(self) -> None:
+        while not self._stopping:
+            with self._lock:
+                for replica in self._replicas:
+                    self._check(replica)
+            time.sleep(self.config.poll_interval)
+
+    def _check(self, replica: _Replica) -> None:
+        process = replica.process
+        if process is None or replica.gave_up:
+            return
+        code = process.poll()
+        if code is None:
+            return
+        if code == 0:
+            # Clean drain: deliberate, never respawned.
+            self._log(f"replica {replica.index} drained cleanly (exit 0)")
+            replica.process = None
+            return
+        reason = f"signal {-code}" if code < 0 else f"exit {code}"
+        self._log(f"replica {replica.index} crashed ({reason})")
+        if not self.config.respawn or replica.respawns >= self.config.max_respawns:
+            self._log(f"replica {replica.index} giving up after {replica.respawns} respawns")
+            replica.gave_up = True
+            replica.process = None
+            return
+        replica.respawns += 1
+        self._log(f"replica {replica.index} respawn {replica.respawns}/{self.config.max_respawns}")
+        self._spawn(replica)
+        self._wait_ready(replica)
+
+    # -- chaos hooks -------------------------------------------------------------
+
+    def kill_replica(self, index: int) -> int | None:
+        """SIGKILL one replica (chaos/benchmarks); returns the dead pid."""
+        with self._lock:
+            replica = self._replicas[index]
+            process = replica.process
+            if process is None or process.poll() is not None:
+                return None
+            pid = process.pid
+            self._log(f"replica {index} kill_replica pid={pid}")
+            process.kill()
+            process.wait()
+            return pid
+
+    def status(self) -> list[dict]:
+        """One dict per slot: pid, liveness, respawn count."""
+        rows = []
+        with self._lock:
+            for replica in self._replicas:
+                process = replica.process
+                alive = process is not None and process.poll() is None
+                rows.append({
+                    "index": replica.index,
+                    "pid": process.pid if process is not None else None,
+                    "alive": alive,
+                    "respawns": replica.respawns,
+                    "gave_up": replica.gave_up,
+                })
+        return rows
+
+    # -- teardown ----------------------------------------------------------------
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """SIGTERM every live replica (graceful drain), then reap."""
+        self._stopping = True
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
+            self._monitor = None
+        with self._lock:
+            for replica in self._replicas:
+                process = replica.process
+                if process is None or process.poll() is not None:
+                    continue
+                try:
+                    process.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+            deadline = time.monotonic() + timeout
+            for replica in self._replicas:
+                process = replica.process
+                if process is None:
+                    continue
+                remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    process.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+                self._log(f"replica {replica.index} stopped (exit {process.returncode})")
+                replica.process = None
+        self._log("fabric stopped")
+
+    def __enter__(self) -> "FabricSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def wait(self) -> None:
+        """Block until every replica is gone (foreground ``serve --replicas``)."""
+        try:
+            while True:
+                with self._lock:
+                    live = any(
+                        r.process is not None and r.process.poll() is None
+                        for r in self._replicas
+                    )
+                if not live:
+                    return
+                time.sleep(self.config.poll_interval)
+        except KeyboardInterrupt:
+            self.stop()

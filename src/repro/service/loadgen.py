@@ -31,7 +31,13 @@ from dataclasses import dataclass, field
 
 from repro.engine import jobs as _jobs
 from repro.engine.metrics import percentile
-from repro.service.client import ServiceClient, ServiceError
+from repro.service import protocol
+from repro.service.client import (
+    FailoverClient,
+    ServiceClient,
+    ServiceError,
+    classify_error,
+)
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,8 @@ class LoadConfig:
     timeout: float | None = None  # per-request deadline sent to the server
     think_time: float = 0.0  # max per-user pause between requests (uniform)
     connect_retry: float = 10.0
+    retries: int = 0  # transparent transport retries per request
+    hedge_after: float | None = None  # tail hedge delay (replica lists only)
 
 
 @dataclass
@@ -95,6 +103,18 @@ class LoadReport:
             "mean": sum(ordered) / len(ordered) if ordered else 0.0,
         }
 
+    def error_breakdown(self) -> dict:
+        """Per-kind error-class counts (deadline-exceeded / overloaded /
+        transport / shutting-down / ...) — the client-side view of the
+        daemon's ``service.errors.<kind>.<status>`` counters."""
+        errors: dict[str, dict[str, int]] = {}
+        for sample in self.samples:
+            if sample.status == "ok":
+                continue
+            per = errors.setdefault(sample.kind, {})
+            per[sample.status] = per.get(sample.status, 0) + 1
+        return {kind: dict(sorted(per.items())) for kind, per in sorted(errors.items())}
+
     def to_payload(self) -> dict:
         by_kind: dict[str, list[Sample]] = {}
         for sample in self.samples:
@@ -115,6 +135,7 @@ class LoadReport:
             ),
             "failures": len(self.failures),
             "mismatches": len(self.mismatches),
+            "errors": self.error_breakdown(),
             "flights": flights,
             "latency": self._latency_summary(self.samples),
             "kinds": {
@@ -141,6 +162,9 @@ class LoadReport:
             f"failures={p['failures']} mismatches={p['mismatches']} "
             f"flights={p['flights']}",
         ]
+        for kind, per in p["errors"].items():
+            classes = " ".join(f"{status}={count}" for status, count in per.items())
+            lines.append(f"  errors[{kind}]: {classes}")
         for kind, summary in p["kinds"].items():
             lines.append(
                 f"  {kind:<10} n={summary['count']:<5} "
@@ -258,13 +282,38 @@ def paper_tasks(
 # -- the generator -----------------------------------------------------------------
 
 
-def _make_client(address, config: LoadConfig) -> ServiceClient:
-    if isinstance(address, (tuple, list)):
+def _is_host_port(address) -> bool:
+    return (
+        isinstance(address, (tuple, list))
+        and len(address) == 2
+        and isinstance(address[0], str)
+        and isinstance(address[1], int)
+    )
+
+
+def _make_client(address, config: LoadConfig):
+    """A client for ``address``: a socket path, ``(host, port)``, or a
+    *list* of either — which builds a sharded :class:`FailoverClient`."""
+    if isinstance(address, (tuple, list)) and not _is_host_port(address):
+        return FailoverClient(
+            address,
+            connect_retry=config.connect_retry,
+            cycles=max(1, config.retries + 1),
+            hedge_after=config.hedge_after,
+        )
+    if _is_host_port(address):
         host, port = address
         return ServiceClient(
-            host=host, port=int(port), connect_retry=config.connect_retry
+            host=host,
+            port=int(port),
+            connect_retry=config.connect_retry,
+            retries=config.retries,
         )
-    return ServiceClient(path=str(address), connect_retry=config.connect_retry)
+    return ServiceClient(
+        path=str(address),
+        connect_retry=config.connect_retry,
+        retries=config.retries,
+    )
 
 
 def run_load(
@@ -299,24 +348,27 @@ def run_load(
         mismatches: list[dict] = []
         try:
             with _make_client(address, config) as client:
+                failover = isinstance(client, FailoverClient)
                 while take_ticket():
                     task = rng.choices(tasks, weights=weights)[0]
                     started = time.perf_counter()
                     status, flight, value = "ok", None, None
+                    kwargs = dict(
+                        kind=task.spec.kind,
+                        payload=task.spec.payload,
+                        timeout=config.timeout,
+                    )
+                    if failover:
+                        kwargs["shard_key"] = task.spec.fingerprint
                     try:
-                        response = client.request(
-                            "job",
-                            kind=task.spec.kind,
-                            payload=task.spec.payload,
-                            timeout=config.timeout,
-                        )
+                        response = client.request("job", **kwargs)
                         flight = response.get("flight")
                         if response.get("ok"):
                             value = response.get("value")
                         else:
                             status = response.get("status", "failed")
-                    except (ServiceError, OSError) as exc:
-                        status = getattr(exc, "status", "error")
+                    except (ServiceError, OSError, protocol.ProtocolError) as exc:
+                        status = classify_error(exc)
                     elapsed = time.perf_counter() - started
                     samples.append(
                         Sample(task.name, task.kind, elapsed, status, flight)
@@ -327,11 +379,11 @@ def run_load(
                         )
                     if config.think_time > 0:
                         time.sleep(rng.uniform(0.0, config.think_time))
-        except (OSError, ServiceError) as exc:
+        except (OSError, ServiceError, protocol.ProtocolError) as exc:
             # A user that cannot connect (or loses its connection outside
             # a request) is a failed sample, not a crashed thread.
             samples.append(
-                Sample(f"user-{uid}", "connect", 0.0, f"error:{exc!r}", None)
+                Sample(f"user-{uid}", "connect", 0.0, classify_error(exc), None)
             )
         finally:
             with lock:

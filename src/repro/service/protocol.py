@@ -52,7 +52,7 @@ MAX_FRAME_BYTES = 32 << 20
 
 _HEADER = struct.Struct(">I")
 
-OPS = ("job", "stats", "ping", "shutdown")
+OPS = ("job", "stats", "ping", "health", "shutdown")
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"

@@ -46,12 +46,14 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.engine import chaos as _chaos
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import EXECUTORS, JobSpec
 from repro.engine.metrics import METRICS
@@ -149,6 +151,12 @@ class ServiceEngine:
         self._executor.shutdown(wait=True, cancel_futures=True)
         return True
 
+    def abort(self) -> None:
+        """Tear the pool down without waiting — crash emulation only."""
+        with self._close_lock:
+            self._closed = True
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
 
 @dataclass
 class _Flight:
@@ -179,6 +187,7 @@ class ShackleServer:
         self._started_at = 0.0
         self.requests_served = 0
         self.address: str | tuple[str, int] | None = None
+        self._serve_counts: dict[str, int] = {}  # fp -> times served here
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -304,9 +313,37 @@ class ShackleServer:
 
     async def _serve_request(self, message: dict, writer, write_lock) -> None:
         response = await self._handle(message)
+        # Deterministic transport chaos (docs/FABRIC.md): job responses
+        # may be lagged, duplicated, truncated, or reset — but only on
+        # this daemon's *first* serve of the job's fingerprint, so the
+        # resilient client's bounded retries always converge.
+        transport_key = response.pop("_transport_key", None)
+        plan = ()
+        if transport_key is not None and _chaos.active() is not None:
+            count = self._serve_counts.get(transport_key, 0)
+            self._serve_counts[transport_key] = count + 1
+            plan = _chaos.transport_plan(transport_key, count)
         try:
+            if "lag" in plan:
+                self.metrics.inc("chaos.injected.lag")
+                await asyncio.sleep(_chaos.active().lag_seconds)
+            if "reset" in plan:
+                self.metrics.inc("chaos.injected.reset")
+                writer.transport.abort()
+                return
+            if "truncate" in plan:
+                self.metrics.inc("chaos.injected.truncate")
+                frame = protocol.encode_frame(response)
+                async with write_lock:
+                    writer.write(frame[: max(1, len(frame) // 2)])
+                    await writer.drain()
+                writer.transport.abort()
+                return
             async with write_lock:
                 await protocol.write_message(writer, response)
+                if "dup" in plan:
+                    self.metrics.inc("chaos.injected.dup")
+                    await protocol.write_message(writer, response)
         except (ConnectionError, RuntimeError):
             self.metrics.inc("service.dropped_responses")
 
@@ -327,6 +364,8 @@ class ShackleServer:
         self.metrics.inc("service.requests")
         if op == "ping":
             return protocol.response(request_id, value={"state": self._state})
+        if op == "health":
+            return protocol.response(request_id, value=self.health())
         if op == "stats":
             return protocol.response(request_id, value=self.stats())
         if op == "shutdown":
@@ -357,8 +396,10 @@ class ShackleServer:
                     "BadJob", f"unknown kind {kind!r} or non-object payload"
                 ),
             )
+        spec = JobSpec(kind, payload)
         if self._state != "running":
             self.metrics.inc("service.rejected_shutting_down")
+            self.metrics.inc(f"service.errors.{kind}.{protocol.STATUS_SHUTTING_DOWN}")
             return protocol.response(
                 request_id,
                 status=protocol.STATUS_SHUTTING_DOWN,
@@ -366,21 +407,28 @@ class ShackleServer:
             )
         self.metrics.inc(f"service.requests.{kind}")
         started = time.monotonic()
-        status, value, error, flight = await self._submit(kind, payload, message.get("timeout"))
+        status, value, error, flight = await self._submit(spec, message.get("timeout"))
         elapsed = time.monotonic() - started
         self.metrics.record(f"service.latency.{kind}", elapsed)
         self.metrics.record("service.latency.all", elapsed)
         if status != protocol.STATUS_OK:
             self.metrics.inc(f"service.responses.{status}")
-            return protocol.response(request_id, status=status, error=error, flight=flight)
-        return protocol.response(request_id, value=value, flight=flight)
+            self.metrics.inc(f"service.errors.{kind}.{status}")
+            response = protocol.response(
+                request_id, status=status, error=error, flight=flight
+            )
+        else:
+            response = protocol.response(request_id, value=value, flight=flight)
+        # Internal annotation for _serve_request's transport-chaos plan;
+        # stripped before the frame is encoded.
+        response["_transport_key"] = spec.fingerprint
+        return response
 
-    async def _submit(self, kind: str, payload: dict, timeout: float | None):
+    async def _submit(self, spec: JobSpec, timeout: float | None):
         """Resolve one job: fast cache path, single-flight, or enqueue.
 
         Returns ``(status, value, error, flight)``.
         """
-        spec = JobSpec(kind, payload)
         fp = spec.fingerprint
         flight = self._flights.get(fp)
         if flight is None:
@@ -507,6 +555,39 @@ class ShackleServer:
         self.metrics.set_gauge("service.queue_depth", len(self._queue))
         self.metrics.set_gauge("service.inflight", len(self._flights))
 
+    def health(self) -> dict:
+        """The readiness snapshot behind the ``health`` RPC.
+
+        Cheaper than ``stats`` (no metrics serialization) and answerable
+        while draining — the failover client and the fabric supervisor
+        poll it to decide where to route and when to respawn.
+        """
+        return {
+            "state": self._state,
+            "ready": self._state == "running",
+            "pid": os.getpid(),
+            "uptime": round(time.monotonic() - self._started_at, 3),
+            "queue_depth": len(self._queue),
+            "inflight": len(self._flights),
+            "requests": self.requests_served,
+        }
+
+    def _error_stats(self) -> dict:
+        """Per-kind error-class counts (``service.errors.<kind>.<status>``)
+        — the same breakdown the load generator reports client-side."""
+        classes: dict[str, dict[str, int]] = {}
+        for kind in EXECUTORS:
+            per = {}
+            for status in protocol.STATUSES:
+                if status == protocol.STATUS_OK:
+                    continue
+                count = int(self.metrics.get(f"service.errors.{kind}.{status}"))
+                if count:
+                    per[status] = count
+            if per:
+                classes[kind] = per
+        return classes
+
     def stats(self) -> dict:
         """The machine-readable server snapshot behind the ``stats`` RPC.
 
@@ -568,6 +649,7 @@ class ShackleServer:
             },
             "histogram_store": self._histogram_store_stats(),
             "cache": self.engine.cache.stats(),
+            "errors": self._error_stats(),
         }
 
     @staticmethod
@@ -669,6 +751,27 @@ class ServerThread:
             with contextlib.suppress(RuntimeError):
                 asyncio.run_coroutine_threadsafe(self.server.shutdown(), self._loop)
         self._thread.join(timeout=60)
+
+    def kill(self) -> None:
+        """Emulate a daemon crash: stop the event loop dead.
+
+        No drain, no graceful close — connections drop mid-flight and
+        in-flight jobs are lost, exactly what a SIGKILL does to a real
+        daemon process.  The fabric chaos tests use this to prove the
+        failover client masks a replica death.
+        """
+        if (
+            self._loop is not None
+            and self._thread is not None
+            and self._thread.is_alive()
+        ):
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+        if self.server is not None:
+            # Reap the dispatcher pool's threads without waiting on
+            # in-flight batches — a dead daemon's threads don't linger.
+            self.server.engine.abort()
 
     def __enter__(self) -> "ServerThread":
         return self.start()

@@ -1,9 +1,12 @@
 """Tests for the two-tier content-addressed result cache."""
 
 import json
+import os
+import time
 
 import pytest
 
+from repro.engine import store
 from repro.engine.cache import CACHE_SCHEMA_VERSION, ResultCache, payload_checksum
 from repro.engine.metrics import MetricsRegistry
 
@@ -183,9 +186,16 @@ def test_clear_disk_sweeps_tmp_orphans_keeps_quarantine(tmp_path):
     cache = ResultCache(root=root)
     fingerprint = "bb" * 32
     cache.put(fingerprint, {"x": 1})
-    # A writer that crashed between write and rename leaves an orphan.
-    orphan = root / "bb" / f"{fingerprint}.tmp.9999"
+    # A writer that crashed between write and rename leaves an orphan;
+    # age it past the sweep threshold so it qualifies for removal.
+    orphan = root / "bb" / f"{fingerprint}.json.tmp.9999.1.0"
     orphan.write_text("half-written")
+    old = time.time() - 2 * store.ORPHAN_AGE_SECONDS
+    os.utime(orphan, (old, old))
+    # A *young* temp file is a live writer mid-publish in another
+    # process: sweeping it would tear that publish, so it must survive.
+    live = root / "bb" / f"{'cc' * 32}.json.tmp.8888.1.0"
+    live.write_text("in-flight")
     # And a previously quarantined file is evidence, not cache state.
     (root / "quarantine").mkdir()
     evidence = root / "quarantine" / "old-corrupt.json"
@@ -193,6 +203,7 @@ def test_clear_disk_sweeps_tmp_orphans_keeps_quarantine(tmp_path):
 
     cache.clear(disk=True)
     assert not orphan.exists()
+    assert live.exists()
     assert not (root / "bb" / f"{fingerprint}.json").exists()
     assert evidence.exists()
 

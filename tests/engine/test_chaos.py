@@ -221,3 +221,46 @@ def test_census_under_chaos_parallel_matches_serial(tmp_path):
     finally:
         chaos.configure(None)
     assert chaotic == clean
+
+
+# -- transport faults and the store-mutation hook ----------------------------------
+
+
+def test_parse_spec_transport_grammar():
+    spec = chaos.parse_spec("reset=0.2,truncate=0.1,dup=0.3,lag=0.5:0.02,seed=4")
+    assert spec.reset == 0.2 and spec.truncate == 0.1
+    assert spec.dup == 0.3
+    assert spec.lag == 0.5 and spec.lag_seconds == 0.02
+    assert spec.enabled
+    assert chaos.parse_spec(spec.describe()) == spec
+
+
+def test_transport_plan_is_deterministic_and_first_serve_only():
+    chaos.configure(chaos.parse_spec("reset=0.5,dup=0.5,seed=3"))
+    keys = [f"fp{i}" for i in range(200)]
+    plans = [chaos.transport_plan(key, 0) for key in keys]
+    assert plans == [chaos.transport_plan(key, 0) for key in keys]
+    faulted = sum(1 for plan in plans if plan)
+    assert 0 < faulted < len(keys)  # rate-shaped, neither never nor always
+    # A daemon's later serves of the same fingerprint are always clean,
+    # so bounded retries converge.
+    assert all(chaos.transport_plan(key, 1) == () for key in keys)
+
+
+def test_transport_plan_empty_without_active_spec():
+    assert chaos.transport_plan("fp", 0) == ()
+
+
+def test_store_mutation_stamps_every_publish(monkeypatch):
+    monkeypatch.setenv(chaos.STORE_MUTATION_ENV, "fabric-republish")
+    first = chaos.mutate_store_value({"legal": True})
+    second = chaos.mutate_store_value({"legal": True})
+    assert first != {"legal": True}  # non-idempotent: the planted bug
+    assert first != second  # each publish stamps a fresh sequence
+    assert chaos.mutate_store_value([1, 2])["value"] == [1, 2]
+
+
+def test_store_mutation_inactive_is_identity(monkeypatch):
+    monkeypatch.delenv(chaos.STORE_MUTATION_ENV, raising=False)
+    value = {"legal": True}
+    assert chaos.mutate_store_value(value) is value

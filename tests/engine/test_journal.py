@@ -1,0 +1,205 @@
+"""Journaled checkpoints: durability, torn-tail tolerance, and the
+kill-at-a-random-point resume proof for ``tune`` and ``search``.
+
+The resume contract under test: a run killed at ANY append boundary
+(including mid-line, leaving a torn tail) re-runs to a report that is
+bit-identical to an uninterrupted run — and provably does less work
+the second time (journal replays instead of fresh scoring).
+"""
+
+import json
+import multiprocessing
+import os
+import random
+
+import pytest
+
+from repro.core import DataBlocking, search_shackles
+from repro.core.autotune import geometry_grid, tune
+from repro.engine import journal as journal_mod
+from repro.engine.journal import Journal, resolve_journal
+from repro.engine.metrics import METRICS
+from repro.kernels import matmul
+
+mp = multiprocessing.get_context("fork")
+
+
+# -- unit behavior -----------------------------------------------------------------
+
+
+def test_append_then_replay_round_trips(tmp_path):
+    with Journal(tmp_path, "ab" * 32) as journal:
+        journal.append("one", {"rows": [1, 2], "x": 1.5})
+        journal.append("two", {"rows": []})
+    fresh = Journal(tmp_path, "ab" * 32)
+    assert fresh.replay() == {"one": {"rows": [1, 2], "x": 1.5}, "two": {"rows": []}}
+    assert (tmp_path / "journal" / "ab" / ("ab" * 32 + ".jsonl")).exists()
+
+
+def test_last_valid_record_wins_and_duplicates_are_harmless(tmp_path):
+    with Journal(tmp_path, "cd" * 32) as journal:
+        journal.append("k", {"v": 1})
+        journal.append("k", {"v": 1})  # duplicate-on-retry
+    assert Journal(tmp_path, "cd" * 32).replay() == {"k": {"v": 1}}
+
+
+def test_torn_tail_and_corrupt_lines_are_skipped(tmp_path):
+    journal = Journal(tmp_path, "ef" * 32)
+    journal.append("good", {"v": 1})
+    journal.append("bad", {"v": 2})
+    journal.close()
+    # Corrupt the second record's checksum and append a torn tail.
+    lines = journal.path.read_bytes().splitlines()
+    record = json.loads(lines[1])
+    record["payload"]["v"] = 99  # body no longer matches its checksum
+    lines[1] = json.dumps(record).encode()
+    torn = lines[0][: len(lines[0]) // 2]  # a crash mid-write
+    journal.path.write_bytes(b"\n".join(lines) + b"\n" + torn)
+    skipped_before = METRICS.get("engine.journal.skipped")
+    assert Journal(tmp_path, "ef" * 32).replay() == {"good": {"v": 1}}
+    assert METRICS.get("engine.journal.skipped") - skipped_before == 2
+
+
+def test_resolve_journal_guards_key_mismatch(tmp_path):
+    assert resolve_journal(None, "aa" * 32) is None
+    journal = resolve_journal(tmp_path, "aa" * 32)
+    assert isinstance(journal, Journal)
+    assert resolve_journal(journal, "aa" * 32) is journal
+    with pytest.raises(ValueError):
+        resolve_journal(journal, "bb" * 32)
+
+
+# -- resumable tune ----------------------------------------------------------------
+
+
+def _tune_kwargs(tmp_path):
+    return dict(
+        sizes=[{"N": n} for n in (9, 11, 13, 15)],
+        machines=geometry_grid(lines=(4,), set_counts=(1, 4), assocs=(1, 2)),
+        anchors=[{"N": n} for n in (8, 12, 16)],
+        blocks=(4,),
+        candidates_per_block=1,
+        trace_store=str(tmp_path / "traces"),
+    )
+
+
+def _strip_volatile(report):
+    """Drop the fields that legitimately vary with store warmth and
+    wall clock (timings, capture accounting, journal provenance); the
+    scored results themselves must be bit-identical."""
+    report = dict(report)
+    for key in ("seconds", "points_per_sec", "captures", "journal"):
+        report.pop(key, None)
+    return report
+
+
+def _tune_in_child(tmp_path, kill_after, queue):
+    """Run a journaled tune in a forked child, optionally told to die
+    after its N-th journal append (REPRO_JOURNAL_KILL_AFTER)."""
+    journal_mod._appends = 0  # the fork inherited the parent's count
+    if kill_after is not None:
+        os.environ[journal_mod.KILL_ENV] = kill_after
+    else:
+        os.environ.pop(journal_mod.KILL_ENV, None)
+    report = tune(
+        matmul.program(), "C", journal=str(tmp_path), **_tune_kwargs(tmp_path)
+    )
+    queue.put(report)
+
+
+def _run_tune_child(tmp_path, kill_after):
+    queue = mp.Queue()
+    child = mp.Process(target=_tune_in_child, args=(tmp_path, kill_after, queue))
+    child.start()
+    child.join(timeout=300)
+    report = queue.get() if not queue.empty() else None
+    return child.exitcode, report
+
+
+@pytest.mark.parametrize("torn", [False, True], ids=["clean-kill", "torn-tail"])
+def test_tune_killed_at_random_point_resumes_bit_identical(tmp_path, torn):
+    baseline_report = tune(matmul.program(), "C", **_tune_kwargs(tmp_path / "base"))
+    assert baseline_report["journal"] is None
+    baseline = _strip_volatile(baseline_report)
+    total_blocks = len(baseline["candidates"]) * baseline["sizes"]
+    assert total_blocks >= 4
+
+    # Kill after a random (seeded) append strictly inside the sweep.
+    kill_at = random.Random(torn).randint(1, total_blocks - 1)
+    spec = f"{kill_at}:torn" if torn else str(kill_at)
+    exitcode, report = _run_tune_child(tmp_path, spec)
+    assert exitcode == 1 and report is None  # it really died mid-run
+
+    exitcode, report = _run_tune_child(tmp_path, None)
+    assert exitcode == 0
+    journal_info = report["journal"]
+    assert _strip_volatile(report) == baseline
+    # The resumed run provably skipped work: every block that became
+    # durable before the kill was replayed, not re-scored.  A torn
+    # final record is skipped and re-scored — never trusted.
+    expected_resumed = kill_at if not torn else kill_at - 1
+    assert journal_info["resumed_blocks"] == expected_resumed
+    assert journal_info["scored_blocks"] == total_blocks - expected_resumed
+
+
+def test_tune_rerun_with_complete_journal_scores_nothing(tmp_path):
+    first = tune(
+        matmul.program(), "C", journal=str(tmp_path), **_tune_kwargs(tmp_path)
+    )
+    assert first["journal"]["resumed_blocks"] == 0
+    second = tune(
+        matmul.program(), "C", journal=str(tmp_path), **_tune_kwargs(tmp_path)
+    )
+    assert second["journal"]["scored_blocks"] == 0
+    assert second["journal"]["resumed_blocks"] == first["journal"]["scored_blocks"]
+    assert _strip_volatile(first) == _strip_volatile(second)
+
+
+def test_tune_journal_key_isolates_different_invocations(tmp_path):
+    kwargs = _tune_kwargs(tmp_path)
+    tune(matmul.program(), "C", journal=str(tmp_path), **kwargs)
+    changed = dict(kwargs, sizes=[{"N": n} for n in (10, 12)])
+    report = tune(matmul.program(), "C", journal=str(tmp_path), **changed)
+    # A different invocation keys a different journal: nothing resumed.
+    assert report["journal"]["resumed_blocks"] == 0
+
+
+# -- resumable search --------------------------------------------------------------
+
+
+def _search_in_child(tmp_path, kill_after, queue):
+    journal_mod._appends = 0  # the fork inherited the parent's count
+    if kill_after is not None:
+        os.environ[journal_mod.KILL_ENV] = kill_after
+    else:
+        os.environ.pop(journal_mod.KILL_ENV, None)
+    program = matmul.program()
+    blocking = DataBlocking.grid("C", 2, 25)
+    results = search_shackles(
+        program, blocking, max_product=2, journal=str(tmp_path)
+    )
+    queue.put([(r.describe(), r.unconstrained) for r in results])
+
+
+def test_search_killed_mid_census_resumes_same_ranking(tmp_path):
+    program = matmul.program()
+    blocking = DataBlocking.grid("C", 2, 25)
+    baseline = [
+        (r.describe(), r.unconstrained)
+        for r in search_shackles(program, blocking, max_product=2)
+    ]
+
+    queue = mp.Queue()
+    child = mp.Process(target=_search_in_child, args=(tmp_path, "2", queue))
+    child.start()
+    child.join(timeout=300)
+    assert child.exitcode == 1  # killed after the 2nd verdict
+
+    appends_before = METRICS.get("engine.journal.appends")
+    resumed_before = METRICS.get("engine.journal.resumed")
+    results = search_shackles(program, blocking, max_product=2, journal=str(tmp_path))
+    assert [(r.describe(), r.unconstrained) for r in results] == baseline
+    assert METRICS.get("engine.journal.resumed") - resumed_before == 2
+    # Only the un-journaled remainder was re-checked and appended.
+    appended = METRICS.get("engine.journal.appends") - appends_before
+    assert appended > 0

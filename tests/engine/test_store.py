@@ -1,0 +1,282 @@
+"""Crash-safety tests for the shared-store publish primitives.
+
+The headline test is the multi-process stress: ≥8 writers hammer one
+``ResultCache`` store over a shared fingerprint set while a subset of
+them is killed *inside* the publish window (holding the lease, with a
+half-written temp file on disk).  The store must end with zero corrupt
+reads, zero lost publishes, and an empty orphan set after the sweep.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.engine import store
+from repro.engine.cache import ResultCache, quarantine_file
+from repro.engine.metrics import MetricsRegistry
+
+
+def test_unique_tmp_names_never_collide(tmp_path):
+    path = tmp_path / "ab" / "entry.json"
+    names = {store.unique_tmp(path).name for _ in range(64)}
+    assert len(names) == 64
+    assert all(store.is_tmp(path.with_name(n)) for n in names)
+    # The orphan-sweep glob contract: every temp name carries ".tmp.".
+    assert all(".tmp." in n for n in names)
+
+
+def test_atomic_publish_writes_content_and_cleans_temp(tmp_path):
+    path = tmp_path / "ab" / "entry.json"
+    store.atomic_publish(path, b'{"x": 1}')
+    assert path.read_bytes() == b'{"x": 1}'
+    assert list(path.parent.glob("*.tmp.*")) == []
+
+
+def test_atomic_publish_removes_temp_on_writer_error(tmp_path):
+    path = tmp_path / "ab" / "entry.json"
+
+    def exploding(fh):
+        fh.write(b"partial")
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        store.atomic_publish(path, writer=exploding)
+    assert not path.exists()
+    assert list(path.parent.glob("*.tmp.*")) == []
+
+
+def test_lease_is_exclusive_and_releases(tmp_path):
+    path = tmp_path / "ab" / "entry.json"
+    first = store.PublishLease(path)
+    second = store.PublishLease(path)
+    assert first.acquire()
+    assert not second.acquire()
+    first.release()
+    assert second.acquire()
+    second.release()
+    assert not second.lock_path.exists()
+
+
+def test_lease_of_dead_pid_is_broken_immediately(tmp_path):
+    path = tmp_path / "ab" / "entry.json"
+    lease = store.PublishLease(path)
+    path.parent.mkdir(parents=True)
+    # A lock held by a pid that no longer exists: young, but reclaimable.
+    lease.lock_path.write_text("999999999:0.0")
+    contender = store.PublishLease(path)
+    assert contender.acquire()
+    contender.release()
+
+
+def test_lease_broken_by_age_even_with_live_pid(tmp_path):
+    path = tmp_path / "ab" / "entry.json"
+    path.parent.mkdir(parents=True)
+    lock = store.PublishLease(path).lock_path
+    lock.write_text(f"{os.getpid()}:0.0")  # our own (live) pid
+    old = time.time() - 10.0
+    os.utime(lock, (old, old))
+    contender = store.PublishLease(path, stale_after=1.0)
+    assert contender.acquire()
+    contender.release()
+
+
+def test_elected_publish_outcomes(tmp_path):
+    path = tmp_path / "ab" / "entry.json"
+    metrics = MetricsRegistry()
+    assert store.elected_publish(path, b"v", metrics=metrics) == "published"
+    assert store.elected_publish(path, b"v", metrics=metrics) == "dedup"
+    assert path.read_bytes() == b"v"
+    assert metrics.get("engine.store.publishes") == 1
+    assert metrics.get("engine.store.publish_dedup") == 1
+
+
+def test_elected_publish_rescues_after_winner_death(tmp_path):
+    # The elected writer died between winning the lease and renaming:
+    # its lock names a dead pid and no entry ever appears.  The loser
+    # must not lose the value — it breaks the lock on its next acquire
+    # or, failing that, force-publishes after the wait.
+    path = tmp_path / "ab" / "entry.json"
+    path.parent.mkdir(parents=True)
+    lock = store.PublishLease(path).lock_path
+    lock.write_text(f"{os.getpid()}:0.0")  # live pid: lock NOT breakable
+    old = time.time()  # young: not age-stale either
+    os.utime(lock, (old, old))
+    metrics = MetricsRegistry()
+    t0 = time.monotonic()
+    outcome = store.elected_publish(path, b"v", metrics=metrics)
+    assert outcome == "rescue"
+    assert time.monotonic() - t0 >= store.LEASE_WAIT_SECONDS * 0.9
+    assert path.read_bytes() == b"v"
+
+
+def test_sweep_orphans_age_threshold(tmp_path):
+    root = tmp_path / "store"
+    bucket = root / "ab"
+    bucket.mkdir(parents=True)
+    entry = bucket / "fp.json"
+    entry.write_text("{}")
+    young = bucket / "fp.json.tmp.1.2.3"
+    young.write_text("live publish in flight")
+    aged = bucket / "fp2.json.tmp.4.5.6"
+    aged.write_text("crashed writer")
+    old = time.time() - 2 * store.ORPHAN_AGE_SECONDS
+    os.utime(aged, (old, old))
+    dead_lock = bucket / "fp3.json.lock"
+    dead_lock.write_text("999999999:0.0")
+    quarantine = root / "quarantine"
+    quarantine.mkdir()
+    evidence = quarantine / "bad.json.tmp.7.8.9"
+    evidence.write_text("evidence")
+    os.utime(evidence, (old, old))
+
+    counts = store.sweep_orphans(root, metrics=MetricsRegistry())
+    assert counts == {"tmp": 1, "locks": 1, "kept": 1}
+    assert young.exists()  # younger than the threshold: a live writer
+    assert not aged.exists()
+    assert not dead_lock.exists()
+    assert entry.exists()
+    assert evidence.exists()  # quarantine is never swept
+
+
+# -- multi-process stress ----------------------------------------------------
+
+STRESS_FINGERPRINTS = [f"{i:02x}" * 32 for i in range(24)]
+
+
+def _value_for(fp: str) -> dict:
+    return {"fp": fp, "payload": [ord(c) for c in fp[:8]]}
+
+
+def _stress_writer(root, seed, crash_at, errors):
+    """One writer process: publish every fingerprint, verify reads.
+
+    ``crash_at`` (an index into the shuffled fingerprint order, or None)
+    makes this writer die *inside* the publish window — lease held,
+    temp file written, no rename — exactly where a kill hurts most.
+    """
+    import random
+
+    rng = random.Random(seed)
+    order = list(STRESS_FINGERPRINTS)
+    rng.shuffle(order)
+    cache = ResultCache(root=root, metrics=MetricsRegistry())
+    for index, fp in enumerate(order):
+        if crash_at is not None and index == crash_at:
+            path = cache._path(fp)
+            lease = store.PublishLease(path)
+            lease.acquire()  # may lose the election: still die either way
+            tmp = store.unique_tmp(path)
+            tmp.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(b'{"half": ')
+            os._exit(1)
+        cache.put(fp, _value_for(fp))
+        got = cache.get(fp)
+        if got != _value_for(fp):
+            errors.put((fp, "read-back mismatch", repr(got)))
+    # Re-read everything through a cold instance: disk-tier reads must
+    # never surface a torn or corrupt entry (quarantine counts as one).
+    cold = ResultCache(root=root, metrics=MetricsRegistry())
+    for fp in order:
+        got = cold.get(fp)
+        if got is not None and got != _value_for(fp):
+            errors.put((fp, "corrupt disk read", repr(got)))
+    if cold.quarantined:
+        errors.put(("*", "quarantined entries seen", cold.quarantined))
+
+
+def test_multiprocess_stress_with_kill_injection(tmp_path):
+    root = tmp_path / "store"
+    ctx = multiprocessing.get_context("fork")
+    errors = ctx.Queue()
+    procs = []
+    for uid in range(12):
+        crash_at = (uid * 5) % len(STRESS_FINGERPRINTS) if uid < 4 else None
+        procs.append(
+            ctx.Process(
+                target=_stress_writer, args=(root, uid, crash_at, errors)
+            )
+        )
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode is not None, "stress writer hung"
+
+    failures = []
+    while not errors.empty():
+        failures.append(errors.get())
+    assert failures == [], failures
+
+    # Zero lost publishes: every fingerprint some surviving writer put
+    # must be readable and intact from a fresh process-level view.
+    cache = ResultCache(root=root, metrics=MetricsRegistry())
+    for fp in STRESS_FINGERPRINTS:
+        assert cache.get(fp) == _value_for(fp), fp
+    assert cache.quarantined == 0
+
+    # The killed writers left temp files and possibly leases; the sweep
+    # (age thresholds forced to zero — the writers are provably dead)
+    # must leave an empty orphan set.
+    counts = cache.sweep_orphans(max_age=0.0, lock_stale=0.0)
+    assert counts["tmp"] >= 1  # the injected crashes really left orphans
+    leftovers = [
+        p.name
+        for bucket in root.iterdir()
+        if bucket.is_dir() and bucket.name != "quarantine"
+        for p in bucket.iterdir()
+        if store.is_tmp(p) or p.name.endswith(".lock")
+    ]
+    assert leftovers == []
+
+
+def _quarantine_racer(root, fp, start, results):
+    cache = ResultCache(root=root, metrics=MetricsRegistry())
+    start.wait()
+    results.put((os.getpid(), cache.get(fp), cache.quarantined))
+
+
+def test_concurrent_quarantine_of_same_corrupt_entry(tmp_path):
+    # Two daemons read the same corrupt entry at the same moment: both
+    # race to quarantine it.  Exactly one move wins; the loser's failed
+    # rename must be swallowed (a miss, not a crash), and no duplicate
+    # or clobbered evidence may result.
+    root = tmp_path / "store"
+    fp = "ee" * 32
+    cache = ResultCache(root=root, metrics=MetricsRegistry())
+    cache.put(fp, {"x": 1})
+    path = root / "ee" / f"{fp}.json"
+    path.write_text("garbage")
+
+    ctx = multiprocessing.get_context("fork")
+    start = ctx.Event()
+    results = ctx.Queue()
+    procs = [
+        ctx.Process(target=_quarantine_racer, args=(root, fp, start, results))
+        for _ in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    start.set()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    outcomes = [results.get() for _ in range(2)]
+    assert all(value is None for _, value, _ in outcomes)
+    assert not path.exists()
+    evidence = sorted(p.name for p in (root / "quarantine").iterdir())
+    # One winner moved the file; a suffixed duplicate is allowed only if
+    # both raced past the exists() check before either renamed.
+    assert evidence[0] == f"{fp}.json"
+    assert len(evidence) <= 2
+    assert all(name.startswith(f"{fp}.json") for name in evidence)
+
+
+def test_quarantine_file_returns_none_when_source_vanished(tmp_path):
+    root = tmp_path / "store"
+    root.mkdir()
+    gone = root / "ab" / "missing.json"
+    assert quarantine_file(gone, root, metrics=MetricsRegistry()) is None

@@ -1,0 +1,81 @@
+"""The runner-level ``fabric`` differential check.
+
+The honest pipeline must be *silent* when its jobs are re-served through
+a chaos-ridden multi-daemon fabric — transport resets, truncations,
+duplicated replies, lag, and a replica killed dead mid-pass are all
+masked by retries, failover and the crash-safe store, so every served
+value is bit-identical to the clean single-process run.  The check must
+be *loud* for the one bug class only it can see: non-idempotent store
+publishes (the ``fabric-republish`` planted mutation), which corrupt
+the shared cache tier without ever disturbing a fresh compute.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import chaos
+from repro.fuzz import run_fuzz
+from repro.fuzz.runner import DEFAULT_FABRIC_SPEC, FABRIC_REPLICAS
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_chaos(monkeypatch):
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    monkeypatch.delenv(chaos.STORE_MUTATION_ENV, raising=False)
+    previous = chaos.configure(None)
+    yield
+    chaos.configure(previous)
+
+
+def test_fabric_check_is_silent_on_the_honest_pipeline():
+    report = run_fuzz(seed=1, budget=4, checks=("legality", "fabric"), corpus=None)
+    assert report.ok
+    assert report.fabric_cases == 4
+    assert report.fabric_spec == chaos.parse_spec(
+        f"{DEFAULT_FABRIC_SPEC},seed=1"
+    ).describe()
+    assert "fabric differential" in report.describe()
+    assert f"{FABRIC_REPLICAS} replicas" in report.describe()
+    # The pass restores a chaos-free, mutation-free environment.
+    assert chaos.active() is None
+    assert chaos.ENV_VAR not in os.environ
+    assert chaos.STORE_MUTATION_ENV not in os.environ
+
+
+def test_fabric_check_catches_nonidempotent_publishes():
+    # fabric-republish stamps a fresh sequence number into every stored
+    # value and bypasses the publish election.  The fresh serve and all
+    # per-case oracles still agree with the clean run — only the
+    # cache-tier re-serve can observe the corruption.
+    report = run_fuzz(
+        seed=3,
+        budget=6,
+        checks=("legality", "fabric"),
+        corpus=None,
+        mutation="fabric-republish",
+        shrink=False,
+    )
+    assert not report.ok
+    assert {f.check for f in report.failures} == {"fabric"}
+    details = " ".join(f.failures[0]["detail"] for f in report.failures)
+    assert "re-serve diverged" in details
+    assert chaos.STORE_MUTATION_ENV not in os.environ
+
+
+def test_explicit_spec_enables_the_check_without_listing_it():
+    report = run_fuzz(
+        seed=1, budget=3, checks=("legality",), corpus=None,
+        fabric_spec="reset=0.5,seed=2",
+    )
+    assert report.ok
+    assert report.fabric_cases == 3
+    assert report.fabric_spec == "seed=2,reset=0.5"
+
+
+def test_fabric_alone_falls_back_to_legality_worker_checks():
+    # "fabric" is runner-level: workers need at least one real oracle to
+    # produce comparable results.
+    report = run_fuzz(seed=1, budget=2, checks=("fabric",), corpus=None)
+    assert report.ok
+    assert report.fabric_cases == 2

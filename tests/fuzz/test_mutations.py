@@ -26,7 +26,7 @@ def test_registry_covers_every_oracle():
     targets = {m.target_oracle for m in MUTATIONS.values()}
     assert targets == {
         "deps", "solver", "legality", "codegen", "semantics", "backend",
-        "memsim", "chaos",
+        "memsim", "chaos", "fabric",
     }
     with pytest.raises(ValueError):
         get("no-such-mutation")

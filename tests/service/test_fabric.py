@@ -1,0 +1,298 @@
+"""Fabric resilience: health RPC, retries over transport chaos, the
+sharded failover client, the loadgen error breakdown, and the
+subprocess replica supervisor (crash detection, respawn, pidfiles).
+
+The theme throughout: every fault is masked *without* a wrong answer —
+jobs are idempotent and the store is content-addressed, so a resend,
+a hedge, or a failover can at worst recompute, never diverge.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import chaos
+from repro.engine import jobs as engine_jobs
+from repro.engine.metrics import METRICS
+from repro.service.client import (
+    ConnectionLost,
+    FailoverClient,
+    ServiceClient,
+    ServiceUnavailable,
+    classify_error,
+    shard_index,
+)
+from repro.service.loadgen import LoadConfig, paper_tasks, run_load
+from repro.service.server import ServerConfig, ServerThread
+
+from tests.service.test_server import _legality_spec, _serve, sleep_kind  # noqa: F401
+
+
+# -- health RPC --------------------------------------------------------------------
+
+
+def test_health_rpc_reports_readiness(tmp_path):
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            health = client.health()
+    assert health["ready"] is True
+    assert health["state"] == "running"
+    assert health["pid"] == os.getpid()  # in-process daemon
+    assert health["queue_depth"] == 0
+    assert health["uptime"] >= 0.0
+
+
+def test_error_class_counters_surface_in_stats(tmp_path, sleep_kind):  # noqa: F811
+    before = METRICS.get(f"service.errors.{sleep_kind}.deadline-exceeded")
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            response = client.request(
+                "job", kind=sleep_kind, payload={"seconds": 0.5}, timeout=0.01
+            )
+            assert response["status"] == "deadline-exceeded"
+            stats = client.stats()
+    assert stats["errors"][sleep_kind]["deadline-exceeded"] >= 1
+    after = METRICS.get(f"service.errors.{sleep_kind}.deadline-exceeded")
+    assert after == before + 1
+
+
+# -- transparent retries over transport chaos --------------------------------------
+
+
+@pytest.fixture
+def transport_chaos(request):
+    """Activate a chaos spec for one test, restoring the previous one."""
+
+    def activate(spec_text):
+        previous = chaos.configure(spec_text)
+        request.addfinalizer(lambda: chaos.configure(previous))
+
+    return activate
+
+
+def test_retries_mask_connection_reset(tmp_path, transport_chaos):
+    spec = _legality_spec()
+    expected = engine_jobs.execute(spec)
+    transport_chaos("reset=1.0,seed=5")
+    before = METRICS.get("chaos.injected.reset")
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address, retries=2) as client:
+            assert client.submit(spec) == expected
+    assert METRICS.get("chaos.injected.reset") == before + 1
+
+
+def test_retries_mask_truncated_frame(tmp_path, transport_chaos):
+    spec = _legality_spec("A[J,J]", "A[L,J]")
+    expected = engine_jobs.execute(spec)
+    transport_chaos("truncate=1.0,seed=5")
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address, retries=2) as client:
+            assert client.submit(spec) == expected
+
+
+def test_duplicated_response_is_tolerated(tmp_path, transport_chaos):
+    # A dup'd frame leaves a stale response in the stream; the client
+    # must skip mismatched ids instead of misattributing answers.
+    specs = [_legality_spec(), _legality_spec("A[J,J]", "A[L,J]")]
+    expected = [engine_jobs.execute(s) for s in specs]
+    transport_chaos("dup=1.0,seed=5")
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            assert [client.submit(s) for s in specs] == expected
+
+
+def test_zero_retries_keeps_fail_fast(tmp_path, transport_chaos):
+    transport_chaos("reset=1.0,seed=5")
+    with _serve(tmp_path) as handle:
+        with ServiceClient(path=handle.address) as client:
+            with pytest.raises(ConnectionLost) as excinfo:
+                client.submit(_legality_spec())
+    assert classify_error(excinfo.value) == "transport"
+
+
+# -- failover client ---------------------------------------------------------------
+
+
+def test_shard_index_is_stable_and_spread():
+    fps = [f"{i:08x}{'0' * 56}" for i in range(16)]
+    first = [shard_index(fp, 3) for fp in fps]
+    assert first == [shard_index(fp, 3) for fp in fps]  # deterministic
+    assert set(first) == {0, 1, 2}  # spreads over the ring
+    assert shard_index("", 3) == 0
+
+
+def test_failover_masks_replica_kill(tmp_path):
+    specs = [
+        _legality_spec(),
+        _legality_spec("A[J,J]", "A[L,J]"),
+        _legality_spec("A[I,J]", "A[K,J]"),
+    ]
+    expected = [engine_jobs.execute(s) for s in specs]
+    a = ServerThread(ServerConfig(), path=str(tmp_path / "a.sock")).start()
+    b = ServerThread(ServerConfig(), path=str(tmp_path / "b.sock")).start()
+    try:
+        with FailoverClient([a.address, b.address], backoff=0.01) as client:
+            assert [client.submit(s) for s in specs] == expected
+            a.kill()  # one replica dies; every shard must still answer
+            assert [client.submit(s) for s in specs] == expected
+            health = client.health_all()
+            assert health[0] is None and health[1] is not None
+    finally:
+        a.kill()
+        b.stop()
+
+
+def test_all_replicas_down_raises_service_unavailable(tmp_path):
+    a = ServerThread(ServerConfig(), path=str(tmp_path / "a.sock")).start()
+    a.kill()
+    with FailoverClient([a.address], cycles=2, backoff=0.01) as client:
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.submit(_legality_spec())
+    assert classify_error(excinfo.value) == "transport"
+
+
+def test_hedged_request_answers_from_backup_replica(tmp_path):
+    spec = _legality_spec()
+    expected = engine_jobs.execute(spec)
+    a = ServerThread(ServerConfig(), path=str(tmp_path / "a.sock")).start()
+    b = ServerThread(ServerConfig(), path=str(tmp_path / "b.sock")).start()
+    try:
+        a.kill()  # the "slow" primary: never answers
+        with FailoverClient(
+            [a.address, b.address], hedge_after=0.05, backoff=0.01
+        ) as client:
+            response = client.request(
+                "job", kind=spec.kind, payload=spec.payload, shard_key="0" * 64
+            )
+        assert response["ok"] and response["value"] == expected
+    finally:
+        b.stop()
+
+
+def test_failover_loadgen_with_error_breakdown(tmp_path, sleep_kind):  # noqa: F811
+    from repro.service.loadgen import LoadTask
+
+    ok_spec = _legality_spec()
+    slow = engine_jobs.JobSpec(sleep_kind, {"seconds": 0.3})
+    tasks = [
+        LoadTask("legality", 1, ok_spec, expect=engine_jobs.execute(ok_spec)),
+        LoadTask("slow", 1, slow),
+    ]
+    a = ServerThread(ServerConfig(), path=str(tmp_path / "a.sock")).start()
+    b = ServerThread(ServerConfig(), path=str(tmp_path / "b.sock")).start()
+    try:
+        config = LoadConfig(users=4, requests=24, seed=3, timeout=0.05, retries=1)
+        report = run_load([a.address, b.address], tasks, config)
+    finally:
+        a.stop()
+        b.stop()
+    breakdown = report.error_breakdown()
+    # The slow task blows its deadline and lands in the per-kind
+    # breakdown; verified tasks never mismatch across replicas.
+    assert report.mismatches == []
+    assert breakdown.get(sleep_kind, {}).get("deadline-exceeded", 0) > 0
+    assert "errors" in report.to_payload()
+    assert f"errors[{sleep_kind}]" in report.describe()
+
+
+# -- subprocess fabric -------------------------------------------------------------
+
+
+def _wait_until(predicate, timeout=20.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_fabric_respawns_crashed_replica(tmp_path):
+    from repro.service.fabric import FabricConfig, FabricSupervisor
+
+    config = FabricConfig(
+        replicas=2,
+        cache=str(tmp_path / "cache"),
+        socket_dir=str(tmp_path),
+        log_path=str(tmp_path / "fabric.log"),
+        max_respawns=2,
+    )
+    with FabricSupervisor(config) as supervisor:
+        with FailoverClient(supervisor.addresses, connect_retry=5.0) as client:
+            assert all(h and h["ready"] for h in client.health_all())
+            dead = supervisor.kill_replica(0)
+            assert dead is not None
+            # Requests keep flowing during the outage...
+            assert client.ping()["state"] == "running"
+            # ...and the supervisor brings slot 0 back.
+            assert _wait_until(
+                lambda: all(row["alive"] for row in supervisor.status())
+            )
+            assert supervisor.status()[0]["respawns"] == 1
+            assert all(h and h["ready"] for h in client.health_all())
+    log = (tmp_path / "fabric.log").read_text()
+    assert "crashed (signal 9)" in log
+    assert "respawn 1/2" in log
+    assert "fabric stopped" in log
+
+
+def test_clean_drain_is_not_respawned(tmp_path):
+    from repro.service.fabric import FabricConfig, FabricSupervisor
+
+    config = FabricConfig(
+        replicas=1,
+        socket_dir=str(tmp_path),
+        log_path=str(tmp_path / "fabric.log"),
+    )
+    with FabricSupervisor(config) as supervisor:
+        with ServiceClient(path=supervisor.addresses[0], connect_retry=5.0) as client:
+            client.shutdown_server()
+        assert _wait_until(
+            lambda: not any(row["alive"] for row in supervisor.status())
+        )
+        time.sleep(3 * config.poll_interval)  # give a wrong respawn time to happen
+        assert supervisor.status()[0]["respawns"] == 0
+    log = (tmp_path / "fabric.log").read_text()
+    assert "drained cleanly (exit 0)" in log
+    assert "respawn" not in log
+
+
+def test_serve_pidfile_written_and_removed_on_drain(tmp_path):
+    sock = tmp_path / "repro.sock"
+    pidfile = tmp_path / "repro.pid"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(Path("src").resolve()), env.get("PYTHONPATH")) if p
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", str(sock), "--pidfile", str(pidfile)],
+        env=env,
+    )
+    try:
+        assert _wait_until(pidfile.exists)
+        assert int(pidfile.read_text()) == process.pid
+        with ServiceClient(path=str(sock), connect_retry=10.0) as client:
+            assert client.health()["ready"]
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=20) == 0
+        assert not pidfile.exists()  # clean drain cleans up
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+def test_serve_abnormal_termination_exit_code(tmp_path):
+    from repro.cli import main
+    from repro.service.fabric import EXIT_ABNORMAL
+
+    # Binding inside a directory that does not exist blows up the serve
+    # loop before it ever runs — a crash, not a drain.
+    rc = main(["serve", "--socket", str(tmp_path / "missing" / "dir" / "s.sock")])
+    assert rc == EXIT_ABNORMAL
